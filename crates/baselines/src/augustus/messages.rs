@@ -1,0 +1,148 @@
+//! Augustus protocol messages.
+
+use transedge_common::{ClusterId, ClusterTopology, Encode, Key, ReplicaId, TxnId, Value, WireWriter};
+use transedge_crypto::{Digest, Signature};
+use transedge_simnet::SimMessage;
+
+/// A transaction as Augustus sees it: flat read and write sets.
+#[derive(Clone, Debug)]
+pub struct AugTxn {
+    pub id: TxnId,
+    pub reads: Vec<Key>,
+    pub writes: Vec<(Key, Value)>,
+}
+
+impl AugTxn {
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    pub fn partitions(&self, topo: &ClusterTopology) -> Vec<ClusterId> {
+        let mut parts: Vec<ClusterId> = self
+            .reads
+            .iter()
+            .map(|k| topo.partition_of(k))
+            .chain(self.writes.iter().map(|(k, _)| topo.partition_of(k)))
+            .collect();
+        parts.sort_unstable();
+        parts.dedup();
+        parts
+    }
+}
+
+/// Digest of the read values in a vote, so the signature covers them.
+pub fn reads_digest(reads: &[(Key, Option<Value>)]) -> Digest {
+    let mut w = WireWriter::new();
+    for (k, v) in reads {
+        k.encode(&mut w);
+        v.encode(&mut w);
+    }
+    transedge_crypto::sha256(w.as_slice())
+}
+
+/// The statement a replica signs when voting.
+pub fn vote_statement(
+    txn: TxnId,
+    partition: ClusterId,
+    commit: bool,
+    reads: &Digest,
+) -> Vec<u8> {
+    let mut w = WireWriter::with_capacity(64);
+    w.put_bytes(b"augustus/vote");
+    txn.encode(&mut w);
+    partition.encode(&mut w);
+    w.put_u8(commit as u8);
+    reads.encode(&mut w);
+    w.into_bytes()
+}
+
+/// All Augustus network traffic.
+#[derive(Clone, Debug)]
+pub enum AugMsg {
+    /// Client → partition leader.
+    Submit { txn: AugTxn },
+    /// Leader → replicas: sequenced execution order.
+    Ordered { seq: u64, txn: AugTxn },
+    /// Replica → client: signed vote with local read values.
+    Vote {
+        txn: TxnId,
+        partition: ClusterId,
+        replica: ReplicaId,
+        commit: bool,
+        /// True when the abort was caused by a lock held by a
+        /// read-only transaction (Table 1 attribution).
+        blocked_by_read_only: bool,
+        reads: Vec<(Key, Option<Value>)>,
+        sig: Signature,
+    },
+    /// Client → partition leader: the global decision.
+    Decision { txn: TxnId, commit: bool },
+    /// Leader → replicas.
+    OrderedDecision { txn: TxnId, commit: bool },
+    /// Replica → client: decision applied.
+    DecisionAck {
+        txn: TxnId,
+        partition: ClusterId,
+        replica: ReplicaId,
+    },
+}
+
+impl SimMessage for AugMsg {
+    fn size_bytes(&self) -> usize {
+        match self {
+            AugMsg::Submit { txn } | AugMsg::Ordered { txn, .. } => {
+                20 + txn.reads.iter().map(|k| k.len() + 4).sum::<usize>()
+                    + txn
+                        .writes
+                        .iter()
+                        .map(|(k, v)| k.len() + v.len() + 8)
+                        .sum::<usize>()
+            }
+            AugMsg::Vote { reads, .. } => {
+                96 + reads
+                    .iter()
+                    .map(|(k, v)| k.len() + v.as_ref().map(|v| v.len()).unwrap_or(0) + 8)
+                    .sum::<usize>()
+            }
+            AugMsg::Decision { .. } | AugMsg::OrderedDecision { .. } => 24,
+            AugMsg::DecisionAck { .. } => 24,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transedge_common::ClientId;
+
+    #[test]
+    fn vote_statement_binds_outcome_and_reads() {
+        let txn = TxnId::new(ClientId(0), 1);
+        let d1 = reads_digest(&[(Key::from_u32(1), Some(Value::from("a")))]);
+        let d2 = reads_digest(&[(Key::from_u32(1), Some(Value::from("b")))]);
+        assert_ne!(d1, d2);
+        let a = vote_statement(txn, ClusterId(0), true, &d1);
+        let b = vote_statement(txn, ClusterId(0), false, &d1);
+        let c = vote_statement(txn, ClusterId(0), true, &d2);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn partitions_derived_from_all_ops() {
+        let topo = ClusterTopology::paper_default();
+        let txn = AugTxn {
+            id: TxnId::new(ClientId(0), 1),
+            reads: (0..20).map(Key::from_u32).collect(),
+            writes: vec![(Key::from_u32(100), Value::from("x"))],
+        };
+        assert!(!txn.partitions(&topo).is_empty());
+        assert!(!txn.is_read_only());
+        let rot = AugTxn {
+            id: TxnId::new(ClientId(0), 2),
+            reads: vec![Key::from_u32(1)],
+            writes: vec![],
+        };
+        assert!(rot.is_read_only());
+    }
+}

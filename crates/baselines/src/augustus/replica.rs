@@ -1,0 +1,339 @@
+//! Augustus replica: leader sequencing, lock table, vote + apply.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use transedge_common::{
+    ClusterTopology, Key, NodeId, ReplicaId, SimDuration, TxnId, Value,
+};
+use transedge_crypto::{KeyStore, Keypair};
+use transedge_simnet::{Actor, Context};
+
+use super::messages::{reads_digest, vote_statement, AugMsg, AugTxn};
+
+/// Per-key lock state. First-committer-wins: acquisition either
+/// succeeds immediately or the transaction votes abort — no waiting.
+#[derive(Default, Debug)]
+struct Lock {
+    readers: HashSet<TxnId>,
+    writer: Option<TxnId>,
+}
+
+/// A transaction holding locks while the client collects votes.
+struct PendingTxn {
+    txn: AugTxn,
+    client: NodeId,
+}
+
+/// The Augustus replica actor.
+pub struct AugustusReplica {
+    pub me: ReplicaId,
+    topo: ClusterTopology,
+    #[allow(dead_code)]
+    keys: KeyStore,
+    keypair: Keypair,
+    store: HashMap<Key, Value>,
+    locks: HashMap<Key, Lock>,
+    /// Transactions holding locks, by id. Tracks read-only-ness for
+    /// abort attribution.
+    pending: HashMap<TxnId, PendingTxn>,
+    /// Leader: next sequence number to assign.
+    next_seq: u64,
+    /// Replica: next sequence number to execute; out-of-order buffer.
+    next_exec: u64,
+    buffered: BTreeMap<u64, (AugTxn, NodeId)>,
+    /// Decisions that arrived before the vote executed.
+    early_decisions: HashMap<TxnId, bool>,
+    /// Applied decisions (dedup).
+    decided: HashSet<TxnId>,
+}
+
+impl AugustusReplica {
+    pub fn new(me: ReplicaId, topo: ClusterTopology, keys: KeyStore, keypair: Keypair) -> Self {
+        AugustusReplica {
+            me,
+            topo,
+            keys,
+            keypair,
+            store: HashMap::new(),
+            locks: HashMap::new(),
+            pending: HashMap::new(),
+            next_seq: 0,
+            next_exec: 0,
+            buffered: BTreeMap::new(),
+            early_decisions: HashMap::new(),
+            decided: HashSet::new(),
+        }
+    }
+
+    /// Load this partition's share of the initial data.
+    pub fn preload(&mut self, data: impl IntoIterator<Item = (Key, Value)>) {
+        for (k, v) in data {
+            if self.topo.partition_of(&k) == self.me.cluster {
+                self.store.insert(k, v);
+            }
+        }
+    }
+
+    pub fn key_count(&self) -> usize {
+        self.store.len()
+    }
+
+    fn is_leader(&self) -> bool {
+        self.me.index == 0
+    }
+
+    fn local_reads<'a>(&'a self, txn: &'a AugTxn) -> impl Iterator<Item = &'a Key> {
+        txn.reads
+            .iter()
+            .filter(move |k| self.topo.partition_of(k) == self.me.cluster)
+    }
+
+    fn local_writes<'a>(&'a self, txn: &'a AugTxn) -> impl Iterator<Item = (&'a Key, &'a Value)> {
+        txn.writes
+            .iter()
+            .filter(move |(k, _)| self.topo.partition_of(k) == self.me.cluster)
+            .map(|(k, v)| (k, v))
+    }
+
+    /// Try to acquire all local locks. Returns `Err(blocking_txn)` on
+    /// the first conflict (nothing is retained on failure).
+    fn try_lock(&mut self, txn: &AugTxn) -> Result<(), TxnId> {
+        // Check phase (no mutation).
+        for key in txn.reads.iter() {
+            if self.topo.partition_of(key) != self.me.cluster {
+                continue;
+            }
+            if let Some(lock) = self.locks.get(key) {
+                if let Some(writer) = lock.writer {
+                    if writer != txn.id {
+                        return Err(writer);
+                    }
+                }
+            }
+        }
+        for (key, _) in txn.writes.iter() {
+            if self.topo.partition_of(key) != self.me.cluster {
+                continue;
+            }
+            if let Some(lock) = self.locks.get(key) {
+                if let Some(writer) = lock.writer {
+                    if writer != txn.id {
+                        return Err(writer);
+                    }
+                }
+                if let Some(reader) = lock.readers.iter().find(|r| **r != txn.id) {
+                    return Err(*reader);
+                }
+            }
+        }
+        // Acquire phase.
+        let reads: Vec<Key> = self.local_reads(txn).cloned().collect();
+        for key in reads {
+            self.locks.entry(key).or_default().readers.insert(txn.id);
+        }
+        let writes: Vec<Key> = self.local_writes(txn).map(|(k, _)| k.clone()).collect();
+        for key in writes {
+            self.locks.entry(key).or_default().writer = Some(txn.id);
+        }
+        Ok(())
+    }
+
+    fn release_locks(&mut self, txn: &AugTxn) {
+        for key in txn.reads.iter().chain(txn.writes.iter().map(|(k, _)| k)) {
+            if let Some(lock) = self.locks.get_mut(key) {
+                lock.readers.remove(&txn.id);
+                if lock.writer == Some(txn.id) {
+                    lock.writer = None;
+                }
+                if lock.readers.is_empty() && lock.writer.is_none() {
+                    self.locks.remove(key);
+                }
+            }
+        }
+    }
+
+    /// Is the blocking transaction a read-only one? (Table 1
+    /// attribution.)
+    fn blocker_is_read_only(&self, blocker: TxnId) -> bool {
+        self.pending
+            .get(&blocker)
+            .map_or(false, |p| p.txn.is_read_only())
+    }
+
+    /// Execute one sequenced transaction: lock, read, vote.
+    fn execute(&mut self, txn: AugTxn, client: NodeId, ctx: &mut Context<'_, AugMsg>) {
+        ctx.charge(|c| {
+            SimDuration(c.conflict_check_per_op.0 * (txn.reads.len() + txn.writes.len()) as u64)
+        });
+        let lock_result = self.try_lock(&txn);
+        let (commit, blocked_by_read_only) = match lock_result {
+            Ok(()) => (true, false),
+            Err(blocker) => (false, self.blocker_is_read_only(blocker)),
+        };
+        let reads: Vec<(Key, Option<Value>)> = if commit {
+            self.local_reads(&txn)
+                .map(|k| (k.clone(), self.store.get(k).cloned()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if commit {
+            // Decision may have raced ahead of execution (retries).
+            if let Some(decision) = self.early_decisions.remove(&txn.id) {
+                self.conclude(&txn, decision);
+            } else {
+                self.pending.insert(
+                    txn.id,
+                    PendingTxn {
+                        txn: txn.clone(),
+                        client,
+                    },
+                );
+            }
+        }
+        let digest = reads_digest(&reads);
+        let stmt = vote_statement(txn.id, self.me.cluster, commit, &digest);
+        ctx.charge(|c| c.ed25519_sign);
+        let sig = self.keypair.sign(&stmt);
+        ctx.send(
+            client,
+            AugMsg::Vote {
+                txn: txn.id,
+                partition: self.me.cluster,
+                replica: self.me,
+                commit,
+                blocked_by_read_only,
+                reads,
+                sig,
+            },
+        );
+    }
+
+    fn conclude(&mut self, txn: &AugTxn, commit: bool) {
+        if commit {
+            let writes: Vec<(Key, Value)> = self
+                .local_writes(txn)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            for (k, v) in writes {
+                self.store.insert(k, v);
+            }
+        }
+        self.release_locks(txn);
+    }
+
+    fn drain_buffered(&mut self, ctx: &mut Context<'_, AugMsg>) {
+        while let Some((&seq, _)) = self.buffered.iter().next() {
+            if seq != self.next_exec {
+                break;
+            }
+            let (txn, client) = self.buffered.remove(&seq).unwrap();
+            self.next_exec += 1;
+            self.execute(txn, client, ctx);
+        }
+    }
+}
+
+impl Actor<AugMsg> for AugustusReplica {
+    fn on_message(&mut self, from: NodeId, msg: AugMsg, ctx: &mut Context<'_, AugMsg>) {
+        match msg {
+            AugMsg::Submit { txn } => {
+                if !self.is_leader() {
+                    // Forward to the leader.
+                    ctx.send(
+                        NodeId::Replica(ReplicaId::new(self.me.cluster, 0)),
+                        AugMsg::Submit { txn },
+                    );
+                    return;
+                }
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                // Sequence to every replica including self.
+                for r in self.topo.replicas_of(self.me.cluster) {
+                    if r != self.me {
+                        ctx.send(
+                            NodeId::Replica(r),
+                            AugMsg::Ordered {
+                                seq,
+                                txn: txn.clone(),
+                            },
+                        );
+                    }
+                }
+                self.buffered.insert(seq, (txn, from));
+                self.drain_buffered(ctx);
+            }
+            AugMsg::Ordered { seq, txn } => {
+                // Sequenced by the leader; the client address rides on
+                // the transaction id.
+                let client = NodeId::Client(txn.id.client);
+                self.buffered.insert(seq, (txn, client));
+                self.drain_buffered(ctx);
+            }
+            AugMsg::Decision { txn, commit } => {
+                if !self.is_leader() {
+                    ctx.send(
+                        NodeId::Replica(ReplicaId::new(self.me.cluster, 0)),
+                        AugMsg::Decision { txn, commit },
+                    );
+                    return;
+                }
+                for r in self.topo.replicas_of(self.me.cluster) {
+                    if r != self.me {
+                        ctx.send(NodeId::Replica(r), AugMsg::OrderedDecision { txn, commit });
+                    }
+                }
+                self.apply_decision(txn, commit, ctx);
+            }
+            AugMsg::OrderedDecision { txn, commit } => {
+                self.apply_decision(txn, commit, ctx);
+            }
+            AugMsg::Vote { .. } | AugMsg::DecisionAck { .. } => {
+                // Client-bound; ignore at replicas.
+            }
+        }
+        let _ = from;
+    }
+}
+
+impl AugustusReplica {
+    fn apply_decision(&mut self, txn_id: TxnId, commit: bool, ctx: &mut Context<'_, AugMsg>) {
+        if self.decided.contains(&txn_id) {
+            return;
+        }
+        match self.pending.remove(&txn_id) {
+            Some(p) => {
+                self.decided.insert(txn_id);
+                ctx.charge(|c| {
+                    SimDuration(c.txn_apply.0 * p.txn.writes.len().max(1) as u64)
+                });
+                self.conclude(&p.txn, commit);
+                ctx.send(
+                    p.client,
+                    AugMsg::DecisionAck {
+                        txn: txn_id,
+                        partition: self.me.cluster,
+                        replica: self.me,
+                    },
+                );
+            }
+            None => {
+                // Either this replica voted abort (nothing pending) or
+                // the decision raced ahead of the ordered execution.
+                // Remember it for the latter case — and acknowledge
+                // either way so the client can terminate: an aborting
+                // replica has nothing to undo, and a commit decision
+                // implies 2f+1 replicas hold the state.
+                self.early_decisions.insert(txn_id, commit);
+                ctx.send(
+                    NodeId::Client(txn_id.client),
+                    AugMsg::DecisionAck {
+                        txn: txn_id,
+                        partition: self.me.cluster,
+                        replica: self.me,
+                    },
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Behavioural tests for the Augustus baseline: commits, vote quorums,
+//! and — the property Table 1 measures — read-only transactions
+//! aborting conflicting writers.
+
+use transedge_baselines::augustus::AugustusDeployment;
+use transedge_common::{ClusterId, ClusterTopology, Key, SimTime, Value};
+use transedge_core::client::ClientOp;
+use transedge_core::metrics::OpKind;
+use transedge_core::setup::DeploymentConfig;
+
+fn keys_on(topo: &ClusterTopology, cluster: ClusterId, count: usize, skip: usize) -> Vec<Key> {
+    (0u32..10_000)
+        .map(Key::from_u32)
+        .filter(|k| topo.partition_of(k) == cluster)
+        .skip(skip)
+        .take(count)
+        .collect()
+}
+
+fn limit() -> SimTime {
+    SimTime(60_000_000)
+}
+
+#[test]
+fn single_partition_rw_commits() {
+    let config = DeploymentConfig::for_testing();
+    let topo = config.topo.clone();
+    let k = keys_on(&topo, ClusterId(0), 2, 0);
+    let ops = vec![ClientOp::ReadWrite {
+        reads: vec![k[0].clone()],
+        writes: vec![(k[1].clone(), Value::from("x"))],
+    }];
+    let mut dep = AugustusDeployment::build(config, vec![ops]);
+    dep.run_until_done(limit());
+    let samples = dep.samples();
+    assert_eq!(samples.len(), 1);
+    assert!(samples[0].committed);
+}
+
+#[test]
+fn cross_partition_rot_commits() {
+    let config = DeploymentConfig::for_testing();
+    let topo = config.topo.clone();
+    let k0 = keys_on(&topo, ClusterId(0), 1, 0);
+    let k1 = keys_on(&topo, ClusterId(1), 1, 0);
+    let ops = vec![ClientOp::ReadOnly {
+        keys: vec![k0[0].clone(), k1[0].clone()],
+    }];
+    let mut dep = AugustusDeployment::build(config, vec![ops]);
+    dep.run_until_done(limit());
+    let samples = dep.samples();
+    assert_eq!(samples.len(), 1);
+    assert!(samples[0].committed);
+    assert_eq!(samples[0].kind, OpKind::ReadOnly);
+}
+
+#[test]
+fn sequential_writes_are_visible() {
+    let config = DeploymentConfig::for_testing();
+    let topo = config.topo.clone();
+    let k = keys_on(&topo, ClusterId(0), 1, 3);
+    let ops = vec![
+        ClientOp::ReadWrite {
+            reads: vec![],
+            writes: vec![(k[0].clone(), Value::from("written"))],
+        },
+        ClientOp::ReadOnly {
+            keys: vec![k[0].clone()],
+        },
+    ];
+    let mut dep = AugustusDeployment::build(config, vec![ops]);
+    dep.run_until_done(limit());
+    let samples = dep.samples();
+    assert_eq!(samples.len(), 2);
+    assert!(samples.iter().all(|s| s.committed));
+}
+
+#[test]
+fn rot_locks_abort_conflicting_writer() {
+    // One client runs a large multi-partition ROT (holds read locks
+    // across the vote+decision round-trip); another tries to write one
+    // of those keys concurrently. Under lock-based reads with
+    // first-committer-wins, at least one of the two must abort — and
+    // when the writer aborts, the abort is attributed to the ROT.
+    // Run with real latencies so the lock window is wide.
+    let mut config = DeploymentConfig::for_testing();
+    config.latency = transedge_simnet::LatencyModel::paper_default();
+    let topo = config.topo.clone();
+    let k0 = keys_on(&topo, ClusterId(0), 8, 0);
+    let k1 = keys_on(&topo, ClusterId(1), 8, 0);
+    let rot_keys: Vec<Key> = k0.iter().chain(k1.iter()).cloned().collect();
+    // Repeat the pattern several times so interference is likely.
+    let reader_ops: Vec<ClientOp> = (0..30)
+        .map(|_| ClientOp::ReadOnly {
+            keys: rot_keys.clone(),
+        })
+        .collect();
+    // Single-partition writes: the writer's cycle period differs from
+    // the reader's, so their phases sweep through each other and
+    // collisions with the read-lock window are guaranteed.
+    let writer_ops: Vec<ClientOp> = (0..60)
+        .map(|i| ClientOp::ReadWrite {
+            reads: vec![],
+            writes: vec![(k0[i % 8].clone(), Value::from("w0"))],
+        })
+        .collect();
+    let mut dep = AugustusDeployment::build(config, vec![reader_ops, writer_ops]);
+    dep.run_until_done(SimTime(300_000_000));
+    let samples = dep.samples();
+    let aborted = samples.iter().filter(|s| !s.committed).count();
+    assert!(
+        aborted > 0,
+        "lock-based reads must cause aborts under contention"
+    );
+    assert!(
+        dep.rw_aborts_caused_by_rot() > 0,
+        "some write aborts must be attributed to read-only lock holders"
+    );
+}
+
+#[test]
+fn non_conflicting_concurrent_clients_all_commit() {
+    let config = DeploymentConfig::for_testing();
+    let topo = config.topo.clone();
+    let k0 = keys_on(&topo, ClusterId(0), 8, 10);
+    let mut scripts = Vec::new();
+    for c in 0..4usize {
+        scripts.push(vec![ClientOp::ReadWrite {
+            reads: vec![],
+            writes: vec![(k0[c].clone(), Value::from("v"))],
+        }]);
+    }
+    let mut dep = AugustusDeployment::build(config, scripts);
+    dep.run_until_done(limit());
+    let samples = dep.samples();
+    assert_eq!(samples.len(), 4);
+    assert!(samples.iter().all(|s| s.committed));
+}

@@ -1,0 +1,58 @@
+//! **Figure 7** — latency of *long-running* read-only transactions
+//! (250–2000 read operations) with concurrent read-write traffic,
+//! TransEdge vs Augustus.
+//!
+//! Paper result: both grow with read-set size; Augustus grows steeper
+//! (shared-lock coordination) — up to ~600 ms at 2000 reads vs
+//! TransEdge staying well below.
+
+use transedge_bench::support::*;
+use transedge_core::metrics::OpKind;
+use transedge_workload::WorkloadSpec;
+
+fn main() {
+    let scale = Scale::detect();
+    banner(
+        "Figure 7",
+        "long-running ROT latency vs read-set size (with RW traffic)",
+        scale,
+    );
+    let sizes: Vec<usize> = if scale.full {
+        vec![250, 500, 750, 1000, 1250, 1500, 1750, 2000]
+    } else {
+        vec![250, 500, 1000, 2000]
+    };
+    let rot_clients = scale.pick(4, 10);
+    let rot_ops = scale.pick(6, 20);
+    let rw_clients = scale.pick(4, 10);
+    let rw_ops = scale.pick(10, 40);
+    header(&["reads/ROT", "TransEdge", "Augustus", "Aug/TE"]);
+    for &size in &sizes {
+        let config = experiment_config(scale);
+        let rot_spec = WorkloadSpec::read_only(config.topo.clone(), size, 5);
+        let rw_spec = WorkloadSpec::distributed_rw(config.topo.clone(), 5, 3);
+        let mut scripts = split_clients(
+            rot_spec.generate(rot_clients * rot_ops, 80 + size as u64),
+            rot_clients,
+        );
+        scripts.extend(split_clients(
+            rw_spec.generate(rw_clients * rw_ops, 81 + size as u64),
+            rw_clients,
+        ));
+        let te = run_system(System::TransEdge, experiment_config(scale), scripts.clone());
+        let aug = run_system(System::Augustus, experiment_config(scale), scripts);
+        let te_ms = te.summary(Some(OpKind::ReadOnly)).mean_latency_ms;
+        let aug_ms = aug.summary(Some(OpKind::ReadOnly)).mean_latency_ms;
+        row(&[
+            size.to_string(),
+            fmt_ms(te_ms),
+            fmt_ms(aug_ms),
+            format!("{:.2}x", aug_ms / te_ms.max(1e-9)),
+        ]);
+    }
+    paper_reference(&[
+        "Both systems grow with read-set size",
+        "Augustus grows steeper, reaching ~600 ms at 2000 reads",
+        "TransEdge stays below Augustus throughout (no locks, no votes)",
+    ]);
+}

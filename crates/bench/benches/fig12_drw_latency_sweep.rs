@@ -1,0 +1,55 @@
+//! **Figure 12** — distributed read-write throughput as inter-cluster
+//! latency grows (0–500 ms added one-way).
+//!
+//! Paper result: throughput collapses with added latency — 2PC's
+//! multiple wide-area rounds pay the full cost, unlike the read-only
+//! path of Figure 8.
+
+use transedge_bench::support::*;
+use transedge_common::SimDuration;
+use transedge_core::metrics::OpKind;
+use transedge_workload::WorkloadSpec;
+
+fn main() {
+    let scale = Scale::detect();
+    banner(
+        "Figure 12",
+        "distributed RW throughput vs added inter-cluster latency",
+        scale,
+    );
+    let latencies_ms: Vec<u64> = if scale.full {
+        vec![0, 20, 70, 150, 300, 500]
+    } else {
+        vec![0, 70, 300]
+    };
+    let batch_sizes: Vec<usize> = if scale.full {
+        vec![900, 2000, 2500, 3500]
+    } else {
+        vec![60, 240]
+    };
+    let clients = scale.pick(24, 96);
+    let ops_per_client = scale.pick(4, 10);
+    let mut cols = vec!["latency".to_string()];
+    cols.extend(batch_sizes.iter().map(|b| format!("batch {b}")));
+    header(&cols.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for &extra in &latencies_ms {
+        let mut cells = vec![format!("+{extra} ms")];
+        for &batch in &batch_sizes {
+            let mut config = experiment_config(scale);
+            config.node.max_batch_size = batch;
+            config.latency = config
+                .latency
+                .with_extra_inter_cluster(SimDuration::from_millis(extra));
+            let spec = WorkloadSpec::distributed_rw(config.topo.clone(), 5, 3);
+            let ops = spec.generate(clients * ops_per_client, 120 + extra + batch as u64);
+            let r = run_system(System::TransEdge, config, split_clients(ops, clients));
+            cells.push(fmt_tps(r.throughput(Some(OpKind::DistributedReadWrite))));
+        }
+        row(&cells);
+    }
+    paper_reference(&[
+        "~6–7k TPS at +0 ms collapsing toward ~0.5k at +500 ms",
+        "all batch sizes collapse together (2PC rounds dominate)",
+        "contrast with Figure 8: read-only throughput degrades far less",
+    ]);
+}

@@ -1,0 +1,60 @@
+//! **Figure 14** — throughput as the workload shifts from 100% local
+//! read-write transactions (LRWT) to 100% distributed read-write
+//! transactions (DRWT), for several batch sizes.
+//!
+//! Paper result: the 100% local workload is by far the fastest (no
+//! cross-cluster coordination at all); throughput falls monotonically
+//! as the distributed share grows.
+
+use transedge_bench::support::*;
+use transedge_workload::{Mix, WorkloadSpec};
+
+fn main() {
+    let scale = Scale::detect();
+    banner(
+        "Figure 14",
+        "throughput vs LRWT/DRWT ratio and batch size",
+        scale,
+    );
+    let ratios: Vec<u8> = if scale.full {
+        vec![0, 20, 40, 60, 80, 100]
+    } else {
+        vec![0, 50, 100]
+    };
+    let batch_sizes: Vec<usize> = if scale.full {
+        vec![1000, 1500, 2000, 2500, 3000, 3500]
+    } else {
+        vec![60, 240]
+    };
+    let clients = scale.pick(48, 192);
+    let ops_per_client = scale.pick(4, 8);
+    let mut cols = vec!["LRWT %".to_string()];
+    cols.extend(batch_sizes.iter().map(|b| format!("batch {b}")));
+    header(&cols.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for &local_pct in &ratios {
+        let mut cells = vec![format!("{local_pct} %")];
+        for &batch in &batch_sizes {
+            let mut config = experiment_config(scale);
+            config.node.max_batch_size = batch;
+            let mut spec = WorkloadSpec::paper_default(config.topo.clone());
+            spec.mix = Mix {
+                read_only_pct: 0,
+                local_rw_pct: local_pct,
+                distributed_rw_pct: 100 - local_pct,
+                write_only_pct: 0,
+            };
+            let ops = spec.generate(
+                clients * ops_per_client,
+                140 + local_pct as u64 + batch as u64,
+            );
+            let r = run_system(System::TransEdge, config, split_clients(ops, clients));
+            cells.push(fmt_tps(r.throughput(None)));
+        }
+        row(&cells);
+    }
+    paper_reference(&[
+        "LRWT=100%, DRWT=0% is the clear maximum (~40k TPS)",
+        "throughput falls monotonically as the distributed share grows",
+        "LRWT=0%, DRWT=100% is the minimum (full 2PC cost on every txn)",
+    ]);
+}

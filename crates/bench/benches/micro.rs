@@ -1,0 +1,140 @@
+//! Criterion micro-benchmarks.
+//!
+//! These calibrate `transedge_simnet::CostModel` (see its module docs):
+//! the simulator charges per-operation CPU costs taken from these
+//! numbers, so the throughput figures inherit real relative costs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use transedge_common::{BatchNum, ClusterId, ClusterTopology, Epoch, Key, TxnId, Value};
+use transedge_core::batch::{CdVector, ReadOp, Transaction, WriteOp};
+use transedge_core::conflict::{admit, Footprint};
+use transedge_crypto::merkle::{value_digest, verify_proof};
+use transedge_crypto::{sha256, Keypair, MerkleTree, VersionedMerkleTree};
+use transedge_storage::VersionedStore;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    g.sample_size(30);
+    let data_1k = vec![0xA5u8; 1024];
+    g.bench_function("sha256_1KiB", |b| b.iter(|| sha256(&data_1k)));
+    let kp = Keypair::from_seed([7; 32]);
+    let msg = b"cost model calibration message";
+    g.bench_function("ed25519_sign", |b| b.iter(|| kp.sign(msg)));
+    let sig = kp.sign(msg);
+    g.bench_function("ed25519_verify", |b| {
+        b.iter(|| assert!(kp.public().verify(msg, &sig)))
+    });
+    g.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merkle");
+    g.sample_size(20);
+    let vh = value_digest(&Value::filled(256, 1));
+    // A populated depth-20 tree (paper-scale shape at reduced fill).
+    let mut tree = MerkleTree::with_depth(20);
+    for i in 0..50_000u32 {
+        tree.insert(&Key::from_u32(i), vh);
+    }
+    g.bench_function("insert_depth20", |b| {
+        let mut i = 1_000_000u32;
+        b.iter(|| {
+            i += 1;
+            tree.insert(&Key::from_u32(i), vh)
+        })
+    });
+    g.bench_function("prove_depth20", |b| b.iter(|| tree.prove(&Key::from_u32(77))));
+    let proof = tree.prove(&Key::from_u32(77));
+    let root = tree.root();
+    g.bench_function("verify_proof_depth20", |b| {
+        b.iter(|| verify_proof(&root, 20, &Key::from_u32(77), &proof).unwrap())
+    });
+    // Batched update, the per-batch path on replicas.
+    g.bench_function("versioned_apply_1000keys", |b| {
+        b.iter_batched(
+            || {
+                let mut vt = VersionedMerkleTree::with_depth(20);
+                let keys: Vec<Key> = (0..10_000u32).map(Key::from_u32).collect();
+                vt.apply_batch(0, keys.iter().map(|k| (k, vh)));
+                vt
+            },
+            |mut vt| {
+                let keys: Vec<Key> = (0..1000u32).map(Key::from_u32).collect();
+                vt.apply_batch(1, keys.iter().map(|k| (k, vh)));
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol");
+    g.sample_size(30);
+    let topo = ClusterTopology::new(1, 1).unwrap();
+    let cluster = ClusterId(0);
+    // OCC admission against a populated store and busy footprints.
+    let mut store = VersionedStore::new();
+    for i in 0..10_000u32 {
+        store.write(Key::from_u32(i), Value::filled(64, 1), BatchNum(0));
+    }
+    let mut in_progress = Footprint::new();
+    let mut rng = SmallRng::seed_from_u64(5);
+    use rand::Rng;
+    for t in 0..500 {
+        let txn = Transaction {
+            id: TxnId::new(transedge_common::ClientId(0), t),
+            reads: vec![],
+            writes: (0..3)
+                .map(|_| WriteOp {
+                    key: Key::from_u32(rng.gen_range(0..10_000)),
+                    value: Value::filled(64, 2),
+                })
+                .collect(),
+        };
+        in_progress.absorb(&txn, &topo, Some(cluster));
+    }
+    let prepared = Footprint::new();
+    let candidate = Transaction {
+        id: TxnId::new(transedge_common::ClientId(1), 1),
+        reads: (0..5)
+            .map(|i| ReadOp {
+                key: Key::from_u32(9_000 + i),
+                version: Epoch(0),
+            })
+            .collect(),
+        writes: (0..3)
+            .map(|i| WriteOp {
+                key: Key::from_u32(9_500 + i),
+                value: Value::filled(64, 3),
+            })
+            .collect(),
+    };
+    g.bench_function("occ_admit_5r3w", |b| {
+        b.iter(|| admit(&candidate, &store, &in_progress, &prepared, &topo, cluster))
+    });
+    // CD-vector derivation primitive.
+    let mut a = CdVector::new(5);
+    let mut bvec = CdVector::new(5);
+    for i in 0..5 {
+        a.set(ClusterId(i), Epoch(i as i64 * 10));
+        bvec.set(ClusterId(i), Epoch(50 - i as i64 * 10));
+    }
+    g.bench_function("cd_pairwise_max", |b| {
+        b.iter(|| {
+            let mut x = a.clone();
+            x.pairwise_max(&bvec);
+            x
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_crypto, bench_merkle, bench_protocol
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+use std::time::Instant;
+use transedge_crypto::{Keypair, sha256};
+
+fn main() {
+    let kp = Keypair::from_seed([1; 32]);
+    let msg = b"calibration message for timing";
+    let t = Instant::now();
+    let n = 200;
+    let mut sigs = Vec::new();
+    for i in 0..n { sigs.push(kp.sign(&[msg.as_slice(), &[i as u8]].concat())); }
+    println!("sign:   {:?}/op", t.elapsed() / n);
+    let t = Instant::now();
+    for (i, s) in sigs.iter().enumerate() {
+        assert!(kp.public().verify(&[msg.as_slice(), &[i as u8]].concat(), s));
+    }
+    println!("verify: {:?}/op", t.elapsed() / n);
+    let t = Instant::now();
+    let data = vec![0u8; 1024];
+    for _ in 0..10000 { std::hint::black_box(sha256(&data)); }
+    println!("sha256-1KiB: {:?}/op", t.elapsed() / 10000);
+}

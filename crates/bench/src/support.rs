@@ -1,0 +1,192 @@
+//! Shared experiment-harness plumbing: scale selection, system runners,
+//! and table printing.
+
+use transedge_baselines::augustus::AugustusDeployment;
+use transedge_baselines::build_two_pc_bft;
+use transedge_common::{SimDuration, SimTime};
+use transedge_core::client::ClientOp;
+use transedge_core::metrics::{summarize, OpKind, Summary, TxnSample};
+use transedge_core::setup::{Deployment, DeploymentConfig};
+
+/// Which system executes a workload.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum System {
+    TransEdge,
+    TwoPcBft,
+    Augustus,
+}
+
+impl System {
+    pub fn name(&self) -> &'static str {
+        match self {
+            System::TransEdge => "TransEdge",
+            System::TwoPcBft => "2PC/BFT",
+            System::Augustus => "Augustus",
+        }
+    }
+}
+
+/// Experiment scale, chosen by the `REPRO_FULL` environment variable.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    pub full: bool,
+}
+
+impl Scale {
+    pub fn detect() -> Scale {
+        Scale {
+            full: std::env::var("REPRO_FULL").map_or(false, |v| v == "1"),
+        }
+    }
+
+    /// Pick between a quick and a full value.
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        if self.full {
+            full
+        } else {
+            quick
+        }
+    }
+
+    pub fn n_keys(&self) -> u32 {
+        self.pick(10_000, 1_000_000)
+    }
+}
+
+/// Outcome of one experiment run.
+pub struct RunResult {
+    pub samples: Vec<TxnSample>,
+    /// Measurement window (first sample start → last sample end).
+    pub window: SimDuration,
+    /// Augustus only: read-write aborts attributed to read-only locks.
+    pub rw_aborts_by_rot: u64,
+}
+
+impl RunResult {
+    pub fn summary(&self, kind: Option<OpKind>) -> Summary {
+        summarize(&self.samples, kind)
+    }
+
+    pub fn throughput(&self, kind: Option<OpKind>) -> f64 {
+        transedge_core::metrics::throughput_tps(&self.samples, kind, self.window)
+    }
+
+    pub fn abort_percent(&self, kind: Option<OpKind>) -> f64 {
+        transedge_core::metrics::abort_percent(&self.samples, kind)
+    }
+
+    fn from_samples(samples: Vec<TxnSample>, rw_aborts_by_rot: u64) -> RunResult {
+        let window = match (
+            samples.iter().map(|s| s.start).min(),
+            samples.iter().map(|s| s.end).max(),
+        ) {
+            (Some(a), Some(b)) => b.saturating_since(a),
+            _ => SimDuration::ZERO,
+        };
+        RunResult {
+            samples,
+            window,
+            rw_aborts_by_rot,
+        }
+    }
+}
+
+/// Default wall limit for a run (simulated time).
+pub fn sim_limit() -> SimTime {
+    SimTime(3_600_000_000) // one simulated hour, a generous ceiling
+}
+
+/// Execute `client_ops` on the chosen system and collect samples.
+pub fn run_system(
+    system: System,
+    config: DeploymentConfig,
+    client_ops: Vec<Vec<ClientOp>>,
+) -> RunResult {
+    match system {
+        System::TransEdge => {
+            let mut dep = Deployment::build(config, client_ops);
+            dep.run_until_done(sim_limit());
+            RunResult::from_samples(dep.samples(), 0)
+        }
+        System::TwoPcBft => {
+            let mut dep = build_two_pc_bft(config, client_ops);
+            dep.run_until_done(sim_limit());
+            RunResult::from_samples(dep.samples(), 0)
+        }
+        System::Augustus => {
+            let mut dep = AugustusDeployment::build(config, client_ops);
+            dep.run_until_done(sim_limit());
+            let aborts = dep.rw_aborts_caused_by_rot();
+            RunResult::from_samples(dep.samples(), aborts)
+        }
+    }
+}
+
+/// Split a flat op list round-robin over `n` clients.
+pub fn split_clients(ops: Vec<ClientOp>, n: usize) -> Vec<Vec<ClientOp>> {
+    let mut scripts: Vec<Vec<ClientOp>> = vec![Vec::new(); n];
+    for (i, op) in ops.into_iter().enumerate() {
+        scripts[i % n].push(op);
+    }
+    scripts
+}
+
+// ---------------------------------------------------------------------
+// Report printing
+// ---------------------------------------------------------------------
+
+/// Print an experiment banner.
+pub fn banner(id: &str, caption: &str, scale: Scale) {
+    println!();
+    println!("=== {id} — {caption} ===");
+    println!(
+        "    mode: {} (REPRO_FULL={} for paper scale)",
+        if scale.full { "FULL" } else { "quick" },
+        if scale.full { "1 ✓" } else { "1" }
+    );
+}
+
+/// Print one aligned table row.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    println!("  {}", line.join(" "));
+}
+
+pub fn header(cells: &[&str]) {
+    row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    println!("  {}", "-".repeat(15 * cells.len()));
+}
+
+pub fn fmt_ms(v: f64) -> String {
+    format!("{v:.2} ms")
+}
+
+pub fn fmt_tps(v: f64) -> String {
+    format!("{v:.0} tps")
+}
+
+pub fn fmt_pct(v: f64) -> String {
+    format!("{v:.2} %")
+}
+
+/// Print the paper's reference series for eyeball comparison.
+pub fn paper_reference(lines: &[&str]) {
+    println!("  paper reference:");
+    for l in lines {
+        println!("    {l}");
+    }
+}
+
+/// Standard experiment configuration: paper topology and latency model
+/// at full scale; a lighter cluster (f = 1) in quick mode so the whole
+/// suite finishes in minutes. The shape of every figure is preserved —
+/// `f` only scales quorum sizes uniformly.
+pub fn experiment_config(scale: Scale) -> DeploymentConfig {
+    use transedge_common::ClusterTopology;
+    let f = scale.pick(1, 2);
+    DeploymentConfig {
+        topo: ClusterTopology::new(5, f).expect("topology"),
+        n_keys: scale.pick(10_000, 1_000_000),
+        ..DeploymentConfig::default()
+    }
+}

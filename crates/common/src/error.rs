@@ -1,0 +1,62 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across all TransEdge crates.
+pub type Result<T, E = TransEdgeError> = std::result::Result<T, E>;
+
+/// Errors surfaced by TransEdge protocol code.
+///
+/// Protocol-level rejections (transaction aborts, unsatisfied
+/// dependencies) are *not* errors — they are ordinary outcomes carried
+/// in protocol types. Errors here mean a request cannot be interpreted
+/// or verified at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransEdgeError {
+    /// Malformed wire bytes.
+    Decode(String),
+    /// A cryptographic check failed (bad signature, wrong digest,
+    /// Merkle proof mismatch). In a byzantine setting this is evidence
+    /// of misbehaviour, not a bug.
+    Verification(String),
+    /// A quorum requirement could not be met from the supplied
+    /// signatures/votes.
+    QuorumNotMet { wanted: usize, got: usize },
+    /// Reference to an unknown cluster, replica or batch.
+    Unknown(String),
+    /// Configuration is internally inconsistent (e.g. replicas != 3f+1).
+    Config(String),
+    /// An operation was routed to a node that cannot serve it (e.g. a
+    /// commit request sent to a non-leader that refuses to forward).
+    WrongNode(String),
+}
+
+impl fmt::Display for TransEdgeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransEdgeError::Decode(m) => write!(f, "decode error: {m}"),
+            TransEdgeError::Verification(m) => write!(f, "verification failed: {m}"),
+            TransEdgeError::QuorumNotMet { wanted, got } => {
+                write!(f, "quorum not met: wanted {wanted}, got {got}")
+            }
+            TransEdgeError::Unknown(m) => write!(f, "unknown reference: {m}"),
+            TransEdgeError::Config(m) => write!(f, "bad configuration: {m}"),
+            TransEdgeError::WrongNode(m) => write!(f, "wrong node: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransEdgeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TransEdgeError::QuorumNotMet { wanted: 3, got: 1 };
+        assert_eq!(e.to_string(), "quorum not met: wanted 3, got 1");
+        let e = TransEdgeError::Verification("bad root".into());
+        assert!(e.to_string().contains("bad root"));
+    }
+}

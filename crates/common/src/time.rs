@@ -1,0 +1,198 @@
+//! Simulated time.
+//!
+//! The whole system runs under a discrete-event simulator
+//! (`transedge-simnet`), so "time" is a logical quantity measured in
+//! microseconds since simulation start. Keeping the types here (rather
+//! than in the simulator crate) lets protocol crates speak about
+//! timeouts and freshness windows without depending on the simulator.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use crate::wire::{Decode, Encode, WireReader, WireWriter};
+
+/// An instant in simulated time (microseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    #[inline]
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero (a byzantine
+    /// leader may stamp batches in the future; callers must not panic).
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+/// A span of simulated time (microseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    #[inline]
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Scale by a float factor (used for jitter); rounds to nearest µs.
+    #[inline]
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        SimDuration((self.0 as f64 * factor).round().max(0.0) as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics on negative spans; use [`SimTime::saturating_since`] when
+    /// the ordering is untrusted.
+    #[inline]
+    fn sub(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0 - earlier.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 + other.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, other: SimDuration) {
+        self.0 += other.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl Encode for SimTime {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.0);
+    }
+}
+
+impl Decode for SimTime {
+    fn decode(r: &mut WireReader<'_>) -> crate::Result<Self> {
+        Ok(SimTime(r.get_u64()?))
+    }
+}
+
+impl Encode for SimDuration {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.0);
+    }
+}
+
+impl Decode for SimDuration {
+    fn decode(r: &mut WireReader<'_>) -> crate::Result<Self> {
+        Ok(SimDuration(r.get_u64()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(1_000) + SimDuration::from_millis(2);
+        assert_eq!(t, SimTime(3_000));
+        assert_eq!(t - SimTime(1_000), SimDuration(2_000));
+        assert_eq!(SimDuration::from_secs(1).as_micros(), 1_000_000);
+    }
+
+    #[test]
+    fn saturating_since_handles_future_stamps() {
+        let early = SimTime(100);
+        let late = SimTime(500);
+        assert_eq!(late.saturating_since(early), SimDuration(400));
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        assert_eq!(SimDuration(100).mul_f64(1.5), SimDuration(150));
+        assert_eq!(SimDuration(3).mul_f64(0.5), SimDuration(2)); // 1.5 rounds to 2
+        assert_eq!(SimDuration(100).mul_f64(-1.0), SimDuration(0));
+    }
+
+    #[test]
+    fn display_in_millis() {
+        assert_eq!(SimTime(1_500).to_string(), "1.500ms");
+        assert_eq!(SimDuration::from_millis(70).to_string(), "70.000ms");
+    }
+}

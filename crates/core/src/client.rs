@@ -1,0 +1,848 @@
+//! The TransEdge client: OCC read-write transactions and the verified
+//! one-to-two-round read-only protocol.
+//!
+//! A client actor executes a scripted sequence of operations
+//! ([`ClientOp`]), one at a time (closed loop — the paper's "2 clients
+//! running 10 threads" maps to 20 such actors). For every response from
+//! an untrusted node it performs the full verification the paper
+//! requires: batch certificates (`f+1` signatures), Merkle inclusion /
+//! non-inclusion proofs against the certified root, dependency checking
+//! across partitions (Algorithm 2), and the freshness window.
+
+use std::collections::HashMap;
+
+use transedge_common::{
+    BatchNum, ClientId, ClusterId, ClusterTopology, Epoch, Key, NodeId, ReplicaId, SimDuration,
+    SimTime, TxnId, Value,
+};
+use transedge_crypto::merkle::{value_digest, verify_proof, Verified};
+use transedge_crypto::{Digest, KeyStore};
+use transedge_simnet::{Actor, Context};
+
+use crate::batch::{Batch, BatchHeader, ReadOp, Transaction, WriteOp};
+use crate::deps::{verify_dependencies, RotView};
+use crate::messages::{NetMsg, RotValue};
+use crate::metrics::{OpKind, TxnSample};
+
+/// One scripted client operation.
+#[derive(Clone, Debug)]
+pub enum ClientOp {
+    /// Read `reads`, then buffer `writes` and commit.
+    ReadWrite {
+        reads: Vec<Key>,
+        writes: Vec<(Key, Value)>,
+    },
+    /// Snapshot read-only transaction over `keys`.
+    ReadOnly { keys: Vec<Key> },
+}
+
+/// Client-side configuration (verification parameters must match the
+/// deployment's `NodeConfig`).
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    pub tree_depth: u32,
+    pub freshness_window: SimDuration,
+    /// Re-send unanswered requests after this long.
+    pub retry_after: SimDuration,
+    /// Give up on an operation after this many retries.
+    pub max_retries: u32,
+    /// Keep full results (values read) for inspection by tests.
+    pub record_results: bool,
+    /// Baseline mode (the paper's "2PC/BFT" comparator, §3.5/§5):
+    /// execute read-only operations as ordinary read-write transactions
+    /// through BFT agreement and two-phase commit instead of the
+    /// commit-free snapshot protocol. Samples keep `OpKind::ReadOnly`
+    /// so harnesses compare like for like.
+    pub rot_via_2pc: bool,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            tree_depth: 16,
+            freshness_window: SimDuration::from_secs(30),
+            retry_after: SimDuration::from_millis(500),
+            max_retries: 20,
+            record_results: false,
+            rot_via_2pc: false,
+        }
+    }
+}
+
+/// Completed read-only transaction result (when `record_results`).
+#[derive(Clone, Debug)]
+pub struct RotResult {
+    pub values: Vec<(Key, Option<Value>)>,
+    /// `(partition, batch served)` per accessed partition.
+    pub snapshot: Vec<(ClusterId, BatchNum)>,
+    pub needed_round2: bool,
+}
+
+/// Completed read-write transaction result (when `record_results`).
+#[derive(Clone, Debug)]
+pub struct TxnOutcome {
+    pub txn: TxnId,
+    pub committed: bool,
+    /// Values observed during the read phase.
+    pub reads: Vec<(Key, Option<Value>)>,
+}
+
+enum Phase {
+    ReadPhase {
+        collected: HashMap<Key, (Option<Value>, Epoch)>,
+        /// req id → key, for retries.
+        outstanding: HashMap<u64, Key>,
+    },
+    CommitPhase {
+        txn: Transaction,
+        coordinator: ClusterId,
+    },
+    RotRound {
+        round: u8,
+        /// req id → cluster.
+        outstanding: HashMap<u64, ClusterId>,
+        /// Verified responses so far (latest per cluster).
+        responses: HashMap<ClusterId, (RotView, Vec<(Key, Option<Value>)>)>,
+        /// Keys per cluster (for round-2 re-requests).
+        keys_by_cluster: Vec<(ClusterId, Vec<Key>)>,
+        round1_done_at: Option<SimTime>,
+        /// Required minimum epoch per cluster in round 2.
+        required: HashMap<ClusterId, Epoch>,
+    },
+}
+
+struct Inflight {
+    op_index: usize,
+    kind: OpKind,
+    start: SimTime,
+    attempts: u32,
+    phase: Phase,
+}
+
+/// Aggregate client statistics beyond per-op samples.
+#[derive(Clone, Debug, Default)]
+pub struct ClientStats {
+    /// Responses that failed certificate / proof / freshness checks —
+    /// evidence of byzantine servers.
+    pub verification_failures: u64,
+    /// Would a third ROT round ever have been needed? (Theorem 4.6 says
+    /// never; tests assert this stays 0.)
+    pub third_round_needed: u64,
+    pub retries: u64,
+    pub gave_up: u64,
+}
+
+/// The client actor.
+pub struct ClientActor {
+    pub id: ClientId,
+    topo: ClusterTopology,
+    keys: KeyStore,
+    pub config: ClientConfig,
+    ops: Vec<ClientOp>,
+    next_op: usize,
+    inflight: Option<Inflight>,
+    next_req: u64,
+    next_txn_seq: u64,
+    /// Spread OCC reads over replicas.
+    read_rr: u64,
+    /// Writes buffered while the read phase runs.
+    pending_writes: Vec<(Key, Value)>,
+    pub samples: Vec<TxnSample>,
+    pub rot_results: Vec<RotResult>,
+    pub txn_outcomes: Vec<TxnOutcome>,
+    pub stats: ClientStats,
+}
+
+impl ClientActor {
+    pub fn new(
+        id: ClientId,
+        topo: ClusterTopology,
+        keys: KeyStore,
+        config: ClientConfig,
+        ops: Vec<ClientOp>,
+    ) -> Self {
+        ClientActor {
+            id,
+            topo,
+            keys,
+            config,
+            ops,
+            next_op: 0,
+            inflight: None,
+            next_req: 0,
+            next_txn_seq: 0,
+            read_rr: 0,
+            pending_writes: Vec::new(),
+            samples: Vec::new(),
+            rot_results: Vec::new(),
+            txn_outcomes: Vec::new(),
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// All scripted operations finished?
+    pub fn is_done(&self) -> bool {
+        self.inflight.is_none() && self.next_op >= self.ops.len()
+    }
+
+    fn req_id(&mut self) -> u64 {
+        self.next_req += 1;
+        self.next_req
+    }
+
+    fn leader_of(&self, cluster: ClusterId) -> NodeId {
+        // Clients assume replica 0 leads; replicas forward if views
+        // rotated.
+        NodeId::Replica(ReplicaId::new(cluster, 0))
+    }
+
+    fn any_replica_of(&mut self, cluster: ClusterId) -> NodeId {
+        let n = self.topo.replicas_per_cluster() as u64;
+        self.read_rr += 1;
+        NodeId::Replica(ReplicaId::new(cluster, (self.read_rr % n) as u16))
+    }
+
+    fn classify(&self, reads: &[Key], writes: &[(Key, Value)]) -> OpKind {
+        let mut parts: Vec<ClusterId> = reads
+            .iter()
+            .map(|k| self.topo.partition_of(k))
+            .chain(writes.iter().map(|(k, _)| self.topo.partition_of(k)))
+            .collect();
+        parts.sort_unstable();
+        parts.dedup();
+        if parts.len() > 1 {
+            OpKind::DistributedReadWrite
+        } else if reads.is_empty() {
+            OpKind::LocalWriteOnly
+        } else {
+            OpKind::LocalReadWrite
+        }
+    }
+
+    fn start_next_op(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        if self.inflight.is_some() || self.next_op >= self.ops.len() {
+            return;
+        }
+        let mut op = self.ops[self.next_op].clone();
+        let op_index = self.next_op;
+        self.next_op += 1;
+        // 2PC/BFT baseline: a read-only transaction is just a
+        // read-write transaction with an empty write set.
+        let mut forced_kind = None;
+        if self.config.rot_via_2pc {
+            if let ClientOp::ReadOnly { keys } = op {
+                forced_kind = Some(OpKind::ReadOnly);
+                op = ClientOp::ReadWrite {
+                    reads: keys,
+                    writes: vec![],
+                };
+            }
+        }
+        match op {
+            ClientOp::ReadWrite { reads, writes } => {
+                let kind = forced_kind.unwrap_or_else(|| self.classify(&reads, &writes));
+                let mut outstanding = HashMap::new();
+                for key in &reads {
+                    let req = self.req_id();
+                    let target = self.any_replica_of(self.topo.partition_of(key));
+                    outstanding.insert(req, key.clone());
+                    ctx.send(target, NetMsg::Read { req, key: key.clone() });
+                }
+                let inflight = Inflight {
+                    op_index,
+                    kind,
+                    start: ctx.now(),
+                    attempts: 0,
+                    phase: Phase::ReadPhase {
+                        collected: HashMap::new(),
+                        outstanding,
+                    },
+                };
+                // Write-only transactions skip straight to commit.
+                if reads.is_empty() {
+                    self.inflight = Some(inflight);
+                    self.enter_commit_phase(writes, ctx);
+                } else {
+                    // Stash writes for when reads complete.
+                    self.pending_writes = writes;
+                    self.inflight = Some(inflight);
+                }
+                ctx.set_timer(self.config.retry_after, op_index as u64 + TIMER_BASE);
+            }
+            ClientOp::ReadOnly { keys } => {
+                let mut by_cluster: HashMap<ClusterId, Vec<Key>> = HashMap::new();
+                for key in keys {
+                    by_cluster
+                        .entry(self.topo.partition_of(&key))
+                        .or_default()
+                        .push(key);
+                }
+                let mut keys_by_cluster: Vec<(ClusterId, Vec<Key>)> =
+                    by_cluster.into_iter().collect();
+                keys_by_cluster.sort_by_key(|(c, _)| *c);
+                let mut outstanding = HashMap::new();
+                for (cluster, keys) in &keys_by_cluster {
+                    let req = self.req_id();
+                    outstanding.insert(req, *cluster);
+                    let target = self.leader_of(*cluster);
+                    ctx.send(
+                        target,
+                        NetMsg::RotRequest {
+                            req,
+                            keys: keys.clone(),
+                        },
+                    );
+                }
+                self.inflight = Some(Inflight {
+                    op_index,
+                    kind: OpKind::ReadOnly,
+                    start: ctx.now(),
+                    attempts: 0,
+                    phase: Phase::RotRound {
+                        round: 1,
+                        outstanding,
+                        responses: HashMap::new(),
+                        keys_by_cluster,
+                        round1_done_at: None,
+                        required: HashMap::new(),
+                    },
+                });
+                ctx.set_timer(self.config.retry_after, op_index as u64 + TIMER_BASE);
+            }
+        }
+    }
+
+    fn enter_commit_phase(&mut self, writes: Vec<(Key, Value)>, ctx: &mut Context<'_, NetMsg>) {
+        if self.inflight.is_none() {
+            return;
+        }
+        let collected = match &self.inflight.as_ref().unwrap().phase {
+            Phase::ReadPhase { collected, .. } => collected.clone(),
+            _ => HashMap::new(),
+        };
+        self.next_txn_seq += 1;
+        let txn = Transaction {
+            id: TxnId::new(self.id, self.next_txn_seq),
+            reads: collected
+                .iter()
+                .map(|(k, (_, version))| ReadOp {
+                    key: k.clone(),
+                    version: *version,
+                })
+                .collect(),
+            writes: writes
+                .iter()
+                .map(|(k, v)| WriteOp {
+                    key: k.clone(),
+                    value: v.clone(),
+                })
+                .collect(),
+        };
+        // Coordinator: the first accessed partition (§3.3.1 — the
+        // client picks one of the accessed clusters).
+        let coordinator = txn.partitions(&self.topo)[0];
+        if self.config.record_results {
+            self.txn_outcomes.push(TxnOutcome {
+                txn: txn.id,
+                committed: false,
+                reads: collected
+                    .iter()
+                    .map(|(k, (v, _))| (k.clone(), v.clone()))
+                    .collect(),
+            });
+        }
+        ctx.send(
+            self.leader_of(coordinator),
+            NetMsg::CommitRequest {
+                txn: txn.clone(),
+                reply_to: NodeId::Client(self.id),
+            },
+        );
+        self.inflight.as_mut().unwrap().phase = Phase::CommitPhase { txn, coordinator };
+    }
+
+    // ------------------------------------------------------------------
+    // Read-only verification
+    // ------------------------------------------------------------------
+
+    /// Verify a read-only response end to end. Returns the dependency
+    /// view and verified values, or `None` (counting a verification
+    /// failure).
+    fn verify_rot_response(
+        &mut self,
+        cluster: ClusterId,
+        header: &BatchHeader,
+        body_digest: &Digest,
+        cert: &transedge_consensus::Certificate,
+        values: &[RotValue],
+        expected_keys: &[Key],
+        now: SimTime,
+        ctx: &mut Context<'_, NetMsg>,
+    ) -> Option<(RotView, Vec<(Key, Option<Value>)>)> {
+        ctx.charge(|c| {
+            SimDuration(
+                c.ed25519_verify.0 * cert.sigs.len() as u64
+                    + c.merkle_verify.0 * values.len() as u64,
+            )
+        });
+        // 1. The header must be for the right partition.
+        if header.cluster != cluster {
+            self.stats.verification_failures += 1;
+            return None;
+        }
+        // 2. Certificate: f+1 replica signatures over the batch digest
+        //    recomputed from header + body digest.
+        let digest = Batch::digest_from_parts(header, body_digest);
+        let quorum = self.topo.certificate_quorum();
+        if cert.cluster != cluster
+            || cert.slot != header.num
+            || cert.digest != digest
+            || cert.verify(&self.keys, quorum).is_err()
+        {
+            self.stats.verification_failures += 1;
+            return None;
+        }
+        // 3. Freshness (§4.4.2).
+        let skew = now
+            .saturating_since(header.timestamp)
+            .max(header.timestamp.saturating_since(now));
+        if skew > self.config.freshness_window {
+            self.stats.verification_failures += 1;
+            return None;
+        }
+        // 4. Every requested key answered, with a valid proof.
+        let mut out = Vec::with_capacity(expected_keys.len());
+        for key in expected_keys {
+            let Some(rv) = values.iter().find(|v| &v.key == key) else {
+                self.stats.verification_failures += 1;
+                return None;
+            };
+            match verify_proof(&header.merkle_root, self.config.tree_depth, key, &rv.proof) {
+                Ok(Verified::Present(vh)) => match &rv.value {
+                    Some(value) if value_digest(value) == vh => {
+                        out.push((key.clone(), Some(value.clone())));
+                    }
+                    _ => {
+                        self.stats.verification_failures += 1;
+                        return None;
+                    }
+                },
+                Ok(Verified::Absent) => {
+                    if rv.value.is_some() {
+                        self.stats.verification_failures += 1;
+                        return None;
+                    }
+                    out.push((key.clone(), None));
+                }
+                Err(_) => {
+                    self.stats.verification_failures += 1;
+                    return None;
+                }
+            }
+        }
+        let view = RotView {
+            cluster,
+            batch: header.num,
+            cd: header.cd.clone(),
+            lce: header.lce,
+        };
+        Some((view, out))
+    }
+
+    fn on_rot_response(
+        &mut self,
+        req: u64,
+        header: BatchHeader,
+        body_digest: Digest,
+        cert: transedge_consensus::Certificate,
+        values: Vec<RotValue>,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        let now = ctx.now();
+        let Some(mut inflight) = self.inflight.take() else {
+            return;
+        };
+        let Phase::RotRound {
+            round,
+            mut outstanding,
+            mut responses,
+            keys_by_cluster,
+            mut round1_done_at,
+            mut required,
+        } = inflight.phase
+        else {
+            self.inflight = Some(inflight);
+            return;
+        };
+        let Some(cluster) = outstanding.get(&req).copied() else {
+            // Late duplicate from a previous round — ignore.
+            inflight.phase = Phase::RotRound {
+                round,
+                outstanding,
+                responses,
+                keys_by_cluster,
+                round1_done_at,
+                required,
+            };
+            self.inflight = Some(inflight);
+            return;
+        };
+        let expected_keys = keys_by_cluster
+            .iter()
+            .find(|(c, _)| *c == cluster)
+            .map(|(_, k)| k.clone())
+            .unwrap_or_default();
+        let verified = self.verify_rot_response(
+            cluster,
+            &header,
+            &body_digest,
+            &cert,
+            &values,
+            &expected_keys,
+            now,
+            ctx,
+        );
+        match verified {
+            Some((view, vals)) => {
+                // Round 2 responses must actually satisfy the epoch we
+                // asked for.
+                if let Some(min_epoch) = required.get(&cluster) {
+                    if round == 2 && view.lce < *min_epoch {
+                        self.stats.verification_failures += 1;
+                        // Leave outstanding; the retry timer re-asks.
+                        inflight.phase = Phase::RotRound {
+                            round,
+                            outstanding,
+                            responses,
+                            keys_by_cluster,
+                            round1_done_at,
+                            required,
+                        };
+                        self.inflight = Some(inflight);
+                        return;
+                    }
+                }
+                outstanding.remove(&req);
+                responses.insert(cluster, (view, vals));
+            }
+            None => {
+                // Verification failed: re-ask a different replica of the
+                // same cluster (byzantine server evasion).
+                let retry_req = self.req_id();
+                outstanding.remove(&req);
+                outstanding.insert(retry_req, cluster);
+                let target = self.any_replica_of(cluster);
+                let msg = if round == 1 {
+                    NetMsg::RotRequest {
+                        req: retry_req,
+                        keys: expected_keys,
+                    }
+                } else {
+                    NetMsg::RotFetch {
+                        req: retry_req,
+                        keys: expected_keys,
+                        min_epoch: required.get(&cluster).copied().unwrap_or(Epoch::NONE),
+                    }
+                };
+                ctx.send(target, msg);
+                inflight.phase = Phase::RotRound {
+                    round,
+                    outstanding,
+                    responses,
+                    keys_by_cluster,
+                    round1_done_at,
+                    required,
+                };
+                self.inflight = Some(inflight);
+                return;
+            }
+        }
+        if !outstanding.is_empty() {
+            inflight.phase = Phase::RotRound {
+                round,
+                outstanding,
+                responses,
+                keys_by_cluster,
+                round1_done_at,
+                required,
+            };
+            self.inflight = Some(inflight);
+            return;
+        }
+        // All clusters answered this round: check dependencies
+        // (Algorithm 2).
+        let views: Vec<RotView> = responses.values().map(|(v, _)| v.clone()).collect();
+        let unsatisfied = verify_dependencies(&views);
+        if unsatisfied.is_empty() {
+            // Done.
+            let needed_round2 = round > 1;
+            self.samples.push(TxnSample {
+                kind: OpKind::ReadOnly,
+                start: inflight.start,
+                end: now,
+                committed: true,
+                rot_round2: needed_round2,
+                round1_latency: Some(
+                    round1_done_at.unwrap_or(now).saturating_since(inflight.start),
+                ),
+            });
+            if self.config.record_results {
+                let mut all_values = Vec::new();
+                let mut snapshot = Vec::new();
+                for (cluster, (view, vals)) in &responses {
+                    snapshot.push((*cluster, view.batch));
+                    all_values.extend(vals.clone());
+                }
+                snapshot.sort_by_key(|(c, _)| *c);
+                self.rot_results.push(RotResult {
+                    values: all_values,
+                    snapshot,
+                    needed_round2,
+                });
+            }
+            self.inflight = None;
+            self.start_next_op(ctx);
+            return;
+        }
+        if round >= 2 {
+            // Theorem 4.6 says this cannot happen; count it loudly (a
+            // test asserts it stays zero) and satisfy it with another
+            // fetch round anyway.
+            self.stats.third_round_needed += 1;
+        }
+        if round1_done_at.is_none() {
+            round1_done_at = Some(now);
+        }
+        // Round 2: explicitly fetch the missing dependencies.
+        for (cluster, min_epoch) in unsatisfied {
+            let keys = keys_by_cluster
+                .iter()
+                .find(|(c, _)| *c == cluster)
+                .map(|(_, k)| k.clone())
+                .unwrap_or_default();
+            if keys.is_empty() {
+                continue; // dependency on a partition we did not read
+            }
+            let req = self.req_id();
+            outstanding.insert(req, cluster);
+            required.insert(cluster, min_epoch);
+            ctx.send(
+                self.leader_of(cluster),
+                NetMsg::RotFetch {
+                    req,
+                    keys,
+                    min_epoch,
+                },
+            );
+        }
+        // It is possible every unsatisfied dependency pointed at
+        // partitions outside the read set; re-check termination.
+        if outstanding.is_empty() {
+            self.samples.push(TxnSample {
+                kind: OpKind::ReadOnly,
+                start: inflight.start,
+                end: now,
+                committed: true,
+                rot_round2: true,
+                round1_latency: Some(
+                    round1_done_at.unwrap_or(now).saturating_since(inflight.start),
+                ),
+            });
+            self.inflight = None;
+            self.start_next_op(ctx);
+            return;
+        }
+        inflight.phase = Phase::RotRound {
+            round: 2,
+            outstanding,
+            responses,
+            keys_by_cluster,
+            round1_done_at,
+            required,
+        };
+        self.inflight = Some(inflight);
+    }
+
+    fn finish_rw(&mut self, txn: TxnId, committed: bool, ctx: &mut Context<'_, NetMsg>) {
+        let Some(inflight) = self.inflight.take() else {
+            return;
+        };
+        let Phase::CommitPhase { txn: ref t, .. } = inflight.phase else {
+            self.inflight = Some(inflight);
+            return;
+        };
+        if t.id != txn {
+            self.inflight = Some(inflight);
+            return;
+        }
+        self.samples.push(TxnSample {
+            kind: inflight.kind,
+            start: inflight.start,
+            end: ctx.now(),
+            committed,
+            rot_round2: false,
+            round1_latency: None,
+        });
+        if self.config.record_results {
+            if let Some(last) = self.txn_outcomes.last_mut() {
+                if last.txn == txn {
+                    last.committed = committed;
+                }
+            }
+        }
+        self.inflight = None;
+        self.start_next_op(ctx);
+    }
+}
+
+const TIMER_BASE: u64 = 1_000_000;
+
+impl Actor<NetMsg> for ClientActor {
+    fn on_start(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        self.start_next_op(ctx);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: NetMsg, ctx: &mut Context<'_, NetMsg>) {
+        match msg {
+            NetMsg::ReadResp {
+                req,
+                key,
+                value,
+                version,
+            } => {
+                let done = {
+                    let Some(inflight) = &mut self.inflight else {
+                        return;
+                    };
+                    let Phase::ReadPhase {
+                        collected,
+                        outstanding,
+                    } = &mut inflight.phase
+                    else {
+                        return;
+                    };
+                    if outstanding.remove(&req).is_none() {
+                        return;
+                    }
+                    collected.insert(key, (value, version));
+                    outstanding.is_empty()
+                };
+                if done {
+                    let writes = std::mem::take(&mut self.pending_writes);
+                    self.enter_commit_phase(writes, ctx);
+                }
+            }
+            NetMsg::TxnResult { txn, committed, .. } => {
+                self.finish_rw(txn, committed, ctx);
+            }
+            NetMsg::RotResponse {
+                req,
+                header,
+                body_digest,
+                cert,
+                values,
+            } => {
+                self.on_rot_response(req, header, body_digest, cert, values, ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, NetMsg>) {
+        // Retry timer for the op it was armed for.
+        let Some(inflight) = &mut self.inflight else {
+            return;
+        };
+        if token != inflight.op_index as u64 + TIMER_BASE {
+            return;
+        }
+        inflight.attempts += 1;
+        if inflight.attempts > self.config.max_retries {
+            // Give up: record as aborted.
+            self.stats.gave_up += 1;
+            let sample = TxnSample {
+                kind: inflight.kind,
+                start: inflight.start,
+                end: ctx.now(),
+                committed: false,
+                rot_round2: false,
+                round1_latency: None,
+            };
+            self.samples.push(sample);
+            self.inflight = None;
+            self.start_next_op(ctx);
+            return;
+        }
+        self.stats.retries += 1;
+        // Re-send whatever is outstanding.
+        let mut sends: Vec<(NodeId, NetMsg)> = Vec::new();
+        match &inflight.phase {
+            Phase::ReadPhase { outstanding, .. } => {
+                for (req, key) in outstanding {
+                    let n = self.topo.replicas_per_cluster() as u64;
+                    self.read_rr += 1;
+                    let target = NodeId::Replica(ReplicaId::new(
+                        self.topo.partition_of(key),
+                        (self.read_rr % n) as u16,
+                    ));
+                    sends.push((
+                        target,
+                        NetMsg::Read {
+                            req: *req,
+                            key: key.clone(),
+                        },
+                    ));
+                }
+            }
+            Phase::CommitPhase { txn, coordinator } => {
+                // Rotate the target replica on every retry — the paper
+                // has clients contact f+1 nodes so a dead or byzantine
+                // leader cannot blackhole them (§3.3.1); replicas
+                // forward to their current leader.
+                let n = self.topo.replicas_per_cluster() as u32;
+                let target =
+                    ReplicaId::new(*coordinator, (inflight.attempts % n) as u16);
+                sends.push((
+                    NodeId::Replica(target),
+                    NetMsg::CommitRequest {
+                        txn: txn.clone(),
+                        reply_to: NodeId::Client(self.id),
+                    },
+                ));
+            }
+            Phase::RotRound {
+                round,
+                outstanding,
+                keys_by_cluster,
+                required,
+                ..
+            } => {
+                for (req, cluster) in outstanding {
+                    let keys = keys_by_cluster
+                        .iter()
+                        .find(|(c, _)| c == cluster)
+                        .map(|(_, k)| k.clone())
+                        .unwrap_or_default();
+                    let msg = if *round == 1 {
+                        NetMsg::RotRequest { req: *req, keys }
+                    } else {
+                        NetMsg::RotFetch {
+                            req: *req,
+                            keys,
+                            min_epoch: required.get(cluster).copied().unwrap_or(Epoch::NONE),
+                        }
+                    };
+                    let n = self.topo.replicas_per_cluster() as u32;
+                    let target =
+                        ReplicaId::new(*cluster, (inflight.attempts % n) as u16);
+                    sends.push((NodeId::Replica(target), msg));
+                }
+            }
+        }
+        for (target, msg) in sends {
+            ctx.send(target, msg);
+        }
+        let token = inflight.op_index as u64 + TIMER_BASE;
+        ctx.set_timer(self.config.retry_after, token);
+    }
+}

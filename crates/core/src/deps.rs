@@ -1,0 +1,296 @@
+//! CD-vector derivation (Algorithm 1), the LCE index, and the client's
+//! dependency verification (Algorithm 2).
+
+use transedge_common::{BatchNum, ClusterId, Epoch};
+
+use crate::batch::CdVector;
+use crate::records::{CommitRecord, Outcome};
+
+/// Algorithm 1 — derive the CD vector for a new batch:
+/// start from the previous batch's vector, fold in (pairwise max) the
+/// reported CD vectors of every *committed* record in the committed
+/// segment, and pin the own-partition entry to the batch number.
+pub fn derive_cd_vector(
+    prev: &CdVector,
+    own_cluster: ClusterId,
+    batch_num: BatchNum,
+    committed: &[CommitRecord],
+) -> CdVector {
+    let mut v = prev.clone();
+    for record in committed {
+        if record.outcome != Outcome::Committed {
+            continue; // aborted transactions contribute no dependencies
+        }
+        for reported in record.reported_cds() {
+            v.pairwise_max(reported);
+        }
+    }
+    v.set(own_cluster, batch_num.as_epoch());
+    v
+}
+
+/// Maps LCE values to the earliest batch that reached them — the
+/// lookup round two of the read-only protocol needs ("serve me the
+/// state that includes prepare-epoch `d` of your log").
+///
+/// LCE is non-decreasing over batches, so the index is a sorted list of
+/// `(lce, first_batch_with_that_lce)`.
+#[derive(Clone, Debug, Default)]
+pub struct LceIndex {
+    /// `(lce, batch)` pairs, strictly increasing in both components.
+    steps: Vec<(Epoch, BatchNum)>,
+}
+
+impl LceIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record batch `num` having LCE `lce`. Must be fed every batch in
+    /// order.
+    pub fn push(&mut self, num: BatchNum, lce: Epoch) {
+        if let Some((last_lce, last_batch)) = self.steps.last() {
+            debug_assert!(*last_batch < num, "batches must be pushed in order");
+            debug_assert!(*last_lce <= lce, "LCE must be non-decreasing");
+            if *last_lce == lce {
+                return; // only first batch per LCE value is interesting
+            }
+        } else if lce.is_none() {
+            return; // leading -1 entries carry no information
+        }
+        self.steps.push((lce, num));
+    }
+
+    /// Earliest batch whose LCE is `>= min_epoch`, if one exists yet.
+    ///
+    /// Contract: `min_epoch >= 0`. Round-two requests always carry a
+    /// real prepare epoch (a dependency strictly above some LCE ≥ −1);
+    /// "any batch" requests never reach this index.
+    pub fn first_batch_with_lce(&self, min_epoch: Epoch) -> Option<BatchNum> {
+        debug_assert!(!min_epoch.is_none(), "min_epoch must be a real epoch");
+        let idx = self.steps.partition_point(|(lce, _)| *lce < min_epoch);
+        self.steps.get(idx).map(|(_, b)| *b)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// One partition's answer in a read-only round, as far as dependency
+/// checking is concerned.
+#[derive(Clone, Debug)]
+pub struct RotView {
+    pub cluster: ClusterId,
+    pub batch: BatchNum,
+    pub cd: CdVector,
+    pub lce: Epoch,
+}
+
+/// Algorithm 2 — check every response's dependencies on every other
+/// accessed partition. Returns the unsatisfied dependencies as
+/// `(partition, required prepare-epoch)`, keeping the maximum epoch per
+/// partition.
+pub fn verify_dependencies(views: &[RotView]) -> Vec<(ClusterId, Epoch)> {
+    let mut unsatisfied: Vec<(ClusterId, Epoch)> = Vec::new();
+    for vi in views {
+        for vj in views {
+            if vi.cluster == vj.cluster {
+                continue;
+            }
+            let required = vi.cd.get(vj.cluster);
+            if required > vj.lce {
+                match unsatisfied.iter_mut().find(|(c, _)| *c == vj.cluster) {
+                    Some((_, e)) => *e = (*e).max(required),
+                    None => unsatisfied.push((vj.cluster, required)),
+                }
+            }
+        }
+    }
+    unsatisfied.sort_by_key(|(c, _)| *c);
+    unsatisfied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{CommitEvidence, SignedPrepared};
+    use transedge_common::{ClientId, TxnId};
+
+    fn cd(n: usize, entries: &[(u16, i64)]) -> CdVector {
+        let mut v = CdVector::new(n);
+        for (c, e) in entries {
+            v.set(ClusterId(*c), Epoch(*e));
+        }
+        v
+    }
+
+    fn committed_record(reported: Vec<CdVector>) -> CommitRecord {
+        CommitRecord {
+            txn_id: TxnId::new(ClientId(0), 1),
+            prepared_in: BatchNum(0),
+            outcome: Outcome::Committed,
+            evidence: CommitEvidence::CoordinatorDecision {
+                prepared: reported
+                    .into_iter()
+                    .map(|cdv| SignedPrepared {
+                        cluster: ClusterId(1),
+                        txn: TxnId::new(ClientId(0), 1),
+                        prepared_in: BatchNum(0),
+                        cd: cdv,
+                        sigs: vec![],
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    fn aborted_record(reported: Vec<CdVector>) -> CommitRecord {
+        let mut r = committed_record(reported);
+        r.outcome = Outcome::Aborted;
+        r
+    }
+
+    #[test]
+    fn algorithm1_paper_example() {
+        // Figure 3: partition X derives V^X_2. Previous vector V^X_1 =
+        // [1, -1]; the committed transactions prepared at Y in batch 5
+        // with reported V^Y_5 = [-1, 5]. Result: [2, 5].
+        let prev = cd(2, &[(0, 1), (1, -1)]);
+        let reported = cd(2, &[(0, -1), (1, 5)]);
+        let v = derive_cd_vector(
+            &prev,
+            ClusterId(0),
+            BatchNum(2),
+            &[committed_record(vec![reported])],
+        );
+        assert_eq!(v, cd(2, &[(0, 2), (1, 5)]));
+    }
+
+    #[test]
+    fn aborted_records_contribute_nothing() {
+        let prev = cd(2, &[(0, 1)]);
+        let reported = cd(2, &[(1, 9)]);
+        let v = derive_cd_vector(
+            &prev,
+            ClusterId(0),
+            BatchNum(2),
+            &[aborted_record(vec![reported])],
+        );
+        assert_eq!(v.get(ClusterId(1)), Epoch::NONE);
+    }
+
+    #[test]
+    fn own_entry_is_always_batch_number() {
+        let prev = cd(2, &[(0, 1)]);
+        let v = derive_cd_vector(&prev, ClusterId(0), BatchNum(7), &[]);
+        assert_eq!(v.get(ClusterId(0)), Epoch(7));
+    }
+
+    #[test]
+    fn transitive_dependencies_fold_in() {
+        // The reported vector itself carries a transitive dep on Z.
+        let prev = cd(3, &[(0, 1)]);
+        let reported = cd(3, &[(1, 5), (2, 3)]);
+        let v = derive_cd_vector(
+            &prev,
+            ClusterId(0),
+            BatchNum(2),
+            &[committed_record(vec![reported])],
+        );
+        assert_eq!(v.get(ClusterId(2)), Epoch(3));
+    }
+
+    #[test]
+    fn lce_index_first_batch_lookup() {
+        let mut idx = LceIndex::new();
+        idx.push(BatchNum(0), Epoch::NONE);
+        idx.push(BatchNum(1), Epoch::NONE);
+        idx.push(BatchNum(2), Epoch(0)); // group prepared in batch 0 commits at batch 2
+        idx.push(BatchNum(3), Epoch(0));
+        idx.push(BatchNum(8), Epoch(5)); // group of batch 5 commits at batch 8
+        assert_eq!(idx.first_batch_with_lce(Epoch(0)), Some(BatchNum(2)));
+        assert_eq!(idx.first_batch_with_lce(Epoch(1)), Some(BatchNum(8)));
+        assert_eq!(idx.first_batch_with_lce(Epoch(5)), Some(BatchNum(8)));
+        assert_eq!(idx.first_batch_with_lce(Epoch(6)), None);
+    }
+
+    #[test]
+    fn algorithm2_detects_figure1_inconsistency() {
+        // Figure 1: t_r reads X at batch 4 and Y at batch 2. X's batch 4
+        // committed t2 which prepared at Y in (Y's) batch 4; Y's batch 2
+        // has LCE < 4 → unsatisfied dependency on Y at epoch 4.
+        let x = RotView {
+            cluster: ClusterId(0),
+            batch: BatchNum(4),
+            cd: cd(2, &[(0, 4), (1, 4)]),
+            lce: Epoch(3), // X committed the group that prepared in its own batch 3
+        };
+        let y = RotView {
+            cluster: ClusterId(1),
+            batch: BatchNum(2),
+            cd: cd(2, &[(0, 1), (1, 2)]),
+            lce: Epoch(2),
+        };
+        let unsat = verify_dependencies(&[x, y]);
+        assert_eq!(unsat, vec![(ClusterId(1), Epoch(4))]);
+    }
+
+    #[test]
+    fn algorithm2_satisfied_when_lce_covers() {
+        let x = RotView {
+            cluster: ClusterId(0),
+            batch: BatchNum(4),
+            cd: cd(2, &[(0, 4), (1, 4)]),
+            lce: Epoch(0),
+        };
+        let y = RotView {
+            cluster: ClusterId(1),
+            batch: BatchNum(9),
+            cd: cd(2, &[(0, 0), (1, 9)]),
+            lce: Epoch(4), // includes the required epoch
+        };
+        assert!(verify_dependencies(&[x, y]).is_empty());
+    }
+
+    #[test]
+    fn algorithm2_keeps_max_epoch_per_partition() {
+        let a = RotView {
+            cluster: ClusterId(0),
+            batch: BatchNum(4),
+            cd: cd(3, &[(0, 4), (2, 3)]),
+            lce: Epoch::NONE,
+        };
+        let b = RotView {
+            cluster: ClusterId(1),
+            batch: BatchNum(4),
+            cd: cd(3, &[(1, 4), (2, 7)]),
+            lce: Epoch::NONE,
+        };
+        let c = RotView {
+            cluster: ClusterId(2),
+            batch: BatchNum(1),
+            cd: cd(3, &[(2, 1)]),
+            lce: Epoch(1),
+        };
+        let unsat = verify_dependencies(&[a, b, c]);
+        assert_eq!(unsat, vec![(ClusterId(2), Epoch(7))]);
+    }
+
+    #[test]
+    fn no_dependencies_between_disjoint_partitions() {
+        let a = RotView {
+            cluster: ClusterId(0),
+            batch: BatchNum(10),
+            cd: cd(2, &[(0, 10)]),
+            lce: Epoch::NONE,
+        };
+        let b = RotView {
+            cluster: ClusterId(1),
+            batch: BatchNum(20),
+            cd: cd(2, &[(1, 20)]),
+            lce: Epoch::NONE,
+        };
+        assert!(verify_dependencies(&[a, b]).is_empty());
+    }
+}

@@ -1,0 +1,422 @@
+//! Every message that crosses the simulated network in a TransEdge
+//! deployment.
+
+use transedge_common::{BatchNum, ClusterId, Epoch, Key, SimTime, TxnId, Value};
+use transedge_consensus::{BftMsg, Certificate};
+use transedge_crypto::{Digest, MerkleProof, Signature};
+use transedge_simnet::SimMessage;
+
+use crate::batch::{Batch, BatchHeader, Transaction};
+use crate::records::{SignedCommit, SignedPrepared};
+
+/// One key's answer in a read-only response: the value (if present) and
+/// its Merkle (non-)inclusion proof against the response's root.
+#[derive(Clone, Debug)]
+pub struct RotValue {
+    pub key: Key,
+    pub value: Option<Value>,
+    pub proof: MerkleProof,
+}
+
+/// A participant's 2PC vote returned to the coordinator (§3.3.3).
+#[derive(Clone, Debug)]
+pub enum PrepareVote {
+    /// Prepared: the `f+1`-signed prepared record with the piggybacked
+    /// CD vector.
+    Yes(SignedPrepared),
+    /// Refused (conflict): signed by the participant's leader only — an
+    /// abort vote is always safe to accept, so it needs no quorum.
+    No {
+        cluster: ClusterId,
+        txn: TxnId,
+        sig: Signature,
+    },
+}
+
+impl PrepareVote {
+    pub fn txn(&self) -> TxnId {
+        match self {
+            PrepareVote::Yes(p) => p.txn,
+            PrepareVote::No { txn, .. } => *txn,
+        }
+    }
+
+    pub fn cluster(&self) -> ClusterId {
+        match self {
+            PrepareVote::Yes(p) => p.cluster,
+            PrepareVote::No { cluster, .. } => *cluster,
+        }
+    }
+}
+
+/// The statement a leader signs for a *no* vote.
+pub fn abort_vote_statement(cluster: ClusterId, txn: TxnId) -> Vec<u8> {
+    let mut w = transedge_common::WireWriter::with_capacity(32);
+    w.put_bytes(b"transedge/prepare-no");
+    use transedge_common::Encode as _;
+    cluster.encode(&mut w);
+    txn.encode(&mut w);
+    w.into_bytes()
+}
+
+/// All TransEdge network traffic.
+#[derive(Clone, Debug)]
+pub enum NetMsg {
+    // ---- client ↔ replica ------------------------------------------
+    /// OCC read during transaction execution (any replica serves it).
+    Read { req: u64, key: Key },
+    /// Response: latest committed value and its version (the batch it
+    /// committed in — "responses must include the LCE of the batch
+    /// which the key was read from", §3.2).
+    ReadResp {
+        req: u64,
+        key: Key,
+        value: Option<Value>,
+        version: Epoch,
+    },
+    /// Commit request carrying the full read/write sets (§3.2). Sent to
+    /// the leader of the coordinator cluster. `reply_to` survives
+    /// replica-to-leader forwarding.
+    CommitRequest {
+        txn: Transaction,
+        reply_to: transedge_common::NodeId,
+    },
+    /// Final transaction outcome reported to the client.
+    TxnResult {
+        txn: TxnId,
+        committed: bool,
+        /// Commit-time batch at the coordinator (diagnostics).
+        batch: Option<BatchNum>,
+    },
+    /// Round-1 read-only request: one node per accessed partition
+    /// (§4.2, §4.3.4).
+    RotRequest { req: u64, keys: Vec<Key> },
+    /// Round-2 request: serve the earliest state whose LCE ≥
+    /// `min_epoch` (Algorithm 2's second round).
+    RotFetch {
+        req: u64,
+        keys: Vec<Key>,
+        min_epoch: Epoch,
+    },
+    /// Read-only response: batch header (read-only segment), the body
+    /// digest to recompute the batch digest, the `f+1` consensus
+    /// certificate, and per-key values with Merkle proofs.
+    RotResponse {
+        req: u64,
+        header: BatchHeader,
+        body_digest: Digest,
+        cert: Certificate,
+        values: Vec<RotValue>,
+    },
+
+    // ---- intra-cluster ----------------------------------------------
+    /// Consensus traffic.
+    Bft(Box<BftMsg<Batch>>),
+    /// A replica's signature shares over the 2PC steps contained in a
+    /// freshly delivered batch, sent to the current leader for
+    /// aggregation into [`SignedPrepared`] / [`SignedCommit`] records.
+    SegmentSigs {
+        batch: BatchNum,
+        prepared_sigs: Vec<(TxnId, Signature)>,
+        commit_sigs: Vec<(TxnId, Signature)>,
+    },
+    /// A (new) leader asking peers to re-send their shares from
+    /// `from_batch` onward (view change recovery).
+    SigResend { from_batch: BatchNum },
+
+    // ---- inter-cluster 2PC (leader ↔ leader) --------------------------
+    /// Step 3 (Figure 3): the coordinator's prepare, with proof it is
+    /// in the coordinator's SMR log.
+    CoordinatorPrepare {
+        txn: Transaction,
+        coordinator: ClusterId,
+        prepare: SignedPrepared,
+    },
+    /// Step 5: the participant's vote.
+    Prepared { vote: PrepareVote },
+    /// Step 7: the coordinator's decision. Sent at the transaction
+    /// commit point (all votes collected — §3.6's TCP), carrying the
+    /// collected `f+1`-signed prepared records of *all* participants as
+    /// evidence. Shipping at vote time (rather than after the
+    /// coordinator's own commit batch is written) is required for
+    /// liveness when one prepare group mixes transactions with
+    /// different coordinators — see DESIGN.md, "Known deviations".
+    CommitOutcome {
+        txn: TxnId,
+        coordinator: ClusterId,
+        outcome: crate::records::Outcome,
+        /// Prepared records of every participant (coordinator included).
+        prepared: Vec<SignedPrepared>,
+    },
+}
+
+impl NetMsg {
+    /// Short tag for metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NetMsg::Read { .. } => "read",
+            NetMsg::ReadResp { .. } => "read-resp",
+            NetMsg::CommitRequest { .. } => "commit-request",
+            NetMsg::TxnResult { .. } => "txn-result",
+            NetMsg::RotRequest { .. } => "rot-request",
+            NetMsg::RotFetch { .. } => "rot-fetch",
+            NetMsg::RotResponse { .. } => "rot-response",
+            NetMsg::Bft(m) => m.kind(),
+            NetMsg::SegmentSigs { .. } => "segment-sigs",
+            NetMsg::SigResend { .. } => "sig-resend",
+            NetMsg::CoordinatorPrepare { .. } => "coordinator-prepare",
+            NetMsg::Prepared { .. } => "prepared",
+            NetMsg::CommitOutcome { .. } => "commit-outcome",
+        }
+    }
+}
+
+// ---- wire-size estimation (bandwidth model) ---------------------------
+//
+// Fully encoding every message on every send would dominate simulation
+// CPU, so sizes are estimated from component counts. The estimates are
+// pinned against true encoded sizes in tests below where encoders
+// exist.
+
+fn txn_size(t: &Transaction) -> usize {
+    14 + t
+        .reads
+        .iter()
+        .map(|r| r.key.len() + 12)
+        .sum::<usize>()
+        + t.writes
+            .iter()
+            .map(|w| w.key.len() + w.value.len() + 8)
+            .sum::<usize>()
+}
+
+fn signed_prepared_size(p: &SignedPrepared) -> usize {
+    26 + p.cd.len() * 8 + p.sigs.len() * 101
+}
+
+fn signed_commit_size(c: &SignedCommit) -> usize {
+    27 + c
+        .participants
+        .iter()
+        .map(|(_, _, cd)| 14 + cd.len() * 8)
+        .sum::<usize>()
+        + c.sigs.len() * 101
+}
+
+fn header_size(h: &BatchHeader) -> usize {
+    2 + 8 + 4 + h.cd.len() * 8 + 8 + 32 + 8
+}
+
+fn batch_size(b: &Batch) -> usize {
+    header_size(&b.header)
+        + 12
+        + b.local.iter().map(txn_size).sum::<usize>()
+        + b.prepared
+            .iter()
+            .map(|p| {
+                txn_size(&p.txn)
+                    + 3
+                    + p.coordinator_prepare
+                        .as_ref()
+                        .map(signed_prepared_size)
+                        .unwrap_or(0)
+            })
+            .sum::<usize>()
+        + b.committed
+            .iter()
+            .map(|c| {
+                19 + match &c.evidence {
+                    crate::records::CommitEvidence::CoordinatorDecision { prepared } => {
+                        prepared.iter().map(signed_prepared_size).sum::<usize>()
+                    }
+                    crate::records::CommitEvidence::RemoteDecision { commit } => {
+                        signed_commit_size(commit)
+                    }
+                }
+            })
+            .sum::<usize>()
+}
+
+fn cert_size(c: &Certificate) -> usize {
+    46 + c.sigs.len() * 101
+}
+
+fn bft_size(m: &BftMsg<Batch>) -> usize {
+    match m {
+        BftMsg::Propose { value, .. } => 84 + batch_size(value),
+        BftMsg::Write { .. } => 116,
+        BftMsg::Accept { .. } => 108,
+        BftMsg::ViewChange { prepared_value, .. } => {
+            130 + prepared_value.as_ref().map(batch_size).unwrap_or(0)
+        }
+        BftMsg::NewView { votes, reproposal, .. } => {
+            12 + votes.len() * 130 + reproposal.as_ref().map(batch_size).unwrap_or(0)
+        }
+        BftMsg::StateRequest { .. } => 12,
+        BftMsg::StateResponse { batches } => batches
+            .iter()
+            .map(|(_, v, c)| 8 + batch_size(v) + cert_size(c))
+            .sum(),
+    }
+}
+
+impl SimMessage for NetMsg {
+    fn size_bytes(&self) -> usize {
+        match self {
+            NetMsg::Read { key, .. } => 12 + key.len(),
+            NetMsg::ReadResp { key, value, .. } => {
+                24 + key.len() + value.as_ref().map(|v| v.len()).unwrap_or(0)
+            }
+            NetMsg::CommitRequest { txn, .. } => 9 + txn_size(txn),
+            NetMsg::TxnResult { .. } => 24,
+            NetMsg::RotRequest { keys, .. } => {
+                12 + keys.iter().map(|k| k.len() + 4).sum::<usize>()
+            }
+            NetMsg::RotFetch { keys, .. } => {
+                20 + keys.iter().map(|k| k.len() + 4).sum::<usize>()
+            }
+            NetMsg::RotResponse {
+                header,
+                cert,
+                values,
+                ..
+            } => {
+                header_size(header)
+                    + 32
+                    + cert_size(cert)
+                    + values
+                        .iter()
+                        .map(|v| {
+                            v.key.len()
+                                + v.value.as_ref().map(|x| x.len()).unwrap_or(0)
+                                + v.proof.encoded_len()
+                        })
+                        .sum::<usize>()
+            }
+            NetMsg::Bft(m) => bft_size(m),
+            NetMsg::SegmentSigs {
+                prepared_sigs,
+                commit_sigs,
+                ..
+            } => 16 + (prepared_sigs.len() + commit_sigs.len()) * 76,
+            NetMsg::SigResend { .. } => 12,
+            NetMsg::CoordinatorPrepare { txn, prepare, .. } => {
+                6 + txn_size(txn) + signed_prepared_size(prepare)
+            }
+            NetMsg::Prepared { vote } => match vote {
+                PrepareVote::Yes(p) => 4 + signed_prepared_size(p),
+                PrepareVote::No { .. } => 90,
+            },
+            NetMsg::CommitOutcome { prepared, .. } => {
+                16 + prepared.iter().map(signed_prepared_size).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// Deadline/timeout bookkeeping shared by client and node actors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Deadline {
+    pub at: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{CdVector, ReadOp, WriteOp};
+    use transedge_common::{ClientId, Encode};
+
+    fn sample_txn() -> Transaction {
+        Transaction {
+            id: TxnId::new(ClientId(1), 2),
+            reads: vec![ReadOp {
+                key: Key::from_u32(1),
+                version: Epoch(3),
+            }],
+            writes: vec![WriteOp {
+                key: Key::from_u32(2),
+                value: Value::filled(256, 7),
+            }],
+        }
+    }
+
+    #[test]
+    fn txn_size_estimate_close_to_encoding() {
+        let t = sample_txn();
+        let actual = t.encode_to_vec().len();
+        let estimate = txn_size(&t);
+        let err = (actual as f64 - estimate as f64).abs() / actual as f64;
+        assert!(err < 0.2, "estimate {estimate} vs actual {actual}");
+    }
+
+    #[test]
+    fn batch_size_estimate_close_to_encoding() {
+        let header = BatchHeader {
+            cluster: ClusterId(0),
+            num: BatchNum(0),
+            cd: CdVector::new(5),
+            lce: Epoch::NONE,
+            merkle_root: Digest::ZERO,
+            timestamp: SimTime::ZERO,
+        };
+        let b = Batch {
+            header,
+            local: (0..10)
+                .map(|i| {
+                    let mut t = sample_txn();
+                    t.id = TxnId::new(ClientId(1), i);
+                    t
+                })
+                .collect(),
+            prepared: vec![],
+            committed: vec![],
+        };
+        let actual = b.encode_to_vec().len();
+        let estimate = batch_size(&b);
+        let err = (actual as f64 - estimate as f64).abs() / actual as f64;
+        assert!(err < 0.2, "estimate {estimate} vs actual {actual}");
+    }
+
+    #[test]
+    fn message_sizes_scale_with_payload() {
+        let small = NetMsg::RotRequest {
+            req: 1,
+            keys: vec![Key::from_u32(1)],
+        };
+        let large = NetMsg::RotRequest {
+            req: 1,
+            keys: (0..100).map(Key::from_u32).collect(),
+        };
+        assert!(large.size_bytes() > small.size_bytes());
+    }
+
+    #[test]
+    fn kind_tags() {
+        assert_eq!(
+            NetMsg::CommitRequest {
+                txn: sample_txn(),
+                reply_to: transedge_common::NodeId::Client(ClientId(0)),
+            }
+            .kind(),
+            "commit-request"
+        );
+        assert_eq!(
+            NetMsg::TxnResult {
+                txn: TxnId::new(ClientId(0), 0),
+                committed: true,
+                batch: None
+            }
+            .kind(),
+            "txn-result"
+        );
+    }
+
+    #[test]
+    fn abort_vote_statement_is_specific() {
+        let a = abort_vote_statement(ClusterId(0), TxnId::new(ClientId(0), 1));
+        let b = abort_vote_statement(ClusterId(1), TxnId::new(ClientId(0), 1));
+        let c = abort_vote_statement(ClusterId(0), TxnId::new(ClientId(0), 2));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,256 @@
+//! One-call construction of a complete simulated TransEdge deployment:
+//! clusters of replicas, preloaded data with genesis certificates, and
+//! scripted clients.
+
+use transedge_common::{
+    BatchNum, ClientId, ClusterId, ClusterTopology, Key, NodeId, ReplicaId, SimTime, Value,
+};
+use transedge_consensus::messages::accept_statement;
+use transedge_consensus::{BftValue, Certificate};
+use transedge_crypto::KeyStore;
+use transedge_simnet::{CostModel, FaultPlan, LatencyModel, Simulation};
+
+use crate::client::{ClientActor, ClientConfig, ClientOp};
+use crate::messages::NetMsg;
+use crate::metrics::TxnSample;
+use crate::node::{NodeConfig, TransEdgeNode};
+
+/// Everything needed to build a deployment.
+#[derive(Clone)]
+pub struct DeploymentConfig {
+    pub topo: ClusterTopology,
+    pub node: NodeConfig,
+    pub client: ClientConfig,
+    pub latency: LatencyModel,
+    pub cost: CostModel,
+    pub faults: FaultPlan,
+    pub seed: u64,
+    /// Initial keys preloaded as batch 0 of each partition.
+    pub n_keys: u32,
+    /// Value size in bytes (paper: 256).
+    pub value_size: usize,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            topo: ClusterTopology::paper_default(),
+            node: NodeConfig::default(),
+            client: ClientConfig::default(),
+            latency: LatencyModel::paper_default(),
+            cost: CostModel::calibrated(),
+            faults: FaultPlan::none(),
+            seed: 42,
+            n_keys: 10_000,
+            value_size: 256,
+        }
+    }
+}
+
+impl DeploymentConfig {
+    /// A small, fast configuration for functional tests: 2 clusters of
+    /// 4 (f = 1), instant network, free CPU.
+    pub fn for_testing() -> Self {
+        DeploymentConfig {
+            topo: ClusterTopology::new(2, 1).unwrap(),
+            node: NodeConfig {
+                batch_interval: transedge_common::SimDuration::from_millis(2),
+                max_batch_size: 64,
+                ..NodeConfig::default()
+            },
+            latency: LatencyModel::instant(),
+            cost: CostModel::zero(),
+            n_keys: 256,
+            ..Default::default()
+        }
+    }
+}
+
+/// Deterministic initial dataset: `Key::from_u32(i)` for `i in
+/// 0..n_keys`, each with a `value_size`-byte value derived from the
+/// key. Value buffers are shared (`bytes::Bytes`) across replicas.
+pub fn generate_data(n_keys: u32, value_size: usize) -> Vec<(Key, Value)> {
+    (0..n_keys)
+        .map(|i| {
+            (
+                Key::from_u32(i),
+                Value::filled(value_size, (i % 251) as u8),
+            )
+        })
+        .collect()
+}
+
+/// A running simulated deployment.
+pub struct Deployment {
+    pub sim: Simulation<NetMsg>,
+    pub topo: ClusterTopology,
+    pub keys: KeyStore,
+    pub config: DeploymentConfig,
+    pub client_ids: Vec<ClientId>,
+    /// The initial dataset (tests use it as ground truth).
+    pub data: Vec<(Key, Value)>,
+}
+
+impl Deployment {
+    /// Build a deployment with one scripted client per entry of
+    /// `client_ops`. Clients are homed near cluster 0 unless the
+    /// latency model in `config` says otherwise.
+    pub fn build(mut config: DeploymentConfig, client_ops: Vec<Vec<ClientOp>>) -> Deployment {
+        // Client verification parameters must match node parameters.
+        config.client.tree_depth = config.node.tree_depth;
+        config.client.freshness_window = config.node.freshness_window;
+        let mut seed = [0u8; 32];
+        seed[..8].copy_from_slice(&config.seed.to_le_bytes());
+        let (keys, secrets) = KeyStore::for_topology(&config.topo, &seed);
+        let data = generate_data(config.n_keys, config.value_size);
+        let mut sim: Simulation<NetMsg> = Simulation::new(
+            config.latency.clone(),
+            config.cost.clone(),
+            config.faults.clone(),
+            config.seed,
+        );
+        // Build each cluster: preload data, assemble the genesis
+        // certificate, install, add to the simulation.
+        for cluster in config.topo.clusters() {
+            let mut nodes: Vec<TransEdgeNode> = config
+                .topo
+                .replicas_of(cluster)
+                .map(|r| {
+                    TransEdgeNode::new(
+                        r,
+                        config.topo.clone(),
+                        keys.clone(),
+                        secrets[&r].clone(),
+                        config.node.clone(),
+                    )
+                })
+                .collect();
+            let genesis: Vec<crate::batch::Batch> = nodes
+                .iter_mut()
+                .map(|n| {
+                    n.exec
+                        .preload(data.iter().map(|(k, v)| (k, v)), SimTime::ZERO)
+                })
+                .collect();
+            let digest = BftValue::digest(&genesis[0]);
+            for g in &genesis[1..] {
+                assert_eq!(BftValue::digest(g), digest, "replicas must agree on genesis");
+            }
+            let stmt = accept_statement(cluster, BatchNum(0), &digest);
+            let sigs: Vec<(NodeId, _)> = config
+                .topo
+                .replicas_of(cluster)
+                .take(config.topo.certificate_quorum())
+                .map(|r| (NodeId::Replica(r), secrets[&r].sign(&stmt)))
+                .collect();
+            let cert = Certificate {
+                cluster,
+                slot: BatchNum(0),
+                digest,
+                sigs,
+            };
+            for (node, g) in nodes.iter_mut().zip(genesis) {
+                node.install_genesis(g, cert.clone());
+            }
+            for node in nodes {
+                let id = NodeId::Replica(node.me);
+                sim.add_actor(id, Box::new(node));
+            }
+        }
+        // Clients.
+        let mut client_ids = Vec::new();
+        for (i, ops) in client_ops.into_iter().enumerate() {
+            let id = ClientId(i as u32);
+            client_ids.push(id);
+            let client = ClientActor::new(
+                id,
+                config.topo.clone(),
+                keys.clone(),
+                config.client.clone(),
+                ops,
+            );
+            sim.add_actor(NodeId::Client(id), Box::new(client));
+        }
+        Deployment {
+            sim,
+            topo: config.topo.clone(),
+            keys,
+            config,
+            client_ids,
+            data,
+        }
+    }
+
+    /// Are all scripted clients finished?
+    pub fn clients_done(&self) -> bool {
+        self.client_ids.iter().all(|id| {
+            self.sim
+                .actor_as::<ClientActor>(NodeId::Client(*id))
+                .map_or(true, |c| c.is_done())
+        })
+    }
+
+    /// Run the simulation until every client finished its script.
+    /// Panics (with diagnostics) if that does not happen by `limit`.
+    pub fn run_until_done(&mut self, limit: SimTime) {
+        loop {
+            let mut stepped = false;
+            for _ in 0..2048 {
+                if !self.sim.step() {
+                    break;
+                }
+                stepped = true;
+                if self.sim.now() > limit {
+                    break;
+                }
+            }
+            if self.clients_done() {
+                return;
+            }
+            assert!(
+                self.sim.now() <= limit,
+                "deployment did not finish by {limit} (now {}): {} clients pending",
+                self.sim.now(),
+                self.client_ids
+                    .iter()
+                    .filter(|id| {
+                        self.sim
+                            .actor_as::<ClientActor>(NodeId::Client(**id))
+                            .map_or(false, |c| !c.is_done())
+                    })
+                    .count()
+            );
+            assert!(
+                stepped,
+                "simulation quiesced with unfinished clients (deadlock)"
+            );
+        }
+    }
+
+    /// Access a client actor.
+    pub fn client(&self, id: ClientId) -> &ClientActor {
+        self.sim
+            .actor_as::<ClientActor>(NodeId::Client(id))
+            .expect("client actor")
+    }
+
+    /// Access a replica actor.
+    pub fn node(&self, replica: ReplicaId) -> &TransEdgeNode {
+        self.sim
+            .actor_as::<TransEdgeNode>(NodeId::Replica(replica))
+            .expect("node actor")
+    }
+
+    /// All transaction samples across clients.
+    pub fn samples(&self) -> Vec<TxnSample> {
+        self.client_ids
+            .iter()
+            .flat_map(|id| self.client(*id).samples.clone())
+            .collect()
+    }
+
+    /// Current leader replica of a cluster (as seen by replica 0).
+    pub fn leader_of(&self, cluster: ClusterId) -> ReplicaId {
+        self.node(ReplicaId::new(cluster, 0)).cluster_leader()
+    }
+}

@@ -1,0 +1,115 @@
+//! 32-byte digest newtype.
+
+use std::fmt;
+
+use transedge_common::{Decode, Encode, Result, WireReader, WireWriter};
+
+/// A 256-bit hash value (output of SHA-256 or a Merkle node).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Parse from a lowercase hex string (test vectors).
+    pub fn from_hex(hex: &str) -> Option<Digest> {
+        let bytes = hex_decode(hex)?;
+        let arr: [u8; 32] = bytes.try_into().ok()?;
+        Some(Digest(arr))
+    }
+
+    pub fn to_hex(&self) -> String {
+        hex_encode(&self.0)
+    }
+
+    /// Short prefix for log messages.
+    pub fn short(&self) -> String {
+        hex_encode(&self.0[..4])
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}…)", self.short())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl Encode for Digest {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_fixed(&self.0);
+    }
+}
+
+impl Decode for Digest {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(Digest(r.get_fixed::<32>()?))
+    }
+}
+
+/// Lowercase hex encoding (no external hex crate offline).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        s.push(HEX[(b >> 4) as usize] as char);
+        s.push(HEX[(b & 0xf) as usize] as char);
+    }
+    s
+}
+
+/// Hex decoding; returns `None` on bad length or non-hex characters.
+pub fn hex_decode(hex: &str) -> Option<Vec<u8>> {
+    if hex.len() % 2 != 0 {
+        return None;
+    }
+    let nibble = |c: u8| -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            b'A'..=b'F' => Some(c - b'A' + 10),
+            _ => None,
+        }
+    };
+    let bytes = hex.as_bytes();
+    let mut out = Vec::with_capacity(hex.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transedge_common::wire::roundtrip;
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = Digest([0xAB; 32]);
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(hex_decode("0f1e"), Some(vec![0x0f, 0x1e]));
+        assert_eq!(hex_decode("0F1E"), Some(vec![0x0f, 0x1e]));
+        assert_eq!(hex_decode("xyz"), None);
+        assert_eq!(hex_decode("abc"), None); // odd length
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        roundtrip(&Digest([7; 32]));
+    }
+
+    #[test]
+    fn from_hex_rejects_wrong_length() {
+        assert!(Digest::from_hex("abcd").is_none());
+    }
+}

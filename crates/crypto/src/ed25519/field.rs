@@ -1,0 +1,380 @@
+//! Arithmetic in GF(2²⁵⁵ − 19), the base field of Curve25519.
+//!
+//! Elements are four little-endian `u64` limbs, kept fully reduced
+//! (`< p`) after every operation. Multiplication produces a 512-bit
+//! intermediate which is folded using `2²⁵⁶ ≡ 38 (mod p)`.
+//!
+//! Not constant-time — see the crate-level security disclaimer.
+
+/// p = 2²⁵⁵ − 19 as little-endian limbs.
+pub const P: [u64; 4] = [
+    0xffff_ffff_ffff_ffed,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_ffff_ffff,
+    0x7fff_ffff_ffff_ffff,
+];
+
+/// An element of GF(2²⁵⁵ − 19), always fully reduced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fe(pub [u64; 4]);
+
+#[inline]
+fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 + b as u128 + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+#[inline]
+fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let t = (a as u128).wrapping_sub(b as u128 + borrow as u128);
+    (t as u64, ((t >> 64) as u64) & 1)
+}
+
+/// a >= b on raw limb arrays.
+#[inline]
+pub fn geq(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+    }
+    true
+}
+
+/// a - b assuming a >= b.
+#[inline]
+fn sub_raw(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    let mut borrow = 0;
+    for i in 0..4 {
+        let (v, br) = sbb(a[i], b[i], borrow);
+        out[i] = v;
+        borrow = br;
+    }
+    debug_assert_eq!(borrow, 0);
+    out
+}
+
+impl Fe {
+    pub const ZERO: Fe = Fe([0, 0, 0, 0]);
+    pub const ONE: Fe = Fe([1, 0, 0, 0]);
+
+    /// From a small integer.
+    pub fn from_u64(v: u64) -> Fe {
+        Fe([v, 0, 0, 0])
+    }
+
+    /// Decode 32 little-endian bytes, reducing mod p. The top bit is
+    /// *not* masked here; callers decoding point y-coordinates mask it
+    /// first.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let mut limbs = [0u64; 4];
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            limbs[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        let mut fe = Fe(limbs);
+        fe.reduce_once();
+        fe.reduce_once();
+        fe
+    }
+
+    /// Encode as 32 little-endian bytes (fully reduced, so canonical).
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.0.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        out
+    }
+
+    #[inline]
+    fn reduce_once(&mut self) {
+        if geq(&self.0, &P) {
+            self.0 = sub_raw(&self.0, &P);
+        }
+    }
+
+    pub fn add(self, other: Fe) -> Fe {
+        let mut out = [0u64; 4];
+        let mut carry = 0;
+        for i in 0..4 {
+            let (v, c) = adc(self.0[i], other.0[i], carry);
+            out[i] = v;
+            carry = c;
+        }
+        // a, b < p < 2²⁵⁵ so the sum < 2²⁵⁶ never carries out, but a
+        // carry would mean we must fold 2²⁵⁶ ≡ 38.
+        debug_assert_eq!(carry, 0);
+        let mut fe = Fe(out);
+        fe.reduce_once();
+        fe
+    }
+
+    pub fn sub(self, other: Fe) -> Fe {
+        if geq(&self.0, &other.0) {
+            Fe(sub_raw(&self.0, &other.0))
+        } else {
+            // a + p - b; a + p may overflow 2²⁵⁶? a < p so a + p < 2p < 2²⁵⁶. Safe.
+            let mut ap = [0u64; 4];
+            let mut carry = 0;
+            for i in 0..4 {
+                let (v, c) = adc(self.0[i], P[i], carry);
+                ap[i] = v;
+                carry = c;
+            }
+            debug_assert_eq!(carry, 0);
+            Fe(sub_raw(&ap, &other.0))
+        }
+    }
+
+    pub fn neg(self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    pub fn mul(self, other: Fe) -> Fe {
+        // Schoolbook 4×4 → 8 limbs.
+        let mut t = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let cur = t[i + j] as u128 + self.0[i] as u128 * other.0[j] as u128 + carry;
+                t[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            t[i + 4] = carry as u64;
+        }
+        reduce_wide(t)
+    }
+
+    pub fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Exponentiation by a 256-bit little-endian exponent.
+    pub fn pow(self, exp: &[u64; 4]) -> Fe {
+        let mut result = Fe::ONE;
+        let mut base = self;
+        for limb in exp.iter() {
+            let mut bits = *limb;
+            for _ in 0..64 {
+                if bits & 1 == 1 {
+                    result = result.mul(base);
+                }
+                base = base.square();
+                bits >>= 1;
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse via Fermat: a^(p−2).
+    pub fn invert(self) -> Fe {
+        // p - 2
+        let exp = [
+            0xffff_ffff_ffff_ffeb,
+            0xffff_ffff_ffff_ffff,
+            0xffff_ffff_ffff_ffff,
+            0x7fff_ffff_ffff_ffff,
+        ];
+        self.pow(&exp)
+    }
+
+    /// a^((p+3)/8) — candidate square root used in point decompression.
+    pub fn pow_p38(self) -> Fe {
+        // (p + 3) / 8 = (2²⁵⁵ + 16 - 19 + 3... ) computed as constant:
+        // p + 3 = 2²⁵⁵ − 16, /8 = 2²⁵² − 2.
+        let exp = [
+            0xffff_ffff_ffff_fffe,
+            0xffff_ffff_ffff_ffff,
+            0xffff_ffff_ffff_ffff,
+            0x0fff_ffff_ffff_ffff,
+        ];
+        self.pow(&exp)
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.0 == [0, 0, 0, 0]
+    }
+
+    /// Low bit of the canonical encoding — the "sign" of x in RFC 8032.
+    pub fn is_odd(self) -> bool {
+        self.0[0] & 1 == 1
+    }
+}
+
+/// Fold a 512-bit product into a fully reduced element using
+/// 2²⁵⁶ ≡ 38 (mod p).
+fn reduce_wide(t: [u64; 8]) -> Fe {
+    // value = hi·2²⁵⁶ + lo ≡ hi·38 + lo.
+    let lo = [t[0], t[1], t[2], t[3]];
+    let hi = [t[4], t[5], t[6], t[7]];
+    // hi·38 → 5 limbs.
+    let mut prod = [0u64; 5];
+    let mut carry: u128 = 0;
+    for i in 0..4 {
+        let cur = hi[i] as u128 * 38 + carry;
+        prod[i] = cur as u64;
+        carry = cur >> 64;
+    }
+    prod[4] = carry as u64;
+    // lo + prod → 5 limbs.
+    let mut sum = [0u64; 5];
+    let mut c = 0u64;
+    for i in 0..4 {
+        let (v, cc) = adc(lo[i], prod[i], c);
+        sum[i] = v;
+        c = cc;
+    }
+    sum[4] = prod[4] + c;
+    // Fold again: sum = top·2²⁵⁶ + low256 ≡ top·38 + low256, top ≤ ~2⁶.
+    let top = sum[4];
+    let mut out = [sum[0], sum[1], sum[2], sum[3]];
+    let mut carry = (top as u128) * 38;
+    for limb in out.iter_mut() {
+        let cur = *limb as u128 + (carry & 0xffff_ffff_ffff_ffff);
+        *limb = cur as u64;
+        carry = (carry >> 64) + (cur >> 64);
+    }
+    // A final carry out of the top limb is ≡ another 38.
+    while carry != 0 {
+        let mut c2 = carry * 38;
+        for limb in out.iter_mut() {
+            let cur = *limb as u128 + (c2 & 0xffff_ffff_ffff_ffff);
+            *limb = cur as u64;
+            c2 = (c2 >> 64) + (cur >> 64);
+        }
+        carry = c2;
+    }
+    let mut fe = Fe(out);
+    fe.reduce_once();
+    fe.reduce_once();
+    fe
+}
+
+/// sqrt(−1) mod p, computed as 2^((p−1)/4) at first use.
+pub fn sqrt_m1() -> Fe {
+    use std::sync::OnceLock;
+    static V: OnceLock<Fe> = OnceLock::new();
+    *V.get_or_init(|| {
+        // (p − 1) / 4 = 2²⁵³ − 5
+        let exp = [
+            0xffff_ffff_ffff_fffb,
+            0xffff_ffff_ffff_ffff,
+            0xffff_ffff_ffff_ffff,
+            0x1fff_ffff_ffff_ffff,
+        ];
+        Fe::from_u64(2).pow(&exp)
+    })
+}
+
+/// The twisted Edwards `d` parameter: −121665/121666 mod p.
+pub fn curve_d() -> Fe {
+    use std::sync::OnceLock;
+    static V: OnceLock<Fe> = OnceLock::new();
+    *V.get_or_init(|| {
+        Fe::from_u64(121665)
+            .neg()
+            .mul(Fe::from_u64(121666).invert())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(v: u64) -> Fe {
+        Fe::from_u64(v)
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = fe(12345);
+        let b = fe(67890);
+        assert_eq!(a.add(b).sub(b), a);
+        assert_eq!(a.sub(b).add(b), a);
+        assert_eq!(a.sub(a), Fe::ZERO);
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        let a = fe(999);
+        assert_eq!(a.add(a.neg()), Fe::ZERO);
+        assert_eq!(Fe::ZERO.neg(), Fe::ZERO);
+    }
+
+    #[test]
+    fn mul_matches_small_integers() {
+        assert_eq!(fe(7).mul(fe(6)), fe(42));
+        assert_eq!(fe(0).mul(fe(12345)), Fe::ZERO);
+        assert_eq!(fe(1).mul(fe(12345)), fe(12345));
+    }
+
+    #[test]
+    fn wraparound_at_p() {
+        // (p − 1) + 2 == 1
+        let p_minus_1 = Fe(P).sub(Fe::ONE); // note: Fe(P) reduces? Fe(P) raw = p, not reduced!
+                                            // Construct p−1 properly: 0 − 1 mod p.
+        let pm1 = Fe::ZERO.sub(Fe::ONE);
+        assert_eq!(pm1.add(fe(2)), Fe::ONE);
+        // And 2·(p−1) == p−2 == −2
+        assert_eq!(pm1.add(pm1), fe(2).neg());
+        let _ = p_minus_1;
+    }
+
+    #[test]
+    fn invert_gives_one() {
+        for v in [1u64, 2, 3, 121665, 121666, u64::MAX] {
+            let a = fe(v);
+            assert_eq!(a.mul(a.invert()), Fe::ONE, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn distributivity() {
+        let a = fe(0xdead_beef);
+        let b = fe(0xcafe_babe);
+        let c = fe(0x1234_5678);
+        assert_eq!(a.add(b).mul(c), a.mul(c).add(b.mul(c)));
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = sqrt_m1();
+        assert_eq!(i.square(), Fe::ONE.neg());
+    }
+
+    #[test]
+    fn bytes_roundtrip_canonical() {
+        let a = fe(123456789).mul(fe(987654321));
+        assert_eq!(Fe::from_bytes(&a.to_bytes()), a);
+        // Non-canonical encodings (>= p) reduce.
+        let mut p_bytes = [0u8; 32];
+        for (i, limb) in P.iter().enumerate() {
+            p_bytes[i * 8..i * 8 + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        assert_eq!(Fe::from_bytes(&p_bytes), Fe::ZERO);
+    }
+
+    #[test]
+    fn pow_small_exponents() {
+        let a = fe(3);
+        assert_eq!(a.pow(&[0, 0, 0, 0]), Fe::ONE);
+        assert_eq!(a.pow(&[1, 0, 0, 0]), a);
+        assert_eq!(a.pow(&[5, 0, 0, 0]), fe(243));
+    }
+
+    #[test]
+    fn curve_d_satisfies_definition() {
+        // d · 121666 == −121665
+        assert_eq!(curve_d().mul(fe(121666)), fe(121665).neg());
+    }
+
+    #[test]
+    fn square_equals_mul_self() {
+        let a = Fe::from_bytes(&[0x42; 32]);
+        assert_eq!(a.square(), a.mul(a));
+    }
+}

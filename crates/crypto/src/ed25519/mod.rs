@@ -1,0 +1,380 @@
+//! Ed25519 signatures (RFC 8032), from scratch.
+//!
+//! Each TransEdge edge node holds a unique keypair and signs every
+//! protocol message it emits (paper §2, "Interface"); clients verify
+//! `f+1` replica signatures on Merkle roots and batch certificates.
+//!
+//! Layout: [`field`] implements GF(2²⁵⁵−19), [`scalar`] arithmetic mod
+//! the group order L, [`point`] the twisted Edwards group; this module
+//! implements key expansion, signing and verification on top.
+//!
+//! Verification is *strict* about encodings: non-canonical `S` values
+//! (≥ L) are rejected, closing the classic malleability hole.
+
+pub mod field;
+pub mod point;
+pub mod scalar;
+
+use std::fmt;
+
+use rand::RngCore;
+use transedge_common::{Decode, Encode, Result, TransEdgeError, WireReader, WireWriter};
+
+use crate::digest::{hex_decode, hex_encode};
+use crate::sha2::Sha512;
+use point::Point;
+use scalar::Scalar;
+
+/// A 32-byte Ed25519 public key (compressed point).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PublicKey(pub [u8; 32]);
+
+/// A 64-byte Ed25519 signature: R (compressed point) ‖ S (scalar).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature(pub [u8; 64]);
+
+/// Secret signing key (seed + cached expansion) with its public key.
+#[derive(Clone)]
+pub struct Keypair {
+    seed: [u8; 32],
+    /// Clamped secret scalar `s` (reduced mod L — harmless, see sign()).
+    s: Scalar,
+    /// The `prefix` half of SHA-512(seed), used to derive nonces.
+    prefix: [u8; 32],
+    public: PublicKey,
+}
+
+impl Keypair {
+    /// Deterministic key derivation from a 32-byte seed (RFC 8032 §5.1.5).
+    pub fn from_seed(seed: [u8; 32]) -> Keypair {
+        let h = {
+            let mut hh = Sha512::new();
+            hh.update(&seed);
+            hh.finalize()
+        };
+        let mut s_bytes: [u8; 32] = h[..32].try_into().unwrap();
+        // Clamp: clear the low 3 bits, clear the top bit, set bit 254.
+        s_bytes[0] &= 0xf8;
+        s_bytes[31] &= 0x7f;
+        s_bytes[31] |= 0x40;
+        // Reducing mod L before the point multiplication is sound:
+        // [a]B depends only on a mod L, and S = r + k·a is computed
+        // mod L anyway.
+        let s = Scalar::from_bytes(&s_bytes);
+        let prefix: [u8; 32] = h[32..].try_into().unwrap();
+        let public = PublicKey(Point::base_mul(&s).compress());
+        Keypair {
+            seed,
+            s,
+            prefix,
+            public,
+        }
+    }
+
+    /// Random keypair from the supplied RNG (tests, simulations).
+    pub fn generate<R: RngCore>(rng: &mut R) -> Keypair {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        Keypair::from_seed(seed)
+    }
+
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    pub fn seed(&self) -> &[u8; 32] {
+        &self.seed
+    }
+
+    /// Sign a message (RFC 8032 §5.1.6). Deterministic.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        let r = {
+            let mut h = Sha512::new();
+            h.update(&self.prefix);
+            h.update(msg);
+            Scalar::from_bytes_wide(&h.finalize())
+        };
+        let r_point = Point::base_mul(&r);
+        let r_enc = r_point.compress();
+        let k = {
+            let mut h = Sha512::new();
+            h.update(&r_enc);
+            h.update(&self.public.0);
+            h.update(msg);
+            Scalar::from_bytes_wide(&h.finalize())
+        };
+        let s = Scalar::muladd(k, self.s, r);
+        let mut sig = [0u8; 64];
+        sig[..32].copy_from_slice(&r_enc);
+        sig[32..].copy_from_slice(&s.to_bytes());
+        Signature(sig)
+    }
+}
+
+impl PublicKey {
+    /// Verify a signature over `msg`. Strict: rejects non-canonical S
+    /// and invalid point encodings.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        let r_enc: [u8; 32] = sig.0[..32].try_into().unwrap();
+        let s_bytes: [u8; 32] = sig.0[32..].try_into().unwrap();
+        let Some(s) = Scalar::from_canonical_bytes(&s_bytes) else {
+            return false;
+        };
+        let Some(a) = Point::decompress(&self.0) else {
+            return false;
+        };
+        let Some(r) = Point::decompress(&r_enc) else {
+            return false;
+        };
+        let k = {
+            let mut h = Sha512::new();
+            h.update(&r_enc);
+            h.update(&self.0);
+            h.update(msg);
+            Scalar::from_bytes_wide(&h.finalize())
+        };
+        // [S]B == R + [k]A
+        let lhs = Point::base_mul(&s);
+        let rhs = r.add(&a.mul(&k));
+        lhs.eq_point(&rhs)
+    }
+
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    pub fn from_hex(hex: &str) -> Option<PublicKey> {
+        let v = hex_decode(hex)?;
+        Some(PublicKey(v.try_into().ok()?))
+    }
+}
+
+impl Signature {
+    pub fn as_bytes(&self) -> &[u8; 64] {
+        &self.0
+    }
+
+    pub fn from_hex(hex: &str) -> Option<Signature> {
+        let v = hex_decode(hex)?;
+        Some(Signature(v.try_into().ok()?))
+    }
+
+    pub fn to_hex(&self) -> String {
+        hex_encode(&self.0)
+    }
+}
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PublicKey({}…)", hex_encode(&self.0[..4]))
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signature({}…)", hex_encode(&self.0[..4]))
+    }
+}
+
+impl Encode for PublicKey {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_fixed(&self.0);
+    }
+}
+
+impl Decode for PublicKey {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(PublicKey(r.get_fixed::<32>()?))
+    }
+}
+
+impl Encode for Signature {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_fixed(&self.0);
+    }
+}
+
+impl Decode for Signature {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(Signature(r.get_fixed::<64>()?))
+    }
+}
+
+/// Free-function verify mirroring [`PublicKey::verify`], returning a
+/// typed error for protocol code that wants to bubble context.
+pub fn verify_strict(pk: &PublicKey, msg: &[u8], sig: &Signature) -> Result<()> {
+    if pk.verify(msg, sig) {
+        Ok(())
+    } else {
+        Err(TransEdgeError::Verification("bad ed25519 signature".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::hex_decode;
+
+    fn seed_from_hex(hex: &str) -> [u8; 32] {
+        hex_decode(hex).unwrap().try_into().unwrap()
+    }
+
+    // RFC 8032 §7.1 TEST 1
+    #[test]
+    fn rfc8032_test1_public_key() {
+        let kp = Keypair::from_seed(seed_from_hex(
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+        ));
+        assert_eq!(
+            hex_encode(kp.public().as_bytes()),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a"
+        );
+    }
+
+    #[test]
+    fn rfc8032_test1_signature() {
+        let kp = Keypair::from_seed(seed_from_hex(
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+        ));
+        let sig = kp.sign(b"");
+        assert_eq!(
+            sig.to_hex(),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+             5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+                .replace(char::is_whitespace, "")
+        );
+        assert!(kp.public().verify(b"", &sig));
+    }
+
+    // RFC 8032 §7.1 TEST 2
+    #[test]
+    fn rfc8032_test2() {
+        let kp = Keypair::from_seed(seed_from_hex(
+            "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+        ));
+        assert_eq!(
+            hex_encode(kp.public().as_bytes()),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c"
+        );
+        let sig = kp.sign(&[0x72]);
+        assert_eq!(
+            sig.to_hex(),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+             085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+                .replace(char::is_whitespace, "")
+        );
+        assert!(kp.public().verify(&[0x72], &sig));
+    }
+
+    // RFC 8032 §7.1 TEST 3
+    #[test]
+    fn rfc8032_test3() {
+        let kp = Keypair::from_seed(seed_from_hex(
+            "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+        ));
+        assert_eq!(
+            hex_encode(kp.public().as_bytes()),
+            "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025"
+        );
+        let sig = kp.sign(&[0xaf, 0x82]);
+        assert_eq!(
+            sig.to_hex(),
+            "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac\
+             18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"
+                .replace(char::is_whitespace, "")
+        );
+        assert!(kp.public().verify(&[0xaf, 0x82], &sig));
+    }
+
+    #[test]
+    fn sign_verify_roundtrip_random_keys() {
+        let mut rng = rand::rngs::mock::StepRng::new(42, 104729);
+        for i in 0..5 {
+            let kp = Keypair::generate(&mut rng);
+            let msg = format!("message number {i}");
+            let sig = kp.sign(msg.as_bytes());
+            assert!(kp.public().verify(msg.as_bytes(), &sig));
+        }
+    }
+
+    #[test]
+    fn tampered_message_fails() {
+        let kp = Keypair::from_seed([7u8; 32]);
+        let sig = kp.sign(b"pay alice 10");
+        assert!(!kp.public().verify(b"pay alice 11", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_fails() {
+        let kp = Keypair::from_seed([7u8; 32]);
+        let mut sig = kp.sign(b"hello");
+        sig.0[5] ^= 0x01;
+        assert!(!kp.public().verify(b"hello", &sig));
+        let mut sig2 = kp.sign(b"hello");
+        sig2.0[40] ^= 0x80; // flip inside S
+        assert!(!kp.public().verify(b"hello", &sig2));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let kp1 = Keypair::from_seed([1u8; 32]);
+        let kp2 = Keypair::from_seed([2u8; 32]);
+        let sig = kp1.sign(b"hello");
+        assert!(!kp2.public().verify(b"hello", &sig));
+    }
+
+    #[test]
+    fn malleability_rejected() {
+        // S' = S + L re-encodes the same residue non-canonically; a
+        // strict verifier must reject it.
+        let kp = Keypair::from_seed([9u8; 32]);
+        let sig = kp.sign(b"msg");
+        let s_bytes: [u8; 32] = sig.0[32..].try_into().unwrap();
+        // add L to S as 256-bit little-endian integers
+        let mut s_limbs = [0u64; 4];
+        for (i, c) in s_bytes.chunks_exact(8).enumerate() {
+            s_limbs[i] = u64::from_le_bytes(c.try_into().unwrap());
+        }
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let t = s_limbs[i] as u128 + super::scalar::L[i] as u128 + carry as u128;
+            s_limbs[i] = t as u64;
+            carry = (t >> 64) as u64;
+        }
+        // If adding L overflowed 256 bits the encoding isn't even
+        // representable; skip in that (improbable) case.
+        if carry == 0 {
+            let mut forged = sig;
+            for (i, limb) in s_limbs.iter().enumerate() {
+                forged.0[32 + i * 8..32 + i * 8 + 8].copy_from_slice(&limb.to_le_bytes());
+            }
+            assert!(!kp.public().verify(b"msg", &forged));
+        }
+    }
+
+    #[test]
+    fn signing_is_deterministic() {
+        let kp = Keypair::from_seed([3u8; 32]);
+        assert_eq!(kp.sign(b"x").0.to_vec(), kp.sign(b"x").0.to_vec());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        use transedge_common::wire::roundtrip;
+        let kp = Keypair::from_seed([4u8; 32]);
+        roundtrip(&kp.public());
+        // Signature lacks PartialEq via derive? It has; roundtrip needs Debug+PartialEq.
+        let sig = kp.sign(b"wire");
+        let bytes = sig.encode_to_vec();
+        let back = Signature::decode_all(&bytes).unwrap();
+        assert_eq!(back.0.to_vec(), sig.0.to_vec());
+    }
+
+    #[test]
+    fn verify_strict_returns_typed_error() {
+        let kp = Keypair::from_seed([5u8; 32]);
+        let sig = kp.sign(b"ok");
+        assert!(verify_strict(&kp.public(), b"ok", &sig).is_ok());
+        assert!(verify_strict(&kp.public(), b"no", &sig).is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! Arithmetic modulo the Ed25519 group order
+//! L = 2²⁵² + 27742317777372353535851937790883648493.
+//!
+//! Signatures need `r + k·s mod L` with 512-bit inputs (SHA-512
+//! outputs). Reduction uses simple binary long division over u64 limbs
+//! — a few microseconds per reduction, irrelevant next to the point
+//! multiplications, and easy to audit.
+
+/// L as little-endian limbs.
+pub const L: [u64; 4] = [
+    0x5812_631a_5cf5_d3ed,
+    0x14de_f9de_a2f7_9cd6,
+    0x0000_0000_0000_0000,
+    0x1000_0000_0000_0000,
+];
+
+/// A scalar in [0, L).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Scalar(pub [u64; 4]);
+
+fn geq_n(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+    }
+    true
+}
+
+/// a -= b in place (a >= b), equal lengths.
+fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let t = (a[i] as u128).wrapping_sub(b[i] as u128 + borrow as u128);
+        a[i] = t as u64;
+        borrow = ((t >> 64) as u64) & 1;
+    }
+    debug_assert_eq!(borrow, 0);
+}
+
+/// Reduce an arbitrary little-endian limb value mod L by binary long
+/// division: repeatedly subtract shifted copies of L.
+fn reduce_limbs(value: &[u64]) -> [u64; 4] {
+    let n = value.len();
+    let mut rem = value.to_vec();
+    // Highest shift where L << shift could still be <= value:
+    // value < 2^(64n), L >= 2^252, so shift <= 64n - 252.
+    let max_shift = (64 * n).saturating_sub(252);
+    for shift in (0..=max_shift).rev() {
+        // Build L << shift into an n-limb buffer (skip if it overflows n limbs).
+        let word = shift / 64;
+        let bits = shift % 64;
+        let mut shifted = vec![0u64; n];
+        let mut overflow = false;
+        for (i, &limb) in L.iter().enumerate() {
+            if limb == 0 {
+                continue;
+            }
+            let lo_idx = i + word;
+            if lo_idx < n {
+                shifted[lo_idx] |= limb << bits;
+            } else if limb << bits != 0 {
+                overflow = true;
+            }
+            if bits > 0 {
+                let hi = limb >> (64 - bits);
+                if hi != 0 {
+                    let hi_idx = i + word + 1;
+                    if hi_idx < n {
+                        shifted[hi_idx] |= hi;
+                    } else {
+                        overflow = true;
+                    }
+                }
+            }
+        }
+        if overflow {
+            continue;
+        }
+        if geq_n(&rem, &shifted) {
+            sub_in_place(&mut rem, &shifted);
+        }
+    }
+    let mut out = [0u64; 4];
+    out.copy_from_slice(&rem[..4]);
+    for &limb in &rem[4..] {
+        debug_assert_eq!(limb, 0);
+    }
+    debug_assert!(!geq_n(&out, &L));
+    out
+}
+
+impl Scalar {
+    pub const ZERO: Scalar = Scalar([0, 0, 0, 0]);
+    pub const ONE: Scalar = Scalar([1, 0, 0, 0]);
+
+    pub fn from_u64(v: u64) -> Scalar {
+        Scalar([v, 0, 0, 0])
+    }
+
+    /// Interpret 32 little-endian bytes, reducing mod L.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Scalar {
+        let mut limbs = [0u64; 4];
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            limbs[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Scalar(reduce_limbs(&limbs))
+    }
+
+    /// Interpret 32 little-endian bytes *without* reduction, if already
+    /// canonical (`< L`). Returns `None` otherwise — used by signature
+    /// verification to reject malleable encodings.
+    pub fn from_canonical_bytes(bytes: &[u8; 32]) -> Option<Scalar> {
+        let mut limbs = [0u64; 4];
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            limbs[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        if geq_n(&limbs, &L) {
+            None
+        } else {
+            Some(Scalar(limbs))
+        }
+    }
+
+    /// Reduce a 64-byte little-endian value (SHA-512 output) mod L.
+    pub fn from_bytes_wide(bytes: &[u8; 64]) -> Scalar {
+        let mut limbs = [0u64; 8];
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            limbs[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Scalar(reduce_limbs(&limbs))
+    }
+
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.0.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        out
+    }
+
+    pub fn add(self, other: Scalar) -> Scalar {
+        let mut limbs = [0u64; 5];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let t = self.0[i] as u128 + other.0[i] as u128 + carry as u128;
+            limbs[i] = t as u64;
+            carry = (t >> 64) as u64;
+        }
+        limbs[4] = carry;
+        Scalar(reduce_limbs(&limbs))
+    }
+
+    pub fn mul(self, other: Scalar) -> Scalar {
+        let mut t = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let cur = t[i + j] as u128 + self.0[i] as u128 * other.0[j] as u128 + carry;
+                t[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            t[i + 4] = carry as u64;
+        }
+        Scalar(reduce_limbs(&t))
+    }
+
+    /// r + k·s mod L — the Ed25519 signing equation.
+    pub fn muladd(k: Scalar, s: Scalar, r: Scalar) -> Scalar {
+        k.mul(s).add(r)
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.0 == [0, 0, 0, 0]
+    }
+
+    /// Iterate bits LSB→MSB.
+    pub fn bit(self, i: usize) -> bool {
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l_equals_2_252_plus_constant() {
+        // Cross-check the hex limbs of L against its defining decimal
+        // form: L = 2²⁵² + 27742317777372353535851937790883648493.
+        // Build the decimal constant with schoolbook ×10 + digit.
+        let dec = "27742317777372353535851937790883648493";
+        let mut acc = [0u64; 4];
+        for d in dec.bytes() {
+            // acc = acc * 10 + (d - '0')
+            let mut carry = (d - b'0') as u128;
+            for limb in acc.iter_mut() {
+                let cur = *limb as u128 * 10 + carry;
+                *limb = cur as u64;
+                carry = cur >> 64;
+            }
+            assert_eq!(carry, 0);
+        }
+        // add 2^252
+        acc[3] += 1u64 << 60;
+        assert_eq!(acc, L);
+    }
+
+    #[test]
+    fn add_wraps_mod_l() {
+        let lm1 = Scalar([L[0] - 1, L[1], L[2], L[3]]); // L - 1
+        assert_eq!(lm1.add(Scalar::ONE), Scalar::ZERO);
+        assert_eq!(lm1.add(Scalar::from_u64(3)), Scalar::from_u64(2));
+    }
+
+    #[test]
+    fn mul_small_values() {
+        assert_eq!(
+            Scalar::from_u64(7).mul(Scalar::from_u64(8)),
+            Scalar::from_u64(56)
+        );
+        assert_eq!(Scalar::ZERO.mul(Scalar::from_u64(8)), Scalar::ZERO);
+    }
+
+    #[test]
+    fn from_bytes_reduces() {
+        // All-ones 32 bytes is > L and must reduce to a value < L.
+        let s = Scalar::from_bytes(&[0xFF; 32]);
+        assert!(geq_n(&L, &s.0));
+        assert_ne!(s.0, [0xFFFF_FFFF_FFFF_FFFF; 4]);
+    }
+
+    #[test]
+    fn canonical_bytes_rejects_non_canonical() {
+        assert!(Scalar::from_canonical_bytes(&[0xFF; 32]).is_none());
+        let mut l_bytes = [0u8; 32];
+        for (i, limb) in L.iter().enumerate() {
+            l_bytes[i * 8..i * 8 + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        assert!(Scalar::from_canonical_bytes(&l_bytes).is_none());
+        // L - 1 is canonical.
+        l_bytes[0] -= 1;
+        assert!(Scalar::from_canonical_bytes(&l_bytes).is_some());
+        assert!(Scalar::from_canonical_bytes(&[0u8; 32]).is_some());
+    }
+
+    #[test]
+    fn wide_reduction_matches_composed_arithmetic() {
+        // (2^256 mod L) computed two ways: wide reduction of 2^256, and
+        // ((2^128 mod L)^2) via mul.
+        let mut wide = [0u8; 64];
+        wide[32] = 1; // 2^256
+        let a = Scalar::from_bytes_wide(&wide);
+        let mut b128 = [0u8; 32];
+        b128[16] = 1; // 2^128
+        let b = Scalar::from_bytes(&b128);
+        assert_eq!(a, b.mul(b));
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let s = Scalar::from_bytes(&[7u8; 32]);
+        assert_eq!(Scalar::from_bytes(&s.to_bytes()), s);
+    }
+
+    #[test]
+    fn muladd_matches_definition() {
+        let k = Scalar::from_u64(3);
+        let s = Scalar::from_u64(5);
+        let r = Scalar::from_u64(11);
+        assert_eq!(Scalar::muladd(k, s, r), Scalar::from_u64(26));
+    }
+
+    #[test]
+    fn bit_access() {
+        let s = Scalar::from_u64(0b1010);
+        assert!(!s.bit(0));
+        assert!(s.bit(1));
+        assert!(!s.bit(2));
+        assert!(s.bit(3));
+        assert!(!s.bit(255));
+    }
+}

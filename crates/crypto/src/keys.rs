@@ -1,0 +1,188 @@
+//! Key material registry for a deployment.
+//!
+//! The paper assumes "each edge node has a unique public/private key
+//! that it uses in all communications" (§2, Interface) and that the
+//! membership of each cluster is known (permissioned setting, §6.1).
+//! [`KeyStore`] is that public-key directory: every node can look up
+//! every other node's verification key. Secret keys live only inside
+//! the owning node's actor.
+
+use std::collections::HashMap;
+
+use transedge_common::{ClusterTopology, NodeId, ReplicaId, Result, TransEdgeError};
+
+use crate::ed25519::{Keypair, PublicKey, Signature};
+use crate::hmac::derive_seed;
+
+/// Public-key directory for a whole deployment, plus deterministic
+/// keypair derivation for the simulator.
+#[derive(Clone, Default)]
+pub struct KeyStore {
+    keys: HashMap<NodeId, PublicKey>,
+}
+
+impl KeyStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Derive keypairs for every replica of a topology from one master
+    /// seed. Deterministic: the same seed yields the same deployment.
+    /// Returns the public directory and the per-replica keypairs (to be
+    /// handed to each simulated node).
+    pub fn for_topology(
+        topology: &ClusterTopology,
+        master_seed: &[u8; 32],
+    ) -> (KeyStore, HashMap<ReplicaId, Keypair>) {
+        let mut store = KeyStore::new();
+        let mut secrets = HashMap::new();
+        for replica in topology.all_replicas() {
+            let label = format!("replica/{}/{}", replica.cluster.0, replica.index);
+            let kp = Keypair::from_seed(derive_seed(master_seed, &label));
+            store.register(NodeId::Replica(replica), kp.public());
+            secrets.insert(replica, kp);
+        }
+        (store, secrets)
+    }
+
+    /// Register a node's public key (setup time only — the permissioned
+    /// membership is fixed before the system starts).
+    pub fn register(&mut self, node: NodeId, key: PublicKey) {
+        self.keys.insert(node, key);
+    }
+
+    /// Look up a node's public key.
+    pub fn public_key(&self, node: NodeId) -> Option<PublicKey> {
+        self.keys.get(&node).copied()
+    }
+
+    /// Verify that `sig` is `node`'s signature over `msg`.
+    pub fn verify(&self, node: NodeId, msg: &[u8], sig: &Signature) -> Result<()> {
+        let pk = self
+            .public_key(node)
+            .ok_or_else(|| TransEdgeError::Unknown(format!("no public key for {node}")))?;
+        if pk.verify(msg, sig) {
+            Ok(())
+        } else {
+            Err(TransEdgeError::Verification(format!(
+                "bad signature from {node}"
+            )))
+        }
+    }
+
+    /// Count how many of the `(signer, signature)` pairs are valid
+    /// signatures over `msg` from *distinct* registered nodes. Used for
+    /// `f+1` / `2f+1` certificate checks.
+    pub fn count_valid(&self, msg: &[u8], sigs: &[(NodeId, Signature)]) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        sigs.iter()
+            .filter(|(node, sig)| {
+                seen.insert(*node) && self.verify(*node, msg, sig).is_ok()
+            })
+            .count()
+    }
+
+    /// Require at least `quorum` valid signatures over `msg`.
+    pub fn require_quorum(
+        &self,
+        msg: &[u8],
+        sigs: &[(NodeId, Signature)],
+        quorum: usize,
+    ) -> Result<()> {
+        let got = self.count_valid(msg, sigs);
+        if got >= quorum {
+            Ok(())
+        } else {
+            Err(TransEdgeError::QuorumNotMet {
+                wanted: quorum,
+                got,
+            })
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transedge_common::ClusterId;
+
+    fn deployment() -> (KeyStore, HashMap<ReplicaId, Keypair>) {
+        let topo = ClusterTopology::new(2, 1).unwrap();
+        KeyStore::for_topology(&topo, &[42u8; 32])
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let (a, _) = deployment();
+        let (b, _) = deployment();
+        let r = NodeId::Replica(ReplicaId::new(ClusterId(0), 0));
+        assert_eq!(a.public_key(r), b.public_key(r));
+        assert_eq!(a.len(), 8); // 2 clusters × 4 replicas
+    }
+
+    #[test]
+    fn different_replicas_have_different_keys() {
+        let (store, _) = deployment();
+        let a = store
+            .public_key(NodeId::Replica(ReplicaId::new(ClusterId(0), 0)))
+            .unwrap();
+        let b = store
+            .public_key(NodeId::Replica(ReplicaId::new(ClusterId(0), 1)))
+            .unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn verify_via_store() {
+        let (store, secrets) = deployment();
+        let r = ReplicaId::new(ClusterId(1), 2);
+        let sig = secrets[&r].sign(b"batch 7");
+        assert!(store.verify(NodeId::Replica(r), b"batch 7", &sig).is_ok());
+        assert!(store.verify(NodeId::Replica(r), b"batch 8", &sig).is_err());
+        // Signature attributed to the wrong node fails.
+        let other = NodeId::Replica(ReplicaId::new(ClusterId(1), 3));
+        assert!(store.verify(other, b"batch 7", &sig).is_err());
+    }
+
+    #[test]
+    fn quorum_counting_dedupes_signers() {
+        let (store, secrets) = deployment();
+        let r0 = ReplicaId::new(ClusterId(0), 0);
+        let r1 = ReplicaId::new(ClusterId(0), 1);
+        let msg = b"root";
+        let s0 = secrets[&r0].sign(msg);
+        let s1 = secrets[&r1].sign(msg);
+        // Duplicate signer must count once.
+        let sigs = vec![
+            (NodeId::Replica(r0), s0),
+            (NodeId::Replica(r0), s0),
+            (NodeId::Replica(r1), s1),
+        ];
+        assert_eq!(store.count_valid(msg, &sigs), 2);
+        assert!(store.require_quorum(msg, &sigs, 2).is_ok());
+        assert_eq!(
+            store.require_quorum(msg, &sigs, 3),
+            Err(TransEdgeError::QuorumNotMet { wanted: 3, got: 2 })
+        );
+    }
+
+    #[test]
+    fn unknown_signer_is_an_error() {
+        let (store, secrets) = deployment();
+        let r = ReplicaId::new(ClusterId(0), 0);
+        let sig = secrets[&r].sign(b"m");
+        let ghost = NodeId::Replica(ReplicaId::new(ClusterId(9), 9));
+        assert!(matches!(
+            store.verify(ghost, b"m", &sig),
+            Err(TransEdgeError::Unknown(_))
+        ));
+    }
+}

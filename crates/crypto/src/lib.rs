@@ -1,0 +1,66 @@
+//! # transedge-crypto
+//!
+//! Cryptographic substrate for TransEdge, implemented from scratch
+//! because no cryptography crates are available in this offline build
+//! environment:
+//!
+//! * [`sha2`] — SHA-256 and SHA-512 (FIPS 180-4). Round constants are
+//!   *derived* (fractional parts of cube/square roots of primes, found
+//!   by exact integer binary search) rather than transcribed, and the
+//!   implementations are pinned by the standard test vectors.
+//! * [`hmac`] — HMAC-SHA-256 (RFC 2104).
+//! * [`ed25519`] — Ed25519 signatures (RFC 8032): field arithmetic mod
+//!   2²⁵⁵−19, scalar arithmetic mod the group order, twisted Edwards
+//!   point operations in extended coordinates.
+//! * [`merkle`] — the bucketed sparse Merkle tree TransEdge uses as its
+//!   Authenticated Data Structure (ADS), with inclusion and
+//!   non-inclusion proofs.
+//! * [`keys`] — key material and the per-deployment key registry.
+//!
+//! ## Security disclaimer
+//!
+//! This code is written for a *protocol reproduction running inside a
+//! simulator*. It is functionally correct (pinned by test vectors and
+//! algebraic property tests) but makes no constant-time claims and has
+//! had no side-channel review. Do not use it to protect real data.
+
+pub mod digest;
+pub mod ed25519;
+pub mod hmac;
+pub mod keys;
+pub mod merkle;
+pub mod merkle_versioned;
+pub mod sha2;
+
+pub use digest::Digest;
+pub use ed25519::{Keypair, PublicKey, Signature};
+pub use keys::KeyStore;
+pub use merkle::{MerkleProof, MerkleTree};
+pub use merkle_versioned::VersionedMerkleTree;
+pub use sha2::{sha256, sha512, Sha256, Sha512};
+
+/// Domain-separated hash of a wire-encodable structure.
+///
+/// All protocol digests go through this function so that a message of
+/// one type can never be confused with a message of another type that
+/// happens to share a byte representation.
+pub fn hash_encoded<T: transedge_common::Encode>(domain: &str, value: &T) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&(domain.len() as u32).to_le_bytes());
+    h.update(domain.as_bytes());
+    h.update(&value.encode_to_vec());
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_separation_changes_digest() {
+        let a = hash_encoded("batch", &7u64);
+        let b = hash_encoded("txn", &7u64);
+        assert_ne!(a, b);
+        assert_eq!(a, hash_encoded("batch", &7u64));
+    }
+}

@@ -1,0 +1,427 @@
+//! A *versioned* bucketed sparse Merkle tree.
+//!
+//! TransEdge replicas need three things a plain Merkle tree cannot do:
+//!
+//! 1. **Historical proofs** — round two of the distributed read-only
+//!    protocol (paper §4.3.4) serves values *as of an earlier batch*,
+//!    with proofs against that batch's root;
+//! 2. **Speculative application** — a replica validating a leader's
+//!    proposed batch must check the proposed Merkle root *before*
+//!    voting (a byzantine leader may lie about the root), then keep the
+//!    application if the batch decides or roll it back on a view
+//!    change;
+//! 3. **Append-only versioning** — versions are batch numbers; the tree
+//!    for batch `i` must remain reconstructible after batch `i+k` is
+//!    applied.
+//!
+//! Implementation: every node and bucket keeps a small version list
+//! `(version, payload)` ordered by version; lookups binary-search the
+//! list. A journal records which buckets each version touched so
+//! [`VersionedMerkleTree::rollback`] can undo the latest version in
+//! O(touched paths).
+
+use std::collections::HashMap;
+
+use transedge_common::Key;
+
+use crate::digest::Digest;
+use crate::merkle::{BucketEntry, MerkleProof};
+use crate::sha2::{sha256, Sha256};
+
+const TAG_LEAF: u8 = 0x00;
+const TAG_NODE: u8 = 0x01;
+
+fn hash_leaf(entries: &[BucketEntry]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[TAG_LEAF]);
+    h.update(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        h.update(e.key_hash.as_bytes());
+        h.update(e.value_hash.as_bytes());
+    }
+    h.finalize()
+}
+
+fn hash_node(left: &Digest, right: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[TAG_NODE]);
+    h.update(left.as_bytes());
+    h.update(right.as_bytes());
+    h.finalize()
+}
+
+/// Version list: `(version, payload)` pairs, ascending by version.
+type Versions<T> = Vec<(u64, T)>;
+
+fn lookup_at<T>(versions: &Versions<T>, version: u64) -> Option<&T> {
+    let idx = versions.partition_point(|(v, _)| *v <= version);
+    versions[..idx].last().map(|(_, t)| t)
+}
+
+/// The versioned tree. Versions are the batch numbers of the SMR log.
+#[derive(Clone)]
+pub struct VersionedMerkleTree {
+    depth: u32,
+    /// bucket index → versioned entry lists.
+    buckets: HashMap<u64, Versions<Vec<BucketEntry>>>,
+    /// levels[l] : node index → versioned digests (level 0 = leaves).
+    levels: Vec<HashMap<u64, Versions<Digest>>>,
+    defaults: Vec<Digest>,
+    /// version → bucket indices it touched (for rollback).
+    journal: HashMap<u64, Vec<u64>>,
+    latest: Option<u64>,
+}
+
+impl VersionedMerkleTree {
+    pub fn with_depth(depth: u32) -> Self {
+        assert!((1..=48).contains(&depth), "depth out of range");
+        let mut defaults = Vec::with_capacity(depth as usize + 1);
+        defaults.push(hash_leaf(&[]));
+        for l in 0..depth as usize {
+            let d = defaults[l];
+            defaults.push(hash_node(&d, &d));
+        }
+        VersionedMerkleTree {
+            depth,
+            buckets: HashMap::new(),
+            levels: vec![HashMap::new(); depth as usize + 1],
+            defaults,
+            journal: HashMap::new(),
+            latest: None,
+        }
+    }
+
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Latest applied version, if any.
+    pub fn latest_version(&self) -> Option<u64> {
+        self.latest
+    }
+
+    fn bucket_index(&self, key_hash: &Digest) -> u64 {
+        let prefix = u64::from_be_bytes(key_hash.0[..8].try_into().unwrap());
+        prefix >> (64 - self.depth)
+    }
+
+    fn node_at(&self, level: usize, index: u64, version: u64) -> Digest {
+        self.levels[level]
+            .get(&index)
+            .and_then(|v| lookup_at(v, version))
+            .copied()
+            .unwrap_or(self.defaults[level])
+    }
+
+    /// Apply a batch of `(key, value_hash)` updates as `version`,
+    /// returning the new root. Versions must be strictly increasing.
+    pub fn apply_batch<'a>(
+        &mut self,
+        version: u64,
+        updates: impl IntoIterator<Item = (&'a Key, Digest)>,
+    ) -> Digest {
+        assert!(
+            self.latest.map_or(true, |l| version > l),
+            "version {version} not after latest {:?}",
+            self.latest
+        );
+        let mut dirty: Vec<u64> = Vec::new();
+        for (key, value_hash) in updates {
+            let key_hash = sha256(key.as_bytes());
+            let idx = self.bucket_index(&key_hash);
+            let versions = self.buckets.entry(idx).or_default();
+            // Start the new bucket version from the latest contents.
+            let needs_new = versions.last().map_or(true, |(v, _)| *v != version);
+            if needs_new {
+                let snapshot = versions.last().map(|(_, b)| b.clone()).unwrap_or_default();
+                versions.push((version, snapshot));
+                dirty.push(idx);
+            }
+            let bucket = &mut versions.last_mut().unwrap().1;
+            match bucket.binary_search_by(|e| e.key_hash.cmp(&key_hash)) {
+                Ok(pos) => bucket[pos].value_hash = value_hash,
+                Err(pos) => bucket.insert(
+                    pos,
+                    BucketEntry {
+                        key_hash,
+                        value_hash,
+                    },
+                ),
+            }
+        }
+        // Recompute dirty paths level by level.
+        let mut frontier: Vec<u64> = Vec::with_capacity(dirty.len());
+        for &idx in &dirty {
+            let leaf = hash_leaf(lookup_at(&self.buckets[&idx], version).unwrap());
+            push_version(self.levels[0].entry(idx).or_default(), version, leaf);
+            frontier.push(idx >> 1);
+        }
+        frontier.sort_unstable();
+        frontier.dedup();
+        for level in 0..self.depth as usize {
+            let mut next = Vec::with_capacity(frontier.len());
+            for &parent in &frontier {
+                let left = self.node_at(level, parent << 1, version);
+                let right = self.node_at(level, (parent << 1) | 1, version);
+                let digest = hash_node(&left, &right);
+                push_version(
+                    self.levels[level + 1].entry(parent).or_default(),
+                    version,
+                    digest,
+                );
+                next.push(parent >> 1);
+            }
+            next.sort_unstable();
+            next.dedup();
+            frontier = next;
+        }
+        // Even an empty batch records a root version so `root_at` works.
+        if dirty.is_empty() {
+            let prev_root = self
+                .latest
+                .map(|l| self.root_at(l))
+                .unwrap_or(self.defaults[self.depth as usize]);
+            push_version(
+                self.levels[self.depth as usize].entry(0).or_default(),
+                version,
+                prev_root,
+            );
+        }
+        self.journal.insert(version, dirty);
+        self.latest = Some(version);
+        self.root_at(version)
+    }
+
+    /// Undo the *latest* version (speculative batch rejected / view
+    /// change discarded the proposal).
+    pub fn rollback(&mut self, version: u64) {
+        assert_eq!(self.latest, Some(version), "can only roll back the latest version");
+        let dirty = self.journal.remove(&version).unwrap_or_default();
+        let mut frontier: Vec<u64> = Vec::with_capacity(dirty.len());
+        for idx in dirty {
+            if let Some(versions) = self.buckets.get_mut(&idx) {
+                pop_version(versions, version);
+                if versions.is_empty() {
+                    self.buckets.remove(&idx);
+                }
+            }
+            if let Some(v) = self.levels[0].get_mut(&idx) {
+                pop_version_d(v, version);
+            }
+            frontier.push(idx >> 1);
+        }
+        frontier.sort_unstable();
+        frontier.dedup();
+        for level in 1..=self.depth as usize {
+            let mut next = Vec::with_capacity(frontier.len());
+            for &parent in &frontier {
+                if let Some(v) = self.levels[level].get_mut(&parent) {
+                    pop_version_d(v, version);
+                }
+                next.push(parent >> 1);
+            }
+            next.sort_unstable();
+            next.dedup();
+            frontier = next;
+        }
+        // Root version recorded by an empty batch.
+        if let Some(v) = self.levels[self.depth as usize].get_mut(&0) {
+            pop_version_d(v, version);
+        }
+        // Recompute `latest` from the root node's version list.
+        self.latest = self.levels[self.depth as usize]
+            .get(&0)
+            .and_then(|v| v.last().map(|(ver, _)| *ver));
+    }
+
+    /// Root as of `version` (the default root before any version).
+    pub fn root_at(&self, version: u64) -> Digest {
+        self.node_at(self.depth as usize, 0, version)
+    }
+
+    /// (Non-)inclusion proof for `key` against the root at `version`.
+    pub fn prove_at(&self, key: &Key, version: u64) -> MerkleProof {
+        let key_hash = sha256(key.as_bytes());
+        let idx = self.bucket_index(&key_hash);
+        let bucket = self
+            .buckets
+            .get(&idx)
+            .and_then(|v| lookup_at(v, version))
+            .cloned()
+            .unwrap_or_default();
+        let mut siblings = Vec::with_capacity(self.depth as usize);
+        let mut index = idx;
+        for level in 0..self.depth as usize {
+            siblings.push(self.node_at(level, index ^ 1, version));
+            index >>= 1;
+        }
+        MerkleProof { bucket, siblings }
+    }
+
+    /// Committed value hash for `key` as of `version`.
+    pub fn get_at(&self, key: &Key, version: u64) -> Option<Digest> {
+        let key_hash = sha256(key.as_bytes());
+        let idx = self.bucket_index(&key_hash);
+        let bucket = self.buckets.get(&idx).and_then(|v| lookup_at(v, version))?;
+        let pos = bucket
+            .binary_search_by(|e| e.key_hash.cmp(&key_hash))
+            .ok()?;
+        Some(bucket[pos].value_hash)
+    }
+}
+
+fn push_version<T>(versions: &mut Versions<T>, version: u64, value: T) {
+    if let Some((last_v, last)) = versions.last_mut() {
+        if *last_v == version {
+            *last = value;
+            return;
+        }
+        debug_assert!(*last_v < version);
+    }
+    versions.push((version, value));
+}
+
+fn pop_version<T>(versions: &mut Versions<T>, version: u64) {
+    if versions.last().map_or(false, |(v, _)| *v == version) {
+        versions.pop();
+    }
+}
+
+fn pop_version_d(versions: &mut Versions<Digest>, version: u64) {
+    pop_version(versions, version)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merkle::{value_digest, verify_proof, MerkleTree, Verified};
+    use transedge_common::Value;
+
+    fn k(i: u32) -> Key {
+        Key::from_u32(i)
+    }
+
+    fn vh(s: &str) -> Digest {
+        value_digest(&Value::from(s))
+    }
+
+    #[test]
+    fn matches_plain_tree_roots() {
+        let mut vt = VersionedMerkleTree::with_depth(8);
+        let mut pt = MerkleTree::with_depth(8);
+        for batch in 0..5u64 {
+            let updates: Vec<(Key, Digest)> = (0..20)
+                .map(|i| (k(batch as u32 * 20 + i), vh(&format!("{batch}-{i}"))))
+                .collect();
+            let root = vt.apply_batch(batch, updates.iter().map(|(k, d)| (k, *d)));
+            pt.batch_update(updates.iter().map(|(k, d)| (k, *d)));
+            assert_eq!(root, pt.root(), "batch {batch}");
+            assert_eq!(vt.root_at(batch), pt.root());
+        }
+    }
+
+    #[test]
+    fn historical_roots_are_stable() {
+        let mut vt = VersionedMerkleTree::with_depth(8);
+        let r0 = vt.apply_batch(0, [(&k(1), vh("a"))]);
+        let r1 = vt.apply_batch(1, [(&k(1), vh("b")), (&k(2), vh("c"))]);
+        let r2 = vt.apply_batch(2, [(&k(3), vh("d"))]);
+        assert_eq!(vt.root_at(0), r0);
+        assert_eq!(vt.root_at(1), r1);
+        assert_eq!(vt.root_at(2), r2);
+        assert_ne!(r0, r1);
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn historical_proofs_verify_against_their_root() {
+        let mut vt = VersionedMerkleTree::with_depth(8);
+        vt.apply_batch(0, [(&k(1), vh("old"))]);
+        vt.apply_batch(1, [(&k(1), vh("new"))]);
+        let r0 = vt.root_at(0);
+        let r1 = vt.root_at(1);
+        // Proof at version 0 shows the old value.
+        let p0 = vt.prove_at(&k(1), 0);
+        assert_eq!(
+            verify_proof(&r0, 8, &k(1), &p0).unwrap(),
+            Verified::Present(vh("old"))
+        );
+        // Proof at version 1 shows the new value.
+        let p1 = vt.prove_at(&k(1), 1);
+        assert_eq!(
+            verify_proof(&r1, 8, &k(1), &p1).unwrap(),
+            Verified::Present(vh("new"))
+        );
+        // Cross-version verification fails.
+        assert!(verify_proof(&r1, 8, &k(1), &p0).is_err());
+    }
+
+    #[test]
+    fn absent_key_has_non_inclusion_proof_at_every_version() {
+        let mut vt = VersionedMerkleTree::with_depth(6);
+        vt.apply_batch(0, [(&k(1), vh("a"))]);
+        vt.apply_batch(3, [(&k(2), vh("b"))]);
+        for version in [0u64, 3] {
+            let p = vt.prove_at(&k(999), version);
+            assert_eq!(
+                verify_proof(&vt.root_at(version), 6, &k(999), &p).unwrap(),
+                Verified::Absent
+            );
+        }
+    }
+
+    #[test]
+    fn rollback_restores_previous_state() {
+        let mut vt = VersionedMerkleTree::with_depth(8);
+        vt.apply_batch(0, [(&k(1), vh("a"))]);
+        let r0 = vt.root_at(0);
+        vt.apply_batch(1, [(&k(1), vh("b")), (&k(7), vh("x"))]);
+        assert_ne!(vt.root_at(1), r0);
+        vt.rollback(1);
+        assert_eq!(vt.latest_version(), Some(0));
+        assert_eq!(vt.root_at(0), r0);
+        assert_eq!(vt.get_at(&k(1), 10), Some(vh("a"))); // version 1 gone
+        assert_eq!(vt.get_at(&k(7), 10), None);
+        // Re-applying version 1 with different content works.
+        let r1b = vt.apply_batch(1, [(&k(1), vh("c"))]);
+        assert_eq!(vt.root_at(1), r1b);
+    }
+
+    #[test]
+    fn empty_batch_pins_root_version() {
+        let mut vt = VersionedMerkleTree::with_depth(8);
+        vt.apply_batch(0, [(&k(1), vh("a"))]);
+        let r0 = vt.root_at(0);
+        let r1 = vt.apply_batch(1, std::iter::empty::<(&Key, Digest)>());
+        assert_eq!(r0, r1);
+        assert_eq!(vt.latest_version(), Some(1));
+        vt.rollback(1);
+        assert_eq!(vt.latest_version(), Some(0));
+    }
+
+    #[test]
+    fn versions_before_first_use_default_root() {
+        let vt = VersionedMerkleTree::with_depth(8);
+        let plain = MerkleTree::with_depth(8);
+        assert_eq!(vt.root_at(0), plain.root());
+    }
+
+    #[test]
+    #[should_panic(expected = "not after latest")]
+    fn non_monotonic_version_panics() {
+        let mut vt = VersionedMerkleTree::with_depth(8);
+        vt.apply_batch(5, [(&k(1), vh("a"))]);
+        vt.apply_batch(5, [(&k(2), vh("b"))]);
+    }
+
+    #[test]
+    fn get_at_reflects_version_history() {
+        let mut vt = VersionedMerkleTree::with_depth(8);
+        vt.apply_batch(2, [(&k(1), vh("v2"))]);
+        vt.apply_batch(5, [(&k(1), vh("v5"))]);
+        assert_eq!(vt.get_at(&k(1), 1), None);
+        assert_eq!(vt.get_at(&k(1), 2), Some(vh("v2")));
+        assert_eq!(vt.get_at(&k(1), 4), Some(vh("v2")));
+        assert_eq!(vt.get_at(&k(1), 5), Some(vh("v5")));
+    }
+}

@@ -1,0 +1,563 @@
+//! SHA-256 and SHA-512 (FIPS 180-4), from scratch.
+//!
+//! The 64 + 80 round constants and the initial hash states are not
+//! transcribed from the standard — they are *derived* at first use:
+//! FIPS 180-4 defines them as the first 32/64 bits of the fractional
+//! parts of the square roots (initial state) and cube roots (round
+//! constants) of the first primes. We compute those fractional parts
+//! exactly with integer binary search over multi-limb products, which
+//! removes any chance of a transcription typo. The standard test
+//! vectors below then pin the whole construction.
+
+use std::sync::OnceLock;
+
+use crate::digest::Digest;
+
+// ---------------------------------------------------------------------------
+// Exact constant derivation
+// ---------------------------------------------------------------------------
+
+/// Schoolbook multiply of little-endian u64 limb slices.
+fn mul_limbs(a: &[u64], b: &[u64], out: &mut [u64]) {
+    for o in out.iter_mut() {
+        *o = 0;
+    }
+    for (i, &ai) in a.iter().enumerate() {
+        let mut carry: u128 = 0;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+}
+
+/// Lexicographic compare of little-endian limb slices (equal length).
+fn cmp_limbs(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            std::cmp::Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// `floor(sqrt(p) * 2^64) mod 2^64` — the first 64 fractional bits of
+/// `sqrt(p)` for non-square `p`.
+fn sqrt_frac64(p: u64) -> u64 {
+    // Find x = floor(sqrt(p * 2^128)) by binary search; x < 2^68 for
+    // p < 2^8 but we allow any u64 p. x fits u128.
+    let target = [0u64, 0, p, 0]; // p * 2^128 as 4 limbs
+    let mut lo: u128 = 0;
+    let mut hi: u128 = 1u128 << 96; // sqrt(2^64 * 2^128) = 2^96
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        let m = [mid as u64, (mid >> 64) as u64];
+        let mut sq = [0u64; 4];
+        mul_limbs(&m, &m, &mut sq);
+        if cmp_limbs(&sq, &target) != std::cmp::Ordering::Greater {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u64
+}
+
+/// `floor(cbrt(p) * 2^64) mod 2^64` — the first 64 fractional bits of
+/// `cbrt(p)` for non-cube `p`.
+fn cbrt_frac64(p: u64) -> u64 {
+    // Find x = floor(cbrt(p * 2^192)); x < 2^(64 + ceil(log2(p)/3) + 1).
+    let target = [0u64, 0, 0, p, 0, 0]; // p * 2^192 as 6 limbs
+    let mut lo: u128 = 0;
+    let mut hi: u128 = 1u128 << 86; // cbrt(2^64 * 2^192) ≈ 2^85.3
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        let m = [mid as u64, (mid >> 64) as u64];
+        let mut sq = [0u64; 4];
+        mul_limbs(&m, &m, &mut sq);
+        let mut cu = [0u64; 6];
+        mul_limbs(&sq, &m, &mut cu);
+        if cmp_limbs(&cu, &target) != std::cmp::Ordering::Greater {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u64
+}
+
+/// First `n` primes by trial division (n ≤ 80, tiny).
+fn first_primes(n: usize) -> Vec<u64> {
+    let mut primes = Vec::with_capacity(n);
+    let mut cand = 2u64;
+    while primes.len() < n {
+        if primes.iter().all(|&p| cand % p != 0) {
+            primes.push(cand);
+        }
+        cand += 1;
+    }
+    primes
+}
+
+struct Sha256Consts {
+    h0: [u32; 8],
+    k: [u32; 64],
+}
+
+struct Sha512Consts {
+    h0: [u64; 8],
+    k: [u64; 80],
+}
+
+fn sha256_consts() -> &'static Sha256Consts {
+    static C: OnceLock<Sha256Consts> = OnceLock::new();
+    C.get_or_init(|| {
+        let primes = first_primes(64);
+        let mut h0 = [0u32; 8];
+        for (i, h) in h0.iter_mut().enumerate() {
+            *h = (sqrt_frac64(primes[i]) >> 32) as u32;
+        }
+        let mut k = [0u32; 64];
+        for (i, kk) in k.iter_mut().enumerate() {
+            *kk = (cbrt_frac64(primes[i]) >> 32) as u32;
+        }
+        Sha256Consts { h0, k }
+    })
+}
+
+fn sha512_consts() -> &'static Sha512Consts {
+    static C: OnceLock<Sha512Consts> = OnceLock::new();
+    C.get_or_init(|| {
+        let primes = first_primes(80);
+        let mut h0 = [0u64; 8];
+        for (i, h) in h0.iter_mut().enumerate() {
+            *h = sqrt_frac64(primes[i]);
+        }
+        let mut k = [0u64; 80];
+        for (i, kk) in k.iter_mut().enumerate() {
+            *kk = cbrt_frac64(primes[i]);
+        }
+        Sha512Consts { h0, k }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// SHA-256
+// ---------------------------------------------------------------------------
+
+/// Streaming SHA-256 hasher.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    pub fn new() -> Self {
+        Sha256 {
+            state: sha256_consts().h0,
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    pub fn update(&mut self, mut data: &[u8]) -> &mut Self {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            self.compress(block.try_into().unwrap());
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+        self
+    }
+
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 8-byte big-endian bit length.
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        let pad_len = if self.buf_len < 56 {
+            56 - self.buf_len
+        } else {
+            120 - self.buf_len
+        };
+        pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
+        // Bypass total_len accounting while flushing padding.
+        let mut data = &pad[..pad_len + 8];
+        if self.buf_len > 0 {
+            let take = 64 - self.buf_len;
+            self.buf[self.buf_len..].copy_from_slice(&data[..take]);
+            let block = self.buf;
+            self.compress(&block);
+            data = &data[take..];
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            self.compress(block.try_into().unwrap());
+            data = rest;
+        }
+        debug_assert!(data.is_empty());
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let k = &sha256_consts().k;
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+        }
+        for t in 16..64 {
+            let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+            let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+            w[t] = w[t - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[t - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for t in 0..64 {
+            let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(big_s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[t])
+                .wrapping_add(w[t]);
+            let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = big_s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256.
+pub fn sha256(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+// ---------------------------------------------------------------------------
+// SHA-512
+// ---------------------------------------------------------------------------
+
+/// Streaming SHA-512 hasher (needed by Ed25519).
+#[derive(Clone)]
+pub struct Sha512 {
+    state: [u64; 8],
+    buf: [u8; 128],
+    buf_len: usize,
+    total_len: u128,
+}
+
+impl Default for Sha512 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha512 {
+    pub fn new() -> Self {
+        Sha512 {
+            state: sha512_consts().h0,
+            buf: [0; 128],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    pub fn update(&mut self, mut data: &[u8]) -> &mut Self {
+        self.total_len = self.total_len.wrapping_add(data.len() as u128);
+        if self.buf_len > 0 {
+            let take = (128 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 128 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 128 {
+            let (block, rest) = data.split_at(128);
+            self.compress(block.try_into().unwrap());
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+        self
+    }
+
+    /// Finalize into the full 64-byte output.
+    pub fn finalize(mut self) -> [u8; 64] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        let mut pad = [0u8; 144];
+        pad[0] = 0x80;
+        let pad_len = if self.buf_len < 112 {
+            112 - self.buf_len
+        } else {
+            240 - self.buf_len
+        };
+        pad[pad_len..pad_len + 16].copy_from_slice(&bit_len.to_be_bytes());
+        let mut data = &pad[..pad_len + 16];
+        if self.buf_len > 0 {
+            let take = 128 - self.buf_len;
+            self.buf[self.buf_len..].copy_from_slice(&data[..take]);
+            let block = self.buf;
+            self.compress(&block);
+            data = &data[take..];
+        }
+        while data.len() >= 128 {
+            let (block, rest) = data.split_at(128);
+            self.compress(block.try_into().unwrap());
+            data = rest;
+        }
+        debug_assert!(data.is_empty());
+        let mut out = [0u8; 64];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 128]) {
+        let k = &sha512_consts().k;
+        let mut w = [0u64; 80];
+        for (i, chunk) in block.chunks_exact(8).enumerate() {
+            w[i] = u64::from_be_bytes(chunk.try_into().unwrap());
+        }
+        for t in 16..80 {
+            let s0 = w[t - 15].rotate_right(1) ^ w[t - 15].rotate_right(8) ^ (w[t - 15] >> 7);
+            let s1 = w[t - 2].rotate_right(19) ^ w[t - 2].rotate_right(61) ^ (w[t - 2] >> 6);
+            w[t] = w[t - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[t - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for t in 0..80 {
+            let big_s1 = e.rotate_right(14) ^ e.rotate_right(18) ^ e.rotate_right(41);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(big_s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[t])
+                .wrapping_add(w[t]);
+            let big_s0 = a.rotate_right(28) ^ a.rotate_right(34) ^ a.rotate_right(39);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = big_s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-512.
+pub fn sha512(data: &[u8]) -> [u8; 64] {
+    let mut h = Sha512::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::hex_encode;
+
+    #[test]
+    fn derived_constants_match_fips() {
+        // Spot checks against the well-known first constants of FIPS
+        // 180-4; the full arrays are pinned transitively by the test
+        // vectors below.
+        let c = sha256_consts();
+        assert_eq!(c.h0[0], 0x6a09e667);
+        assert_eq!(c.h0[7], 0x5be0cd19);
+        assert_eq!(c.k[0], 0x428a2f98);
+        assert_eq!(c.k[1], 0x71374491);
+        assert_eq!(c.k[63], 0xc67178f2);
+        let c = sha512_consts();
+        assert_eq!(c.h0[0], 0x6a09e667f3bcc908);
+        assert_eq!(c.k[0], 0x428a2f98d728ae22);
+        assert_eq!(c.k[79], 0x6c44198c4a475817);
+    }
+
+    #[test]
+    fn sha256_empty() {
+        assert_eq!(
+            sha256(b"").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn sha256_abc() {
+        assert_eq!(
+            sha256(b"abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn sha256_two_block_message() {
+        assert_eq!(
+            sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_million_a() {
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            h.finalize().to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn sha256_streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        // Feed in awkward chunk sizes crossing block boundaries.
+        for chunk_size in [1usize, 3, 63, 64, 65, 127] {
+            let mut h = Sha256::new();
+            for c in data.chunks(chunk_size) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), sha256(&data), "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn sha256_padding_boundaries() {
+        // Lengths around the 56-byte padding threshold and block size.
+        for len in [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0x5Au8; len];
+            let mut h = Sha256::new();
+            h.update(&data);
+            // Compare against splitting at every position.
+            let mid = len / 2;
+            let mut h2 = Sha256::new();
+            h2.update(&data[..mid]);
+            h2.update(&data[mid..]);
+            assert_eq!(h.finalize(), h2.finalize(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn sha512_empty() {
+        assert_eq!(
+            hex_encode(&sha512(b"")),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce\
+             47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e"
+                .replace(char::is_whitespace, "")
+        );
+    }
+
+    #[test]
+    fn sha512_abc() {
+        assert_eq!(
+            hex_encode(&sha512(b"abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a\
+             2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"
+                .replace(char::is_whitespace, "")
+        );
+    }
+
+    #[test]
+    fn sha512_streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..5000u32).map(|i| (i % 253) as u8).collect();
+        for chunk_size in [1usize, 7, 127, 128, 129, 255] {
+            let mut h = Sha512::new();
+            for c in data.chunks(chunk_size) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), sha512(&data), "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn sha512_padding_boundaries() {
+        for len in [0usize, 111, 112, 113, 127, 128, 129, 239, 240, 256] {
+            let data = vec![0xA5u8; len];
+            let mid = len / 2;
+            let mut h2 = Sha512::new();
+            h2.update(&data[..mid]);
+            h2.update(&data[mid..]);
+            assert_eq!(sha512(&data), h2.finalize(), "len {len}");
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Property-based tests over the signature and hash primitives.
+
+use proptest::prelude::*;
+use transedge_crypto::{sha256, Keypair};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))] // signing is ~100µs/op
+
+    /// sign/verify round-trips for arbitrary seeds and messages.
+    #[test]
+    fn ed25519_roundtrip(seed in any::<[u8; 32]>(), msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let kp = Keypair::from_seed(seed);
+        let sig = kp.sign(&msg);
+        prop_assert!(kp.public().verify(&msg, &sig));
+    }
+
+    /// Verification rejects any single bit flip in the message.
+    #[test]
+    fn ed25519_rejects_bitflips(
+        seed in any::<[u8; 32]>(),
+        msg in proptest::collection::vec(any::<u8>(), 1..64),
+        flip_byte in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let kp = Keypair::from_seed(seed);
+        let sig = kp.sign(&msg);
+        let mut tampered = msg.clone();
+        let idx = flip_byte.index(tampered.len());
+        tampered[idx] ^= 1 << flip_bit;
+        prop_assert!(!kp.public().verify(&tampered, &sig));
+    }
+
+    /// SHA-256 streaming equals one-shot for any chunking.
+    #[test]
+    fn sha256_chunking_invariance(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let mid = if data.is_empty() { 0 } else { split.index(data.len()) };
+        let mut h = transedge_crypto::Sha256::new();
+        h.update(&data[..mid]);
+        h.update(&data[mid..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// Distinct messages (almost surely) hash differently — and equal
+    /// messages always hash equally.
+    #[test]
+    fn sha256_deterministic(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        prop_assert_eq!(sha256(&data), sha256(&data));
+        let mut other = data.clone();
+        other.push(0x01);
+        prop_assert_ne!(sha256(&data), sha256(&other));
+    }
+}

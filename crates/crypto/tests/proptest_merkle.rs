@@ -1,0 +1,124 @@
+//! Property-based tests: the Merkle trees against a HashMap model.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use transedge_common::{Key, Value};
+use transedge_crypto::merkle::{value_digest, verify_proof, Verified};
+use transedge_crypto::{Digest, MerkleTree, VersionedMerkleTree};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u16, u8),
+    Remove(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        any::<u16>().prop_map(|k| Op::Remove(k % 512)),
+    ]
+}
+
+fn vh(tag: u8) -> Digest {
+    value_digest(&Value::filled(8, tag))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any op sequence: tree contents match a HashMap model, every
+    /// present key has a verifying inclusion proof, every absent key a
+    /// verifying non-inclusion proof.
+    #[test]
+    fn merkle_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        // Shallow tree → dense buckets → collision paths exercised.
+        let mut tree = MerkleTree::with_depth(4);
+        let mut model: HashMap<u16, u8> = HashMap::new();
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => {
+                    tree.insert(&Key::from_u32(*k as u32), vh(*v));
+                    model.insert(*k, *v);
+                }
+                Op::Remove(k) => {
+                    tree.remove(&Key::from_u32(*k as u32));
+                    model.remove(k);
+                }
+            }
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        let root = tree.root();
+        // Every modelled key verifies with the right value hash.
+        for (k, v) in &model {
+            let key = Key::from_u32(*k as u32);
+            let proof = tree.prove(&key);
+            let got = verify_proof(&root, 4, &key, &proof).unwrap();
+            prop_assert_eq!(got, Verified::Present(vh(*v)));
+        }
+        // A few absent keys verify as absent.
+        for k in 600u32..605 {
+            let key = Key::from_u32(k);
+            let proof = tree.prove(&key);
+            prop_assert_eq!(verify_proof(&root, 4, &key, &proof).unwrap(), Verified::Absent);
+        }
+    }
+
+    /// Root is a pure function of contents: any insertion order yields
+    /// the same root.
+    #[test]
+    fn merkle_root_is_order_independent(
+        mut entries in proptest::collection::hash_map(any::<u16>(), any::<u8>(), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let items: Vec<(u16, u8)> = entries.drain().collect();
+        let mut a = MerkleTree::with_depth(6);
+        for (k, v) in &items {
+            a.insert(&Key::from_u32(*k as u32), vh(*v));
+        }
+        // Shuffle deterministically by seed.
+        let mut shuffled = items.clone();
+        let mut s = seed;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (s as usize) % (i + 1));
+        }
+        let mut b = MerkleTree::with_depth(6);
+        for (k, v) in &shuffled {
+            b.insert(&Key::from_u32(*k as u32), vh(*v));
+        }
+        prop_assert_eq!(a.root(), b.root());
+    }
+
+    /// Versioned tree: historical roots and proofs stay valid as new
+    /// versions apply; rollback restores the previous root exactly.
+    #[test]
+    fn versioned_history_is_immutable(
+        batches in proptest::collection::vec(
+            proptest::collection::vec((any::<u16>(), any::<u8>()), 1..10),
+            1..8,
+        )
+    ) {
+        let mut vt = VersionedMerkleTree::with_depth(6);
+        let mut roots = Vec::new();
+        for (version, batch) in batches.iter().enumerate() {
+            let keys: Vec<(Key, Digest)> = batch
+                .iter()
+                .map(|(k, v)| (Key::from_u32(*k as u32 % 256), vh(*v)))
+                .collect();
+            let root = vt.apply_batch(version as u64, keys.iter().map(|(k, d)| (k, *d)));
+            roots.push(root);
+        }
+        // All historical roots still readable.
+        for (version, root) in roots.iter().enumerate() {
+            prop_assert_eq!(vt.root_at(version as u64), *root);
+        }
+        // Rollback of the newest version restores the prior root.
+        if roots.len() >= 2 {
+            let last = roots.len() - 1;
+            vt.rollback(last as u64);
+            prop_assert_eq!(vt.latest_version(), Some(last as u64 - 1));
+            prop_assert_eq!(vt.root_at(last as u64), roots[last - 1]);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The actor abstraction protocol code implements.
+
+use rand::rngs::SmallRng;
+use transedge_common::{NodeId, SimDuration, SimTime};
+
+use crate::cost::CostModel;
+
+/// Implemented by every message type that travels the simulated
+/// network, so the latency model can charge bandwidth.
+pub trait SimMessage {
+    /// Approximate wire size in bytes.
+    fn size_bytes(&self) -> usize;
+}
+
+/// Handle to a pending timer, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub(crate) u64);
+
+/// A deterministic event-driven process. One per replica / client.
+///
+/// `Any` is a supertrait so tests and bench harnesses can downcast a
+/// stored actor back to its concrete type for inspection
+/// (`Simulation::actor_as`).
+pub trait Actor<M: SimMessage>: std::any::Any {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
+
+    /// A message arrived from `from`.
+    fn on_message(&mut self, from: NodeId, msg: M, ctx: &mut Context<'_, M>);
+
+    /// A timer set with [`Context::set_timer`] fired. `token` is the
+    /// caller-chosen discriminator.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Context<'_, M>) {}
+}
+
+pub(crate) enum Effect<M> {
+    Send {
+        to: NodeId,
+        msg: M,
+        /// CPU offset within the handler at which the send happened.
+        at_offset: SimDuration,
+    },
+    Timer {
+        id: TimerId,
+        delay: SimDuration,
+        token: u64,
+        at_offset: SimDuration,
+    },
+    Cancel(TimerId),
+}
+
+/// Capabilities handed to an actor while it handles one event.
+///
+/// Effects (sends, timers) are buffered and applied by the simulator
+/// after the handler returns; [`Context::charge`]/[`Context::consume`]
+/// advance the actor's CPU clock so that subsequent sends depart later
+/// and queued messages wait.
+pub struct Context<'a, M> {
+    pub(crate) self_id: NodeId,
+    pub(crate) now: SimTime,
+    pub(crate) consumed: SimDuration,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) cost: &'a CostModel,
+    pub(crate) effects: Vec<Effect<M>>,
+    pub(crate) timer_seq: &'a mut u64,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// This actor's own address.
+    pub fn id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Current simulated time *within* this handler (event arrival time
+    /// plus CPU consumed so far).
+    pub fn now(&self) -> SimTime {
+        self.now + self.consumed
+    }
+
+    /// The cost table for explicit charging.
+    pub fn costs(&self) -> &CostModel {
+        self.cost
+    }
+
+    /// Charge simulated CPU time. Messages sent after this call depart
+    /// later; messages queued behind this actor wait longer.
+    pub fn consume(&mut self, d: SimDuration) {
+        self.consumed += d;
+    }
+
+    /// Convenience: charge a cost-model entry selected by closure.
+    pub fn charge(&mut self, pick: impl FnOnce(&CostModel) -> SimDuration) {
+        let d = pick(self.cost);
+        self.consume(d);
+    }
+
+    /// Send `msg` to `to`. Departure time is the current handler-local
+    /// clock; arrival adds sampled network latency.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.effects.push(Effect::Send {
+            to,
+            msg,
+            at_offset: self.consumed,
+        });
+    }
+
+    /// Send the same message constructor to many destinations.
+    pub fn broadcast(&mut self, to: impl IntoIterator<Item = NodeId>, msg: impl Fn() -> M) {
+        for dest in to {
+            if dest != self.self_id {
+                self.send(dest, msg());
+            }
+        }
+    }
+
+    /// Schedule [`Actor::on_timer`] after `delay`, tagged with `token`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        *self.timer_seq += 1;
+        let id = TimerId(*self.timer_seq);
+        self.effects.push(Effect::Timer {
+            id,
+            delay,
+            token,
+            at_offset: self.consumed,
+        });
+        id
+    }
+
+    /// Cancel a pending timer (no-op if already fired).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::Cancel(id));
+    }
+
+    /// Deterministic per-simulation RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+}

@@ -1,0 +1,153 @@
+//! Fault injection: crashes, drops, partitions.
+//!
+//! Byzantine behaviour is *not* modelled here — a byzantine node is an
+//! [`crate::Actor`] implementation that lies (see
+//! `transedge-consensus::byzantine` for the standard adversaries).
+//! These faults model the network and fail-stop side of the world.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+use transedge_common::{NodeId, SimTime};
+
+/// Declarative fault schedule for a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Probability that any given message is silently dropped.
+    pub drop_prob: f64,
+    /// Nodes that crash (stop receiving/sending) at a given time.
+    pub crashes: Vec<(NodeId, SimTime)>,
+    /// Pairs that cannot communicate (symmetric partition), with an
+    /// optional healing time.
+    pub partitions: Vec<Partition>,
+}
+
+/// A symmetric link cut between two groups of nodes.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    pub group_a: HashSet<NodeId>,
+    pub group_b: HashSet<NodeId>,
+    pub from: SimTime,
+    pub until: Option<SimTime>,
+}
+
+impl FaultPlan {
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Uniform message-drop probability.
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.drop_prob = p;
+        self
+    }
+
+    /// Crash `node` at `at` (it stops processing and emitting).
+    pub fn with_crash(mut self, node: NodeId, at: SimTime) -> Self {
+        self.crashes.push((node, at));
+        self
+    }
+
+    /// Cut all links between `a` and `b` during `[from, until)`.
+    pub fn with_partition(
+        mut self,
+        a: impl IntoIterator<Item = NodeId>,
+        b: impl IntoIterator<Item = NodeId>,
+        from: SimTime,
+        until: Option<SimTime>,
+    ) -> Self {
+        self.partitions.push(Partition {
+            group_a: a.into_iter().collect(),
+            group_b: b.into_iter().collect(),
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Is `node` crashed at `now`?
+    pub fn is_crashed(&self, node: NodeId, now: SimTime) -> bool {
+        self.crashes.iter().any(|(n, at)| *n == node && now >= *at)
+    }
+
+    /// Should a message `from → to` sent at `now` be dropped?
+    pub fn should_drop<R: Rng>(&self, from: NodeId, to: NodeId, now: SimTime, rng: &mut R) -> bool {
+        if self.is_crashed(from, now) || self.is_crashed(to, now) {
+            return true;
+        }
+        for p in &self.partitions {
+            let active = now >= p.from && p.until.map_or(true, |u| now < u);
+            if active {
+                let cross = (p.group_a.contains(&from) && p.group_b.contains(&to))
+                    || (p.group_b.contains(&from) && p.group_a.contains(&to));
+                if cross {
+                    return true;
+                }
+            }
+        }
+        self.drop_prob > 0.0 && rng.gen_bool(self.drop_prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use transedge_common::{ClientId, ClusterId, ReplicaId};
+
+    fn rep(c: u16, i: u16) -> NodeId {
+        NodeId::Replica(ReplicaId::new(ClusterId(c), i))
+    }
+
+    #[test]
+    fn crash_takes_effect_at_time() {
+        let plan = FaultPlan::none().with_crash(rep(0, 1), SimTime(100));
+        assert!(!plan.is_crashed(rep(0, 1), SimTime(99)));
+        assert!(plan.is_crashed(rep(0, 1), SimTime(100)));
+        assert!(!plan.is_crashed(rep(0, 0), SimTime(200)));
+    }
+
+    #[test]
+    fn crashed_node_drops_both_directions() {
+        let plan = FaultPlan::none().with_crash(rep(0, 1), SimTime(0));
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        assert!(plan.should_drop(rep(0, 1), rep(0, 0), SimTime(5), &mut rng));
+        assert!(plan.should_drop(rep(0, 0), rep(0, 1), SimTime(5), &mut rng));
+        assert!(!plan.should_drop(rep(0, 0), rep(0, 2), SimTime(5), &mut rng));
+    }
+
+    #[test]
+    fn partition_window() {
+        let plan = FaultPlan::none().with_partition(
+            [rep(0, 0)],
+            [rep(1, 0)],
+            SimTime(10),
+            Some(SimTime(20)),
+        );
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        assert!(!plan.should_drop(rep(0, 0), rep(1, 0), SimTime(5), &mut rng));
+        assert!(plan.should_drop(rep(0, 0), rep(1, 0), SimTime(15), &mut rng));
+        assert!(plan.should_drop(rep(1, 0), rep(0, 0), SimTime(15), &mut rng));
+        assert!(!plan.should_drop(rep(0, 0), rep(1, 0), SimTime(25), &mut rng));
+    }
+
+    #[test]
+    fn drop_probability_is_statistical() {
+        let plan = FaultPlan::none().with_drop_prob(0.5);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let n = 10_000;
+        let dropped = (0..n)
+            .filter(|_| {
+                plan.should_drop(
+                    rep(0, 0),
+                    NodeId::Client(ClientId(0)),
+                    SimTime(0),
+                    &mut rng,
+                )
+            })
+            .count();
+        let frac = dropped as f64 / n as f64;
+        assert!((0.45..0.55).contains(&frac), "drop fraction {frac}");
+    }
+}

@@ -1,0 +1,566 @@
+//! The discrete-event simulation engine.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use transedge_common::{NodeId, SimDuration, SimTime};
+
+use crate::actor::{Actor, Context, Effect, SimMessage, TimerId};
+use crate::cost::CostModel;
+use crate::fault::FaultPlan;
+use crate::stats::NetStats;
+use crate::topology::LatencyModel;
+
+enum EventKind<M> {
+    Start,
+    Deliver { from: NodeId, msg: M },
+    Timer { token: u64, id: TimerId },
+}
+
+struct Event<M> {
+    time: SimTime,
+    seq: u64,
+    to: NodeId,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The simulator. Owns all actors, the virtual clock, and the event
+/// queue. A run is a pure function of (actors, config, seed).
+pub struct Simulation<M: SimMessage> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Event<M>>,
+    actors: HashMap<NodeId, Box<dyn Actor<M>>>,
+    latency: LatencyModel,
+    cost: CostModel,
+    faults: FaultPlan,
+    rng: SmallRng,
+    busy_until: HashMap<NodeId, SimTime>,
+    cancelled: HashSet<TimerId>,
+    timer_seq: u64,
+    stats: NetStats,
+}
+
+impl<M: SimMessage + 'static> Simulation<M> {
+    pub fn new(latency: LatencyModel, cost: CostModel, faults: FaultPlan, seed: u64) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            actors: HashMap::new(),
+            latency,
+            cost,
+            faults,
+            rng: SmallRng::seed_from_u64(seed),
+            busy_until: HashMap::new(),
+            cancelled: HashSet::new(),
+            timer_seq: 0,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Simple constructor for logic tests: instant network, free CPU.
+    pub fn for_testing(seed: u64) -> Self {
+        Self::new(
+            LatencyModel::instant(),
+            CostModel::zero(),
+            FaultPlan::none(),
+            seed,
+        )
+    }
+
+    /// Register an actor; its [`Actor::on_start`] runs at the current
+    /// simulation time.
+    pub fn add_actor(&mut self, id: NodeId, actor: Box<dyn Actor<M>>) {
+        let prev = self.actors.insert(id, actor);
+        assert!(prev.is_none(), "duplicate actor {id}");
+        let seq = self.next_seq();
+        self.push(Event {
+            time: self.now,
+            seq,
+            to: id,
+            kind: EventKind::Start,
+        });
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    fn push(&mut self, ev: Event<M>) {
+        self.queue.push(ev);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Network statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Inject a message from outside the simulation (e.g. a test acting
+    /// as a client-less driver). Delivered after normal latency.
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.route(from, to, msg, self.now);
+    }
+
+    fn route(&mut self, from: NodeId, to: NodeId, msg: M, departure: SimTime) {
+        let size = msg.size_bytes();
+        self.stats.record_send(size);
+        if self.faults.should_drop(from, to, departure, &mut self.rng) {
+            self.stats.record_drop();
+            return;
+        }
+        let lat = self.latency.sample(from, to, size, &mut self.rng);
+        let seq = self.next_seq();
+        self.push(Event {
+            time: departure + lat,
+            seq,
+            to,
+            kind: EventKind::Deliver { from, msg },
+        });
+    }
+
+    /// Typed inspection of an actor (tests, harnesses).
+    pub fn actor_as<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        let actor = self.actors.get(&id)?;
+        let any: &dyn Any = actor.as_ref();
+        any.downcast_ref::<T>()
+    }
+
+    /// Typed mutable access to an actor.
+    pub fn actor_as_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        let actor = self.actors.get_mut(&id)?;
+        let any: &mut dyn Any = actor.as_mut();
+        any.downcast_mut::<T>()
+    }
+
+    /// Drive one actor entry point, buffering and then applying effects.
+    fn dispatch(&mut self, to: NodeId, time: SimTime, kind: EventKind<M>) {
+        // Temporarily remove the actor to appease the borrow checker;
+        // re-inserted below.
+        let Some(mut actor) = self.actors.remove(&to) else {
+            return;
+        };
+        let mut ctx = Context {
+            self_id: to,
+            now: time,
+            consumed: SimDuration::ZERO,
+            rng: &mut self.rng,
+            cost: &self.cost,
+            effects: Vec::new(),
+            timer_seq: &mut self.timer_seq,
+        };
+        match kind {
+            EventKind::Start => actor.on_start(&mut ctx),
+            EventKind::Deliver { from, msg } => {
+                let overhead = ctx.cost.message_overhead;
+                ctx.consume(overhead);
+                actor.on_message(from, msg, &mut ctx)
+            }
+            EventKind::Timer { token, .. } => actor.on_timer(token, &mut ctx),
+        }
+        let consumed = ctx.consumed;
+        let effects = std::mem::take(&mut ctx.effects);
+        drop(ctx);
+        self.actors.insert(to, actor);
+        self.busy_until.insert(to, time + consumed);
+        for effect in effects {
+            match effect {
+                Effect::Send {
+                    to: dest,
+                    msg,
+                    at_offset,
+                } => {
+                    self.route(to, dest, msg, time + at_offset);
+                }
+                Effect::Timer {
+                    id,
+                    delay,
+                    token,
+                    at_offset,
+                } => {
+                    let seq = self.next_seq();
+                    self.push(Event {
+                        time: time + at_offset + delay,
+                        seq,
+                        to,
+                        kind: EventKind::Timer { token, id },
+                    });
+                }
+                Effect::Cancel(id) => {
+                    self.cancelled.insert(id);
+                }
+            }
+        }
+    }
+
+    /// Process a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        // Crashed actors process nothing.
+        if self.faults.is_crashed(ev.to, ev.time) {
+            return true;
+        }
+        // Cancelled timers are skipped.
+        if let EventKind::Timer { id, .. } = &ev.kind {
+            if self.cancelled.remove(id) {
+                return true;
+            }
+        }
+        // CPU model: if the actor is still busy, the event waits.
+        let busy = self.busy_until.get(&ev.to).copied().unwrap_or(SimTime::ZERO);
+        if busy > ev.time {
+            let seq = self.next_seq();
+            self.push(Event {
+                time: busy,
+                seq,
+                to: ev.to,
+                kind: ev.kind,
+            });
+            return true;
+        }
+        if let EventKind::Deliver { .. } = &ev.kind {
+            self.stats.record_delivery(ev.to);
+        }
+        self.dispatch(ev.to, ev.time, ev.kind);
+        true
+    }
+
+    /// Run until the queue is drained or the clock passes `limit`.
+    pub fn run_until(&mut self, limit: SimTime) {
+        while let Some(ev) = self.queue.peek() {
+            if ev.time > limit {
+                break;
+            }
+            self.step();
+        }
+        if self.now < limit {
+            self.now = limit;
+        }
+    }
+
+    /// Run for a duration from the current time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let limit = self.now + d;
+        self.run_until(limit);
+    }
+
+    /// Run until no events remain (panics via `limit` if the system
+    /// never quiesces).
+    pub fn run_until_idle(&mut self, limit: SimTime) {
+        while let Some(ev) = self.queue.peek() {
+            assert!(
+                ev.time <= limit,
+                "simulation did not quiesce before {limit}"
+            );
+            self.step();
+        }
+    }
+
+    /// Number of pending events (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transedge_common::{ClientId, ClusterId, ReplicaId};
+
+    #[derive(Debug)]
+    struct TestMsg(u64);
+    impl SimMessage for TestMsg {
+        fn size_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    fn rep(c: u16, i: u16) -> NodeId {
+        NodeId::Replica(ReplicaId::new(ClusterId(c), i))
+    }
+
+    /// Echoes every message back with value+1, recording receipt times.
+    struct Echo {
+        received: Vec<(SimTime, u64)>,
+        work: SimDuration,
+    }
+
+    impl Actor<TestMsg> for Echo {
+        fn on_message(&mut self, from: NodeId, msg: TestMsg, ctx: &mut Context<'_, TestMsg>) {
+            self.received.push((ctx.now(), msg.0));
+            ctx.consume(self.work);
+            if msg.0 < 3 {
+                ctx.send(from, TestMsg(msg.0 + 1));
+            }
+        }
+    }
+
+    /// Sends an opening message to a peer on start; counts replies.
+    struct Opener {
+        peer: NodeId,
+        got: Vec<u64>,
+    }
+
+    impl Actor<TestMsg> for Opener {
+        fn on_start(&mut self, ctx: &mut Context<'_, TestMsg>) {
+            ctx.send(self.peer, TestMsg(0));
+        }
+        fn on_message(&mut self, _from: NodeId, msg: TestMsg, ctx: &mut Context<'_, TestMsg>) {
+            self.got.push(msg.0);
+            if msg.0 < 3 {
+                ctx.send(self.peer, TestMsg(msg.0 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_converges() {
+        let mut sim = Simulation::for_testing(1);
+        let a = rep(0, 0);
+        let b = rep(0, 1);
+        sim.add_actor(
+            a,
+            Box::new(Opener {
+                peer: b,
+                got: vec![],
+            }),
+        );
+        sim.add_actor(
+            b,
+            Box::new(Echo {
+                received: vec![],
+                work: SimDuration::ZERO,
+            }),
+        );
+        sim.run_until_idle(SimTime(1_000_000));
+        let opener = sim.actor_as::<Opener>(a).unwrap();
+        assert_eq!(opener.got, vec![1, 3]);
+        let echo = sim.actor_as::<Echo>(b).unwrap();
+        assert_eq!(
+            echo.received.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let mut latency = LatencyModel::instant();
+        latency.intra_cluster = SimDuration::from_millis(2);
+        let mut sim: Simulation<TestMsg> =
+            Simulation::new(latency, CostModel::zero(), FaultPlan::none(), 1);
+        let a = rep(0, 0);
+        sim.add_actor(
+            a,
+            Box::new(Echo {
+                received: vec![],
+                work: SimDuration::ZERO,
+            }),
+        );
+        sim.inject(rep(0, 1), a, TestMsg(9));
+        sim.run_until_idle(SimTime(1_000_000));
+        let echo = sim.actor_as::<Echo>(a).unwrap();
+        assert_eq!(echo.received.len(), 1);
+        assert_eq!(echo.received[0].0, SimTime(2_000));
+    }
+
+    #[test]
+    fn cpu_model_serialises_concurrent_messages() {
+        // Two messages arrive at t=0; the actor takes 10ms each, so the
+        // second is handled at t=10ms.
+        let mut sim: Simulation<TestMsg> = Simulation::for_testing(3);
+        let a = rep(0, 0);
+        sim.add_actor(
+            a,
+            Box::new(Echo {
+                received: vec![],
+                work: SimDuration::from_millis(10),
+            }),
+        );
+        sim.inject(rep(0, 1), a, TestMsg(100));
+        sim.inject(rep(0, 1), a, TestMsg(200));
+        sim.run_until_idle(SimTime(100_000_000));
+        let echo = sim.actor_as::<Echo>(a).unwrap();
+        assert_eq!(echo.received.len(), 2);
+        assert_eq!(echo.received[0].0, SimTime::ZERO);
+        assert_eq!(echo.received[1].0, SimTime(10_000));
+    }
+
+    struct TimerActor {
+        fired: Vec<(SimTime, u64)>,
+        cancel_me: Option<TimerId>,
+    }
+
+    impl Actor<TestMsg> for TimerActor {
+        fn on_start(&mut self, ctx: &mut Context<'_, TestMsg>) {
+            ctx.set_timer(SimDuration::from_millis(5), 1);
+            let id = ctx.set_timer(SimDuration::from_millis(10), 2);
+            self.cancel_me = Some(id);
+        }
+        fn on_message(&mut self, _f: NodeId, _m: TestMsg, _c: &mut Context<'_, TestMsg>) {}
+        fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, TestMsg>) {
+            self.fired.push((ctx.now(), token));
+            if token == 1 {
+                if let Some(id) = self.cancel_me.take() {
+                    ctx.cancel_timer(id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        let mut sim: Simulation<TestMsg> = Simulation::for_testing(4);
+        let a = rep(0, 0);
+        sim.add_actor(
+            a,
+            Box::new(TimerActor {
+                fired: vec![],
+                cancel_me: None,
+            }),
+        );
+        sim.run_until_idle(SimTime(1_000_000));
+        let t = sim.actor_as::<TimerActor>(a).unwrap();
+        assert_eq!(t.fired, vec![(SimTime(5_000), 1)]);
+    }
+
+    #[test]
+    fn crashed_node_receives_nothing() {
+        let faults = FaultPlan::none().with_crash(rep(0, 0), SimTime(0));
+        let mut sim: Simulation<TestMsg> =
+            Simulation::new(LatencyModel::instant(), CostModel::zero(), faults, 5);
+        sim.add_actor(
+            rep(0, 0),
+            Box::new(Echo {
+                received: vec![],
+                work: SimDuration::ZERO,
+            }),
+        );
+        sim.inject(rep(0, 1), rep(0, 0), TestMsg(1));
+        sim.run_until_idle(SimTime(1_000_000));
+        assert!(sim
+            .actor_as::<Echo>(rep(0, 0))
+            .unwrap()
+            .received
+            .is_empty());
+        assert_eq!(sim.stats().messages_dropped, 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut sim: Simulation<TestMsg> = Simulation::new(
+                LatencyModel::paper_default(),
+                CostModel::calibrated(),
+                FaultPlan::none().with_drop_prob(0.1),
+                42,
+            );
+            let a = rep(0, 0);
+            let b = rep(1, 0);
+            sim.add_actor(
+                a,
+                Box::new(Opener {
+                    peer: b,
+                    got: vec![],
+                }),
+            );
+            sim.add_actor(
+                b,
+                Box::new(Echo {
+                    received: vec![],
+                    work: SimDuration::from_micros(100),
+                }),
+            );
+            sim.run_until_idle(SimTime(10_000_000));
+            (
+                sim.now(),
+                sim.stats().messages_sent,
+                sim.stats().messages_dropped,
+                sim.actor_as::<Opener>(a).unwrap().got.clone(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn run_until_respects_limit() {
+        let mut latency = LatencyModel::instant();
+        latency.intra_cluster = SimDuration::from_millis(10);
+        let mut sim: Simulation<TestMsg> =
+            Simulation::new(latency, CostModel::zero(), FaultPlan::none(), 6);
+        let a = rep(0, 0);
+        sim.add_actor(
+            a,
+            Box::new(Echo {
+                received: vec![],
+                work: SimDuration::ZERO,
+            }),
+        );
+        sim.inject(rep(0, 1), a, TestMsg(0));
+        sim.run_until(SimTime(5_000)); // before the 10ms delivery
+        assert!(sim.actor_as::<Echo>(a).unwrap().received.is_empty());
+        assert_eq!(sim.now(), SimTime(5_000));
+        sim.run_until(SimTime(20_000));
+        assert_eq!(sim.actor_as::<Echo>(a).unwrap().received.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate actor")]
+    fn duplicate_actor_panics() {
+        let mut sim: Simulation<TestMsg> = Simulation::for_testing(1);
+        sim.add_actor(
+            rep(0, 0),
+            Box::new(Echo {
+                received: vec![],
+                work: SimDuration::ZERO,
+            }),
+        );
+        sim.add_actor(
+            rep(0, 0),
+            Box::new(Echo {
+                received: vec![],
+                work: SimDuration::ZERO,
+            }),
+        );
+    }
+
+    #[test]
+    fn injected_message_to_unknown_actor_is_ignored() {
+        let mut sim: Simulation<TestMsg> = Simulation::for_testing(1);
+        sim.inject(rep(0, 1), NodeId::Client(ClientId(99)), TestMsg(1));
+        sim.run_until_idle(SimTime(1_000));
+    }
+}

@@ -1,0 +1,51 @@
+//! Network statistics collected during a run.
+
+use std::collections::HashMap;
+
+use transedge_common::NodeId;
+
+/// Message and byte counters, global and per destination.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    pub messages_sent: u64,
+    pub messages_delivered: u64,
+    pub messages_dropped: u64,
+    pub bytes_sent: u64,
+    pub per_node_received: HashMap<NodeId, u64>,
+}
+
+impl NetStats {
+    pub fn record_send(&mut self, bytes: usize) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+    }
+
+    pub fn record_delivery(&mut self, to: NodeId) {
+        self.messages_delivered += 1;
+        *self.per_node_received.entry(to).or_default() += 1;
+    }
+
+    pub fn record_drop(&mut self) {
+        self.messages_dropped += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transedge_common::ClientId;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = NetStats::default();
+        s.record_send(100);
+        s.record_send(50);
+        s.record_delivery(NodeId::Client(ClientId(0)));
+        s.record_drop();
+        assert_eq!(s.messages_sent, 2);
+        assert_eq!(s.bytes_sent, 150);
+        assert_eq!(s.messages_delivered, 1);
+        assert_eq!(s.messages_dropped, 1);
+        assert_eq!(s.per_node_received[&NodeId::Client(ClientId(0))], 1);
+    }
+}

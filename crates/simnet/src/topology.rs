@@ -1,0 +1,210 @@
+//! Network latency model.
+//!
+//! Mirrors the paper's deployment: clusters of co-located edge machines
+//! (sub-millisecond links inside a cluster), wide-area links between
+//! clusters, and clients attached near one cluster. The paper's
+//! latency-sweep experiments ("additional latency between clusters
+//! varying between 0ms to 500ms", Figures 8 and 12) correspond to
+//! [`LatencyModel::extra_inter_cluster`].
+
+use rand::Rng;
+use transedge_common::{ClientId, ClusterId, NodeId, SimDuration};
+
+use std::collections::HashMap;
+
+/// One-way message latency between any two nodes.
+#[derive(Clone, Debug)]
+pub struct LatencyModel {
+    /// Replica↔replica within one cluster.
+    pub intra_cluster: SimDuration,
+    /// Replica↔replica across clusters (geographic base).
+    pub inter_cluster_base: SimDuration,
+    /// The experiment knob: extra one-way latency added to every
+    /// inter-cluster link (0/20/70/150/300/500 ms in the paper).
+    pub extra_inter_cluster: SimDuration,
+    /// Client to a replica of its home cluster.
+    pub client_local: SimDuration,
+    /// Uniform jitter as a fraction of the base latency (±).
+    pub jitter_frac: f64,
+    /// Optional bandwidth term: seconds-per-byte added per message.
+    pub bytes_per_sec: Option<u64>,
+    /// Which cluster each client sits next to. Unlisted clients default
+    /// to cluster 0.
+    pub client_home: HashMap<ClientId, ClusterId>,
+}
+
+impl LatencyModel {
+    /// Defaults for the paper's setup. The paper's testbed is a single
+    /// ChameleonCloud site, so the *base* inter-cluster latency is
+    /// LAN-like; the wide-area experiments *add* latency through
+    /// [`LatencyModel::extra_inter_cluster`] ("additional latency
+    /// between clusters", Figures 8/12/13).
+    pub fn paper_default() -> Self {
+        LatencyModel {
+            intra_cluster: SimDuration::from_micros(250),
+            inter_cluster_base: SimDuration::from_millis(1),
+            extra_inter_cluster: SimDuration::ZERO,
+            client_local: SimDuration::from_millis(1),
+            jitter_frac: 0.05,
+            bytes_per_sec: Some(1_000_000_000 / 8), // 1 Gbit/s
+            client_home: HashMap::new(),
+        }
+    }
+
+    /// Zero-latency model for logic tests.
+    pub fn instant() -> Self {
+        LatencyModel {
+            intra_cluster: SimDuration::ZERO,
+            inter_cluster_base: SimDuration::ZERO,
+            extra_inter_cluster: SimDuration::ZERO,
+            client_local: SimDuration::ZERO,
+            jitter_frac: 0.0,
+            bytes_per_sec: None,
+            client_home: HashMap::new(),
+        }
+    }
+
+    /// Set the paper's inter-cluster latency knob.
+    pub fn with_extra_inter_cluster(mut self, extra: SimDuration) -> Self {
+        self.extra_inter_cluster = extra;
+        self
+    }
+
+    /// Pin a client next to a cluster.
+    pub fn with_client_home(mut self, client: ClientId, cluster: ClusterId) -> Self {
+        self.client_home.insert(client, cluster);
+        self
+    }
+
+    fn home_of(&self, client: ClientId) -> ClusterId {
+        self.client_home
+            .get(&client)
+            .copied()
+            .unwrap_or(ClusterId(0))
+    }
+
+    fn cluster_of(&self, node: NodeId) -> ClusterId {
+        match node {
+            NodeId::Replica(r) => r.cluster,
+            NodeId::Client(c) => self.home_of(c),
+        }
+    }
+
+    fn inter_cluster(&self) -> SimDuration {
+        self.inter_cluster_base + self.extra_inter_cluster
+    }
+
+    /// Base (jitter-free) one-way latency from `from` to `to`.
+    pub fn base_latency(&self, from: NodeId, to: NodeId) -> SimDuration {
+        let (cf, ct) = (self.cluster_of(from), self.cluster_of(to));
+        let same = cf == ct;
+        let client_involved = matches!(from, NodeId::Client(_)) || matches!(to, NodeId::Client(_));
+        match (client_involved, same) {
+            // client near its home cluster
+            (true, true) => self.client_local,
+            // client to a remote cluster rides the wide-area link
+            (true, false) => self.client_local + self.inter_cluster(),
+            (false, true) => self.intra_cluster,
+            (false, false) => self.inter_cluster(),
+        }
+    }
+
+    /// Sampled latency including jitter and bandwidth for a message of
+    /// `size` bytes.
+    pub fn sample<R: Rng>(&self, from: NodeId, to: NodeId, size: usize, rng: &mut R) -> SimDuration {
+        let base = self.base_latency(from, to);
+        let jittered = if self.jitter_frac > 0.0 && base > SimDuration::ZERO {
+            let f = 1.0 + rng.gen_range(-self.jitter_frac..=self.jitter_frac);
+            base.mul_f64(f)
+        } else {
+            base
+        };
+        let bw = match self.bytes_per_sec {
+            Some(bps) if bps > 0 => {
+                SimDuration::from_micros((size as u64).saturating_mul(1_000_000) / bps)
+            }
+            _ => SimDuration::ZERO,
+        };
+        jittered + bw
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::mock::StepRng;
+    use transedge_common::ReplicaId;
+
+    fn rep(c: u16, i: u16) -> NodeId {
+        NodeId::Replica(ReplicaId::new(ClusterId(c), i))
+    }
+
+    #[test]
+    fn intra_vs_inter_cluster() {
+        let m = LatencyModel::paper_default();
+        assert!(m.base_latency(rep(0, 0), rep(0, 1)) < m.base_latency(rep(0, 0), rep(1, 0)));
+    }
+
+    #[test]
+    fn extra_latency_knob_applies_only_between_clusters() {
+        let base = LatencyModel::paper_default();
+        let bumped = base.clone().with_extra_inter_cluster(SimDuration::from_millis(70));
+        assert_eq!(
+            base.base_latency(rep(0, 0), rep(0, 1)),
+            bumped.base_latency(rep(0, 0), rep(0, 1))
+        );
+        assert_eq!(
+            bumped.base_latency(rep(0, 0), rep(1, 0)),
+            base.base_latency(rep(0, 0), rep(1, 0)) + SimDuration::from_millis(70)
+        );
+    }
+
+    #[test]
+    fn client_home_assignment() {
+        let m = LatencyModel::paper_default().with_client_home(ClientId(1), ClusterId(2));
+        let local = m.base_latency(NodeId::Client(ClientId(1)), rep(2, 0));
+        let remote = m.base_latency(NodeId::Client(ClientId(1)), rep(0, 0));
+        assert!(local < remote);
+        // Unlisted clients live near cluster 0.
+        let other = m.base_latency(NodeId::Client(ClientId(9)), rep(0, 0));
+        assert_eq!(other, m.client_local);
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_size() {
+        let m = LatencyModel::paper_default();
+        let mut rng = StepRng::new(0, 1);
+        let small = m.sample(rep(0, 0), rep(0, 1), 100, &mut rng);
+        let mut rng = StepRng::new(0, 1);
+        let big = m.sample(rep(0, 0), rep(0, 1), 1_000_000, &mut rng);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn instant_model_is_zero() {
+        let m = LatencyModel::instant();
+        let mut rng = StepRng::new(0, 1);
+        assert_eq!(
+            m.sample(rep(0, 0), rep(4, 3), 1 << 20, &mut rng),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let m = LatencyModel::paper_default();
+        let base = m.base_latency(rep(0, 0), rep(1, 0));
+        let mut rng = rand::rngs::mock::StepRng::new(u64::MAX / 2, 12345);
+        for _ in 0..100 {
+            let s = m.sample(rep(0, 0), rep(1, 0), 0, &mut rng);
+            assert!(s >= base.mul_f64(1.0 - m.jitter_frac));
+            assert!(s <= base.mul_f64(1.0 + m.jitter_frac));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Append-only batch history.
+//!
+//! Replicas keep every decided batch so they can (a) serve historical
+//! batch metadata in round two of the read-only protocol, (b) bring
+//! lagging replicas up to date, and (c) let auditors replay the log.
+
+use transedge_common::BatchNum;
+
+/// Dense, append-only sequence of decided batches. Generic over the
+/// batch payload so the consensus crate (which stores raw decided
+/// values) and the core crate (which stores full TransEdge batches) can
+/// share it.
+#[derive(Clone, Debug, Default)]
+pub struct BatchArchive<B> {
+    batches: Vec<B>,
+}
+
+impl<B> BatchArchive<B> {
+    pub fn new() -> Self {
+        BatchArchive {
+            batches: Vec::new(),
+        }
+    }
+
+    /// Append the batch with the given number; numbers must be dense
+    /// and in order (the SMR log admits no gaps — "batches are written
+    /// one-by-one", paper §3.1).
+    pub fn append(&mut self, num: BatchNum, batch: B) {
+        assert_eq!(
+            num.0 as usize,
+            self.batches.len(),
+            "archive gap: appending {num} at position {}",
+            self.batches.len()
+        );
+        self.batches.push(batch);
+    }
+
+    pub fn get(&self, num: BatchNum) -> Option<&B> {
+        self.batches.get(num.0 as usize)
+    }
+
+    /// Latest decided batch, if any.
+    pub fn latest(&self) -> Option<(BatchNum, &B)> {
+        let last = self.batches.last()?;
+        Some((BatchNum(self.batches.len() as u64 - 1), last))
+    }
+
+    /// Next batch number to be decided.
+    pub fn next_num(&self) -> BatchNum {
+        BatchNum(self.batches.len() as u64)
+    }
+
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// Iterate `(number, batch)` in log order.
+    pub fn iter(&self) -> impl Iterator<Item = (BatchNum, &B)> {
+        self.batches
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BatchNum(i as u64), b))
+    }
+
+    /// Batches in `[from, to)` — used for state transfer to lagging
+    /// replicas.
+    pub fn range(&self, from: BatchNum, to: BatchNum) -> &[B] {
+        let lo = (from.0 as usize).min(self.batches.len());
+        let hi = (to.0 as usize).min(self.batches.len());
+        &self.batches[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_get() {
+        let mut a = BatchArchive::new();
+        assert!(a.is_empty());
+        assert_eq!(a.next_num(), BatchNum(0));
+        a.append(BatchNum(0), "b0");
+        a.append(BatchNum(1), "b1");
+        assert_eq!(a.get(BatchNum(0)), Some(&"b0"));
+        assert_eq!(a.get(BatchNum(1)), Some(&"b1"));
+        assert_eq!(a.get(BatchNum(2)), None);
+        assert_eq!(a.latest(), Some((BatchNum(1), &"b1")));
+        assert_eq!(a.next_num(), BatchNum(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "archive gap")]
+    fn gaps_panic() {
+        let mut a = BatchArchive::new();
+        a.append(BatchNum(1), "b1");
+    }
+
+    #[test]
+    fn iteration_in_order() {
+        let mut a = BatchArchive::new();
+        for i in 0..5 {
+            a.append(BatchNum(i), i * 10);
+        }
+        let collected: Vec<_> = a.iter().map(|(n, b)| (n.0, *b)).collect();
+        assert_eq!(collected, vec![(0, 0), (1, 10), (2, 20), (3, 30), (4, 40)]);
+    }
+
+    #[test]
+    fn range_clamps() {
+        let mut a = BatchArchive::new();
+        for i in 0..4 {
+            a.append(BatchNum(i), i);
+        }
+        assert_eq!(a.range(BatchNum(1), BatchNum(3)), &[1, 2]);
+        assert_eq!(a.range(BatchNum(2), BatchNum(100)), &[2, 3]);
+        assert_eq!(a.range(BatchNum(5), BatchNum(9)), &[] as &[u64]);
+    }
+}

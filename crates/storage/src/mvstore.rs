@@ -1,0 +1,206 @@
+//! Multi-version key-value store.
+
+use std::collections::HashMap;
+
+use transedge_common::{BatchNum, Key, Value};
+
+/// One committed version of a key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Version {
+    /// Batch in which this write committed.
+    pub batch: BatchNum,
+    pub value: Value,
+}
+
+/// A multi-version map: each key holds its committed versions ordered
+/// by ascending batch number. At most one version per key per batch
+/// (conflicting writes can never share a batch — Definition 3.1).
+#[derive(Clone, Debug, Default)]
+pub struct VersionedStore {
+    data: HashMap<Key, Vec<Version>>,
+    writes: u64,
+}
+
+impl VersionedStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `key = value` committed in `batch`. Panics if a
+    /// version for an *earlier* batch is written after a later one —
+    /// batches commit in log order, so that would be a protocol bug.
+    pub fn write(&mut self, key: Key, value: Value, batch: BatchNum) {
+        let versions = self.data.entry(key).or_default();
+        if let Some(last) = versions.last() {
+            assert!(
+                batch >= last.batch,
+                "out-of-order write: batch {batch} after {}",
+                last.batch
+            );
+            if last.batch == batch {
+                // Same batch writing the same key twice: last write wins
+                // (a transaction's write-set may be applied as a unit).
+                versions.last_mut().unwrap().value = value;
+                self.writes += 1;
+                return;
+            }
+        }
+        versions.push(Version { batch, value });
+        self.writes += 1;
+    }
+
+    /// Apply a whole write-set committed in `batch`.
+    pub fn apply<'a>(
+        &mut self,
+        writes: impl IntoIterator<Item = (&'a Key, &'a Value)>,
+        batch: BatchNum,
+    ) {
+        for (k, v) in writes {
+            self.write(k.clone(), v.clone(), batch);
+        }
+    }
+
+    /// Latest committed version of `key`.
+    pub fn get_latest(&self, key: &Key) -> Option<&Version> {
+        self.data.get(key)?.last()
+    }
+
+    /// Latest version committed in a batch `<= batch` — the snapshot
+    /// read used by round two of the read-only protocol.
+    pub fn get_at(&self, key: &Key, batch: BatchNum) -> Option<&Version> {
+        let versions = self.data.get(key)?;
+        // Versions are sorted by batch; binary search for the last <= batch.
+        let idx = versions.partition_point(|v| v.batch <= batch);
+        versions[..idx].last()
+    }
+
+    /// Batch of the last committed write to `key` (conflict rule 1 of
+    /// Definition 3.1: has the read version been overwritten?).
+    pub fn last_writer(&self, key: &Key) -> Option<BatchNum> {
+        Some(self.get_latest(key)?.batch)
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Total writes applied (diagnostics).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Drop versions strictly older than `keep_from`, keeping at least
+    /// the newest version of every key. Bounds memory in long runs.
+    pub fn truncate_before(&mut self, keep_from: BatchNum) {
+        for versions in self.data.values_mut() {
+            if versions.len() <= 1 {
+                continue;
+            }
+            let cut = versions
+                .partition_point(|v| v.batch < keep_from)
+                .min(versions.len() - 1);
+            if cut > 0 {
+                versions.drain(..cut);
+            }
+        }
+    }
+
+    /// Iterate all keys (test helpers, state transfer).
+    pub fn keys(&self) -> impl Iterator<Item = &Key> {
+        self.data.keys()
+    }
+
+    /// Full version history of a key, oldest first (auditing: the
+    /// serializability checker reconstructs per-key write order from
+    /// this).
+    pub fn versions(&self, key: &Key) -> Option<&[Version]> {
+        self.data.get(key).map(|v| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> Key {
+        Key::from_u32(i)
+    }
+
+    fn v(s: &str) -> Value {
+        Value::from(s)
+    }
+
+    #[test]
+    fn latest_and_at_snapshots() {
+        let mut s = VersionedStore::new();
+        s.write(k(1), v("a"), BatchNum(1));
+        s.write(k(1), v("b"), BatchNum(3));
+        s.write(k(1), v("c"), BatchNum(7));
+        assert_eq!(s.get_latest(&k(1)).unwrap().value, v("c"));
+        assert_eq!(s.get_at(&k(1), BatchNum(0)), None);
+        assert_eq!(s.get_at(&k(1), BatchNum(1)).unwrap().value, v("a"));
+        assert_eq!(s.get_at(&k(1), BatchNum(2)).unwrap().value, v("a"));
+        assert_eq!(s.get_at(&k(1), BatchNum(3)).unwrap().value, v("b"));
+        assert_eq!(s.get_at(&k(1), BatchNum(100)).unwrap().value, v("c"));
+    }
+
+    #[test]
+    fn missing_key_reads_none() {
+        let s = VersionedStore::new();
+        assert_eq!(s.get_latest(&k(9)), None);
+        assert_eq!(s.get_at(&k(9), BatchNum(5)), None);
+        assert_eq!(s.last_writer(&k(9)), None);
+    }
+
+    #[test]
+    fn last_writer_tracks_overwrites() {
+        let mut s = VersionedStore::new();
+        s.write(k(2), v("x"), BatchNum(4));
+        assert_eq!(s.last_writer(&k(2)), Some(BatchNum(4)));
+        s.write(k(2), v("y"), BatchNum(9));
+        assert_eq!(s.last_writer(&k(2)), Some(BatchNum(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order write")]
+    fn out_of_order_write_panics() {
+        let mut s = VersionedStore::new();
+        s.write(k(1), v("a"), BatchNum(5));
+        s.write(k(1), v("b"), BatchNum(4));
+    }
+
+    #[test]
+    fn same_batch_rewrite_last_write_wins() {
+        let mut s = VersionedStore::new();
+        s.write(k(1), v("a"), BatchNum(5));
+        s.write(k(1), v("b"), BatchNum(5));
+        assert_eq!(s.get_latest(&k(1)).unwrap().value, v("b"));
+        assert_eq!(s.data[&k(1)].len(), 1);
+    }
+
+    #[test]
+    fn apply_write_set() {
+        let mut s = VersionedStore::new();
+        let writes = vec![(k(1), v("a")), (k(2), v("b"))];
+        s.apply(writes.iter().map(|(k, v)| (k, v)), BatchNum(1));
+        assert_eq!(s.key_count(), 2);
+        assert_eq!(s.write_count(), 2);
+    }
+
+    #[test]
+    fn truncate_keeps_newest_version() {
+        let mut s = VersionedStore::new();
+        for b in 1..=10 {
+            s.write(k(1), v(&b.to_string()), BatchNum(b));
+        }
+        s.write(k(2), v("only"), BatchNum(1));
+        s.truncate_before(BatchNum(8));
+        // Key 1 keeps versions 8, 9, 10.
+        assert_eq!(s.get_at(&k(1), BatchNum(7)), None);
+        assert_eq!(s.get_at(&k(1), BatchNum(8)).unwrap().value, v("8"));
+        assert_eq!(s.get_latest(&k(1)).unwrap().value, v("10"));
+        // Key 2's only version survives even though it's old.
+        assert_eq!(s.get_latest(&k(2)).unwrap().value, v("only"));
+    }
+}

@@ -1,0 +1,301 @@
+//! Workload specification and generation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use transedge_common::{ClusterId, ClusterTopology, Key, Value};
+use transedge_core::client::ClientOp;
+
+use crate::zipf::Zipfian;
+
+/// Transaction-type shares, in percent (must sum to 100).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mix {
+    pub read_only_pct: u8,
+    pub local_rw_pct: u8,
+    pub distributed_rw_pct: u8,
+    pub write_only_pct: u8,
+}
+
+impl Mix {
+    pub fn validate(&self) {
+        let sum = self.read_only_pct as u32
+            + self.local_rw_pct as u32
+            + self.distributed_rw_pct as u32
+            + self.write_only_pct as u32;
+        assert_eq!(sum, 100, "mix percentages must sum to 100, got {sum}");
+    }
+}
+
+/// Key-selection distribution.
+#[derive(Clone, Debug)]
+pub enum KeyDistribution {
+    /// Paper default: uniform over the key space.
+    Uniform,
+    /// Skewed access (YCSB's zipfian) — an extension knob for
+    /// contention experiments.
+    Zipfian { theta: f64 },
+}
+
+/// Everything needed to generate a client script.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    pub topo: ClusterTopology,
+    /// Total keys (the deployment must preload at least this many).
+    pub n_keys: u32,
+    pub value_size: usize,
+    pub mix: Mix,
+    /// Reads per read-write transaction (paper: 5).
+    pub rw_reads: usize,
+    /// Writes per read-write transaction (paper: 3).
+    pub rw_writes: usize,
+    /// Keys read by a read-only transaction (paper: 5, one per
+    /// cluster).
+    pub rot_keys: usize,
+    /// Clusters a read-only transaction spans (paper: varies 1–5).
+    pub rot_clusters: usize,
+    pub distribution: KeyDistribution,
+}
+
+impl WorkloadSpec {
+    /// The paper's default transaction shapes on its 5-cluster setup:
+    /// RW = 5 reads + 3 writes across clusters, ROT = 5 keys, one per
+    /// cluster (§5.1).
+    pub fn paper_default(topo: ClusterTopology) -> Self {
+        let n = topo.n_clusters();
+        WorkloadSpec {
+            topo,
+            n_keys: 10_000,
+            value_size: 256,
+            mix: Mix {
+                read_only_pct: 50,
+                local_rw_pct: 20,
+                distributed_rw_pct: 20,
+                write_only_pct: 10,
+            },
+            rw_reads: 5,
+            rw_writes: 3,
+            rot_keys: n,
+            rot_clusters: n,
+            distribution: KeyDistribution::Uniform,
+        }
+    }
+
+    /// 100% read-only transactions over `clusters` clusters reading
+    /// `keys` keys total.
+    pub fn read_only(topo: ClusterTopology, keys: usize, clusters: usize) -> Self {
+        assert!(clusters <= topo.n_clusters());
+        assert!(keys >= clusters);
+        WorkloadSpec {
+            mix: Mix {
+                read_only_pct: 100,
+                local_rw_pct: 0,
+                distributed_rw_pct: 0,
+                write_only_pct: 0,
+            },
+            rot_keys: keys,
+            rot_clusters: clusters,
+            ..Self::paper_default(topo)
+        }
+    }
+
+    /// 100% distributed read-write transactions with the given
+    /// read/write counts.
+    pub fn distributed_rw(topo: ClusterTopology, reads: usize, writes: usize) -> Self {
+        WorkloadSpec {
+            mix: Mix {
+                read_only_pct: 0,
+                local_rw_pct: 0,
+                distributed_rw_pct: 100,
+                write_only_pct: 0,
+            },
+            rw_reads: reads,
+            rw_writes: writes,
+            ..Self::paper_default(topo)
+        }
+    }
+
+    /// 100% local read-write transactions.
+    pub fn local_rw(topo: ClusterTopology, reads: usize, writes: usize) -> Self {
+        WorkloadSpec {
+            mix: Mix {
+                read_only_pct: 0,
+                local_rw_pct: 100,
+                distributed_rw_pct: 0,
+                write_only_pct: 0,
+            },
+            rw_reads: reads,
+            rw_writes: writes,
+            ..Self::paper_default(topo)
+        }
+    }
+
+    /// 100% local write-only transactions.
+    pub fn write_only(topo: ClusterTopology, writes: usize) -> Self {
+        WorkloadSpec {
+            mix: Mix {
+                read_only_pct: 0,
+                local_rw_pct: 0,
+                distributed_rw_pct: 0,
+                write_only_pct: 100,
+            },
+            rw_writes: writes,
+            ..Self::paper_default(topo)
+        }
+    }
+
+    /// Generate a deterministic script of `count` operations.
+    pub fn generate(&self, count: usize, seed: u64) -> Vec<ClientOp> {
+        self.mix.validate();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x7261_6e64);
+        let zipf = match &self.distribution {
+            KeyDistribution::Zipfian { theta } => Some(Zipfian::new(self.n_keys as u64, *theta)),
+            KeyDistribution::Uniform => None,
+        };
+        // Pre-index keys by cluster for cluster-targeted picks. Keys
+        // are grouped once; picking within a cluster is O(1).
+        let mut by_cluster: Vec<Vec<u32>> = vec![Vec::new(); self.topo.n_clusters()];
+        for i in 0..self.n_keys {
+            by_cluster[self.topo.partition_of(&Key::from_u32(i)).as_usize()].push(i);
+        }
+        let mut ops = Vec::with_capacity(count);
+        for _ in 0..count {
+            let roll = rng.gen_range(0u32..100);
+            let ro = self.mix.read_only_pct as u32;
+            let lrw = ro + self.mix.local_rw_pct as u32;
+            let drw = lrw + self.mix.distributed_rw_pct as u32;
+            let op = if roll < ro {
+                self.gen_rot(&mut rng, &by_cluster, zipf.as_ref())
+            } else if roll < lrw {
+                self.gen_local_rw(&mut rng, &by_cluster, true)
+            } else if roll < drw {
+                self.gen_distributed_rw(&mut rng, &by_cluster)
+            } else {
+                self.gen_local_rw(&mut rng, &by_cluster, false)
+            };
+            ops.push(op);
+        }
+        ops
+    }
+
+    fn pick_in_cluster(
+        &self,
+        rng: &mut SmallRng,
+        by_cluster: &[Vec<u32>],
+        cluster: ClusterId,
+        exclude: &[Key],
+    ) -> Key {
+        let pool = &by_cluster[cluster.as_usize()];
+        assert!(!pool.is_empty(), "no keys in {cluster}");
+        loop {
+            let key = Key::from_u32(pool[rng.gen_range(0..pool.len())]);
+            if !exclude.contains(&key) {
+                return key;
+            }
+        }
+    }
+
+    fn pick_clusters(&self, rng: &mut SmallRng, n: usize) -> Vec<ClusterId> {
+        let total = self.topo.n_clusters();
+        assert!(n <= total);
+        let mut all: Vec<ClusterId> = self.topo.clusters().collect();
+        // Partial Fisher–Yates.
+        for i in 0..n {
+            let j = rng.gen_range(i..total);
+            all.swap(i, j);
+        }
+        all.truncate(n);
+        all
+    }
+
+    /// "Read-only transactions read n unique keys from m clusters"
+    /// (§5.1): spread `rot_keys` keys round-robin over `rot_clusters`
+    /// clusters.
+    fn gen_rot(
+        &self,
+        rng: &mut SmallRng,
+        by_cluster: &[Vec<u32>],
+        zipf: Option<&Zipfian>,
+    ) -> ClientOp {
+        let clusters = self.pick_clusters(rng, self.rot_clusters);
+        let mut keys: Vec<Key> = Vec::with_capacity(self.rot_keys);
+        for i in 0..self.rot_keys {
+            let cluster = clusters[i % clusters.len()];
+            let key = match zipf {
+                // Zipfian: skew *which* key within the cluster pool.
+                Some(z) => {
+                    let pool = &by_cluster[cluster.as_usize()];
+                    let rank = (z.sample(rng) as usize) % pool.len();
+                    Key::from_u32(pool[rank])
+                }
+                None => self.pick_in_cluster(rng, by_cluster, cluster, &keys),
+            };
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+        ClientOp::ReadOnly { keys }
+    }
+
+    fn gen_local_rw(
+        &self,
+        rng: &mut SmallRng,
+        by_cluster: &[Vec<u32>],
+        with_reads: bool,
+    ) -> ClientOp {
+        let cluster = self.pick_clusters(rng, 1)[0];
+        let mut used: Vec<Key> = Vec::new();
+        let reads: Vec<Key> = if with_reads {
+            (0..self.rw_reads)
+                .map(|_| {
+                    let k = self.pick_in_cluster(rng, by_cluster, cluster, &used);
+                    used.push(k.clone());
+                    k
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let writes: Vec<(Key, Value)> = (0..self.rw_writes)
+            .map(|_| {
+                let k = self.pick_in_cluster(rng, by_cluster, cluster, &used);
+                used.push(k.clone());
+                (k, self.random_value(rng))
+            })
+            .collect();
+        ClientOp::ReadWrite { reads, writes }
+    }
+
+    /// "Each read-write transaction contains 5 read and 3 write
+    /// operations distributed across 5 clusters" (§5.1). The *write*
+    /// count determines how many clusters participate — the paper reads
+    /// "R=5,W=1" as essentially a local transaction (§5.2, Figure 10
+    /// discussion) — and reads are drawn from those same clusters.
+    fn gen_distributed_rw(&self, rng: &mut SmallRng, by_cluster: &[Vec<u32>]) -> ClientOp {
+        let span = self
+            .topo
+            .n_clusters()
+            .min(self.rw_writes.max(1));
+        let clusters = self.pick_clusters(rng, span);
+        let mut used: Vec<Key> = Vec::new();
+        let pick = |i: usize, rng: &mut SmallRng, used: &mut Vec<Key>| {
+            let cluster = clusters[i % clusters.len()];
+            let k = self.pick_in_cluster(rng, by_cluster, cluster, used);
+            used.push(k.clone());
+            k
+        };
+        let reads: Vec<Key> = (0..self.rw_reads)
+            .map(|i| pick(i, rng, &mut used))
+            .collect();
+        let writes: Vec<(Key, Value)> = (0..self.rw_writes)
+            .map(|i| {
+                let k = pick(self.rw_reads + i, rng, &mut used);
+                (k, self.random_value(rng))
+            })
+            .collect();
+        ClientOp::ReadWrite { reads, writes }
+    }
+
+    fn random_value(&self, rng: &mut SmallRng) -> Value {
+        Value::filled(self.value_size, rng.gen())
+    }
+}

@@ -1,0 +1,124 @@
+//! Zipfian rank generator (YCSB's algorithm, after Gray et al.,
+//! "Quickly Generating Billion-Record Synthetic Databases").
+//!
+//! The paper's workloads use uniform key choice; zipfian is an
+//! extension knob used by the contention ablation bench.
+
+use rand::Rng;
+
+/// Samples ranks in `[0, n)` with P(rank k) ∝ 1/(k+1)^θ.
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// `theta` in (0, 1); YCSB's default is 0.99.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        assert!((0.0..1.0).contains(&theta), "theta must be in (0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact up to a cutoff, then the integral approximation —
+        // bounded work for billion-key spaces.
+        const EXACT: u64 = 100_000;
+        let exact_n = n.min(EXACT);
+        let mut sum = 0.0;
+        for i in 1..=exact_n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > EXACT {
+            // ∫ x^-θ dx from EXACT to n
+            let a = 1.0 - theta;
+            sum += ((n as f64).powf(a) - (EXACT as f64).powf(a)) / a;
+        }
+        sum
+    }
+
+    /// Draw one rank (0 = most popular).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    #[allow(dead_code)]
+    fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = Zipfian::new(10_000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 100_000;
+        let hot = (0..n).filter(|_| z.sample(&mut rng) < 100).count();
+        // With θ=0.99, the top 1% of keys should draw far more than 1%
+        // of accesses.
+        let frac = hot as f64 / n as f64;
+        assert!(frac > 0.3, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn lower_theta_is_less_skewed() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let skewed = Zipfian::new(10_000, 0.99);
+        let flat = Zipfian::new(10_000, 0.2);
+        let n = 50_000;
+        let hot_skewed = (0..n).filter(|_| skewed.sample(&mut rng) < 100).count();
+        let hot_flat = (0..n).filter(|_| flat.sample(&mut rng) < 100).count();
+        assert!(hot_skewed > hot_flat * 2);
+    }
+
+    #[test]
+    fn single_key_space_works() {
+        let z = Zipfian::new(1, 0.5);
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+}

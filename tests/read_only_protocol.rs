@@ -1,0 +1,158 @@
+//! System-level checks of the paper's two headline read-only
+//! properties (§4): commit-freedom and non-interference, plus the
+//! round-2 dependency mechanism.
+
+use transedge::common::{ClusterId, ClusterTopology, Key, SimTime, Value};
+use transedge::core::client::ClientOp;
+use transedge::core::metrics::OpKind;
+use transedge::core::setup::{Deployment, DeploymentConfig};
+
+fn keys_on(topo: &ClusterTopology, cluster: ClusterId, count: usize) -> Vec<Key> {
+    (0u32..10_000)
+        .map(Key::from_u32)
+        .filter(|k| topo.partition_of(k) == cluster)
+        .take(count)
+        .collect()
+}
+
+/// Round 2 actually triggers under concurrent cross-partition commits,
+/// and never needs a third round in this workload; results stay
+/// verified.
+#[test]
+fn round_two_exercised_and_bounded() {
+    let mut config = DeploymentConfig::for_testing();
+    config.latency = transedge::simnet::LatencyModel::paper_default();
+    config.client.record_results = true;
+    let topo = config.topo.clone();
+    let k0 = keys_on(&topo, ClusterId(0), 4);
+    let k1 = keys_on(&topo, ClusterId(1), 4);
+    // Writers keep cross-partition transactions flowing.
+    let mut scripts: Vec<Vec<ClientOp>> = Vec::new();
+    for c in 0..3usize {
+        let ops = (0..15)
+            .map(|i| ClientOp::ReadWrite {
+                reads: vec![],
+                writes: vec![
+                    (k0[(c + i) % 4].clone(), Value::from("w0")),
+                    (k1[(c + i) % 4].clone(), Value::from("w1")),
+                ],
+            })
+            .collect();
+        scripts.push(ops);
+    }
+    // Readers continuously snapshot both partitions.
+    for _ in 0..3 {
+        let ops = (0..20)
+            .map(|_| ClientOp::ReadOnly {
+                keys: vec![k0[0].clone(), k1[0].clone(), k0[1].clone(), k1[1].clone()],
+            })
+            .collect();
+        scripts.push(ops);
+    }
+    let mut dep = Deployment::build(config, scripts);
+    dep.run_until_done(SimTime(600_000_000));
+
+    let mut round2 = 0usize;
+    let mut rots = 0usize;
+    for id in &dep.client_ids {
+        let client = dep.client(*id);
+        assert_eq!(client.stats.verification_failures, 0);
+        for s in client.samples.iter().filter(|s| s.kind == OpKind::ReadOnly) {
+            rots += 1;
+            assert!(s.committed, "read-only transactions never abort");
+            if s.rot_round2 {
+                round2 += 1;
+            }
+        }
+    }
+    assert!(rots >= 60);
+    assert!(
+        round2 > 0,
+        "workload must exercise the second round (got {round2}/{rots})"
+    );
+}
+
+/// Non-interference: adding a continuous stream of large read-only
+/// transactions must not abort any read-write transaction that commits
+/// cleanly without them.
+#[test]
+fn read_only_transactions_do_not_abort_writers() {
+    let build_scripts = |with_readers: bool, topo: &ClusterTopology| {
+        let k0 = keys_on(topo, ClusterId(0), 6);
+        let k1 = keys_on(topo, ClusterId(1), 6);
+        let mut scripts: Vec<Vec<ClientOp>> = Vec::new();
+        // Disjoint writers: no write-write conflicts among themselves.
+        for c in 0..3usize {
+            let ops = (0..10)
+                .map(|i| ClientOp::ReadWrite {
+                    reads: vec![],
+                    writes: vec![
+                        (k0[c * 2 + (i % 2)].clone(), Value::from("w")),
+                        (k1[c * 2 + (i % 2)].clone(), Value::from("w")),
+                    ],
+                })
+                .collect();
+            scripts.push(ops);
+        }
+        if with_readers {
+            let all: Vec<Key> = k0.iter().chain(k1.iter()).cloned().collect();
+            for _ in 0..4 {
+                scripts.push(
+                    (0..25)
+                        .map(|_| ClientOp::ReadOnly { keys: all.clone() })
+                        .collect(),
+                );
+            }
+        }
+        scripts
+    };
+    let run = |with_readers: bool| {
+        let mut config = DeploymentConfig::for_testing();
+        config.latency = transedge::simnet::LatencyModel::paper_default();
+        let topo = config.topo.clone();
+        let mut dep = Deployment::build(config, build_scripts(with_readers, &topo));
+        dep.run_until_done(SimTime(600_000_000));
+        let samples = dep.samples();
+        samples
+            .iter()
+            .filter(|s| s.kind != OpKind::ReadOnly && !s.committed)
+            .count()
+    };
+    let aborts_without = run(false);
+    let aborts_with = run(true);
+    assert_eq!(aborts_without, 0, "baseline writers must not conflict");
+    assert_eq!(
+        aborts_with, 0,
+        "read-only transactions must not cause a single write abort (Table 1)"
+    );
+}
+
+/// Commit-freedom: serving read-only transactions generates no
+/// consensus traffic — batch production is driven by writes only.
+#[test]
+fn read_only_transactions_produce_no_batches() {
+    let mut config = DeploymentConfig::for_testing();
+    config.latency = transedge::simnet::LatencyModel::paper_default();
+    let topo = config.topo.clone();
+    let k0 = keys_on(&topo, ClusterId(0), 2);
+    let k1 = keys_on(&topo, ClusterId(1), 2);
+    // Read-only clients only; no writes at all after genesis.
+    let ops: Vec<ClientOp> = (0..30)
+        .map(|_| ClientOp::ReadOnly {
+            keys: vec![k0[0].clone(), k1[0].clone()],
+        })
+        .collect();
+    let mut dep = Deployment::build(config, vec![ops]);
+    dep.run_until_done(SimTime(600_000_000));
+    // Every replica is still at the genesis batch: nothing was
+    // committed to any SMR log by the reads.
+    for r in topo.all_replicas() {
+        let node = dep.node(r);
+        assert_eq!(
+            node.exec.applied_batches(),
+            1, // genesis only
+            "read-only traffic must not produce batches at {r}"
+        );
+    }
+    assert!(dep.samples().iter().all(|s| s.committed));
+}
