@@ -6,10 +6,10 @@ use std::collections::{HashMap, HashSet};
 use transedge_common::{
     ClientId, ClusterId, ClusterTopology, Key, NodeId, ReplicaId, SimDuration, TxnId, Value,
 };
-use transedge_crypto::KeyStore;
-use transedge_simnet::{Actor, Context};
 use transedge_core::client::ClientOp;
 use transedge_core::metrics::{OpKind, TxnSample};
+use transedge_crypto::KeyStore;
+use transedge_simnet::{Actor, Context};
 
 use super::messages::{reads_digest, vote_statement, AugMsg, AugTxn};
 
@@ -240,17 +240,9 @@ impl Actor<AugMsg> for AugustusClient {
                 // Per-partition verdict: 2f+1 matching votes.
                 if state.verdicts.contains_key(&partition) {
                     // already reached
-                } else if state
-                    .commit_votes
-                    .get(&partition)
-                    .map_or(0, |s| s.len())
-                    >= quorum
-                {
+                } else if state.commit_votes.get(&partition).map_or(0, |s| s.len()) >= quorum {
                     state.verdicts.insert(partition, true);
-                } else if state
-                    .abort_votes
-                    .get(&partition)
-                    .map_or(0, |s| s.len())
+                } else if state.abort_votes.get(&partition).map_or(0, |s| s.len())
                     >= self.topo.certificate_quorum()
                 {
                     // f+1 abort votes: at least one correct replica saw

@@ -1,6 +1,8 @@
 //! Augustus protocol messages.
 
-use transedge_common::{ClusterId, ClusterTopology, Encode, Key, ReplicaId, TxnId, Value, WireWriter};
+use transedge_common::{
+    ClusterId, ClusterTopology, Encode, Key, ReplicaId, TxnId, Value, WireWriter,
+};
 use transedge_crypto::{Digest, Signature};
 use transedge_simnet::SimMessage;
 
@@ -41,12 +43,7 @@ pub fn reads_digest(reads: &[(Key, Option<Value>)]) -> Digest {
 }
 
 /// The statement a replica signs when voting.
-pub fn vote_statement(
-    txn: TxnId,
-    partition: ClusterId,
-    commit: bool,
-    reads: &Digest,
-) -> Vec<u8> {
+pub fn vote_statement(txn: TxnId, partition: ClusterId, commit: bool, reads: &Digest) -> Vec<u8> {
     let mut w = WireWriter::with_capacity(64);
     w.put_bytes(b"augustus/vote");
     txn.encode(&mut w);

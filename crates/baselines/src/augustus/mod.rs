@@ -39,11 +39,11 @@ pub use messages::{AugMsg, AugTxn};
 pub use replica::AugustusReplica;
 
 use transedge_common::{ClientId, ClusterTopology, NodeId, SimTime};
-use transedge_crypto::KeyStore;
-use transedge_simnet::Simulation;
 use transedge_core::client::ClientOp;
 use transedge_core::metrics::TxnSample;
 use transedge_core::setup::{generate_data, DeploymentConfig};
+use transedge_crypto::KeyStore;
+use transedge_simnet::Simulation;
 
 /// A running Augustus deployment (mirrors `transedge_core::setup`).
 pub struct AugustusDeployment {
@@ -103,7 +103,7 @@ impl AugustusDeployment {
         self.client_ids.iter().all(|id| {
             self.sim
                 .actor_as::<AugustusClient>(NodeId::Client(*id))
-                .map_or(true, |c| c.is_done())
+                .is_none_or(|c| c.is_done())
         })
     }
 

@@ -2,9 +2,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use transedge_common::{
-    ClusterTopology, Key, NodeId, ReplicaId, SimDuration, TxnId, Value,
-};
+use transedge_common::{ClusterTopology, Key, NodeId, ReplicaId, SimDuration, TxnId, Value};
 use transedge_crypto::{KeyStore, Keypair};
 use transedge_simnet::{Actor, Context};
 
@@ -157,7 +155,7 @@ impl AugustusReplica {
     fn blocker_is_read_only(&self, blocker: TxnId) -> bool {
         self.pending
             .get(&blocker)
-            .map_or(false, |p| p.txn.is_read_only())
+            .is_some_and(|p| p.txn.is_read_only())
     }
 
     /// Execute one sequenced transaction: lock, read, vote.
@@ -304,9 +302,7 @@ impl AugustusReplica {
         match self.pending.remove(&txn_id) {
             Some(p) => {
                 self.decided.insert(txn_id);
-                ctx.charge(|c| {
-                    SimDuration(c.txn_apply.0 * p.txn.writes.len().max(1) as u64)
-                });
+                ctx.charge(|c| SimDuration(c.txn_apply.0 * p.txn.writes.len().max(1) as u64));
                 self.conclude(&p.txn, commit);
                 ctx.send(
                     p.client,

@@ -12,7 +12,10 @@ use transedge_core::setup::{Deployment, DeploymentConfig};
 
 /// Build a deployment whose clients run read-only operations through
 /// 2PC/BFT. Everything else matches [`Deployment::build`].
-pub fn build_two_pc_bft(mut config: DeploymentConfig, client_ops: Vec<Vec<ClientOp>>) -> Deployment {
+pub fn build_two_pc_bft(
+    mut config: DeploymentConfig,
+    client_ops: Vec<Vec<ClientOp>>,
+) -> Deployment {
     config.client.rot_via_2pc = true;
     Deployment::build(config, client_ops)
 }

@@ -124,10 +124,10 @@ fn non_conflicting_concurrent_clients_all_commit() {
     let topo = config.topo.clone();
     let k0 = keys_on(&topo, ClusterId(0), 8, 10);
     let mut scripts = Vec::new();
-    for c in 0..4usize {
+    for key in k0.iter().take(4) {
         scripts.push(vec![ClientOp::ReadWrite {
             reads: vec![],
-            writes: vec![(k0[c].clone(), Value::from("v"))],
+            writes: vec![(key.clone(), Value::from("v"))],
         }]);
     }
     let mut dep = AugustusDeployment::build(config, scripts);

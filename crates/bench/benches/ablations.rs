@@ -52,7 +52,11 @@ fn main() {
     // with more concurrent 2PC transactions, later prepare groups more
     // often wait for earlier ones (Def 4.1), stretching the tail.
     header(&["concurrent txns", "mean latency", "p99 latency"]);
-    for clients in [scale.pick(8, 40), scale.pick(60, 300), scale.pick(240, 1200)] {
+    for clients in [
+        scale.pick(8, 40),
+        scale.pick(60, 300),
+        scale.pick(240, 1200),
+    ] {
         let config = experiment_config(scale);
         let spec = WorkloadSpec::distributed_rw(config.topo.clone(), 3, 3);
         let ops = spec.generate(clients * 3, 180 + clients as u64);
@@ -85,7 +89,9 @@ fn main() {
     for i in 0..n {
         tree.insert(&Key::from_u32(i), vh);
     }
-    let probes: Vec<Key> = (0..2000u32).map(|i| Key::from_u32(i * (n / 2000))).collect();
+    let probes: Vec<Key> = (0..2000u32)
+        .map(|i| Key::from_u32(i * (n / 2000)))
+        .collect();
     let t = Instant::now();
     let proofs: Vec<_> = probes.iter().map(|k| tree.prove(k)).collect();
     let prove_us = t.elapsed().as_micros() as f64 / probes.len() as f64;

@@ -1,43 +1,176 @@
 //! **Figure 4** — average latency of read-only transactions executed
 //! over a 2PC/BFT system vs TransEdge, as the number of accessed
-//! clusters grows from 1 to 5.
+//! clusters grows from 1 to 5 — plus the edge read tier's cold/warm
+//! cache behaviour through the new `ReadPipeline`.
 //!
 //! Paper result: TransEdge is 24× faster at 2 clusters, 9× at 5;
 //! 2PC/BFT sits at 69–82 ms beyond one cluster.
+//!
+//! Emits `BENCH_rot.json` so later changes can track the read-path
+//! trajectory (latencies, speedups, and edge cache hit rates).
+
+use std::fmt::Write as _;
 
 use transedge_bench::support::*;
+use transedge_common::{EdgeId, SimTime};
+use transedge_core::client::ClientOp;
 use transedge_core::metrics::OpKind;
+use transedge_core::setup::{Deployment, EdgePlan};
 use transedge_workload::WorkloadSpec;
+
+struct ClusterRow {
+    clusters: usize,
+    twopc_ms: f64,
+    transedge_ms: f64,
+    edge_ms: f64,
+}
+
+/// Cold vs warm serving through the edge tier: one client reads the
+/// same keys repeatedly; the first round must go upstream, the rest
+/// replay from the edge cache.
+struct EdgeCacheResult {
+    cold_ms: f64,
+    warm_ms: f64,
+    served_from_cache: u64,
+    forwarded: u64,
+    hit_rate: f64,
+}
+
+fn edge_cache_cold_vs_warm(scale: Scale) -> EdgeCacheResult {
+    let mut config = experiment_config(scale);
+    config.edge = EdgePlan::honest(1);
+    config.client.record_results = true;
+    let topo = config.topo.clone();
+    let keys: Vec<_> = (0u32..config.n_keys.min(10_000))
+        .map(transedge_common::Key::from_u32)
+        .filter(|k| topo.partition_of(k) == transedge_common::ClusterId(0))
+        .take(4)
+        .collect();
+    let rounds = scale.pick(30, 200);
+    let script = (0..rounds)
+        .map(|_| ClientOp::ReadOnly { keys: keys.clone() })
+        .collect::<Vec<_>>();
+    let mut dep = Deployment::build(config, vec![script]);
+    dep.run_until_done(SimTime(3_600_000_000));
+    let client = dep.client(dep.client_ids[0]);
+    assert_eq!(client.stats.verification_failures, 0);
+    let lats: Vec<f64> = client
+        .samples
+        .iter()
+        .filter(|s| s.kind == OpKind::ReadOnly)
+        .map(|s| s.latency().as_micros() as f64 / 1_000.0)
+        .collect();
+    let cold_ms = lats[0];
+    let warm_ms = lats[1..].iter().sum::<f64>() / (lats.len() - 1).max(1) as f64;
+    let edge = dep.edge_node(EdgeId::new(transedge_common::ClusterId(0), 0));
+    let stats = edge.stats;
+    let total = stats.served_from_cache + stats.forwarded;
+    EdgeCacheResult {
+        cold_ms,
+        warm_ms,
+        served_from_cache: stats.served_from_cache,
+        forwarded: stats.forwarded,
+        hit_rate: if total == 0 {
+            0.0
+        } else {
+            stats.served_from_cache as f64 / total as f64
+        },
+    }
+}
 
 fn main() {
     let scale = Scale::detect();
     banner(
         "Figure 4",
-        "read-only latency: TransEdge vs 2PC/BFT, 1–5 clusters",
+        "read-only latency: TransEdge vs 2PC/BFT vs edge tier, 1–5 clusters",
         scale,
     );
     let clients = scale.pick(8, 20);
     let ops_per_client = scale.pick(12, 50);
-    header(&["clusters", "2PC/BFT", "TransEdge", "speedup"]);
+    let systems = [
+        System::TwoPcBft,
+        System::TransEdge,
+        System::TransEdgeWithEdges,
+    ];
+    header(&["clusters", "2PC/BFT", "TransEdge", "TE+edge", "speedup"]);
+    let mut rows: Vec<ClusterRow> = Vec::new();
     for clusters in 1..=5usize {
         let config = experiment_config(scale);
         let spec = WorkloadSpec::read_only(config.topo.clone(), 5.max(clusters), clusters);
-        let mut lat = [0.0f64; 2];
-        for (i, system) in [System::TwoPcBft, System::TransEdge].iter().enumerate() {
+        let mut lat = [0.0f64; 3];
+        for (i, system) in systems.iter().enumerate() {
             let ops = spec.generate(clients * ops_per_client, 40 + clusters as u64);
-            let result = run_system(*system, experiment_config(scale), split_clients(ops, clients));
+            let result = run_system(
+                *system,
+                experiment_config(scale),
+                split_clients(ops, clients),
+            );
             lat[i] = result.summary(Some(OpKind::ReadOnly)).mean_latency_ms;
         }
         row(&[
             clusters.to_string(),
             fmt_ms(lat[0]),
             fmt_ms(lat[1]),
+            fmt_ms(lat[2]),
             format!("{:.1}x", lat[0] / lat[1].max(1e-9)),
         ]);
+        rows.push(ClusterRow {
+            clusters,
+            twopc_ms: lat[0],
+            transedge_ms: lat[1],
+            edge_ms: lat[2],
+        });
     }
+
+    // Edge cache: cold vs warm through the ReadPipeline/replay tier.
+    println!();
+    println!("  edge cache (same keys, repeated):");
+    let cache = edge_cache_cold_vs_warm(scale);
+    header(&["cold", "warm", "hit rate", "replayed", "forwarded"]);
+    row(&[
+        fmt_ms(cache.cold_ms),
+        fmt_ms(cache.warm_ms),
+        fmt_pct(cache.hit_rate * 100.0),
+        cache.served_from_cache.to_string(),
+        cache.forwarded.to_string(),
+    ]);
+
     paper_reference(&[
         "2PC/BFT:   ~12 ms at 1 cluster, 69–82 ms at 2–5 clusters",
         "TransEdge: ~1–8 ms across 1–5 clusters",
         "speedup:   24x at 2 clusters down to 9x at 5 clusters",
     ]);
+
+    // Machine-readable summary for trajectory tracking across PRs.
+    let mut json = String::new();
+    json.push_str("{\n  \"figure\": \"fig04_rot_latency\",\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if scale.full { "full" } else { "quick" }
+    );
+    json.push_str("  \"clusters\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"clusters\": {}, \"twopc_ms\": {:.4}, \"transedge_ms\": {:.4}, \"transedge_edge_ms\": {:.4}, \"speedup\": {:.2}}}",
+            r.clusters,
+            r.twopc_ms,
+            r.transedge_ms,
+            r.edge_ms,
+            r.twopc_ms / r.transedge_ms.max(1e-9),
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"edge_cache\": {{\"cold_ms\": {:.4}, \"warm_ms\": {:.4}, \"hit_rate\": {:.4}, \"replayed\": {}, \"forwarded\": {}}}",
+        cache.cold_ms, cache.warm_ms, cache.hit_rate, cache.served_from_cache, cache.forwarded
+    );
+    json.push_str("}\n");
+    // Anchor at the workspace root regardless of bench CWD.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_rot.json");
+    std::fs::write(&out, &json).expect("write BENCH_rot.json");
+    println!("\n  wrote {}", out.display());
 }

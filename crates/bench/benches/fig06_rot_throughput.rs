@@ -25,7 +25,11 @@ fn main() {
         let mut tps = [0.0f64; 2];
         for (i, system) in [System::TransEdge, System::Augustus].iter().enumerate() {
             let ops = spec.generate(clients * ops_per_client, 70 + clusters as u64);
-            let result = run_system(*system, experiment_config(scale), split_clients(ops, clients));
+            let result = run_system(
+                *system,
+                experiment_config(scale),
+                split_clients(ops, clients),
+            );
             tps[i] = result.throughput(Some(OpKind::ReadOnly));
         }
         row(&[

@@ -30,7 +30,12 @@ fn main() {
     };
     let clients = scale.pick(1200, 10_000);
     let ops_per_client = scale.pick(3, 5);
-    header(&["batch size", "write-only TE", "local-RW TE", "local-RW 2PC/BFT"]);
+    header(&[
+        "batch size",
+        "write-only TE",
+        "local-RW TE",
+        "local-RW 2PC/BFT",
+    ]);
     for &batch in &batch_sizes {
         let mut cells = vec![batch.to_string()];
         // Write-only on TransEdge.

@@ -32,10 +32,7 @@ fn main() {
             let mut config = experiment_config(scale);
             config.node.max_batch_size = batch;
             let spec = WorkloadSpec::distributed_rw(config.topo.clone(), reads, writes);
-            let ops = spec.generate(
-                clients * ops_per_client,
-                110 + batch as u64 + reads as u64,
-            );
+            let ops = spec.generate(clients * ops_per_client, 110 + batch as u64 + reads as u64);
             let r = run_system(System::TransEdge, config, split_clients(ops, clients));
             // W=1 transactions are essentially local (see the workload
             // docs), so summarise across read-write kinds.

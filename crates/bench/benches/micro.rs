@@ -45,7 +45,9 @@ fn bench_merkle(c: &mut Criterion) {
             tree.insert(&Key::from_u32(i), vh)
         })
     });
-    g.bench_function("prove_depth20", |b| b.iter(|| tree.prove(&Key::from_u32(77))));
+    g.bench_function("prove_depth20", |b| {
+        b.iter(|| tree.prove(&Key::from_u32(77)))
+    });
     let proof = tree.prove(&Key::from_u32(77));
     let root = tree.root();
     g.bench_function("verify_proof_depth20", |b| {

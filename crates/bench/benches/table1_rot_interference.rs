@@ -62,11 +62,7 @@ fn main() {
             .filter(|s| s.kind == OpKind::ReadOnly)
             .all(|s| s.committed);
         assert!(te_rot_all_committed, "TransEdge ROTs must never abort");
-        row(&[
-            clusters.to_string(),
-            fmt_pct(aug_pct),
-            fmt_pct(0.0),
-        ]);
+        row(&[clusters.to_string(), fmt_pct(aug_pct), fmt_pct(0.0)]);
     }
     paper_reference(&[
         "Augustus:  0.80 / 1.30 / 2.15 / 3.40 / 4.27 % for 1–5 clusters",

@@ -1,5 +1,5 @@
 use std::time::Instant;
-use transedge_crypto::{Keypair, sha256};
+use transedge_crypto::{sha256, Keypair};
 
 fn main() {
     let kp = Keypair::from_seed([1; 32]);
@@ -7,15 +7,21 @@ fn main() {
     let t = Instant::now();
     let n = 200;
     let mut sigs = Vec::new();
-    for i in 0..n { sigs.push(kp.sign(&[msg.as_slice(), &[i as u8]].concat())); }
+    for i in 0..n {
+        sigs.push(kp.sign(&[msg.as_slice(), &[i as u8]].concat()));
+    }
     println!("sign:   {:?}/op", t.elapsed() / n);
     let t = Instant::now();
     for (i, s) in sigs.iter().enumerate() {
-        assert!(kp.public().verify(&[msg.as_slice(), &[i as u8]].concat(), s));
+        assert!(kp
+            .public()
+            .verify(&[msg.as_slice(), &[i as u8]].concat(), s));
     }
     println!("verify: {:?}/op", t.elapsed() / n);
     let t = Instant::now();
     let data = vec![0u8; 1024];
-    for _ in 0..10000 { std::hint::black_box(sha256(&data)); }
+    for _ in 0..10000 {
+        std::hint::black_box(sha256(&data));
+    }
     println!("sha256-1KiB: {:?}/op", t.elapsed() / 10000);
 }

@@ -6,12 +6,16 @@ use transedge_baselines::build_two_pc_bft;
 use transedge_common::{SimDuration, SimTime};
 use transedge_core::client::ClientOp;
 use transedge_core::metrics::{summarize, OpKind, Summary, TxnSample};
-use transedge_core::setup::{Deployment, DeploymentConfig};
+use transedge_core::setup::{Deployment, DeploymentConfig, EdgePlan};
 
 /// Which system executes a workload.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum System {
     TransEdge,
+    /// TransEdge with an untrusted edge read cache fronting each
+    /// partition (one honest edge node per cluster; clients' read-only
+    /// rounds go through it and verify the replies end to end).
+    TransEdgeWithEdges,
     TwoPcBft,
     Augustus,
 }
@@ -20,6 +24,7 @@ impl System {
     pub fn name(&self) -> &'static str {
         match self {
             System::TransEdge => "TransEdge",
+            System::TransEdgeWithEdges => "TransEdge+edge",
             System::TwoPcBft => "2PC/BFT",
             System::Augustus => "Augustus",
         }
@@ -35,7 +40,7 @@ pub struct Scale {
 impl Scale {
     pub fn detect() -> Scale {
         Scale {
-            full: std::env::var("REPRO_FULL").map_or(false, |v| v == "1"),
+            full: std::env::var("REPRO_FULL").is_ok_and(|v| v == "1"),
         }
     }
 
@@ -103,7 +108,11 @@ pub fn run_system(
     client_ops: Vec<Vec<ClientOp>>,
 ) -> RunResult {
     match system {
-        System::TransEdge => {
+        System::TransEdge | System::TransEdgeWithEdges => {
+            let mut config = config;
+            if system == System::TransEdgeWithEdges && config.edge.per_cluster == 0 {
+                config.edge = EdgePlan::honest(1);
+            }
             let mut dep = Deployment::build(config, client_ops);
             dep.run_until_done(sim_limit());
             RunResult::from_samples(dep.samples(), 0)

@@ -59,12 +59,36 @@ impl fmt::Display for ClientId {
     }
 }
 
+/// An untrusted edge read node fronting one partition's ROT traffic.
+/// Edge nodes hold no keys and take part in no consensus: they replay
+/// proof-carrying responses that clients verify end to end, so a
+/// deployment can add them freely to scale the read path.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EdgeId {
+    /// Partition whose reads this node serves.
+    pub cluster: ClusterId,
+    pub index: u16,
+}
+
+impl EdgeId {
+    pub fn new(cluster: ClusterId, index: u16) -> Self {
+        Self { cluster, index }
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/e{}", self.cluster, self.index)
+    }
+}
+
 /// Address of any process in the system — used by the network simulator
 /// for routing and by protocol messages for provenance.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum NodeId {
     Replica(ReplicaId),
     Client(ClientId),
+    Edge(EdgeId),
 }
 
 impl NodeId {
@@ -72,7 +96,7 @@ impl NodeId {
     pub fn as_replica(self) -> Option<ReplicaId> {
         match self {
             NodeId::Replica(r) => Some(r),
-            NodeId::Client(_) => None,
+            _ => None,
         }
     }
 
@@ -80,7 +104,15 @@ impl NodeId {
     pub fn as_client(self) -> Option<ClientId> {
         match self {
             NodeId::Client(c) => Some(c),
-            NodeId::Replica(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The edge node id, if this is an edge address.
+    pub fn as_edge(self) -> Option<EdgeId> {
+        match self {
+            NodeId::Edge(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -90,7 +122,14 @@ impl fmt::Display for NodeId {
         match self {
             NodeId::Replica(r) => write!(f, "{r}"),
             NodeId::Client(c) => write!(f, "{c}"),
+            NodeId::Edge(e) => write!(f, "{e}"),
         }
+    }
+}
+
+impl From<EdgeId> for NodeId {
+    fn from(e: EdgeId) -> Self {
+        NodeId::Edge(e)
     }
 }
 
@@ -173,7 +212,7 @@ impl Epoch {
     /// Converts to a concrete batch number, if not the sentinel.
     #[inline]
     pub fn batch(self) -> Option<BatchNum> {
-        (self.0 >= 0).then(|| BatchNum(self.0 as u64))
+        (self.0 >= 0).then_some(BatchNum(self.0 as u64))
     }
 
     #[inline]
@@ -285,6 +324,10 @@ impl Encode for NodeId {
                 w.put_u8(1);
                 c.encode(w);
             }
+            NodeId::Edge(e) => {
+                w.put_u8(2);
+                e.encode(w);
+            }
         }
     }
 }
@@ -294,10 +337,25 @@ impl Decode for NodeId {
         match r.get_u8()? {
             0 => Ok(NodeId::Replica(ReplicaId::decode(r)?)),
             1 => Ok(NodeId::Client(ClientId::decode(r)?)),
-            t => Err(crate::TransEdgeError::Decode(format!(
-                "bad NodeId tag {t}"
-            ))),
+            2 => Ok(NodeId::Edge(EdgeId::decode(r)?)),
+            t => Err(crate::TransEdgeError::Decode(format!("bad NodeId tag {t}"))),
         }
+    }
+}
+
+impl Encode for EdgeId {
+    fn encode(&self, w: &mut WireWriter) {
+        self.cluster.encode(w);
+        w.put_u16(self.index);
+    }
+}
+
+impl Decode for EdgeId {
+    fn decode(r: &mut WireReader<'_>) -> crate::Result<Self> {
+        Ok(EdgeId {
+            cluster: ClusterId::decode(r)?,
+            index: r.get_u16()?,
+        })
     }
 }
 
@@ -391,6 +449,8 @@ mod tests {
         roundtrip(&ClientId(42));
         roundtrip(&NodeId::Replica(ReplicaId::new(ClusterId(1), 0)));
         roundtrip(&NodeId::Client(ClientId(9)));
+        roundtrip(&NodeId::Edge(EdgeId::new(ClusterId(2), 1)));
+        roundtrip(&EdgeId::new(ClusterId(0), 3));
         roundtrip(&TxnId::new(ClientId(1), 77));
         roundtrip(&BatchNum(123));
         roundtrip(&Epoch::NONE);
@@ -405,5 +465,6 @@ mod tests {
         assert_eq!(TxnId::new(ClientId(1), 5).to_string(), "t1.5");
         assert_eq!(BatchNum(9).to_string(), "b9");
         assert_eq!(Epoch::NONE.to_string(), "-1");
+        assert_eq!(EdgeId::new(ClusterId(1), 2).to_string(), "C1/e2");
     }
 }

@@ -19,7 +19,7 @@ pub mod wire;
 
 pub use config::{ClusterTopology, TopologyBuilder};
 pub use error::{Result, TransEdgeError};
-pub use ids::{BatchNum, ClientId, ClusterId, Epoch, NodeId, ReplicaId, TxnId, ViewNum};
+pub use ids::{BatchNum, ClientId, ClusterId, EdgeId, Epoch, NodeId, ReplicaId, TxnId, ViewNum};
 pub use time::{SimDuration, SimTime};
 pub use value::{Key, Value};
 pub use wire::{Decode, Encode, WireReader, WireWriter};

@@ -132,7 +132,10 @@ mod tests {
             }
             Some(m.msg.clone())
         });
-        assert!(saw_view_change, "conflicting proposals must trigger a view-change vote");
+        assert!(
+            saw_view_change,
+            "conflicting proposals must trigger a view-change vote"
+        );
     }
 
     /// A replica that forges WRITE votes for a value nobody proposed
@@ -234,11 +237,9 @@ mod tests {
             let from = inflight.from;
             let msg = inflight.msg;
             let reject = to == reps[1] && matches!(msg, BftMsg::Propose { .. });
-            let outputs = cluster.engine_mut(to).handle(
-                from,
-                msg,
-                &mut |_, _| !reject,
-            );
+            let outputs = cluster
+                .engine_mut(to)
+                .handle(from, msg, &mut |_, _| !reject);
             for o in &outputs {
                 if let crate::engine::Output::Broadcast(BftMsg::ViewChange { .. }) = o {
                     if to == reps[1] {

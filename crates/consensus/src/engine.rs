@@ -154,7 +154,7 @@ impl<V: BftValue> BftEngine<V> {
             && self
                 .slots
                 .get(&self.next_slot().0)
-                .map_or(true, |s| s.proposal.is_none() && s.decided.is_none())
+                .is_none_or(|s| s.proposal.is_none() && s.decided.is_none())
             && self.vc_target.is_none()
     }
 
@@ -167,9 +167,10 @@ impl<V: BftValue> BftEngine<V> {
     /// use this to drive leader-progress timeouts.
     pub fn has_undecided_inflight(&self) -> bool {
         self.vc_target.is_some()
-            || self.slots.values().any(|s| {
-                s.decided.is_none() && (s.proposal.is_some() || !s.writes.is_empty())
-            })
+            || self
+                .slots
+                .values()
+                .any(|s| s.decided.is_none() && (s.proposal.is_some() || !s.writes.is_empty()))
     }
 
     pub fn config(&self) -> &BftConfig {
@@ -219,14 +220,22 @@ impl<V: BftValue> BftEngine<V> {
     }
 
     /// Record the proposal locally and emit our WRITE.
-    fn install_proposal(&mut self, slot: BatchNum, value: V, digest: Digest, out: &mut Vec<Output<V>>) {
+    fn install_proposal(
+        &mut self,
+        slot: BatchNum,
+        value: V,
+        digest: Digest,
+        out: &mut Vec<Output<V>>,
+    ) {
         let view = self.view;
         let slot_state = self.slots.entry(slot.0).or_default();
         slot_state.proposal = Some((view, value, digest));
         slot_state.wrote = true;
         let wstmt = write_statement(self.config.cluster, view, slot, &digest);
         let wsig = self.keypair.sign(&wstmt);
-        slot_state.writes.insert(self.config.me, (view, digest, wsig));
+        slot_state
+            .writes
+            .insert(self.config.me, (view, digest, wsig));
         out.push(Output::Broadcast(BftMsg::Write {
             view,
             slot,
@@ -254,12 +263,18 @@ impl<V: BftValue> BftEngine<V> {
             return out; // not a member of this cluster
         }
         match msg {
-            BftMsg::Propose { view, slot, value, sig } => {
-                self.on_propose(from, view, slot, value, sig, validate, &mut out)
-            }
-            BftMsg::Write { view, slot, digest, sig } => {
-                self.on_write(from, view, slot, digest, sig, &mut out)
-            }
+            BftMsg::Propose {
+                view,
+                slot,
+                value,
+                sig,
+            } => self.on_propose(from, view, slot, value, sig, validate, &mut out),
+            BftMsg::Write {
+                view,
+                slot,
+                digest,
+                sig,
+            } => self.on_write(from, view, slot, digest, sig, &mut out),
             BftMsg::Accept { slot, digest, sig } => {
                 self.on_accept(from, slot, digest, sig, &mut out)
             }
@@ -267,9 +282,11 @@ impl<V: BftValue> BftEngine<V> {
                 vote,
                 prepared_value,
             } => self.on_view_change(from, vote, prepared_value, &mut out),
-            BftMsg::NewView { view, votes, reproposal } => {
-                self.on_new_view(from, view, votes, reproposal, &mut out)
-            }
+            BftMsg::NewView {
+                view,
+                votes,
+                reproposal,
+            } => self.on_new_view(from, view, votes, reproposal, &mut out),
             BftMsg::StateRequest { from: from_slot } => {
                 self.on_state_request(from, from_slot, &mut out)
             }
@@ -328,7 +345,12 @@ impl<V: BftValue> BftEngine<V> {
             let entry = self.slots.entry(slot.0).or_default();
             entry.pending_propose = Some((
                 from,
-                BftMsg::Propose { view, slot, value, sig },
+                BftMsg::Propose {
+                    view,
+                    slot,
+                    value,
+                    sig,
+                },
             ));
             // We are behind: ask the leader for the decided prefix.
             out.push(Output::Send(
@@ -503,7 +525,12 @@ impl<V: BftValue> BftEngine<V> {
 
     /// Deliver decided slots in log order starting from `slot` if it is
     /// next; subsequent already-decided slots flush too.
-    fn deliver_ready(&mut self, decided_slot: BatchNum, cert: Certificate, out: &mut Vec<Output<V>>) {
+    fn deliver_ready(
+        &mut self,
+        decided_slot: BatchNum,
+        cert: Certificate,
+        out: &mut Vec<Output<V>>,
+    ) {
         // Stash the certificate with the slot so the flush below can use it.
         // (Only the just-decided slot carries a fresh cert; slots decided
         // earlier already hold theirs in `pending_certs` via recursion.)
@@ -606,12 +633,7 @@ impl<V: BftValue> BftEngine<V> {
                 .values()
                 .filter(|(v, d, _)| v == pview && d == pdigest)
                 .count();
-            (count >= self.config.quorum()).then(|| {
-                (
-                    (*pview, delivered, *pdigest),
-                    value.clone(),
-                )
-            })
+            (count >= self.config.quorum()).then(|| ((*pview, delivered, *pdigest), value.clone()))
         });
         let (prepared, prepared_value) = match prepared_info {
             Some((triple, value)) => (Some(triple), Some(value)),
@@ -680,7 +702,7 @@ impl<V: BftValue> BftEngine<V> {
         self.record_vc_vote(from, vote, value);
         // Join rule: f+1 votes for views above ours → join the lowest
         // such view.
-        if self.vc_target.map_or(true, |t| t < target) {
+        if self.vc_target.is_none_or(|t| t < target) {
             let distinct: usize = self
                 .vc_votes
                 .iter()
@@ -723,15 +745,13 @@ impl<V: BftValue> BftEngine<V> {
         let mut best: Option<(ViewNum, BatchNum, Digest, V)> = None;
         for (vote, value) in votes.values() {
             if let (Some((pv, ps, pd)), Some(val)) = (&vote.prepared, value) {
-                if val.digest() == *pd && best.as_ref().map_or(true, |(bv, ..)| pv > bv) {
+                if val.digest() == *pd && best.as_ref().is_none_or(|(bv, ..)| pv > bv) {
                     best = Some((*pv, *ps, *pd, val.clone()));
                 }
             }
         }
-        let vote_list: Vec<(ReplicaId, ViewChangeVote)> = votes
-            .iter()
-            .map(|(r, (v, _))| (*r, v.clone()))
-            .collect();
+        let vote_list: Vec<(ReplicaId, ViewChangeVote)> =
+            votes.iter().map(|(r, (v, _))| (*r, v.clone())).collect();
         let reproposal = best.as_ref().map(|(_, _, _, v)| v.clone());
         out.push(Output::Broadcast(BftMsg::NewView {
             view: target,
@@ -799,7 +819,7 @@ impl<V: BftValue> BftEngine<V> {
         let mut obligation: Option<(ViewNum, BatchNum, Digest)> = None;
         for (_, vote) in &votes {
             if let Some((pv, ps, pd)) = &vote.prepared {
-                if obligation.as_ref().map_or(true, |(bv, ..)| pv > bv) {
+                if obligation.as_ref().is_none_or(|(bv, ..)| pv > bv) {
                     obligation = Some((*pv, *ps, *pd));
                 }
             }

@@ -48,7 +48,10 @@ impl<V: BftValue> Cluster<V> {
                 me: r,
                 f: f as usize,
             };
-            engines.insert(r, BftEngine::new(config, keypairs[&r].clone(), keys.clone()));
+            engines.insert(
+                r,
+                BftEngine::new(config, keypairs[&r].clone(), keys.clone()),
+            );
             delivered.insert(r, Vec::new());
         }
         Cluster {
@@ -114,10 +117,7 @@ impl<V: BftValue> Cluster<V> {
     /// Deliver one queued message (front of the FIFO). Returns false if
     /// the network is empty. `filter` may drop (return `None`) or
     /// mutate messages — the byzantine test hook.
-    pub fn step_with(
-        &mut self,
-        filter: &mut dyn FnMut(&InFlight<V>) -> Option<BftMsg<V>>,
-    ) -> bool {
+    pub fn step_with(&mut self, filter: &mut dyn FnMut(&InFlight<V>) -> Option<BftMsg<V>>) -> bool {
         let Some(inflight) = self.network.pop_front() else {
             return false;
         };
@@ -129,11 +129,11 @@ impl<V: BftValue> Cluster<V> {
         };
         let to = inflight.to;
         let from = inflight.from;
-        let outputs =
-            self.engines
-                .get_mut(&to)
-                .unwrap()
-                .handle(from, msg, &mut |_, _| true);
+        let outputs = self
+            .engines
+            .get_mut(&to)
+            .unwrap()
+            .handle(from, msg, &mut |_, _| true);
         self.enqueue_outputs(to, outputs);
         // Replay any propose that was buffered while this replica lagged.
         loop {
@@ -242,7 +242,7 @@ mod tests {
     #[test]
     fn decides_with_f_crashed_replicas() {
         let mut cluster: Cluster<Vec<u8>> = Cluster::new(2, 3); // 7 replicas
-        // Crash 2 non-leader replicas.
+                                                                // Crash 2 non-leader replicas.
         let reps = cluster.replicas();
         cluster.down = vec![reps[5], reps[6]];
         cluster.propose(value(9));

@@ -21,7 +21,12 @@ impl BftValue for Vec<u8> {
 /// The canonical byte statement a WRITE vote signs.
 /// Write votes are view-scoped: a write certificate from view `v`
 /// must not be confused with one from view `v+1`.
-pub fn write_statement(cluster: ClusterId, view: ViewNum, slot: BatchNum, digest: &Digest) -> Vec<u8> {
+pub fn write_statement(
+    cluster: ClusterId,
+    view: ViewNum,
+    slot: BatchNum,
+    digest: &Digest,
+) -> Vec<u8> {
     let mut w = WireWriter::with_capacity(64);
     w.put_bytes(b"transedge/write");
     cluster.encode(&mut w);

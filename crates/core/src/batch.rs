@@ -271,6 +271,52 @@ impl transedge_consensus::BftValue for Batch {
     }
 }
 
+/// A batch header together with the digest of the segments it omits —
+/// exactly what a read-only response carries, and the anchor the edge
+/// read subsystem verifies proofs against. Implements the edge crate's
+/// [`transedge_edge::BatchCommitment`], chaining the header to the
+/// `f+1` consensus certificate via [`Batch::digest_from_parts`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommittedHeader {
+    pub header: BatchHeader,
+    pub body_digest: Digest,
+}
+
+impl CommittedHeader {
+    pub fn of(batch: &Batch) -> Self {
+        CommittedHeader {
+            header: batch.header.clone(),
+            body_digest: batch.body_digest(),
+        }
+    }
+}
+
+impl transedge_edge::BatchCommitment for CommittedHeader {
+    fn cluster(&self) -> ClusterId {
+        self.header.cluster
+    }
+
+    fn batch(&self) -> BatchNum {
+        self.header.num
+    }
+
+    fn merkle_root(&self) -> &Digest {
+        &self.header.merkle_root
+    }
+
+    fn lce(&self) -> Epoch {
+        self.header.lce
+    }
+
+    fn timestamp(&self) -> SimTime {
+        self.header.timestamp
+    }
+
+    fn certified_digest(&self) -> Digest {
+        Batch::digest_from_parts(&self.header, &self.body_digest)
+    }
+}
+
 // ---- wire encodings --------------------------------------------------
 
 impl Encode for ReadOp {

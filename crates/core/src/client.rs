@@ -15,13 +15,13 @@ use transedge_common::{
     BatchNum, ClientId, ClusterId, ClusterTopology, Epoch, Key, NodeId, ReplicaId, SimDuration,
     SimTime, TxnId, Value,
 };
-use transedge_crypto::merkle::{value_digest, verify_proof, Verified};
-use transedge_crypto::{Digest, KeyStore};
+use transedge_crypto::KeyStore;
+use transedge_edge::{ReadVerifier, VerifyParams};
 use transedge_simnet::{Actor, Context};
 
-use crate::batch::{Batch, BatchHeader, ReadOp, Transaction, WriteOp};
+use crate::batch::{ReadOp, Transaction, WriteOp};
 use crate::deps::{verify_dependencies, RotView};
-use crate::messages::{NetMsg, RotValue};
+use crate::messages::{NetMsg, RotBundle};
 use crate::metrics::{OpKind, TxnSample};
 
 /// One scripted client operation.
@@ -54,6 +54,12 @@ pub struct ClientConfig {
     /// commit-free snapshot protocol. Samples keep `OpKind::ReadOnly`
     /// so harnesses compare like for like.
     pub rot_via_2pc: bool,
+    /// Per-partition edge read nodes this client sends its read-only
+    /// rounds to (untrusted caches; responses still verify end to end).
+    /// Partitions without an entry are read from the cluster itself.
+    /// Verification failures and retries always fall back to real
+    /// replicas, so a byzantine edge cannot wedge a client.
+    pub edge_targets: HashMap<ClusterId, NodeId>,
 }
 
 impl Default for ClientConfig {
@@ -65,6 +71,7 @@ impl Default for ClientConfig {
             max_retries: 20,
             record_results: false,
             rot_via_2pc: false,
+            edge_targets: HashMap::new(),
         }
     }
 }
@@ -87,6 +94,10 @@ pub struct TxnOutcome {
     pub reads: Vec<(Key, Option<Value>)>,
 }
 
+/// One partition's verified answer: dependency view + values.
+type VerifiedPartition = (RotView, Vec<(Key, Option<Value>)>);
+
+#[allow(clippy::enum_variant_names)]
 enum Phase {
     ReadPhase {
         collected: HashMap<Key, (Option<Value>, Epoch)>,
@@ -102,7 +113,7 @@ enum Phase {
         /// req id → cluster.
         outstanding: HashMap<u64, ClusterId>,
         /// Verified responses so far (latest per cluster).
-        responses: HashMap<ClusterId, (RotView, Vec<(Key, Option<Value>)>)>,
+        responses: HashMap<ClusterId, VerifiedPartition>,
         /// Keys per cluster (for round-2 re-requests).
         keys_by_cluster: Vec<(ClusterId, Vec<Key>)>,
         round1_done_at: Option<SimTime>,
@@ -202,6 +213,18 @@ impl ClientActor {
         NodeId::Replica(ReplicaId::new(cluster, (self.read_rr % n) as u16))
     }
 
+    /// Where this client's read-only rounds go: the configured edge
+    /// read node if one fronts the partition, the cluster leader
+    /// otherwise. Retries after verification failures bypass this and
+    /// ask real replicas directly.
+    fn rot_target(&self, cluster: ClusterId) -> NodeId {
+        self.config
+            .edge_targets
+            .get(&cluster)
+            .copied()
+            .unwrap_or_else(|| self.leader_of(cluster))
+    }
+
     fn classify(&self, reads: &[Key], writes: &[(Key, Value)]) -> OpKind {
         let mut parts: Vec<ClusterId> = reads
             .iter()
@@ -246,7 +269,13 @@ impl ClientActor {
                     let req = self.req_id();
                     let target = self.any_replica_of(self.topo.partition_of(key));
                     outstanding.insert(req, key.clone());
-                    ctx.send(target, NetMsg::Read { req, key: key.clone() });
+                    ctx.send(
+                        target,
+                        NetMsg::Read {
+                            req,
+                            key: key.clone(),
+                        },
+                    );
                 }
                 let inflight = Inflight {
                     op_index,
@@ -284,7 +313,7 @@ impl ClientActor {
                 for (cluster, keys) in &keys_by_cluster {
                     let req = self.req_id();
                     outstanding.insert(req, *cluster);
-                    let target = self.leader_of(*cluster);
+                    let target = self.rot_target(*cluster);
                     ctx.send(
                         target,
                         NetMsg::RotRequest {
@@ -365,99 +394,61 @@ impl ClientActor {
     // Read-only verification
     // ------------------------------------------------------------------
 
-    /// Verify a read-only response end to end. Returns the dependency
-    /// view and verified values, or `None` (counting a verification
-    /// failure).
+    /// The trusted-side checker, configured to match the deployment.
+    fn read_verifier(&self) -> ReadVerifier {
+        ReadVerifier::new(VerifyParams {
+            tree_depth: self.config.tree_depth,
+            freshness_window: self.config.freshness_window,
+            quorum: self.topo.certificate_quorum(),
+        })
+    }
+
+    /// Verify a read-only response end to end (proof → root →
+    /// certificate → freshness → dependency floor) by delegating to the
+    /// edge read subsystem's verifier. Returns the dependency view and
+    /// verified values, or `None` (counting a verification failure —
+    /// evidence of a byzantine server).
     fn verify_rot_response(
         &mut self,
         cluster: ClusterId,
-        header: &BatchHeader,
-        body_digest: &Digest,
-        cert: &transedge_consensus::Certificate,
-        values: &[RotValue],
+        bundle: &RotBundle,
         expected_keys: &[Key],
+        min_lce: Epoch,
         now: SimTime,
         ctx: &mut Context<'_, NetMsg>,
-    ) -> Option<(RotView, Vec<(Key, Option<Value>)>)> {
+    ) -> Option<VerifiedPartition> {
         ctx.charge(|c| {
             SimDuration(
-                c.ed25519_verify.0 * cert.sigs.len() as u64
-                    + c.merkle_verify.0 * values.len() as u64,
+                c.ed25519_verify.0 * bundle.cert.sigs.len() as u64
+                    + c.merkle_verify.0 * bundle.reads.len() as u64,
             )
         });
-        // 1. The header must be for the right partition.
-        if header.cluster != cluster {
-            self.stats.verification_failures += 1;
-            return None;
-        }
-        // 2. Certificate: f+1 replica signatures over the batch digest
-        //    recomputed from header + body digest.
-        let digest = Batch::digest_from_parts(header, body_digest);
-        let quorum = self.topo.certificate_quorum();
-        if cert.cluster != cluster
-            || cert.slot != header.num
-            || cert.digest != digest
-            || cert.verify(&self.keys, quorum).is_err()
-        {
-            self.stats.verification_failures += 1;
-            return None;
-        }
-        // 3. Freshness (§4.4.2).
-        let skew = now
-            .saturating_since(header.timestamp)
-            .max(header.timestamp.saturating_since(now));
-        if skew > self.config.freshness_window {
-            self.stats.verification_failures += 1;
-            return None;
-        }
-        // 4. Every requested key answered, with a valid proof.
-        let mut out = Vec::with_capacity(expected_keys.len());
-        for key in expected_keys {
-            let Some(rv) = values.iter().find(|v| &v.key == key) else {
+        match self.read_verifier().verify_bundle(
+            &self.keys,
+            cluster,
+            bundle,
+            expected_keys,
+            min_lce,
+            now,
+        ) {
+            Ok(values) => {
+                let header = &bundle.commitment.header;
+                let view = RotView {
+                    cluster,
+                    batch: header.num,
+                    cd: header.cd.clone(),
+                    lce: header.lce,
+                };
+                Some((view, values))
+            }
+            Err(_rejection) => {
                 self.stats.verification_failures += 1;
-                return None;
-            };
-            match verify_proof(&header.merkle_root, self.config.tree_depth, key, &rv.proof) {
-                Ok(Verified::Present(vh)) => match &rv.value {
-                    Some(value) if value_digest(value) == vh => {
-                        out.push((key.clone(), Some(value.clone())));
-                    }
-                    _ => {
-                        self.stats.verification_failures += 1;
-                        return None;
-                    }
-                },
-                Ok(Verified::Absent) => {
-                    if rv.value.is_some() {
-                        self.stats.verification_failures += 1;
-                        return None;
-                    }
-                    out.push((key.clone(), None));
-                }
-                Err(_) => {
-                    self.stats.verification_failures += 1;
-                    return None;
-                }
+                None
             }
         }
-        let view = RotView {
-            cluster,
-            batch: header.num,
-            cd: header.cd.clone(),
-            lce: header.lce,
-        };
-        Some((view, out))
     }
 
-    fn on_rot_response(
-        &mut self,
-        req: u64,
-        header: BatchHeader,
-        body_digest: Digest,
-        cert: transedge_consensus::Certificate,
-        values: Vec<RotValue>,
-        ctx: &mut Context<'_, NetMsg>,
-    ) {
+    fn on_rot_response(&mut self, req: u64, bundle: RotBundle, ctx: &mut Context<'_, NetMsg>) {
         let now = ctx.now();
         let Some(mut inflight) = self.inflight.take() else {
             return;
@@ -492,36 +483,18 @@ impl ClientActor {
             .find(|(c, _)| *c == cluster)
             .map(|(_, k)| k.clone())
             .unwrap_or_default();
-        let verified = self.verify_rot_response(
-            cluster,
-            &header,
-            &body_digest,
-            &cert,
-            &values,
-            &expected_keys,
-            now,
-            ctx,
-        );
+        // Round-2 responses must reach the dependency floor we asked
+        // for; the verifier rejects anything staler (the "stale root"
+        // attack an untrusted edge could try).
+        let min_lce = if round >= 2 {
+            required.get(&cluster).copied().unwrap_or(Epoch::NONE)
+        } else {
+            Epoch::NONE
+        };
+        let verified =
+            self.verify_rot_response(cluster, &bundle, &expected_keys, min_lce, now, ctx);
         match verified {
             Some((view, vals)) => {
-                // Round 2 responses must actually satisfy the epoch we
-                // asked for.
-                if let Some(min_epoch) = required.get(&cluster) {
-                    if round == 2 && view.lce < *min_epoch {
-                        self.stats.verification_failures += 1;
-                        // Leave outstanding; the retry timer re-asks.
-                        inflight.phase = Phase::RotRound {
-                            round,
-                            outstanding,
-                            responses,
-                            keys_by_cluster,
-                            round1_done_at,
-                            required,
-                        };
-                        self.inflight = Some(inflight);
-                        return;
-                    }
-                }
                 outstanding.remove(&req);
                 responses.insert(cluster, (view, vals));
             }
@@ -583,7 +556,9 @@ impl ClientActor {
                 committed: true,
                 rot_round2: needed_round2,
                 round1_latency: Some(
-                    round1_done_at.unwrap_or(now).saturating_since(inflight.start),
+                    round1_done_at
+                        .unwrap_or(now)
+                        .saturating_since(inflight.start),
                 ),
             });
             if self.config.record_results {
@@ -627,7 +602,7 @@ impl ClientActor {
             outstanding.insert(req, cluster);
             required.insert(cluster, min_epoch);
             ctx.send(
-                self.leader_of(cluster),
+                self.rot_target(cluster),
                 NetMsg::RotFetch {
                     req,
                     keys,
@@ -645,7 +620,9 @@ impl ClientActor {
                 committed: true,
                 rot_round2: true,
                 round1_latency: Some(
-                    round1_done_at.unwrap_or(now).saturating_since(inflight.start),
+                    round1_done_at
+                        .unwrap_or(now)
+                        .saturating_since(inflight.start),
                 ),
             });
             self.inflight = None;
@@ -735,14 +712,8 @@ impl Actor<NetMsg> for ClientActor {
             NetMsg::TxnResult { txn, committed, .. } => {
                 self.finish_rw(txn, committed, ctx);
             }
-            NetMsg::RotResponse {
-                req,
-                header,
-                body_digest,
-                cert,
-                values,
-            } => {
-                self.on_rot_response(req, header, body_digest, cert, values, ctx);
+            NetMsg::RotResponse { req, bundle } => {
+                self.on_rot_response(req, bundle, ctx);
             }
             _ => {}
         }
@@ -800,8 +771,7 @@ impl Actor<NetMsg> for ClientActor {
                 // leader cannot blackhole them (§3.3.1); replicas
                 // forward to their current leader.
                 let n = self.topo.replicas_per_cluster() as u32;
-                let target =
-                    ReplicaId::new(*coordinator, (inflight.attempts % n) as u16);
+                let target = ReplicaId::new(*coordinator, (inflight.attempts % n) as u16);
                 sends.push((
                     NodeId::Replica(target),
                     NetMsg::CommitRequest {
@@ -833,8 +803,7 @@ impl Actor<NetMsg> for ClientActor {
                         }
                     };
                     let n = self.topo.replicas_per_cluster() as u32;
-                    let target =
-                        ReplicaId::new(*cluster, (inflight.attempts % n) as u16);
+                    let target = ReplicaId::new(*cluster, (inflight.attempts % n) as u16);
                     sends.push((NodeId::Replica(target), msg));
                 }
             }

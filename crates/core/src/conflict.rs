@@ -26,7 +26,11 @@ use crate::batch::Transaction;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ConflictReason {
     /// Rule 1: a read has been overwritten by a committed batch.
-    StaleRead { key: Key, read: Epoch, committed: Epoch },
+    StaleRead {
+        key: Key,
+        read: Epoch,
+        committed: Epoch,
+    },
     /// Rule 2: conflicts with a transaction already in the in-progress
     /// batch.
     InProgressBatch,
@@ -48,14 +52,19 @@ impl Footprint {
 
     /// Add a transaction's operations on `cluster` (or all operations
     /// if `cluster` is `None`).
-    pub fn absorb(&mut self, txn: &Transaction, topo: &ClusterTopology, cluster: Option<ClusterId>) {
+    pub fn absorb(
+        &mut self,
+        txn: &Transaction,
+        topo: &ClusterTopology,
+        cluster: Option<ClusterId>,
+    ) {
         for r in &txn.reads {
-            if cluster.map_or(true, |c| topo.partition_of(&r.key) == c) {
+            if cluster.is_none_or(|c| topo.partition_of(&r.key) == c) {
                 self.reads.insert(r.key.clone());
             }
         }
         for w in &txn.writes {
-            if cluster.map_or(true, |c| topo.partition_of(&w.key) == c) {
+            if cluster.is_none_or(|c| topo.partition_of(&w.key) == c) {
                 self.writes.insert(w.key.clone());
             }
         }
@@ -78,14 +87,14 @@ impl Footprint {
         cluster: Option<ClusterId>,
     ) -> bool {
         for w in &txn.writes {
-            if cluster.map_or(true, |c| topo.partition_of(&w.key) == c)
+            if cluster.is_none_or(|c| topo.partition_of(&w.key) == c)
                 && (self.writes.contains(&w.key) || self.reads.contains(&w.key))
             {
                 return true;
             }
         }
         for r in &txn.reads {
-            if cluster.map_or(true, |c| topo.partition_of(&r.key) == c)
+            if cluster.is_none_or(|c| topo.partition_of(&r.key) == c)
                 && self.writes.contains(&r.key)
             {
                 return true;

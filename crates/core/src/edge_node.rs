@@ -1,0 +1,243 @@
+//! The edge read node: an *untrusted* cache actor that scales the
+//! read-only path without joining consensus.
+//!
+//! An [`EdgeReadNode`] fronts one partition. It holds no partition
+//! state, no Merkle tree, and no signing keys — only
+//! [`transedge_edge::ReplayCache`] fragments of certified responses it
+//! has forwarded before. A request it can cover is answered locally
+//! (zero upstream hops); anything else is forwarded to a replica of
+//! the home cluster and the certified answer absorbed on the way back.
+//!
+//! Because every response is proof-carrying, clients need not trust
+//! this node at all: the byzantine variants below ([`EdgeBehavior`])
+//! tamper with values, proofs, or roots, and the client-side
+//! [`transedge_edge::ReadVerifier`] catches each one, after which the
+//! client re-asks a real replica. Tests use them to pin that property.
+
+use std::collections::HashMap;
+
+use transedge_common::{
+    ClusterTopology, EdgeId, Epoch, Key, NodeId, ReplicaId, SimDuration, SimTime,
+};
+use transedge_crypto::Digest;
+use transedge_edge::ReplayCache;
+use transedge_simnet::{Actor, Context};
+
+use crate::batch::CommittedHeader;
+use crate::messages::{NetMsg, RotBundle};
+
+/// How the edge node treats the responses it serves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EdgeBehavior {
+    /// Replay certified responses unmodified.
+    #[default]
+    Honest,
+    /// Lie about the first returned value (keeps the honest proof —
+    /// clients reject with a value/digest mismatch).
+    TamperValue,
+    /// Corrupt the first returned Merkle proof (clients reject the
+    /// proof against the certified root).
+    ForgeProof,
+    /// Swap in a stale/forged state root while keeping the real
+    /// certificate (clients reject the certificate over the recomputed
+    /// digest).
+    StaleRoot,
+}
+
+/// Serving counters for the harnesses.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EdgeNodeStats {
+    /// Client requests received (round 1 + round 2).
+    pub requests: u64,
+    /// Answered straight from the replay cache.
+    pub served_from_cache: u64,
+    /// Forwarded upstream to a replica.
+    pub forwarded: u64,
+    /// Responses deliberately corrupted (byzantine modes).
+    pub tampered: u64,
+}
+
+/// A client request waiting on an upstream answer.
+struct PendingRequest {
+    client: NodeId,
+    client_req: u64,
+}
+
+/// The actor.
+pub struct EdgeReadNode {
+    pub me: EdgeId,
+    topo: ClusterTopology,
+    behavior: EdgeBehavior,
+    cache: ReplayCache<CommittedHeader>,
+    /// Cached bundles older than this are not replayed; the request is
+    /// forwarded upstream instead, refreshing the cache. Keeps a
+    /// hot-key edge from serving responses that age past the clients'
+    /// freshness window (which would be rejected on every read while
+    /// the cache never refreshes).
+    replay_staleness: SimDuration,
+    /// upstream req id → the client request it answers.
+    pending: HashMap<u64, PendingRequest>,
+    next_req: u64,
+    /// Round-robin over home-cluster replicas for upstream fetches.
+    upstream_rr: u64,
+    pub stats: EdgeNodeStats,
+}
+
+impl EdgeReadNode {
+    pub fn new(
+        me: EdgeId,
+        topo: ClusterTopology,
+        behavior: EdgeBehavior,
+        cache_capacity: usize,
+        max_cached_batches: usize,
+        replay_staleness: SimDuration,
+    ) -> Self {
+        EdgeReadNode {
+            me,
+            topo,
+            behavior,
+            cache: ReplayCache::new(cache_capacity, max_cached_batches),
+            replay_staleness,
+            pending: HashMap::new(),
+            next_req: 0,
+            upstream_rr: 0,
+            stats: EdgeNodeStats::default(),
+        }
+    }
+
+    pub fn behavior(&self) -> EdgeBehavior {
+        self.behavior
+    }
+
+    /// Replay-cache counters (admitted / replayed / passes).
+    pub fn cache_stats(&self) -> transedge_edge::replay::ReplayStats {
+        self.cache.stats
+    }
+
+    fn upstream(&mut self) -> NodeId {
+        let n = self.topo.replicas_per_cluster() as u64;
+        self.upstream_rr += 1;
+        NodeId::Replica(ReplicaId::new(
+            self.me.cluster,
+            (self.upstream_rr % n) as u16,
+        ))
+    }
+
+    /// Apply this node's byzantine behaviour to an outgoing bundle.
+    fn corrupt(&mut self, mut bundle: RotBundle) -> RotBundle {
+        match self.behavior {
+            EdgeBehavior::Honest => {}
+            EdgeBehavior::TamperValue => {
+                if let Some(read) = bundle.reads.iter_mut().find(|r| r.value.is_some()) {
+                    read.value = Some(transedge_common::Value::from("forged-by-edge"));
+                    self.stats.tampered += 1;
+                }
+            }
+            EdgeBehavior::ForgeProof => {
+                if let Some(read) = bundle.reads.first_mut() {
+                    match read.proof.siblings.first_mut() {
+                        Some(sibling) => sibling.0[0] ^= 0xFF,
+                        None => read.proof.bucket.clear(),
+                    }
+                    self.stats.tampered += 1;
+                }
+            }
+            EdgeBehavior::StaleRoot => {
+                bundle.commitment.header.merkle_root = Digest([0xDE; 32]);
+                self.stats.tampered += 1;
+            }
+        }
+        bundle
+    }
+
+    fn respond(&mut self, to: NodeId, req: u64, bundle: RotBundle, ctx: &mut Context<'_, NetMsg>) {
+        let bundle = self.corrupt(bundle);
+        ctx.send(to, NetMsg::RotResponse { req, bundle });
+    }
+
+    /// Serve from cache or forward upstream.
+    fn on_read_request(
+        &mut self,
+        from: NodeId,
+        req: u64,
+        keys: Vec<Key>,
+        min_epoch: Epoch,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        self.stats.requests += 1;
+        let freshness_floor = SimTime(
+            ctx.now()
+                .as_micros()
+                .saturating_sub(self.replay_staleness.as_micros()),
+        );
+        if let Some(bundle) = self.cache.replay(&keys, min_epoch, freshness_floor) {
+            self.stats.served_from_cache += 1;
+            self.respond(from, req, bundle, ctx);
+            return;
+        }
+        self.stats.forwarded += 1;
+        self.next_req += 1;
+        let upstream_req = self.next_req;
+        // Bound the pending map: upstream responses can be lost (faulty
+        // links, crashed replicas) and clients retry via replicas, so
+        // nothing else drains abandoned entries. Request ids ascend, so
+        // the smallest ids are the oldest — drop those first.
+        const MAX_PENDING: usize = 4096;
+        if self.pending.len() >= MAX_PENDING {
+            let mut ids: Vec<u64> = self.pending.keys().copied().collect();
+            ids.sort_unstable();
+            for id in &ids[..MAX_PENDING / 2] {
+                self.pending.remove(id);
+            }
+        }
+        self.pending.insert(
+            upstream_req,
+            PendingRequest {
+                client: from,
+                client_req: req,
+            },
+        );
+        let upstream = self.upstream();
+        let msg = if min_epoch.is_none() {
+            NetMsg::RotRequest {
+                req: upstream_req,
+                keys,
+            }
+        } else {
+            NetMsg::RotFetch {
+                req: upstream_req,
+                keys,
+                min_epoch,
+            }
+        };
+        ctx.send(upstream, msg);
+    }
+
+    fn on_upstream_response(&mut self, req: u64, bundle: RotBundle, ctx: &mut Context<'_, NetMsg>) {
+        // Absorb the certified fragments regardless of who asked; a
+        // byzantine edge still caches honestly and lies on the way out.
+        self.cache.admit(&bundle);
+        let Some(pending) = self.pending.remove(&req) else {
+            return; // duplicate or late upstream answer
+        };
+        self.respond(pending.client, pending.client_req, bundle, ctx);
+    }
+}
+
+impl Actor<NetMsg> for EdgeReadNode {
+    fn on_message(&mut self, from: NodeId, msg: NetMsg, ctx: &mut Context<'_, NetMsg>) {
+        match msg {
+            NetMsg::RotRequest { req, keys } => {
+                self.on_read_request(from, req, keys, Epoch::NONE, ctx)
+            }
+            NetMsg::RotFetch {
+                req,
+                keys,
+                min_epoch,
+            } => self.on_read_request(from, req, keys, min_epoch, ctx),
+            NetMsg::RotResponse { req, bundle } => self.on_upstream_response(req, bundle, ctx),
+            // Edge nodes take part in nothing else.
+            _ => {}
+        }
+    }
+}

@@ -371,8 +371,14 @@ impl Executor {
             .iter()
             .chain(batch.prepared.iter().map(|p| &p.txn))
         {
-            if let Err(e) = admit(t, &self.store, &in_progress, &prepared_fp, &self.topo, self.cluster)
-            {
+            if let Err(e) = admit(
+                t,
+                &self.store,
+                &in_progress,
+                &prepared_fp,
+                &self.topo,
+                self.cluster,
+            ) {
                 return Err(RejectReason::Conflict(format!("{}: {e:?}", t.id)));
             }
             in_progress.absorb(t, &self.topo, Some(self.cluster));
@@ -386,9 +392,7 @@ impl Executor {
         let (drained, lce_step) = {
             let mut pb = self.prepared_batches.clone();
             for r in &batch.committed {
-                if !pb.resolve(r.clone())
-                    && pb.get_waiting(r.prepared_in, r.txn_id).is_none()
-                {
+                if !pb.resolve(r.clone()) && pb.get_waiting(r.prepared_in, r.txn_id).is_none() {
                     return Err(RejectReason::BadDrain(format!(
                         "{} is not pending in group {}",
                         r.txn_id, r.prepared_in
@@ -409,8 +413,7 @@ impl Executor {
             return Err(RejectReason::BadLce);
         }
         // CD vector (Algorithm 1).
-        let expected_cd =
-            derive_cd_vector(&self.prev_cd(), self.cluster, slot, &batch.committed);
+        let expected_cd = derive_cd_vector(&self.prev_cd(), self.cluster, slot, &batch.committed);
         if batch.header.cd != expected_cd {
             return Err(RejectReason::BadCd);
         }
@@ -465,9 +468,7 @@ impl Executor {
             }
             CommitEvidence::RemoteDecision { commit } => {
                 if commit.txn != record.txn_id || commit.outcome != record.outcome {
-                    return Err(RejectReason::BadEvidence(
-                        "commit record mismatch".into(),
-                    ));
+                    return Err(RejectReason::BadEvidence("commit record mismatch".into()));
                 }
                 if commit.verify(&self.keys, cert_quorum).is_err() {
                     return Err(RejectReason::BadEvidence(format!(
@@ -565,22 +566,22 @@ impl Executor {
         }
     }
 
-    /// Serve read-only values with proofs as of `at_batch`.
+    /// Serve read-only values with proofs as of `at_batch` (uncached;
+    /// the node actor runs this through its [`transedge_edge::ReadPipeline`]).
     pub fn serve_rot(&self, keys: &[Key], at_batch: BatchNum) -> Vec<RotValue> {
-        keys.iter()
-            .map(|key| {
-                let value = self
-                    .store
-                    .get_at(key, at_batch)
-                    .map(|v| v.value.clone());
-                let proof = self.tree.prove_at(key, at_batch.0);
-                RotValue {
-                    key: key.clone(),
-                    value,
-                    proof,
-                }
-            })
-            .collect()
+        transedge_edge::read_snapshot(self, keys, at_batch)
+    }
+}
+
+/// The executor's store + versioned tree are the partition's snapshot
+/// source: this is the seam the edge read subsystem serves through.
+impl transedge_edge::SnapshotSource for Executor {
+    fn value_at(&self, key: &Key, batch: BatchNum) -> Option<transedge_common::Value> {
+        self.store.read_at(key, batch).map(|v| v.value.clone())
+    }
+
+    fn prove_at(&self, key: &Key, batch: BatchNum) -> transedge_crypto::MerkleProof {
+        self.tree.prove_at(key, batch.0)
     }
 }
 
@@ -640,10 +641,7 @@ mod tests {
         // Build on one executor, validate + apply on another.
         let mut leader = single_cluster_exec();
         let mut follower = single_cluster_exec();
-        let batch = leader.seal_batch(
-vec![local_txn(1, &[(1, "a")])],
- vec![],
- &[], SimTime(0));
+        let batch = leader.seal_batch(vec![local_txn(1, &[(1, "a")])], vec![], &[], SimTime(0));
         assert!(follower
             .validate_batch(BatchNum(0), &batch, SimTime(10))
             .is_ok());
@@ -660,11 +658,7 @@ vec![local_txn(1, &[(1, "a")])],
     fn validation_rejects_wrong_root() {
         let mut leader = single_cluster_exec();
         let mut follower = single_cluster_exec();
-        let mut batch =
-            leader.seal_batch(
-vec![local_txn(1, &[(1, "a")])],
- vec![],
- &[], SimTime(0));
+        let mut batch = leader.seal_batch(vec![local_txn(1, &[(1, "a")])], vec![], &[], SimTime(0));
         batch.header.merkle_root = Digest([0xEE; 32]);
         assert_eq!(
             follower.validate_batch(BatchNum(0), &batch, SimTime(0)),
@@ -672,18 +666,10 @@ vec![local_txn(1, &[(1, "a")])],
         );
         // Rejection rolled the speculation back: a correct batch still
         // validates afterwards.
-        let good = leader
-            .seal_batch(
-vec![],
- vec![],
- &[], SimTime(0)); // rebuilt below
+        let good = leader.seal_batch(vec![], vec![], &[], SimTime(0)); // rebuilt below
         let _ = good;
         let mut leader2 = single_cluster_exec();
-        let batch2 =
-            leader2.seal_batch(
-vec![local_txn(1, &[(1, "a")])],
- vec![],
- &[], SimTime(0));
+        let batch2 = leader2.seal_batch(vec![local_txn(1, &[(1, "a")])], vec![], &[], SimTime(0));
         assert!(follower
             .validate_batch(BatchNum(0), &batch2, SimTime(0))
             .is_ok());
@@ -693,10 +679,7 @@ vec![local_txn(1, &[(1, "a")])],
     fn validation_rejects_stale_timestamp() {
         let mut leader = single_cluster_exec();
         let mut follower = single_cluster_exec();
-        let batch = leader.seal_batch(
-vec![],
- vec![],
- &[], SimTime(0));
+        let batch = leader.seal_batch(vec![], vec![], &[], SimTime(0));
         let too_late = SimTime(SimDuration::from_secs(31).as_micros());
         assert_eq!(
             follower.validate_batch(BatchNum(0), &batch, too_late),
@@ -709,12 +692,7 @@ vec![],
         let mut follower = single_cluster_exec();
         // A batch where two txns write the same key violates Def 3.1.
         let mut leader = single_cluster_exec();
-        let mut batch = leader.seal_batch(
-            vec![local_txn(1, &[(1, "a")])],
-            vec![],
-            &[],
-            SimTime(0),
-        );
+        let mut batch = leader.seal_batch(vec![local_txn(1, &[(1, "a")])], vec![], &[], SimTime(0));
         // Inject a conflicting second txn without re-sealing.
         batch.local.push(local_txn(2, &[(1, "b")]));
         assert!(matches!(
@@ -728,11 +706,10 @@ vec![],
         let mut leader = single_cluster_exec();
         let mut follower = single_cluster_exec();
         // Commit batch 0 writing key 1.
-        let b0 = leader.seal_batch(
-vec![local_txn(1, &[(1, "a")])],
- vec![],
- &[], SimTime(0));
-        assert!(follower.validate_batch(BatchNum(0), &b0, SimTime(0)).is_ok());
+        let b0 = leader.seal_batch(vec![local_txn(1, &[(1, "a")])], vec![], &[], SimTime(0));
+        assert!(follower
+            .validate_batch(BatchNum(0), &b0, SimTime(0))
+            .is_ok());
         leader.apply_batch(&b0);
         follower.apply_batch(&b0);
         // A txn that read key 1 at version NONE is now stale.
@@ -747,10 +724,7 @@ vec![local_txn(1, &[(1, "a")])],
                 value: Value::from("x"),
             }],
         };
-        let b1 = leader.seal_batch(
-vec![stale],
- vec![],
- &[], SimTime(0));
+        let b1 = leader.seal_batch(vec![stale], vec![], &[], SimTime(0));
         assert!(matches!(
             follower.validate_batch(BatchNum(1), &b1, SimTime(0)),
             Err(RejectReason::Conflict(_))
@@ -761,56 +735,35 @@ vec![stale],
     fn rot_serving_with_proofs() {
         use transedge_crypto::merkle::{verify_proof, Verified};
         let mut exec = single_cluster_exec();
-        let b0 = exec.seal_batch(
-vec![local_txn(1, &[(1, "a")])],
- vec![],
- &[], SimTime(0));
+        let b0 = exec.seal_batch(vec![local_txn(1, &[(1, "a")])], vec![], &[], SimTime(0));
         exec.apply_batch(&b0);
-        let b1 = exec.seal_batch(
-vec![local_txn(2, &[(1, "b")])],
- vec![],
- &[], SimTime(0));
+        let b1 = exec.seal_batch(vec![local_txn(2, &[(1, "b")])], vec![], &[], SimTime(0));
         exec.apply_batch(&b1);
         // Serve at batch 0: old value with a valid proof against root 0.
         let vals = exec.serve_rot(&[Key::from_u32(1)], BatchNum(0));
         assert_eq!(vals[0].value, Some(Value::from("a")));
-        let got = verify_proof(&b0.header.merkle_root, 8, &Key::from_u32(1), &vals[0].proof)
-            .unwrap();
+        let got =
+            verify_proof(&b0.header.merkle_root, 8, &Key::from_u32(1), &vals[0].proof).unwrap();
         assert_eq!(got, Verified::Present(value_digest(&Value::from("a"))));
         // Serve at batch 1: new value against root 1.
         let vals = exec.serve_rot(&[Key::from_u32(1)], BatchNum(1));
         assert_eq!(vals[0].value, Some(Value::from("b")));
-        assert!(verify_proof(
-            &b1.header.merkle_root,
-            8,
-            &Key::from_u32(1),
-            &vals[0].proof
-        )
-        .is_ok());
+        assert!(verify_proof(&b1.header.merkle_root, 8, &Key::from_u32(1), &vals[0].proof).is_ok());
     }
 
     #[test]
     fn rollback_speculation_restores_tree() {
         let mut exec = single_cluster_exec();
-        let b0 = exec.seal_batch(
-vec![local_txn(1, &[(1, "a")])],
- vec![],
- &[], SimTime(0));
+        let b0 = exec.seal_batch(vec![local_txn(1, &[(1, "a")])], vec![], &[], SimTime(0));
         exec.apply_batch(&b0);
         let root0 = exec.tree.root_at(0);
         // Seal (speculate) batch 1 then abandon it.
-        let _b1 = exec.seal_batch(
-vec![local_txn(2, &[(2, "x")])],
- vec![],
- &[], SimTime(0));
+        let _b1 = exec.seal_batch(vec![local_txn(2, &[(2, "x")])], vec![], &[], SimTime(0));
         exec.rollback_speculation();
         assert_eq!(exec.tree.latest_version(), Some(0));
         assert_eq!(exec.tree.root_at(0), root0);
         // Sealing again works.
-        let b1 = exec.seal_batch(
-vec![local_txn(3, &[(2, "y")])],
- vec![],
- &[], SimTime(0));
+        let b1 = exec.seal_batch(vec![local_txn(3, &[(2, "y")])], vec![], &[], SimTime(0));
         exec.apply_batch(&b1);
         assert_eq!(exec.applied_batches(), 2);
     }
@@ -819,10 +772,7 @@ vec![local_txn(3, &[(2, "y")])],
     fn empty_batches_advance_the_log() {
         let mut exec = single_cluster_exec();
         for i in 0..3 {
-            let b = exec.seal_batch(
-vec![],
- vec![],
- &[], SimTime(i));
+            let b = exec.seal_batch(vec![], vec![], &[], SimTime(i));
             exec.apply_batch(&b);
         }
         assert_eq!(exec.applied_batches(), 3);

@@ -17,9 +17,12 @@
 //! * [`executor`] — the deterministic replica state machine (validate,
 //!   apply, sign) shared by leaders and followers;
 //! * [`node`] — the replica actor: consensus + executor + 2PC driver +
-//!   read-only serving;
+//!   read-only serving through the `transedge-edge` pipeline;
+//! * [`edge_node`] — the untrusted edge read cache actor (and its
+//!   byzantine test variants) scaling the ROT path without consensus;
 //! * [`client`] — the client library/actor: OCC read-write transactions,
-//!   and the one-to-two-round verified read-only protocol (Algorithm 2);
+//!   and the one-to-two-round verified read-only protocol (Algorithm 2),
+//!   verified via `transedge-edge`'s `ReadVerifier`;
 //! * [`setup`] — one-call construction of a full simulated deployment;
 //! * [`metrics`] — latency/throughput/abort accounting used by the
 //!   benchmark harnesses.
@@ -28,6 +31,7 @@ pub mod batch;
 pub mod client;
 pub mod conflict;
 pub mod deps;
+pub mod edge_node;
 pub mod executor;
 pub mod messages;
 pub mod metrics;
@@ -36,8 +40,9 @@ pub mod prepared;
 pub mod records;
 pub mod setup;
 
-pub use batch::{Batch, BatchHeader, CdVector, ReadOp, Transaction, WriteOp};
+pub use batch::{Batch, BatchHeader, CdVector, CommittedHeader, ReadOp, Transaction, WriteOp};
 pub use client::{ClientActor, RotResult, TxnOutcome};
+pub use edge_node::{EdgeBehavior, EdgeReadNode};
 pub use messages::NetMsg;
 pub use node::{NodeConfig, TransEdgeNode};
-pub use setup::{Deployment, DeploymentConfig};
+pub use setup::{Deployment, DeploymentConfig, EdgePlan};

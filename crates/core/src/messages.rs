@@ -3,20 +3,21 @@
 
 use transedge_common::{BatchNum, ClusterId, Epoch, Key, SimTime, TxnId, Value};
 use transedge_consensus::{BftMsg, Certificate};
-use transedge_crypto::{Digest, MerkleProof, Signature};
+use transedge_crypto::Signature;
+use transedge_edge::{ProofBundle, ProvenRead};
 use transedge_simnet::SimMessage;
 
-use crate::batch::{Batch, BatchHeader, Transaction};
+use crate::batch::{Batch, BatchHeader, CommittedHeader, Transaction};
 use crate::records::{SignedCommit, SignedPrepared};
 
 /// One key's answer in a read-only response: the value (if present) and
-/// its Merkle (non-)inclusion proof against the response's root.
-#[derive(Clone, Debug)]
-pub struct RotValue {
-    pub key: Key,
-    pub value: Option<Value>,
-    pub proof: MerkleProof,
-}
+/// its Merkle (non-)inclusion proof against the response's root. Owned
+/// by the edge read subsystem; the old name stays as an alias.
+pub type RotValue = ProvenRead;
+
+/// A complete proof-carrying read-only response: certified header,
+/// consensus certificate, and per-key proven reads.
+pub type RotBundle = ProofBundle<CommittedHeader>;
 
 /// A participant's 2PC vote returned to the coordinator (§3.3.3).
 #[derive(Clone, Debug)]
@@ -98,16 +99,11 @@ pub enum NetMsg {
         keys: Vec<Key>,
         min_epoch: Epoch,
     },
-    /// Read-only response: batch header (read-only segment), the body
-    /// digest to recompute the batch digest, the `f+1` consensus
-    /// certificate, and per-key values with Merkle proofs.
-    RotResponse {
-        req: u64,
-        header: BatchHeader,
-        body_digest: Digest,
-        cert: Certificate,
-        values: Vec<RotValue>,
-    },
+    /// Read-only response: the certified batch header (read-only
+    /// segment plus body digest), the `f+1` consensus certificate, and
+    /// per-key values with Merkle proofs. Any untrusted node — replica
+    /// or edge cache — may send this; clients verify it end to end.
+    RotResponse { req: u64, bundle: RotBundle },
 
     // ---- intra-cluster ----------------------------------------------
     /// Consensus traffic.
@@ -179,11 +175,7 @@ impl NetMsg {
 // exist.
 
 fn txn_size(t: &Transaction) -> usize {
-    14 + t
-        .reads
-        .iter()
-        .map(|r| r.key.len() + 12)
-        .sum::<usize>()
+    14 + t.reads.iter().map(|r| r.key.len() + 12).sum::<usize>()
         + t.writes
             .iter()
             .map(|w| w.key.len() + w.value.len() + 8)
@@ -249,9 +241,9 @@ fn bft_size(m: &BftMsg<Batch>) -> usize {
         BftMsg::ViewChange { prepared_value, .. } => {
             130 + prepared_value.as_ref().map(batch_size).unwrap_or(0)
         }
-        BftMsg::NewView { votes, reproposal, .. } => {
-            12 + votes.len() * 130 + reproposal.as_ref().map(batch_size).unwrap_or(0)
-        }
+        BftMsg::NewView {
+            votes, reproposal, ..
+        } => 12 + votes.len() * 130 + reproposal.as_ref().map(batch_size).unwrap_or(0),
         BftMsg::StateRequest { .. } => 12,
         BftMsg::StateResponse { batches } => batches
             .iter()
@@ -269,22 +261,14 @@ impl SimMessage for NetMsg {
             }
             NetMsg::CommitRequest { txn, .. } => 9 + txn_size(txn),
             NetMsg::TxnResult { .. } => 24,
-            NetMsg::RotRequest { keys, .. } => {
-                12 + keys.iter().map(|k| k.len() + 4).sum::<usize>()
-            }
-            NetMsg::RotFetch { keys, .. } => {
-                20 + keys.iter().map(|k| k.len() + 4).sum::<usize>()
-            }
-            NetMsg::RotResponse {
-                header,
-                cert,
-                values,
-                ..
-            } => {
-                header_size(header)
+            NetMsg::RotRequest { keys, .. } => 12 + keys.iter().map(|k| k.len() + 4).sum::<usize>(),
+            NetMsg::RotFetch { keys, .. } => 20 + keys.iter().map(|k| k.len() + 4).sum::<usize>(),
+            NetMsg::RotResponse { bundle, .. } => {
+                header_size(&bundle.commitment.header)
                     + 32
-                    + cert_size(cert)
-                    + values
+                    + cert_size(&bundle.cert)
+                    + bundle
+                        .reads
                         .iter()
                         .map(|v| {
                             v.key.len()
@@ -325,6 +309,7 @@ mod tests {
     use super::*;
     use crate::batch::{CdVector, ReadOp, WriteOp};
     use transedge_common::{ClientId, Encode};
+    use transedge_crypto::Digest;
 
     fn sample_txn() -> Transaction {
         Transaction {

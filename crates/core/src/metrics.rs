@@ -54,7 +54,7 @@ pub struct Summary {
 pub fn summarize(samples: &[TxnSample], kind: Option<OpKind>) -> Summary {
     let filtered: Vec<&TxnSample> = samples
         .iter()
-        .filter(|s| kind.map_or(true, |k| s.kind == k))
+        .filter(|s| kind.is_none_or(|k| s.kind == k))
         .collect();
     if filtered.is_empty() {
         return Summary::default();
@@ -106,7 +106,7 @@ pub fn throughput_tps(samples: &[TxnSample], kind: Option<OpKind>, window: SimDu
     }
     let committed = samples
         .iter()
-        .filter(|s| kind.map_or(true, |k| s.kind == k) && s.committed)
+        .filter(|s| kind.is_none_or(|k| s.kind == k) && s.committed)
         .count();
     committed as f64 / window.as_secs_f64()
 }

@@ -14,13 +14,13 @@ use transedge_consensus::{BftConfig, BftEngine, BftMsg, Certificate, Output};
 use transedge_crypto::{KeyStore, Keypair, Signature};
 use transedge_simnet::{Actor, Context};
 
-use crate::batch::{Batch, PreparedTxn, Transaction};
+use transedge_edge::ReadPipeline;
+
+use crate::batch::{Batch, CommittedHeader, PreparedTxn, Transaction};
 use crate::conflict::{admit, Footprint};
 use crate::executor::Executor;
 use crate::messages::{abort_vote_statement, NetMsg, PrepareVote};
-use crate::records::{
-    prepared_statement, CommitEvidence, CommitRecord, Outcome, SignedPrepared,
-};
+use crate::records::{prepared_statement, CommitEvidence, CommitRecord, Outcome, SignedPrepared};
 
 /// Timer tokens.
 const TOKEN_BATCH: u64 = 1;
@@ -124,6 +124,9 @@ pub struct TransEdgeNode {
     sigs: SigAggregation,
     // ---- read-only ----
     pending_fetches: Vec<(NodeId, u64, Vec<Key>, Epoch)>,
+    /// The edge read subsystem's serving pipeline: proof assembly with
+    /// a per-`(key, batch)` cache.
+    pub read_pipeline: ReadPipeline,
     // ---- progress tracking ----
     last_progress_check: u64,
     forwarded_since_check: bool,
@@ -174,6 +177,7 @@ impl TransEdgeNode {
             voted: HashSet::new(),
             sigs: SigAggregation::default(),
             pending_fetches: Vec::new(),
+            read_pipeline: ReadPipeline::default(),
             last_progress_check: 0,
             forwarded_since_check: false,
             stats: NodeStats::default(),
@@ -320,7 +324,8 @@ impl TransEdgeNode {
             .iter()
             .chain(batch.prepared.iter().map(|p| &p.txn))
         {
-            self.inflight_fp.absorb(t, &self.topo, Some(self.me.cluster));
+            self.inflight_fp
+                .absorb(t, &self.topo, Some(self.me.cluster));
         }
         self.pending_fp.clear();
         self.proposal_outstanding = true;
@@ -343,11 +348,7 @@ impl TransEdgeNode {
         // --- sign and ship segment shares (every replica) ---
         let mut prepared_sigs: Vec<(TxnId, Signature)> = Vec::new();
         for p in &outcome.prepared {
-            let cd = self
-                .exec
-                .cd_of(slot)
-                .expect("cd of applied batch")
-                .clone();
+            let cd = self.exec.cd_of(slot).expect("cd of applied batch").clone();
             let stmt = prepared_statement(self.me.cluster, p.txn.id, slot, &cd);
             prepared_sigs.push((p.txn.id, self.keypair.sign(&stmt)));
         }
@@ -661,7 +662,9 @@ impl TransEdgeNode {
             self.me.cluster,
         )
         .is_ok()
-            && !self.inflight_fp.conflicts_with(&txn, &self.topo, Some(self.me.cluster));
+            && !self
+                .inflight_fp
+                .conflicts_with(&txn, &self.topo, Some(self.me.cluster));
         if !admitted {
             self.stats.txns_rejected += 1;
             self.concluded.insert(txn.id);
@@ -677,7 +680,8 @@ impl TransEdgeNode {
         }
         self.stats.txns_admitted += 1;
         self.txn_client.insert(txn.id, from);
-        self.pending_fp.absorb(&txn, &self.topo, Some(self.me.cluster));
+        self.pending_fp
+            .absorb(&txn, &self.topo, Some(self.me.cluster));
         if txn.is_local(&self.topo) {
             self.pending_local.push(txn);
         } else {
@@ -736,11 +740,7 @@ impl TransEdgeNode {
         }
         // Already pending here (e.g. duplicate delivery while in a
         // batch)?
-        if self
-            .pending_prepared
-            .iter()
-            .any(|p| p.txn.id == txn.id)
-        {
+        if self.pending_prepared.iter().any(|p| p.txn.id == txn.id) {
             return;
         }
         // Admission control on our keys (§3.3.3: the participant runs
@@ -756,7 +756,9 @@ impl TransEdgeNode {
             self.me.cluster,
         )
         .is_ok()
-            && !self.inflight_fp.conflicts_with(&txn, &self.topo, Some(self.me.cluster));
+            && !self
+                .inflight_fp
+                .conflicts_with(&txn, &self.topo, Some(self.me.cluster));
         if !admitted {
             self.voted.insert(txn.id);
             let sig = self
@@ -775,7 +777,8 @@ impl TransEdgeNode {
             return;
         }
         self.voted.insert(txn.id);
-        self.pending_fp.absorb(&txn, &self.topo, Some(self.me.cluster));
+        self.pending_fp
+            .absorb(&txn, &self.topo, Some(self.me.cluster));
         self.pending_prepared.push(PreparedTxn {
             txn,
             coordinator,
@@ -810,11 +813,10 @@ impl TransEdgeNode {
                 let stmt = abort_vote_statement(*cluster, *txn);
                 // The no-vote is leader-signed; accept a signature from
                 // any replica of that cluster (leader rotation).
-                let ok = self.topo.replicas_of(*cluster).any(|r| {
-                    self.keys
-                        .verify(NodeId::Replica(r), &stmt, sig)
-                        .is_ok()
-                });
+                let ok = self
+                    .topo
+                    .replicas_of(*cluster)
+                    .any(|r| self.keys.verify(NodeId::Replica(r), &stmt, sig).is_ok());
                 if !ok {
                     return;
                 }
@@ -855,11 +857,7 @@ impl TransEdgeNode {
         else {
             return; // duplicate delivery or unknown
         };
-        if self
-            .pending_resolutions
-            .iter()
-            .any(|r| r.txn_id == txn)
-        {
+        if self.pending_resolutions.iter().any(|r| r.txn_id == txn) {
             return;
         }
         // Verify the evidence: every prepared record authentic, and for
@@ -867,8 +865,7 @@ impl TransEdgeNode {
         // prepare is in our log).
         ctx.charge(|c| {
             SimDuration(
-                c.ed25519_verify.0
-                    * prepared.iter().map(|p| p.sigs.len() as u64).sum::<u64>(),
+                c.ed25519_verify.0 * prepared.iter().map(|p| p.sigs.len() as u64).sum::<u64>(),
             )
         });
         for sp in &prepared {
@@ -920,19 +917,34 @@ impl TransEdgeNode {
         let Some((batch, cert)) = self.engine.log().get(at_batch) else {
             return;
         };
-        ctx.charge(|c| SimDuration(c.merkle_prove.0 * keys.len().max(1) as u64));
-        let values = self.exec.serve_rot(keys, at_batch);
-        let msg = NetMsg::RotResponse {
-            req,
-            header: batch.header.clone(),
-            body_digest: batch.body_digest(),
-            cert: cert.clone(),
-            values,
-        };
-        ctx.send(to, msg);
+        let commitment = CommittedHeader::of(batch);
+        let cert = cert.clone();
+        // Proof assembly goes through the edge pipeline; only cache
+        // misses pay the Merkle-path hashing cost.
+        let misses_before = self.read_pipeline.stats().misses;
+        let reads = self.read_pipeline.serve(&self.exec, keys, at_batch);
+        let misses = self.read_pipeline.stats().misses - misses_before;
+        ctx.charge(|c| SimDuration(c.merkle_prove.0 * misses));
+        ctx.send(
+            to,
+            NetMsg::RotResponse {
+                req,
+                bundle: transedge_edge::ProofBundle {
+                    commitment,
+                    cert,
+                    reads,
+                },
+            },
+        );
     }
 
-    fn on_rot_request(&mut self, from: NodeId, req: u64, keys: Vec<Key>, ctx: &mut Context<'_, NetMsg>) {
+    fn on_rot_request(
+        &mut self,
+        from: NodeId,
+        req: u64,
+        keys: Vec<Key>,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
         let applied = self.exec.applied_batches();
         if applied == 0 {
             // Nothing committed yet: park until the first batch lands.
@@ -1024,7 +1036,12 @@ impl TransEdgeNode {
         }
     }
 
-    fn on_sig_resend(&mut self, from: ReplicaId, from_batch: BatchNum, ctx: &mut Context<'_, NetMsg>) {
+    fn on_sig_resend(
+        &mut self,
+        from: ReplicaId,
+        from_batch: BatchNum,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
         let shares: Vec<(u64, Vec<(TxnId, Signature)>)> = self
             .sigs
             .own
@@ -1090,9 +1107,7 @@ impl Actor<NetMsg> for TransEdgeNode {
                     },
                 );
             }
-            NetMsg::CommitRequest { txn, reply_to } => {
-                self.on_commit_request(reply_to, txn, ctx)
-            }
+            NetMsg::CommitRequest { txn, reply_to } => self.on_commit_request(reply_to, txn, ctx),
             NetMsg::RotRequest { req, keys } => self.on_rot_request(from, req, keys, ctx),
             NetMsg::RotFetch {
                 req,
@@ -1154,10 +1169,8 @@ impl Actor<NetMsg> for TransEdgeNode {
                 // client work to the leader) and nothing was delivered
                 // since the last check, vote to change views.
                 let delivered = self.engine.delivered_count();
-                let expecting =
-                    self.engine.has_undecided_inflight() || self.forwarded_since_check;
-                if delivered == self.last_progress_check && expecting && !self.engine.is_leader()
-                {
+                let expecting = self.engine.has_undecided_inflight() || self.forwarded_since_check;
+                if delivered == self.last_progress_check && expecting && !self.engine.is_leader() {
                     let outputs = self.engine.on_timeout();
                     self.route_outputs(outputs, ctx);
                 }

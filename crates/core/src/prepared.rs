@@ -61,7 +61,11 @@ impl PreparedBatches {
 
     /// Register the prepare group of a freshly written batch. No-op for
     /// an empty transaction list.
-    pub fn add_group(&mut self, prepared_in: BatchNum, txns: impl IntoIterator<Item = Transaction>) {
+    pub fn add_group(
+        &mut self,
+        prepared_in: BatchNum,
+        txns: impl IntoIterator<Item = Transaction>,
+    ) {
         let mut map = BTreeMap::new();
         for t in txns {
             map.insert(t.id, (t, PendingState::Waiting));
@@ -139,7 +143,9 @@ impl PreparedBatches {
     /// All transactions in unresolved groups (resolved-but-undrained
     /// ones still hold their slot — their writes are not yet applied).
     pub fn undrained_txns(&self) -> impl Iterator<Item = &Transaction> {
-        self.groups.values().flat_map(|g| g.txns.values().map(|(t, _)| t))
+        self.groups
+            .values()
+            .flat_map(|g| g.txns.values().map(|(t, _)| t))
     }
 
     /// Look up a pending transaction (participants re-sending prepared

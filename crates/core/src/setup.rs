@@ -3,7 +3,7 @@
 //! scripted clients.
 
 use transedge_common::{
-    BatchNum, ClientId, ClusterId, ClusterTopology, Key, NodeId, ReplicaId, SimTime, Value,
+    BatchNum, ClientId, ClusterId, ClusterTopology, EdgeId, Key, NodeId, ReplicaId, SimTime, Value,
 };
 use transedge_consensus::messages::accept_statement;
 use transedge_consensus::{BftValue, Certificate};
@@ -11,9 +11,66 @@ use transedge_crypto::KeyStore;
 use transedge_simnet::{CostModel, FaultPlan, LatencyModel, Simulation};
 
 use crate::client::{ClientActor, ClientConfig, ClientOp};
+use crate::edge_node::{EdgeBehavior, EdgeReadNode};
 use crate::messages::NetMsg;
 use crate::metrics::TxnSample;
 use crate::node::{NodeConfig, TransEdgeNode};
+
+/// How many edge read nodes a deployment runs, and how they behave.
+#[derive(Clone, Debug)]
+pub struct EdgePlan {
+    /// Edge read nodes fronting each partition (0 = no edge tier).
+    pub per_cluster: usize,
+    /// Per-node replay-cache capacity in fragments.
+    pub cache_capacity: usize,
+    /// Certified headers each edge node retains.
+    pub max_cached_batches: usize,
+    /// Edge nodes refuse to replay bundles older than this, forwarding
+    /// upstream instead (must sit well inside the clients' freshness
+    /// window so honest replays are never rejected as stale).
+    pub replay_staleness: transedge_common::SimDuration,
+    /// Route clients' read-only rounds through the edge tier (clients
+    /// still fall back to replicas on verification failures/retries).
+    pub route_clients: bool,
+    /// Byzantine behaviour overrides for specific edge nodes.
+    pub byzantine: Vec<(EdgeId, EdgeBehavior)>,
+}
+
+impl EdgePlan {
+    /// No edge tier (the classic deployment shape).
+    pub fn none() -> Self {
+        EdgePlan {
+            per_cluster: 0,
+            cache_capacity: transedge_edge::pipeline::DEFAULT_CACHE_CAPACITY,
+            max_cached_batches: 64,
+            replay_staleness: transedge_common::SimDuration::from_secs(10),
+            route_clients: true,
+            byzantine: Vec::new(),
+        }
+    }
+
+    /// `n` honest edge nodes per cluster, clients routed through them.
+    pub fn honest(n: usize) -> Self {
+        EdgePlan {
+            per_cluster: n,
+            ..EdgePlan::none()
+        }
+    }
+
+    /// Mark one edge node byzantine.
+    pub fn with_byzantine(mut self, edge: EdgeId, behavior: EdgeBehavior) -> Self {
+        self.byzantine.push((edge, behavior));
+        self
+    }
+
+    fn behavior_of(&self, edge: EdgeId) -> EdgeBehavior {
+        self.byzantine
+            .iter()
+            .find(|(e, _)| *e == edge)
+            .map(|(_, b)| *b)
+            .unwrap_or(EdgeBehavior::Honest)
+    }
+}
 
 /// Everything needed to build a deployment.
 #[derive(Clone)]
@@ -29,6 +86,8 @@ pub struct DeploymentConfig {
     pub n_keys: u32,
     /// Value size in bytes (paper: 256).
     pub value_size: usize,
+    /// Edge read tier.
+    pub edge: EdgePlan,
 }
 
 impl Default for DeploymentConfig {
@@ -43,6 +102,7 @@ impl Default for DeploymentConfig {
             seed: 42,
             n_keys: 10_000,
             value_size: 256,
+            edge: EdgePlan::none(),
         }
     }
 }
@@ -71,12 +131,7 @@ impl DeploymentConfig {
 /// key. Value buffers are shared (`bytes::Bytes`) across replicas.
 pub fn generate_data(n_keys: u32, value_size: usize) -> Vec<(Key, Value)> {
     (0..n_keys)
-        .map(|i| {
-            (
-                Key::from_u32(i),
-                Value::filled(value_size, (i % 251) as u8),
-            )
-        })
+        .map(|i| (Key::from_u32(i), Value::filled(value_size, (i % 251) as u8)))
         .collect()
 }
 
@@ -87,6 +142,8 @@ pub struct Deployment {
     pub keys: KeyStore,
     pub config: DeploymentConfig,
     pub client_ids: Vec<ClientId>,
+    /// Edge read nodes spawned by the edge plan.
+    pub edge_ids: Vec<EdgeId>,
     /// The initial dataset (tests use it as ground truth).
     pub data: Vec<(Key, Value)>,
 }
@@ -134,7 +191,11 @@ impl Deployment {
                 .collect();
             let digest = BftValue::digest(&genesis[0]);
             for g in &genesis[1..] {
-                assert_eq!(BftValue::digest(g), digest, "replicas must agree on genesis");
+                assert_eq!(
+                    BftValue::digest(g),
+                    digest,
+                    "replicas must agree on genesis"
+                );
             }
             let stmt = accept_statement(cluster, BatchNum(0), &digest);
             let sigs: Vec<(NodeId, _)> = config
@@ -157,18 +218,40 @@ impl Deployment {
                 sim.add_actor(id, Box::new(node));
             }
         }
+        // Edge read tier (untrusted caches fronting each partition).
+        let mut edge_ids = Vec::new();
+        for cluster in config.topo.clusters() {
+            for index in 0..config.edge.per_cluster {
+                let id = EdgeId::new(cluster, index as u16);
+                edge_ids.push(id);
+                let node = EdgeReadNode::new(
+                    id,
+                    config.topo.clone(),
+                    config.edge.behavior_of(id),
+                    config.edge.cache_capacity,
+                    config.edge.max_cached_batches,
+                    config.edge.replay_staleness,
+                );
+                sim.add_actor(NodeId::Edge(id), Box::new(node));
+            }
+        }
         // Clients.
         let mut client_ids = Vec::new();
         for (i, ops) in client_ops.into_iter().enumerate() {
             let id = ClientId(i as u32);
             client_ids.push(id);
-            let client = ClientActor::new(
-                id,
-                config.topo.clone(),
-                keys.clone(),
-                config.client.clone(),
-                ops,
-            );
+            let mut client_config = config.client.clone();
+            if config.edge.per_cluster > 0 && config.edge.route_clients {
+                // Spread clients over the edge nodes of each partition.
+                for cluster in config.topo.clusters() {
+                    let edge = EdgeId::new(cluster, (i % config.edge.per_cluster) as u16);
+                    client_config
+                        .edge_targets
+                        .insert(cluster, NodeId::Edge(edge));
+                }
+            }
+            let client =
+                ClientActor::new(id, config.topo.clone(), keys.clone(), client_config, ops);
             sim.add_actor(NodeId::Client(id), Box::new(client));
         }
         Deployment {
@@ -177,6 +260,7 @@ impl Deployment {
             keys,
             config,
             client_ids,
+            edge_ids,
             data,
         }
     }
@@ -186,7 +270,7 @@ impl Deployment {
         self.client_ids.iter().all(|id| {
             self.sim
                 .actor_as::<ClientActor>(NodeId::Client(*id))
-                .map_or(true, |c| c.is_done())
+                .is_none_or(|c| c.is_done())
         })
     }
 
@@ -216,7 +300,7 @@ impl Deployment {
                     .filter(|id| {
                         self.sim
                             .actor_as::<ClientActor>(NodeId::Client(**id))
-                            .map_or(false, |c| !c.is_done())
+                            .is_some_and(|c| !c.is_done())
                     })
                     .count()
             );
@@ -239,6 +323,13 @@ impl Deployment {
         self.sim
             .actor_as::<TransEdgeNode>(NodeId::Replica(replica))
             .expect("node actor")
+    }
+
+    /// Access an edge read node actor.
+    pub fn edge_node(&self, edge: EdgeId) -> &EdgeReadNode {
+        self.sim
+            .actor_as::<EdgeReadNode>(NodeId::Edge(edge))
+            .expect("edge actor")
     }
 
     /// All transaction samples across clients.

@@ -105,5 +105,8 @@ fn preloaded_values_are_shared_not_copied() {
         assert_eq!(stored.batch, BatchNum(0));
         ptrs.push(stored.value.as_bytes().as_ptr());
     }
-    assert!(ptrs.windows(2).all(|w| w[0] == w[1]), "values must share memory");
+    assert!(
+        ptrs.windows(2).all(|w| w[0] == w[1]),
+        "values must share memory"
+    );
 }

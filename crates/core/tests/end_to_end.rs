@@ -44,10 +44,7 @@ fn write_only_transaction_commits() {
     let keys = keys_on(&topo, ClusterId(1), 3, 0);
     let ops = vec![ClientOp::ReadWrite {
         reads: vec![],
-        writes: keys
-            .iter()
-            .map(|k| (k.clone(), Value::from("w")))
-            .collect(),
+        writes: keys.iter().map(|k| (k.clone(), Value::from("w"))).collect(),
     }];
     let mut dep = Deployment::build(config, vec![ops]);
     dep.run_until_done(limit());
@@ -220,12 +217,15 @@ fn many_clients_mixed_workload_all_conclude() {
         }
         all_ops.push(ops);
     }
-    let mut dep = Deployment::build(config, vec![
-        all_ops[0].clone(),
-        all_ops[1].clone(),
-        all_ops[2].clone(),
-        all_ops[3].clone(),
-    ]);
+    let mut dep = Deployment::build(
+        config,
+        vec![
+            all_ops[0].clone(),
+            all_ops[1].clone(),
+            all_ops[2].clone(),
+            all_ops[3].clone(),
+        ],
+    );
     dep.run_until_done(limit());
     let samples = dep.samples();
     assert_eq!(samples.len(), 40);

@@ -69,7 +69,7 @@ pub fn hex_encode(bytes: &[u8]) -> String {
 
 /// Hex decoding; returns `None` on bad length or non-hex characters.
 pub fn hex_decode(hex: &str) -> Option<Vec<u8>> {
-    if hex.len() % 2 != 0 {
+    if !hex.len().is_multiple_of(2) {
         return None;
     }
     let nibble = |c: u8| -> Option<u8> {

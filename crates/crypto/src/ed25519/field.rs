@@ -5,6 +5,11 @@
 //! intermediate which is folded using `2²⁵⁶ ≡ 38 (mod p)`.
 //!
 //! Not constant-time — see the crate-level security disclaimer.
+//!
+//! `add`/`sub`/`mul`/`neg` deliberately mirror the RFC 8032 pseudocode
+//! names rather than operator traits; limb loops index fixed-width
+//! arrays on purpose.
+#![allow(clippy::should_implement_trait, clippy::needless_range_loop)]
 
 /// p = 2²⁵⁵ − 19 as little-endian limbs.
 pub const P: [u64; 4] = [

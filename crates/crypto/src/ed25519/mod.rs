@@ -336,9 +336,9 @@ mod tests {
             s_limbs[i] = u64::from_le_bytes(c.try_into().unwrap());
         }
         let mut carry = 0u64;
-        for i in 0..4 {
-            let t = s_limbs[i] as u128 + super::scalar::L[i] as u128 + carry as u128;
-            s_limbs[i] = t as u64;
+        for (limb, l) in s_limbs.iter_mut().zip(super::scalar::L) {
+            let t = *limb as u128 + l as u128 + carry as u128;
+            *limb = t as u64;
             carry = (t >> 64) as u64;
         }
         // If adding L overflowed 256 bits the encoding isn't even

@@ -5,6 +5,8 @@
 //! y = Y/Z, T = XY/Z. Formulas are the standard a = −1 "extended
 //! coordinates" addition/doubling (Hisil et al., as used by RFC 8032).
 
+#![allow(clippy::needless_range_loop)]
+
 use super::field::{curve_d, sqrt_m1, Fe};
 use super::scalar::Scalar;
 

@@ -6,6 +6,8 @@
 //! — a few microseconds per reduction, irrelevant next to the point
 //! multiplications, and easy to audit.
 
+#![allow(clippy::should_implement_trait, clippy::needless_range_loop)]
+
 /// L as little-endian limbs.
 pub const L: [u64; 4] = [
     0x5812_631a_5cf5_d3ed,

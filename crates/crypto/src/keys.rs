@@ -76,9 +76,7 @@ impl KeyStore {
     pub fn count_valid(&self, msg: &[u8], sigs: &[(NodeId, Signature)]) -> usize {
         let mut seen = std::collections::HashSet::new();
         sigs.iter()
-            .filter(|(node, sig)| {
-                seen.insert(*node) && self.verify(*node, msg, sig).is_ok()
-            })
+            .filter(|(node, sig)| seen.insert(*node) && self.verify(*node, msg, sig).is_ok())
             .count()
     }
 

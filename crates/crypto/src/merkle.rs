@@ -24,7 +24,9 @@
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::{HashMap, HashSet};
 
-use transedge_common::{Decode, Encode, Key, Result, TransEdgeError, Value, WireReader, WireWriter};
+use transedge_common::{
+    Decode, Encode, Key, Result, TransEdgeError, Value, WireReader, WireWriter,
+};
 
 use crate::digest::Digest;
 use crate::sha2::{sha256, Sha256};
@@ -333,12 +335,7 @@ pub enum Verified {
 /// Client-side verification of a [`MerkleProof`] against a trusted
 /// `root`. `depth` must be the agreed tree depth (part of the system
 /// configuration, not attacker-controlled).
-pub fn verify_proof(
-    root: &Digest,
-    depth: u32,
-    key: &Key,
-    proof: &MerkleProof,
-) -> Result<Verified> {
+pub fn verify_proof(root: &Digest, depth: u32, key: &Key, proof: &MerkleProof) -> Result<Verified> {
     if proof.siblings.len() != depth as usize {
         return Err(TransEdgeError::Verification(format!(
             "proof has {} siblings, want {depth}",
@@ -378,9 +375,7 @@ pub fn verify_proof(
         index >>= 1;
     }
     if digest != *root {
-        return Err(TransEdgeError::Verification(
-            "merkle root mismatch".into(),
-        ));
+        return Err(TransEdgeError::Verification("merkle root mismatch".into()));
     }
     let found = proof
         .bucket

@@ -121,7 +121,7 @@ impl VersionedMerkleTree {
         updates: impl IntoIterator<Item = (&'a Key, Digest)>,
     ) -> Digest {
         assert!(
-            self.latest.map_or(true, |l| version > l),
+            self.latest.is_none_or(|l| version > l),
             "version {version} not after latest {:?}",
             self.latest
         );
@@ -131,7 +131,7 @@ impl VersionedMerkleTree {
             let idx = self.bucket_index(&key_hash);
             let versions = self.buckets.entry(idx).or_default();
             // Start the new bucket version from the latest contents.
-            let needs_new = versions.last().map_or(true, |(v, _)| *v != version);
+            let needs_new = versions.last().is_none_or(|(v, _)| *v != version);
             if needs_new {
                 let snapshot = versions.last().map(|(_, b)| b.clone()).unwrap_or_default();
                 versions.push((version, snapshot));
@@ -195,7 +195,11 @@ impl VersionedMerkleTree {
     /// Undo the *latest* version (speculative batch rejected / view
     /// change discarded the proposal).
     pub fn rollback(&mut self, version: u64) {
-        assert_eq!(self.latest, Some(version), "can only roll back the latest version");
+        assert_eq!(
+            self.latest,
+            Some(version),
+            "can only roll back the latest version"
+        );
         let dirty = self.journal.remove(&version).unwrap_or_default();
         let mut frontier: Vec<u64> = Vec::with_capacity(dirty.len());
         for idx in dirty {
@@ -282,7 +286,7 @@ fn push_version<T>(versions: &mut Versions<T>, version: u64, value: T) {
 }
 
 fn pop_version<T>(versions: &mut Versions<T>, version: u64) {
-    if versions.last().map_or(false, |(v, _)| *v == version) {
+    if versions.last().is_some_and(|(v, _)| *v == version) {
         versions.pop();
     }
 }

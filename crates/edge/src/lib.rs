@@ -1,0 +1,50 @@
+//! # transedge-edge
+//!
+//! The proof-carrying edge read subsystem: everything between a
+//! replica's versioned store and a client accepting a snapshot read
+//! from an **untrusted** node, packaged as a reusable layer.
+//!
+//! TransEdge's headline property (paper §3–§4) is that read-only
+//! transactions are served by *single, untrusted* nodes, and clients
+//! verify what they get against cryptographic commitments: a Merkle
+//! (non-)inclusion proof per key, chained to a batch root, chained to
+//! an `f+1`-signed consensus certificate. WedgeChain's lazy-trust
+//! edge/cloud split and Axiograph's "untrusted engines compute, a small
+//! trusted checker verifies" design argue for isolating exactly that
+//! boundary — this crate is that boundary:
+//!
+//! * [`pipeline`] — the serving side. [`pipeline::SnapshotSource`]
+//!   abstracts a replica's multi-version store + versioned Merkle tree;
+//!   [`pipeline::ReadPipeline`] assembles [`ProvenRead`]s from it,
+//!   memoising per-`(key, batch)` proofs in an LRU cache (snapshot
+//!   reads are immutable, so cached entries never go stale).
+//! * [`cache`] — the LRU cache with hit/miss/eviction counters, also
+//!   used stand-alone by edge replay nodes.
+//! * [`replay`] — the store-free serving side: an edge cache node that
+//!   holds no partition state and no keys, only certified response
+//!   fragments it absorbed from upstream, replayed to clients who
+//!   verify them end to end.
+//! * [`verifier`] — the trusted-side checker. [`verifier::ReadVerifier`]
+//!   accepts a response only after proof → root → certificate →
+//!   freshness → snapshot-epoch checks all pass; everything an edge
+//!   node could forge is caught here and reported as a
+//!   [`verifier::ReadRejection`].
+//!
+//! The crate deliberately does not know about network messages or the
+//! batch format: commitments enter through the [`BatchCommitment`]
+//! trait, which `transedge-core` implements for its certified batch
+//! headers. That keeps the trust boundary auditable in one place and
+//! lets the read path scale (more edge nodes, bigger caches)
+//! independently of the transaction-processing stack.
+
+pub mod cache;
+pub mod pipeline;
+pub mod replay;
+pub mod response;
+pub mod verifier;
+
+pub use cache::{CacheStats, LruCache};
+pub use pipeline::{read_snapshot, ReadPipeline, SnapshotSource};
+pub use replay::ReplayCache;
+pub use response::{BatchCommitment, ProofBundle, ProvenRead};
+pub use verifier::{ReadRejection, ReadVerifier, VerifyParams};

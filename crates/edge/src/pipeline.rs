@@ -1,0 +1,222 @@
+//! The replica-side read pipeline: snapshot source abstraction and the
+//! cached assembly of proof-carrying reads.
+
+use transedge_common::{BatchNum, Key, Value};
+use transedge_crypto::MerkleProof;
+
+use crate::cache::{CacheStats, LruCache};
+use crate::response::ProvenRead;
+
+/// A provider of snapshot values and proofs — in a replica this is the
+/// executor's `VersionedStore` + `VersionedMerkleTree` pair. The trait
+/// is the seam that lets the read path live outside the
+/// transaction-processing crate.
+pub trait SnapshotSource {
+    /// Value of `key` as of the consistent cut at the end of `batch`.
+    fn value_at(&self, key: &Key, batch: BatchNum) -> Option<Value>;
+
+    /// Merkle (non-)inclusion proof for `key` against the root at
+    /// `batch`.
+    fn prove_at(&self, key: &Key, batch: BatchNum) -> MerkleProof;
+}
+
+/// Assemble proof-carrying reads for `keys` at `batch`, straight from
+/// the source (no caching). This is *the* single implementation of
+/// snapshot serving; the node's cached pipeline and the executor's
+/// direct path both funnel through it.
+pub fn read_snapshot<S: SnapshotSource + ?Sized>(
+    src: &S,
+    keys: &[Key],
+    batch: BatchNum,
+) -> Vec<ProvenRead> {
+    keys.iter()
+        .map(|key| proven_read(src, key, batch))
+        .collect()
+}
+
+fn proven_read<S: SnapshotSource + ?Sized>(src: &S, key: &Key, batch: BatchNum) -> ProvenRead {
+    ProvenRead {
+        key: key.clone(),
+        value: src.value_at(key, batch),
+        proof: src.prove_at(key, batch),
+    }
+}
+
+/// The serving pipeline a replica (or any node with a
+/// [`SnapshotSource`]) runs its read-only traffic through. Proof
+/// generation is the expensive part of serving a ROT (`O(depth)`
+/// hashing per key), and hot keys are read at the same batch by many
+/// clients, so the pipeline memoises `(key, batch) → ProvenRead` in an
+/// LRU cache. Entries are immutable — a batch's proof for a key never
+/// changes — so the cache needs no invalidation.
+#[derive(Clone, Debug)]
+pub struct ReadPipeline {
+    cache: LruCache<(Key, BatchNum), ProvenRead>,
+}
+
+/// Default per-node cache capacity (entries, not bytes): generous for
+/// the simulated workloads while keeping worst-case memory modest.
+pub const DEFAULT_CACHE_CAPACITY: usize = 64 * 1024;
+
+impl Default for ReadPipeline {
+    fn default() -> Self {
+        ReadPipeline::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl ReadPipeline {
+    pub fn new(cache_capacity: usize) -> Self {
+        ReadPipeline {
+            cache: LruCache::new(cache_capacity),
+        }
+    }
+
+    /// Serve `keys` at `batch`, consulting the cache first.
+    pub fn serve<S: SnapshotSource + ?Sized>(
+        &mut self,
+        src: &S,
+        keys: &[Key],
+        batch: BatchNum,
+    ) -> Vec<ProvenRead> {
+        keys.iter()
+            .map(|key| {
+                let ck = (key.clone(), batch);
+                if let Some(hit) = self.cache.get(&ck) {
+                    return hit.clone();
+                }
+                let read = proven_read(src, key, batch);
+                self.cache.insert(ck, read.clone());
+                read
+            })
+            .collect()
+    }
+
+    /// Cache effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats
+    }
+
+    /// Entries currently cached.
+    pub fn cached_entries(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use transedge_crypto::merkle::{value_digest, verify_proof, Verified};
+    use transedge_crypto::VersionedMerkleTree;
+    use transedge_storage::VersionedStore;
+
+    /// A real store+tree source, with a probe counting proof requests.
+    struct TestSource {
+        store: VersionedStore,
+        tree: VersionedMerkleTree,
+        proofs_generated: AtomicU64,
+    }
+
+    impl TestSource {
+        fn with_batches(batches: &[&[(u32, &str)]]) -> Self {
+            let mut store = VersionedStore::new();
+            let mut tree = VersionedMerkleTree::with_depth(8);
+            for (i, writes) in batches.iter().enumerate() {
+                let mut updates = Vec::new();
+                for (k, v) in writes.iter() {
+                    let key = Key::from_u32(*k);
+                    let value = Value::from(*v);
+                    store.write(key.clone(), value.clone(), BatchNum(i as u64));
+                    updates.push((Key::from_u32(*k), value_digest(&value)));
+                }
+                tree.apply_batch(i as u64, updates.iter().map(|(k, d)| (k, *d)));
+            }
+            TestSource {
+                store,
+                tree,
+                proofs_generated: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl SnapshotSource for TestSource {
+        fn value_at(&self, key: &Key, batch: BatchNum) -> Option<Value> {
+            self.store.read_at(key, batch).map(|v| v.value.clone())
+        }
+
+        fn prove_at(&self, key: &Key, batch: BatchNum) -> MerkleProof {
+            self.proofs_generated.fetch_add(1, Ordering::Relaxed);
+            self.tree.prove_at(key, batch.0)
+        }
+    }
+
+    #[test]
+    fn read_snapshot_serves_correct_versions_with_valid_proofs() {
+        let src = TestSource::with_batches(&[&[(1, "a"), (2, "b")], &[(1, "a2")]]);
+        let keys = [Key::from_u32(1), Key::from_u32(2), Key::from_u32(9)];
+        for batch in [0u64, 1] {
+            let reads = read_snapshot(&src, &keys, BatchNum(batch));
+            let root = src.tree.root_at(batch);
+            let by_key: HashMap<&Key, &ProvenRead> = reads.iter().map(|r| (&r.key, r)).collect();
+            // Key 1: overwritten in batch 1.
+            let want1 = if batch == 0 { "a" } else { "a2" };
+            let r1 = by_key[&Key::from_u32(1)];
+            assert_eq!(r1.value, Some(Value::from(want1)));
+            assert_eq!(
+                verify_proof(&root, 8, &r1.key, &r1.proof).unwrap(),
+                Verified::Present(value_digest(&Value::from(want1)))
+            );
+            // Key 9: absent, with a verifying non-inclusion proof.
+            let r9 = by_key[&Key::from_u32(9)];
+            assert_eq!(r9.value, None);
+            assert_eq!(
+                verify_proof(&root, 8, &r9.key, &r9.proof).unwrap(),
+                Verified::Absent
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_caches_per_key_and_batch() {
+        let src = TestSource::with_batches(&[&[(1, "a"), (2, "b")]]);
+        let mut pipeline = ReadPipeline::new(1024);
+        let keys = [Key::from_u32(1), Key::from_u32(2)];
+        let cold = pipeline.serve(&src, &keys, BatchNum(0));
+        assert_eq!(src.proofs_generated.load(Ordering::Relaxed), 2);
+        assert_eq!(pipeline.stats().misses, 2);
+        assert_eq!(pipeline.stats().hits, 0);
+        // Warm pass: no new proof generation.
+        let warm = pipeline.serve(&src, &keys, BatchNum(0));
+        assert_eq!(src.proofs_generated.load(Ordering::Relaxed), 2);
+        assert_eq!(pipeline.stats().hits, 2);
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.value, w.value);
+            assert_eq!(c.proof, w.proof);
+        }
+    }
+
+    #[test]
+    fn pipeline_distinguishes_batches() {
+        let src = TestSource::with_batches(&[&[(1, "a")], &[(1, "a2")]]);
+        let mut pipeline = ReadPipeline::new(1024);
+        let keys = [Key::from_u32(1)];
+        let at0 = pipeline.serve(&src, &keys, BatchNum(0));
+        let at1 = pipeline.serve(&src, &keys, BatchNum(1));
+        assert_eq!(at0[0].value, Some(Value::from("a")));
+        assert_eq!(at1[0].value, Some(Value::from("a2")));
+        // Different (key, batch) keys: both were misses.
+        assert_eq!(pipeline.stats().misses, 2);
+    }
+
+    #[test]
+    fn pipeline_eviction_under_pressure() {
+        let src = TestSource::with_batches(&[&[(1, "a"), (2, "b"), (3, "c"), (4, "d")]]);
+        let mut pipeline = ReadPipeline::new(2);
+        let all: Vec<Key> = (1..=4).map(Key::from_u32).collect();
+        pipeline.serve(&src, &all, BatchNum(0));
+        assert_eq!(pipeline.cached_entries(), 2);
+        assert_eq!(pipeline.stats().evictions, 2);
+    }
+}

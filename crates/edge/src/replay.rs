@@ -1,0 +1,151 @@
+//! Store-free edge serving: cache certified response fragments from
+//! upstream replicas and replay them to clients.
+//!
+//! An edge replay node is the cheapest possible read scaler: it holds
+//! no partition state, no Merkle tree, and no signing keys — only
+//! [`ProofBundle`] fragments it saw go past. Because every fragment is
+//! anchored in an `f+1` certificate and per-key proofs, replaying one
+//! can serve a later client *without any trust in the edge node*: the
+//! client's [`crate::verifier::ReadVerifier`] re-checks everything.
+//! This is WedgeChain's lazy-trust pattern applied to TransEdge's ROT
+//! protocol.
+
+use std::collections::BTreeMap;
+
+use transedge_common::{BatchNum, Epoch, Key, SimTime};
+use transedge_consensus::Certificate;
+
+use crate::cache::{CacheStats, LruCache};
+use crate::response::{BatchCommitment, ProofBundle, ProvenRead};
+
+/// Counters for the replay path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplayStats {
+    /// Bundles absorbed from upstream.
+    pub admitted: u64,
+    /// Requests answered entirely from cache.
+    pub replayed: u64,
+    /// Requests that could not be answered (missing batch or keys).
+    pub passes: u64,
+}
+
+/// The cache an edge replay node runs on.
+#[derive(Clone, Debug)]
+pub struct ReplayCache<H> {
+    /// Certified headers by batch, newest retained up to `max_batches`.
+    commitments: BTreeMap<u64, (H, Certificate)>,
+    /// Per-`(key, batch)` verified-fragment cache.
+    reads: LruCache<(Key, u64), ProvenRead>,
+    max_batches: usize,
+    pub stats: ReplayStats,
+}
+
+impl<H: BatchCommitment + Clone> ReplayCache<H> {
+    pub fn new(read_capacity: usize, max_batches: usize) -> Self {
+        ReplayCache {
+            commitments: BTreeMap::new(),
+            reads: LruCache::new(read_capacity),
+            max_batches: max_batches.max(1),
+            stats: ReplayStats::default(),
+        }
+    }
+
+    /// Absorb an upstream response: remember the certified header and
+    /// every per-key fragment.
+    pub fn admit(&mut self, bundle: &ProofBundle<H>) {
+        let batch = bundle.commitment.batch();
+        self.commitments
+            .insert(batch.0, (bundle.commitment.clone(), bundle.cert.clone()));
+        // Fragments go in before the eviction pass so that a bundle too
+        // old to survive it (a late upstream response) has its
+        // fragments swept with its commitment rather than stranded.
+        for read in &bundle.reads {
+            self.reads.insert((read.key.clone(), batch.0), read.clone());
+        }
+        let mut evicted_any = false;
+        while self.commitments.len() > self.max_batches {
+            let (&oldest, _) = self.commitments.iter().next().expect("non-empty");
+            self.commitments.remove(&oldest);
+            evicted_any = true;
+        }
+        if evicted_any {
+            // Fragments of evicted batches are unreachable (replay only
+            // scans live commitments); drop them so they stop occupying
+            // LRU slots.
+            let commitments = &self.commitments;
+            self.reads.retain(|(_, b), _| commitments.contains_key(b));
+        }
+        self.stats.admitted += 1;
+    }
+
+    /// Newest admitted batch, if any.
+    pub fn latest_batch(&self) -> Option<BatchNum> {
+        self.commitments.keys().next_back().map(|b| BatchNum(*b))
+    }
+
+    /// Try to answer `keys` wholly from cache: the newest admitted
+    /// batch whose LCE is at least `min_lce` and whose batch timestamp
+    /// is at least `min_timestamp`, with a cached fragment for every
+    /// requested key. Returns `None` (a "pass" — the caller forwards
+    /// upstream, refreshing the cache) otherwise.
+    ///
+    /// The timestamp floor is what keeps an honest edge from wedging:
+    /// without it, a hot key set would be replayed from the same aging
+    /// batch forever, and once that batch fell out of the client's
+    /// freshness window every reply would be rejected — while the cache
+    /// never refreshed, because every request kept hitting. Pass
+    /// [`SimTime::ZERO`] to disable the floor.
+    pub fn replay(
+        &mut self,
+        keys: &[Key],
+        min_lce: Epoch,
+        min_timestamp: SimTime,
+    ) -> Option<ProofBundle<H>> {
+        let candidates: Vec<u64> = self.commitments.keys().rev().copied().collect();
+        for batch in candidates {
+            let (commitment, cert) = &self.commitments[&batch];
+            if commitment.lce() < min_lce || commitment.timestamp() < min_timestamp {
+                // Commitments are scanned newest-first, and both LCE
+                // and leader timestamps are monotone over batches:
+                // nothing older satisfies the floor either.
+                break;
+            }
+            if !keys
+                .iter()
+                .all(|k| self.reads.contains(&(k.clone(), batch)))
+            {
+                continue;
+            }
+            let commitment = commitment.clone();
+            let cert = cert.clone();
+            let reads = keys
+                .iter()
+                .map(|k| {
+                    self.reads
+                        .get(&(k.clone(), batch))
+                        .expect("checked above")
+                        .clone()
+                })
+                .collect();
+            self.stats.replayed += 1;
+            return Some(ProofBundle {
+                commitment,
+                cert,
+                reads,
+            });
+        }
+        self.stats.passes += 1;
+        None
+    }
+
+    /// Fragment-cache counters (hits count replayed fragments).
+    pub fn read_stats(&self) -> CacheStats {
+        self.reads.stats
+    }
+
+    /// Per-key fragments currently cached (only fragments of live
+    /// commitments are retained).
+    pub fn fragment_count(&self) -> usize {
+        self.reads.len()
+    }
+}

@@ -1,0 +1,60 @@
+//! Proof-carrying response types: what an untrusted node hands a
+//! client, and the commitment interface the verifier checks it against.
+
+use transedge_common::{BatchNum, ClusterId, Epoch, Key, SimTime, Value};
+use transedge_consensus::Certificate;
+use transedge_crypto::{Digest, MerkleProof};
+
+/// One key's proof-carrying answer in a snapshot read: the value (or
+/// `None` for a proven-absent key) and its Merkle (non-)inclusion proof
+/// against the snapshot batch's root.
+#[derive(Clone, Debug)]
+pub struct ProvenRead {
+    pub key: Key,
+    pub value: Option<Value>,
+    pub proof: MerkleProof,
+}
+
+/// What the verifier needs from a batch commitment (a certified batch
+/// header, in `transedge-core` terms). The trait keeps this crate
+/// independent of the batch wire format: any type that can name the
+/// snapshot (cluster, batch, root, LCE, timestamp) and recompute the
+/// digest the consensus certificate signs can anchor a verified read.
+pub trait BatchCommitment {
+    /// Partition the snapshot belongs to.
+    fn cluster(&self) -> ClusterId;
+    /// Batch the snapshot was cut at.
+    fn batch(&self) -> BatchNum;
+    /// Merkle root of the partition's tree after that batch.
+    fn merkle_root(&self) -> &Digest;
+    /// Last Committed Epoch of that batch (round-two freshness floor).
+    fn lce(&self) -> Epoch;
+    /// Leader-stamped wall clock of the batch (§4.4.2 freshness).
+    fn timestamp(&self) -> SimTime;
+    /// The digest the cluster's `f+1` accept signatures certify.
+    fn certified_digest(&self) -> Digest;
+}
+
+/// A complete proof-carrying response for one partition: the
+/// commitment, its consensus certificate, and one [`ProvenRead`] per
+/// requested key. Everything in here is either signed or checkable
+/// against something signed — an untrusted node can cache, replay, or
+/// forward bundles, but not alter them undetected.
+#[derive(Clone, Debug)]
+pub struct ProofBundle<H> {
+    pub commitment: H,
+    pub cert: Certificate,
+    pub reads: Vec<ProvenRead>,
+}
+
+impl<H: BatchCommitment> ProofBundle<H> {
+    /// Batch this bundle snapshots.
+    pub fn batch(&self) -> BatchNum {
+        self.commitment.batch()
+    }
+
+    /// The bundle's answer for `key`, if present.
+    pub fn read_for(&self, key: &Key) -> Option<&ProvenRead> {
+        self.reads.iter().find(|r| &r.key == key)
+    }
+}

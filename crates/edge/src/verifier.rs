@@ -1,0 +1,172 @@
+//! The client-side (trusted) checker for proof-carrying reads.
+//!
+//! This is the entire trust boundary of the edge read path: a response
+//! is accepted only if every link of the chain holds —
+//!
+//! 1. the commitment names the partition the client asked (a response
+//!    for the wrong partition proves nothing);
+//! 2. the `f+1` certificate covers the digest recomputed *from the
+//!    commitment itself* (so at least one honest replica vouches for
+//!    the batch; a forged root would need a forged certificate);
+//! 3. the batch timestamp is inside the freshness window (§4.4.2 — an
+//!    edge node cannot serve arbitrarily stale snapshots);
+//! 4. the snapshot's LCE reaches the requested floor (round two of
+//!    Algorithm 2 — an edge node cannot silently downgrade a
+//!    dependency fetch);
+//! 5. every requested key carries a Merkle (non-)inclusion proof that
+//!    verifies against the certified root, and present values hash to
+//!    the proven value digest.
+//!
+//! Anything else is a [`ReadRejection`], which callers count as
+//! evidence of a byzantine server and answer by re-asking a different
+//! node.
+
+use transedge_common::{ClusterId, Epoch, Key, SimDuration, SimTime, Value};
+use transedge_consensus::Certificate;
+use transedge_crypto::merkle::{value_digest, verify_proof, Verified};
+use transedge_crypto::KeyStore;
+
+use crate::response::{BatchCommitment, ProofBundle, ProvenRead};
+
+/// Verification parameters; must match the deployment's node
+/// configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct VerifyParams {
+    /// Merkle tree depth (2^depth buckets) proofs are checked against.
+    pub tree_depth: u32,
+    /// §4.4.2 freshness window on batch timestamps.
+    pub freshness_window: SimDuration,
+    /// Signatures a certificate needs (`f+1`).
+    pub quorum: usize,
+}
+
+/// Why a response was rejected. Every variant is an observable lie an
+/// untrusted edge node could try.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadRejection {
+    /// Response names a different partition than requested.
+    WrongCluster { expected: ClusterId, got: ClusterId },
+    /// Certificate missing, mismatched with the commitment, or not
+    /// carrying a quorum of valid replica signatures.
+    BadCertificate,
+    /// Batch timestamp outside the freshness window.
+    StaleTimestamp,
+    /// Snapshot does not reach the requested dependency floor (a
+    /// round-two response below `min_lce` — the "stale root" attack).
+    StaleSnapshot { required: Epoch, lce: Epoch },
+    /// A requested key has no answer in the response.
+    MissingKey(Key),
+    /// A proof does not verify against the certified root.
+    BadProof(Key),
+    /// Proof shows the key present, but the value does not hash to the
+    /// proven digest (or is missing).
+    ValueMismatch(Key),
+    /// Proof shows the key absent, but a value was attached anyway.
+    PhantomValue(Key),
+}
+
+/// The verifier. Stateless; cheap to copy into clients.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadVerifier {
+    pub params: VerifyParams,
+}
+
+impl ReadVerifier {
+    pub fn new(params: VerifyParams) -> Self {
+        ReadVerifier { params }
+    }
+
+    /// Verify a full response for `expected_cluster`, requiring
+    /// `min_lce` (use [`Epoch::NONE`] for round-one reads with no
+    /// dependency floor). On success returns the verified
+    /// `(key, value)` pairs in `expected_keys` order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn verify<H: BatchCommitment>(
+        &self,
+        keys: &KeyStore,
+        expected_cluster: ClusterId,
+        commitment: &H,
+        cert: &Certificate,
+        expected_keys: &[Key],
+        reads: &[ProvenRead],
+        min_lce: Epoch,
+        now: SimTime,
+    ) -> Result<Vec<(Key, Option<Value>)>, ReadRejection> {
+        // 1. Right partition.
+        if commitment.cluster() != expected_cluster {
+            return Err(ReadRejection::WrongCluster {
+                expected: expected_cluster,
+                got: commitment.cluster(),
+            });
+        }
+        // 2. Certificate chains the commitment to f+1 replicas.
+        let digest = commitment.certified_digest();
+        if cert.cluster != expected_cluster
+            || cert.slot != commitment.batch()
+            || cert.digest != digest
+            || cert.verify(keys, self.params.quorum).is_err()
+        {
+            return Err(ReadRejection::BadCertificate);
+        }
+        // 3. Freshness, in either direction of clock skew.
+        let ts = commitment.timestamp();
+        let skew = now.saturating_since(ts).max(ts.saturating_since(now));
+        if skew > self.params.freshness_window {
+            return Err(ReadRejection::StaleTimestamp);
+        }
+        // 4. Dependency floor (round two).
+        if commitment.lce() < min_lce {
+            return Err(ReadRejection::StaleSnapshot {
+                required: min_lce,
+                lce: commitment.lce(),
+            });
+        }
+        // 5. Every requested key answered with a verifying proof.
+        let root = commitment.merkle_root();
+        let mut out = Vec::with_capacity(expected_keys.len());
+        for key in expected_keys {
+            let Some(read) = reads.iter().find(|r| &r.key == key) else {
+                return Err(ReadRejection::MissingKey(key.clone()));
+            };
+            match verify_proof(root, self.params.tree_depth, key, &read.proof) {
+                Ok(Verified::Present(proven_digest)) => match &read.value {
+                    Some(value) if value_digest(value) == proven_digest => {
+                        out.push((key.clone(), Some(value.clone())));
+                    }
+                    _ => return Err(ReadRejection::ValueMismatch(key.clone())),
+                },
+                Ok(Verified::Absent) => {
+                    if read.value.is_some() {
+                        return Err(ReadRejection::PhantomValue(key.clone()));
+                    }
+                    out.push((key.clone(), None));
+                }
+                Err(_) => return Err(ReadRejection::BadProof(key.clone())),
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`ReadVerifier::verify`] over a [`ProofBundle`], expecting an
+    /// answer for every key in the bundle.
+    pub fn verify_bundle<H: BatchCommitment>(
+        &self,
+        keys: &KeyStore,
+        expected_cluster: ClusterId,
+        bundle: &ProofBundle<H>,
+        expected_keys: &[Key],
+        min_lce: Epoch,
+        now: SimTime,
+    ) -> Result<Vec<(Key, Option<Value>)>, ReadRejection> {
+        self.verify(
+            keys,
+            expected_cluster,
+            &bundle.commitment,
+            &bundle.cert,
+            expected_keys,
+            &bundle.reads,
+            min_lce,
+            now,
+        )
+    }
+}

@@ -1,0 +1,498 @@
+//! End-to-end tests of the edge read subsystem against a real
+//! partition state: honest responses verify; every class of forgery an
+//! untrusted edge node could attempt is rejected.
+
+use transedge_common::{
+    BatchNum, ClusterId, ClusterTopology, Epoch, Key, NodeId, SimDuration, SimTime, Value,
+};
+use transedge_consensus::messages::accept_statement;
+use transedge_consensus::Certificate;
+use transedge_crypto::merkle::value_digest;
+use transedge_crypto::{Digest, KeyStore, MerkleProof, Sha256, VersionedMerkleTree};
+use transedge_edge::{
+    BatchCommitment, ProofBundle, ReadPipeline, ReadRejection, ReadVerifier, ReplayCache,
+    SnapshotSource, VerifyParams,
+};
+use transedge_storage::VersionedStore;
+
+const DEPTH: u32 = 8;
+
+/// A minimal certified batch header for tests (the commitment shape
+/// `transedge-core` provides in production).
+#[derive(Clone, Debug)]
+struct TestHeader {
+    cluster: ClusterId,
+    num: BatchNum,
+    merkle_root: Digest,
+    lce: Epoch,
+    timestamp: SimTime,
+}
+
+impl BatchCommitment for TestHeader {
+    fn cluster(&self) -> ClusterId {
+        self.cluster
+    }
+
+    fn batch(&self) -> BatchNum {
+        self.num
+    }
+
+    fn merkle_root(&self) -> &Digest {
+        &self.merkle_root
+    }
+
+    fn lce(&self) -> Epoch {
+        self.lce
+    }
+
+    fn timestamp(&self) -> SimTime {
+        self.timestamp
+    }
+
+    fn certified_digest(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"test/header");
+        h.update(&self.cluster.0.to_le_bytes());
+        h.update(&self.num.0.to_le_bytes());
+        h.update(self.merkle_root.as_bytes());
+        h.update(&self.lce.0.to_le_bytes());
+        h.update(&self.timestamp.0.to_le_bytes());
+        h.finalize()
+    }
+}
+
+/// One partition's worth of server state: store, tree, keys, and the
+/// per-batch certified headers.
+struct Partition {
+    topo: ClusterTopology,
+    keys: KeyStore,
+    secrets: std::collections::HashMap<transedge_common::ReplicaId, transedge_crypto::Keypair>,
+    store: VersionedStore,
+    tree: VersionedMerkleTree,
+    headers: Vec<TestHeader>,
+    certs: Vec<Certificate>,
+}
+
+impl SnapshotSource for Partition {
+    fn value_at(&self, key: &Key, batch: BatchNum) -> Option<Value> {
+        self.store.read_at(key, batch).map(|v| v.value.clone())
+    }
+
+    fn prove_at(&self, key: &Key, batch: BatchNum) -> MerkleProof {
+        self.tree.prove_at(key, batch.0)
+    }
+}
+
+impl Partition {
+    fn new() -> Self {
+        let topo = ClusterTopology::new(1, 1).unwrap();
+        let (keys, secrets) = KeyStore::for_topology(&topo, &[9u8; 32]);
+        Partition {
+            topo,
+            keys,
+            secrets,
+            store: VersionedStore::new(),
+            tree: VersionedMerkleTree::with_depth(DEPTH),
+            headers: Vec::new(),
+            certs: Vec::new(),
+        }
+    }
+
+    /// Commit a batch of writes and certify the resulting header.
+    fn commit(&mut self, writes: &[(u32, &str)], lce: Epoch, timestamp: SimTime) {
+        let num = BatchNum(self.headers.len() as u64);
+        let mut updates = Vec::new();
+        for (k, v) in writes {
+            let key = Key::from_u32(*k);
+            let value = Value::from(*v);
+            self.store.write(key.clone(), value.clone(), num);
+            updates.push((Key::from_u32(*k), value_digest(&value)));
+        }
+        let root = self
+            .tree
+            .apply_batch(num.0, updates.iter().map(|(k, d)| (k, *d)));
+        let header = TestHeader {
+            cluster: ClusterId(0),
+            num,
+            merkle_root: root,
+            lce,
+            timestamp,
+        };
+        let digest = header.certified_digest();
+        let stmt = accept_statement(ClusterId(0), num, &digest);
+        let quorum = self.topo.certificate_quorum();
+        let sigs: Vec<_> = self
+            .topo
+            .replicas_of(ClusterId(0))
+            .take(quorum)
+            .map(|r| (NodeId::Replica(r), self.secrets[&r].sign(&stmt)))
+            .collect();
+        self.headers.push(header);
+        self.certs.push(Certificate {
+            cluster: ClusterId(0),
+            slot: num,
+            digest,
+            sigs,
+        });
+    }
+
+    fn bundle(
+        &self,
+        pipeline: &mut ReadPipeline,
+        keys: &[Key],
+        at: BatchNum,
+    ) -> ProofBundle<TestHeader> {
+        ProofBundle {
+            commitment: self.headers[at.0 as usize].clone(),
+            cert: self.certs[at.0 as usize].clone(),
+            reads: pipeline.serve(self, keys, at),
+        }
+    }
+
+    fn verifier(&self) -> ReadVerifier {
+        ReadVerifier::new(VerifyParams {
+            tree_depth: DEPTH,
+            freshness_window: SimDuration::from_secs(30),
+            quorum: self.topo.certificate_quorum(),
+        })
+    }
+}
+
+fn two_batch_partition() -> Partition {
+    let mut p = Partition::new();
+    p.commit(&[(1, "alpha"), (2, "beta")], Epoch::NONE, SimTime(1_000));
+    p.commit(&[(1, "alpha-v2")], Epoch(0), SimTime(2_000));
+    p
+}
+
+fn request_keys() -> Vec<Key> {
+    vec![Key::from_u32(1), Key::from_u32(2), Key::from_u32(7)]
+}
+
+#[test]
+fn honest_reads_verify_cached_and_uncached() {
+    let p = two_batch_partition();
+    let mut pipeline = ReadPipeline::new(1024);
+    let keys = request_keys();
+    let verifier = p.verifier();
+    // Cold (uncached) and warm (cached) bundles must both verify and
+    // agree byte for byte.
+    for round in 0..2 {
+        let bundle = p.bundle(&mut pipeline, &keys, BatchNum(1));
+        let values = verifier
+            .verify_bundle(
+                &p.keys,
+                ClusterId(0),
+                &bundle,
+                &keys,
+                Epoch::NONE,
+                SimTime(2_500),
+            )
+            .unwrap_or_else(|e| panic!("round {round} rejected: {e:?}"));
+        assert_eq!(values[0], (Key::from_u32(1), Some(Value::from("alpha-v2"))));
+        assert_eq!(values[1], (Key::from_u32(2), Some(Value::from("beta"))));
+        assert_eq!(values[2], (Key::from_u32(7), None));
+    }
+    assert!(
+        pipeline.stats().hits >= 3,
+        "second round must hit the cache"
+    );
+    // Historical snapshot still serves the old value, also verified.
+    let bundle0 = p.bundle(&mut pipeline, &keys, BatchNum(0));
+    let values0 = verifier
+        .verify_bundle(
+            &p.keys,
+            ClusterId(0),
+            &bundle0,
+            &keys,
+            Epoch::NONE,
+            SimTime(1_500),
+        )
+        .expect("historical snapshot verifies");
+    assert_eq!(values0[0].1, Some(Value::from("alpha")));
+}
+
+#[test]
+fn tampered_value_is_rejected() {
+    let p = two_batch_partition();
+    let mut pipeline = ReadPipeline::new(1024);
+    let keys = request_keys();
+    let mut bundle = p.bundle(&mut pipeline, &keys, BatchNum(1));
+    bundle.reads[0].value = Some(Value::from("forged"));
+    let err = p
+        .verifier()
+        .verify_bundle(
+            &p.keys,
+            ClusterId(0),
+            &bundle,
+            &keys,
+            Epoch::NONE,
+            SimTime(2_500),
+        )
+        .unwrap_err();
+    assert_eq!(err, ReadRejection::ValueMismatch(Key::from_u32(1)));
+}
+
+#[test]
+fn forged_proof_is_rejected() {
+    let p = two_batch_partition();
+    let mut pipeline = ReadPipeline::new(1024);
+    let keys = request_keys();
+    let mut bundle = p.bundle(&mut pipeline, &keys, BatchNum(1));
+    // Corrupt one sibling digest in the first key's proof.
+    bundle.reads[0].proof.siblings[0] = Digest([0xEE; 32]);
+    let err = p
+        .verifier()
+        .verify_bundle(
+            &p.keys,
+            ClusterId(0),
+            &bundle,
+            &keys,
+            Epoch::NONE,
+            SimTime(2_500),
+        )
+        .unwrap_err();
+    assert_eq!(err, ReadRejection::BadProof(Key::from_u32(1)));
+}
+
+#[test]
+fn phantom_value_on_absent_key_is_rejected() {
+    let p = two_batch_partition();
+    let mut pipeline = ReadPipeline::new(1024);
+    let keys = request_keys();
+    let mut bundle = p.bundle(&mut pipeline, &keys, BatchNum(1));
+    // Key 7 is proven absent; attach a value anyway.
+    bundle.reads[2].value = Some(Value::from("conjured"));
+    let err = p
+        .verifier()
+        .verify_bundle(
+            &p.keys,
+            ClusterId(0),
+            &bundle,
+            &keys,
+            Epoch::NONE,
+            SimTime(2_500),
+        )
+        .unwrap_err();
+    assert_eq!(err, ReadRejection::PhantomValue(Key::from_u32(7)));
+}
+
+#[test]
+fn stale_root_is_rejected() {
+    // The "stale root" attack: serve batch-0 state (old root, old
+    // values) against the batch-1 commitment, or lie about the root.
+    let p = two_batch_partition();
+    let mut pipeline = ReadPipeline::new(1024);
+    let keys = request_keys();
+    let verifier = p.verifier();
+    // (a) Old proofs under the new certified header: proof fails.
+    let mut mixed = p.bundle(&mut pipeline, &keys, BatchNum(0));
+    mixed.commitment = p.headers[1].clone();
+    mixed.cert = p.certs[1].clone();
+    let err = verifier
+        .verify_bundle(
+            &p.keys,
+            ClusterId(0),
+            &mixed,
+            &keys,
+            Epoch::NONE,
+            SimTime(2_500),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ReadRejection::BadProof(_) | ReadRejection::ValueMismatch(_)
+        ),
+        "old state under new commitment must fail proof checks, got {err:?}"
+    );
+    // (b) Header rewritten to the old root but batch-1 certificate
+    // kept: the certificate no longer covers the digest.
+    let mut rerooted = p.bundle(&mut pipeline, &keys, BatchNum(1));
+    rerooted.commitment.merkle_root = p.headers[0].merkle_root;
+    rerooted.cert = p.certs[1].clone();
+    let err = verifier
+        .verify_bundle(
+            &p.keys,
+            ClusterId(0),
+            &rerooted,
+            &keys,
+            Epoch::NONE,
+            SimTime(2_500),
+        )
+        .unwrap_err();
+    assert_eq!(err, ReadRejection::BadCertificate);
+    // (c) Honest old batch served against a round-2 dependency floor it
+    // cannot satisfy: stale snapshot.
+    let old = p.bundle(&mut pipeline, &keys, BatchNum(0));
+    let err = verifier
+        .verify_bundle(&p.keys, ClusterId(0), &old, &keys, Epoch(0), SimTime(1_500))
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ReadRejection::StaleSnapshot {
+            required: Epoch(0),
+            lce: Epoch::NONE
+        }
+    );
+}
+
+#[test]
+fn certificate_forgeries_are_rejected() {
+    let p = two_batch_partition();
+    let mut pipeline = ReadPipeline::new(1024);
+    let keys = request_keys();
+    let verifier = p.verifier();
+    // Dropped below quorum.
+    let mut thin = p.bundle(&mut pipeline, &keys, BatchNum(1));
+    thin.cert.sigs.truncate(p.topo.certificate_quorum() - 1);
+    assert_eq!(
+        verifier
+            .verify_bundle(
+                &p.keys,
+                ClusterId(0),
+                &thin,
+                &keys,
+                Epoch::NONE,
+                SimTime(2_500)
+            )
+            .unwrap_err(),
+        ReadRejection::BadCertificate
+    );
+    // Certificate for a different slot.
+    let mut wrong_slot = p.bundle(&mut pipeline, &keys, BatchNum(1));
+    wrong_slot.cert = p.certs[0].clone();
+    assert_eq!(
+        verifier
+            .verify_bundle(
+                &p.keys,
+                ClusterId(0),
+                &wrong_slot,
+                &keys,
+                Epoch::NONE,
+                SimTime(2_500)
+            )
+            .unwrap_err(),
+        ReadRejection::BadCertificate
+    );
+    // Response for the wrong partition.
+    let mut wrong_cluster = p.bundle(&mut pipeline, &keys, BatchNum(1));
+    wrong_cluster.commitment.cluster = ClusterId(3);
+    assert!(matches!(
+        verifier
+            .verify_bundle(
+                &p.keys,
+                ClusterId(0),
+                &wrong_cluster,
+                &keys,
+                Epoch::NONE,
+                SimTime(2_500)
+            )
+            .unwrap_err(),
+        ReadRejection::WrongCluster { .. }
+    ));
+}
+
+#[test]
+fn stale_timestamp_is_rejected() {
+    let p = two_batch_partition();
+    let mut pipeline = ReadPipeline::new(1024);
+    let keys = request_keys();
+    let bundle = p.bundle(&mut pipeline, &keys, BatchNum(1));
+    let too_late = SimTime(2_000 + SimDuration::from_secs(31).as_micros());
+    assert_eq!(
+        p.verifier()
+            .verify_bundle(&p.keys, ClusterId(0), &bundle, &keys, Epoch::NONE, too_late)
+            .unwrap_err(),
+        ReadRejection::StaleTimestamp
+    );
+}
+
+#[test]
+fn missing_key_is_rejected() {
+    let p = two_batch_partition();
+    let mut pipeline = ReadPipeline::new(1024);
+    let keys = request_keys();
+    let mut bundle = p.bundle(&mut pipeline, &keys, BatchNum(1));
+    bundle.reads.remove(1);
+    assert_eq!(
+        p.verifier()
+            .verify_bundle(
+                &p.keys,
+                ClusterId(0),
+                &bundle,
+                &keys,
+                Epoch::NONE,
+                SimTime(2_500)
+            )
+            .unwrap_err(),
+        ReadRejection::MissingKey(Key::from_u32(2))
+    );
+}
+
+#[test]
+fn replay_cache_round_trips_verified_bundles() {
+    let p = two_batch_partition();
+    let mut pipeline = ReadPipeline::new(1024);
+    let keys = request_keys();
+    let verifier = p.verifier();
+    let mut replay: ReplayCache<TestHeader> = ReplayCache::new(1024, 8);
+    // Nothing cached yet: the edge node must pass upstream.
+    assert!(replay.replay(&keys, Epoch::NONE, SimTime::ZERO).is_none());
+    assert_eq!(replay.stats.passes, 1);
+    // Absorb an upstream response, then replay it to a second client.
+    let upstream = p.bundle(&mut pipeline, &keys, BatchNum(1));
+    replay.admit(&upstream);
+    let replayed = replay
+        .replay(&keys, Epoch::NONE, SimTime::ZERO)
+        .expect("cached replay");
+    let values = verifier
+        .verify_bundle(
+            &p.keys,
+            ClusterId(0),
+            &replayed,
+            &keys,
+            Epoch::NONE,
+            SimTime(2_500),
+        )
+        .expect("replayed bundle verifies");
+    assert_eq!(values[0].1, Some(Value::from("alpha-v2")));
+    assert_eq!(replay.stats.replayed, 1);
+    // A dependency floor the cached batch cannot satisfy passes
+    // upstream instead of serving stale state.
+    assert!(replay.replay(&keys, Epoch(5), SimTime::ZERO).is_none());
+    // A subset of the cached keys replays too.
+    assert!(replay
+        .replay(&keys[..1], Epoch::NONE, SimTime::ZERO)
+        .is_some());
+    // Unknown keys pass upstream.
+    assert!(replay
+        .replay(&[Key::from_u32(99)], Epoch::NONE, SimTime::ZERO)
+        .is_none());
+}
+
+#[test]
+fn replay_respects_freshness_floor_and_gc() {
+    let p = two_batch_partition();
+    let mut pipeline = ReadPipeline::new(1024);
+    let keys = request_keys();
+    // Only the newest commitment is retained (max_batches = 1).
+    let mut replay: ReplayCache<TestHeader> = ReplayCache::new(1024, 1);
+    let b0 = p.bundle(&mut pipeline, &keys, BatchNum(0));
+    replay.admit(&b0);
+    assert_eq!(replay.fragment_count(), keys.len());
+    // Batch 1 (timestamp 2_000) evicts batch 0 and its fragments.
+    let b1 = p.bundle(&mut pipeline, &keys, BatchNum(1));
+    replay.admit(&b1);
+    assert_eq!(replay.latest_batch(), Some(BatchNum(1)));
+    assert_eq!(
+        replay.fragment_count(),
+        keys.len(),
+        "fragments of the evicted batch 0 must be dropped"
+    );
+    // Fresh enough: replays.
+    assert!(replay.replay(&keys, Epoch::NONE, SimTime(1_500)).is_some());
+    // Cached bundle older than the floor: pass upstream instead of
+    // serving something the client would reject as stale.
+    assert!(replay.replay(&keys, Epoch::NONE, SimTime(2_001)).is_none());
+}

@@ -77,7 +77,7 @@ impl FaultPlan {
             return true;
         }
         for p in &self.partitions {
-            let active = now >= p.from && p.until.map_or(true, |u| now < u);
+            let active = now >= p.from && p.until.is_none_or(|u| now < u);
             if active {
                 let cross = (p.group_a.contains(&from) && p.group_b.contains(&to))
                     || (p.group_b.contains(&from) && p.group_a.contains(&to));
@@ -139,12 +139,7 @@ mod tests {
         let n = 10_000;
         let dropped = (0..n)
             .filter(|_| {
-                plan.should_drop(
-                    rep(0, 0),
-                    NodeId::Client(ClientId(0)),
-                    SimTime(0),
-                    &mut rng,
-                )
+                plan.should_drop(rep(0, 0), NodeId::Client(ClientId(0)), SimTime(0), &mut rng)
             })
             .count();
         let frac = dropped as f64 / n as f64;

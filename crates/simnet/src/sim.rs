@@ -241,7 +241,11 @@ impl<M: SimMessage + 'static> Simulation<M> {
             }
         }
         // CPU model: if the actor is still busy, the event waits.
-        let busy = self.busy_until.get(&ev.to).copied().unwrap_or(SimTime::ZERO);
+        let busy = self
+            .busy_until
+            .get(&ev.to)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
         if busy > ev.time {
             let seq = self.next_seq();
             self.push(Event {
@@ -471,11 +475,7 @@ mod tests {
         );
         sim.inject(rep(0, 1), rep(0, 0), TestMsg(1));
         sim.run_until_idle(SimTime(1_000_000));
-        assert!(sim
-            .actor_as::<Echo>(rep(0, 0))
-            .unwrap()
-            .received
-            .is_empty());
+        assert!(sim.actor_as::<Echo>(rep(0, 0)).unwrap().received.is_empty());
         assert_eq!(sim.stats().messages_dropped, 1);
     }
 

@@ -87,6 +87,9 @@ impl LatencyModel {
         match node {
             NodeId::Replica(r) => r.cluster,
             NodeId::Client(c) => self.home_of(c),
+            // Edge read nodes are co-located with the cluster whose
+            // partition they front.
+            NodeId::Edge(e) => e.cluster,
         }
     }
 
@@ -111,7 +114,13 @@ impl LatencyModel {
 
     /// Sampled latency including jitter and bandwidth for a message of
     /// `size` bytes.
-    pub fn sample<R: Rng>(&self, from: NodeId, to: NodeId, size: usize, rng: &mut R) -> SimDuration {
+    pub fn sample<R: Rng>(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        size: usize,
+        rng: &mut R,
+    ) -> SimDuration {
         let base = self.base_latency(from, to);
         let jittered = if self.jitter_frac > 0.0 && base > SimDuration::ZERO {
             let f = 1.0 + rng.gen_range(-self.jitter_frac..=self.jitter_frac);
@@ -154,7 +163,9 @@ mod tests {
     #[test]
     fn extra_latency_knob_applies_only_between_clusters() {
         let base = LatencyModel::paper_default();
-        let bumped = base.clone().with_extra_inter_cluster(SimDuration::from_millis(70));
+        let bumped = base
+            .clone()
+            .with_extra_inter_cluster(SimDuration::from_millis(70));
         assert_eq!(
             base.base_latency(rep(0, 0), rep(0, 1)),
             bumped.base_latency(rep(0, 0), rep(0, 1))

@@ -74,6 +74,25 @@ impl VersionedStore {
         versions[..idx].last()
     }
 
+    /// Snapshot read: the value of `key` as of the consistent cut at
+    /// the end of `batch` (alias of [`VersionedStore::get_at`] under
+    /// the read-pipeline's name for it).
+    #[inline]
+    pub fn read_at(&self, key: &Key, batch: BatchNum) -> Option<&Version> {
+        self.get_at(key, batch)
+    }
+
+    /// Iterate the whole consistent cut at the end of `batch`: every
+    /// key that existed at that point, with the version visible there.
+    /// Keys first written after `batch` are absent. Iteration order is
+    /// unspecified (it follows the underlying hash map).
+    pub fn snapshot_at(&self, batch: BatchNum) -> impl Iterator<Item = (&Key, &Version)> {
+        self.data.iter().filter_map(move |(k, versions)| {
+            let idx = versions.partition_point(|v| v.batch <= batch);
+            versions[..idx].last().map(|v| (k, v))
+        })
+    }
+
     /// Batch of the last committed write to `key` (conflict rule 1 of
     /// Definition 3.1: has the read version been overwritten?).
     pub fn last_writer(&self, key: &Key) -> Option<BatchNum> {
@@ -180,9 +199,53 @@ mod tests {
     }
 
     #[test]
+    fn read_at_matches_get_at() {
+        let mut s = VersionedStore::new();
+        s.write(k(1), v("a"), BatchNum(1));
+        s.write(k(1), v("b"), BatchNum(4));
+        assert_eq!(s.read_at(&k(1), BatchNum(3)), s.get_at(&k(1), BatchNum(3)));
+        assert_eq!(s.read_at(&k(1), BatchNum(3)).unwrap().value, v("a"));
+        assert_eq!(s.read_at(&k(2), BatchNum(9)), None);
+    }
+
+    #[test]
+    fn snapshot_at_is_a_consistent_cut() {
+        let mut s = VersionedStore::new();
+        s.write(k(1), v("a1"), BatchNum(1));
+        s.write(k(2), v("b1"), BatchNum(1));
+        s.write(k(1), v("a2"), BatchNum(3));
+        s.write(k(3), v("c3"), BatchNum(3));
+        // Cut at batch 1: keys 1 and 2 at their batch-1 versions.
+        let mut cut: Vec<(u32, String)> = s
+            .snapshot_at(BatchNum(1))
+            .map(|(key, ver)| {
+                let i = u32::from_be_bytes(key.as_bytes().try_into().unwrap());
+                (i, String::from_utf8(ver.value.as_bytes().to_vec()).unwrap())
+            })
+            .collect();
+        cut.sort();
+        assert_eq!(cut, vec![(1, "a1".into()), (2, "b1".into())]);
+        // Cut at batch 3 sees the overwrite and the new key.
+        let mut cut3: Vec<(u32, String)> = s
+            .snapshot_at(BatchNum(3))
+            .map(|(key, ver)| {
+                let i = u32::from_be_bytes(key.as_bytes().try_into().unwrap());
+                (i, String::from_utf8(ver.value.as_bytes().to_vec()).unwrap())
+            })
+            .collect();
+        cut3.sort();
+        assert_eq!(
+            cut3,
+            vec![(1, "a2".into()), (2, "b1".into()), (3, "c3".into())]
+        );
+        // Cut before any write is empty.
+        assert_eq!(s.snapshot_at(BatchNum(0)).count(), 0);
+    }
+
+    #[test]
     fn apply_write_set() {
         let mut s = VersionedStore::new();
-        let writes = vec![(k(1), v("a")), (k(2), v("b"))];
+        let writes = [(k(1), v("a")), (k(2), v("b"))];
         s.apply(writes.iter().map(|(k, v)| (k, v)), BatchNum(1));
         assert_eq!(s.key_count(), 2);
         assert_eq!(s.write_count(), 2);

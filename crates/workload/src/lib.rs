@@ -94,7 +94,12 @@ mod tests {
                 parts.dedup();
                 // The write count bounds the participation span (§5.2:
                 // "R=5,W=1 essentially means local-read-write").
-                assert!(parts.len() <= writes.max(1), "span {} > writes {}", parts.len(), writes);
+                assert!(
+                    parts.len() <= writes.max(1),
+                    "span {} > writes {}",
+                    parts.len(),
+                    writes
+                );
             }
         }
     }

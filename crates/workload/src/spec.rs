@@ -271,10 +271,7 @@ impl WorkloadSpec {
     /// "R=5,W=1" as essentially a local transaction (§5.2, Figure 10
     /// discussion) — and reads are drawn from those same clusters.
     fn gen_distributed_rw(&self, rng: &mut SmallRng, by_cluster: &[Vec<u32>]) -> ClientOp {
-        let span = self
-            .topo
-            .n_clusters()
-            .min(self.rw_writes.max(1));
+        let span = self.topo.n_clusters().min(self.rw_writes.max(1));
         let clusters = self.pick_clusters(rng, span);
         let mut used: Vec<Key> = Vec::new();
         let pick = |i: usize, rng: &mut SmallRng, used: &mut Vec<Key>| {

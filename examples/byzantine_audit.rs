@@ -55,10 +55,7 @@ fn main() {
     let _ = node;
     // Roots are certified via the batch digest; fetch the header the
     // replica would send.
-    let root = {
-        let v = replica.exec.tree.root_at(at.0);
-        v
-    };
+    let root = { replica.exec.tree.root_at(at.0) };
     match verify_proof(&root, config.node.tree_depth, &key, proof) {
         Ok(Verified::Present(vh)) if vh == value_digest(&value) => {
             println!("✓ honest response: Merkle proof verifies, value hash matches");
@@ -74,7 +71,11 @@ fn main() {
     );
     println!(
         "✗ forged value:        {}",
-        if ok { "ACCEPTED (BUG!)" } else { "rejected — value hash mismatch" }
+        if ok {
+            "ACCEPTED (BUG!)"
+        } else {
+            "rejected — value hash mismatch"
+        }
     );
     assert!(!ok);
 
@@ -86,7 +87,11 @@ fn main() {
     let rejected = verify_proof(&root, config.node.tree_depth, &key, &bad_proof).is_err();
     println!(
         "✗ tampered proof:      {}",
-        if rejected { "rejected — root mismatch" } else { "ACCEPTED (BUG!)" }
+        if rejected {
+            "rejected — root mismatch"
+        } else {
+            "ACCEPTED (BUG!)"
+        }
     );
     assert!(rejected);
 
@@ -113,7 +118,11 @@ fn main() {
     let rejected = cert.verify(&keys, quorum).is_err();
     println!(
         "✗ under-signed root:   {}",
-        if rejected { "rejected — needs f+1 distinct replica signatures" } else { "ACCEPTED (BUG!)" }
+        if rejected {
+            "rejected — needs f+1 distinct replica signatures"
+        } else {
+            "ACCEPTED (BUG!)"
+        }
     );
     assert!(rejected);
 

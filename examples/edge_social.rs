@@ -107,7 +107,10 @@ fn main() {
     println!("edge social network across {} regions:", regions.len());
     for (label, kind) in [
         ("regional posts      (local RW)", OpKind::LocalWriteOnly),
-        ("cross-region follows (dist RW)", OpKind::DistributedReadWrite),
+        (
+            "cross-region follows (dist RW)",
+            OpKind::DistributedReadWrite,
+        ),
         ("timeline reads       (ROT)    ", OpKind::ReadOnly),
     ] {
         let s = summarize(&samples, Some(kind));

@@ -82,7 +82,9 @@ fn main() {
         println!(
             "  {:?} -> {:?}",
             key,
-            value.as_ref().map(|v| String::from_utf8_lossy(v.as_bytes()).into_owned())
+            value
+                .as_ref()
+                .map(|v| String::from_utf8_lossy(v.as_bytes()).into_owned())
         );
     }
     assert_eq!(client.stats.verification_failures, 0);

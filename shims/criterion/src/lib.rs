@@ -1,0 +1,240 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io. This shim
+//! runs each registered benchmark in a simple warm-up + timed loop and
+//! prints mean per-iteration times, which is what the workspace's cost
+//! model calibration needs. Statistical machinery (outlier analysis,
+//! HTML reports) is intentionally absent.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost. The shim runs one setup per
+/// routine invocation regardless of the hint.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let (mean, iters) = run_bench(self.measurement_time, self.warm_up_time, &mut f);
+        println!("  {name:<40} {:>14} /iter  ({iters} iters)", fmt_ns(mean));
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let (mean, iters) = run_bench(
+            self.criterion.measurement_time,
+            self.criterion.warm_up_time,
+            &mut f,
+        );
+        println!(
+            "  {:<40} {:>14} /iter  ({iters} iters)",
+            format!("{}/{}", self.name, name),
+            fmt_ns(mean)
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; collects iteration timings.
+pub struct Bencher {
+    /// Total time spent in measured routines.
+    elapsed: Duration,
+    /// Iterations the routine was run for.
+    iterations: u64,
+    /// How many iterations to run this call.
+    budget: u64,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.budget {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += self.budget;
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+}
+
+/// Opaque value sink preventing the optimiser from deleting the work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+fn run_bench(
+    measurement: Duration,
+    warm_up: Duration,
+    f: &mut impl FnMut(&mut Bencher),
+) -> (f64, u64) {
+    // Warm-up: also calibrates how many iterations fit in the budget.
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iterations: 0,
+        budget: 1,
+    };
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < warm_up {
+        f(&mut b);
+        b.budget = (b.budget * 2).min(1 << 20);
+    }
+    let per_iter = if b.iterations > 0 {
+        b.elapsed.as_secs_f64() / b.iterations as f64
+    } else {
+        1e-6
+    };
+    // Measurement: one run sized to fill the measurement budget.
+    let budget = ((measurement.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+    let mut m = Bencher {
+        elapsed: Duration::ZERO,
+        iterations: 0,
+        budget,
+    };
+    f(&mut m);
+    let mean_ns = if m.iterations > 0 {
+        m.elapsed.as_nanos() as f64 / m.iterations as f64
+    } else {
+        0.0
+    };
+    (mean_ns, m.iterations)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Mirrors `criterion_group!`: both the struct-ish named form and the
+/// positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("shim");
+        let mut count = 0u64;
+        g.bench_function("add", |b| b.iter(|| count = count.wrapping_add(1)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

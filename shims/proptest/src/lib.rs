@@ -1,0 +1,561 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io. This shim
+//! keeps the workspace's property tests *running as property tests* —
+//! deterministic, seeded, many-case — while implementing only the API
+//! surface those tests use: `proptest!` with `proptest_config`,
+//! `any::<T>()`, range and tuple strategies, `prop_map`, `prop_oneof!`,
+//! `collection::{vec, hash_map, btree_set}`, `prop::sample::Index`, and
+//! the `prop_assert*` macros. There is no shrinking: a failing case
+//! panics with the generated inputs so it can be reproduced.
+
+use std::collections::{BTreeSet, HashMap};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Runner configuration (`cases` is the only knob the workspace uses).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Error produced by `prop_assert*`; carries the formatted message.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The RNG handed to strategies. Deterministic per test function.
+pub struct TestRunner {
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    pub fn deterministic(seed: u64) -> Self {
+        TestRunner {
+            rng: SmallRng::seed_from_u64(seed ^ 0x70726f_70746573),
+        }
+    }
+
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of values. Unlike the real crate there is no value tree
+/// or shrinking — `generate` draws a value directly.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        (**self).generate(runner)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> S::Value {
+        (**self).generate(runner)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+/// Uniform choice among boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    pub options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        let idx = runner.rng().gen_range(0..self.options.len());
+        self.options[idx].generate(runner)
+    }
+}
+
+// ---- primitive strategies -------------------------------------------
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+macro_rules! impl_arbitrary_std {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> Self {
+                runner.rng().gen()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_std!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        let mut out = [0u8; N];
+        runner.rng().fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+/// `any::<T>()` — any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// "Just this value" strategy.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+// ---- collections ----------------------------------------------------
+
+pub mod collection {
+    use super::*;
+
+    /// Sizes accepted by collection strategies: a fixed `usize` or a
+    /// `Range<usize>`.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl SizeRange {
+        fn pick(&self, runner: &mut TestRunner) -> usize {
+            if self.lo + 1 >= self.hi {
+                self.lo
+            } else {
+                runner.rng().gen_range(self.lo..self.hi)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let n = self.size.pick(runner);
+            (0..n).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+
+    /// `vec(element, size)` — a vector of `size` elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct HashMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for HashMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: std::hash::Hash + Eq,
+        V: Strategy,
+    {
+        type Value = HashMap<K::Value, V::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            let n = self.size.pick(runner);
+            let mut out = HashMap::with_capacity(n);
+            // Duplicate keys collapse; retry a bounded number of times
+            // to reach the requested size.
+            for _ in 0..n * 8 {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.key.generate(runner), self.value.generate(runner));
+            }
+            out
+        }
+    }
+
+    pub fn hash_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> HashMapStrategy<K, V> {
+        HashMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            let n = self.size.pick(runner);
+            let mut out = BTreeSet::new();
+            for _ in 0..n * 8 {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.element.generate(runner));
+            }
+            out
+        }
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+// ---- sample ----------------------------------------------------------
+
+pub mod sample {
+    use super::*;
+
+    /// An index into a collection of as-yet-unknown size.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolve against a concrete collection size.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            Index(runner.rng().gen())
+        }
+    }
+}
+
+// ---- macros ----------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond),
+                format!($($fmt)*),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n at {}:{}",
+                stringify!($a), stringify!($b), a, b, file!(), line!()
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}\n at {}:{}",
+                stringify!($a), stringify!($b), format!($($fmt)*), a, b, file!(), line!()
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} != {}\n  both: {:?}\n at {}:{}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union {
+            options: vec![$($crate::Strategy::boxed($strategy)),+],
+        }
+    };
+}
+
+/// The test-definition macro. Each contained `fn name(arg in strategy,
+/// ...) { body }` becomes a `#[test]` that runs `cases` seeded random
+/// cases; `prop_assert*` failures panic with the generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests $cfg; $($rest)*);
+    };
+    // Without one.
+    ($(#[$meta:meta])* fn $($rest:tt)*) => {
+        $crate::proptest!(@tests $crate::ProptestConfig::default(); $(#[$meta])* fn $($rest)*);
+    };
+
+    (@tests $cfg:expr;) => {};
+    (@tests $cfg:expr; $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $crate::proptest!(@one $cfg; $(#[$meta])* fn $name; [] ($($params)*) $body);
+        $crate::proptest!(@tests $cfg; $($rest)*);
+    };
+
+    // Munch parameters into [pattern, strategy] pairs. Patterns are
+    // `ident` or `mut ident`.
+    (@one $cfg:expr; $(#[$meta:meta])* fn $name:ident; [$($done:tt)*] (mut $arg:ident in $strat:expr, $($rest:tt)*) $body:block) => {
+        $crate::proptest!(@one $cfg; $(#[$meta])* fn $name; [$($done)* {(mut $arg) $strat}] ($($rest)*) $body);
+    };
+    (@one $cfg:expr; $(#[$meta:meta])* fn $name:ident; [$($done:tt)*] (mut $arg:ident in $strat:expr) $body:block) => {
+        $crate::proptest!(@one $cfg; $(#[$meta])* fn $name; [$($done)* {(mut $arg) $strat}] () $body);
+    };
+    (@one $cfg:expr; $(#[$meta:meta])* fn $name:ident; [$($done:tt)*] ($arg:ident in $strat:expr, $($rest:tt)*) $body:block) => {
+        $crate::proptest!(@one $cfg; $(#[$meta])* fn $name; [$($done)* {($arg) $strat}] ($($rest)*) $body);
+    };
+    (@one $cfg:expr; $(#[$meta:meta])* fn $name:ident; [$($done:tt)*] ($arg:ident in $strat:expr) $body:block) => {
+        $crate::proptest!(@one $cfg; $(#[$meta])* fn $name; [$($done)* {($arg) $strat}] () $body);
+    };
+
+    // All parameters munched: emit the test.
+    (@one $cfg:expr; $(#[$meta:meta])* fn $name:ident; [$({($($pat:tt)+) $strat:expr})*] () $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            // Seed derived from the test name: deterministic, but
+            // different tests explore different sequences.
+            let seed = {
+                let name = concat!(module_path!(), "::", stringify!($name));
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in name.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                h
+            };
+            let mut runner = $crate::TestRunner::deterministic(seed);
+            for case in 0..cfg.cases {
+                $(let $($pat)+ = $crate::Strategy::generate(&$strat, &mut runner);)*
+                let result: $crate::TestCaseResult = (|| { $body Ok(()) })();
+                if let Err($crate::TestCaseError(msg)) = result {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n(no shrinking in offline shim)",
+                        case + 1,
+                        cfg.cases,
+                        msg
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Prelude mirroring `proptest::prelude::*` for the names the
+/// workspace imports.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn addition_commutes(a in any::<u32>(), b in any::<u32>()) {
+            prop_assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+        }
+
+        #[test]
+        fn ranges_and_collections(
+            xs in crate::collection::vec(0u8..10, 1..20),
+            mut m in crate::collection::hash_map(any::<u16>(), any::<u8>(), 0..8),
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|x| *x < 10));
+            prop_assert!(m.len() < 8);
+            m.insert(1, 1);
+            prop_assert!(idx.index(xs.len()) < xs.len());
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            (0u8..4).prop_map(|x| x as u32),
+            10u32..14,
+        ]) {
+            prop_assert!(v < 4 || (10..14).contains(&v));
+        }
+    }
+}

@@ -30,9 +30,10 @@ enum SgNode {
 /// Parse the writer tag out of a written value ("txn:<tag>").
 fn writer_of(value: &Value) -> SgNode {
     let s = String::from_utf8_lossy(value.as_bytes());
-    match s.strip_prefix("txn:").and_then(|t| {
-        t.split(':').next().and_then(|t| t.parse::<u32>().ok())
-    }) {
+    match s
+        .strip_prefix("txn:")
+        .and_then(|t| t.split(':').next().and_then(|t| t.parse::<u32>().ok()))
+    {
         Some(tag) => SgNode::Txn(tag),
         None => SgNode::Genesis,
     }
@@ -229,7 +230,10 @@ fn mixed_contended_history_is_serializable() {
             }
         }
     }
-    println!("history: {committed_count} committed RW, {aborted_count} aborted RW, {} ROTs", rots.len());
+    println!(
+        "history: {committed_count} committed RW, {aborted_count} aborted RW, {} ROTs",
+        rots.len()
+    );
     assert!(committed_count > 10, "need a meaningful committed history");
 
     // ---- per-key version order from the stores --------------------
