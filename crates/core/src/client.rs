@@ -21,6 +21,7 @@ use transedge_simnet::{Actor, Context};
 
 use crate::batch::{ReadOp, Transaction, WriteOp};
 use crate::deps::{verify_dependencies, RotView};
+use crate::edge_select::{EdgeSelector, EdgeSelectorConfig};
 use crate::messages::{NetMsg, RotBundle};
 use crate::metrics::{OpKind, TxnSample};
 
@@ -54,12 +55,17 @@ pub struct ClientConfig {
     /// commit-free snapshot protocol. Samples keep `OpKind::ReadOnly`
     /// so harnesses compare like for like.
     pub rot_via_2pc: bool,
-    /// Per-partition edge read nodes this client sends its read-only
-    /// rounds to (untrusted caches; responses still verify end to end).
-    /// Partitions without an entry are read from the cluster itself.
-    /// Verification failures and retries always fall back to real
-    /// replicas, so a byzantine edge cannot wedge a client.
-    pub edge_targets: HashMap<ClusterId, NodeId>,
+    /// Candidate edge read nodes per partition (untrusted caches;
+    /// responses still verify end to end). The client's [`EdgeSelector`]
+    /// picks among them adaptively — EWMA latency ranking, demotion on
+    /// consecutive timeouts or verified byzantine rejections — and
+    /// partitions without candidates (or with every candidate demoted)
+    /// are read from the cluster itself. Verification failures and
+    /// retries always fall back to real replicas, so a byzantine edge
+    /// cannot wedge a client.
+    pub edges: HashMap<ClusterId, Vec<NodeId>>,
+    /// Tuning for the adaptive edge routing.
+    pub selector: EdgeSelectorConfig,
 }
 
 impl Default for ClientConfig {
@@ -71,7 +77,8 @@ impl Default for ClientConfig {
             max_retries: 20,
             record_results: false,
             rot_via_2pc: false,
-            edge_targets: HashMap::new(),
+            edges: HashMap::new(),
+            selector: EdgeSelectorConfig::default(),
         }
     }
 }
@@ -97,6 +104,16 @@ pub struct TxnOutcome {
 /// One partition's verified answer: dependency view + values.
 type VerifiedPartition = (RotView, Vec<(Key, Option<Value>)>);
 
+/// One outstanding read-only request: which partition it covers, where
+/// it went, and when — so responses credit (or blame) the right target
+/// in the edge selector.
+#[derive(Clone, Copy, Debug)]
+struct RotPending {
+    cluster: ClusterId,
+    target: NodeId,
+    sent_at: SimTime,
+}
+
 #[allow(clippy::enum_variant_names)]
 enum Phase {
     ReadPhase {
@@ -110,8 +127,8 @@ enum Phase {
     },
     RotRound {
         round: u8,
-        /// req id → cluster.
-        outstanding: HashMap<u64, ClusterId>,
+        /// req id → where the request went.
+        outstanding: HashMap<u64, RotPending>,
         /// Verified responses so far (latest per cluster).
         responses: HashMap<ClusterId, VerifiedPartition>,
         /// Keys per cluster (for round-2 re-requests).
@@ -141,6 +158,8 @@ pub struct ClientStats {
     pub third_round_needed: u64,
     pub retries: u64,
     pub gave_up: u64,
+    /// Assembled (multi-section) responses accepted from edge nodes.
+    pub assembled_accepted: u64,
 }
 
 /// The client actor.
@@ -156,6 +175,8 @@ pub struct ClientActor {
     next_txn_seq: u64,
     /// Spread OCC reads over replicas.
     read_rr: u64,
+    /// Adaptive edge routing for read-only rounds.
+    pub edge_selector: EdgeSelector,
     /// Writes buffered while the read phase runs.
     pending_writes: Vec<(Key, Value)>,
     pub samples: Vec<TxnSample>,
@@ -172,6 +193,14 @@ impl ClientActor {
         config: ClientConfig,
         ops: Vec<ClientOp>,
     ) -> Self {
+        // Seed the selector's tie-breaking with the client id so a
+        // fleet of clients spreads over the edge tier from the start.
+        let mut edge_selector = EdgeSelector::new(config.selector, id.0 as u64);
+        for (cluster, edges) in &config.edges {
+            for edge in edges {
+                edge_selector.register(*cluster, *edge);
+            }
+        }
         ClientActor {
             id,
             topo,
@@ -183,6 +212,7 @@ impl ClientActor {
             next_req: 0,
             next_txn_seq: 0,
             read_rr: 0,
+            edge_selector,
             pending_writes: Vec::new(),
             samples: Vec::new(),
             rot_results: Vec::new(),
@@ -213,15 +243,14 @@ impl ClientActor {
         NodeId::Replica(ReplicaId::new(cluster, (self.read_rr % n) as u16))
     }
 
-    /// Where this client's read-only rounds go: the configured edge
-    /// read node if one fronts the partition, the cluster leader
-    /// otherwise. Retries after verification failures bypass this and
+    /// Where this client's read-only rounds go: the edge node the
+    /// adaptive selector currently ranks best for the partition, or the
+    /// cluster leader when no edge fronts it (or every candidate is
+    /// demoted). Retries after verification failures bypass this and
     /// ask real replicas directly.
-    fn rot_target(&self, cluster: ClusterId) -> NodeId {
-        self.config
-            .edge_targets
-            .get(&cluster)
-            .copied()
+    fn rot_target(&mut self, cluster: ClusterId, now: SimTime) -> NodeId {
+        self.edge_selector
+            .pick(cluster, now)
             .unwrap_or_else(|| self.leader_of(cluster))
     }
 
@@ -312,8 +341,15 @@ impl ClientActor {
                 let mut outstanding = HashMap::new();
                 for (cluster, keys) in &keys_by_cluster {
                     let req = self.req_id();
-                    outstanding.insert(req, *cluster);
-                    let target = self.rot_target(*cluster);
+                    let target = self.rot_target(*cluster, ctx.now());
+                    outstanding.insert(
+                        req,
+                        RotPending {
+                            cluster: *cluster,
+                            target,
+                            sent_at: ctx.now(),
+                        },
+                    );
                     ctx.send(
                         target,
                         NetMsg::RotRequest {
@@ -405,34 +441,40 @@ impl ClientActor {
 
     /// Verify a read-only response end to end (proof → root →
     /// certificate → freshness → dependency floor) by delegating to the
-    /// edge read subsystem's verifier. Returns the dependency view and
-    /// verified values, or `None` (counting a verification failure —
-    /// evidence of a byzantine server).
-    fn verify_rot_response(
+    /// edge read subsystem's verifier. A plain response is a one-section
+    /// assembly; a partially-assembled edge response carries several
+    /// sections, each checked against its own certified root. Returns
+    /// the dependency view and verified values, or `None` (counting a
+    /// verification failure — evidence of a byzantine server).
+    fn verify_rot_sections(
         &mut self,
         cluster: ClusterId,
-        bundle: &RotBundle,
+        sections: &[RotBundle],
         expected_keys: &[Key],
         min_lce: Epoch,
         now: SimTime,
         ctx: &mut Context<'_, NetMsg>,
     ) -> Option<VerifiedPartition> {
+        // One certificate verification per response (the verifier
+        // reuses the anchor's for content-identical sections) plus one
+        // proof check per read across all sections.
         ctx.charge(|c| {
-            SimDuration(
-                c.ed25519_verify.0 * bundle.cert.sigs.len() as u64
-                    + c.merkle_verify.0 * bundle.reads.len() as u64,
-            )
+            let sigs = sections.first().map(|b| b.cert.sigs.len()).unwrap_or(0) as u64;
+            let reads: u64 = sections.iter().map(|b| b.reads.len() as u64).sum();
+            SimDuration(c.ed25519_verify.0 * sigs + c.merkle_verify.0 * reads)
         });
-        match self.read_verifier().verify_bundle(
+        match self.read_verifier().verify_assembled(
             &self.keys,
             cluster,
-            bundle,
+            sections,
             expected_keys,
             min_lce,
             now,
         ) {
             Ok(values) => {
-                let header = &bundle.commitment.header;
+                // All sections pin the same batch (the verifier rejects
+                // torn assemblies), so the first one names the cut.
+                let header = &sections[0].commitment.header;
                 let view = RotView {
                     cluster,
                     batch: header.num,
@@ -448,7 +490,12 @@ impl ClientActor {
         }
     }
 
-    fn on_rot_response(&mut self, req: u64, bundle: RotBundle, ctx: &mut Context<'_, NetMsg>) {
+    fn on_rot_response(
+        &mut self,
+        req: u64,
+        sections: Vec<RotBundle>,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
         let now = ctx.now();
         let Some(mut inflight) = self.inflight.take() else {
             return;
@@ -465,7 +512,7 @@ impl ClientActor {
             self.inflight = Some(inflight);
             return;
         };
-        let Some(cluster) = outstanding.get(&req).copied() else {
+        let Some(pending) = outstanding.get(&req).copied() else {
             // Late duplicate from a previous round — ignore.
             inflight.phase = Phase::RotRound {
                 round,
@@ -478,6 +525,7 @@ impl ClientActor {
             self.inflight = Some(inflight);
             return;
         };
+        let cluster = pending.cluster;
         let expected_keys = keys_by_cluster
             .iter()
             .find(|(c, _)| *c == cluster)
@@ -492,19 +540,41 @@ impl ClientActor {
             Epoch::NONE
         };
         let verified =
-            self.verify_rot_response(cluster, &bundle, &expected_keys, min_lce, now, ctx);
+            self.verify_rot_sections(cluster, &sections, &expected_keys, min_lce, now, ctx);
         match verified {
             Some((view, vals)) => {
+                if matches!(pending.target, NodeId::Edge(_)) {
+                    self.edge_selector.record_success(
+                        cluster,
+                        pending.target,
+                        now.saturating_since(pending.sent_at),
+                    );
+                }
+                if sections.len() > 1 {
+                    self.stats.assembled_accepted += 1;
+                }
                 outstanding.remove(&req);
                 responses.insert(cluster, (view, vals));
             }
             None => {
-                // Verification failed: re-ask a different replica of the
-                // same cluster (byzantine server evasion).
+                // Verification failed: blame the target (demoting a
+                // byzantine edge) and re-ask a real replica of the same
+                // cluster (byzantine server evasion).
+                if matches!(pending.target, NodeId::Edge(_)) {
+                    self.edge_selector
+                        .record_rejection(cluster, pending.target, now);
+                }
                 let retry_req = self.req_id();
                 outstanding.remove(&req);
-                outstanding.insert(retry_req, cluster);
                 let target = self.any_replica_of(cluster);
+                outstanding.insert(
+                    retry_req,
+                    RotPending {
+                        cluster,
+                        target,
+                        sent_at: now,
+                    },
+                );
                 let msg = if round == 1 {
                     NetMsg::RotRequest {
                         req: retry_req,
@@ -599,10 +669,18 @@ impl ClientActor {
                 continue; // dependency on a partition we did not read
             }
             let req = self.req_id();
-            outstanding.insert(req, cluster);
+            let target = self.rot_target(cluster, now);
+            outstanding.insert(
+                req,
+                RotPending {
+                    cluster,
+                    target,
+                    sent_at: now,
+                },
+            );
             required.insert(cluster, min_epoch);
             ctx.send(
-                self.rot_target(cluster),
+                target,
                 NetMsg::RotFetch {
                     req,
                     keys,
@@ -713,7 +791,10 @@ impl Actor<NetMsg> for ClientActor {
                 self.finish_rw(txn, committed, ctx);
             }
             NetMsg::RotResponse { req, bundle } => {
-                self.on_rot_response(req, bundle, ctx);
+                self.on_rot_response(req, vec![bundle], ctx);
+            }
+            NetMsg::RotAssembled { req, sections } => {
+                self.on_rot_response(req, sections, ctx);
             }
             _ => {}
         }
@@ -745,9 +826,10 @@ impl Actor<NetMsg> for ClientActor {
             return;
         }
         self.stats.retries += 1;
+        let now = ctx.now();
         // Re-send whatever is outstanding.
         let mut sends: Vec<(NodeId, NetMsg)> = Vec::new();
-        match &inflight.phase {
+        match &mut inflight.phase {
             Phase::ReadPhase { outstanding, .. } => {
                 for (req, key) in outstanding {
                     let n = self.topo.replicas_per_cluster() as u64;
@@ -787,10 +869,18 @@ impl Actor<NetMsg> for ClientActor {
                 required,
                 ..
             } => {
-                for (req, cluster) in outstanding {
+                for (req, pending) in outstanding.iter_mut() {
+                    // An unanswered edge request counts against the
+                    // edge (crash/partition suspicion) — enough of them
+                    // demote it and later picks route elsewhere.
+                    if matches!(pending.target, NodeId::Edge(_)) {
+                        self.edge_selector
+                            .record_failure(pending.cluster, pending.target, now);
+                    }
+                    let cluster = pending.cluster;
                     let keys = keys_by_cluster
                         .iter()
-                        .find(|(c, _)| c == cluster)
+                        .find(|(c, _)| *c == cluster)
                         .map(|(_, k)| k.clone())
                         .unwrap_or_default();
                     let msg = if *round == 1 {
@@ -799,12 +889,17 @@ impl Actor<NetMsg> for ClientActor {
                         NetMsg::RotFetch {
                             req: *req,
                             keys,
-                            min_epoch: required.get(cluster).copied().unwrap_or(Epoch::NONE),
+                            min_epoch: required.get(&cluster).copied().unwrap_or(Epoch::NONE),
                         }
                     };
+                    // Retries rotate over real replicas so a dead or
+                    // byzantine edge cannot blackhole the client.
                     let n = self.topo.replicas_per_cluster() as u32;
-                    let target = ReplicaId::new(*cluster, (inflight.attempts % n) as u16);
-                    sends.push((NodeId::Replica(target), msg));
+                    let target =
+                        NodeId::Replica(ReplicaId::new(cluster, (inflight.attempts % n) as u16));
+                    pending.target = target;
+                    pending.sent_at = now;
+                    sends.push((target, msg));
                 }
             }
         }

@@ -20,7 +20,7 @@ use transedge_common::{
     ClusterTopology, EdgeId, Epoch, Key, NodeId, ReplicaId, SimDuration, SimTime,
 };
 use transedge_crypto::Digest;
-use transedge_edge::ReplayCache;
+use transedge_edge::{Assembly, ReplayCache};
 use transedge_simnet::{Actor, Context};
 
 use crate::batch::CommittedHeader;
@@ -53,14 +53,44 @@ pub struct EdgeNodeStats {
     pub served_from_cache: u64,
     /// Forwarded upstream to a replica.
     pub forwarded: u64,
+    /// Partially assembled: cached fragments plus one pinned upstream
+    /// fetch for the misses.
+    pub partial_assembled: u64,
+    /// Partial assemblies abandoned because the upstream replica could
+    /// not serve the pinned batch (the full fresh response was
+    /// forwarded instead).
+    pub assembly_fallbacks: u64,
+    /// Keys requested across all client requests.
+    pub keys_requested: u64,
+    /// Keys answered from cached fragments (full replays + the cached
+    /// side of partial assemblies).
+    pub keys_from_cache: u64,
+    /// Keys fetched upstream by partial assemblies (the misses only).
+    pub keys_fetched_upstream: u64,
     /// Responses deliberately corrupted (byzantine modes).
     pub tampered: u64,
+}
+
+impl EdgeNodeStats {
+    /// Fraction of requested keys served from cached fragments — the
+    /// per-key hit rate partial assembly is designed to raise.
+    pub fn fragment_hit_rate(&self) -> f64 {
+        if self.keys_requested == 0 {
+            0.0
+        } else {
+            self.keys_from_cache as f64 / self.keys_requested as f64
+        }
+    }
 }
 
 /// A client request waiting on an upstream answer.
 struct PendingRequest {
     client: NodeId,
     client_req: u64,
+    /// Cached fragments reserved for a partial assembly, awaiting the
+    /// upstream fill pinned at the same batch. `None` for plain
+    /// pass-through forwards.
+    partial: Option<RotBundle>,
 }
 
 /// The actor.
@@ -155,7 +185,45 @@ impl EdgeReadNode {
         ctx.send(to, NetMsg::RotResponse { req, bundle });
     }
 
-    /// Serve from cache or forward upstream.
+    /// Send an assembled (multi-section) response. Byzantine behaviour
+    /// applies to the first section — the cached one, which is exactly
+    /// what a lying edge controls.
+    fn respond_assembled(
+        &mut self,
+        to: NodeId,
+        req: u64,
+        mut sections: Vec<RotBundle>,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        if let Some(first) = sections.first_mut() {
+            let corrupted = self.corrupt(first.clone());
+            *first = corrupted;
+        }
+        ctx.send(to, NetMsg::RotAssembled { req, sections });
+    }
+
+    /// Register an upstream request, bounding the pending map: upstream
+    /// responses can be lost (faulty links, crashed replicas) and
+    /// clients retry via replicas, so nothing else drains abandoned
+    /// entries. Request ids ascend, so the smallest ids are the oldest
+    /// — drop those first.
+    fn track_pending(&mut self, entry: PendingRequest) -> u64 {
+        self.next_req += 1;
+        let upstream_req = self.next_req;
+        const MAX_PENDING: usize = 4096;
+        if self.pending.len() >= MAX_PENDING {
+            let mut ids: Vec<u64> = self.pending.keys().copied().collect();
+            ids.sort_unstable();
+            for id in &ids[..MAX_PENDING / 2] {
+                self.pending.remove(id);
+            }
+        }
+        self.pending.insert(upstream_req, entry);
+        upstream_req
+    }
+
+    /// Serve from cache, partially assemble (cached fragments + one
+    /// pinned upstream fetch for the misses), or forward upstream.
     fn on_read_request(
         &mut self,
         from: NodeId,
@@ -165,52 +233,68 @@ impl EdgeReadNode {
         ctx: &mut Context<'_, NetMsg>,
     ) {
         self.stats.requests += 1;
+        self.stats.keys_requested += keys.len() as u64;
         let freshness_floor = SimTime(
             ctx.now()
                 .as_micros()
                 .saturating_sub(self.replay_staleness.as_micros()),
         );
-        if let Some(bundle) = self.cache.replay(&keys, min_epoch, freshness_floor) {
-            self.stats.served_from_cache += 1;
-            self.respond(from, req, bundle, ctx);
-            return;
-        }
-        self.stats.forwarded += 1;
-        self.next_req += 1;
-        let upstream_req = self.next_req;
-        // Bound the pending map: upstream responses can be lost (faulty
-        // links, crashed replicas) and clients retry via replicas, so
-        // nothing else drains abandoned entries. Request ids ascend, so
-        // the smallest ids are the oldest — drop those first.
-        const MAX_PENDING: usize = 4096;
-        if self.pending.len() >= MAX_PENDING {
-            let mut ids: Vec<u64> = self.pending.keys().copied().collect();
-            ids.sort_unstable();
-            for id in &ids[..MAX_PENDING / 2] {
-                self.pending.remove(id);
+        match self.cache.assemble(&keys, min_epoch, freshness_floor) {
+            Assembly::Full(bundle) => {
+                self.stats.served_from_cache += 1;
+                self.stats.keys_from_cache += bundle.reads.len() as u64;
+                self.respond(from, req, bundle, ctx);
+            }
+            Assembly::Partial { cached, missing } => {
+                // Fetch only the misses, pinned at the anchor batch, so
+                // the merged response stays one consistent cut. Keys
+                // whose fragments aged past the staleness floor land in
+                // `missing` too — only they are refreshed, not the
+                // whole bundle.
+                self.stats.partial_assembled += 1;
+                self.stats.keys_from_cache += cached.reads.len() as u64;
+                self.stats.keys_fetched_upstream += missing.len() as u64;
+                let at_batch = cached.batch();
+                let upstream_req = self.track_pending(PendingRequest {
+                    client: from,
+                    client_req: req,
+                    partial: Some(cached),
+                });
+                let upstream = self.upstream();
+                ctx.send(
+                    upstream,
+                    NetMsg::RotFetchAt {
+                        req: upstream_req,
+                        keys: missing,
+                        all_keys: keys,
+                        at_batch,
+                        min_epoch,
+                    },
+                );
+            }
+            Assembly::Miss => {
+                self.stats.forwarded += 1;
+                let upstream_req = self.track_pending(PendingRequest {
+                    client: from,
+                    client_req: req,
+                    partial: None,
+                });
+                let upstream = self.upstream();
+                let msg = if min_epoch.is_none() {
+                    NetMsg::RotRequest {
+                        req: upstream_req,
+                        keys,
+                    }
+                } else {
+                    NetMsg::RotFetch {
+                        req: upstream_req,
+                        keys,
+                        min_epoch,
+                    }
+                };
+                ctx.send(upstream, msg);
             }
         }
-        self.pending.insert(
-            upstream_req,
-            PendingRequest {
-                client: from,
-                client_req: req,
-            },
-        );
-        let upstream = self.upstream();
-        let msg = if min_epoch.is_none() {
-            NetMsg::RotRequest {
-                req: upstream_req,
-                keys,
-            }
-        } else {
-            NetMsg::RotFetch {
-                req: upstream_req,
-                keys,
-                min_epoch,
-            }
-        };
-        ctx.send(upstream, msg);
     }
 
     fn on_upstream_response(&mut self, req: u64, bundle: RotBundle, ctx: &mut Context<'_, NetMsg>) {
@@ -220,7 +304,29 @@ impl EdgeReadNode {
         let Some(pending) = self.pending.remove(&req) else {
             return; // duplicate or late upstream answer
         };
-        self.respond(pending.client, pending.client_req, bundle, ctx);
+        match pending.partial {
+            Some(cached) if bundle.batch() == cached.batch() => {
+                // The pinned fill arrived: cached fragments + upstream
+                // fill, two sections at one batch, each carrying its
+                // own commitment and certificate. A replica fallback
+                // can answer the *whole* request at what happens to be
+                // the anchor batch, so drop fill reads for keys the
+                // cached section already covers — the client rejects
+                // duplicate answers as byzantine.
+                let mut fill = bundle;
+                fill.reads
+                    .retain(|r| !cached.reads.iter().any(|c| c.key == r.key));
+                self.respond_assembled(pending.client, pending.client_req, vec![cached, fill], ctx);
+            }
+            Some(_) => {
+                // The replica could not serve the pinned batch and
+                // answered the full request at its latest batch —
+                // forward that as a plain (still verified) response.
+                self.stats.assembly_fallbacks += 1;
+                self.respond(pending.client, pending.client_req, bundle, ctx);
+            }
+            None => self.respond(pending.client, pending.client_req, bundle, ctx),
+        }
     }
 }
 

@@ -20,6 +20,9 @@
 //!   read-only serving through the `transedge-edge` pipeline;
 //! * [`edge_node`] — the untrusted edge read cache actor (and its
 //!   byzantine test variants) scaling the ROT path without consensus;
+//! * [`edge_select`] — adaptive client→edge routing: EWMA latency
+//!   ranking with failure/byzantine-rejection demotion and replica
+//!   fallback;
 //! * [`client`] — the client library/actor: OCC read-write transactions,
 //!   and the one-to-two-round verified read-only protocol (Algorithm 2),
 //!   verified via `transedge-edge`'s `ReadVerifier`;
@@ -32,6 +35,7 @@ pub mod client;
 pub mod conflict;
 pub mod deps;
 pub mod edge_node;
+pub mod edge_select;
 pub mod executor;
 pub mod messages;
 pub mod metrics;

@@ -99,11 +99,31 @@ pub enum NetMsg {
         keys: Vec<Key>,
         min_epoch: Epoch,
     },
+    /// An edge node's upstream fill for a partial assembly: serve
+    /// `keys` pinned at `at_batch` so the fragments can join the edge's
+    /// cached ones in a single consistent cut. `all_keys` and
+    /// `min_epoch` carry the client's complete request — a replica that
+    /// does not hold `at_batch` yet (still catching up) answers the
+    /// whole request itself, honouring the round-2 LCE floor, and the
+    /// edge forwards that response unassembled.
+    RotFetchAt {
+        req: u64,
+        keys: Vec<Key>,
+        all_keys: Vec<Key>,
+        at_batch: BatchNum,
+        min_epoch: Epoch,
+    },
     /// Read-only response: the certified batch header (read-only
     /// segment plus body digest), the `f+1` consensus certificate, and
     /// per-key values with Merkle proofs. Any untrusted node — replica
     /// or edge cache — may send this; clients verify it end to end.
     RotResponse { req: u64, bundle: RotBundle },
+    /// A partially-assembled read-only response from an edge node: one
+    /// section per provenance (cached fragments, upstream fill), every
+    /// section pinned to the same batch and carrying its own commitment
+    /// and certificate. Clients verify each section against its own
+    /// certified root (`ReadVerifier::verify_assembled`).
+    RotAssembled { req: u64, sections: Vec<RotBundle> },
 
     // ---- intra-cluster ----------------------------------------------
     /// Consensus traffic.
@@ -156,7 +176,9 @@ impl NetMsg {
             NetMsg::TxnResult { .. } => "txn-result",
             NetMsg::RotRequest { .. } => "rot-request",
             NetMsg::RotFetch { .. } => "rot-fetch",
+            NetMsg::RotFetchAt { .. } => "rot-fetch-at",
             NetMsg::RotResponse { .. } => "rot-response",
+            NetMsg::RotAssembled { .. } => "rot-assembled",
             NetMsg::Bft(m) => m.kind(),
             NetMsg::SegmentSigs { .. } => "segment-sigs",
             NetMsg::SigResend { .. } => "sig-resend",
@@ -233,6 +255,19 @@ fn cert_size(c: &Certificate) -> usize {
     46 + c.sigs.len() * 101
 }
 
+fn rot_bundle_size(bundle: &RotBundle) -> usize {
+    header_size(&bundle.commitment.header)
+        + 32
+        + cert_size(&bundle.cert)
+        + bundle
+            .reads
+            .iter()
+            .map(|v| {
+                v.key.len() + v.value.as_ref().map(|x| x.len()).unwrap_or(0) + v.proof.encoded_len()
+            })
+            .sum::<usize>()
+}
+
 fn bft_size(m: &BftMsg<Batch>) -> usize {
     match m {
         BftMsg::Propose { value, .. } => 84 + batch_size(value),
@@ -263,19 +298,16 @@ impl SimMessage for NetMsg {
             NetMsg::TxnResult { .. } => 24,
             NetMsg::RotRequest { keys, .. } => 12 + keys.iter().map(|k| k.len() + 4).sum::<usize>(),
             NetMsg::RotFetch { keys, .. } => 20 + keys.iter().map(|k| k.len() + 4).sum::<usize>(),
-            NetMsg::RotResponse { bundle, .. } => {
-                header_size(&bundle.commitment.header)
-                    + 32
-                    + cert_size(&bundle.cert)
-                    + bundle
-                        .reads
-                        .iter()
-                        .map(|v| {
-                            v.key.len()
-                                + v.value.as_ref().map(|x| x.len()).unwrap_or(0)
-                                + v.proof.encoded_len()
-                        })
-                        .sum::<usize>()
+            NetMsg::RotFetchAt { keys, all_keys, .. } => {
+                36 + keys
+                    .iter()
+                    .chain(all_keys.iter())
+                    .map(|k| k.len() + 4)
+                    .sum::<usize>()
+            }
+            NetMsg::RotResponse { bundle, .. } => rot_bundle_size(bundle),
+            NetMsg::RotAssembled { sections, .. } => {
+                8 + sections.iter().map(rot_bundle_size).sum::<usize>()
             }
             NetMsg::Bft(m) => bft_size(m),
             NetMsg::SegmentSigs {

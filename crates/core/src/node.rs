@@ -92,6 +92,9 @@ pub struct NodeStats {
     pub txns_rejected: u64,
     pub rot_served: u64,
     pub rot_fetches_served: u64,
+    /// Edge partial-assembly fills served pinned at the requested
+    /// batch.
+    pub rot_pinned_served: u64,
     pub view_changes: u64,
 }
 
@@ -955,6 +958,42 @@ impl TransEdgeNode {
         self.respond_rot(from, req, &keys, BatchNum(applied - 1), ctx);
     }
 
+    /// An edge node's partial-assembly fill: serve `keys` pinned at
+    /// `at_batch` so the fragments merge with the edge's cached ones
+    /// into a single consistent cut. A replica that has not applied
+    /// `at_batch` yet falls back to answering the *whole* request
+    /// itself — honouring the client's round-2 LCE floor, exactly as
+    /// [`TransEdgeNode::on_rot_fetch`] would — and the edge forwards
+    /// that response unassembled, so a lagging replica never wedges
+    /// the client or feeds it something it must reject as stale.
+    #[allow(clippy::too_many_arguments)]
+    fn on_rot_fetch_at(
+        &mut self,
+        from: NodeId,
+        req: u64,
+        keys: Vec<Key>,
+        all_keys: Vec<Key>,
+        at_batch: BatchNum,
+        min_epoch: Epoch,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        let applied = self.exec.applied_batches();
+        if applied > at_batch.0 {
+            self.stats.rot_pinned_served += 1;
+            self.respond_rot(from, req, &keys, at_batch, ctx);
+        } else if min_epoch.is_none() {
+            if applied > 0 {
+                self.stats.rot_served += 1;
+                self.respond_rot(from, req, &all_keys, BatchNum(applied - 1), ctx);
+            } else {
+                self.pending_fetches
+                    .push((from, req, all_keys, Epoch::NONE));
+            }
+        } else {
+            self.on_rot_fetch(from, req, all_keys, min_epoch, ctx);
+        }
+    }
+
     fn on_rot_fetch(
         &mut self,
         from: NodeId,
@@ -1114,6 +1153,13 @@ impl Actor<NetMsg> for TransEdgeNode {
                 keys,
                 min_epoch,
             } => self.on_rot_fetch(from, req, keys, min_epoch, ctx),
+            NetMsg::RotFetchAt {
+                req,
+                keys,
+                all_keys,
+                at_batch,
+                min_epoch,
+            } => self.on_rot_fetch_at(from, req, keys, all_keys, at_batch, min_epoch, ctx),
             NetMsg::Bft(msg) => {
                 let Some(replica) = from.as_replica() else {
                     return; // consensus traffic must come from replicas
@@ -1154,7 +1200,10 @@ impl Actor<NetMsg> for TransEdgeNode {
             } => self.on_commit_outcome(txn, coordinator, outcome, prepared, ctx),
             // Responses are client-bound; a replica receiving one is a
             // routing bug in the sender — drop.
-            NetMsg::ReadResp { .. } | NetMsg::TxnResult { .. } | NetMsg::RotResponse { .. } => {}
+            NetMsg::ReadResp { .. }
+            | NetMsg::TxnResult { .. }
+            | NetMsg::RotResponse { .. }
+            | NetMsg::RotAssembled { .. } => {}
         }
     }
 

@@ -242,12 +242,15 @@ impl Deployment {
             client_ids.push(id);
             let mut client_config = config.client.clone();
             if config.edge.per_cluster > 0 && config.edge.route_clients {
-                // Spread clients over the edge nodes of each partition.
+                // Every client knows every edge of each partition; its
+                // adaptive selector (seeded by client id) spreads load
+                // and fails over on latency, timeouts, or byzantine
+                // rejections.
                 for cluster in config.topo.clusters() {
-                    let edge = EdgeId::new(cluster, (i % config.edge.per_cluster) as u16);
-                    client_config
-                        .edge_targets
-                        .insert(cluster, NodeId::Edge(edge));
+                    let edges: Vec<NodeId> = (0..config.edge.per_cluster)
+                        .map(|e| NodeId::Edge(EdgeId::new(cluster, e as u16)))
+                        .collect();
+                    client_config.edges.insert(cluster, edges);
                 }
             }
             let client =

@@ -45,6 +45,6 @@ pub mod verifier;
 
 pub use cache::{CacheStats, LruCache};
 pub use pipeline::{read_snapshot, ReadPipeline, SnapshotSource};
-pub use replay::ReplayCache;
+pub use replay::{Assembly, ReplayCache};
 pub use response::{BatchCommitment, ProofBundle, ProvenRead};
 pub use verifier::{ReadRejection, ReadVerifier, VerifyParams};

@@ -27,6 +27,33 @@ pub struct ReplayStats {
     pub replayed: u64,
     /// Requests that could not be answered (missing batch or keys).
     pub passes: u64,
+    /// Requests partially covered from cache (the rest is fetched
+    /// upstream, pinned at the anchor batch).
+    pub partial: u64,
+    /// Individual fragments served from cache, across full replays and
+    /// partial assemblies.
+    pub fragments_replayed: u64,
+}
+
+/// What the cache can do for a request, given the LCE and freshness
+/// floors. Produced by [`ReplayCache::assemble`].
+#[derive(Clone, Debug)]
+pub enum Assembly<H> {
+    /// Every requested key is cached at one admitted batch: a complete
+    /// bundle, the classic replay.
+    Full(ProofBundle<H>),
+    /// Some keys are cached at the anchor batch; `missing` must be
+    /// fetched upstream **pinned at `cached.batch()`** so the final
+    /// response remains one consistent snapshot cut. Mixing batches
+    /// within a partition would permit torn reads the client cannot
+    /// detect (the CD/LCE machinery only tracks cross-partition
+    /// dependencies), so assembly never does it.
+    Partial {
+        cached: ProofBundle<H>,
+        missing: Vec<Key>,
+    },
+    /// Nothing usable is cached: forward the whole request upstream.
+    Miss,
 }
 
 /// The cache an edge replay node runs on.
@@ -95,47 +122,127 @@ impl<H: BatchCommitment + Clone> ReplayCache<H> {
     /// freshness window every reply would be rejected — while the cache
     /// never refreshed, because every request kept hitting. Pass
     /// [`SimTime::ZERO`] to disable the floor.
+    ///
+    /// This is the whole-bundle-only convenience over the same
+    /// floor/coverage scan [`ReplayCache::assemble`] runs; serving
+    /// nodes use `assemble`, which also handles partial coverage.
     pub fn replay(
         &mut self,
         keys: &[Key],
         min_lce: Epoch,
         min_timestamp: SimTime,
     ) -> Option<ProofBundle<H>> {
-        let candidates: Vec<u64> = self.commitments.keys().rev().copied().collect();
-        for batch in candidates {
-            let (commitment, cert) = &self.commitments[&batch];
-            if commitment.lce() < min_lce || commitment.timestamp() < min_timestamp {
-                // Commitments are scanned newest-first, and both LCE
-                // and leader timestamps are monotone over batches:
-                // nothing older satisfies the floor either.
-                break;
-            }
-            if !keys
-                .iter()
-                .all(|k| self.reads.contains(&(k.clone(), batch)))
-            {
+        for batch in self.passing_batches(min_lce, min_timestamp) {
+            if self.coverage_at(batch, keys) != keys.len() {
                 continue;
             }
-            let commitment = commitment.clone();
-            let cert = cert.clone();
-            let reads = keys
-                .iter()
-                .map(|k| {
-                    self.reads
-                        .get(&(k.clone(), batch))
-                        .expect("checked above")
-                        .clone()
-                })
-                .collect();
             self.stats.replayed += 1;
-            return Some(ProofBundle {
-                commitment,
-                cert,
-                reads,
-            });
+            return Some(self.bundle_at(batch, keys));
         }
         self.stats.passes += 1;
         None
+    }
+
+    /// Serve as much of `keys` as the cache allows under the same
+    /// floors as [`ReplayCache::replay`]:
+    ///
+    /// * a batch covering *every* key → [`Assembly::Full`] (the newest
+    ///   such batch wins, exactly like `replay`);
+    /// * otherwise the batch covering the *most* keys (newest wins
+    ///   ties) becomes the anchor → [`Assembly::Partial`] with the
+    ///   covered fragments and the keys the caller must fetch upstream
+    ///   **at that same batch**;
+    /// * no batch covering anything → [`Assembly::Miss`].
+    ///
+    /// Because the floors apply to the anchor, a hot key whose
+    /// fragments have aged past `min_timestamp` (or a round-2 floor the
+    /// cached batches cannot reach) simply drops out of the coverage
+    /// count: only the stale/missing keys are re-fetched, not the whole
+    /// bundle. Round-2 fetches (`min_lce` set) are likewise satisfied
+    /// from *newer* admitted batches whenever one covers the keys.
+    pub fn assemble(
+        &mut self,
+        keys: &[Key],
+        min_lce: Epoch,
+        min_timestamp: SimTime,
+    ) -> Assembly<H> {
+        let mut best: Option<(u64, usize)> = None;
+        for batch in self.passing_batches(min_lce, min_timestamp) {
+            let covered = self.coverage_at(batch, keys);
+            if covered == keys.len() {
+                self.stats.replayed += 1;
+                return Assembly::Full(self.bundle_at(batch, keys));
+            }
+            // Scanning newest-first, so strict `>` keeps the newest
+            // batch among equal coverage.
+            if covered > 0 && best.is_none_or(|(_, c)| covered > c) {
+                best = Some((batch, covered));
+            }
+        }
+        match best {
+            Some((anchor, _)) => {
+                let covered: Vec<Key> = keys
+                    .iter()
+                    .filter(|k| self.reads.contains(&((*k).clone(), anchor)))
+                    .cloned()
+                    .collect();
+                let missing: Vec<Key> = keys
+                    .iter()
+                    .filter(|k| !self.reads.contains(&((*k).clone(), anchor)))
+                    .cloned()
+                    .collect();
+                self.stats.partial += 1;
+                Assembly::Partial {
+                    cached: self.bundle_at(anchor, &covered),
+                    missing,
+                }
+            }
+            None => {
+                self.stats.passes += 1;
+                Assembly::Miss
+            }
+        }
+    }
+
+    /// Admitted batches passing the LCE and timestamp floors, newest
+    /// first. Both LCE and leader timestamps are monotone over batches,
+    /// so the scan stops at the first batch below either floor —
+    /// nothing older can satisfy them.
+    fn passing_batches(&self, min_lce: Epoch, min_timestamp: SimTime) -> Vec<u64> {
+        self.commitments
+            .iter()
+            .rev()
+            .take_while(|(_, (c, _))| c.lce() >= min_lce && c.timestamp() >= min_timestamp)
+            .map(|(b, _)| *b)
+            .collect()
+    }
+
+    /// How many of `keys` have a cached fragment at `batch`.
+    fn coverage_at(&self, batch: u64, keys: &[Key]) -> usize {
+        keys.iter()
+            .filter(|k| self.reads.contains(&((*k).clone(), batch)))
+            .count()
+    }
+
+    /// Materialise a bundle for `keys` at `batch`; every fragment must
+    /// be cached (callers check coverage first).
+    fn bundle_at(&mut self, batch: u64, keys: &[Key]) -> ProofBundle<H> {
+        let (commitment, cert) = self.commitments[&batch].clone();
+        let reads: Vec<ProvenRead> = keys
+            .iter()
+            .map(|k| {
+                self.reads
+                    .get(&(k.clone(), batch))
+                    .expect("coverage checked by caller")
+                    .clone()
+            })
+            .collect();
+        self.stats.fragments_replayed += reads.len() as u64;
+        ProofBundle {
+            commitment,
+            cert,
+            reads,
+        }
     }
 
     /// Fragment-cache counters (hits count replayed fragments).

@@ -21,7 +21,9 @@
 //! evidence of a byzantine server and answer by re-asking a different
 //! node.
 
-use transedge_common::{ClusterId, Epoch, Key, SimDuration, SimTime, Value};
+use std::collections::HashMap;
+
+use transedge_common::{BatchNum, ClusterId, Epoch, Key, SimDuration, SimTime, Value};
 use transedge_consensus::Certificate;
 use transedge_crypto::merkle::{value_digest, verify_proof, Verified};
 use transedge_crypto::KeyStore;
@@ -63,6 +65,17 @@ pub enum ReadRejection {
     ValueMismatch(Key),
     /// Proof shows the key absent, but a value was attached anyway.
     PhantomValue(Key),
+    /// Assembled response carried no sections at all.
+    EmptyAssembly,
+    /// Sections of an assembled response disagree on the snapshot
+    /// batch. Accepting mixed cuts within one partition would let an
+    /// untrusted edge serve torn reads (key A from an old batch, key B
+    /// from a new one) that no other check can catch, so the verifier
+    /// requires every section to pin the same batch.
+    TornAssembly { anchor: BatchNum, got: BatchNum },
+    /// A key was answered by more than one section of an assembled
+    /// response.
+    DuplicateKey(Key),
 }
 
 /// The verifier. Stateless; cheap to copy into clients.
@@ -122,6 +135,21 @@ impl ReadVerifier {
             });
         }
         // 5. Every requested key answered with a verifying proof.
+        self.verify_reads(commitment, expected_keys, reads)
+    }
+
+    /// Step 5 of the chain on its own: every key in `expected_keys`
+    /// answered with a Merkle (non-)inclusion proof verifying against
+    /// `commitment`'s root, present values hashing to the proven
+    /// digests. Only sound once the commitment itself has been chained
+    /// to a certificate (steps 1–4) — callers reuse it when several
+    /// sections share one already-verified commitment.
+    fn verify_reads<H: BatchCommitment>(
+        &self,
+        commitment: &H,
+        expected_keys: &[Key],
+        reads: &[ProvenRead],
+    ) -> Result<Vec<(Key, Option<Value>)>, ReadRejection> {
         let root = commitment.merkle_root();
         let mut out = Vec::with_capacity(expected_keys.len());
         for key in expected_keys {
@@ -168,5 +196,81 @@ impl ReadVerifier {
             min_lce,
             now,
         )
+    }
+
+    /// Verify a partially-assembled response: a sequence of sections
+    /// (cached fragments, upstream fill), each a self-contained
+    /// [`ProofBundle`] whose per-key proofs are checked against *its
+    /// own* certified root. On top of the per-section chain
+    /// (partition → certificate → freshness → LCE floor → proofs),
+    /// the assembly as a whole must
+    ///
+    /// * pin every section to the same batch (anything else would
+    ///   permit torn reads within the partition — [`ReadRejection::TornAssembly`]);
+    /// * answer every key in `expected_keys` exactly once across
+    ///   sections (extra unrequested keys are verified but dropped).
+    ///
+    /// A single-section assembly is equivalent to
+    /// [`ReadVerifier::verify_bundle`].
+    pub fn verify_assembled<H: BatchCommitment>(
+        &self,
+        keys: &KeyStore,
+        expected_cluster: ClusterId,
+        sections: &[ProofBundle<H>],
+        expected_keys: &[Key],
+        min_lce: Epoch,
+        now: SimTime,
+    ) -> Result<Vec<(Key, Option<Value>)>, ReadRejection> {
+        let Some(first) = sections.first() else {
+            return Err(ReadRejection::EmptyAssembly);
+        };
+        let anchor = first.commitment.batch();
+        let anchor_digest = first.commitment.certified_digest();
+        let mut by_key: HashMap<Key, Option<Value>> = HashMap::new();
+        for (i, section) in sections.iter().enumerate() {
+            if section.commitment.batch() != anchor {
+                return Err(ReadRejection::TornAssembly {
+                    anchor,
+                    got: section.commitment.batch(),
+                });
+            }
+            // Each section vouches for exactly the keys it carries.
+            let section_keys: Vec<Key> = section.reads.iter().map(|r| r.key.clone()).collect();
+            let values = if i > 0 && section.commitment.certified_digest() == anchor_digest {
+                // Content-identical commitment (the certified digest
+                // covers every field, root included): the anchor
+                // section already chained it to a certificate and
+                // checked freshness and the LCE floor, so only this
+                // section's per-key proofs are new work. This is the
+                // honest partial-assembly fast path — one certificate
+                // verification per response, not one per section.
+                self.verify_reads(&section.commitment, &section_keys, &section.reads)?
+            } else {
+                self.verify(
+                    keys,
+                    expected_cluster,
+                    &section.commitment,
+                    &section.cert,
+                    &section_keys,
+                    &section.reads,
+                    min_lce,
+                    now,
+                )?
+            };
+            for (key, value) in values {
+                if by_key.insert(key.clone(), value).is_some() {
+                    return Err(ReadRejection::DuplicateKey(key));
+                }
+            }
+        }
+        expected_keys
+            .iter()
+            .map(|k| {
+                by_key
+                    .remove(k)
+                    .map(|v| (k.clone(), v))
+                    .ok_or_else(|| ReadRejection::MissingKey(k.clone()))
+            })
+            .collect()
     }
 }

@@ -10,7 +10,7 @@ use transedge_consensus::Certificate;
 use transedge_crypto::merkle::value_digest;
 use transedge_crypto::{Digest, KeyStore, MerkleProof, Sha256, VersionedMerkleTree};
 use transedge_edge::{
-    BatchCommitment, ProofBundle, ReadPipeline, ReadRejection, ReadVerifier, ReplayCache,
+    Assembly, BatchCommitment, ProofBundle, ReadPipeline, ReadRejection, ReadVerifier, ReplayCache,
     SnapshotSource, VerifyParams,
 };
 use transedge_storage::VersionedStore;
@@ -469,6 +469,191 @@ fn replay_cache_round_trips_verified_bundles() {
     assert!(replay
         .replay(&[Key::from_u32(99)], Epoch::NONE, SimTime::ZERO)
         .is_none());
+}
+
+/// Partial assembly: a request only partially covered by the cache is
+/// split into cached fragments at an anchor batch plus the keys to
+/// fetch upstream pinned at that batch; the client verifies each
+/// section against its own certified root.
+#[test]
+fn partial_assembly_combines_cached_and_upstream_sections() {
+    let p = two_batch_partition();
+    let mut pipeline = ReadPipeline::new(1024);
+    let verifier = p.verifier();
+    let mut replay: ReplayCache<TestHeader> = ReplayCache::new(1024, 8);
+    // The edge has only keys 1 and 2 cached (at batch 1).
+    let cached_keys = vec![Key::from_u32(1), Key::from_u32(2)];
+    replay.admit(&p.bundle(&mut pipeline, &cached_keys, BatchNum(1)));
+    // A 3-key request: 2 cached, 1 miss.
+    let keys = request_keys();
+    let Assembly::Partial { cached, missing } = replay.assemble(&keys, Epoch::NONE, SimTime::ZERO)
+    else {
+        panic!("2-of-3 coverage must assemble partially");
+    };
+    assert_eq!(cached.batch(), BatchNum(1));
+    assert_eq!(cached.reads.len(), 2);
+    assert_eq!(missing, vec![Key::from_u32(7)]);
+    assert_eq!(replay.stats.partial, 1);
+    // The upstream fill, pinned at the anchor batch.
+    let fill = p.bundle(&mut pipeline, &missing, BatchNum(1));
+    let sections = [cached.clone(), fill];
+    let values = verifier
+        .verify_assembled(
+            &p.keys,
+            ClusterId(0),
+            &sections,
+            &keys,
+            Epoch::NONE,
+            SimTime(2_500),
+        )
+        .expect("assembled response verifies end to end");
+    assert_eq!(values[0], (Key::from_u32(1), Some(Value::from("alpha-v2"))));
+    assert_eq!(values[1], (Key::from_u32(2), Some(Value::from("beta"))));
+    assert_eq!(values[2], (Key::from_u32(7), None));
+    // A tampered cached section is caught against its own root.
+    let mut forged = [sections[0].clone(), sections[1].clone()];
+    forged[0].reads[0].value = Some(Value::from("forged"));
+    assert_eq!(
+        verifier
+            .verify_assembled(
+                &p.keys,
+                ClusterId(0),
+                &forged,
+                &keys,
+                Epoch::NONE,
+                SimTime(2_500)
+            )
+            .unwrap_err(),
+        ReadRejection::ValueMismatch(Key::from_u32(1))
+    );
+    // Sections at different batches would permit torn reads: rejected.
+    let torn_fill = p.bundle(&mut pipeline, &[Key::from_u32(7)], BatchNum(0));
+    assert_eq!(
+        verifier
+            .verify_assembled(
+                &p.keys,
+                ClusterId(0),
+                &[cached.clone(), torn_fill],
+                &keys,
+                Epoch::NONE,
+                SimTime(2_500)
+            )
+            .unwrap_err(),
+        ReadRejection::TornAssembly {
+            anchor: BatchNum(1),
+            got: BatchNum(0)
+        }
+    );
+    // A key answered twice across sections is rejected.
+    let dup_fill = p.bundle(
+        &mut pipeline,
+        &[Key::from_u32(1), Key::from_u32(7)],
+        BatchNum(1),
+    );
+    assert_eq!(
+        verifier
+            .verify_assembled(
+                &p.keys,
+                ClusterId(0),
+                &[cached, dup_fill],
+                &keys,
+                Epoch::NONE,
+                SimTime(2_500)
+            )
+            .unwrap_err(),
+        ReadRejection::DuplicateKey(Key::from_u32(1))
+    );
+    // No sections at all is not a response.
+    assert_eq!(
+        verifier
+            .verify_assembled::<TestHeader>(
+                &p.keys,
+                ClusterId(0),
+                &[],
+                &keys,
+                Epoch::NONE,
+                SimTime(2_500)
+            )
+            .unwrap_err(),
+        ReadRejection::EmptyAssembly
+    );
+}
+
+/// The staleness floor interacts with partial assembly per key: when a
+/// key's only fresh-enough fragment set no longer covers the request,
+/// just the stale/missing keys are refreshed upstream — not the whole
+/// bundle.
+#[test]
+fn staleness_floor_refreshes_only_stale_keys() {
+    let p = two_batch_partition();
+    let mut pipeline = ReadPipeline::new(1024);
+    let mut replay: ReplayCache<TestHeader> = ReplayCache::new(1024, 8);
+    let k1 = Key::from_u32(1);
+    let k2 = Key::from_u32(2);
+    // Batch 0 (timestamp 1_000) cached both keys; batch 1 (timestamp
+    // 2_000) cached only key 1.
+    replay.admit(&p.bundle(&mut pipeline, &[k1.clone(), k2.clone()], BatchNum(0)));
+    replay.admit(&p.bundle(&mut pipeline, std::slice::from_ref(&k1), BatchNum(1)));
+    // Behind a floor both batches pass, the full batch-0 replay wins.
+    match replay.assemble(&[k1.clone(), k2.clone()], Epoch::NONE, SimTime(500)) {
+        Assembly::Full(bundle) => assert_eq!(bundle.batch(), BatchNum(0)),
+        other => panic!("full coverage at batch 0 expected, got {other:?}"),
+    }
+    // Once batch 0 ages past the floor, key 2's fragments are stale:
+    // the fresh batch 1 anchors, key 1 replays from cache, and ONLY
+    // key 2 goes upstream — an aging fragment is a per-key refresh, not
+    // a whole-bundle miss.
+    match replay.assemble(&[k1.clone(), k2.clone()], Epoch::NONE, SimTime(1_500)) {
+        Assembly::Partial { cached, missing } => {
+            assert_eq!(cached.batch(), BatchNum(1));
+            assert_eq!(cached.reads.len(), 1);
+            assert_eq!(cached.reads[0].key, k1);
+            assert_eq!(missing, vec![k2.clone()]);
+        }
+        other => panic!("stale fragments must be refreshed per key, got {other:?}"),
+    }
+    // Past every batch's timestamp: nothing usable, full pass.
+    assert!(matches!(
+        replay.assemble(&[k1, k2], Epoch::NONE, SimTime(2_500)),
+        Assembly::Miss
+    ));
+}
+
+/// Round-2 `min_epoch` fetches are satisfied from newer admitted
+/// batches — fully when one covers the keys, partially (pinned fetch
+/// for the rest) when it only covers some.
+#[test]
+fn round2_floor_served_from_newer_admitted_batches() {
+    let p = two_batch_partition();
+    let mut pipeline = ReadPipeline::new(1024);
+    let keys = vec![Key::from_u32(1), Key::from_u32(2)];
+    // Full coverage at the newer batch: a round-2 floor the old batch
+    // cannot reach (batch 0 has LCE = NONE, batch 1 has LCE = 0) is
+    // served entirely from batch 1.
+    let mut replay: ReplayCache<TestHeader> = ReplayCache::new(1024, 8);
+    replay.admit(&p.bundle(&mut pipeline, &keys, BatchNum(0)));
+    replay.admit(&p.bundle(&mut pipeline, &keys, BatchNum(1)));
+    match replay.assemble(&keys, Epoch(0), SimTime::ZERO) {
+        Assembly::Full(bundle) => assert_eq!(bundle.batch(), BatchNum(1)),
+        other => panic!("round-2 floor must be served from batch 1, got {other:?}"),
+    }
+    // A floor no admitted batch reaches still passes upstream.
+    assert!(matches!(
+        replay.assemble(&keys, Epoch(5), SimTime::ZERO),
+        Assembly::Miss
+    ));
+    // Partial coverage at the only floor-satisfying batch: anchor
+    // there, fetch the rest pinned — previously a whole-bundle miss.
+    let mut sparse: ReplayCache<TestHeader> = ReplayCache::new(1024, 8);
+    sparse.admit(&p.bundle(&mut pipeline, &keys, BatchNum(0)));
+    sparse.admit(&p.bundle(&mut pipeline, &keys[..1], BatchNum(1)));
+    match sparse.assemble(&keys, Epoch(0), SimTime::ZERO) {
+        Assembly::Partial { cached, missing } => {
+            assert_eq!(cached.batch(), BatchNum(1));
+            assert_eq!(missing, vec![Key::from_u32(2)]);
+        }
+        other => panic!("round-2 floor must anchor at batch 1, got {other:?}"),
+    }
 }
 
 #[test]

@@ -208,6 +208,11 @@ fn byzantine_edge_is_detected_and_evaded() {
         let mut config = DeploymentConfig::for_testing();
         config.latency = transedge::simnet::LatencyModel::paper_default();
         config.client.record_results = true;
+        // Disable byzantine demotion so the client keeps asking the
+        // lying edge: this test pins that *every* tampered response is
+        // rejected. Adaptive demotion/failover is pinned separately by
+        // `byzantine_edge_is_demoted_and_traffic_fails_over`.
+        config.client.selector.rejection_threshold = u32::MAX;
         // Cluster 0's edge lies; cluster 1's is honest.
         config.edge = EdgePlan::honest(1).with_byzantine(EdgeId::new(ClusterId(0), 0), behavior);
         let topo = config.topo.clone();
@@ -257,6 +262,137 @@ fn byzantine_edge_is_detected_and_evaded() {
             );
         }
     }
+}
+
+/// Partial assembly: a 3-key ROT whose keys are only partially cached
+/// at the edge is served as cached fragments plus a single pinned
+/// upstream fetch for the miss, and the assembled (multi-section)
+/// response verifies end to end. This is the acceptance scenario for
+/// the partial replay assembly path.
+#[test]
+fn partial_assembly_serves_partially_cached_requests() {
+    let mut config = DeploymentConfig::for_testing();
+    config.latency = transedge::simnet::LatencyModel::paper_default();
+    config.client.record_results = true;
+    config.edge = EdgePlan::honest(1);
+    let topo = config.topo.clone();
+    let k = keys_on(&topo, ClusterId(0), 3);
+    let two = vec![k[0].clone(), k[1].clone()];
+    let three = k.clone();
+    // Warm the edge with {a, b}, then ask for {a, b, c}: the edge has
+    // 2 of 3 keys cached and must fetch only `c` upstream, pinned at
+    // the cached anchor batch.
+    let mut script: Vec<ClientOp> = (0..3)
+        .map(|_| ClientOp::ReadOnly { keys: two.clone() })
+        .collect();
+    script.extend((0..5).map(|_| ClientOp::ReadOnly {
+        keys: three.clone(),
+    }));
+    let mut dep = Deployment::build(config, vec![script]);
+    dep.run_until_done(SimTime(600_000_000));
+
+    let client = dep.client(dep.client_ids[0]);
+    assert_eq!(client.stats.verification_failures, 0);
+    assert_eq!(client.stats.gave_up, 0);
+    assert!(
+        client.stats.assembled_accepted >= 1,
+        "the client must accept at least one multi-section assembled response"
+    );
+    assert_eq!(client.rot_results.len(), 8);
+    let expected = dep.data.clone();
+    for rot in &client.rot_results {
+        for (key, value) in &rot.values {
+            let want = expected.iter().find(|(x, _)| x == key).map(|(_, v)| v);
+            assert_eq!(
+                value.as_ref(),
+                want,
+                "verified value matches committed state"
+            );
+        }
+    }
+    let edge = dep.edge_node(EdgeId::new(ClusterId(0), 0));
+    let stats = edge.stats;
+    assert_eq!(
+        stats.partial_assembled, 1,
+        "exactly one request was partially covered (2 cached keys + 1 miss)"
+    );
+    assert_eq!(
+        stats.keys_fetched_upstream, 1,
+        "only the missing key goes upstream, not the whole request"
+    );
+    assert_eq!(stats.assembly_fallbacks, 0);
+    assert!(
+        stats.served_from_cache >= 5,
+        "warm requests (including post-assembly repeats) replay fully (got {})",
+        stats.served_from_cache
+    );
+    assert!(
+        stats.fragment_hit_rate() > 0.5,
+        "most keys must come from cached fragments (got {:.2})",
+        stats.fragment_hit_rate()
+    );
+}
+
+/// Adaptive routing: a byzantine edge is demoted by the client's
+/// `EdgeSelector` after its forgeries are rejected, traffic fails over
+/// to the honest edge (and replicas), and every transaction still
+/// completes with correct values.
+#[test]
+fn byzantine_edge_is_demoted_and_traffic_fails_over() {
+    let mut config = DeploymentConfig::for_testing();
+    config.client.record_results = true;
+    // Two edges front cluster 0: index 0 lies, index 1 is honest.
+    let byz = EdgeId::new(ClusterId(0), 0);
+    let honest = EdgeId::new(ClusterId(0), 1);
+    config.edge = EdgePlan::honest(2).with_byzantine(byz, EdgeBehavior::TamperValue);
+    let topo = config.topo.clone();
+    let k0 = keys_on(&topo, ClusterId(0), 2);
+    let ops = 20usize;
+    let script: Vec<ClientOp> = (0..ops)
+        .map(|_| ClientOp::ReadOnly { keys: k0.clone() })
+        .collect();
+    let mut dep = Deployment::build(config, vec![script]);
+    dep.run_until_done(SimTime(600_000_000));
+
+    let client = dep.client(dep.client_ids[0]);
+    // The forgeries were seen, rejected, and pinned on the edge...
+    assert!(client.stats.verification_failures >= 1);
+    let health = client
+        .edge_selector
+        .health(ClusterId(0), transedge::common::NodeId::Edge(byz))
+        .expect("byzantine edge is a registered target");
+    assert!(
+        health.demotions >= 1,
+        "the byzantine edge must be demoted (rejections {})",
+        health.total_rejections
+    );
+    // ...after which traffic continued elsewhere: the byzantine edge
+    // saw only the pre-demotion trickle while the honest edge carried
+    // the load.
+    let byz_node = dep.edge_node(byz);
+    let honest_node = dep.edge_node(honest);
+    assert!(
+        byz_node.stats.requests < ops as u64 / 2,
+        "demotion must starve the byzantine edge (got {} of {ops} requests)",
+        byz_node.stats.requests
+    );
+    assert!(
+        honest_node.stats.requests > byz_node.stats.requests,
+        "the honest edge must take over (honest {}, byzantine {})",
+        honest_node.stats.requests,
+        byz_node.stats.requests
+    );
+    // Correctness never degraded.
+    assert_eq!(client.stats.gave_up, 0);
+    assert_eq!(client.rot_results.len(), ops);
+    let expected = dep.data.clone();
+    for rot in &client.rot_results {
+        for (key, value) in &rot.values {
+            let want = expected.iter().find(|(x, _)| x == key).map(|(_, v)| v);
+            assert_eq!(value.as_ref(), want);
+        }
+    }
+    assert!(dep.samples().iter().all(|s| s.committed));
 }
 
 /// Commit-freedom: serving read-only transactions generates no
