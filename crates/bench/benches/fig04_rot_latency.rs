@@ -12,11 +12,16 @@
 use std::fmt::Write as _;
 
 use transedge_bench::support::*;
-use transedge_common::{EdgeId, SimTime};
+use transedge_common::{ClusterId, EdgeId, Key, SimTime};
 use transedge_core::client::ClientOp;
 use transedge_core::metrics::OpKind;
 use transedge_core::setup::{Deployment, EdgePlan};
+use transedge_crypto::ScanRange;
 use transedge_workload::WorkloadSpec;
+
+/// The deployment's tree depth — scan windows live in its `2^depth`
+/// leaf space.
+const TREE_DEPTH: u32 = transedge_core::node::DEFAULT_TREE_DEPTH;
 
 struct ClusterRow {
     clusters: usize,
@@ -132,6 +137,85 @@ fn edge_partial_assembly(scale: Scale) -> PartialAssemblyResult {
     }
 }
 
+/// Verified range scans through the edge tier: a wide aligned window is
+/// scanned repeatedly (cold forwards once, warm replays from the edge's
+/// per-(range, batch) scan cache), then a narrower sub-window rides the
+/// cached wider proof (overlap-aware covering reuse — the client
+/// verifies the wide window's completeness and filters).
+struct ScanExperimentResult {
+    requests: u64,
+    from_cache: u64,
+    forwarded: u64,
+    covered_by_wider: u64,
+    mean_rows: f64,
+    cold_ms: f64,
+    warm_ms: f64,
+    hit_rate: f64,
+}
+
+fn edge_scan_workload(scale: Scale) -> ScanExperimentResult {
+    let mut config = experiment_config(scale);
+    config.edge = EdgePlan::honest(1);
+    config.client.record_results = true;
+    let topo = config.topo.clone();
+    // An aligned 512-bucket window of cluster 0's tree order that is
+    // guaranteed to contain preloaded keys.
+    let key = (0u32..config.n_keys)
+        .map(Key::from_u32)
+        .find(|k| topo.partition_of(k) == ClusterId(0))
+        .expect("cluster 0 holds keys");
+    let start = {
+        let b = ScanRange::bucket_of(&key, TREE_DEPTH);
+        b - (b % 512)
+    };
+    let wide = ScanRange::new(start, start + 511);
+    let narrow = ScanRange::new(start + 64, start + 255);
+    let rounds = scale.pick(10, 50);
+    let mut script: Vec<ClientOp> = (0..rounds)
+        .map(|_| ClientOp::RangeScan {
+            cluster: ClusterId(0),
+            range: wide,
+        })
+        .collect();
+    script.extend((0..rounds).map(|_| ClientOp::RangeScan {
+        cluster: ClusterId(0),
+        range: narrow,
+    }));
+    let mut dep = Deployment::build(config, vec![script]);
+    dep.run_until_done(SimTime(3_600_000_000));
+    let client = dep.client(dep.client_ids[0]);
+    assert_eq!(client.stats.verification_failures, 0);
+    assert_eq!(client.stats.scans_accepted, 2 * rounds as u64);
+    let lats: Vec<f64> = client
+        .samples
+        .iter()
+        .filter(|s| s.kind == OpKind::RangeScan)
+        .map(|s| s.latency().as_micros() as f64 / 1_000.0)
+        .collect();
+    let mean_rows = client
+        .scan_results
+        .iter()
+        .map(|r| r.rows.len() as f64)
+        .sum::<f64>()
+        / client.scan_results.len().max(1) as f64;
+    let edge = dep.edge_node(EdgeId::new(ClusterId(0), 0));
+    let stats = edge.stats;
+    ScanExperimentResult {
+        requests: stats.scan_requests,
+        from_cache: stats.scans_from_cache,
+        forwarded: stats.scans_forwarded,
+        covered_by_wider: client.stats.scans_covered_by_wider,
+        mean_rows,
+        cold_ms: lats[0],
+        warm_ms: lats[1..].iter().sum::<f64>() / (lats.len() - 1).max(1) as f64,
+        hit_rate: if stats.scan_requests == 0 {
+            0.0
+        } else {
+            stats.scans_from_cache as f64 / stats.scan_requests as f64
+        },
+    }
+}
+
 fn main() {
     let scale = Scale::detect();
     banner(
@@ -210,15 +294,34 @@ fn main() {
         pa.upstream_keys.to_string(),
     ]);
 
+    // Verified range scans: cold/warm through the edge scan cache,
+    // plus covering reuse of a cached wider window.
+    println!();
+    println!("  verified range scans (wide window, then covered sub-window):");
+    let scan = edge_scan_workload(scale);
+    header(&["cold", "warm", "hit rate", "covered", "rows/scan"]);
+    row(&[
+        fmt_ms(scan.cold_ms),
+        fmt_ms(scan.warm_ms),
+        fmt_pct(scan.hit_rate * 100.0),
+        scan.covered_by_wider.to_string(),
+        format!("{:.1}", scan.mean_rows),
+    ]);
+
     paper_reference(&[
         "2PC/BFT:   ~12 ms at 1 cluster, 69–82 ms at 2–5 clusters",
         "TransEdge: ~1–8 ms across 1–5 clusters",
         "speedup:   24x at 2 clusters down to 9x at 5 clusters",
+        "scans:     extension query type (no paper counterpart)",
     ]);
 
     // Machine-readable summary for trajectory tracking across PRs.
     let mut json = String::new();
     json.push_str("{\n  \"figure\": \"fig04_rot_latency\",\n");
+    // Bump when a metrics block is added/renamed so `scripts/
+    // validate_bench.sh` (and any trajectory tooling) can tell schemas
+    // apart. 2 = added the `scan` block.
+    json.push_str("  \"schema_version\": 2,\n");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -245,7 +348,7 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"partial_assembly\": {{\"requests\": {}, \"partial\": {}, \"full_replays\": {}, \"forwarded\": {}, \"fragment_hit_rate\": {:.4}, \"upstream_keys\": {}, \"assembled_accepted\": {}}}",
+        "  \"partial_assembly\": {{\"requests\": {}, \"partial\": {}, \"full_replays\": {}, \"forwarded\": {}, \"fragment_hit_rate\": {:.4}, \"upstream_keys\": {}, \"assembled_accepted\": {}}},",
         pa.requests,
         pa.partial,
         pa.full_replays,
@@ -253,6 +356,18 @@ fn main() {
         pa.fragment_hit_rate,
         pa.upstream_keys,
         pa.assembled_accepted
+    );
+    let _ = writeln!(
+        json,
+        "  \"scan\": {{\"requests\": {}, \"from_cache\": {}, \"forwarded\": {}, \"covered_by_wider\": {}, \"mean_rows\": {:.2}, \"cold_ms\": {:.4}, \"warm_ms\": {:.4}, \"hit_rate\": {:.4}}}",
+        scan.requests,
+        scan.from_cache,
+        scan.forwarded,
+        scan.covered_by_wider,
+        scan.mean_rows,
+        scan.cold_ms,
+        scan.warm_ms,
+        scan.hit_rate
     );
     json.push_str("}\n");
     // Anchor at the workspace root regardless of bench CWD.

@@ -15,14 +15,14 @@ use transedge_common::{
     BatchNum, ClientId, ClusterId, ClusterTopology, Epoch, Key, NodeId, ReplicaId, SimDuration,
     SimTime, TxnId, Value,
 };
-use transedge_crypto::KeyStore;
+use transedge_crypto::{KeyStore, ScanRange};
 use transedge_edge::{ReadVerifier, VerifyParams};
 use transedge_simnet::{Actor, Context};
 
 use crate::batch::{ReadOp, Transaction, WriteOp};
 use crate::deps::{verify_dependencies, RotView};
 use crate::edge_select::{EdgeSelector, EdgeSelectorConfig};
-use crate::messages::{NetMsg, RotBundle};
+use crate::messages::{NetMsg, RotBundle, RotScanBundle};
 use crate::metrics::{OpKind, TxnSample};
 
 /// One scripted client operation.
@@ -35,6 +35,15 @@ pub enum ClientOp {
     },
     /// Snapshot read-only transaction over `keys`.
     ReadOnly { keys: Vec<Key> },
+    /// Verified range scan: every committed row in a contiguous window
+    /// of `cluster`'s tree order, with a completeness proof so an
+    /// untrusted server cannot silently omit rows. Single-partition and
+    /// single-round (`rot_via_2pc` does not apply — scans are a
+    /// TransEdge-only query type).
+    RangeScan {
+        cluster: ClusterId,
+        range: ScanRange,
+    },
 }
 
 /// Client-side configuration (verification parameters must match the
@@ -92,6 +101,19 @@ pub struct RotResult {
     pub needed_round2: bool,
 }
 
+/// Completed verified range scan (when `record_results`).
+#[derive(Clone, Debug)]
+pub struct ScanResult {
+    pub cluster: ClusterId,
+    /// The range the client requested (the proven window may have been
+    /// wider; `rows` is already filtered to this range).
+    pub range: ScanRange,
+    /// Batch the scan snapshots.
+    pub batch: BatchNum,
+    /// Verified rows, ascending in tree order.
+    pub rows: Vec<(Key, Value)>,
+}
+
 /// Completed read-write transaction result (when `record_results`).
 #[derive(Clone, Debug)]
 pub struct TxnOutcome {
@@ -137,6 +159,13 @@ enum Phase {
         /// Required minimum epoch per cluster in round 2.
         required: HashMap<ClusterId, Epoch>,
     },
+    ScanRound {
+        cluster: ClusterId,
+        range: ScanRange,
+        /// req id → where the request went (one live entry; retries
+        /// after rejections swap it).
+        outstanding: HashMap<u64, RotPending>,
+    },
 }
 
 struct Inflight {
@@ -160,6 +189,11 @@ pub struct ClientStats {
     pub gave_up: u64,
     /// Assembled (multi-section) responses accepted from edge nodes.
     pub assembled_accepted: u64,
+    /// Verified range scans accepted.
+    pub scans_accepted: u64,
+    /// Accepted scans whose proven window was wider than the request —
+    /// an edge served a covering cached window and the client filtered.
+    pub scans_covered_by_wider: u64,
 }
 
 /// The client actor.
@@ -181,6 +215,7 @@ pub struct ClientActor {
     pending_writes: Vec<(Key, Value)>,
     pub samples: Vec<TxnSample>,
     pub rot_results: Vec<RotResult>,
+    pub scan_results: Vec<ScanResult>,
     pub txn_outcomes: Vec<TxnOutcome>,
     pub stats: ClientStats,
 }
@@ -216,6 +251,7 @@ impl ClientActor {
             pending_writes: Vec::new(),
             samples: Vec::new(),
             rot_results: Vec::new(),
+            scan_results: Vec::new(),
             txn_outcomes: Vec::new(),
             stats: ClientStats::default(),
         }
@@ -370,6 +406,32 @@ impl ClientActor {
                         keys_by_cluster,
                         round1_done_at: None,
                         required: HashMap::new(),
+                    },
+                });
+                ctx.set_timer(self.config.retry_after, op_index as u64 + TIMER_BASE);
+            }
+            ClientOp::RangeScan { cluster, range } => {
+                let req = self.req_id();
+                let target = self.rot_target(cluster, ctx.now());
+                let mut outstanding = HashMap::new();
+                outstanding.insert(
+                    req,
+                    RotPending {
+                        cluster,
+                        target,
+                        sent_at: ctx.now(),
+                    },
+                );
+                ctx.send(target, NetMsg::RotScan { req, range });
+                self.inflight = Some(Inflight {
+                    op_index,
+                    kind: OpKind::RangeScan,
+                    start: ctx.now(),
+                    attempts: 0,
+                    phase: Phase::ScanRound {
+                        cluster,
+                        range,
+                        outstanding,
                     },
                 });
                 ctx.set_timer(self.config.retry_after, op_index as u64 + TIMER_BASE);
@@ -718,6 +780,128 @@ impl ClientActor {
         self.inflight = Some(inflight);
     }
 
+    /// A verified-scan response arrived: check the completeness chain
+    /// (certificate → freshness → coverage → range proof → row match)
+    /// and finish the op, or blame the target and re-ask a real replica
+    /// — exactly the byzantine-evasion pattern of point reads.
+    fn on_scan_response(&mut self, req: u64, bundle: RotScanBundle, ctx: &mut Context<'_, NetMsg>) {
+        let now = ctx.now();
+        let Some(mut inflight) = self.inflight.take() else {
+            return;
+        };
+        let Phase::ScanRound {
+            cluster,
+            range,
+            mut outstanding,
+        } = inflight.phase
+        else {
+            self.inflight = Some(inflight);
+            return;
+        };
+        let Some(pending) = outstanding.get(&req).copied() else {
+            // Late duplicate — ignore.
+            inflight.phase = Phase::ScanRound {
+                cluster,
+                range,
+                outstanding,
+            };
+            self.inflight = Some(inflight);
+            return;
+        };
+        // One certificate verification plus one hash per leaf of the
+        // proven window (the verifier recomputes every leaf, empty ones
+        // included — that is what makes the scan complete). The claimed
+        // window is *attacker-controlled* and unvalidated at this point,
+        // so compute its width saturating and cap it at the protocol
+        // maximum — the verifier rejects anything wider before hashing,
+        // so that is also the most work an honest client ever does.
+        ctx.charge(|c| {
+            let claimed = &bundle.scan.range;
+            let width = claimed
+                .last
+                .saturating_sub(claimed.first)
+                .saturating_add(1)
+                .min(transedge_crypto::range::MAX_RANGE_BUCKETS);
+            SimDuration(
+                c.ed25519_verify.0 * bundle.cert.sigs.len() as u64 + c.merkle_verify.0 * width,
+            )
+        });
+        let proven_wider = bundle.scan.range != range;
+        match self.read_verifier().verify_scan(
+            &self.keys,
+            cluster,
+            &bundle,
+            &range,
+            Epoch::NONE,
+            now,
+        ) {
+            Ok(rows) => {
+                if matches!(pending.target, NodeId::Edge(_)) {
+                    self.edge_selector.record_success(
+                        cluster,
+                        pending.target,
+                        now.saturating_since(pending.sent_at),
+                    );
+                }
+                self.stats.scans_accepted += 1;
+                if proven_wider {
+                    self.stats.scans_covered_by_wider += 1;
+                }
+                self.samples.push(TxnSample {
+                    kind: OpKind::RangeScan,
+                    start: inflight.start,
+                    end: now,
+                    committed: true,
+                    rot_round2: false,
+                    round1_latency: None,
+                });
+                if self.config.record_results {
+                    self.scan_results.push(ScanResult {
+                        cluster,
+                        range,
+                        batch: bundle.batch(),
+                        rows,
+                    });
+                }
+                self.inflight = None;
+                self.start_next_op(ctx);
+            }
+            Err(_rejection) => {
+                // Incomplete, torn, or forged: blame the target
+                // (demoting a byzantine edge) and re-ask a real replica.
+                self.stats.verification_failures += 1;
+                if matches!(pending.target, NodeId::Edge(_)) {
+                    self.edge_selector
+                        .record_rejection(cluster, pending.target, now);
+                }
+                outstanding.remove(&req);
+                let retry_req = self.req_id();
+                let target = self.any_replica_of(cluster);
+                outstanding.insert(
+                    retry_req,
+                    RotPending {
+                        cluster,
+                        target,
+                        sent_at: now,
+                    },
+                );
+                ctx.send(
+                    target,
+                    NetMsg::RotScan {
+                        req: retry_req,
+                        range,
+                    },
+                );
+                inflight.phase = Phase::ScanRound {
+                    cluster,
+                    range,
+                    outstanding,
+                };
+                self.inflight = Some(inflight);
+            }
+        }
+    }
+
     fn finish_rw(&mut self, txn: TxnId, committed: bool, ctx: &mut Context<'_, NetMsg>) {
         let Some(inflight) = self.inflight.take() else {
             return;
@@ -795,6 +979,9 @@ impl Actor<NetMsg> for ClientActor {
             }
             NetMsg::RotAssembled { req, sections } => {
                 self.on_rot_response(req, sections, ctx);
+            }
+            NetMsg::ScanProof { req, bundle } => {
+                self.on_scan_response(req, bundle, ctx);
             }
             _ => {}
         }
@@ -900,6 +1087,31 @@ impl Actor<NetMsg> for ClientActor {
                     pending.target = target;
                     pending.sent_at = now;
                     sends.push((target, msg));
+                }
+            }
+            Phase::ScanRound {
+                range, outstanding, ..
+            } => {
+                for (req, pending) in outstanding.iter_mut() {
+                    if matches!(pending.target, NodeId::Edge(_)) {
+                        self.edge_selector
+                            .record_failure(pending.cluster, pending.target, now);
+                    }
+                    // Retries rotate over real replicas, as for ROTs.
+                    let n = self.topo.replicas_per_cluster() as u32;
+                    let target = NodeId::Replica(ReplicaId::new(
+                        pending.cluster,
+                        (inflight.attempts % n) as u16,
+                    ));
+                    pending.target = target;
+                    pending.sent_at = now;
+                    sends.push((
+                        target,
+                        NetMsg::RotScan {
+                            req: *req,
+                            range: *range,
+                        },
+                    ));
                 }
             }
         }

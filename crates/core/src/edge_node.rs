@@ -19,12 +19,12 @@ use std::collections::HashMap;
 use transedge_common::{
     ClusterTopology, EdgeId, Epoch, Key, NodeId, ReplicaId, SimDuration, SimTime,
 };
-use transedge_crypto::Digest;
+use transedge_crypto::{Digest, ScanRange};
 use transedge_edge::{Assembly, ReplayCache};
 use transedge_simnet::{Actor, Context};
 
 use crate::batch::CommittedHeader;
-use crate::messages::{NetMsg, RotBundle};
+use crate::messages::{NetMsg, RotBundle, RotScanBundle};
 
 /// How the edge node treats the responses it serves.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -42,6 +42,12 @@ pub enum EdgeBehavior {
     /// certificate (clients reject the certificate over the recomputed
     /// digest).
     StaleRoot,
+    /// Silently drop one answer: a read from a point-read bundle, a row
+    /// from a scan. The scan case is the attack completeness proofs
+    /// exist for — every surviving row still verifies individually, so
+    /// only `ReadVerifier::verify_scan`'s row-count-versus-proof check
+    /// catches it.
+    OmitKey,
 }
 
 /// Serving counters for the harnesses.
@@ -67,6 +73,13 @@ pub struct EdgeNodeStats {
     pub keys_from_cache: u64,
     /// Keys fetched upstream by partial assemblies (the misses only).
     pub keys_fetched_upstream: u64,
+    /// Range-scan requests received.
+    pub scan_requests: u64,
+    /// Scans answered from the replay cache (including covering reuse
+    /// of a cached wider window).
+    pub scans_from_cache: u64,
+    /// Scans forwarded upstream to a replica.
+    pub scans_forwarded: u64,
     /// Responses deliberately corrupted (byzantine modes).
     pub tampered: u64,
 }
@@ -176,8 +189,65 @@ impl EdgeReadNode {
                 bundle.commitment.header.merkle_root = Digest([0xDE; 32]);
                 self.stats.tampered += 1;
             }
+            EdgeBehavior::OmitKey => {
+                if !bundle.reads.is_empty() {
+                    bundle.reads.remove(0);
+                    self.stats.tampered += 1;
+                }
+            }
         }
         bundle
+    }
+
+    /// Apply this node's byzantine behaviour to an outgoing scan.
+    fn corrupt_scan(&mut self, mut bundle: RotScanBundle) -> RotScanBundle {
+        match self.behavior {
+            EdgeBehavior::Honest => {}
+            EdgeBehavior::TamperValue => {
+                if let Some((_, value)) = bundle.scan.rows.first_mut() {
+                    *value = transedge_common::Value::from("forged-by-edge");
+                    self.stats.tampered += 1;
+                }
+            }
+            EdgeBehavior::ForgeProof => {
+                let proof = &mut bundle.scan.proof;
+                if let Some((_, entries)) = proof.occupied.first_mut() {
+                    entries[0].value_hash.0[0] ^= 0xFF;
+                } else if let Some(sibling) = proof.left.first_mut() {
+                    sibling.0[0] ^= 0xFF;
+                } else if let Some(sibling) = proof.right.first_mut() {
+                    sibling.0[0] ^= 0xFF;
+                }
+                self.stats.tampered += 1;
+            }
+            EdgeBehavior::StaleRoot => {
+                bundle.commitment.header.merkle_root = Digest([0xDE; 32]);
+                self.stats.tampered += 1;
+            }
+            EdgeBehavior::OmitKey => {
+                // The completeness attack: drop a row but keep the
+                // honest proof. Every surviving row still verifies —
+                // only the verifier's rows-versus-proof count check
+                // catches the hole.
+                if !bundle.scan.rows.is_empty() {
+                    let mid = bundle.scan.rows.len() / 2;
+                    bundle.scan.rows.remove(mid);
+                    self.stats.tampered += 1;
+                }
+            }
+        }
+        bundle
+    }
+
+    fn respond_scan(
+        &mut self,
+        to: NodeId,
+        req: u64,
+        bundle: RotScanBundle,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        let bundle = self.corrupt_scan(bundle);
+        ctx.send(to, NetMsg::ScanProof { req, bundle });
     }
 
     fn respond(&mut self, to: NodeId, req: u64, bundle: RotBundle, ctx: &mut Context<'_, NetMsg>) {
@@ -297,6 +367,54 @@ impl EdgeReadNode {
         }
     }
 
+    /// Serve a scan from the replay cache (any cached window covering
+    /// the request, under the same staleness floor as point replays) or
+    /// forward it upstream, absorbing the certified answer on the way
+    /// back.
+    fn on_scan_request(
+        &mut self,
+        from: NodeId,
+        req: u64,
+        range: ScanRange,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        self.stats.scan_requests += 1;
+        let freshness_floor = SimTime(
+            ctx.now()
+                .as_micros()
+                .saturating_sub(self.replay_staleness.as_micros()),
+        );
+        if let Some(bundle) = self.cache.replay_scan(&range, Epoch::NONE, freshness_floor) {
+            self.stats.scans_from_cache += 1;
+            self.respond_scan(from, req, bundle, ctx);
+            return;
+        }
+        self.stats.scans_forwarded += 1;
+        let upstream_req = self.track_pending(PendingRequest {
+            client: from,
+            client_req: req,
+            partial: None,
+        });
+        let upstream = self.upstream();
+        ctx.send(
+            upstream,
+            NetMsg::RotScan {
+                req: upstream_req,
+                range,
+            },
+        );
+    }
+
+    fn on_upstream_scan(&mut self, req: u64, bundle: RotScanBundle, ctx: &mut Context<'_, NetMsg>) {
+        // Absorb the certified window regardless of who asked; a
+        // byzantine edge still caches honestly and lies on the way out.
+        self.cache.admit_scan(&bundle);
+        let Some(pending) = self.pending.remove(&req) else {
+            return; // duplicate or late upstream answer
+        };
+        self.respond_scan(pending.client, pending.client_req, bundle, ctx);
+    }
+
     fn on_upstream_response(&mut self, req: u64, bundle: RotBundle, ctx: &mut Context<'_, NetMsg>) {
         // Absorb the certified fragments regardless of who asked; a
         // byzantine edge still caches honestly and lies on the way out.
@@ -341,7 +459,9 @@ impl Actor<NetMsg> for EdgeReadNode {
                 keys,
                 min_epoch,
             } => self.on_read_request(from, req, keys, min_epoch, ctx),
+            NetMsg::RotScan { req, range } => self.on_scan_request(from, req, range, ctx),
             NetMsg::RotResponse { req, bundle } => self.on_upstream_response(req, bundle, ctx),
+            NetMsg::ScanProof { req, bundle } => self.on_upstream_scan(req, bundle, ctx),
             // Edge nodes take part in nothing else.
             _ => {}
         }

@@ -583,6 +583,27 @@ impl transedge_edge::SnapshotSource for Executor {
     fn prove_at(&self, key: &Key, batch: BatchNum) -> transedge_crypto::MerkleProof {
         self.tree.prove_at(key, batch.0)
     }
+
+    fn rows_at(
+        &self,
+        range: &transedge_crypto::ScanRange,
+        batch: BatchNum,
+    ) -> Vec<(Key, transedge_common::Value)> {
+        // The store's tree-order index narrows straight to the window —
+        // O(log keys + rows), not an O(keys) cut walk.
+        self.store
+            .range_at(range.digest_bounds(self.tree.depth()), batch)
+            .map(|(k, v)| (k.clone(), v.value.clone()))
+            .collect()
+    }
+
+    fn prove_range(
+        &self,
+        range: &transedge_crypto::ScanRange,
+        batch: BatchNum,
+    ) -> transedge_crypto::RangeProof {
+        self.tree.prove_range(range, batch.0)
+    }
 }
 
 #[cfg(test)]

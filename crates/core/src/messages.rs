@@ -3,8 +3,8 @@
 
 use transedge_common::{BatchNum, ClusterId, Epoch, Key, SimTime, TxnId, Value};
 use transedge_consensus::{BftMsg, Certificate};
-use transedge_crypto::Signature;
-use transedge_edge::{ProofBundle, ProvenRead};
+use transedge_crypto::{ScanRange, Signature};
+use transedge_edge::{ProofBundle, ProvenRead, ScanBundle};
 use transedge_simnet::SimMessage;
 
 use crate::batch::{Batch, BatchHeader, CommittedHeader, Transaction};
@@ -18,6 +18,10 @@ pub type RotValue = ProvenRead;
 /// A complete proof-carrying read-only response: certified header,
 /// consensus certificate, and per-key proven reads.
 pub type RotBundle = ProofBundle<CommittedHeader>;
+
+/// A complete proof-carrying range-scan response: certified header,
+/// consensus certificate, and the completeness-proven window.
+pub type RotScanBundle = ScanBundle<CommittedHeader>;
 
 /// A participant's 2PC vote returned to the coordinator (§3.3.3).
 #[derive(Clone, Debug)]
@@ -124,6 +128,18 @@ pub enum NetMsg {
     /// and certificate. Clients verify each section against its own
     /// certified root (`ReadVerifier::verify_assembled`).
     RotAssembled { req: u64, sections: Vec<RotBundle> },
+    /// Verified range-scan request: all committed rows in a contiguous
+    /// window of the partition's *tree order* (Merkle bucket indices),
+    /// served at the latest snapshot. Any untrusted node — replica or
+    /// edge cache — may answer; the client requires a completeness
+    /// proof, so omitted rows are detected, not just tampered ones.
+    RotScan { req: u64, range: ScanRange },
+    /// Range-scan response: the certified batch header, the `f+1`
+    /// consensus certificate, and the proof-carrying window. The proven
+    /// window may be *wider* than the requested range (an edge replaying
+    /// a cached scan); clients verify the proven window and filter
+    /// (`ReadVerifier::verify_scan`).
+    ScanProof { req: u64, bundle: RotScanBundle },
 
     // ---- intra-cluster ----------------------------------------------
     /// Consensus traffic.
@@ -179,6 +195,8 @@ impl NetMsg {
             NetMsg::RotFetchAt { .. } => "rot-fetch-at",
             NetMsg::RotResponse { .. } => "rot-response",
             NetMsg::RotAssembled { .. } => "rot-assembled",
+            NetMsg::RotScan { .. } => "rot-scan",
+            NetMsg::ScanProof { .. } => "scan-proof",
             NetMsg::Bft(m) => m.kind(),
             NetMsg::SegmentSigs { .. } => "segment-sigs",
             NetMsg::SigResend { .. } => "sig-resend",
@@ -308,6 +326,13 @@ impl SimMessage for NetMsg {
             NetMsg::RotResponse { bundle, .. } => rot_bundle_size(bundle),
             NetMsg::RotAssembled { sections, .. } => {
                 8 + sections.iter().map(rot_bundle_size).sum::<usize>()
+            }
+            NetMsg::RotScan { .. } => 28,
+            NetMsg::ScanProof { bundle, .. } => {
+                header_size(&bundle.commitment.header)
+                    + 32
+                    + cert_size(&bundle.cert)
+                    + bundle.scan.encoded_len()
             }
             NetMsg::Bft(m) => bft_size(m),
             NetMsg::SegmentSigs {

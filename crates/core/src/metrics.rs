@@ -12,6 +12,8 @@ pub enum OpKind {
     LocalReadWrite,
     DistributedReadWrite,
     ReadOnly,
+    /// Verified range scan over one partition's tree order.
+    RangeScan,
 }
 
 /// One finished client operation.

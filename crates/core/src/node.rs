@@ -26,6 +26,13 @@ use crate::records::{prepared_statement, CommitEvidence, CommitRecord, Outcome, 
 const TOKEN_BATCH: u64 = 1;
 const TOKEN_PROGRESS: u64 = 2;
 
+/// Default Merkle tree depth (`2^depth` buckets). The single source of
+/// truth for the deployment's leaf space — workload generators and
+/// harnesses that build scan windows reference this rather than
+/// hand-mirroring the number (a mismatched depth makes replicas drop
+/// every scan as out-of-range, which surfaces only as client give-ups).
+pub const DEFAULT_TREE_DEPTH: u32 = 16;
+
 /// Per-node protocol configuration.
 #[derive(Clone, Debug)]
 pub struct NodeConfig {
@@ -48,7 +55,7 @@ impl Default for NodeConfig {
             max_batch_size: 2000,
             leader_timeout: SimDuration::from_millis(400),
             freshness_window: SimDuration::from_secs(30),
-            tree_depth: 16,
+            tree_depth: DEFAULT_TREE_DEPTH,
         }
     }
 }
@@ -95,6 +102,12 @@ pub struct NodeStats {
     /// Edge partial-assembly fills served pinned at the requested
     /// batch.
     pub rot_pinned_served: u64,
+    /// Verified range scans served (with completeness proofs).
+    pub rot_scans_served: u64,
+    /// Scan requests dropped for an invalid range (out of the leaf
+    /// space or wider than the protocol cap) — client-side bug or a
+    /// malformed forward; never served, never parked.
+    pub rot_scans_rejected: u64,
     pub view_changes: u64,
 }
 
@@ -127,6 +140,8 @@ pub struct TransEdgeNode {
     sigs: SigAggregation,
     // ---- read-only ----
     pending_fetches: Vec<(NodeId, u64, Vec<Key>, Epoch)>,
+    /// Scans arriving before the first batch lands, parked like fetches.
+    pending_scans: Vec<(NodeId, u64, transedge_crypto::ScanRange)>,
     /// The edge read subsystem's serving pipeline: proof assembly with
     /// a per-`(key, batch)` cache.
     pub read_pipeline: ReadPipeline,
@@ -180,6 +195,7 @@ impl TransEdgeNode {
             voted: HashSet::new(),
             sigs: SigAggregation::default(),
             pending_fetches: Vec::new(),
+            pending_scans: Vec::new(),
             read_pipeline: ReadPipeline::default(),
             last_progress_check: 0,
             forwarded_since_check: false,
@@ -994,6 +1010,63 @@ impl TransEdgeNode {
         }
     }
 
+    /// Serve a verified range scan pinned at `at_batch`: rows from the
+    /// store's tree-order index plus the Merkle completeness proof,
+    /// both memoised per `(range, batch)` by the read pipeline.
+    fn respond_scan(
+        &mut self,
+        to: NodeId,
+        req: u64,
+        range: &transedge_crypto::ScanRange,
+        at_batch: BatchNum,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        let Some((batch, cert)) = self.engine.log().get(at_batch) else {
+            return;
+        };
+        let commitment = CommittedHeader::of(batch);
+        let cert = cert.clone();
+        let misses_before = self.read_pipeline.scan_stats().misses;
+        let scan = self.read_pipeline.serve_scan(&self.exec, range, at_batch);
+        let misses = self.read_pipeline.scan_stats().misses - misses_before;
+        // A cold scan proof hashes every leaf of the window.
+        ctx.charge(|c| SimDuration(c.merkle_prove.0 * misses * range.width()));
+        ctx.send(
+            to,
+            NetMsg::ScanProof {
+                req,
+                bundle: transedge_edge::ScanBundle {
+                    commitment,
+                    cert,
+                    scan,
+                },
+            },
+        );
+    }
+
+    fn on_rot_scan(
+        &mut self,
+        from: NodeId,
+        req: u64,
+        range: transedge_crypto::ScanRange,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        if !range.is_valid_for_depth(self.config.tree_depth) {
+            // Never serve (or park) a malformed window: an honest
+            // client cannot have sent it.
+            self.stats.rot_scans_rejected += 1;
+            return;
+        }
+        let applied = self.exec.applied_batches();
+        if applied == 0 {
+            // Nothing committed yet: park until the first batch lands.
+            self.pending_scans.push((from, req, range));
+            return;
+        }
+        self.stats.rot_scans_served += 1;
+        self.respond_scan(from, req, &range, BatchNum(applied - 1), ctx);
+    }
+
     fn on_rot_fetch(
         &mut self,
         from: NodeId,
@@ -1018,7 +1091,18 @@ impl TransEdgeNode {
     }
 
     fn serve_parked_fetches(&mut self, ctx: &mut Context<'_, NetMsg>) {
-        if self.pending_fetches.is_empty() || self.exec.applied_batches() == 0 {
+        if self.exec.applied_batches() == 0 {
+            return;
+        }
+        if !self.pending_scans.is_empty() {
+            let latest = BatchNum(self.exec.applied_batches() - 1);
+            let parked = std::mem::take(&mut self.pending_scans);
+            for (to, req, range) in parked {
+                self.stats.rot_scans_served += 1;
+                self.respond_scan(to, req, &range, latest, ctx);
+            }
+        }
+        if self.pending_fetches.is_empty() {
             return;
         }
         let parked = std::mem::take(&mut self.pending_fetches);
@@ -1160,6 +1244,7 @@ impl Actor<NetMsg> for TransEdgeNode {
                 at_batch,
                 min_epoch,
             } => self.on_rot_fetch_at(from, req, keys, all_keys, at_batch, min_epoch, ctx),
+            NetMsg::RotScan { req, range } => self.on_rot_scan(from, req, range, ctx),
             NetMsg::Bft(msg) => {
                 let Some(replica) = from.as_replica() else {
                     return; // consensus traffic must come from replicas
@@ -1203,7 +1288,8 @@ impl Actor<NetMsg> for TransEdgeNode {
             NetMsg::ReadResp { .. }
             | NetMsg::TxnResult { .. }
             | NetMsg::RotResponse { .. }
-            | NetMsg::RotAssembled { .. } => {}
+            | NetMsg::RotAssembled { .. }
+            | NetMsg::ScanProof { .. } => {}
         }
     }
 

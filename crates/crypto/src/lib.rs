@@ -15,6 +15,9 @@
 //! * [`merkle`] — the bucketed sparse Merkle tree TransEdge uses as its
 //!   Authenticated Data Structure (ADS), with inclusion and
 //!   non-inclusion proofs.
+//! * [`range`] — contiguous-leaf *completeness* proofs over the tree
+//!   order, so a verified scan can detect an untrusted server omitting
+//!   rows from a window.
 //! * [`keys`] — key material and the per-deployment key registry.
 //!
 //! ## Security disclaimer
@@ -30,6 +33,7 @@ pub mod hmac;
 pub mod keys;
 pub mod merkle;
 pub mod merkle_versioned;
+pub mod range;
 pub mod sha2;
 
 pub use digest::Digest;
@@ -37,6 +41,7 @@ pub use ed25519::{Keypair, PublicKey, Signature};
 pub use keys::KeyStore;
 pub use merkle::{MerkleProof, MerkleTree};
 pub use merkle_versioned::VersionedMerkleTree;
+pub use range::{verify_range_proof, RangeProof, ScanRange};
 pub use sha2::{sha256, sha512, Sha256, Sha512};
 
 /// Domain-separated hash of a wire-encodable structure.

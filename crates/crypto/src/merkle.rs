@@ -388,7 +388,7 @@ pub fn verify_proof(root: &Digest, depth: u32, key: &Key, proof: &MerkleProof) -
     })
 }
 
-fn hash_leaf(entries: &[BucketEntry]) -> Digest {
+pub(crate) fn hash_leaf(entries: &[BucketEntry]) -> Digest {
     let mut h = Sha256::new();
     h.update(&[TAG_LEAF]);
     h.update(&(entries.len() as u32).to_le_bytes());
@@ -399,7 +399,7 @@ fn hash_leaf(entries: &[BucketEntry]) -> Digest {
     h.finalize()
 }
 
-fn hash_node(left: &Digest, right: &Digest) -> Digest {
+pub(crate) fn hash_node(left: &Digest, right: &Digest) -> Digest {
     let mut h = Sha256::new();
     h.update(&[TAG_NODE]);
     h.update(left.as_bytes());

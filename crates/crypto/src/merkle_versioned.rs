@@ -25,30 +25,9 @@ use std::collections::HashMap;
 use transedge_common::Key;
 
 use crate::digest::Digest;
-use crate::merkle::{BucketEntry, MerkleProof};
-use crate::sha2::{sha256, Sha256};
-
-const TAG_LEAF: u8 = 0x00;
-const TAG_NODE: u8 = 0x01;
-
-fn hash_leaf(entries: &[BucketEntry]) -> Digest {
-    let mut h = Sha256::new();
-    h.update(&[TAG_LEAF]);
-    h.update(&(entries.len() as u32).to_le_bytes());
-    for e in entries {
-        h.update(e.key_hash.as_bytes());
-        h.update(e.value_hash.as_bytes());
-    }
-    h.finalize()
-}
-
-fn hash_node(left: &Digest, right: &Digest) -> Digest {
-    let mut h = Sha256::new();
-    h.update(&[TAG_NODE]);
-    h.update(left.as_bytes());
-    h.update(right.as_bytes());
-    h.finalize()
-}
+use crate::merkle::{hash_leaf, hash_node, BucketEntry, MerkleProof};
+use crate::range::{RangeProof, ScanRange};
+use crate::sha2::sha256;
 
 /// Version list: `(version, payload)` pairs, ascending by version.
 type Versions<T> = Vec<(u64, T)>;
@@ -260,6 +239,49 @@ impl VersionedMerkleTree {
             index >>= 1;
         }
         MerkleProof { bucket, siblings }
+    }
+
+    /// Completeness proof for a contiguous bucket window against the
+    /// root at `version`: every non-empty bucket in the window plus the
+    /// boundary siblings that fold the window back to the root. The
+    /// counterpart of [`crate::range::verify_range_proof`] — see
+    /// [`crate::range`] for why point proofs cannot show completeness.
+    pub fn prove_range(&self, range: &ScanRange, version: u64) -> RangeProof {
+        assert!(
+            range.is_valid_for_depth(self.depth),
+            "scan range {}..={} invalid for depth {}",
+            range.first,
+            range.last,
+            self.depth
+        );
+        let mut occupied = Vec::new();
+        for idx in range.first..=range.last {
+            if let Some(bucket) = self.buckets.get(&idx).and_then(|v| lookup_at(v, version)) {
+                if !bucket.is_empty() {
+                    occupied.push((idx, bucket.clone()));
+                }
+            }
+        }
+        let (mut lo, mut hi) = (range.first, range.last);
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for level in 0..self.depth as usize {
+            if lo & 1 == 1 {
+                left.push(self.node_at(level, lo - 1, version));
+                lo -= 1;
+            }
+            if hi & 1 == 0 {
+                right.push(self.node_at(level, hi + 1, version));
+                hi += 1;
+            }
+            lo >>= 1;
+            hi >>= 1;
+        }
+        RangeProof {
+            occupied,
+            left,
+            right,
+        }
     }
 
     /// Committed value hash for `key` as of `version`.

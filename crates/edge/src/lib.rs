@@ -30,6 +30,13 @@
 //!   node could forge is caught here and reported as a
 //!   [`verifier::ReadRejection`].
 //!
+//! Point reads and range scans share the same shape: [`ScanProof`] /
+//! [`ScanBundle`] are the scan analogues of [`ProvenRead`] /
+//! [`ProofBundle`], with a Merkle *range* proof
+//! (`transedge_crypto::range`) standing in for per-key proofs so the
+//! verifier can check **completeness** — an untrusted node cannot omit
+//! a row inside a scanned window undetected.
+//!
 //! The crate deliberately does not know about network messages or the
 //! batch format: commitments enter through the [`BatchCommitment`]
 //! trait, which `transedge-core` implements for its certified batch
@@ -44,7 +51,7 @@ pub mod response;
 pub mod verifier;
 
 pub use cache::{CacheStats, LruCache};
-pub use pipeline::{read_snapshot, ReadPipeline, SnapshotSource};
+pub use pipeline::{read_snapshot, scan_snapshot, ReadPipeline, SnapshotSource};
 pub use replay::{Assembly, ReplayCache};
-pub use response::{BatchCommitment, ProofBundle, ProvenRead};
+pub use response::{BatchCommitment, ProofBundle, ProvenRead, ScanBundle, ScanProof};
 pub use verifier::{ReadRejection, ReadVerifier, VerifyParams};

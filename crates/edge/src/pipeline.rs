@@ -2,10 +2,10 @@
 //! cached assembly of proof-carrying reads.
 
 use transedge_common::{BatchNum, Key, Value};
-use transedge_crypto::MerkleProof;
+use transedge_crypto::{MerkleProof, RangeProof, ScanRange};
 
 use crate::cache::{CacheStats, LruCache};
-use crate::response::ProvenRead;
+use crate::response::{ProvenRead, ScanProof};
 
 /// A provider of snapshot values and proofs — in a replica this is the
 /// executor's `VersionedStore` + `VersionedMerkleTree` pair. The trait
@@ -18,6 +18,14 @@ pub trait SnapshotSource {
     /// Merkle (non-)inclusion proof for `key` against the root at
     /// `batch`.
     fn prove_at(&self, key: &Key, batch: BatchNum) -> MerkleProof;
+
+    /// Every committed `(key, value)` in a tree-order window at the cut
+    /// of `batch`, ascending in tree order (the store's ordered index
+    /// makes this `O(log keys + rows)`, not an `O(keys)` cut walk).
+    fn rows_at(&self, range: &ScanRange, batch: BatchNum) -> Vec<(Key, Value)>;
+
+    /// Completeness proof for the window against the root at `batch`.
+    fn prove_range(&self, range: &ScanRange, batch: BatchNum) -> RangeProof;
 }
 
 /// Assemble proof-carrying reads for `keys` at `batch`, straight from
@@ -42,6 +50,22 @@ fn proven_read<S: SnapshotSource + ?Sized>(src: &S, key: &Key, batch: BatchNum) 
     }
 }
 
+/// Assemble a proof-carrying range scan for `range` at `batch`,
+/// straight from the source. Like [`read_snapshot`], this is the single
+/// implementation of scan serving; the cached pipeline funnels through
+/// it.
+pub fn scan_snapshot<S: SnapshotSource + ?Sized>(
+    src: &S,
+    range: &ScanRange,
+    batch: BatchNum,
+) -> ScanProof {
+    ScanProof {
+        range: *range,
+        rows: src.rows_at(range, batch),
+        proof: src.prove_range(range, batch),
+    }
+}
+
 /// The serving pipeline a replica (or any node with a
 /// [`SnapshotSource`]) runs its read-only traffic through. Proof
 /// generation is the expensive part of serving a ROT (`O(depth)`
@@ -52,11 +76,20 @@ fn proven_read<S: SnapshotSource + ?Sized>(src: &S, key: &Key, batch: BatchNum) 
 #[derive(Clone, Debug)]
 pub struct ReadPipeline {
     cache: LruCache<(Key, BatchNum), ProvenRead>,
+    /// `(range, batch) → ScanProof` — a scan proof is far more
+    /// expensive to build than a point proof (`O(width)` leaf hashes),
+    /// and scans are immutable per batch just like point reads, so the
+    /// same no-invalidation memoisation applies.
+    scans: LruCache<(ScanRange, BatchNum), ScanProof>,
 }
 
 /// Default per-node cache capacity (entries, not bytes): generous for
 /// the simulated workloads while keeping worst-case memory modest.
 pub const DEFAULT_CACHE_CAPACITY: usize = 64 * 1024;
+
+/// Default scan-proof cache capacity. Scan entries are much larger than
+/// point entries (whole windows), so the cap is correspondingly lower.
+pub const DEFAULT_SCAN_CACHE_CAPACITY: usize = 512;
 
 impl Default for ReadPipeline {
     fn default() -> Self {
@@ -68,6 +101,7 @@ impl ReadPipeline {
     pub fn new(cache_capacity: usize) -> Self {
         ReadPipeline {
             cache: LruCache::new(cache_capacity),
+            scans: LruCache::new(DEFAULT_SCAN_CACHE_CAPACITY.min(cache_capacity.max(1))),
         }
     }
 
@@ -91,9 +125,30 @@ impl ReadPipeline {
             .collect()
     }
 
+    /// Serve a range scan at `batch`, consulting the scan cache first.
+    pub fn serve_scan<S: SnapshotSource + ?Sized>(
+        &mut self,
+        src: &S,
+        range: &ScanRange,
+        batch: BatchNum,
+    ) -> ScanProof {
+        let ck = (*range, batch);
+        if let Some(hit) = self.scans.get(&ck) {
+            return hit.clone();
+        }
+        let scan = scan_snapshot(src, range, batch);
+        self.scans.insert(ck, scan.clone());
+        scan
+    }
+
     /// Cache effectiveness counters.
     pub fn stats(&self) -> CacheStats {
         self.cache.stats
+    }
+
+    /// Scan-proof cache counters.
+    pub fn scan_stats(&self) -> CacheStats {
+        self.scans.stats
     }
 
     /// Entries currently cached.
@@ -149,6 +204,18 @@ mod tests {
         fn prove_at(&self, key: &Key, batch: BatchNum) -> MerkleProof {
             self.proofs_generated.fetch_add(1, Ordering::Relaxed);
             self.tree.prove_at(key, batch.0)
+        }
+
+        fn rows_at(&self, range: &ScanRange, batch: BatchNum) -> Vec<(Key, Value)> {
+            self.store
+                .range_at(range.digest_bounds(self.tree.depth()), batch)
+                .map(|(k, v)| (k.clone(), v.value.clone()))
+                .collect()
+        }
+
+        fn prove_range(&self, range: &ScanRange, batch: BatchNum) -> RangeProof {
+            self.proofs_generated.fetch_add(1, Ordering::Relaxed);
+            self.tree.prove_range(range, batch.0)
         }
     }
 
@@ -208,6 +275,39 @@ mod tests {
         assert_eq!(at1[0].value, Some(Value::from("a2")));
         // Different (key, batch) keys: both were misses.
         assert_eq!(pipeline.stats().misses, 2);
+    }
+
+    #[test]
+    fn serve_scan_memoises_per_range_and_batch() {
+        use transedge_crypto::verify_range_proof;
+        let src = TestSource::with_batches(&[&[(1, "a"), (2, "b"), (3, "c")], &[(2, "b2")]]);
+        let mut pipeline = ReadPipeline::new(1024);
+        let range = ScanRange::new(0, 255);
+        let cold = pipeline.serve_scan(&src, &range, BatchNum(1));
+        let proofs_after_cold = src.proofs_generated.load(Ordering::Relaxed);
+        assert_eq!(cold.rows.len(), 3);
+        assert!(cold
+            .rows
+            .iter()
+            .any(|(k, v)| k == &Key::from_u32(2) && v == &Value::from("b2")));
+        // Rows and proof agree and verify against the batch-1 root.
+        let entries = verify_range_proof(&src.tree.root_at(1), 8, &range, &cold.proof).unwrap();
+        assert_eq!(entries.len(), cold.rows.len());
+        // Warm pass: no new proof generation, same answer.
+        let warm = pipeline.serve_scan(&src, &range, BatchNum(1));
+        assert_eq!(
+            src.proofs_generated.load(Ordering::Relaxed),
+            proofs_after_cold
+        );
+        assert_eq!(warm.rows, cold.rows);
+        assert_eq!(pipeline.scan_stats().hits, 1);
+        // A different batch is a different cache entry.
+        let at0 = pipeline.serve_scan(&src, &range, BatchNum(0));
+        assert!(at0
+            .rows
+            .iter()
+            .any(|(k, v)| k == &Key::from_u32(2) && v == &Value::from("b")));
+        assert_eq!(pipeline.scan_stats().misses, 2);
     }
 
     #[test]

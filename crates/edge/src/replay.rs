@@ -14,9 +14,10 @@ use std::collections::BTreeMap;
 
 use transedge_common::{BatchNum, Epoch, Key, SimTime};
 use transedge_consensus::Certificate;
+use transedge_crypto::ScanRange;
 
 use crate::cache::{CacheStats, LruCache};
-use crate::response::{BatchCommitment, ProofBundle, ProvenRead};
+use crate::response::{BatchCommitment, ProofBundle, ProvenRead, ScanBundle, ScanProof};
 
 /// Counters for the replay path.
 #[derive(Clone, Copy, Debug, Default)]
@@ -33,6 +34,15 @@ pub struct ReplayStats {
     /// Individual fragments served from cache, across full replays and
     /// partial assemblies.
     pub fragments_replayed: u64,
+    /// Scan proofs absorbed from upstream.
+    pub scans_admitted: u64,
+    /// Scan requests answered from cache.
+    pub scans_replayed: u64,
+    /// Scan replays answered by a cached *wider* window covering the
+    /// request (overlap-aware reuse; the client filters to its range).
+    pub scans_covered_by_wider: u64,
+    /// Scan requests with no usable cached window.
+    pub scan_passes: u64,
 }
 
 /// What the cache can do for a request, given the LCE and freshness
@@ -56,6 +66,10 @@ pub enum Assembly<H> {
     Miss,
 }
 
+/// Cached scan windows per batch (few per batch, matched by coverage —
+/// a linear scan of a short list beats an index here).
+const MAX_SCANS_PER_BATCH: usize = 32;
+
 /// The cache an edge replay node runs on.
 #[derive(Clone, Debug)]
 pub struct ReplayCache<H> {
@@ -63,6 +77,11 @@ pub struct ReplayCache<H> {
     commitments: BTreeMap<u64, (H, Certificate)>,
     /// Per-`(key, batch)` verified-fragment cache.
     reads: LruCache<(Key, u64), ProvenRead>,
+    /// Per-`(range, batch)` scan-proof cache: batch → cached windows,
+    /// oldest first. A window serves any request it *covers* (the
+    /// client verifies the proven window and filters to its own range),
+    /// so wide windows absorbed once keep serving narrower scans.
+    scans: BTreeMap<u64, Vec<(ScanRange, ScanProof)>>,
     max_batches: usize,
     pub stats: ReplayStats,
 }
@@ -72,6 +91,7 @@ impl<H: BatchCommitment + Clone> ReplayCache<H> {
         ReplayCache {
             commitments: BTreeMap::new(),
             reads: LruCache::new(read_capacity),
+            scans: BTreeMap::new(),
             max_batches: max_batches.max(1),
             stats: ReplayStats::default(),
         }
@@ -89,6 +109,15 @@ impl<H: BatchCommitment + Clone> ReplayCache<H> {
         for read in &bundle.reads {
             self.reads.insert((read.key.clone(), batch.0), read.clone());
         }
+        self.evict_to_cap();
+        self.stats.admitted += 1;
+    }
+
+    /// Drop the oldest commitments past `max_batches`, then sweep
+    /// fragments and scan windows of evicted batches — they are
+    /// unreachable (replay only scans live commitments), so keeping
+    /// them would just occupy cache slots.
+    fn evict_to_cap(&mut self) {
         let mut evicted_any = false;
         while self.commitments.len() > self.max_batches {
             let (&oldest, _) = self.commitments.iter().next().expect("non-empty");
@@ -96,13 +125,77 @@ impl<H: BatchCommitment + Clone> ReplayCache<H> {
             evicted_any = true;
         }
         if evicted_any {
-            // Fragments of evicted batches are unreachable (replay only
-            // scans live commitments); drop them so they stop occupying
-            // LRU slots.
             let commitments = &self.commitments;
             self.reads.retain(|(_, b), _| commitments.contains_key(b));
+            self.scans.retain(|b, _| commitments.contains_key(b));
         }
-        self.stats.admitted += 1;
+    }
+
+    /// Absorb an upstream scan response: remember the certified header
+    /// and the proof-carrying window. Windows already covered by a
+    /// cached wider window at the same batch are skipped; a new wider
+    /// window displaces the narrower ones it covers.
+    pub fn admit_scan(&mut self, bundle: &ScanBundle<H>) {
+        let batch = bundle.commitment.batch();
+        self.commitments
+            .insert(batch.0, (bundle.commitment.clone(), bundle.cert.clone()));
+        let windows = self.scans.entry(batch.0).or_default();
+        if !windows
+            .iter()
+            .any(|(cached, _)| cached.covers(&bundle.scan.range))
+        {
+            windows.retain(|(cached, _)| !bundle.scan.range.covers(cached));
+            if windows.len() >= MAX_SCANS_PER_BATCH {
+                windows.remove(0);
+            }
+            windows.push((bundle.scan.range, bundle.scan.clone()));
+        }
+        self.evict_to_cap();
+        self.stats.scans_admitted += 1;
+    }
+
+    /// Try to answer a scan for `range` from cache: the newest admitted
+    /// batch passing the LCE and timestamp floors holding a cached
+    /// window that **covers** `range`. The replayed bundle carries the
+    /// cached (possibly wider) window — clients verify the proven
+    /// window's completeness and filter rows down to what they asked
+    /// for, so covering reuse costs bandwidth, never correctness.
+    pub fn replay_scan(
+        &mut self,
+        range: &ScanRange,
+        min_lce: Epoch,
+        min_timestamp: SimTime,
+    ) -> Option<ScanBundle<H>> {
+        for batch in self.passing_batches(min_lce, min_timestamp) {
+            let Some(windows) = self.scans.get(&batch) else {
+                continue;
+            };
+            // Prefer the tightest covering window (least excess rows).
+            let Some((cached_range, scan)) = windows
+                .iter()
+                .filter(|(cached, _)| cached.covers(range))
+                .min_by_key(|(cached, _)| cached.width())
+            else {
+                continue;
+            };
+            self.stats.scans_replayed += 1;
+            if cached_range != range {
+                self.stats.scans_covered_by_wider += 1;
+            }
+            let (commitment, cert) = self.commitments[&batch].clone();
+            return Some(ScanBundle {
+                commitment,
+                cert,
+                scan: scan.clone(),
+            });
+        }
+        self.stats.scan_passes += 1;
+        None
+    }
+
+    /// Cached scan windows across live batches (diagnostics).
+    pub fn scan_window_count(&self) -> usize {
+        self.scans.values().map(|w| w.len()).sum()
     }
 
     /// Newest admitted batch, if any.

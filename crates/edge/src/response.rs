@@ -3,7 +3,7 @@
 
 use transedge_common::{BatchNum, ClusterId, Epoch, Key, SimTime, Value};
 use transedge_consensus::Certificate;
-use transedge_crypto::{Digest, MerkleProof};
+use transedge_crypto::{Digest, MerkleProof, RangeProof, ScanRange};
 
 /// One key's proof-carrying answer in a snapshot read: the value (or
 /// `None` for a proven-absent key) and its Merkle (non-)inclusion proof
@@ -56,5 +56,53 @@ impl<H: BatchCommitment> ProofBundle<H> {
     /// The bundle's answer for `key`, if present.
     pub fn read_for(&self, key: &Key) -> Option<&ProvenRead> {
         self.reads.iter().find(|r| &r.key == key)
+    }
+}
+
+/// A proof-carrying range scan: every committed row of a contiguous
+/// tree-order window, plus the Merkle range proof that makes the set
+/// *complete* — an untrusted server cannot omit a row in `range`
+/// without breaking the proof against the certified root. `range` is
+/// the window actually proven; it may be wider than what a client
+/// requested (an edge replaying a cached wider scan), and the verifier
+/// checks coverage and filters.
+#[derive(Clone, Debug)]
+pub struct ScanProof {
+    /// The proven window, in tree order (bucket indices).
+    pub range: ScanRange,
+    /// Every committed `(key, value)` in the window at the snapshot
+    /// batch, ascending in tree order — one row per proof entry.
+    pub rows: Vec<(Key, Value)>,
+    /// Completeness proof binding `rows` to the certified root.
+    pub proof: RangeProof,
+}
+
+impl ScanProof {
+    /// Wire-size estimate for the simulator's bandwidth model.
+    pub fn encoded_len(&self) -> usize {
+        16 + self
+            .rows
+            .iter()
+            .map(|(k, v)| k.len() + v.len() + 8)
+            .sum::<usize>()
+            + self.proof.encoded_len()
+    }
+}
+
+/// A complete verified-scan response for one partition: the certified
+/// commitment, its consensus certificate, and the proof-carrying rows.
+/// The scan analogue of [`ProofBundle`] — cacheable and replayable by
+/// untrusted nodes, alterable by none.
+#[derive(Clone, Debug)]
+pub struct ScanBundle<H> {
+    pub commitment: H,
+    pub cert: Certificate,
+    pub scan: ScanProof,
+}
+
+impl<H: BatchCommitment> ScanBundle<H> {
+    /// Batch this scan snapshots.
+    pub fn batch(&self) -> BatchNum {
+        self.commitment.batch()
     }
 }

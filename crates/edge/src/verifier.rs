@@ -26,9 +26,9 @@ use std::collections::HashMap;
 use transedge_common::{BatchNum, ClusterId, Epoch, Key, SimDuration, SimTime, Value};
 use transedge_consensus::Certificate;
 use transedge_crypto::merkle::{value_digest, verify_proof, Verified};
-use transedge_crypto::KeyStore;
+use transedge_crypto::{sha256, verify_range_proof, KeyStore, ScanRange};
 
-use crate::response::{BatchCommitment, ProofBundle, ProvenRead};
+use crate::response::{BatchCommitment, ProofBundle, ProvenRead, ScanBundle};
 
 /// Verification parameters; must match the deployment's node
 /// configuration.
@@ -76,6 +76,27 @@ pub enum ReadRejection {
     /// A key was answered by more than one section of an assembled
     /// response.
     DuplicateKey(Key),
+    /// The proven scan window does not cover the requested range — a
+    /// *boundary truncation*: shrinking the proven window is how a
+    /// server would hide rows at the edges of a scan while every
+    /// surviving row still verified.
+    ScanRangeNotCovered {
+        requested: ScanRange,
+        proven: ScanRange,
+    },
+    /// The scan's completeness proof does not verify against the
+    /// certified root (malformed, tampered, or spliced from a different
+    /// batch's tree — the torn-scan attack).
+    BadRangeProof,
+    /// The row list does not match the proven window's committed
+    /// content: the proof commits to `proven` entries but `returned`
+    /// rows came back. Fewer rows than entries is the *omission*
+    /// attack a point proof can never catch.
+    IncompleteScan { proven: usize, returned: usize },
+    /// A returned row does not hash to the committed entry at its
+    /// position in the window (wrong value, out of tree order, or a
+    /// duplicated/foreign row).
+    ScanRowMismatch(Key),
 }
 
 /// The verifier. Stateless; cheap to copy into clients.
@@ -196,6 +217,109 @@ impl ReadVerifier {
             min_lce,
             now,
         )
+    }
+
+    /// Verify a proof-carrying range scan end to end. On top of the
+    /// point-read chain (partition → certificate → freshness → LCE
+    /// floor), a scan must prove **completeness**: that the returned
+    /// rows are *all* the committed rows of the requested window — an
+    /// untrusted edge must not be able to silently omit one. The checks:
+    ///
+    /// 1–4. identical to [`ReadVerifier::verify`] (cluster, `f+1`
+    ///      certificate over the recomputed digest, freshness window,
+    ///      dependency floor);
+    /// 5. the *proven* window covers the *requested* range (a cached
+    ///    wider window is fine — anything narrower is a boundary
+    ///    truncation and rejected);
+    /// 6. the Merkle range proof verifies against the certified root,
+    ///    yielding the committed entry list of the proven window;
+    /// 7. the returned rows match that entry list **exactly** — same
+    ///    count, each row hashing to its entry, in tree order. Any
+    ///    omitted, injected, reordered, or tampered row breaks this.
+    ///
+    /// On success returns the verified rows *restricted to the
+    /// requested range* (rows of a wider proven window are verified,
+    /// then filtered).
+    pub fn verify_scan<H: BatchCommitment>(
+        &self,
+        keys: &KeyStore,
+        expected_cluster: ClusterId,
+        bundle: &ScanBundle<H>,
+        requested: &ScanRange,
+        min_lce: Epoch,
+        now: SimTime,
+    ) -> Result<Vec<(Key, Value)>, ReadRejection> {
+        let commitment = &bundle.commitment;
+        // 1. Right partition.
+        if commitment.cluster() != expected_cluster {
+            return Err(ReadRejection::WrongCluster {
+                expected: expected_cluster,
+                got: commitment.cluster(),
+            });
+        }
+        // 2. Certificate chains the commitment to f+1 replicas.
+        let digest = commitment.certified_digest();
+        if bundle.cert.cluster != expected_cluster
+            || bundle.cert.slot != commitment.batch()
+            || bundle.cert.digest != digest
+            || bundle.cert.verify(keys, self.params.quorum).is_err()
+        {
+            return Err(ReadRejection::BadCertificate);
+        }
+        // 3. Freshness, in either direction of clock skew.
+        let ts = commitment.timestamp();
+        let skew = now.saturating_since(ts).max(ts.saturating_since(now));
+        if skew > self.params.freshness_window {
+            return Err(ReadRejection::StaleTimestamp);
+        }
+        // 4. Dependency floor.
+        if commitment.lce() < min_lce {
+            return Err(ReadRejection::StaleSnapshot {
+                required: min_lce,
+                lce: commitment.lce(),
+            });
+        }
+        // 5. Coverage: the proven window must contain the request.
+        let proven_range = bundle.scan.range;
+        if !proven_range.covers(requested) {
+            return Err(ReadRejection::ScanRangeNotCovered {
+                requested: *requested,
+                proven: proven_range,
+            });
+        }
+        // 6. Completeness proof against the certified root.
+        let Ok(entries) = verify_range_proof(
+            commitment.merkle_root(),
+            self.params.tree_depth,
+            &proven_range,
+            &bundle.scan.proof,
+        ) else {
+            return Err(ReadRejection::BadRangeProof);
+        };
+        // 7. Rows ↔ entries, exactly. The entry list is the complete
+        // committed content of the window (step 6), so matching it
+        // one-to-one in order rules out omission, injection, and
+        // duplication in a single pass.
+        let rows = &bundle.scan.rows;
+        if rows.len() != entries.len() {
+            return Err(ReadRejection::IncompleteScan {
+                proven: entries.len(),
+                returned: rows.len(),
+            });
+        }
+        let mut verified = Vec::with_capacity(rows.len());
+        for ((key, value), entry) in rows.iter().zip(&entries) {
+            if sha256(key.as_bytes()) != entry.key_hash || value_digest(value) != entry.value_hash {
+                return Err(ReadRejection::ScanRowMismatch(key.clone()));
+            }
+            if requested.contains_bucket(ScanRange::bucket_of_hash(
+                &entry.key_hash,
+                self.params.tree_depth,
+            )) {
+                verified.push((key.clone(), value.clone()));
+            }
+        }
+        Ok(verified)
     }
 
     /// Verify a partially-assembled response: a sequence of sections

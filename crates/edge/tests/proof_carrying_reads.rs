@@ -8,7 +8,7 @@ use transedge_common::{
 use transedge_consensus::messages::accept_statement;
 use transedge_consensus::Certificate;
 use transedge_crypto::merkle::value_digest;
-use transedge_crypto::{Digest, KeyStore, MerkleProof, Sha256, VersionedMerkleTree};
+use transedge_crypto::{Digest, KeyStore, MerkleProof, ScanRange, Sha256, VersionedMerkleTree};
 use transedge_edge::{
     Assembly, BatchCommitment, ProofBundle, ReadPipeline, ReadRejection, ReadVerifier, ReplayCache,
     SnapshotSource, VerifyParams,
@@ -80,6 +80,17 @@ impl SnapshotSource for Partition {
 
     fn prove_at(&self, key: &Key, batch: BatchNum) -> MerkleProof {
         self.tree.prove_at(key, batch.0)
+    }
+
+    fn rows_at(&self, range: &ScanRange, batch: BatchNum) -> Vec<(Key, Value)> {
+        self.store
+            .range_at(range.digest_bounds(DEPTH), batch)
+            .map(|(k, v)| (k.clone(), v.value.clone()))
+            .collect()
+    }
+
+    fn prove_range(&self, range: &ScanRange, batch: BatchNum) -> transedge_crypto::RangeProof {
+        self.tree.prove_range(range, batch.0)
     }
 }
 

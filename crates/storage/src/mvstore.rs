@@ -1,8 +1,10 @@
 //! Multi-version key-value store.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::RangeBounds;
 
 use transedge_common::{BatchNum, Key, Value};
+use transedge_crypto::{sha256, Digest};
 
 /// One committed version of a key.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -18,6 +20,12 @@ pub struct Version {
 #[derive(Clone, Debug, Default)]
 pub struct VersionedStore {
     data: HashMap<Key, Vec<Version>>,
+    /// Tree-order index: SHA-256(key) → key, ordered by hash. This is
+    /// the leaf order of the partition's Merkle tree, so iterating a
+    /// contiguous hash interval enumerates exactly the rows a Merkle
+    /// range proof commits to. Keys are indexed on first write and
+    /// never removed (versions may be truncated, keys never deleted).
+    index: BTreeMap<Digest, Key>,
     writes: u64,
 }
 
@@ -30,6 +38,9 @@ impl VersionedStore {
     /// version for an *earlier* batch is written after a later one —
     /// batches commit in log order, so that would be a protocol bug.
     pub fn write(&mut self, key: Key, value: Value, batch: BatchNum) {
+        if !self.data.contains_key(&key) {
+            self.index.insert(sha256(key.as_bytes()), key.clone());
+        }
         let versions = self.data.entry(key).or_default();
         if let Some(last) = versions.last() {
             assert!(
@@ -91,6 +102,26 @@ impl VersionedStore {
             let idx = versions.partition_point(|v| v.batch <= batch);
             versions[..idx].last().map(|v| (k, v))
         })
+    }
+
+    /// Ordered range read over the *tree order* (ascending SHA-256 of
+    /// key — the leaf order of the partition's Merkle tree): every key
+    /// whose hash falls in `hashes` and that is visible at the
+    /// consistent cut of `batch`, with the version visible there.
+    ///
+    /// Unlike [`VersionedStore::snapshot_at`], which walks `O(keys)`
+    /// per cut, this is `O(log keys + rows in range)` — the ordered
+    /// index narrows straight to the window, so a verified range scan
+    /// only pays for what it returns. Callers derive `hashes` from a
+    /// `ScanRange` via `ScanRange::digest_bounds`.
+    pub fn range_at<R: RangeBounds<Digest>>(
+        &self,
+        hashes: R,
+        batch: BatchNum,
+    ) -> impl Iterator<Item = (&Key, &Version)> {
+        self.index
+            .range(hashes)
+            .filter_map(move |(_, key)| self.get_at(key, batch).map(|v| (key, v)))
     }
 
     /// Batch of the last committed write to `key` (conflict rule 1 of
@@ -240,6 +271,49 @@ mod tests {
         );
         // Cut before any write is empty.
         assert_eq!(s.snapshot_at(BatchNum(0)).count(), 0);
+    }
+
+    #[test]
+    fn range_at_follows_tree_order_and_the_cut() {
+        let mut s = VersionedStore::new();
+        for i in 0..32u32 {
+            s.write(k(i), v(&format!("a{i}")), BatchNum(1));
+        }
+        for i in 0..8u32 {
+            s.write(k(i), v(&format!("b{i}")), BatchNum(3));
+        }
+        s.write(k(100), v("late"), BatchNum(5));
+        // Full range at batch 1: all 32 keys, ascending by key hash.
+        let rows: Vec<_> = s.range_at(.., BatchNum(1)).collect();
+        assert_eq!(rows.len(), 32);
+        let hashes: Vec<Digest> = rows.iter().map(|(key, _)| sha256(key.as_bytes())).collect();
+        for pair in hashes.windows(2) {
+            assert!(pair[0] < pair[1], "rows must ascend in tree order");
+        }
+        // Cut semantics: batch 2 sees the batch-1 values, batch 3 the
+        // overwrites, batch 0 nothing, batch 5 the late key too.
+        assert!(s
+            .range_at(.., BatchNum(2))
+            .all(|(key, ver)| ver.value == v(&format!("a{}", key_u32(key)))));
+        assert_eq!(
+            s.range_at(.., BatchNum(3))
+                .filter(|(key, _)| key_u32(key) < 8)
+                .filter(|(_, ver)| ver.batch == BatchNum(3))
+                .count(),
+            8
+        );
+        assert_eq!(s.range_at(.., BatchNum(0)).count(), 0);
+        assert_eq!(s.range_at(.., BatchNum(5)).count(), 33);
+        // A half-open hash window returns exactly the keys inside it.
+        let mid = hashes[16];
+        let below: Vec<_> = s.range_at(..mid, BatchNum(1)).collect();
+        assert_eq!(below.len(), 16);
+        let above: Vec<_> = s.range_at(mid.., BatchNum(1)).collect();
+        assert_eq!(above.len(), 16);
+    }
+
+    fn key_u32(key: &Key) -> u32 {
+        u32::from_be_bytes(key.as_bytes().try_into().unwrap())
     }
 
     #[test]

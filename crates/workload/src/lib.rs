@@ -145,6 +145,41 @@ mod tests {
     }
 
     #[test]
+    fn scan_mix_produces_valid_aligned_windows() {
+        let t = topo();
+        let spec = WorkloadSpec {
+            scan_pct: 50,
+            scan_buckets: 256,
+            ..WorkloadSpec::paper_default(t.clone())
+        };
+        let ops = spec.generate(400, 13);
+        let scans: Vec<_> = ops
+            .iter()
+            .filter_map(|o| match o {
+                ClientOp::RangeScan { cluster, range } => Some((*cluster, *range)),
+                _ => None,
+            })
+            .collect();
+        let frac = scans.len() as f64 / ops.len() as f64;
+        assert!((0.4..0.6).contains(&frac), "scan fraction {frac}");
+        for (cluster, range) in &scans {
+            assert!(cluster.as_usize() < t.n_clusters());
+            assert!(range.is_valid_for_depth(spec.tree_depth));
+            assert_eq!(range.width(), 256);
+            assert_eq!(range.first % 256, 0, "windows are aligned");
+        }
+        // The aligned vocabulary repeats windows (cache reuse fodder).
+        let mut distinct: Vec<_> = scans.iter().collect();
+        distinct.sort();
+        distinct.dedup();
+        assert!(distinct.len() < scans.len());
+        // 100%-scan constructor emits nothing but scans.
+        for op in WorkloadSpec::scans(t, 128).generate(32, 5) {
+            assert!(matches!(op, ClientOp::RangeScan { .. }));
+        }
+    }
+
+    #[test]
     fn keys_stay_in_range() {
         let spec = WorkloadSpec {
             n_keys: 100,
@@ -158,6 +193,8 @@ mod tests {
                     .cloned()
                     .chain(writes.iter().map(|(k, _)| k.clone()))
                     .collect(),
+                // Scans name bucket windows, not keys.
+                ClientOp::RangeScan { .. } => Vec::new(),
             };
             for k in keys {
                 let i = u32::from_be_bytes(k.as_bytes().try_into().unwrap());

@@ -4,6 +4,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use transedge_common::{ClusterId, ClusterTopology, Key, Value};
 use transedge_core::client::ClientOp;
+use transedge_crypto::range::MAX_RANGE_BUCKETS;
+use transedge_crypto::ScanRange;
 
 use crate::zipf::Zipfian;
 
@@ -54,6 +56,18 @@ pub struct WorkloadSpec {
     /// Clusters a read-only transaction spans (paper: varies 1–5).
     pub rot_clusters: usize,
     pub distribution: KeyDistribution,
+    /// Percent of *all* operations issued as verified range scans
+    /// (rolled before the [`Mix`], which governs the rest). Scans are
+    /// the extension query type — 0 reproduces the paper's mixes
+    /// exactly.
+    pub scan_pct: u8,
+    /// Width of each scan window, in tree-order buckets. Windows are
+    /// aligned to multiples of this width so repeated scans revisit the
+    /// same windows and edge caches get reuse.
+    pub scan_buckets: u64,
+    /// Merkle tree depth of the deployment the script will run against
+    /// (scan windows must stay inside its `2^depth` leaf space).
+    pub tree_depth: u32,
 }
 
 impl WorkloadSpec {
@@ -77,6 +91,19 @@ impl WorkloadSpec {
             rot_keys: n,
             rot_clusters: n,
             distribution: KeyDistribution::Uniform,
+            scan_pct: 0,
+            scan_buckets: 256,
+            tree_depth: transedge_core::node::DEFAULT_TREE_DEPTH,
+        }
+    }
+
+    /// 100% verified range scans of `scan_buckets`-wide windows, spread
+    /// over all partitions.
+    pub fn scans(topo: ClusterTopology, scan_buckets: u64) -> Self {
+        WorkloadSpec {
+            scan_pct: 100,
+            scan_buckets,
+            ..Self::paper_default(topo)
         }
     }
 
@@ -159,6 +186,12 @@ impl WorkloadSpec {
         }
         let mut ops = Vec::with_capacity(count);
         for _ in 0..count {
+            // Scans roll first (the extension query type); the paper's
+            // mix governs everything else.
+            if self.scan_pct > 0 && rng.gen_range(0u32..100) < self.scan_pct as u32 {
+                ops.push(self.gen_scan(&mut rng));
+                continue;
+            }
             let roll = rng.gen_range(0u32..100);
             let ro = self.mix.read_only_pct as u32;
             let lrw = ro + self.mix.local_rw_pct as u32;
@@ -234,6 +267,22 @@ impl WorkloadSpec {
             }
         }
         ClientOp::ReadOnly { keys }
+    }
+
+    /// A verified range scan: one partition, one aligned window of
+    /// `scan_buckets` tree-order buckets. Alignment keeps the window
+    /// vocabulary small so repeated scans hit edge caches; the paper
+    /// has no scan workload — this drives the extension query type.
+    fn gen_scan(&self, rng: &mut SmallRng) -> ClientOp {
+        let cluster = self.pick_clusters(rng, 1)[0];
+        let leaves = 1u64 << self.tree_depth;
+        let width = self.scan_buckets.clamp(1, leaves.min(MAX_RANGE_BUCKETS));
+        let windows = (leaves / width).max(1);
+        let start = rng.gen_range(0..windows) * width;
+        ClientOp::RangeScan {
+            cluster,
+            range: ScanRange::new(start, (start + width - 1).min(leaves - 1)),
+        }
     }
 
     fn gen_local_rw(

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Schema gate for the bench trajectory: BENCH_rot.json (emitted by
+# `cargo bench -p transedge-bench --bench fig04_rot_latency`) must
+# carry every read-path metrics block later PRs track. Run locally
+# after touching the read path, and by CI's `bench-smoke` job.
+#
+#   usage: scripts/validate_bench.sh [path/to/BENCH_rot.json]
+set -euo pipefail
+
+BENCH_JSON="${1:-BENCH_rot.json}"
+
+if ! command -v jq >/dev/null 2>&1; then
+  echo "error: jq is required" >&2
+  exit 1
+fi
+
+if [ ! -f "$BENCH_JSON" ]; then
+  echo "error: $BENCH_JSON missing — run the fig04 bench first" >&2
+  exit 1
+fi
+
+# schema_version pins the shape below; bump both together.
+jq -e '
+  .figure == "fig04_rot_latency"
+  and .schema_version == 2
+  and (.clusters | length == 5)
+  and ([.clusters[]
+        | select(.twopc_ms > 0 and .transedge_ms > 0
+                 and .transedge_edge_ms > 0)] | length == 5)
+  and (.edge_cache.hit_rate >= 0 and .edge_cache.hit_rate <= 1)
+  and (.partial_assembly.requests > 0)
+  and (.partial_assembly.partial >= 1)
+  and (.partial_assembly.fragment_hit_rate > 0)
+  and (.partial_assembly.fragment_hit_rate <= 1)
+  and (.scan.requests > 0)
+  and (.scan.from_cache >= 1)
+  and (.scan.forwarded >= 1)
+  and (.scan.covered_by_wider >= 1)
+  and (.scan.mean_rows > 0)
+  and (.scan.hit_rate >= 0 and .scan.hit_rate <= 1)
+' "$BENCH_JSON" >/dev/null
+
+echo "ok: $BENCH_JSON matches bench schema v2"

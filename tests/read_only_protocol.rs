@@ -424,3 +424,176 @@ fn read_only_transactions_produce_no_batches() {
     }
     assert!(dep.samples().iter().all(|s| s.committed));
 }
+
+// ---------------------------------------------------------------------
+// Verified range scans (completeness proofs over the tree order)
+// ---------------------------------------------------------------------
+
+use transedge::crypto::{sha256, ScanRange};
+
+/// The deployment's tree depth, which scan windows are expressed
+/// against.
+const SCAN_DEPTH: u32 = transedge::core::node::DEFAULT_TREE_DEPTH;
+
+/// An aligned 64-bucket window of `cluster`'s tree order guaranteed to
+/// contain at least one preloaded key.
+fn window_on(topo: &ClusterTopology, cluster: ClusterId) -> ScanRange {
+    let key = &keys_on(topo, cluster, 1)[0];
+    let bucket = ScanRange::bucket_of(key, SCAN_DEPTH);
+    let start = bucket - (bucket % 64);
+    ScanRange::new(start, start + 63)
+}
+
+/// Ground truth for a scan: every preloaded key of `cluster` whose
+/// tree-order bucket falls in `range`, ascending by key hash.
+fn expected_rows(
+    data: &[(Key, Value)],
+    topo: &ClusterTopology,
+    cluster: ClusterId,
+    range: &ScanRange,
+) -> Vec<(Key, Value)> {
+    let mut rows: Vec<(Key, Value)> = data
+        .iter()
+        .filter(|(k, _)| topo.partition_of(k) == cluster && range.contains_key(k, SCAN_DEPTH))
+        .cloned()
+        .collect();
+    rows.sort_by_key(|(k, _)| sha256(k.as_bytes()));
+    rows
+}
+
+/// Honest edge tier: a repeated scan is forwarded once, then replayed
+/// from the edge's per-(range, batch) scan cache; a *narrower* scan is
+/// served from the cached wider window (overlap-aware reuse) and the
+/// client filters the verified rows down to its request. Every result
+/// is complete and correct against the committed state.
+#[test]
+fn verified_scans_replay_from_edge_cache_with_covering_reuse() {
+    let mut config = DeploymentConfig::for_testing();
+    config.latency = transedge::simnet::LatencyModel::paper_default();
+    config.client.record_results = true;
+    config.edge = EdgePlan::honest(1);
+    let topo = config.topo.clone();
+    let wide = window_on(&topo, ClusterId(0));
+    // A strict sub-window of `wide` (may cover fewer — or zero — keys;
+    // completeness is what is being tested, not row count).
+    let narrow = ScanRange::new(wide.first + 8, wide.last - 8);
+    let mut script: Vec<ClientOp> = (0..4)
+        .map(|_| ClientOp::RangeScan {
+            cluster: ClusterId(0),
+            range: wide,
+        })
+        .collect();
+    script.extend((0..4).map(|_| ClientOp::RangeScan {
+        cluster: ClusterId(0),
+        range: narrow,
+    }));
+    let mut dep = Deployment::build(config, vec![script]);
+    dep.run_until_done(SimTime(600_000_000));
+
+    let client = dep.client(dep.client_ids[0]);
+    assert_eq!(client.stats.verification_failures, 0);
+    assert_eq!(client.stats.gave_up, 0);
+    assert_eq!(client.stats.scans_accepted, 8);
+    assert!(
+        client.stats.scans_covered_by_wider >= 1,
+        "narrow scans must be served from the cached wider window (got {})",
+        client.stats.scans_covered_by_wider
+    );
+    assert_eq!(client.scan_results.len(), 8);
+    for result in &client.scan_results {
+        let want = expected_rows(&dep.data, &topo, ClusterId(0), &result.range);
+        assert_eq!(
+            result.rows, want,
+            "verified scan must return exactly the committed rows of its window"
+        );
+    }
+    assert!(
+        !client.scan_results[0].rows.is_empty(),
+        "the wide window must contain at least one preloaded key"
+    );
+    let edge = dep.edge_node(EdgeId::new(ClusterId(0), 0));
+    let stats = edge.stats;
+    assert_eq!(stats.scan_requests, 8);
+    assert_eq!(
+        stats.scans_forwarded, 1,
+        "only the cold scan goes upstream; everything else replays"
+    );
+    assert_eq!(stats.scans_from_cache, 7);
+    assert!(edge.cache_stats().scans_covered_by_wider >= 4);
+    // Scans never touch the SMR log.
+    for r in topo.all_replicas() {
+        assert_eq!(dep.node(r).exec.applied_batches(), 1);
+    }
+}
+
+/// The acceptance scenario for completeness checking: an edge that
+/// *omits a row* from a scanned window (keeping the honest proof — so
+/// every surviving row still verifies individually) is rejected by
+/// `ReadVerifier::verify_scan`, demoted by the client's `EdgeSelector`,
+/// and traffic fails over to the honest edge, which ends up serving the
+/// same scan from its cache. No incomplete result is ever accepted.
+#[test]
+fn scan_omitting_edge_is_rejected_and_demoted() {
+    let mut config = DeploymentConfig::for_testing();
+    config.latency = transedge::simnet::LatencyModel::paper_default();
+    config.client.record_results = true;
+    let byz = EdgeId::new(ClusterId(0), 0);
+    let honest = EdgeId::new(ClusterId(0), 1);
+    config.edge = EdgePlan::honest(2).with_byzantine(byz, EdgeBehavior::OmitKey);
+    let topo = config.topo.clone();
+    let range = window_on(&topo, ClusterId(0));
+    let ops = 20usize;
+    let script: Vec<ClientOp> = (0..ops)
+        .map(|_| ClientOp::RangeScan {
+            cluster: ClusterId(0),
+            range,
+        })
+        .collect();
+    let mut dep = Deployment::build(config, vec![script]);
+    dep.run_until_done(SimTime(600_000_000));
+
+    let client = dep.client(dep.client_ids[0]);
+    // The omissions were seen and rejected...
+    assert!(
+        client.stats.verification_failures >= 1,
+        "an omitted row must be caught by the completeness check (got {})",
+        client.stats.verification_failures
+    );
+    let byz_node = dep.edge_node(byz);
+    assert!(
+        byz_node.stats.tampered > 0,
+        "the byzantine edge must have dropped rows"
+    );
+    // ...the lying edge is demoted on cryptographic evidence...
+    let health = client
+        .edge_selector
+        .health(ClusterId(0), transedge::common::NodeId::Edge(byz))
+        .expect("byzantine edge is a registered target");
+    assert!(
+        health.demotions >= 1,
+        "the omitting edge must be demoted (rejections {})",
+        health.total_rejections
+    );
+    // ...while the honest edge serves the same scan from its cache.
+    let honest_node = dep.edge_node(honest);
+    assert!(
+        honest_node.stats.scans_from_cache >= 1,
+        "the honest edge must replay the scan from cache (forwarded {}, cached {})",
+        honest_node.stats.scans_forwarded,
+        honest_node.stats.scans_from_cache
+    );
+    // Every accepted result is complete and correct; nothing gave up.
+    assert_eq!(client.stats.gave_up, 0);
+    assert_eq!(client.scan_results.len(), ops);
+    let want = expected_rows(&dep.data, &topo, ClusterId(0), &range);
+    assert!(!want.is_empty());
+    for result in &client.scan_results {
+        assert_eq!(
+            result.rows, want,
+            "no omission may survive verification: accepted rows must be complete"
+        );
+    }
+    for s in &client.samples {
+        assert!(s.committed, "scans never abort");
+    }
+}
