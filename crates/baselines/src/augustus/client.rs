@@ -135,10 +135,11 @@ impl AugustusClient {
                 reads,
                 writes,
             },
-            ClientOp::RangeScan { .. } => {
-                // Augustus locks individual keys and has no ADS, so a
-                // *verified* range scan has no analogue here; scan ops
-                // in a mixed workload are skipped for this baseline.
+            ClientOp::RangeScan { .. } | ClientOp::Query { .. } => {
+                // Augustus locks individual keys and has no ADS, so
+                // *verified* range scans and the unified proof-carrying
+                // query API have no analogue here; such ops in a mixed
+                // workload are skipped for this baseline.
                 self.start_next_op(ctx);
                 return;
             }

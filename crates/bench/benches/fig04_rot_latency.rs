@@ -216,6 +216,150 @@ fn edge_scan_workload(scale: Scale) -> ScanExperimentResult {
     }
 }
 
+/// Paginated scans through the unified query API: one `ReadQuery`
+/// covers four consecutive windows; the session pins the snapshot with
+/// the first page's batch and drives the remaining pages through the
+/// edge tier. The first query's pages forward upstream; repeats replay
+/// every page from the edge's scan cache (the continuation pages via
+/// exact-batch pinned replay).
+struct PaginationResult {
+    queries: u64,
+    pages: u64,
+    mean_pages: f64,
+    rows: u64,
+    served: u64,
+    verified: u64,
+    rejected: u64,
+    from_cache: u64,
+    forwarded: u64,
+    cold_ms: f64,
+    warm_ms: f64,
+}
+
+fn edge_paginated_scans(scale: Scale) -> PaginationResult {
+    let mut config = experiment_config(scale);
+    config.edge = EdgePlan::honest(1);
+    config.client.record_results = true;
+    let topo = config.topo.clone();
+    let key = (0u32..config.n_keys)
+        .map(Key::from_u32)
+        .find(|k| topo.partition_of(k) == ClusterId(0))
+        .expect("cluster 0 holds keys");
+    // Four aligned 128-bucket windows = one 512-bucket range.
+    let start = {
+        let b = ScanRange::bucket_of(&key, TREE_DEPTH);
+        b - (b % 512)
+    };
+    let range = ScanRange::new(start, start + 511);
+    let queries = scale.pick(8, 40) as u64;
+    let script: Vec<ClientOp> = (0..queries)
+        .map(|_| ClientOp::Query {
+            query: transedge_core::ReadQuery::scatter_scan(vec![ClusterId(0)], range, 128),
+        })
+        .collect();
+    let mut dep = Deployment::build(config, vec![script]);
+    dep.run_until_done(SimTime(3_600_000_000));
+    let client = dep.client(dep.client_ids[0]);
+    assert_eq!(client.stats.verification_failures, 0);
+    assert_eq!(client.query_results.len(), queries as usize);
+    let pages: u64 = client.query_results.iter().map(|q| q.pages as u64).sum();
+    let rows: u64 = client
+        .query_results
+        .iter()
+        .flat_map(|q| q.rows.iter())
+        .map(|(_, rows)| rows.len() as u64)
+        .sum();
+    let lats: Vec<f64> = client
+        .samples
+        .iter()
+        .filter(|s| s.kind == OpKind::RangeScan)
+        .map(|s| s.latency().as_micros() as f64 / 1_000.0)
+        .collect();
+    let m = client.query_metrics.paginated;
+    let edge = dep.edge_node(EdgeId::new(ClusterId(0), 0));
+    PaginationResult {
+        queries,
+        pages,
+        mean_pages: pages as f64 / queries.max(1) as f64,
+        rows,
+        served: m.served,
+        verified: m.verified,
+        rejected: m.rejected,
+        from_cache: edge.stats.scans_from_cache,
+        forwarded: edge.stats.scans_forwarded,
+        cold_ms: lats[0],
+        warm_ms: lats[1..].iter().sum::<f64>() / (lats.len() - 1).max(1) as f64,
+    }
+}
+
+/// Cross-partition scatter-gather through one `ReadQuery`: the same
+/// tree-order window is scanned on two partitions at once; the session
+/// fans the sub-queries out through each partition's edge, verifies
+/// every section against its own certified root, and stitches the
+/// verified rows with the cross-partition dependency check.
+struct ScatterResult {
+    queries: u64,
+    partitions: u64,
+    served: u64,
+    verified: u64,
+    rejected: u64,
+    mean_rows: f64,
+    mean_ms: f64,
+}
+
+fn edge_scatter_gather(scale: Scale) -> ScatterResult {
+    let mut config = experiment_config(scale);
+    config.edge = EdgePlan::honest(1);
+    config.client.record_results = true;
+    let topo = config.topo.clone();
+    let key = (0u32..config.n_keys)
+        .map(Key::from_u32)
+        .find(|k| topo.partition_of(k) == ClusterId(0))
+        .expect("cluster 0 holds keys");
+    let start = {
+        let b = ScanRange::bucket_of(&key, TREE_DEPTH);
+        b - (b % 256)
+    };
+    let range = ScanRange::new(start, start + 255);
+    let clusters = vec![ClusterId(0), ClusterId(1)];
+    let queries = scale.pick(10, 50) as u64;
+    let script: Vec<ClientOp> = (0..queries)
+        .map(|_| ClientOp::Query {
+            query: transedge_core::ReadQuery::scatter_scan(clusters.clone(), range, 256),
+        })
+        .collect();
+    let mut dep = Deployment::build(config, vec![script]);
+    dep.run_until_done(SimTime(3_600_000_000));
+    let client = dep.client(dep.client_ids[0]);
+    assert_eq!(client.stats.verification_failures, 0);
+    assert_eq!(client.query_results.len(), queries as usize);
+    for q in &client.query_results {
+        assert_eq!(q.snapshot.len(), 2, "both partitions answered");
+    }
+    let rows: u64 = client
+        .query_results
+        .iter()
+        .flat_map(|q| q.rows.iter())
+        .map(|(_, rows)| rows.len() as u64)
+        .sum();
+    let lats: Vec<f64> = client
+        .samples
+        .iter()
+        .filter(|s| s.kind == OpKind::RangeScan)
+        .map(|s| s.latency().as_micros() as f64 / 1_000.0)
+        .collect();
+    let m = client.query_metrics.scatter;
+    ScatterResult {
+        queries,
+        partitions: clusters.len() as u64,
+        served: m.served,
+        verified: m.verified,
+        rejected: m.rejected,
+        mean_rows: rows as f64 / queries.max(1) as f64,
+        mean_ms: lats.iter().sum::<f64>() / lats.len().max(1) as f64,
+    }
+}
+
 fn main() {
     let scale = Scale::detect();
     banner(
@@ -308,6 +452,33 @@ fn main() {
         format!("{:.1}", scan.mean_rows),
     ]);
 
+    // Paginated multi-window scans through the unified ReadQuery API.
+    println!();
+    println!("  paginated scans (4 windows per query, pinned snapshot):");
+    let pagination = edge_paginated_scans(scale);
+    header(&["queries", "pages", "cold", "warm", "cached", "fwd"]);
+    row(&[
+        pagination.queries.to_string(),
+        pagination.pages.to_string(),
+        fmt_ms(pagination.cold_ms),
+        fmt_ms(pagination.warm_ms),
+        pagination.from_cache.to_string(),
+        pagination.forwarded.to_string(),
+    ]);
+
+    // Cross-partition scatter-gather through one ReadQuery.
+    println!();
+    println!("  scatter-gather (one query, two partitions):");
+    let scatter = edge_scatter_gather(scale);
+    header(&["queries", "parts", "verified", "rows/q", "mean"]);
+    row(&[
+        scatter.queries.to_string(),
+        scatter.partitions.to_string(),
+        scatter.verified.to_string(),
+        format!("{:.1}", scatter.mean_rows),
+        fmt_ms(scatter.mean_ms),
+    ]);
+
     paper_reference(&[
         "2PC/BFT:   ~12 ms at 1 cluster, 69–82 ms at 2–5 clusters",
         "TransEdge: ~1–8 ms across 1–5 clusters",
@@ -320,8 +491,9 @@ fn main() {
     json.push_str("{\n  \"figure\": \"fig04_rot_latency\",\n");
     // Bump when a metrics block is added/renamed so `scripts/
     // validate_bench.sh` (and any trajectory tooling) can tell schemas
-    // apart. 2 = added the `scan` block.
-    json.push_str("  \"schema_version\": 2,\n");
+    // apart. 2 = added the `scan` block; 3 = added the `pagination`
+    // and `scatter` blocks of the unified ReadQuery protocol.
+    json.push_str("  \"schema_version\": 3,\n");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -359,7 +531,7 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"scan\": {{\"requests\": {}, \"from_cache\": {}, \"forwarded\": {}, \"covered_by_wider\": {}, \"mean_rows\": {:.2}, \"cold_ms\": {:.4}, \"warm_ms\": {:.4}, \"hit_rate\": {:.4}}}",
+        "  \"scan\": {{\"requests\": {}, \"from_cache\": {}, \"forwarded\": {}, \"covered_by_wider\": {}, \"mean_rows\": {:.2}, \"cold_ms\": {:.4}, \"warm_ms\": {:.4}, \"hit_rate\": {:.4}}},",
         scan.requests,
         scan.from_cache,
         scan.forwarded,
@@ -368,6 +540,32 @@ fn main() {
         scan.cold_ms,
         scan.warm_ms,
         scan.hit_rate
+    );
+    let _ = writeln!(
+        json,
+        "  \"pagination\": {{\"queries\": {}, \"pages\": {}, \"mean_pages\": {:.2}, \"rows\": {}, \"served\": {}, \"verified\": {}, \"rejected\": {}, \"from_cache\": {}, \"forwarded\": {}, \"cold_ms\": {:.4}, \"warm_ms\": {:.4}}},",
+        pagination.queries,
+        pagination.pages,
+        pagination.mean_pages,
+        pagination.rows,
+        pagination.served,
+        pagination.verified,
+        pagination.rejected,
+        pagination.from_cache,
+        pagination.forwarded,
+        pagination.cold_ms,
+        pagination.warm_ms
+    );
+    let _ = writeln!(
+        json,
+        "  \"scatter\": {{\"queries\": {}, \"partitions\": {}, \"served\": {}, \"verified\": {}, \"rejected\": {}, \"mean_rows\": {:.2}, \"mean_ms\": {:.4}}}",
+        scatter.queries,
+        scatter.partitions,
+        scatter.served,
+        scatter.verified,
+        scatter.rejected,
+        scatter.mean_rows,
+        scatter.mean_ms
     );
     json.push_str("}\n");
     // Anchor at the workspace root regardless of bench CWD.

@@ -1,13 +1,19 @@
-//! The TransEdge client: OCC read-write transactions and the verified
-//! one-to-two-round read-only protocol.
+//! The TransEdge client: OCC read-write transactions and the unified
+//! proof-carrying read-query protocol.
 //!
 //! A client actor executes a scripted sequence of operations
 //! ([`ClientOp`]), one at a time (closed loop — the paper's "2 clients
-//! running 10 threads" maps to 20 such actors). For every response from
-//! an untrusted node it performs the full verification the paper
-//! requires: batch certificates (`f+1` signatures), Merkle inclusion /
-//! non-inclusion proofs against the certified root, dependency checking
-//! across partitions (Algorithm 2), and the freshness window.
+//! running 10 threads" maps to 20 such actors). Every read-only shape —
+//! point snapshot reads, verified range scans, paginated multi-window
+//! scans, cross-partition scatter-gather — runs through one
+//! `ReadSession`: it plans per-partition sub-queries from a
+//! [`ReadQuery`], fans them out through the adaptive [`EdgeSelector`],
+//! verifies every response end to end
+//! (`ReadVerifier::verify_query`: certificates, Merkle proofs,
+//! completeness, snapshot pins), stitches the verified sections into
+//! one result, and re-runs partitions whose snapshots fail the
+//! cross-partition dependency check (Algorithm 2) with an explicit
+//! LCE floor — the round-2 semantics, now uniform across shapes.
 
 use std::collections::HashMap;
 
@@ -16,14 +22,17 @@ use transedge_common::{
     SimTime, TxnId, Value,
 };
 use transedge_crypto::{KeyStore, ScanRange};
-use transedge_edge::{ReadVerifier, VerifyParams};
+use transedge_edge::{
+    PageToken, QueryAnswer, QueryShape, ReadQuery, ReadRejection, ReadResponse, ReadVerifier,
+    SnapshotPolicy, VerifyParams,
+};
 use transedge_simnet::{Actor, Context};
 
 use crate::batch::{ReadOp, Transaction, WriteOp};
 use crate::deps::{verify_dependencies, RotView};
 use crate::edge_select::{EdgeSelector, EdgeSelectorConfig};
-use crate::messages::{NetMsg, RotBundle, RotScanBundle};
-use crate::metrics::{OpKind, TxnSample};
+use crate::messages::{NetMsg, ReadPayload};
+use crate::metrics::{OpKind, QueryClass, ReadQueryMetrics, TxnSample};
 
 /// One scripted client operation.
 #[derive(Clone, Debug)]
@@ -33,17 +42,20 @@ pub enum ClientOp {
         reads: Vec<Key>,
         writes: Vec<(Key, Value)>,
     },
-    /// Snapshot read-only transaction over `keys`.
+    /// Snapshot read-only transaction over `keys` (sugar for a
+    /// [`ClientOp::Query`] with a point shape at the latest snapshot).
     ReadOnly { keys: Vec<Key> },
     /// Verified range scan: every committed row in a contiguous window
     /// of `cluster`'s tree order, with a completeness proof so an
-    /// untrusted server cannot silently omit rows. Single-partition and
-    /// single-round (`rot_via_2pc` does not apply — scans are a
-    /// TransEdge-only query type).
+    /// untrusted server cannot silently omit rows (sugar for a
+    /// single-cluster, single-window [`ClientOp::Query`]).
     RangeScan {
         cluster: ClusterId,
         range: ScanRange,
     },
+    /// The full typed read API: any [`ReadQuery`] — multi-partition
+    /// point sets, paginated scans, scatter-gather, snapshot policies.
+    Query { query: ReadQuery },
 }
 
 /// Client-side configuration (verification parameters must match the
@@ -114,6 +126,24 @@ pub struct ScanResult {
     pub rows: Vec<(Key, Value)>,
 }
 
+/// Completed [`ClientOp::Query`] (when `record_results`): the stitched,
+/// fully verified answer of one unified read query.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// Point answers in per-partition order (point shapes).
+    pub values: Vec<(Key, Option<Value>)>,
+    /// Scan rows per partition, each ascending in tree order (scan
+    /// shapes).
+    pub rows: Vec<(ClusterId, Vec<(Key, Value)>)>,
+    /// `(partition, batch served)` — the snapshot each partition's
+    /// sections were verified against.
+    pub snapshot: Vec<(ClusterId, BatchNum)>,
+    /// Did the cross-partition dependency check force a second round?
+    pub needed_round2: bool,
+    /// Verified scan pages across all partitions.
+    pub pages: u32,
+}
+
 /// Completed read-write transaction result (when `record_results`).
 #[derive(Clone, Debug)]
 pub struct TxnOutcome {
@@ -123,17 +153,129 @@ pub struct TxnOutcome {
     pub reads: Vec<(Key, Option<Value>)>,
 }
 
-/// One partition's verified answer: dependency view + values.
-type VerifiedPartition = (RotView, Vec<(Key, Option<Value>)>);
-
-/// One outstanding read-only request: which partition it covers, where
+/// One outstanding read sub-query: which partition it covers, where
 /// it went, and when — so responses credit (or blame) the right target
 /// in the edge selector.
 #[derive(Clone, Copy, Debug)]
-struct RotPending {
+struct SubPending {
     cluster: ClusterId,
     target: NodeId,
     sent_at: SimTime,
+}
+
+/// How the stitched result of a [`ReadSession`] is recorded — legacy
+/// sugar ops keep filling the legacy result vectors so harnesses and
+/// tests keep their vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum QueryOrigin {
+    ReadOnly,
+    RangeScan,
+    Api,
+}
+
+/// Per-partition progress of one unified query.
+#[derive(Clone, Debug)]
+struct PartState {
+    cluster: ClusterId,
+    /// Point keys of this partition (empty for scan parts).
+    keys: Vec<Key>,
+    /// Round-2 LCE floor ([`Epoch::NONE`] until the dependency check
+    /// demands one).
+    floor: Epoch,
+    /// Scan continuation: the next page's token.
+    token: Option<PageToken>,
+    /// Verified pages so far (scan parts).
+    pages: u32,
+    /// Snapshot view of the partition (set by the first verified
+    /// response; input to the dependency check).
+    view: Option<RotView>,
+    values: Vec<(Key, Option<Value>)>,
+    rows: Vec<(Key, Value)>,
+    done: bool,
+}
+
+impl PartState {
+    fn new(cluster: ClusterId, keys: Vec<Key>) -> Self {
+        PartState {
+            cluster,
+            keys,
+            floor: Epoch::NONE,
+            token: None,
+            pages: 0,
+            view: None,
+            values: Vec::new(),
+            rows: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Restart this partition from scratch at a new LCE floor (round
+    /// two: its snapshot failed the dependency check).
+    fn restart_at_floor(&mut self, floor: Epoch) {
+        self.floor = floor;
+        self.token = None;
+        self.pages = 0;
+        self.view = None;
+        self.values.clear();
+        self.rows.clear();
+        self.done = false;
+    }
+}
+
+/// The planner/assembler behind every read shape: one session per
+/// in-flight [`ReadQuery`]. It owns the per-partition sub-query plan,
+/// the outstanding fan-out, pagination state, and the verified
+/// per-partition results awaiting the final stitch.
+struct ReadSession {
+    query: ReadQuery,
+    origin: QueryOrigin,
+    class: QueryClass,
+    round: u8,
+    parts: Vec<PartState>,
+    /// req id → where the sub-query went.
+    outstanding: HashMap<u64, SubPending>,
+    round1_done_at: Option<SimTime>,
+}
+
+impl ReadSession {
+    fn part_mut(&mut self, cluster: ClusterId) -> Option<&mut PartState> {
+        self.parts.iter_mut().find(|p| p.cluster == cluster)
+    }
+
+    /// The wire sub-query currently owed by `cluster`: the original
+    /// query restricted to that partition, at the part's floor and
+    /// page position.
+    fn subquery(&self, cluster: ClusterId) -> Option<ReadQuery> {
+        let part = self.parts.iter().find(|p| p.cluster == cluster)?;
+        let consistency = if part.floor.is_none() {
+            self.query.consistency
+        } else {
+            SnapshotPolicy::MinEpoch(part.floor)
+        };
+        let shape = match &self.query.shape {
+            QueryShape::Point { .. } => QueryShape::Point {
+                keys: part.keys.clone(),
+            },
+            QueryShape::Scan { range, window, .. } => QueryShape::Scan {
+                clusters: vec![cluster],
+                range: *range,
+                window: *window,
+            },
+        };
+        Some(ReadQuery {
+            consistency,
+            shape,
+            page: part.token,
+        })
+    }
+
+    fn all_done(&self) -> bool {
+        self.parts.iter().all(|p| p.done) && self.outstanding.is_empty()
+    }
+
+    fn views(&self) -> Vec<RotView> {
+        self.parts.iter().filter_map(|p| p.view.clone()).collect()
+    }
 }
 
 #[allow(clippy::enum_variant_names)]
@@ -147,25 +289,7 @@ enum Phase {
         txn: Transaction,
         coordinator: ClusterId,
     },
-    RotRound {
-        round: u8,
-        /// req id → where the request went.
-        outstanding: HashMap<u64, RotPending>,
-        /// Verified responses so far (latest per cluster).
-        responses: HashMap<ClusterId, VerifiedPartition>,
-        /// Keys per cluster (for round-2 re-requests).
-        keys_by_cluster: Vec<(ClusterId, Vec<Key>)>,
-        round1_done_at: Option<SimTime>,
-        /// Required minimum epoch per cluster in round 2.
-        required: HashMap<ClusterId, Epoch>,
-    },
-    ScanRound {
-        cluster: ClusterId,
-        range: ScanRange,
-        /// req id → where the request went (one live entry; retries
-        /// after rejections swap it).
-        outstanding: HashMap<u64, RotPending>,
-    },
+    Query(ReadSession),
 }
 
 struct Inflight {
@@ -189,7 +313,7 @@ pub struct ClientStats {
     pub gave_up: u64,
     /// Assembled (multi-section) responses accepted from edge nodes.
     pub assembled_accepted: u64,
-    /// Verified range scans accepted.
+    /// Verified scan responses (pages) accepted.
     pub scans_accepted: u64,
     /// Accepted scans whose proven window was wider than the request —
     /// an edge served a covering cached window and the client filtered.
@@ -216,8 +340,12 @@ pub struct ClientActor {
     pub samples: Vec<TxnSample>,
     pub rot_results: Vec<RotResult>,
     pub scan_results: Vec<ScanResult>,
+    pub query_results: Vec<QueryOutcome>,
     pub txn_outcomes: Vec<TxnOutcome>,
     pub stats: ClientStats,
+    /// Per-shape serving/verification counters of the unified read
+    /// protocol.
+    pub query_metrics: ReadQueryMetrics,
 }
 
 impl ClientActor {
@@ -252,8 +380,10 @@ impl ClientActor {
             samples: Vec::new(),
             rot_results: Vec::new(),
             scan_results: Vec::new(),
+            query_results: Vec::new(),
             txn_outcomes: Vec::new(),
             stats: ClientStats::default(),
+            query_metrics: ReadQueryMetrics::default(),
         }
     }
 
@@ -279,12 +409,12 @@ impl ClientActor {
         NodeId::Replica(ReplicaId::new(cluster, (self.read_rr % n) as u16))
     }
 
-    /// Where this client's read-only rounds go: the edge node the
+    /// Where this client's read sub-queries go: the edge node the
     /// adaptive selector currently ranks best for the partition, or the
     /// cluster leader when no edge fronts it (or every candidate is
     /// demoted). Retries after verification failures bypass this and
     /// ask real replicas directly.
-    fn rot_target(&mut self, cluster: ClusterId, now: SimTime) -> NodeId {
+    fn read_target(&mut self, cluster: ClusterId, now: SimTime) -> NodeId {
         self.edge_selector
             .pick(cluster, now)
             .unwrap_or_else(|| self.leader_of(cluster))
@@ -336,7 +466,7 @@ impl ClientActor {
                     outstanding.insert(req, key.clone());
                     ctx.send(
                         target,
-                        NetMsg::Read {
+                        NetMsg::OccRead {
                             req,
                             key: key.clone(),
                         },
@@ -364,77 +494,15 @@ impl ClientActor {
                 ctx.set_timer(self.config.retry_after, op_index as u64 + TIMER_BASE);
             }
             ClientOp::ReadOnly { keys } => {
-                let mut by_cluster: HashMap<ClusterId, Vec<Key>> = HashMap::new();
-                for key in keys {
-                    by_cluster
-                        .entry(self.topo.partition_of(&key))
-                        .or_default()
-                        .push(key);
-                }
-                let mut keys_by_cluster: Vec<(ClusterId, Vec<Key>)> =
-                    by_cluster.into_iter().collect();
-                keys_by_cluster.sort_by_key(|(c, _)| *c);
-                let mut outstanding = HashMap::new();
-                for (cluster, keys) in &keys_by_cluster {
-                    let req = self.req_id();
-                    let target = self.rot_target(*cluster, ctx.now());
-                    outstanding.insert(
-                        req,
-                        RotPending {
-                            cluster: *cluster,
-                            target,
-                            sent_at: ctx.now(),
-                        },
-                    );
-                    ctx.send(
-                        target,
-                        NetMsg::RotRequest {
-                            req,
-                            keys: keys.clone(),
-                        },
-                    );
-                }
-                self.inflight = Some(Inflight {
-                    op_index,
-                    kind: OpKind::ReadOnly,
-                    start: ctx.now(),
-                    attempts: 0,
-                    phase: Phase::RotRound {
-                        round: 1,
-                        outstanding,
-                        responses: HashMap::new(),
-                        keys_by_cluster,
-                        round1_done_at: None,
-                        required: HashMap::new(),
-                    },
-                });
-                ctx.set_timer(self.config.retry_after, op_index as u64 + TIMER_BASE);
+                let query = ReadQuery::point(keys);
+                self.start_query(op_index, query, QueryOrigin::ReadOnly, ctx);
             }
             ClientOp::RangeScan { cluster, range } => {
-                let req = self.req_id();
-                let target = self.rot_target(cluster, ctx.now());
-                let mut outstanding = HashMap::new();
-                outstanding.insert(
-                    req,
-                    RotPending {
-                        cluster,
-                        target,
-                        sent_at: ctx.now(),
-                    },
-                );
-                ctx.send(target, NetMsg::RotScan { req, range });
-                self.inflight = Some(Inflight {
-                    op_index,
-                    kind: OpKind::RangeScan,
-                    start: ctx.now(),
-                    attempts: 0,
-                    phase: Phase::ScanRound {
-                        cluster,
-                        range,
-                        outstanding,
-                    },
-                });
-                ctx.set_timer(self.config.retry_after, op_index as u64 + TIMER_BASE);
+                let query = ReadQuery::scatter_scan(vec![cluster], range, range.width());
+                self.start_query(op_index, query, QueryOrigin::RangeScan, ctx);
+            }
+            ClientOp::Query { query } => {
+                self.start_query(op_index, query, QueryOrigin::Api, ctx);
             }
         }
     }
@@ -489,7 +557,7 @@ impl ClientActor {
     }
 
     // ------------------------------------------------------------------
-    // Read-only verification
+    // The unified read session
     // ------------------------------------------------------------------
 
     /// The trusted-side checker, configured to match the deployment.
@@ -501,110 +569,159 @@ impl ClientActor {
         })
     }
 
-    /// Verify a read-only response end to end (proof → root →
-    /// certificate → freshness → dependency floor) by delegating to the
-    /// edge read subsystem's verifier. A plain response is a one-section
-    /// assembly; a partially-assembled edge response carries several
-    /// sections, each checked against its own certified root. Returns
-    /// the dependency view and verified values, or `None` (counting a
-    /// verification failure — evidence of a byzantine server).
-    fn verify_rot_sections(
+    /// Plan a [`ReadQuery`] into per-partition sub-queries and fan the
+    /// first round out through the edge selector.
+    fn start_query(
         &mut self,
-        cluster: ClusterId,
-        sections: &[RotBundle],
-        expected_keys: &[Key],
-        min_lce: Epoch,
-        now: SimTime,
-        ctx: &mut Context<'_, NetMsg>,
-    ) -> Option<VerifiedPartition> {
-        // One certificate verification per response (the verifier
-        // reuses the anchor's for content-identical sections) plus one
-        // proof check per read across all sections.
-        ctx.charge(|c| {
-            let sigs = sections.first().map(|b| b.cert.sigs.len()).unwrap_or(0) as u64;
-            let reads: u64 = sections.iter().map(|b| b.reads.len() as u64).sum();
-            SimDuration(c.ed25519_verify.0 * sigs + c.merkle_verify.0 * reads)
-        });
-        match self.read_verifier().verify_assembled(
-            &self.keys,
-            cluster,
-            sections,
-            expected_keys,
-            min_lce,
-            now,
-        ) {
-            Ok(values) => {
-                // All sections pin the same batch (the verifier rejects
-                // torn assemblies), so the first one names the cut.
-                let header = &sections[0].commitment.header;
-                let view = RotView {
-                    cluster,
-                    batch: header.num,
-                    cd: header.cd.clone(),
-                    lce: header.lce,
-                };
-                Some((view, values))
-            }
-            Err(_rejection) => {
-                self.stats.verification_failures += 1;
-                None
-            }
-        }
-    }
-
-    fn on_rot_response(
-        &mut self,
-        req: u64,
-        sections: Vec<RotBundle>,
+        op_index: usize,
+        query: ReadQuery,
+        origin: QueryOrigin,
         ctx: &mut Context<'_, NetMsg>,
     ) {
+        let parts: Vec<PartState> = match &query.shape {
+            QueryShape::Point { keys } => {
+                let mut by_cluster: HashMap<ClusterId, Vec<Key>> = HashMap::new();
+                for key in keys {
+                    by_cluster
+                        .entry(self.topo.partition_of(key))
+                        .or_default()
+                        .push(key.clone());
+                }
+                let mut parts: Vec<(ClusterId, Vec<Key>)> = by_cluster.into_iter().collect();
+                parts.sort_by_key(|(c, _)| *c);
+                parts
+                    .into_iter()
+                    .map(|(c, keys)| PartState::new(c, keys))
+                    .collect()
+            }
+            QueryShape::Scan { clusters, .. } => {
+                let mut clusters = clusters.clone();
+                clusters.sort_unstable();
+                clusters.dedup();
+                clusters
+                    .into_iter()
+                    .map(|c| PartState::new(c, Vec::new()))
+                    .collect()
+            }
+        };
+        let kind = match query.shape {
+            QueryShape::Point { .. } => OpKind::ReadOnly,
+            QueryShape::Scan { .. } => OpKind::RangeScan,
+        };
+        let class = QueryClass {
+            scan: matches!(query.shape, QueryShape::Scan { .. }),
+            paginated: query.is_paginated(),
+            scatter: parts.len() > 1,
+        };
+        let mut session = ReadSession {
+            query,
+            origin,
+            class,
+            round: 1,
+            parts,
+            outstanding: HashMap::new(),
+            round1_done_at: None,
+        };
+        // An empty plan (no keys / no clusters) completes immediately.
+        if session.parts.is_empty() {
+            self.samples.push(TxnSample {
+                kind,
+                start: ctx.now(),
+                end: ctx.now(),
+                committed: true,
+                rot_round2: false,
+                round1_latency: Some(SimDuration(0)),
+            });
+            self.start_next_op(ctx);
+            return;
+        }
+        let start = ctx.now();
+        let clusters: Vec<ClusterId> = session.parts.iter().map(|p| p.cluster).collect();
+        for cluster in clusters {
+            let req = self.req_id();
+            let target = self.read_target(cluster, ctx.now());
+            session.outstanding.insert(
+                req,
+                SubPending {
+                    cluster,
+                    target,
+                    sent_at: ctx.now(),
+                },
+            );
+            let sub = session.subquery(cluster).expect("planned part");
+            ctx.send(target, NetMsg::Read { req, query: sub });
+        }
+        self.inflight = Some(Inflight {
+            op_index,
+            kind,
+            start,
+            attempts: 0,
+            phase: Phase::Query(session),
+        });
+        ctx.set_timer(self.config.retry_after, op_index as u64 + TIMER_BASE);
+    }
+
+    /// A unified read response arrived: verify it against the owing
+    /// sub-query, advance pagination, and stitch when every partition
+    /// is done.
+    fn on_read_result(&mut self, req: u64, result: ReadPayload, ctx: &mut Context<'_, NetMsg>) {
         let now = ctx.now();
         let Some(mut inflight) = self.inflight.take() else {
             return;
         };
-        let Phase::RotRound {
-            round,
-            mut outstanding,
-            mut responses,
-            keys_by_cluster,
-            mut round1_done_at,
-            mut required,
-        } = inflight.phase
-        else {
+        let Phase::Query(mut session) = inflight.phase else {
             self.inflight = Some(inflight);
             return;
         };
-        let Some(pending) = outstanding.get(&req).copied() else {
-            // Late duplicate from a previous round — ignore.
-            inflight.phase = Phase::RotRound {
-                round,
-                outstanding,
-                responses,
-                keys_by_cluster,
-                round1_done_at,
-                required,
-            };
+        let Some(pending) = session.outstanding.get(&req).copied() else {
+            // Late duplicate from a previous round/page — ignore.
+            inflight.phase = Phase::Query(session);
             self.inflight = Some(inflight);
             return;
         };
         let cluster = pending.cluster;
-        let expected_keys = keys_by_cluster
-            .iter()
-            .find(|(c, _)| *c == cluster)
-            .map(|(_, k)| k.clone())
-            .unwrap_or_default();
-        // Round-2 responses must reach the dependency floor we asked
-        // for; the verifier rejects anything staler (the "stale root"
-        // attack an untrusted edge could try).
-        let min_lce = if round >= 2 {
-            required.get(&cluster).copied().unwrap_or(Epoch::NONE)
-        } else {
-            Epoch::NONE
+        let Some(sub) = session.subquery(cluster) else {
+            inflight.phase = Phase::Query(session);
+            self.inflight = Some(inflight);
+            return;
         };
-        let verified =
-            self.verify_rot_sections(cluster, &sections, &expected_keys, min_lce, now, ctx);
+        // Charge simulated verification CPU: one certificate check per
+        // response plus one proof/leaf hash per read or window bucket.
+        // A scan's claimed window is *attacker-controlled* and
+        // unvalidated here, so its width is computed saturating and
+        // capped at the protocol maximum — the verifier rejects
+        // anything wider before hashing.
+        let response = result;
+        match &response {
+            ReadResponse::Point { sections } => {
+                ctx.charge(|c| {
+                    let sigs = sections.first().map(|b| b.cert.sigs.len()).unwrap_or(0) as u64;
+                    let reads: u64 = sections.iter().map(|b| b.reads.len() as u64).sum();
+                    SimDuration(c.ed25519_verify.0 * sigs + c.merkle_verify.0 * reads)
+                });
+            }
+            ReadResponse::Scan { bundle } => {
+                ctx.charge(|c| {
+                    let claimed = &bundle.scan.range;
+                    let width = claimed
+                        .last
+                        .saturating_sub(claimed.first)
+                        .saturating_add(1)
+                        .min(transedge_crypto::range::MAX_RANGE_BUCKETS);
+                    SimDuration(
+                        c.ed25519_verify.0 * bundle.cert.sigs.len() as u64
+                            + c.merkle_verify.0 * width,
+                    )
+                });
+            }
+        }
+        self.query_metrics.served(session.class);
+        let verified = self
+            .read_verifier()
+            .verify_query(&self.keys, cluster, &sub, &response, now);
         match verified {
-            Some((view, vals)) => {
+            Ok(answer) => {
+                self.query_metrics.verified(session.class);
                 if matches!(pending.target, NodeId::Edge(_)) {
                     self.edge_selector.record_success(
                         cluster,
@@ -612,274 +729,115 @@ impl ClientActor {
                         now.saturating_since(pending.sent_at),
                     );
                 }
-                if sections.len() > 1 {
-                    self.stats.assembled_accepted += 1;
+                session.outstanding.remove(&req);
+                let mut next_page: Option<ReadQuery> = None;
+                {
+                    let part = session.part_mut(cluster).expect("verified part exists");
+                    match answer {
+                        QueryAnswer::Values(values) => {
+                            if let ReadResponse::Point { sections } = &response {
+                                if sections.len() > 1 {
+                                    self.stats.assembled_accepted += 1;
+                                }
+                                let header = &sections[0].commitment.header;
+                                part.view = Some(RotView {
+                                    cluster,
+                                    batch: header.num,
+                                    cd: header.cd.clone(),
+                                    lce: header.lce,
+                                });
+                            }
+                            part.values = values;
+                            part.done = true;
+                        }
+                        QueryAnswer::Rows { rows, next } => {
+                            self.stats.scans_accepted += 1;
+                            if let ReadResponse::Scan { bundle } = &response {
+                                if sub.scan_window().is_some_and(|w| bundle.scan.range != w) {
+                                    self.stats.scans_covered_by_wider += 1;
+                                }
+                                if part.view.is_none() {
+                                    let header = &bundle.commitment.header;
+                                    part.view = Some(RotView {
+                                        cluster,
+                                        batch: header.num,
+                                        cd: header.cd.clone(),
+                                        lce: header.lce,
+                                    });
+                                }
+                            }
+                            part.rows.extend(rows);
+                            part.pages += 1;
+                            match next {
+                                Some(token) => {
+                                    part.token = Some(token);
+                                    part.done = false;
+                                }
+                                None => part.done = true,
+                            }
+                        }
+                    }
+                    if !part.done {
+                        next_page = session.subquery(cluster);
+                    }
                 }
-                outstanding.remove(&req);
-                responses.insert(cluster, (view, vals));
+                if let Some(page_query) = next_page {
+                    // Next page: back through the selector — the pinned
+                    // batch keeps the snapshot consistent even when a
+                    // different node serves it.
+                    let page_req = self.req_id();
+                    let target = self.read_target(cluster, now);
+                    session.outstanding.insert(
+                        page_req,
+                        SubPending {
+                            cluster,
+                            target,
+                            sent_at: now,
+                        },
+                    );
+                    ctx.send(
+                        target,
+                        NetMsg::Read {
+                            req: page_req,
+                            query: page_query,
+                        },
+                    );
+                }
             }
-            None => {
+            Err(rejection) => {
                 // Verification failed: blame the target (demoting a
                 // byzantine edge) and re-ask a real replica of the same
-                // cluster (byzantine server evasion).
-                if matches!(pending.target, NodeId::Edge(_)) {
-                    self.edge_selector
-                        .record_rejection(cluster, pending.target, now);
-                }
-                let retry_req = self.req_id();
-                outstanding.remove(&req);
-                let target = self.any_replica_of(cluster);
-                outstanding.insert(
-                    retry_req,
-                    RotPending {
-                        cluster,
-                        target,
-                        sent_at: now,
-                    },
-                );
-                let msg = if round == 1 {
-                    NetMsg::RotRequest {
-                        req: retry_req,
-                        keys: expected_keys,
-                    }
-                } else {
-                    NetMsg::RotFetch {
-                        req: retry_req,
-                        keys: expected_keys,
-                        min_epoch: required.get(&cluster).copied().unwrap_or(Epoch::NONE),
-                    }
-                };
-                ctx.send(target, msg);
-                inflight.phase = Phase::RotRound {
-                    round,
-                    outstanding,
-                    responses,
-                    keys_by_cluster,
-                    round1_done_at,
-                    required,
-                };
-                self.inflight = Some(inflight);
-                return;
-            }
-        }
-        if !outstanding.is_empty() {
-            inflight.phase = Phase::RotRound {
-                round,
-                outstanding,
-                responses,
-                keys_by_cluster,
-                round1_done_at,
-                required,
-            };
-            self.inflight = Some(inflight);
-            return;
-        }
-        // All clusters answered this round: check dependencies
-        // (Algorithm 2).
-        let views: Vec<RotView> = responses.values().map(|(v, _)| v.clone()).collect();
-        let unsatisfied = verify_dependencies(&views);
-        if unsatisfied.is_empty() {
-            // Done.
-            let needed_round2 = round > 1;
-            self.samples.push(TxnSample {
-                kind: OpKind::ReadOnly,
-                start: inflight.start,
-                end: now,
-                committed: true,
-                rot_round2: needed_round2,
-                round1_latency: Some(
-                    round1_done_at
-                        .unwrap_or(now)
-                        .saturating_since(inflight.start),
-                ),
-            });
-            if self.config.record_results {
-                let mut all_values = Vec::new();
-                let mut snapshot = Vec::new();
-                for (cluster, (view, vals)) in &responses {
-                    snapshot.push((*cluster, view.batch));
-                    all_values.extend(vals.clone());
-                }
-                snapshot.sort_by_key(|(c, _)| *c);
-                self.rot_results.push(RotResult {
-                    values: all_values,
-                    snapshot,
-                    needed_round2,
-                });
-            }
-            self.inflight = None;
-            self.start_next_op(ctx);
-            return;
-        }
-        if round >= 2 {
-            // Theorem 4.6 says this cannot happen; count it loudly (a
-            // test asserts it stays zero) and satisfy it with another
-            // fetch round anyway.
-            self.stats.third_round_needed += 1;
-        }
-        if round1_done_at.is_none() {
-            round1_done_at = Some(now);
-        }
-        // Round 2: explicitly fetch the missing dependencies.
-        for (cluster, min_epoch) in unsatisfied {
-            let keys = keys_by_cluster
-                .iter()
-                .find(|(c, _)| *c == cluster)
-                .map(|(_, k)| k.clone())
-                .unwrap_or_default();
-            if keys.is_empty() {
-                continue; // dependency on a partition we did not read
-            }
-            let req = self.req_id();
-            let target = self.rot_target(cluster, now);
-            outstanding.insert(
-                req,
-                RotPending {
-                    cluster,
-                    target,
-                    sent_at: now,
-                },
-            );
-            required.insert(cluster, min_epoch);
-            ctx.send(
-                target,
-                NetMsg::RotFetch {
-                    req,
-                    keys,
-                    min_epoch,
-                },
-            );
-        }
-        // It is possible every unsatisfied dependency pointed at
-        // partitions outside the read set; re-check termination.
-        if outstanding.is_empty() {
-            self.samples.push(TxnSample {
-                kind: OpKind::ReadOnly,
-                start: inflight.start,
-                end: now,
-                committed: true,
-                rot_round2: true,
-                round1_latency: Some(
-                    round1_done_at
-                        .unwrap_or(now)
-                        .saturating_since(inflight.start),
-                ),
-            });
-            self.inflight = None;
-            self.start_next_op(ctx);
-            return;
-        }
-        inflight.phase = Phase::RotRound {
-            round: 2,
-            outstanding,
-            responses,
-            keys_by_cluster,
-            round1_done_at,
-            required,
-        };
-        self.inflight = Some(inflight);
-    }
-
-    /// A verified-scan response arrived: check the completeness chain
-    /// (certificate → freshness → coverage → range proof → row match)
-    /// and finish the op, or blame the target and re-ask a real replica
-    /// — exactly the byzantine-evasion pattern of point reads.
-    fn on_scan_response(&mut self, req: u64, bundle: RotScanBundle, ctx: &mut Context<'_, NetMsg>) {
-        let now = ctx.now();
-        let Some(mut inflight) = self.inflight.take() else {
-            return;
-        };
-        let Phase::ScanRound {
-            cluster,
-            range,
-            mut outstanding,
-        } = inflight.phase
-        else {
-            self.inflight = Some(inflight);
-            return;
-        };
-        let Some(pending) = outstanding.get(&req).copied() else {
-            // Late duplicate — ignore.
-            inflight.phase = Phase::ScanRound {
-                cluster,
-                range,
-                outstanding,
-            };
-            self.inflight = Some(inflight);
-            return;
-        };
-        // One certificate verification plus one hash per leaf of the
-        // proven window (the verifier recomputes every leaf, empty ones
-        // included — that is what makes the scan complete). The claimed
-        // window is *attacker-controlled* and unvalidated at this point,
-        // so compute its width saturating and cap it at the protocol
-        // maximum — the verifier rejects anything wider before hashing,
-        // so that is also the most work an honest client ever does.
-        ctx.charge(|c| {
-            let claimed = &bundle.scan.range;
-            let width = claimed
-                .last
-                .saturating_sub(claimed.first)
-                .saturating_add(1)
-                .min(transedge_crypto::range::MAX_RANGE_BUCKETS);
-            SimDuration(
-                c.ed25519_verify.0 * bundle.cert.sigs.len() as u64 + c.merkle_verify.0 * width,
-            )
-        });
-        let proven_wider = bundle.scan.range != range;
-        match self.read_verifier().verify_scan(
-            &self.keys,
-            cluster,
-            &bundle,
-            &range,
-            Epoch::NONE,
-            now,
-        ) {
-            Ok(rows) => {
-                if matches!(pending.target, NodeId::Edge(_)) {
-                    self.edge_selector.record_success(
-                        cluster,
-                        pending.target,
-                        now.saturating_since(pending.sent_at),
-                    );
-                }
-                self.stats.scans_accepted += 1;
-                if proven_wider {
-                    self.stats.scans_covered_by_wider += 1;
-                }
-                self.samples.push(TxnSample {
-                    kind: OpKind::RangeScan,
-                    start: inflight.start,
-                    end: now,
-                    committed: true,
-                    rot_round2: false,
-                    round1_latency: None,
-                });
-                if self.config.record_results {
-                    self.scan_results.push(ScanResult {
-                        cluster,
-                        range,
-                        batch: bundle.batch(),
-                        rows,
-                    });
-                }
-                self.inflight = None;
-                self.start_next_op(ctx);
-            }
-            Err(_rejection) => {
-                // Incomplete, torn, or forged: blame the target
-                // (demoting a byzantine edge) and re-ask a real replica.
+                // cluster (byzantine server evasion). The sub-query is
+                // normally unchanged — pagination resumes exactly where
+                // the lie was caught.
                 self.stats.verification_failures += 1;
+                self.query_metrics.rejected(session.class);
                 if matches!(pending.target, NodeId::Edge(_)) {
                     self.edge_selector
                         .record_rejection(cluster, pending.target, now);
                 }
-                outstanding.remove(&req);
+                session.outstanding.remove(&req);
+                // Exception: a pinned page continuation whose batch
+                // aged past the freshness window can never verify
+                // again — *no* server can make the pinned batch
+                // fresher, so re-asking with the same token would loop
+                // until the op gives up (and keep blaming honest
+                // servers). Restart this partition's pagination from
+                // page one at its current floor; a fresh batch re-pins
+                // the snapshot.
+                let sub = if rejection == ReadRejection::StaleTimestamp && sub.page.is_some() {
+                    let part = session.part_mut(cluster).expect("pending part exists");
+                    let floor = part.floor;
+                    part.restart_at_floor(floor);
+                    session.subquery(cluster).expect("restarted part")
+                } else {
+                    sub
+                };
                 let retry_req = self.req_id();
                 let target = self.any_replica_of(cluster);
-                outstanding.insert(
+                session.outstanding.insert(
                     retry_req,
-                    RotPending {
+                    SubPending {
                         cluster,
                         target,
                         sent_at: now,
@@ -887,19 +845,144 @@ impl ClientActor {
                 );
                 ctx.send(
                     target,
-                    NetMsg::RotScan {
+                    NetMsg::Read {
                         req: retry_req,
-                        range,
+                        query: sub,
                     },
                 );
-                inflight.phase = Phase::ScanRound {
-                    cluster,
-                    range,
-                    outstanding,
-                };
-                self.inflight = Some(inflight);
             }
         }
+        let done = session.all_done();
+        inflight.phase = Phase::Query(session);
+        if !done {
+            self.inflight = Some(inflight);
+            return;
+        }
+        self.finish_query(inflight, ctx);
+    }
+
+    /// Every partition answered and verified: run the cross-partition
+    /// dependency check (Algorithm 2 — the torn-read check of the
+    /// stitch), re-running partitions below their required floor, or
+    /// complete the operation.
+    fn finish_query(&mut self, mut inflight: Inflight, ctx: &mut Context<'_, NetMsg>) {
+        let Phase::Query(mut session) = inflight.phase else {
+            return;
+        };
+        let now = ctx.now();
+        let unsatisfied = verify_dependencies(&session.views());
+        let actionable: Vec<(ClusterId, Epoch)> = unsatisfied
+            .into_iter()
+            .filter(|(c, _)| session.parts.iter().any(|p| p.cluster == *c))
+            .collect();
+        if !actionable.is_empty() {
+            if session.round >= 2 {
+                // Theorem 4.6 says this cannot happen; count it loudly
+                // (a test asserts it stays zero) and satisfy it with
+                // another round anyway.
+                self.stats.third_round_needed += 1;
+            }
+            if session.round1_done_at.is_none() {
+                session.round1_done_at = Some(now);
+            }
+            session.round += 1;
+            for (cluster, min_epoch) in actionable {
+                {
+                    let part = session.part_mut(cluster).expect("actionable part exists");
+                    part.restart_at_floor(min_epoch);
+                }
+                let req = self.req_id();
+                let target = self.read_target(cluster, now);
+                session.outstanding.insert(
+                    req,
+                    SubPending {
+                        cluster,
+                        target,
+                        sent_at: now,
+                    },
+                );
+                let sub = session.subquery(cluster).expect("restarted part");
+                ctx.send(target, NetMsg::Read { req, query: sub });
+            }
+            inflight.phase = Phase::Query(session);
+            self.inflight = Some(inflight);
+            return;
+        }
+        // Done: sample, record, advance.
+        let needed_round2 = session.round > 1;
+        self.samples.push(TxnSample {
+            kind: inflight.kind,
+            start: inflight.start,
+            end: now,
+            committed: true,
+            rot_round2: needed_round2,
+            round1_latency: if matches!(session.query.shape, QueryShape::Point { .. }) {
+                Some(
+                    session
+                        .round1_done_at
+                        .unwrap_or(now)
+                        .saturating_since(inflight.start),
+                )
+            } else {
+                None
+            },
+        });
+        if self.config.record_results {
+            let snapshot: Vec<(ClusterId, BatchNum)> = session
+                .parts
+                .iter()
+                .filter_map(|p| p.view.as_ref().map(|v| (p.cluster, v.batch)))
+                .collect();
+            match session.origin {
+                QueryOrigin::ReadOnly => {
+                    let values: Vec<(Key, Option<Value>)> = session
+                        .parts
+                        .iter()
+                        .flat_map(|p| p.values.clone())
+                        .collect();
+                    self.rot_results.push(RotResult {
+                        values,
+                        snapshot,
+                        needed_round2,
+                    });
+                }
+                QueryOrigin::RangeScan => {
+                    if let (QueryShape::Scan { range, .. }, Some(part)) =
+                        (&session.query.shape, session.parts.first())
+                    {
+                        self.scan_results.push(ScanResult {
+                            cluster: part.cluster,
+                            range: *range,
+                            batch: part.view.as_ref().map(|v| v.batch).unwrap_or_default(),
+                            rows: part.rows.clone(),
+                        });
+                    }
+                }
+                QueryOrigin::Api => {
+                    self.query_results.push(QueryOutcome {
+                        values: session
+                            .parts
+                            .iter()
+                            .flat_map(|p| p.values.clone())
+                            .collect(),
+                        rows: if matches!(session.query.shape, QueryShape::Point { .. }) {
+                            Vec::new()
+                        } else {
+                            session
+                                .parts
+                                .iter()
+                                .map(|p| (p.cluster, p.rows.clone()))
+                                .collect()
+                        },
+                        snapshot,
+                        needed_round2,
+                        pages: session.parts.iter().map(|p| p.pages).sum(),
+                    });
+                }
+            }
+        }
+        self.inflight = None;
+        self.start_next_op(ctx);
     }
 
     fn finish_rw(&mut self, txn: TxnId, committed: bool, ctx: &mut Context<'_, NetMsg>) {
@@ -943,7 +1026,7 @@ impl Actor<NetMsg> for ClientActor {
 
     fn on_message(&mut self, _from: NodeId, msg: NetMsg, ctx: &mut Context<'_, NetMsg>) {
         match msg {
-            NetMsg::ReadResp {
+            NetMsg::OccReadResp {
                 req,
                 key,
                 value,
@@ -974,14 +1057,8 @@ impl Actor<NetMsg> for ClientActor {
             NetMsg::TxnResult { txn, committed, .. } => {
                 self.finish_rw(txn, committed, ctx);
             }
-            NetMsg::RotResponse { req, bundle } => {
-                self.on_rot_response(req, vec![bundle], ctx);
-            }
-            NetMsg::RotAssembled { req, sections } => {
-                self.on_rot_response(req, sections, ctx);
-            }
-            NetMsg::ScanProof { req, bundle } => {
-                self.on_scan_response(req, bundle, ctx);
+            NetMsg::ReadResult { req, result } => {
+                self.on_read_result(req, result, ctx);
             }
             _ => {}
         }
@@ -1027,7 +1104,7 @@ impl Actor<NetMsg> for ClientActor {
                     ));
                     sends.push((
                         target,
-                        NetMsg::Read {
+                        NetMsg::OccRead {
                             req: *req,
                             key: key.clone(),
                         },
@@ -1049,36 +1126,21 @@ impl Actor<NetMsg> for ClientActor {
                     },
                 ));
             }
-            Phase::RotRound {
-                round,
-                outstanding,
-                keys_by_cluster,
-                required,
-                ..
-            } => {
-                for (req, pending) in outstanding.iter_mut() {
+            Phase::Query(session) => {
+                let resend: Vec<(u64, ClusterId)> = session
+                    .outstanding
+                    .iter()
+                    .map(|(req, p)| (*req, p.cluster))
+                    .collect();
+                for (req, cluster) in resend {
+                    let pending = session.outstanding.get_mut(&req).expect("just listed");
                     // An unanswered edge request counts against the
                     // edge (crash/partition suspicion) — enough of them
                     // demote it and later picks route elsewhere.
                     if matches!(pending.target, NodeId::Edge(_)) {
                         self.edge_selector
-                            .record_failure(pending.cluster, pending.target, now);
+                            .record_failure(cluster, pending.target, now);
                     }
-                    let cluster = pending.cluster;
-                    let keys = keys_by_cluster
-                        .iter()
-                        .find(|(c, _)| *c == cluster)
-                        .map(|(_, k)| k.clone())
-                        .unwrap_or_default();
-                    let msg = if *round == 1 {
-                        NetMsg::RotRequest { req: *req, keys }
-                    } else {
-                        NetMsg::RotFetch {
-                            req: *req,
-                            keys,
-                            min_epoch: required.get(&cluster).copied().unwrap_or(Epoch::NONE),
-                        }
-                    };
                     // Retries rotate over real replicas so a dead or
                     // byzantine edge cannot blackhole the client.
                     let n = self.topo.replicas_per_cluster() as u32;
@@ -1086,32 +1148,9 @@ impl Actor<NetMsg> for ClientActor {
                         NodeId::Replica(ReplicaId::new(cluster, (inflight.attempts % n) as u16));
                     pending.target = target;
                     pending.sent_at = now;
-                    sends.push((target, msg));
-                }
-            }
-            Phase::ScanRound {
-                range, outstanding, ..
-            } => {
-                for (req, pending) in outstanding.iter_mut() {
-                    if matches!(pending.target, NodeId::Edge(_)) {
-                        self.edge_selector
-                            .record_failure(pending.cluster, pending.target, now);
+                    if let Some(sub) = session.subquery(cluster) {
+                        sends.push((target, NetMsg::Read { req, query: sub }));
                     }
-                    // Retries rotate over real replicas, as for ROTs.
-                    let n = self.topo.replicas_per_cluster() as u32;
-                    let target = NodeId::Replica(ReplicaId::new(
-                        pending.cluster,
-                        (inflight.attempts % n) as u16,
-                    ));
-                    pending.target = target;
-                    pending.sent_at = now;
-                    sends.push((
-                        target,
-                        NetMsg::RotScan {
-                            req: *req,
-                            range: *range,
-                        },
-                    ));
                 }
             }
         }

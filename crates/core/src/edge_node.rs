@@ -16,15 +16,13 @@
 
 use std::collections::HashMap;
 
-use transedge_common::{
-    ClusterTopology, EdgeId, Epoch, Key, NodeId, ReplicaId, SimDuration, SimTime,
-};
-use transedge_crypto::{Digest, ScanRange};
-use transedge_edge::{Assembly, ReplayCache};
+use transedge_common::{ClusterTopology, EdgeId, NodeId, ReplicaId, SimDuration, SimTime};
+use transedge_crypto::Digest;
+use transedge_edge::{Assembly, QueryShape, ReadQuery, ReplayCache};
 use transedge_simnet::{Actor, Context};
 
 use crate::batch::CommittedHeader;
-use crate::messages::{NetMsg, RotBundle, RotScanBundle};
+use crate::messages::{NetMsg, ReadPayload, RotBundle, RotScanBundle};
 
 /// How the edge node treats the responses it serves.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -247,12 +245,12 @@ impl EdgeReadNode {
         ctx: &mut Context<'_, NetMsg>,
     ) {
         let bundle = self.corrupt_scan(bundle);
-        ctx.send(to, NetMsg::ScanProof { req, bundle });
+        ctx.send(to, NetMsg::scan_proof(req, bundle));
     }
 
     fn respond(&mut self, to: NodeId, req: u64, bundle: RotBundle, ctx: &mut Context<'_, NetMsg>) {
         let bundle = self.corrupt(bundle);
-        ctx.send(to, NetMsg::RotResponse { req, bundle });
+        ctx.send(to, NetMsg::rot_response(req, bundle));
     }
 
     /// Send an assembled (multi-section) response. Byzantine behaviour
@@ -269,7 +267,7 @@ impl EdgeReadNode {
             let corrupted = self.corrupt(first.clone());
             *first = corrupted;
         }
-        ctx.send(to, NetMsg::RotAssembled { req, sections });
+        ctx.send(to, NetMsg::rot_assembled(req, sections));
     }
 
     /// Register an upstream request, bounding the pending map: upstream
@@ -292,18 +290,54 @@ impl EdgeReadNode {
         upstream_req
     }
 
-    /// Serve from cache, partially assemble (cached fragments + one
-    /// pinned upstream fetch for the misses), or forward upstream.
-    fn on_read_request(
+    /// Forward a query upstream verbatim, remembering who asked.
+    fn forward_upstream(
         &mut self,
         from: NodeId,
         req: u64,
-        keys: Vec<Key>,
-        min_epoch: Epoch,
+        query: ReadQuery,
         ctx: &mut Context<'_, NetMsg>,
     ) {
+        let upstream_req = self.track_pending(PendingRequest {
+            client: from,
+            client_req: req,
+            partial: None,
+        });
+        let upstream = self.upstream();
+        ctx.send(
+            upstream,
+            NetMsg::Read {
+                req: upstream_req,
+                query,
+            },
+        );
+    }
+
+    /// Serve a point query from cache, partially assemble (cached
+    /// fragments + one pinned upstream fetch for the misses), or
+    /// forward upstream.
+    fn on_point_query(
+        &mut self,
+        from: NodeId,
+        req: u64,
+        query: ReadQuery,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        let QueryShape::Point { keys } = &query.shape else {
+            return;
+        };
+        let keys = keys.clone();
         self.stats.requests += 1;
         self.stats.keys_requested += keys.len() as u64;
+        if query.pinned_batch().is_some() {
+            // Exact-batch point queries (edge fills use `RotFetchAt`;
+            // clients do not pin point reads today): pass through —
+            // the replica either holds the batch or parks.
+            self.stats.forwarded += 1;
+            self.forward_upstream(from, req, query, ctx);
+            return;
+        }
+        let min_epoch = query.min_lce();
         let freshness_floor = SimTime(
             ctx.now()
                 .as_micros()
@@ -344,106 +378,108 @@ impl EdgeReadNode {
             }
             Assembly::Miss => {
                 self.stats.forwarded += 1;
-                let upstream_req = self.track_pending(PendingRequest {
-                    client: from,
-                    client_req: req,
-                    partial: None,
-                });
-                let upstream = self.upstream();
-                let msg = if min_epoch.is_none() {
-                    NetMsg::RotRequest {
-                        req: upstream_req,
-                        keys,
-                    }
-                } else {
-                    NetMsg::RotFetch {
-                        req: upstream_req,
-                        keys,
-                        min_epoch,
-                    }
-                };
-                ctx.send(upstream, msg);
+                self.forward_upstream(from, req, query, ctx);
             }
         }
     }
 
-    /// Serve a scan from the replay cache (any cached window covering
-    /// the request, under the same staleness floor as point replays) or
-    /// forward it upstream, absorbing the certified answer on the way
-    /// back.
-    fn on_scan_request(
+    /// Serve a scan query from the replay cache — a cached window
+    /// covering the page at the pinned batch (page continuations) or
+    /// at any batch passing the LCE/staleness floors — or forward it
+    /// upstream, absorbing the certified answer on the way back.
+    fn on_scan_query(
         &mut self,
         from: NodeId,
         req: u64,
-        range: ScanRange,
+        query: ReadQuery,
         ctx: &mut Context<'_, NetMsg>,
     ) {
         self.stats.scan_requests += 1;
+        let Some(window) = query.scan_window() else {
+            // Malformed page token: the replica would reject it too;
+            // dropping it here saves the upstream hop.
+            return;
+        };
         let freshness_floor = SimTime(
             ctx.now()
                 .as_micros()
                 .saturating_sub(self.replay_staleness.as_micros()),
         );
-        if let Some(bundle) = self.cache.replay_scan(&range, Epoch::NONE, freshness_floor) {
+        let replayed = match query.pinned_batch() {
+            // A pinned page may only be served at exactly its batch —
+            // the client rejects anything else as a snapshot-pin
+            // mismatch, so a newer cached window is no substitute.
+            Some(batch) => self.cache.replay_scan_at(&window, batch),
+            None => self
+                .cache
+                .replay_scan(&window, query.min_lce(), freshness_floor),
+        };
+        if let Some(bundle) = replayed {
             self.stats.scans_from_cache += 1;
             self.respond_scan(from, req, bundle, ctx);
             return;
         }
         self.stats.scans_forwarded += 1;
-        let upstream_req = self.track_pending(PendingRequest {
-            client: from,
-            client_req: req,
-            partial: None,
-        });
-        let upstream = self.upstream();
-        ctx.send(
-            upstream,
-            NetMsg::RotScan {
-                req: upstream_req,
-                range,
-            },
-        );
+        self.forward_upstream(from, req, query, ctx);
     }
 
-    fn on_upstream_scan(&mut self, req: u64, bundle: RotScanBundle, ctx: &mut Context<'_, NetMsg>) {
-        // Absorb the certified window regardless of who asked; a
-        // byzantine edge still caches honestly and lies on the way out.
-        self.cache.admit_scan(&bundle);
-        let Some(pending) = self.pending.remove(&req) else {
-            return; // duplicate or late upstream answer
-        };
-        self.respond_scan(pending.client, pending.client_req, bundle, ctx);
-    }
-
-    fn on_upstream_response(&mut self, req: u64, bundle: RotBundle, ctx: &mut Context<'_, NetMsg>) {
-        // Absorb the certified fragments regardless of who asked; a
-        // byzantine edge still caches honestly and lies on the way out.
-        self.cache.admit(&bundle);
-        let Some(pending) = self.pending.remove(&req) else {
-            return; // duplicate or late upstream answer
-        };
-        match pending.partial {
-            Some(cached) if bundle.batch() == cached.batch() => {
-                // The pinned fill arrived: cached fragments + upstream
-                // fill, two sections at one batch, each carrying its
-                // own commitment and certificate. A replica fallback
-                // can answer the *whole* request at what happens to be
-                // the anchor batch, so drop fill reads for keys the
-                // cached section already covers — the client rejects
-                // duplicate answers as byzantine.
-                let mut fill = bundle;
-                fill.reads
-                    .retain(|r| !cached.reads.iter().any(|c| c.key == r.key));
-                self.respond_assembled(pending.client, pending.client_req, vec![cached, fill], ctx);
+    fn on_upstream_result(&mut self, req: u64, result: ReadPayload, ctx: &mut Context<'_, NetMsg>) {
+        // Absorb the certified fragments/windows regardless of who
+        // asked; a byzantine edge still caches honestly and lies on the
+        // way out.
+        match result {
+            ReadPayload::Scan { bundle } => {
+                self.cache.admit_scan(&bundle);
+                let Some(pending) = self.pending.remove(&req) else {
+                    return; // duplicate or late upstream answer
+                };
+                self.respond_scan(pending.client, pending.client_req, *bundle, ctx);
             }
-            Some(_) => {
-                // The replica could not serve the pinned batch and
-                // answered the full request at its latest batch —
-                // forward that as a plain (still verified) response.
-                self.stats.assembly_fallbacks += 1;
-                self.respond(pending.client, pending.client_req, bundle, ctx);
+            ReadPayload::Point { sections } => {
+                for section in &sections {
+                    self.cache.admit(section);
+                }
+                let Some(pending) = self.pending.remove(&req) else {
+                    return; // duplicate or late upstream answer
+                };
+                // Replicas answer with a single section; anything else
+                // is forwarded as-is (still verified end to end).
+                let [bundle] = &sections[..] else {
+                    self.respond_assembled(pending.client, pending.client_req, sections, ctx);
+                    return;
+                };
+                let bundle = bundle.clone();
+                match pending.partial {
+                    Some(cached) if bundle.batch() == cached.batch() => {
+                        // The pinned fill arrived: cached fragments +
+                        // upstream fill, two sections at one batch,
+                        // each carrying its own commitment and
+                        // certificate. A replica fallback can answer
+                        // the *whole* request at what happens to be the
+                        // anchor batch, so drop fill reads for keys the
+                        // cached section already covers — the client
+                        // rejects duplicate answers as byzantine.
+                        let mut fill = bundle;
+                        fill.reads
+                            .retain(|r| !cached.reads.iter().any(|c| c.key == r.key));
+                        self.respond_assembled(
+                            pending.client,
+                            pending.client_req,
+                            vec![cached, fill],
+                            ctx,
+                        );
+                    }
+                    Some(_) => {
+                        // The replica could not serve the pinned batch
+                        // and answered the full request at its latest
+                        // batch — forward that as a plain (still
+                        // verified) response.
+                        self.stats.assembly_fallbacks += 1;
+                        self.respond(pending.client, pending.client_req, bundle, ctx);
+                    }
+                    None => self.respond(pending.client, pending.client_req, bundle, ctx),
+                }
             }
-            None => self.respond(pending.client, pending.client_req, bundle, ctx),
         }
     }
 }
@@ -451,17 +487,11 @@ impl EdgeReadNode {
 impl Actor<NetMsg> for EdgeReadNode {
     fn on_message(&mut self, from: NodeId, msg: NetMsg, ctx: &mut Context<'_, NetMsg>) {
         match msg {
-            NetMsg::RotRequest { req, keys } => {
-                self.on_read_request(from, req, keys, Epoch::NONE, ctx)
-            }
-            NetMsg::RotFetch {
-                req,
-                keys,
-                min_epoch,
-            } => self.on_read_request(from, req, keys, min_epoch, ctx),
-            NetMsg::RotScan { req, range } => self.on_scan_request(from, req, range, ctx),
-            NetMsg::RotResponse { req, bundle } => self.on_upstream_response(req, bundle, ctx),
-            NetMsg::ScanProof { req, bundle } => self.on_upstream_scan(req, bundle, ctx),
+            NetMsg::Read { req, query } => match &query.shape {
+                QueryShape::Point { .. } => self.on_point_query(from, req, query, ctx),
+                QueryShape::Scan { .. } => self.on_scan_query(from, req, query, ctx),
+            },
+            NetMsg::ReadResult { req, result } => self.on_upstream_result(req, result, ctx),
             // Edge nodes take part in nothing else.
             _ => {}
         }

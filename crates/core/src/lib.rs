@@ -23,9 +23,13 @@
 //! * [`edge_select`] — adaptive client→edge routing: EWMA latency
 //!   ranking with failure/byzantine-rejection demotion and replica
 //!   fallback;
-//! * [`client`] — the client library/actor: OCC read-write transactions,
-//!   and the one-to-two-round verified read-only protocol (Algorithm 2),
-//!   verified via `transedge-edge`'s `ReadVerifier`;
+//! * [`client`] — the client library/actor: OCC read-write
+//!   transactions, and the unified proof-carrying read protocol — a
+//!   `ReadSession` plans any `ReadQuery` (point sets, paginated scans,
+//!   scatter-gather) into per-partition sub-queries, fans them out
+//!   through the edge selector, verifies every response via
+//!   `transedge-edge`'s `ReadVerifier::verify_query`, and stitches the
+//!   result with the cross-partition dependency check (Algorithm 2);
 //! * [`setup`] — one-call construction of a full simulated deployment;
 //! * [`metrics`] — latency/throughput/abort accounting used by the
 //!   benchmark harnesses.
@@ -45,8 +49,13 @@ pub mod records;
 pub mod setup;
 
 pub use batch::{Batch, BatchHeader, CdVector, CommittedHeader, ReadOp, Transaction, WriteOp};
-pub use client::{ClientActor, RotResult, TxnOutcome};
+pub use client::{ClientActor, ClientOp, QueryOutcome, RotResult, ScanResult, TxnOutcome};
 pub use edge_node::{EdgeBehavior, EdgeReadNode};
-pub use messages::NetMsg;
+pub use messages::{NetMsg, ReadPayload};
+pub use metrics::{QueryClass, ReadQueryMetrics, ShapeCounters};
 pub use node::{NodeConfig, TransEdgeNode};
 pub use setup::{Deployment, DeploymentConfig, EdgePlan};
+// The unified read-query protocol types, re-exported from the edge
+// subsystem so client code can name a query without a direct
+// `transedge-edge` dependency.
+pub use transedge_edge::{PageToken, QueryAnswer, QueryShape, ReadQuery, SnapshotPolicy};

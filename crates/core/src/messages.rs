@@ -4,7 +4,9 @@
 use transedge_common::{BatchNum, ClusterId, Epoch, Key, SimTime, TxnId, Value};
 use transedge_consensus::{BftMsg, Certificate};
 use transedge_crypto::{ScanRange, Signature};
-use transedge_edge::{ProofBundle, ProvenRead, ScanBundle};
+use transedge_edge::{
+    ProofBundle, ProvenRead, QueryShape, ReadQuery, ReadResponse, ScanBundle, SnapshotPolicy,
+};
 use transedge_simnet::SimMessage;
 
 use crate::batch::{Batch, BatchHeader, CommittedHeader, Transaction};
@@ -64,16 +66,23 @@ pub fn abort_vote_statement(cluster: ClusterId, txn: TxnId) -> Vec<u8> {
     w.into_bytes()
 }
 
+/// The proof-carrying payload answering a [`NetMsg::Read`] query —
+/// the edge subsystem's [`ReadResponse`] anchored at this crate's
+/// certified batch headers. Any untrusted node — replica or edge
+/// cache — may send one; clients verify it end to end against the
+/// query (`ReadVerifier::verify_query`).
+pub type ReadPayload = ReadResponse<CommittedHeader>;
+
 /// All TransEdge network traffic.
 #[derive(Clone, Debug)]
 pub enum NetMsg {
     // ---- client ↔ replica ------------------------------------------
     /// OCC read during transaction execution (any replica serves it).
-    Read { req: u64, key: Key },
+    OccRead { req: u64, key: Key },
     /// Response: latest committed value and its version (the batch it
     /// committed in — "responses must include the LCE of the batch
     /// which the key was read from", §3.2).
-    ReadResp {
+    OccReadResp {
         req: u64,
         key: Key,
         value: Option<Value>,
@@ -93,16 +102,20 @@ pub enum NetMsg {
         /// Commit-time batch at the coordinator (diagnostics).
         batch: Option<BatchNum>,
     },
-    /// Round-1 read-only request: one node per accessed partition
-    /// (§4.2, §4.3.4).
-    RotRequest { req: u64, keys: Vec<Key> },
-    /// Round-2 request: serve the earliest state whose LCE ≥
-    /// `min_epoch` (Algorithm 2's second round).
-    RotFetch {
-        req: u64,
-        keys: Vec<Key>,
-        min_epoch: Epoch,
-    },
+    /// The unified read-query request: one typed message for every
+    /// proof-carrying read shape — round-1 point reads
+    /// (`SnapshotPolicy::Latest`), round-2 dependency fetches
+    /// (`SnapshotPolicy::MinEpoch`), verified range scans, paginated
+    /// scan continuations (`ReadQuery::page`), and scatter-gather
+    /// sub-queries. The legacy per-shape constructors
+    /// ([`NetMsg::rot_request`], [`NetMsg::rot_fetch`],
+    /// [`NetMsg::rot_scan`]) build this variant.
+    Read { req: u64, query: ReadQuery },
+    /// The unified proof-carrying answer to a [`NetMsg::Read`] query.
+    /// The legacy per-shape constructors ([`NetMsg::rot_response`],
+    /// [`NetMsg::rot_assembled`], [`NetMsg::scan_proof`]) build this
+    /// variant.
+    ReadResult { req: u64, result: ReadPayload },
     /// An edge node's upstream fill for a partial assembly: serve
     /// `keys` pinned at `at_batch` so the fragments can join the edge's
     /// cached ones in a single consistent cut. `all_keys` and
@@ -117,29 +130,6 @@ pub enum NetMsg {
         at_batch: BatchNum,
         min_epoch: Epoch,
     },
-    /// Read-only response: the certified batch header (read-only
-    /// segment plus body digest), the `f+1` consensus certificate, and
-    /// per-key values with Merkle proofs. Any untrusted node — replica
-    /// or edge cache — may send this; clients verify it end to end.
-    RotResponse { req: u64, bundle: RotBundle },
-    /// A partially-assembled read-only response from an edge node: one
-    /// section per provenance (cached fragments, upstream fill), every
-    /// section pinned to the same batch and carrying its own commitment
-    /// and certificate. Clients verify each section against its own
-    /// certified root (`ReadVerifier::verify_assembled`).
-    RotAssembled { req: u64, sections: Vec<RotBundle> },
-    /// Verified range-scan request: all committed rows in a contiguous
-    /// window of the partition's *tree order* (Merkle bucket indices),
-    /// served at the latest snapshot. Any untrusted node — replica or
-    /// edge cache — may answer; the client requires a completeness
-    /// proof, so omitted rows are detected, not just tampered ones.
-    RotScan { req: u64, range: ScanRange },
-    /// Range-scan response: the certified batch header, the `f+1`
-    /// consensus certificate, and the proof-carrying window. The proven
-    /// window may be *wider* than the requested range (an edge replaying
-    /// a cached scan); clients verify the proven window and filter
-    /// (`ReadVerifier::verify_scan`).
-    ScanProof { req: u64, bundle: RotScanBundle },
 
     // ---- intra-cluster ----------------------------------------------
     /// Consensus traffic.
@@ -186,23 +176,90 @@ impl NetMsg {
     /// Short tag for metrics.
     pub fn kind(&self) -> &'static str {
         match self {
-            NetMsg::Read { .. } => "read",
-            NetMsg::ReadResp { .. } => "read-resp",
+            NetMsg::OccRead { .. } => "occ-read",
+            NetMsg::OccReadResp { .. } => "occ-read-resp",
             NetMsg::CommitRequest { .. } => "commit-request",
             NetMsg::TxnResult { .. } => "txn-result",
-            NetMsg::RotRequest { .. } => "rot-request",
-            NetMsg::RotFetch { .. } => "rot-fetch",
+            NetMsg::Read { query, .. } => match query.shape {
+                QueryShape::Point { .. } => "read-point",
+                QueryShape::Scan { .. } => "read-scan",
+            },
+            NetMsg::ReadResult { result, .. } => match result {
+                ReadResponse::Point { .. } => "read-result-point",
+                ReadResponse::Scan { .. } => "read-result-scan",
+            },
             NetMsg::RotFetchAt { .. } => "rot-fetch-at",
-            NetMsg::RotResponse { .. } => "rot-response",
-            NetMsg::RotAssembled { .. } => "rot-assembled",
-            NetMsg::RotScan { .. } => "rot-scan",
-            NetMsg::ScanProof { .. } => "scan-proof",
             NetMsg::Bft(m) => m.kind(),
             NetMsg::SegmentSigs { .. } => "segment-sigs",
             NetMsg::SigResend { .. } => "sig-resend",
             NetMsg::CoordinatorPrepare { .. } => "coordinator-prepare",
             NetMsg::Prepared { .. } => "prepared",
             NetMsg::CommitOutcome { .. } => "commit-outcome",
+        }
+    }
+
+    // ---- compatibility constructors over the unified pair -------------
+    //
+    // The pre-unification wire protocol had one variant per read
+    // shape; these constructors keep that vocabulary while producing
+    // the unified [`NetMsg::Read`] / [`NetMsg::ReadResult`] messages.
+    // The response constructors are the serving-side idiom (replicas
+    // and edge nodes build every answer through them); the request
+    // constructors remain for harnesses and tests that speak the old
+    // per-shape names.
+
+    /// Round-1 read-only request: `keys` at the latest snapshot.
+    pub fn rot_request(req: u64, keys: Vec<Key>) -> NetMsg {
+        NetMsg::Read {
+            req,
+            query: ReadQuery::point(keys),
+        }
+    }
+
+    /// Round-2 request: serve the earliest state whose LCE ≥
+    /// `min_epoch` (Algorithm 2's second round).
+    pub fn rot_fetch(req: u64, keys: Vec<Key>, min_epoch: Epoch) -> NetMsg {
+        NetMsg::Read {
+            req,
+            query: ReadQuery::point(keys).with_policy(SnapshotPolicy::MinEpoch(min_epoch)),
+        }
+    }
+
+    /// Verified range-scan request over one partition's tree order at
+    /// the latest snapshot. The receiving node *is* the partition, so
+    /// the embedded cluster list is empty.
+    pub fn rot_scan(req: u64, range: ScanRange) -> NetMsg {
+        NetMsg::Read {
+            req,
+            query: ReadQuery::scatter_scan(vec![], range, range.width()),
+        }
+    }
+
+    /// Plain single-section read-only response.
+    pub fn rot_response(req: u64, bundle: RotBundle) -> NetMsg {
+        NetMsg::ReadResult {
+            req,
+            result: ReadPayload::Point {
+                sections: vec![bundle],
+            },
+        }
+    }
+
+    /// Partially-assembled (multi-section) read-only response.
+    pub fn rot_assembled(req: u64, sections: Vec<RotBundle>) -> NetMsg {
+        NetMsg::ReadResult {
+            req,
+            result: ReadPayload::Point { sections },
+        }
+    }
+
+    /// Proof-carrying range-scan response.
+    pub fn scan_proof(req: u64, bundle: RotScanBundle) -> NetMsg {
+        NetMsg::ReadResult {
+            req,
+            result: ReadPayload::Scan {
+                bundle: Box::new(bundle),
+            },
         }
     }
 }
@@ -305,34 +362,38 @@ fn bft_size(m: &BftMsg<Batch>) -> usize {
     }
 }
 
+fn scan_bundle_size(bundle: &RotScanBundle) -> usize {
+    header_size(&bundle.commitment.header)
+        + 32
+        + cert_size(&bundle.cert)
+        + bundle.scan.encoded_len()
+}
+
 impl SimMessage for NetMsg {
     fn size_bytes(&self) -> usize {
         match self {
-            NetMsg::Read { key, .. } => 12 + key.len(),
-            NetMsg::ReadResp { key, value, .. } => {
+            NetMsg::OccRead { key, .. } => 12 + key.len(),
+            NetMsg::OccReadResp { key, value, .. } => {
                 24 + key.len() + value.as_ref().map(|v| v.len()).unwrap_or(0)
             }
             NetMsg::CommitRequest { txn, .. } => 9 + txn_size(txn),
             NetMsg::TxnResult { .. } => 24,
-            NetMsg::RotRequest { keys, .. } => 12 + keys.iter().map(|k| k.len() + 4).sum::<usize>(),
-            NetMsg::RotFetch { keys, .. } => 20 + keys.iter().map(|k| k.len() + 4).sum::<usize>(),
+            // Computed structurally from the shape (keys, scan range
+            // bounds, page window), policy, and page token — the old
+            // per-shape variants used flat constants for scans.
+            NetMsg::Read { query, .. } => 8 + query.wire_size(),
+            NetMsg::ReadResult { result, .. } => match result {
+                ReadPayload::Point { sections } => {
+                    8 + sections.iter().map(rot_bundle_size).sum::<usize>()
+                }
+                ReadPayload::Scan { bundle } => 8 + scan_bundle_size(bundle),
+            },
             NetMsg::RotFetchAt { keys, all_keys, .. } => {
                 36 + keys
                     .iter()
                     .chain(all_keys.iter())
                     .map(|k| k.len() + 4)
                     .sum::<usize>()
-            }
-            NetMsg::RotResponse { bundle, .. } => rot_bundle_size(bundle),
-            NetMsg::RotAssembled { sections, .. } => {
-                8 + sections.iter().map(rot_bundle_size).sum::<usize>()
-            }
-            NetMsg::RotScan { .. } => 28,
-            NetMsg::ScanProof { bundle, .. } => {
-                header_size(&bundle.commitment.header)
-                    + 32
-                    + cert_size(&bundle.cert)
-                    + bundle.scan.encoded_len()
             }
             NetMsg::Bft(m) => bft_size(m),
             NetMsg::SegmentSigs {
@@ -421,15 +482,41 @@ mod tests {
 
     #[test]
     fn message_sizes_scale_with_payload() {
-        let small = NetMsg::RotRequest {
-            req: 1,
-            keys: vec![Key::from_u32(1)],
-        };
-        let large = NetMsg::RotRequest {
-            req: 1,
-            keys: (0..100).map(Key::from_u32).collect(),
-        };
+        let small = NetMsg::rot_request(1, vec![Key::from_u32(1)]);
+        let large = NetMsg::rot_request(1, (0..100).map(Key::from_u32).collect());
         assert!(large.size_bytes() > small.size_bytes());
+        // A round-2 fetch carries its epoch floor on the wire.
+        let fetch = NetMsg::rot_fetch(1, vec![Key::from_u32(1)], Epoch(3));
+        assert!(fetch.size_bytes() > small.size_bytes());
+        assert_eq!(fetch.kind(), "read-point");
+    }
+
+    #[test]
+    fn scan_query_size_accounts_for_range_and_page() {
+        use transedge_edge::PageToken;
+        // The scan request is not a flat constant: it carries the
+        // encoded range bounds (16 bytes) on top of the envelope…
+        let scan = NetMsg::rot_scan(1, ScanRange::new(0, 63));
+        assert!(scan.size_bytes() >= 8 + 16);
+        // …and a paginated continuation carries its token too.
+        let paged = NetMsg::Read {
+            req: 1,
+            query: ReadQuery::scan(ClusterId(0), ScanRange::new(0, 63)).with_page(PageToken {
+                batch: BatchNum(2),
+                resume: 32,
+            }),
+        };
+        assert!(paged.size_bytes() > scan.size_bytes());
+        // Scatter queries grow with the cluster list.
+        let scatter = NetMsg::Read {
+            req: 1,
+            query: ReadQuery::scatter_scan(
+                (0u16..5).map(ClusterId).collect(),
+                ScanRange::new(0, 63),
+                64,
+            ),
+        };
+        assert!(scatter.size_bytes() > scan.size_bytes());
     }
 
     #[test]

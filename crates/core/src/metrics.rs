@@ -35,6 +35,74 @@ impl TxnSample {
     }
 }
 
+/// The shape classes a unified read query belongs to, computed once
+/// when the query is planned. A query can belong to several at once
+/// (e.g. a paginated scatter-gather scan counts under `scan`,
+/// `paginated`, *and* `scatter`); point queries that touch one
+/// partition count under `point` alone.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryClass {
+    /// Scan shape (otherwise point).
+    pub scan: bool,
+    /// The scan range spans more than one page window.
+    pub paginated: bool,
+    /// The plan fans out to more than one partition.
+    pub scatter: bool,
+}
+
+/// served/verified/rejected counters for one query-shape class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShapeCounters {
+    /// Responses received for sub-queries of this class.
+    pub served: u64,
+    /// Responses that passed end-to-end verification.
+    pub verified: u64,
+    /// Responses rejected by the verifier (byzantine evidence).
+    pub rejected: u64,
+}
+
+/// Per-query-shape counters of the unified read protocol, emitted from
+/// the client's single verify dispatch point. Each event increments
+/// every class the query belongs to (see [`QueryClass`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadQueryMetrics {
+    pub point: ShapeCounters,
+    pub scan: ShapeCounters,
+    pub paginated: ShapeCounters,
+    pub scatter: ShapeCounters,
+}
+
+impl ReadQueryMetrics {
+    fn apply(&mut self, class: QueryClass, bump: impl Fn(&mut ShapeCounters)) {
+        if class.scan {
+            bump(&mut self.scan);
+        } else {
+            bump(&mut self.point);
+        }
+        if class.paginated {
+            bump(&mut self.paginated);
+        }
+        if class.scatter {
+            bump(&mut self.scatter);
+        }
+    }
+
+    /// A response for a sub-query of `class` arrived.
+    pub fn served(&mut self, class: QueryClass) {
+        self.apply(class, |c| c.served += 1);
+    }
+
+    /// A response verified end to end.
+    pub fn verified(&mut self, class: QueryClass) {
+        self.apply(class, |c| c.verified += 1);
+    }
+
+    /// A response was rejected by the verifier.
+    pub fn rejected(&mut self, class: QueryClass) {
+        self.apply(class, |c| c.rejected += 1);
+    }
+}
+
 /// Aggregated view over a set of samples.
 #[derive(Clone, Debug, Default)]
 pub struct Summary {
@@ -197,6 +265,31 @@ mod tests {
         assert!((sum.round2_fraction - 0.5).abs() < 1e-9);
         assert!((sum.mean_round1_ms - 10.0).abs() < 1e-9);
         assert!((sum.mean_round2_extra_ms - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_metrics_count_every_applicable_class() {
+        let mut m = ReadQueryMetrics::default();
+        let point = QueryClass::default();
+        m.served(point);
+        m.verified(point);
+        assert_eq!(m.point.served, 1);
+        assert_eq!(m.point.verified, 1);
+        assert_eq!(m.scan.served, 0);
+        // A paginated scatter-gather scan counts under all three scan
+        // classes, never under point.
+        let fancy = QueryClass {
+            scan: true,
+            paginated: true,
+            scatter: true,
+        };
+        m.served(fancy);
+        m.rejected(fancy);
+        assert_eq!(m.scan.served, 1);
+        assert_eq!(m.paginated.served, 1);
+        assert_eq!(m.scatter.served, 1);
+        assert_eq!(m.scan.rejected, 1);
+        assert_eq!(m.point.served, 1);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use transedge_consensus::{BftConfig, BftEngine, BftMsg, Certificate, Output};
 use transedge_crypto::{KeyStore, Keypair, Signature};
 use transedge_simnet::{Actor, Context};
 
-use transedge_edge::ReadPipeline;
+use transedge_edge::{QueryShape, ReadPipeline, ReadQuery, SnapshotPolicy};
 
 use crate::batch::{Batch, CommittedHeader, PreparedTxn, Transaction};
 use crate::conflict::{admit, Footprint};
@@ -139,9 +139,12 @@ pub struct TransEdgeNode {
     voted: HashSet<TxnId>,
     sigs: SigAggregation,
     // ---- read-only ----
-    pending_fetches: Vec<(NodeId, u64, Vec<Key>, Epoch)>,
-    /// Scans arriving before the first batch lands, parked like fetches.
-    pending_scans: Vec<(NodeId, u64, transedge_crypto::ScanRange)>,
+    /// Unified parking lot: queries that cannot be served yet (no batch
+    /// applied, LCE floor not reached, pinned batch not applied) wait
+    /// here and are retried after every applied batch — §4.3.4: the
+    /// dependency stems from a commit elsewhere, so our commit is
+    /// inevitable.
+    pending_reads: Vec<(NodeId, u64, ReadQuery)>,
     /// The edge read subsystem's serving pipeline: proof assembly with
     /// a per-`(key, batch)` cache.
     pub read_pipeline: ReadPipeline,
@@ -194,8 +197,7 @@ impl TransEdgeNode {
             coord: HashMap::new(),
             voted: HashSet::new(),
             sigs: SigAggregation::default(),
-            pending_fetches: Vec::new(),
-            pending_scans: Vec::new(),
+            pending_reads: Vec::new(),
             read_pipeline: ReadPipeline::default(),
             last_progress_check: 0,
             forwarded_since_check: false,
@@ -435,8 +437,8 @@ impl TransEdgeNode {
             // More work queued? Keep the pipeline moving.
             self.maybe_seal(ctx, false);
         }
-        // --- parked round-2 fetches that this batch may satisfy ---
-        self.serve_parked_fetches(ctx);
+        // --- parked reads that this batch may satisfy ---
+        self.serve_parked_reads(ctx);
     }
 
     // ------------------------------------------------------------------
@@ -946,32 +948,15 @@ impl TransEdgeNode {
         ctx.charge(|c| SimDuration(c.merkle_prove.0 * misses));
         ctx.send(
             to,
-            NetMsg::RotResponse {
+            NetMsg::rot_response(
                 req,
-                bundle: transedge_edge::ProofBundle {
+                transedge_edge::ProofBundle {
                     commitment,
                     cert,
                     reads,
                 },
-            },
+            ),
         );
-    }
-
-    fn on_rot_request(
-        &mut self,
-        from: NodeId,
-        req: u64,
-        keys: Vec<Key>,
-        ctx: &mut Context<'_, NetMsg>,
-    ) {
-        let applied = self.exec.applied_batches();
-        if applied == 0 {
-            // Nothing committed yet: park until the first batch lands.
-            self.pending_fetches.push((from, req, keys, Epoch::NONE));
-            return;
-        }
-        self.stats.rot_served += 1;
-        self.respond_rot(from, req, &keys, BatchNum(applied - 1), ctx);
     }
 
     /// An edge node's partial-assembly fill: serve `keys` pinned at
@@ -979,9 +964,9 @@ impl TransEdgeNode {
     /// into a single consistent cut. A replica that has not applied
     /// `at_batch` yet falls back to answering the *whole* request
     /// itself — honouring the client's round-2 LCE floor, exactly as
-    /// [`TransEdgeNode::on_rot_fetch`] would — and the edge forwards
-    /// that response unassembled, so a lagging replica never wedges
-    /// the client or feeds it something it must reject as stale.
+    /// the unified dispatch would — and the edge forwards that
+    /// response unassembled, so a lagging replica never wedges the
+    /// client or feeds it something it must reject as stale.
     #[allow(clippy::too_many_arguments)]
     fn on_rot_fetch_at(
         &mut self,
@@ -997,16 +982,21 @@ impl TransEdgeNode {
         if applied > at_batch.0 {
             self.stats.rot_pinned_served += 1;
             self.respond_rot(from, req, &keys, at_batch, ctx);
-        } else if min_epoch.is_none() {
-            if applied > 0 {
-                self.stats.rot_served += 1;
-                self.respond_rot(from, req, &all_keys, BatchNum(applied - 1), ctx);
-            } else {
-                self.pending_fetches
-                    .push((from, req, all_keys, Epoch::NONE));
-            }
         } else {
-            self.on_rot_fetch(from, req, all_keys, min_epoch, ctx);
+            // Cannot serve the pin: answer the whole request under the
+            // unified policy rules instead (parking if even that is
+            // not possible yet).
+            let policy = if min_epoch.is_none() {
+                SnapshotPolicy::Latest
+            } else {
+                SnapshotPolicy::MinEpoch(min_epoch)
+            };
+            self.on_read_query(
+                from,
+                req,
+                ReadQuery::point(all_keys).with_policy(policy),
+                ctx,
+            );
         }
     }
 
@@ -1033,92 +1023,93 @@ impl TransEdgeNode {
         ctx.charge(|c| SimDuration(c.merkle_prove.0 * misses * range.width()));
         ctx.send(
             to,
-            NetMsg::ScanProof {
+            NetMsg::scan_proof(
                 req,
-                bundle: transedge_edge::ScanBundle {
+                transedge_edge::ScanBundle {
                     commitment,
                     cert,
                     scan,
                 },
-            },
+            ),
         );
     }
 
-    fn on_rot_scan(
-        &mut self,
-        from: NodeId,
-        req: u64,
-        range: transedge_crypto::ScanRange,
-        ctx: &mut Context<'_, NetMsg>,
-    ) {
-        if !range.is_valid_for_depth(self.config.tree_depth) {
-            // Never serve (or park) a malformed window: an honest
-            // client cannot have sent it.
-            self.stats.rot_scans_rejected += 1;
-            return;
-        }
+    /// The batch a query's snapshot policy (and page pin) resolves to
+    /// right now, or `None` when it cannot be served yet and must park.
+    fn resolve_snapshot(&self, query: &ReadQuery) -> Option<BatchNum> {
         let applied = self.exec.applied_batches();
-        if applied == 0 {
-            // Nothing committed yet: park until the first batch lands.
-            self.pending_scans.push((from, req, range));
-            return;
+        if let Some(pinned) = query.pinned_batch() {
+            return (applied > pinned.0).then_some(pinned);
         }
-        self.stats.rot_scans_served += 1;
-        self.respond_scan(from, req, &range, BatchNum(applied - 1), ctx);
+        match query.consistency {
+            SnapshotPolicy::MinEpoch(e) if !e.is_none() => {
+                self.exec.lce_index.first_batch_with_lce(e)
+            }
+            _ => (applied > 0).then(|| BatchNum(applied - 1)),
+        }
     }
 
-    fn on_rot_fetch(
+    /// The unified read dispatch: one entry point for every
+    /// proof-carrying read shape — round-1 point reads, round-2
+    /// dependency fetches, verified scans (with the same LCE-floor
+    /// semantics), paginated scan continuations, and scatter-gather
+    /// sub-queries. Queries whose snapshot is not servable yet park in
+    /// [`TransEdgeNode::pending_reads`] and are retried after every
+    /// applied batch.
+    fn on_read_query(
         &mut self,
         from: NodeId,
         req: u64,
-        keys: Vec<Key>,
-        min_epoch: Epoch,
+        query: ReadQuery,
         ctx: &mut Context<'_, NetMsg>,
     ) {
-        match self.exec.lce_index.first_batch_with_lce(min_epoch) {
-            Some(batch) => {
-                self.stats.rot_fetches_served += 1;
-                self.respond_rot(from, req, &keys, batch, ctx);
+        match &query.shape {
+            QueryShape::Point { keys } => {
+                let keys = keys.clone();
+                match self.resolve_snapshot(&query) {
+                    Some(batch) => {
+                        match query.consistency {
+                            SnapshotPolicy::Latest => self.stats.rot_served += 1,
+                            SnapshotPolicy::MinEpoch(_) => self.stats.rot_fetches_served += 1,
+                            SnapshotPolicy::AtBatch(_) => self.stats.rot_pinned_served += 1,
+                        }
+                        self.respond_rot(from, req, &keys, batch, ctx);
+                    }
+                    None => self.pending_reads.push((from, req, query)),
+                }
             }
-            None => {
-                // The dependency has not committed here yet — park the
-                // request; a future batch will satisfy it (§4.3.4: the
-                // dependency stems from a commit elsewhere, so our
-                // commit is inevitable).
-                self.pending_fetches.push((from, req, keys, min_epoch));
+            QueryShape::Scan { .. } => {
+                let Some(window) = query.scan_window() else {
+                    // A malformed page token: an honest client cannot
+                    // have sent it.
+                    self.stats.rot_scans_rejected += 1;
+                    return;
+                };
+                if !window.is_valid_for_depth(self.config.tree_depth) {
+                    // Never serve (or park) a malformed window.
+                    self.stats.rot_scans_rejected += 1;
+                    return;
+                }
+                match self.resolve_snapshot(&query) {
+                    Some(batch) => {
+                        self.stats.rot_scans_served += 1;
+                        self.respond_scan(from, req, &window, batch, ctx);
+                    }
+                    None => self.pending_reads.push((from, req, query)),
+                }
             }
         }
     }
 
-    fn serve_parked_fetches(&mut self, ctx: &mut Context<'_, NetMsg>) {
-        if self.exec.applied_batches() == 0 {
+    /// Retry every parked query against the freshly applied state.
+    fn serve_parked_reads(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        if self.pending_reads.is_empty() {
             return;
         }
-        if !self.pending_scans.is_empty() {
-            let latest = BatchNum(self.exec.applied_batches() - 1);
-            let parked = std::mem::take(&mut self.pending_scans);
-            for (to, req, range) in parked {
-                self.stats.rot_scans_served += 1;
-                self.respond_scan(to, req, &range, latest, ctx);
-            }
-        }
-        if self.pending_fetches.is_empty() {
-            return;
-        }
-        let parked = std::mem::take(&mut self.pending_fetches);
-        for (to, req, keys, min_epoch) in parked {
-            let target = if min_epoch.is_none() {
-                Some(BatchNum(self.exec.applied_batches() - 1))
-            } else {
-                self.exec.lce_index.first_batch_with_lce(min_epoch)
-            };
-            match target {
-                Some(batch) => {
-                    self.stats.rot_fetches_served += 1;
-                    self.respond_rot(to, req, &keys, batch, ctx);
-                }
-                None => self.pending_fetches.push((to, req, keys, min_epoch)),
-            }
+        let parked = std::mem::take(&mut self.pending_reads);
+        for (to, req, query) in parked {
+            // Still unservable queries re-park inside the dispatch.
+            self.on_read_query(to, req, query, ctx);
         }
     }
 
@@ -1218,11 +1209,11 @@ impl Actor<NetMsg> for TransEdgeNode {
 
     fn on_message(&mut self, from: NodeId, msg: NetMsg, ctx: &mut Context<'_, NetMsg>) {
         match msg {
-            NetMsg::Read { req, key } => {
+            NetMsg::OccRead { req, key } => {
                 let (value, version) = self.exec.read_latest(&key);
                 ctx.send(
                     from,
-                    NetMsg::ReadResp {
+                    NetMsg::OccReadResp {
                         req,
                         key,
                         value,
@@ -1231,12 +1222,7 @@ impl Actor<NetMsg> for TransEdgeNode {
                 );
             }
             NetMsg::CommitRequest { txn, reply_to } => self.on_commit_request(reply_to, txn, ctx),
-            NetMsg::RotRequest { req, keys } => self.on_rot_request(from, req, keys, ctx),
-            NetMsg::RotFetch {
-                req,
-                keys,
-                min_epoch,
-            } => self.on_rot_fetch(from, req, keys, min_epoch, ctx),
+            NetMsg::Read { req, query } => self.on_read_query(from, req, query, ctx),
             NetMsg::RotFetchAt {
                 req,
                 keys,
@@ -1244,7 +1230,6 @@ impl Actor<NetMsg> for TransEdgeNode {
                 at_batch,
                 min_epoch,
             } => self.on_rot_fetch_at(from, req, keys, all_keys, at_batch, min_epoch, ctx),
-            NetMsg::RotScan { req, range } => self.on_rot_scan(from, req, range, ctx),
             NetMsg::Bft(msg) => {
                 let Some(replica) = from.as_replica() else {
                     return; // consensus traffic must come from replicas
@@ -1285,11 +1270,7 @@ impl Actor<NetMsg> for TransEdgeNode {
             } => self.on_commit_outcome(txn, coordinator, outcome, prepared, ctx),
             // Responses are client-bound; a replica receiving one is a
             // routing bug in the sender — drop.
-            NetMsg::ReadResp { .. }
-            | NetMsg::TxnResult { .. }
-            | NetMsg::RotResponse { .. }
-            | NetMsg::RotAssembled { .. }
-            | NetMsg::ScanProof { .. } => {}
+            NetMsg::OccReadResp { .. } | NetMsg::TxnResult { .. } | NetMsg::ReadResult { .. } => {}
         }
     }
 

@@ -24,11 +24,19 @@
 //!   holds no partition state and no keys, only certified response
 //!   fragments it absorbed from upstream, replayed to clients who
 //!   verify them end to end.
+//! * [`query`] — the unified typed read protocol: one
+//!   [`query::ReadQuery`] ([`query::SnapshotPolicy`] ×
+//!   [`query::QueryShape`] × [`query::PageToken`]) names every read
+//!   shape — point reads, LCE-floored round-2 fetches, verified scans,
+//!   paginated multi-window scans, scatter-gather sub-queries — and
+//!   one [`query::ReadResponse`] answers it.
 //! * [`verifier`] — the trusted-side checker. [`verifier::ReadVerifier`]
 //!   accepts a response only after proof → root → certificate →
 //!   freshness → snapshot-epoch checks all pass; everything an edge
 //!   node could forge is caught here and reported as a
-//!   [`verifier::ReadRejection`].
+//!   [`verifier::ReadRejection`]. Its `verify_query` entry point
+//!   dispatches a [`query::ReadQuery`] to the right proof chain and
+//!   enforces snapshot pins and page tokens on top.
 //!
 //! Point reads and range scans share the same shape: [`ScanProof`] /
 //! [`ScanBundle`] are the scan analogues of [`ProvenRead`] /
@@ -46,12 +54,14 @@
 
 pub mod cache;
 pub mod pipeline;
+pub mod query;
 pub mod replay;
 pub mod response;
 pub mod verifier;
 
 pub use cache::{CacheStats, LruCache};
 pub use pipeline::{read_snapshot, scan_snapshot, ReadPipeline, SnapshotSource};
+pub use query::{PageToken, QueryAnswer, QueryShape, ReadQuery, ReadResponse, SnapshotPolicy};
 pub use replay::{Assembly, ReplayCache};
 pub use response::{BatchCommitment, ProofBundle, ProvenRead, ScanBundle, ScanProof};
 pub use verifier::{ReadRejection, ReadVerifier, VerifyParams};

@@ -1,0 +1,433 @@
+//! The unified typed read-query protocol: one request/response pair for
+//! every proof-carrying read shape TransEdge serves.
+//!
+//! Before this module, each query shape carried its own ad-hoc wire
+//! protocol and verifier entry point (point reads, partial assemblies,
+//! range scans), and every caller re-implemented snapshot-floor and
+//! retry plumbing per shape. A [`ReadQuery`] names all of it in one
+//! typed value:
+//!
+//! * a [`QueryShape`] — point reads over a key set (which may span
+//!   partitions) or a range scan over the tree order of one or more
+//!   partitions (scatter-gather);
+//! * a [`SnapshotPolicy`] — serve the latest snapshot, a pinned batch,
+//!   or the earliest snapshot whose LCE reaches a dependency floor
+//!   (round two of Algorithm 2, now uniform across shapes: scans get
+//!   the same LCE-floor semantics as point reads);
+//! * an optional [`PageToken`] — multi-window scans resume from a
+//!   bucket bound *pinned to the batch the first window was served at*,
+//!   so a paginated scan is one consistent snapshot even when its pages
+//!   are served by different untrusted nodes.
+//!
+//! Servers answer with a [`ReadResponse`]; the single verifier entry
+//! point [`crate::ReadVerifier::verify_query`] dispatches to the
+//! point/assembled/scan proof checks and enforces the policy and page
+//! pins, so an untrusted node cannot splice pages across batches or
+//! downgrade a floor without being caught.
+
+use transedge_common::{BatchNum, ClusterId, Epoch, Key, Value};
+use transedge_crypto::range::MAX_RANGE_BUCKETS;
+use transedge_crypto::ScanRange;
+
+use crate::response::{BatchCommitment, ProofBundle, ScanBundle};
+
+/// Which snapshot a [`ReadQuery`] must be served at.
+///
+/// # Examples
+///
+/// ```
+/// use transedge_common::Epoch;
+/// use transedge_edge::SnapshotPolicy;
+///
+/// // Round-one reads take whatever is newest…
+/// assert!(SnapshotPolicy::Latest.min_lce().is_none());
+/// // …round-two reads demand a dependency floor.
+/// assert_eq!(SnapshotPolicy::MinEpoch(Epoch(4)).min_lce(), Epoch(4));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotPolicy {
+    /// The newest snapshot the server has applied.
+    Latest,
+    /// Exactly the named batch (page continuations and edge fills; the
+    /// verifier rejects any other batch as a
+    /// [`crate::ReadRejection::SnapshotPinMismatch`]).
+    AtBatch(BatchNum),
+    /// The earliest snapshot whose LCE is at least this epoch — the
+    /// round-two dependency floor of Algorithm 2, applied uniformly to
+    /// point reads *and* scans.
+    MinEpoch(Epoch),
+}
+
+impl SnapshotPolicy {
+    /// The LCE floor this policy imposes ([`Epoch::NONE`] when it
+    /// imposes none).
+    pub fn min_lce(&self) -> Epoch {
+        match self {
+            SnapshotPolicy::MinEpoch(e) => *e,
+            _ => Epoch::NONE,
+        }
+    }
+
+    /// The exact batch this policy pins, if any.
+    pub fn pinned_batch(&self) -> Option<BatchNum> {
+        match self {
+            SnapshotPolicy::AtBatch(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// What a [`ReadQuery`] asks for: point reads or a range scan.
+///
+/// # Examples
+///
+/// ```
+/// use transedge_common::{ClusterId, Key};
+/// use transedge_crypto::ScanRange;
+/// use transedge_edge::QueryShape;
+///
+/// let point = QueryShape::Point { keys: vec![Key::from_u32(7)] };
+/// let scan = QueryShape::Scan {
+///     clusters: vec![ClusterId(0), ClusterId(1)], // scatter-gather
+///     range: ScanRange::new(0, 1023),
+///     window: 256, // served as four consecutive pages per cluster
+/// };
+/// assert!(matches!(point, QueryShape::Point { .. }));
+/// assert!(matches!(scan, QueryShape::Scan { .. }));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryShape {
+    /// Snapshot point reads. Keys may span partitions — the client's
+    /// session plans one sub-query per partition and stitches the
+    /// verified answers (with a cross-partition dependency check).
+    Point { keys: Vec<Key> },
+    /// A verified range scan of the same tree-order window on each
+    /// named partition (scatter-gather when more than one). A `range`
+    /// wider than `window` buckets is served as consecutive pages, each
+    /// at most `window` (and never more than
+    /// [`MAX_RANGE_BUCKETS`]) wide, pinned to one
+    /// snapshot via [`PageToken`].
+    Scan {
+        clusters: Vec<ClusterId>,
+        range: ScanRange,
+        /// Maximum buckets per page (clamped to `1..=MAX_RANGE_BUCKETS`).
+        window: u64,
+    },
+}
+
+/// Resume bound for a multi-window scan: the batch the scan is pinned
+/// to and the first bucket of the next page.
+///
+/// The token is what keeps pagination snapshot-consistent across pages
+/// served by *different untrusted nodes*: the verifier rejects a page
+/// at any batch other than `batch` (no splice across batches) and a
+/// token whose `resume` has been moved outside the query's remaining
+/// range (no silent replay of already-scanned buckets).
+///
+/// # Examples
+///
+/// ```
+/// use transedge_common::BatchNum;
+/// use transedge_edge::PageToken;
+///
+/// let token = PageToken { batch: BatchNum(3), resume: 256 };
+/// assert_eq!(token.batch, BatchNum(3));
+/// assert_eq!(token.resume, 256);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageToken {
+    /// Batch the first page was served (and verified) at; every later
+    /// page must be served at exactly this batch.
+    pub batch: BatchNum,
+    /// First tree-order bucket of the next page.
+    pub resume: u64,
+}
+
+/// One typed read query: shape, snapshot policy, and (for scan
+/// continuations) the page to resume from. The single client-facing
+/// entry point of the proof-carrying read protocol.
+///
+/// # Examples
+///
+/// ```
+/// use transedge_common::{ClusterId, Epoch, Key};
+/// use transedge_crypto::ScanRange;
+/// use transedge_edge::{ReadQuery, SnapshotPolicy};
+///
+/// // A snapshot point read (keys may span partitions).
+/// let rot = ReadQuery::point(vec![Key::from_u32(1), Key::from_u32(2)]);
+/// assert!(rot.page.is_none());
+///
+/// // A paginated scatter-gather scan with a round-2 LCE floor.
+/// let scan = ReadQuery::scatter_scan(
+///     vec![ClusterId(0), ClusterId(1)],
+///     ScanRange::new(0, 511),
+///     128,
+/// )
+/// .with_policy(SnapshotPolicy::MinEpoch(Epoch(0)));
+/// assert_eq!(scan.scan_window().unwrap(), ScanRange::new(0, 127));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadQuery {
+    /// Which snapshot must serve the query.
+    pub consistency: SnapshotPolicy,
+    /// What is being read.
+    pub shape: QueryShape,
+    /// Scan continuation: resume from this page, pinned to its batch.
+    pub page: Option<PageToken>,
+}
+
+impl ReadQuery {
+    /// A point read of `keys` at the latest snapshot (the classic
+    /// round-one ROT request).
+    pub fn point(keys: Vec<Key>) -> Self {
+        ReadQuery {
+            consistency: SnapshotPolicy::Latest,
+            shape: QueryShape::Point { keys },
+            page: None,
+        }
+    }
+
+    /// A single-partition scan of `range` at the latest snapshot,
+    /// served in one window (the classic verified scan).
+    pub fn scan(cluster: ClusterId, range: ScanRange) -> Self {
+        Self::scatter_scan(vec![cluster], range, MAX_RANGE_BUCKETS)
+    }
+
+    /// A scan of the same `range` on every cluster in `clusters`
+    /// (scatter-gather), paginated into windows of at most `window`
+    /// buckets.
+    pub fn scatter_scan(clusters: Vec<ClusterId>, range: ScanRange, window: u64) -> Self {
+        ReadQuery {
+            consistency: SnapshotPolicy::Latest,
+            shape: QueryShape::Scan {
+                clusters,
+                range,
+                window,
+            },
+            page: None,
+        }
+    }
+
+    /// Replace the snapshot policy (builder style).
+    pub fn with_policy(mut self, policy: SnapshotPolicy) -> Self {
+        self.consistency = policy;
+        self
+    }
+
+    /// Continue a paginated scan from `token` (builder style).
+    pub fn with_page(mut self, token: PageToken) -> Self {
+        self.page = Some(token);
+        self
+    }
+
+    /// The exact batch this query is pinned to, if any: a page token's
+    /// batch wins over an [`SnapshotPolicy::AtBatch`] policy.
+    pub fn pinned_batch(&self) -> Option<BatchNum> {
+        self.page
+            .as_ref()
+            .map(|t| t.batch)
+            .or_else(|| self.consistency.pinned_batch())
+    }
+
+    /// The LCE floor imposed by the snapshot policy.
+    pub fn min_lce(&self) -> Epoch {
+        self.consistency.min_lce()
+    }
+
+    /// The effective window of the *current page* of a scan query:
+    /// starts at the page token's resume bound (or the range start for
+    /// the first page) and extends at most `window` buckets, clamped to
+    /// the query range and the protocol cap. `None` for point queries
+    /// and for tokens whose resume bound lies outside the range.
+    pub fn scan_window(&self) -> Option<ScanRange> {
+        let QueryShape::Scan { range, window, .. } = &self.shape else {
+            return None;
+        };
+        let start = self.page.as_ref().map_or(range.first, |t| t.resume);
+        if start < range.first || start > range.last {
+            return None;
+        }
+        let width = (*window).clamp(1, MAX_RANGE_BUCKETS);
+        Some(ScanRange::new(
+            start,
+            range.last.min(start.saturating_add(width - 1)),
+        ))
+    }
+
+    /// Will this query take more than one page per partition?
+    pub fn is_paginated(&self) -> bool {
+        match &self.shape {
+            QueryShape::Scan { range, window, .. } => {
+                range.width() > (*window).clamp(1, MAX_RANGE_BUCKETS)
+            }
+            QueryShape::Point { .. } => false,
+        }
+    }
+
+    /// Clusters a scan scatters over (empty for point queries, whose
+    /// partitions are derived from the keys by the planner).
+    pub fn scan_clusters(&self) -> &[ClusterId] {
+        match &self.shape {
+            QueryShape::Scan { clusters, .. } => clusters,
+            QueryShape::Point { .. } => &[],
+        }
+    }
+
+    /// Wire-size estimate for the simulator's bandwidth model, computed
+    /// structurally from the shape (keys, scan bounds, window), the
+    /// policy, and the page token — never a flat constant.
+    pub fn wire_size(&self) -> usize {
+        let policy = match self.consistency {
+            SnapshotPolicy::Latest => 1,
+            SnapshotPolicy::AtBatch(_) | SnapshotPolicy::MinEpoch(_) => 9,
+        };
+        let page = if self.page.is_some() { 17 } else { 1 };
+        let shape = match &self.shape {
+            QueryShape::Point { keys } => 4 + keys.iter().map(|k| k.len() + 4).sum::<usize>(),
+            QueryShape::Scan { clusters, .. } => 4 + clusters.len() * 2 + 16 + 8,
+        };
+        policy + page + shape
+    }
+}
+
+/// The payload an untrusted node answers a [`ReadQuery`] with. Every
+/// variant is proof-carrying — clients verify it end to end via
+/// [`crate::ReadVerifier::verify_query`].
+///
+/// # Examples
+///
+/// ```
+/// use transedge_edge::ReadResponse;
+///
+/// fn describe<H>(r: &ReadResponse<H>) -> &'static str {
+///     match r {
+///         ReadResponse::Point { .. } => "point sections",
+///         ReadResponse::Scan { .. } => "scan window",
+///     }
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub enum ReadResponse<H> {
+    /// Point-read sections: one for a plain response, several for an
+    /// edge's partial assembly (each verified against its own certified
+    /// root, all pinned to one batch).
+    Point { sections: Vec<ProofBundle<H>> },
+    /// One proof-carrying scan window (possibly wider than requested —
+    /// a replayed covering window; the verifier filters). Boxed: scan
+    /// bundles dwarf the other payloads.
+    Scan { bundle: Box<ScanBundle<H>> },
+}
+
+impl<H: BatchCommitment> ReadResponse<H> {
+    /// The snapshot batch this response claims to serve, if it carries
+    /// any section at all.
+    pub fn batch(&self) -> Option<BatchNum> {
+        match self {
+            ReadResponse::Point { sections } => sections.first().map(|s| s.batch()),
+            ReadResponse::Scan { bundle } => Some(bundle.batch()),
+        }
+    }
+}
+
+/// A verified answer to one per-partition sub-query, produced by
+/// [`crate::ReadVerifier::verify_query`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryAnswer {
+    /// Point reads: `(key, value)` in request order, absent keys proven
+    /// absent.
+    Values(Vec<(Key, Option<Value>)>),
+    /// One verified scan page: the complete committed rows of the page
+    /// window, plus the token for the next page (`None` when the range
+    /// is exhausted).
+    Rows {
+        rows: Vec<(Key, Value)>,
+        next: Option<PageToken>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_window_pages_through_the_range() {
+        let q = ReadQuery::scatter_scan(vec![ClusterId(0)], ScanRange::new(0, 1023), 256);
+        assert!(q.is_paginated());
+        assert_eq!(q.scan_window(), Some(ScanRange::new(0, 255)));
+        let page2 = q.clone().with_page(PageToken {
+            batch: BatchNum(5),
+            resume: 256,
+        });
+        assert_eq!(page2.scan_window(), Some(ScanRange::new(256, 511)));
+        assert_eq!(page2.pinned_batch(), Some(BatchNum(5)));
+        // The final page is clamped to the range end.
+        let last = q.clone().with_page(PageToken {
+            batch: BatchNum(5),
+            resume: 1000,
+        });
+        assert_eq!(last.scan_window(), Some(ScanRange::new(1000, 1023)));
+        // A resume bound outside the range has no window.
+        let bad = q.with_page(PageToken {
+            batch: BatchNum(5),
+            resume: 2048,
+        });
+        assert_eq!(bad.scan_window(), None);
+    }
+
+    #[test]
+    fn window_clamps_to_protocol_cap() {
+        let q = ReadQuery::scatter_scan(
+            vec![ClusterId(0)],
+            ScanRange::new(0, 3 * MAX_RANGE_BUCKETS),
+            u64::MAX,
+        );
+        assert_eq!(
+            q.scan_window(),
+            Some(ScanRange::new(0, MAX_RANGE_BUCKETS - 1))
+        );
+        assert!(q.is_paginated());
+        // A zero window still makes progress.
+        let tiny = ReadQuery::scatter_scan(vec![ClusterId(0)], ScanRange::new(4, 9), 0);
+        assert_eq!(tiny.scan_window(), Some(ScanRange::new(4, 4)));
+    }
+
+    #[test]
+    fn wire_size_scales_with_shape() {
+        let small = ReadQuery::point(vec![Key::from_u32(1)]);
+        let large = ReadQuery::point((0..100).map(Key::from_u32).collect());
+        assert!(large.wire_size() > small.wire_size());
+        let scan = ReadQuery::scan(ClusterId(0), ScanRange::new(0, 63));
+        // Scan sizes account for the range bounds, not a flat constant.
+        assert!(scan.wire_size() >= 16 + 8);
+        let scatter = ReadQuery::scatter_scan(
+            vec![ClusterId(0), ClusterId(1), ClusterId(2)],
+            ScanRange::new(0, 63),
+            64,
+        );
+        assert!(scatter.wire_size() > scan.wire_size());
+        let paged = scan.clone().with_page(PageToken {
+            batch: BatchNum(1),
+            resume: 32,
+        });
+        assert!(paged.wire_size() > scan.wire_size());
+    }
+
+    #[test]
+    fn policy_floors_and_pins() {
+        assert_eq!(SnapshotPolicy::Latest.pinned_batch(), None);
+        assert_eq!(
+            SnapshotPolicy::AtBatch(BatchNum(7)).pinned_batch(),
+            Some(BatchNum(7))
+        );
+        assert_eq!(SnapshotPolicy::MinEpoch(Epoch(3)).min_lce(), Epoch(3));
+        // A page token's pin wins over the policy's.
+        let q = ReadQuery::scan(ClusterId(0), ScanRange::new(0, 7))
+            .with_policy(SnapshotPolicy::AtBatch(BatchNum(1)))
+            .with_page(PageToken {
+                batch: BatchNum(2),
+                resume: 4,
+            });
+        assert_eq!(q.pinned_batch(), Some(BatchNum(2)));
+    }
+}

@@ -193,6 +193,36 @@ impl<H: BatchCommitment + Clone> ReplayCache<H> {
         None
     }
 
+    /// Try to answer a scan for `range` **pinned at exactly `batch`**
+    /// (a page continuation or an [`crate::SnapshotPolicy::AtBatch`]
+    /// query): only a window cached at that batch that covers the
+    /// request may serve — no newer batch is an acceptable substitute,
+    /// because the client's verifier rejects any other batch as a
+    /// snapshot-pin mismatch.
+    pub fn replay_scan_at(&mut self, range: &ScanRange, batch: BatchNum) -> Option<ScanBundle<H>> {
+        let covering = self.scans.get(&batch.0).and_then(|windows| {
+            windows
+                .iter()
+                .filter(|(cached, _)| cached.covers(range))
+                .min_by_key(|(cached, _)| cached.width())
+                .cloned()
+        });
+        let Some((cached_range, scan)) = covering else {
+            self.stats.scan_passes += 1;
+            return None;
+        };
+        self.stats.scans_replayed += 1;
+        if cached_range != *range {
+            self.stats.scans_covered_by_wider += 1;
+        }
+        let (commitment, cert) = self.commitments[&batch.0].clone();
+        Some(ScanBundle {
+            commitment,
+            cert,
+            scan,
+        })
+    }
+
     /// Cached scan windows across live batches (diagnostics).
     pub fn scan_window_count(&self) -> usize {
         self.scans.values().map(|w| w.len()).sum()

@@ -28,6 +28,7 @@ use transedge_consensus::Certificate;
 use transedge_crypto::merkle::{value_digest, verify_proof, Verified};
 use transedge_crypto::{sha256, verify_range_proof, KeyStore, ScanRange};
 
+use crate::query::{PageToken, QueryAnswer, QueryShape, ReadQuery, ReadResponse};
 use crate::response::{BatchCommitment, ProofBundle, ProvenRead, ScanBundle};
 
 /// Verification parameters; must match the deployment's node
@@ -97,6 +98,19 @@ pub enum ReadRejection {
     /// position in the window (wrong value, out of tree order, or a
     /// duplicated/foreign row).
     ScanRowMismatch(Key),
+    /// The response payload does not match the query's shape (a scan
+    /// answered with point sections or vice versa).
+    ShapeMismatch,
+    /// The query pinned an exact snapshot (an [`crate::SnapshotPolicy::AtBatch`]
+    /// policy or a [`crate::PageToken`]) and the response was served at
+    /// a different batch — the page-splice attack: mixing pages of one
+    /// scan across batches would produce a row set no single snapshot
+    /// ever held.
+    SnapshotPinMismatch { pinned: BatchNum, got: BatchNum },
+    /// A page token's resume bound lies outside the query's range
+    /// (moved backwards to or before the first window, or past the
+    /// end) — a tampered or replayed token.
+    PageOutOfRange { resume: u64, range: ScanRange },
 }
 
 /// The verifier. Stateless; cheap to copy into clients.
@@ -396,5 +410,104 @@ impl ReadVerifier {
                     .ok_or_else(|| ReadRejection::MissingKey(k.clone()))
             })
             .collect()
+    }
+
+    /// The single verifier entry point of the unified read protocol:
+    /// check a [`ReadResponse`] against the [`ReadQuery`] (one
+    /// per-partition sub-query) it answers, dispatching to the
+    /// point/assembled/scan proof chains and enforcing the query's
+    /// snapshot policy and page pin on top:
+    ///
+    /// * shape: the payload must match the query's shape
+    ///   ([`ReadRejection::ShapeMismatch`]);
+    /// * page token: the resume bound must lie inside the query's range
+    ///   past its first window ([`ReadRejection::PageOutOfRange`] — a
+    ///   tampered or replayed token), and the response must be served
+    ///   at exactly the token's batch
+    ///   ([`ReadRejection::SnapshotPinMismatch`] — the page-splice
+    ///   attack);
+    /// * policy: [`crate::SnapshotPolicy::AtBatch`] pins the batch the
+    ///   same way; [`crate::SnapshotPolicy::MinEpoch`] becomes the LCE
+    ///   floor of the underlying chain (scans included — the round-two
+    ///   semantics point reads always had).
+    ///
+    /// On success returns the verified [`QueryAnswer`]; for scans it
+    /// includes the [`PageToken`] for the next page, pinned to the
+    /// batch this page verified at.
+    pub fn verify_query<H: BatchCommitment>(
+        &self,
+        keys: &KeyStore,
+        expected_cluster: ClusterId,
+        query: &ReadQuery,
+        response: &ReadResponse<H>,
+        now: SimTime,
+    ) -> Result<QueryAnswer, ReadRejection> {
+        let min_lce = query.min_lce();
+        match (&query.shape, response) {
+            (QueryShape::Point { keys: expected }, ReadResponse::Point { sections }) => {
+                let values = self.verify_assembled(
+                    keys,
+                    expected_cluster,
+                    sections,
+                    expected,
+                    min_lce,
+                    now,
+                )?;
+                if let Some(pinned) = query.pinned_batch() {
+                    // Non-empty: verify_assembled rejects empty assemblies.
+                    let got = sections[0].batch();
+                    if got != pinned {
+                        return Err(ReadRejection::SnapshotPinMismatch { pinned, got });
+                    }
+                }
+                Ok(QueryAnswer::Values(values))
+            }
+            (QueryShape::Scan { range, .. }, ReadResponse::Scan { bundle }) => {
+                if let Some(PageToken { resume, .. }) = query.page {
+                    // The first page starts at `range.first` with no
+                    // token, so a legitimate token always resumes
+                    // strictly inside the range: anything at or before
+                    // the start is a token moved backwards (replaying
+                    // already-scanned buckets), anything past the end a
+                    // fabricated continuation.
+                    if resume <= range.first || resume > range.last {
+                        return Err(ReadRejection::PageOutOfRange {
+                            resume,
+                            range: *range,
+                        });
+                    }
+                }
+                let Some(window) = query.scan_window() else {
+                    return Err(ReadRejection::PageOutOfRange {
+                        resume: query.page.as_ref().map_or(range.first, |t| t.resume),
+                        range: *range,
+                    });
+                };
+                if let Some(pinned) = query.pinned_batch() {
+                    let got = bundle.batch();
+                    if got != pinned {
+                        return Err(ReadRejection::SnapshotPinMismatch { pinned, got });
+                    }
+                }
+                let rows = self.verify_scan(
+                    keys,
+                    expected_cluster,
+                    bundle.as_ref(),
+                    &window,
+                    min_lce,
+                    now,
+                )?;
+                let next = if window.last < range.last {
+                    Some(PageToken {
+                        batch: bundle.batch(),
+                        resume: window.last + 1,
+                    })
+                } else {
+                    None
+                };
+                Ok(QueryAnswer::Rows { rows, next })
+            }
+            _ => Err(ReadRejection::ShapeMismatch),
+        }
     }
 }

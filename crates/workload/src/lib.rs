@@ -180,6 +180,42 @@ mod tests {
     }
 
     #[test]
+    fn scatter_scan_mix_emits_unified_queries() {
+        use transedge_core::{QueryShape, ReadQuery};
+        let t = topo();
+        // Two partitions, four pages per scan → every op is a unified
+        // paginated scatter-gather query.
+        let spec = WorkloadSpec::scatter_scans(t.clone(), 64, 2, 4);
+        let ops = spec.generate(64, 17);
+        assert!(!ops.is_empty());
+        for op in &ops {
+            let ClientOp::Query {
+                query: ReadQuery { shape, .. },
+            } = op
+            else {
+                panic!("scatter scans must be unified queries, got {op:?}");
+            };
+            let QueryShape::Scan {
+                clusters,
+                range,
+                window,
+            } = shape
+            else {
+                panic!("scan shape expected");
+            };
+            assert_eq!(clusters.len(), 2);
+            assert_eq!(*window, 64);
+            assert_eq!(range.width(), 256, "4 windows of 64 buckets");
+            assert!(range.is_valid_for_depth(spec.tree_depth) || range.width() > 64);
+            assert_eq!(range.first % 256, 0, "ranges are aligned");
+        }
+        // Single-partition single-page specs keep the classic sugar.
+        for op in WorkloadSpec::scatter_scans(t, 128, 1, 1).generate(16, 3) {
+            assert!(matches!(op, ClientOp::RangeScan { .. }));
+        }
+    }
+
+    #[test]
     fn keys_stay_in_range() {
         let spec = WorkloadSpec {
             n_keys: 100,
@@ -194,7 +230,7 @@ mod tests {
                     .chain(writes.iter().map(|(k, _)| k.clone()))
                     .collect(),
                 // Scans name bucket windows, not keys.
-                ClientOp::RangeScan { .. } => Vec::new(),
+                ClientOp::RangeScan { .. } | ClientOp::Query { .. } => Vec::new(),
             };
             for k in keys {
                 let i = u32::from_be_bytes(k.as_bytes().try_into().unwrap());

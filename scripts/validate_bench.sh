@@ -22,7 +22,7 @@ fi
 # schema_version pins the shape below; bump both together.
 jq -e '
   .figure == "fig04_rot_latency"
-  and .schema_version == 2
+  and .schema_version == 3
   and (.clusters | length == 5)
   and ([.clusters[]
         | select(.twopc_ms > 0 and .transedge_ms > 0
@@ -38,6 +38,17 @@ jq -e '
   and (.scan.covered_by_wider >= 1)
   and (.scan.mean_rows > 0)
   and (.scan.hit_rate >= 0 and .scan.hit_rate <= 1)
+  and (.pagination.queries > 0)
+  and (.pagination.mean_pages >= 2)
+  and (.pagination.verified >= .pagination.pages)
+  and (.pagination.rejected == 0)
+  and (.pagination.from_cache >= 1)
+  and (.pagination.rows > 0)
+  and (.scatter.queries > 0)
+  and (.scatter.partitions >= 2)
+  and (.scatter.verified >= 2 * .scatter.queries)
+  and (.scatter.rejected == 0)
+  and (.scatter.mean_rows > 0)
 ' "$BENCH_JSON" >/dev/null
 
-echo "ok: $BENCH_JSON matches bench schema v2"
+echo "ok: $BENCH_JSON matches bench schema v3"

@@ -597,3 +597,199 @@ fn scan_omitting_edge_is_rejected_and_demoted() {
         assert!(s.committed, "scans never abort");
     }
 }
+
+// ---------------------------------------------------------------------
+// The unified ReadQuery protocol: paginated scatter-gather scans under
+// a snapshot-policy floor, through untrusted edges.
+// ---------------------------------------------------------------------
+
+use transedge::core::{QueryShape, ReadQuery, SnapshotPolicy};
+
+/// Build the acceptance-scenario deployment: writers raising the LCE
+/// above `NONE` on both partitions (their keys kept *outside* the
+/// scanned windows so ground truth stays the preloaded data), plus one
+/// reader issuing a single unified query: a paginated scan (two
+/// windows per partition) scattered over both partitions, under
+/// `SnapshotPolicy::MinEpoch` — the scan analogue of a round-2 floor.
+fn unified_query_scenario(
+    config: &mut transedge::core::setup::DeploymentConfig,
+) -> (Vec<Vec<ClientOp>>, ReadQuery, [ScanRange; 2]) {
+    config.latency = transedge::simnet::LatencyModel::paper_default();
+    config.client.record_results = true;
+    let topo = config.topo.clone();
+    // One paginated range per partition: two aligned 32-bucket windows.
+    let ranges = [
+        {
+            let w = window_on(&topo, ClusterId(0));
+            let start = w.first - (w.first % 64);
+            ScanRange::new(start, start + 63)
+        },
+        {
+            let w = window_on(&topo, ClusterId(1));
+            let start = w.first - (w.first % 64);
+            ScanRange::new(start, start + 63)
+        },
+    ];
+    // The scatter query scans the *same* bucket range on both
+    // partitions; pick the one holding cluster 0's keys (cluster 1's
+    // half may be sparse — completeness, not row count, is under test).
+    let range = ranges[0];
+    let query = ReadQuery {
+        consistency: SnapshotPolicy::MinEpoch(transedge::common::Epoch(0)),
+        shape: QueryShape::Scan {
+            clusters: vec![ClusterId(0), ClusterId(1)],
+            range,
+            window: 32,
+        },
+        page: None,
+    };
+    // Writers: cross-partition transactions commit 2PC groups, raising
+    // each partition's LCE to a real epoch so the MinEpoch floor
+    // becomes servable. Their keys stay outside every scanned window.
+    let outside = |cluster: ClusterId| -> Vec<Key> {
+        (0u32..10_000)
+            .map(Key::from_u32)
+            .filter(|k| {
+                topo.partition_of(k) == cluster
+                    && !range.contains_key(k, SCAN_DEPTH)
+                    && !ranges[1].contains_key(k, SCAN_DEPTH)
+            })
+            .take(4)
+            .collect()
+    };
+    let w0 = outside(ClusterId(0));
+    let w1 = outside(ClusterId(1));
+    let writer: Vec<ClientOp> = (0..8)
+        .map(|i| ClientOp::ReadWrite {
+            reads: vec![],
+            writes: vec![
+                (w0[i % 4].clone(), Value::from("w0")),
+                (w1[i % 4].clone(), Value::from("w1")),
+            ],
+        })
+        .collect();
+    let reader = vec![ClientOp::Query {
+        query: query.clone(),
+    }];
+    (vec![writer, reader], query, ranges)
+}
+
+/// The tentpole acceptance scenario, honest half: one `ReadQuery`
+/// spanning two partitions with a paginated scan under
+/// `SnapshotPolicy::MinEpoch`, served through edges, every section
+/// verified against its own certified root.
+#[test]
+fn unified_paginated_scatter_query_under_min_epoch() {
+    let mut config = DeploymentConfig::for_testing();
+    config.edge = EdgePlan::honest(1);
+    let (scripts, query, _) = unified_query_scenario(&mut config);
+    let topo = config.topo.clone();
+    let mut dep = Deployment::build(config, scripts);
+    dep.run_until_done(SimTime(600_000_000));
+
+    let reader = dep.client(dep.client_ids[1]);
+    assert_eq!(reader.stats.verification_failures, 0);
+    assert_eq!(reader.stats.gave_up, 0);
+    assert_eq!(reader.query_results.len(), 1);
+    let result = &reader.query_results[0];
+    // Both partitions answered, each pinned above the LCE floor: the
+    // genesis batch (LCE = −1) can never satisfy MinEpoch(0), so every
+    // snapshot batch is a later one.
+    assert_eq!(result.snapshot.len(), 2);
+    for (cluster, batch) in &result.snapshot {
+        assert!(
+            batch.0 >= 1,
+            "{cluster}: MinEpoch(0) must skip past genesis (got batch {})",
+            batch.0
+        );
+    }
+    // Two 32-bucket pages per partition.
+    assert_eq!(result.pages, 4, "2 windows × 2 partitions");
+    // Rows are complete and correct per partition: exactly the
+    // preloaded rows of the scanned range (writers stayed outside it).
+    let QueryShape::Scan { range, .. } = query.shape else {
+        unreachable!()
+    };
+    assert_eq!(result.rows.len(), 2);
+    for (cluster, rows) in &result.rows {
+        let want = expected_rows(&dep.data, &topo, *cluster, &range);
+        assert_eq!(
+            rows, &want,
+            "{cluster}: stitched pages must equal the committed window"
+        );
+    }
+    assert!(
+        !result.rows[0].1.is_empty(),
+        "cluster 0's half of the scatter must contain preloaded rows"
+    );
+    // Per-shape metrics flowed from the dispatch point: the query is a
+    // paginated scatter scan, so all three classes counted it.
+    let m = reader.query_metrics;
+    assert!(m.scan.verified >= 4);
+    assert_eq!(m.scan.verified, m.paginated.verified);
+    assert_eq!(m.scan.verified, m.scatter.verified);
+    assert_eq!(m.point.served, 0);
+    // It was actually served through the edge tier.
+    let edge_scans: u64 = dep
+        .edge_ids
+        .iter()
+        .map(|e| dep.edge_node(*e).stats.scan_requests)
+        .sum();
+    assert!(edge_scans >= 1, "the query must route through the edges");
+}
+
+/// The tentpole acceptance scenario, byzantine half: the same query
+/// with one byzantine edge in the fan-out (omitting a row from a
+/// scanned page, the completeness attack) is rejected, the edge
+/// demoted on cryptographic evidence, and the query retried to success
+/// with complete, correct rows.
+#[test]
+fn unified_query_with_byzantine_edge_in_fanout_recovers() {
+    let mut config = DeploymentConfig::for_testing();
+    let byz = EdgeId::new(ClusterId(0), 0);
+    config.edge = EdgePlan::honest(1).with_byzantine(byz, EdgeBehavior::OmitKey);
+    let (scripts, query, _) = unified_query_scenario(&mut config);
+    let topo = config.topo.clone();
+    let mut dep = Deployment::build(config, scripts);
+    dep.run_until_done(SimTime(600_000_000));
+
+    let reader = dep.client(dep.client_ids[1]);
+    // The omission was seen and rejected…
+    assert!(
+        reader.stats.verification_failures >= 1,
+        "the omitted row must be caught (failures {})",
+        reader.stats.verification_failures
+    );
+    assert!(reader.query_metrics.scatter.rejected >= 1);
+    assert!(dep.edge_node(byz).stats.tampered >= 1);
+    // …the lying edge demoted on cryptographic evidence…
+    let health = reader
+        .edge_selector
+        .health(ClusterId(0), transedge::common::NodeId::Edge(byz))
+        .expect("byzantine edge is a registered target");
+    assert!(
+        health.demotions >= 1,
+        "the byzantine edge must be demoted (rejections {})",
+        health.total_rejections
+    );
+    // …and the query still completed, complete and correct.
+    assert_eq!(reader.stats.gave_up, 0);
+    assert_eq!(reader.query_results.len(), 1);
+    let result = &reader.query_results[0];
+    assert_eq!(result.snapshot.len(), 2);
+    assert_eq!(result.pages, 4);
+    let QueryShape::Scan { range, .. } = query.shape else {
+        unreachable!()
+    };
+    for (cluster, rows) in &result.rows {
+        let want = expected_rows(&dep.data, &topo, *cluster, &range);
+        assert_eq!(
+            rows, &want,
+            "{cluster}: no omission may survive — accepted pages must be complete"
+        );
+    }
+    assert!(!result.rows[0].1.is_empty());
+    for s in &reader.samples {
+        assert!(s.committed, "unified queries never abort");
+    }
+}
