@@ -12,8 +12,9 @@
 use std::fmt::Write as _;
 
 use transedge_bench::support::*;
-use transedge_common::{ClusterId, EdgeId, Key, SimTime};
+use transedge_common::{ClusterId, EdgeId, Key, SimDuration, SimTime};
 use transedge_core::client::ClientOp;
+use transedge_core::edge_node::EdgeBehavior;
 use transedge_core::metrics::OpKind;
 use transedge_core::setup::{Deployment, EdgePlan};
 use transedge_crypto::ScanRange;
@@ -360,6 +361,152 @@ fn edge_scatter_gather(scale: Scale) -> ScatterResult {
     }
 }
 
+/// The gossiped edge directory + edge-tier scatter-gather experiments:
+/// how fast a verified rejection propagates through the fleet
+/// (anti-entropy rounds until every edge knows), how much of the
+/// forwarded sub-query traffic stays inside the edge tier, and what a
+/// single-contact cross-partition query costs versus the classic
+/// client-side fan-out.
+struct DirectoryResult {
+    edges: u64,
+    informed: u64,
+    propagation_rounds: f64,
+    evidence_sent: u64,
+    gather_queries: u64,
+    gather_completed: u64,
+    foreign_subs: u64,
+    sibling_forwards: u64,
+    replica_forwards: u64,
+    forwarded_hit_rate: f64,
+    single_contact_ms: f64,
+    fanout_ms: f64,
+}
+
+/// One scatter workload run: 2-partition unified point queries, with
+/// or without the single-contact path. Returns (mean ROT latency ms,
+/// gathers accepted, aggregated edge stats).
+fn scatter_contact_run(
+    scale: Scale,
+    single_contact: bool,
+) -> (f64, u64, transedge_core::edge_node::EdgeNodeStats) {
+    let mut config = experiment_config(scale);
+    config.client.record_results = true;
+    config.client.single_contact = single_contact;
+    config.edge = EdgePlan::honest(1).with_directory(SimDuration::from_millis(20));
+    let topo = config.topo.clone();
+    let spec = WorkloadSpec::scatter_points(topo, 4, 2);
+    let clients = scale.pick(4, 12);
+    let ops = spec.generate(clients * scale.pick(10, 40), 77);
+    let mut dep = Deployment::build(config, split_clients(ops, clients));
+    dep.run_until_done(SimTime(3_600_000_000));
+    let mut gathers_accepted = 0;
+    let mut lats: Vec<f64> = Vec::new();
+    for id in &dep.client_ids {
+        let client = dep.client(*id);
+        assert_eq!(client.stats.verification_failures, 0);
+        gathers_accepted += client.stats.gathers_accepted;
+        lats.extend(
+            client
+                .samples
+                .iter()
+                .filter(|s| s.kind == OpKind::ReadOnly)
+                .map(|s| s.latency().as_micros() as f64 / 1_000.0),
+        );
+    }
+    let mut edge_stats = transedge_core::edge_node::EdgeNodeStats::default();
+    for e in &dep.edge_ids {
+        let s = dep.edge_node(*e).stats;
+        edge_stats.gather_requests += s.gather_requests;
+        edge_stats.gather_completed += s.gather_completed;
+        edge_stats.foreign_subs += s.foreign_subs;
+        edge_stats.foreign_forward_sibling += s.foreign_forward_sibling;
+        edge_stats.foreign_forward_replica += s.foreign_forward_replica;
+    }
+    let mean = lats.iter().sum::<f64>() / lats.len().max(1) as f64;
+    (mean, gathers_accepted, edge_stats)
+}
+
+fn edge_directory_fleet(scale: Scale) -> DirectoryResult {
+    // Demotion propagation: one client trips over a byzantine edge;
+    // its signed evidence must reach the whole fleet via anti-entropy
+    // push rounds.
+    let gossip = SimDuration::from_millis(20);
+    let mut config = experiment_config(scale);
+    config.client.record_results = true;
+    let byz = EdgeId::new(ClusterId(0), 0);
+    config.edge = EdgePlan::honest(3)
+        .with_byzantine(byz, EdgeBehavior::TamperValue)
+        .with_directory(gossip);
+    let topo = config.topo.clone();
+    let keys: Vec<Key> = (0u32..config.n_keys)
+        .map(Key::from_u32)
+        .filter(|k| topo.partition_of(k) == ClusterId(0))
+        .take(2)
+        .collect();
+    let script: Vec<ClientOp> = (0..12)
+        .map(|_| ClientOp::ReadOnly { keys: keys.clone() })
+        .collect();
+    let mut dep = Deployment::build(config, vec![script]);
+    dep.run_until_done(SimTime(3_600_000_000));
+    let evidence_sent = dep.client(dep.client_ids[0]).stats.directory_evidence_sent;
+    // Gossip keeps ticking after the client script ends; run the sim
+    // until every edge has (re-verified and) admitted the evidence.
+    let total_edges = dep.edge_ids.len() as u64;
+    let informed = |dep: &Deployment| -> u64 {
+        dep.edge_ids
+            .iter()
+            .filter(|e| {
+                dep.edge_node(**e)
+                    .directory()
+                    .is_some_and(|a| a.knows_byzantine(byz))
+            })
+            .count() as u64
+    };
+    let deadline = dep.sim.now() + SimDuration::from_secs(10);
+    while informed(&dep) < total_edges && dep.sim.now() < deadline {
+        if !dep.sim.step() {
+            break;
+        }
+    }
+    let learned: Vec<SimTime> = dep
+        .edge_ids
+        .iter()
+        .filter_map(|e| {
+            dep.edge_node(*e)
+                .directory()
+                .and_then(|a| a.learned_at(byz))
+        })
+        .collect();
+    let propagation_rounds = match (learned.iter().min(), learned.iter().max()) {
+        (Some(first), Some(last)) if last > first => {
+            (last.saturating_since(*first).as_micros() as f64 / gossip.as_micros() as f64).ceil()
+        }
+        _ => 0.0,
+    };
+
+    // Single-contact vs fan-out on the same scatter workload.
+    let (single_contact_ms, gathers_accepted, edge_stats) = scatter_contact_run(scale, true);
+    let (fanout_ms, _, _) = scatter_contact_run(scale, false);
+    assert!(
+        gathers_accepted > 0,
+        "single-contact path must be exercised"
+    );
+    DirectoryResult {
+        edges: total_edges,
+        informed: informed(&dep),
+        propagation_rounds,
+        evidence_sent,
+        gather_queries: edge_stats.gather_requests,
+        gather_completed: edge_stats.gather_completed,
+        foreign_subs: edge_stats.foreign_subs,
+        sibling_forwards: edge_stats.foreign_forward_sibling,
+        replica_forwards: edge_stats.foreign_forward_replica,
+        forwarded_hit_rate: edge_stats.forwarded_hit_rate(),
+        single_contact_ms,
+        fanout_ms,
+    }
+}
+
 fn main() {
     let scale = Scale::detect();
     banner(
@@ -479,6 +626,19 @@ fn main() {
         fmt_ms(scatter.mean_ms),
     ]);
 
+    // Gossiped directory: demotion propagation + edge-tier forwarding.
+    println!();
+    println!("  edge directory (gossiped demotion, single-contact scatter):");
+    let directory = edge_directory_fleet(scale);
+    header(&["edges", "rounds", "fwd hit", "1-contact", "fan-out"]);
+    row(&[
+        format!("{}/{}", directory.informed, directory.edges),
+        format!("{:.0}", directory.propagation_rounds),
+        fmt_pct(directory.forwarded_hit_rate * 100.0),
+        fmt_ms(directory.single_contact_ms),
+        fmt_ms(directory.fanout_ms),
+    ]);
+
     paper_reference(&[
         "2PC/BFT:   ~12 ms at 1 cluster, 69–82 ms at 2–5 clusters",
         "TransEdge: ~1–8 ms across 1–5 clusters",
@@ -492,8 +652,10 @@ fn main() {
     // Bump when a metrics block is added/renamed so `scripts/
     // validate_bench.sh` (and any trajectory tooling) can tell schemas
     // apart. 2 = added the `scan` block; 3 = added the `pagination`
-    // and `scatter` blocks of the unified ReadQuery protocol.
-    json.push_str("  \"schema_version\": 3,\n");
+    // and `scatter` blocks of the unified ReadQuery protocol; 4 =
+    // added the `directory` block (gossiped demotion propagation,
+    // edge-tier forwarding, single-contact vs fan-out).
+    json.push_str("  \"schema_version\": 4,\n");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -558,7 +720,7 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"scatter\": {{\"queries\": {}, \"partitions\": {}, \"served\": {}, \"verified\": {}, \"rejected\": {}, \"mean_rows\": {:.2}, \"mean_ms\": {:.4}}}",
+        "  \"scatter\": {{\"queries\": {}, \"partitions\": {}, \"served\": {}, \"verified\": {}, \"rejected\": {}, \"mean_rows\": {:.2}, \"mean_ms\": {:.4}}},",
         scatter.queries,
         scatter.partitions,
         scatter.served,
@@ -566,6 +728,22 @@ fn main() {
         scatter.rejected,
         scatter.mean_rows,
         scatter.mean_ms
+    );
+    let _ = writeln!(
+        json,
+        "  \"directory\": {{\"edges\": {}, \"informed\": {}, \"propagation_rounds\": {:.0}, \"evidence_sent\": {}, \"gather_queries\": {}, \"gather_completed\": {}, \"foreign_subs\": {}, \"sibling_forwards\": {}, \"replica_forwards\": {}, \"forwarded_hit_rate\": {:.4}, \"single_contact_ms\": {:.4}, \"fanout_ms\": {:.4}}}",
+        directory.edges,
+        directory.informed,
+        directory.propagation_rounds,
+        directory.evidence_sent,
+        directory.gather_queries,
+        directory.gather_completed,
+        directory.foreign_subs,
+        directory.sibling_forwards,
+        directory.replica_forwards,
+        directory.forwarded_hit_rate,
+        directory.single_contact_ms,
+        directory.fanout_ms
     );
     json.push_str("}\n");
     // Anchor at the workspace root regardless of bench CWD.

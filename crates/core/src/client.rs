@@ -21,14 +21,16 @@ use transedge_common::{
     BatchNum, ClientId, ClusterId, ClusterTopology, Epoch, Key, NodeId, ReplicaId, SimDuration,
     SimTime, TxnId, Value,
 };
-use transedge_crypto::{KeyStore, ScanRange};
+use transedge_crypto::range::MAX_RANGE_BUCKETS;
+use transedge_crypto::{KeyStore, Keypair, ScanRange};
+use transedge_directory::DirectoryAgent;
 use transedge_edge::{
-    PageToken, QueryAnswer, QueryShape, ReadQuery, ReadRejection, ReadResponse, ReadVerifier,
-    SnapshotPolicy, VerifyParams,
+    PageToken, PrefixResume, QueryAnswer, QueryShape, ReadQuery, ReadRejection, ReadResponse,
+    ReadVerifier, SnapshotPolicy, VerifyParams,
 };
 use transedge_simnet::{Actor, Context};
 
-use crate::batch::{ReadOp, Transaction, WriteOp};
+use crate::batch::{CommittedHeader, ReadOp, Transaction, WriteOp};
 use crate::deps::{verify_dependencies, RotView};
 use crate::edge_select::{EdgeSelector, EdgeSelectorConfig};
 use crate::messages::{NetMsg, ReadPayload};
@@ -87,6 +89,21 @@ pub struct ClientConfig {
     pub edges: HashMap<ClusterId, Vec<NodeId>>,
     /// Tuning for the adaptive edge routing.
     pub selector: EdgeSelectorConfig,
+    /// Take part in the gossiped edge directory: pull a digest at
+    /// startup to seed the selector warm (fleet-wide demotions land
+    /// *before* the first contact), and push signed rejection evidence
+    /// after verification failures so other clients get the same head
+    /// start. Hints only — correctness never depends on them.
+    pub directory: bool,
+    /// Send a fresh cross-partition query to *one* edge contact
+    /// (edge-tier scatter-gather) instead of fanning out per partition.
+    /// The contact splits, forwards, and stitches; every part is still
+    /// verified here against its own partition's certified root, and a
+    /// failed or tampered gather falls back to the classic fan-out.
+    pub single_contact: bool,
+    /// Delay before the first operation (and the directory pull) —
+    /// lets harnesses stagger clients so gossip has rounds to spread.
+    pub start_delay: SimDuration,
 }
 
 impl Default for ClientConfig {
@@ -100,6 +117,9 @@ impl Default for ClientConfig {
             rot_via_2pc: false,
             edges: HashMap::new(),
             selector: EdgeSelectorConfig::default(),
+            directory: false,
+            single_contact: false,
+            start_delay: SimDuration(0),
         }
     }
 }
@@ -186,6 +206,13 @@ struct PartState {
     token: Option<PageToken>,
     /// Verified pages so far (scan parts).
     pages: u32,
+    /// Last tree-order bucket whose rows are verified (scan parts) —
+    /// what a prefix-resume restart carries over.
+    verified_through: Option<u64>,
+    /// A restart is in flight as a prefix resume through this bucket:
+    /// the next sub-query re-proves the held rows at the new snapshot
+    /// instead of refetching them.
+    resume_prefix: Option<u64>,
     /// Snapshot view of the partition (set by the first verified
     /// response; input to the dependency check).
     view: Option<RotView>,
@@ -202,6 +229,8 @@ impl PartState {
             floor: Epoch::NONE,
             token: None,
             pages: 0,
+            verified_through: None,
+            resume_prefix: None,
             view: None,
             values: Vec::new(),
             rows: Vec::new(),
@@ -209,16 +238,30 @@ impl PartState {
         }
     }
 
-    /// Restart this partition from scratch at a new LCE floor (round
-    /// two: its snapshot failed the dependency check).
-    fn restart_at_floor(&mut self, floor: Epoch) {
+    /// Restart this partition at a new LCE floor (round two: its
+    /// snapshot failed the dependency check; or a pinned page aged
+    /// past the freshness window). When `keep_prefix` is allowed and
+    /// this is a scan with verified rows, the restart resumes from the
+    /// verified prefix — the floor only pins a *newer* batch, so the
+    /// held rows are re-proven (not refetched) at the new snapshot —
+    /// instead of re-paginating from page one.
+    fn restart_at_floor(&mut self, floor: Epoch, keep_prefix: bool) {
         self.floor = floor;
         self.token = None;
         self.pages = 0;
         self.view = None;
-        self.values.clear();
-        self.rows.clear();
         self.done = false;
+        match self.verified_through {
+            Some(through) if keep_prefix && !self.rows.is_empty() => {
+                self.resume_prefix = Some(through);
+            }
+            _ => {
+                self.resume_prefix = None;
+                self.verified_through = None;
+                self.values.clear();
+                self.rows.clear();
+            }
+        }
     }
 }
 
@@ -234,6 +277,11 @@ struct ReadSession {
     parts: Vec<PartState>,
     /// req id → where the sub-query went.
     outstanding: HashMap<u64, SubPending>,
+    /// A single-contact gather is in flight via this edge: the whole
+    /// multi-partition query went to one target, whose stitched
+    /// response is verified part by part. Cleared after the first
+    /// answer (continuation pages and round-2 restarts fan out).
+    single_contact: Option<NodeId>,
     round1_done_at: Option<SimTime>,
 }
 
@@ -243,8 +291,9 @@ impl ReadSession {
     }
 
     /// The wire sub-query currently owed by `cluster`: the original
-    /// query restricted to that partition, at the part's floor and
-    /// page position.
+    /// query restricted to that partition, at the part's floor, page
+    /// position, and (for floor restarts with held rows) verified
+    /// prefix.
     fn subquery(&self, cluster: ClusterId) -> Option<ReadQuery> {
         let part = self.parts.iter().find(|p| p.cluster == cluster)?;
         let consistency = if part.floor.is_none() {
@@ -266,7 +315,27 @@ impl ReadSession {
             consistency,
             shape,
             page: part.token,
+            prefix: part
+                .token
+                .is_none()
+                .then(|| part.resume_prefix.map(|through| PrefixResume { through }))
+                .flatten(),
         })
+    }
+
+    /// Restart `cluster`'s part at `floor`. `try_prefix` resumes from
+    /// the verified prefix when the part is an eligible scan (held
+    /// rows exist and the whole range fits one completeness proof —
+    /// wider ranges would blow the protocol's proof-width cap).
+    fn restart_part(&mut self, cluster: ClusterId, floor: Epoch, try_prefix: bool) {
+        let eligible = try_prefix
+            && match &self.query.shape {
+                QueryShape::Scan { range, .. } => range.width() <= MAX_RANGE_BUCKETS,
+                QueryShape::Point { .. } => false,
+            };
+        if let Some(part) = self.part_mut(cluster) {
+            part.restart_at_floor(floor, eligible);
+        }
     }
 
     fn all_done(&self) -> bool {
@@ -275,6 +344,41 @@ impl ReadSession {
 
     fn views(&self) -> Vec<RotView> {
         self.parts.iter().filter_map(|p| p.view.clone()).collect()
+    }
+}
+
+/// Charge the simulated CPU of verifying one response: one certificate
+/// check plus one proof/leaf hash per read or window bucket. A scan's
+/// claimed window is *attacker-controlled* and unvalidated here, so its
+/// width is computed saturating and capped at the protocol maximum —
+/// the verifier rejects anything wider before hashing.
+fn charge_verification(ctx: &mut Context<'_, NetMsg>, response: &ReadPayload) {
+    match response {
+        ReadResponse::Point { sections } => {
+            ctx.charge(|c| {
+                let sigs = sections.first().map(|b| b.cert.sigs.len()).unwrap_or(0) as u64;
+                let reads: u64 = sections.iter().map(|b| b.reads.len() as u64).sum();
+                SimDuration(c.ed25519_verify.0 * sigs + c.merkle_verify.0 * reads)
+            });
+        }
+        ReadResponse::Scan { bundle } => {
+            ctx.charge(|c| {
+                let claimed = &bundle.scan.range;
+                let width = claimed
+                    .last
+                    .saturating_sub(claimed.first)
+                    .saturating_add(1)
+                    .min(MAX_RANGE_BUCKETS);
+                SimDuration(
+                    c.ed25519_verify.0 * bundle.cert.sigs.len() as u64 + c.merkle_verify.0 * width,
+                )
+            });
+        }
+        ReadResponse::Gather { parts } => {
+            for part in parts {
+                charge_verification(ctx, &part.body);
+            }
+        }
     }
 }
 
@@ -318,6 +422,25 @@ pub struct ClientStats {
     /// Accepted scans whose proven window was wider than the request —
     /// an edge served a covering cached window and the client filtered.
     pub scans_covered_by_wider: u64,
+    /// Scan restarts that resumed from the already-verified prefix
+    /// (floor raised mid-scan; held rows re-proven, not refetched).
+    pub prefix_resumes: u64,
+    /// Prefix resumes where the new snapshot proved the held rows
+    /// changed — honest divergence; the partition re-paginated from
+    /// page one without blaming anyone.
+    pub prefix_divergences: u64,
+    /// Cross-partition queries sent to a single edge contact.
+    pub gathers_sent: u64,
+    /// Single-contact responses fully verified (every part against its
+    /// own partition's root) and accepted.
+    pub gathers_accepted: u64,
+    /// Single-contact responses rejected or abandoned, falling back to
+    /// the classic per-partition fan-out.
+    pub gather_fallbacks: u64,
+    /// Directory digests ingested (startup seed + gossip).
+    pub directory_seeded: u64,
+    /// Signed rejection-evidence records pushed into the gossip layer.
+    pub directory_evidence_sent: u64,
 }
 
 /// The client actor.
@@ -335,6 +458,13 @@ pub struct ClientActor {
     read_rr: u64,
     /// Adaptive edge routing for read-only rounds.
     pub edge_selector: EdgeSelector,
+    /// Directory participation (when `config.directory`): holds the
+    /// ingested fleet state, signs this client's observations and
+    /// rejection evidence.
+    directory: Option<DirectoryAgent<CommittedHeader>>,
+    /// Startup: a directory pull is outstanding; the first op starts
+    /// when the digest arrives (or the seed timer gives up waiting).
+    waiting_seed: bool,
     /// Writes buffered while the read phase runs.
     pending_writes: Vec<(Key, Value)>,
     pub samples: Vec<TxnSample>,
@@ -353,6 +483,7 @@ impl ClientActor {
         id: ClientId,
         topo: ClusterTopology,
         keys: KeyStore,
+        keypair: Keypair,
         config: ClientConfig,
         ops: Vec<ClientOp>,
     ) -> Self {
@@ -364,6 +495,17 @@ impl ClientActor {
                 edge_selector.register(*cluster, *edge);
             }
         }
+        let directory = config.directory.then(|| {
+            DirectoryAgent::new(
+                NodeId::Client(id),
+                keypair,
+                ReadVerifier::new(VerifyParams {
+                    tree_depth: config.tree_depth,
+                    freshness_window: config.freshness_window,
+                    quorum: topo.certificate_quorum(),
+                }),
+            )
+        });
         ClientActor {
             id,
             topo,
@@ -376,6 +518,8 @@ impl ClientActor {
             next_txn_seq: 0,
             read_rr: 0,
             edge_selector,
+            directory,
+            waiting_seed: false,
             pending_writes: Vec::new(),
             samples: Vec::new(),
             rot_results: Vec::new(),
@@ -390,6 +534,52 @@ impl ClientActor {
     /// All scripted operations finished?
     pub fn is_done(&self) -> bool {
         self.inflight.is_none() && self.next_op >= self.ops.len()
+    }
+
+    /// The directory participant, when enabled.
+    pub fn directory(&self) -> Option<&DirectoryAgent<CommittedHeader>> {
+        self.directory.as_ref()
+    }
+
+    /// Begin the scripted run: when the directory is enabled, first
+    /// pull a digest from one edge so the selector starts warm —
+    /// fleet-known byzantine edges are demoted *before* this client
+    /// ever contacts them. A seed timer bounds the wait (a dead or
+    /// shunned pull target must not wedge the client).
+    fn boot(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        if self.directory.is_some() {
+            let mut clusters: Vec<ClusterId> = self.config.edges.keys().copied().collect();
+            clusters.sort_unstable();
+            let target = clusters
+                .into_iter()
+                .find_map(|cluster| self.edge_selector.pick(cluster, ctx.now()));
+            if let Some(target) = target {
+                ctx.send(target, NetMsg::DirectoryPull);
+                self.waiting_seed = true;
+                ctx.set_timer(self.config.retry_after, TIMER_SEED);
+                return;
+            }
+        }
+        self.start_next_op(ctx);
+    }
+
+    /// Apply directory hints to the edge selector: register unknown
+    /// edges, demote evidenced-byzantine ones, and prime unsampled
+    /// latency rankings with the fleet's EWMA means.
+    fn seed_selector(&mut self, now: SimTime) {
+        let Some(agent) = &self.directory else {
+            return;
+        };
+        for hint in agent.hints() {
+            let target = NodeId::Edge(hint.edge);
+            self.edge_selector.register(hint.cluster, target);
+            if hint.byzantine {
+                self.edge_selector.demote_hint(hint.cluster, target, now);
+            } else if let Some(latency) = hint.latency_us {
+                self.edge_selector
+                    .prime_latency(hint.cluster, target, latency);
+            }
+        }
     }
 
     fn req_id(&mut self) -> u64 {
@@ -620,6 +810,7 @@ impl ClientActor {
             round: 1,
             parts,
             outstanding: HashMap::new(),
+            single_contact: None,
             round1_done_at: None,
         };
         // An empty plan (no keys / no clusters) completes immediately.
@@ -636,10 +827,24 @@ impl ClientActor {
             return;
         }
         let start = ctx.now();
-        let clusters: Vec<ClusterId> = session.parts.iter().map(|p| p.cluster).collect();
-        for cluster in clusters {
+        // Edge-tier scatter-gather: hand the whole multi-partition
+        // query to one edge contact — it splits, forwards to siblings,
+        // and stitches; every part is still verified here against its
+        // own partition's root. Retries and rejections fall back to
+        // the classic per-partition fan-out.
+        let contact = if self.config.single_contact && session.parts.len() > 1 {
+            session.parts.iter().find_map(|p| {
+                self.edge_selector
+                    .pick(p.cluster, ctx.now())
+                    .filter(|t| matches!(t, NodeId::Edge(_)))
+                    .map(|t| (p.cluster, t))
+            })
+        } else {
+            None
+        };
+        if let Some((cluster, target)) = contact {
             let req = self.req_id();
-            let target = self.read_target(cluster, ctx.now());
+            session.single_contact = Some(target);
             session.outstanding.insert(
                 req,
                 SubPending {
@@ -648,8 +853,30 @@ impl ClientActor {
                     sent_at: ctx.now(),
                 },
             );
-            let sub = session.subquery(cluster).expect("planned part");
-            ctx.send(target, NetMsg::Read { req, query: sub });
+            self.stats.gathers_sent += 1;
+            ctx.send(
+                target,
+                NetMsg::Read {
+                    req,
+                    query: session.query.clone(),
+                },
+            );
+        } else {
+            let clusters: Vec<ClusterId> = session.parts.iter().map(|p| p.cluster).collect();
+            for cluster in clusters {
+                let req = self.req_id();
+                let target = self.read_target(cluster, ctx.now());
+                session.outstanding.insert(
+                    req,
+                    SubPending {
+                        cluster,
+                        target,
+                        sent_at: ctx.now(),
+                    },
+                );
+                let sub = session.subquery(cluster).expect("planned part");
+                ctx.send(target, NetMsg::Read { req, query: sub });
+            }
         }
         self.inflight = Some(Inflight {
             op_index,
@@ -661,64 +888,225 @@ impl ClientActor {
         ctx.set_timer(self.config.retry_after, op_index as u64 + TIMER_BASE);
     }
 
-    /// A unified read response arrived: verify it against the owing
-    /// sub-query, advance pagination, and stitch when every partition
-    /// is done.
-    fn on_read_result(&mut self, req: u64, result: ReadPayload, ctx: &mut Context<'_, NetMsg>) {
-        let now = ctx.now();
-        let Some(mut inflight) = self.inflight.take() else {
-            return;
-        };
-        let Phase::Query(mut session) = inflight.phase else {
-            self.inflight = Some(inflight);
-            return;
-        };
-        let Some(pending) = session.outstanding.get(&req).copied() else {
-            // Late duplicate from a previous round/page — ignore.
-            inflight.phase = Phase::Query(session);
-            self.inflight = Some(inflight);
-            return;
-        };
-        let cluster = pending.cluster;
-        let Some(sub) = session.subquery(cluster) else {
-            inflight.phase = Phase::Query(session);
-            self.inflight = Some(inflight);
-            return;
-        };
-        // Charge simulated verification CPU: one certificate check per
-        // response plus one proof/leaf hash per read or window bucket.
-        // A scan's claimed window is *attacker-controlled* and
-        // unvalidated here, so its width is computed saturating and
-        // capped at the protocol maximum — the verifier rejects
-        // anything wider before hashing.
-        let response = result;
-        match &response {
-            ReadResponse::Point { sections } => {
-                ctx.charge(|c| {
-                    let sigs = sections.first().map(|b| b.cert.sigs.len()).unwrap_or(0) as u64;
-                    let reads: u64 = sections.iter().map(|b| b.reads.len() as u64).sum();
-                    SimDuration(c.ed25519_verify.0 * sigs + c.merkle_verify.0 * reads)
-                });
+    /// Route a verified [`QueryAnswer`] into its partition's state:
+    /// record the snapshot view, stash values/rows, advance pagination
+    /// bookkeeping. Returns `true` when the part still owes pages.
+    fn ingest_answer(
+        &mut self,
+        part: &mut PartState,
+        cluster: ClusterId,
+        sub: &ReadQuery,
+        answer: QueryAnswer,
+        response: &ReadPayload,
+    ) -> bool {
+        match answer {
+            QueryAnswer::Values(values) => {
+                if let ReadResponse::Point { sections } = response {
+                    if sections.len() > 1 {
+                        self.stats.assembled_accepted += 1;
+                    }
+                    let header = &sections[0].commitment.header;
+                    part.view = Some(RotView {
+                        cluster,
+                        batch: header.num,
+                        cd: header.cd.clone(),
+                        lce: header.lce,
+                    });
+                }
+                part.values = values;
+                part.done = true;
             }
-            ReadResponse::Scan { bundle } => {
-                ctx.charge(|c| {
-                    let claimed = &bundle.scan.range;
-                    let width = claimed
-                        .last
-                        .saturating_sub(claimed.first)
-                        .saturating_add(1)
-                        .min(transedge_crypto::range::MAX_RANGE_BUCKETS);
-                    SimDuration(
-                        c.ed25519_verify.0 * bundle.cert.sigs.len() as u64
-                            + c.merkle_verify.0 * width,
-                    )
-                });
+            QueryAnswer::Rows { rows, next } => {
+                self.stats.scans_accepted += 1;
+                if sub.prefix.is_some() && sub.page.is_none() {
+                    // The held prefix was re-proven at the new
+                    // snapshot; only the fresh tail came back.
+                    self.stats.prefix_resumes += 1;
+                    part.resume_prefix = None;
+                }
+                if let ReadResponse::Scan { bundle } = response {
+                    if sub.scan_window().is_some_and(|w| bundle.scan.range != w) {
+                        self.stats.scans_covered_by_wider += 1;
+                    }
+                    if part.view.is_none() {
+                        let header = &bundle.commitment.header;
+                        part.view = Some(RotView {
+                            cluster,
+                            batch: header.num,
+                            cd: header.cd.clone(),
+                            lce: header.lce,
+                        });
+                    }
+                }
+                part.rows.extend(rows);
+                part.pages += 1;
+                part.verified_through = sub.scan_window().map(|w| w.last);
+                match next {
+                    Some(token) => {
+                        part.token = Some(token);
+                        part.done = false;
+                    }
+                    None => part.done = true,
+                }
             }
         }
+        !part.done
+    }
+
+    /// A single-contact (gather) response arrived: verify every part
+    /// against the sub-query its partition is owed — each part chained
+    /// to *its own* certified root — and accept all-or-nothing. Any
+    /// bad part rejects the whole response, demotes the contact, and
+    /// falls back to the classic per-partition fan-out via replicas.
+    fn on_gather_result(
+        &mut self,
+        session: &mut ReadSession,
+        req: u64,
+        pending: SubPending,
+        response: ReadPayload,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        let now = ctx.now();
+        session.outstanding.remove(&req);
+        session.single_contact = None;
+        let contact = pending.target;
+        let contact_cluster = pending.cluster;
+        let clusters: Vec<ClusterId> = session.parts.iter().map(|p| p.cluster).collect();
         self.query_metrics.served(session.class);
+        // Verify every part first; apply only if all hold.
+        let verifier = self.read_verifier();
+        let mut verified: Vec<(ClusterId, ReadQuery, QueryAnswer)> = Vec::new();
+        let mut ok = true;
+        if let ReadPayload::Gather { parts } = &response {
+            for cluster in &clusters {
+                let Some(part) = parts.iter().find(|p| p.cluster == *cluster) else {
+                    ok = false;
+                    break;
+                };
+                let sub = session.subquery(*cluster).expect("planned part");
+                match verifier.verify_query(&self.keys, *cluster, &sub, &part.body, now) {
+                    Ok(answer) => verified.push((*cluster, sub, answer)),
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        } else {
+            // A single-partition payload cannot answer a
+            // multi-partition query.
+            ok = false;
+        }
+        if !ok {
+            self.stats.verification_failures += 1;
+            self.stats.gather_fallbacks += 1;
+            self.query_metrics.rejected(session.class);
+            if matches!(contact, NodeId::Edge(_)) {
+                self.edge_selector
+                    .record_rejection(contact_cluster, contact, now);
+            }
+            // Fall back: fan every unfinished part out to real
+            // replicas (byzantine-evasion, like any rejection retry).
+            for cluster in clusters {
+                let req = self.req_id();
+                let target = self.any_replica_of(cluster);
+                session.outstanding.insert(
+                    req,
+                    SubPending {
+                        cluster,
+                        target,
+                        sent_at: now,
+                    },
+                );
+                let sub = session.subquery(cluster).expect("planned part");
+                ctx.send(target, NetMsg::Read { req, query: sub });
+            }
+            return;
+        }
+        self.query_metrics.verified(session.class);
+        self.stats.gathers_accepted += 1;
+        if matches!(contact, NodeId::Edge(_)) {
+            self.edge_selector.record_success(
+                contact_cluster,
+                contact,
+                now.saturating_since(pending.sent_at),
+            );
+        }
+        let ReadPayload::Gather { parts } = &response else {
+            unreachable!("verified above");
+        };
+        let mut continuations: Vec<ClusterId> = Vec::new();
+        for (cluster, sub, answer) in verified {
+            let body = &parts
+                .iter()
+                .find(|p| p.cluster == cluster)
+                .expect("verified above")
+                .body;
+            let mut part = std::mem::replace(
+                session.part_mut(cluster).expect("planned part"),
+                PartState::new(cluster, Vec::new()),
+            );
+            let more = self.ingest_answer(&mut part, cluster, &sub, answer, body);
+            *session.part_mut(cluster).expect("planned part") = part;
+            if more {
+                continuations.push(cluster);
+            }
+        }
+        // Continuation pages (and later rounds) fan out per partition
+        // through the selector, exactly like the classic path.
+        for cluster in continuations {
+            let page_req = self.req_id();
+            let target = self.read_target(cluster, now);
+            session.outstanding.insert(
+                page_req,
+                SubPending {
+                    cluster,
+                    target,
+                    sent_at: now,
+                },
+            );
+            if let Some(page_query) = session.subquery(cluster) {
+                ctx.send(
+                    target,
+                    NetMsg::Read {
+                        req: page_req,
+                        query: page_query,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A per-partition response arrived: verify it against the owing
+    /// sub-query (resuming from the held prefix when one is in
+    /// flight), advance pagination, or blame and retry.
+    fn on_part_result(
+        &mut self,
+        session: &mut ReadSession,
+        req: u64,
+        pending: SubPending,
+        response: ReadPayload,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        let now = ctx.now();
+        let cluster = pending.cluster;
+        let Some(sub) = session.subquery(cluster) else {
+            return;
+        };
+        self.query_metrics.served(session.class);
+        let held: Vec<(Key, Value)> = if sub.prefix.is_some() {
+            session
+                .parts
+                .iter()
+                .find(|p| p.cluster == cluster)
+                .map(|p| p.rows.clone())
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
         let verified = self
             .read_verifier()
-            .verify_query(&self.keys, cluster, &sub, &response, now);
+            .verify_query_resuming(&self.keys, cluster, &sub, &response, &held, now);
         match verified {
             Ok(answer) => {
                 self.query_metrics.verified(session.class);
@@ -730,58 +1118,13 @@ impl ClientActor {
                     );
                 }
                 session.outstanding.remove(&req);
-                let mut next_page: Option<ReadQuery> = None;
-                {
-                    let part = session.part_mut(cluster).expect("verified part exists");
-                    match answer {
-                        QueryAnswer::Values(values) => {
-                            if let ReadResponse::Point { sections } = &response {
-                                if sections.len() > 1 {
-                                    self.stats.assembled_accepted += 1;
-                                }
-                                let header = &sections[0].commitment.header;
-                                part.view = Some(RotView {
-                                    cluster,
-                                    batch: header.num,
-                                    cd: header.cd.clone(),
-                                    lce: header.lce,
-                                });
-                            }
-                            part.values = values;
-                            part.done = true;
-                        }
-                        QueryAnswer::Rows { rows, next } => {
-                            self.stats.scans_accepted += 1;
-                            if let ReadResponse::Scan { bundle } = &response {
-                                if sub.scan_window().is_some_and(|w| bundle.scan.range != w) {
-                                    self.stats.scans_covered_by_wider += 1;
-                                }
-                                if part.view.is_none() {
-                                    let header = &bundle.commitment.header;
-                                    part.view = Some(RotView {
-                                        cluster,
-                                        batch: header.num,
-                                        cd: header.cd.clone(),
-                                        lce: header.lce,
-                                    });
-                                }
-                            }
-                            part.rows.extend(rows);
-                            part.pages += 1;
-                            match next {
-                                Some(token) => {
-                                    part.token = Some(token);
-                                    part.done = false;
-                                }
-                                None => part.done = true,
-                            }
-                        }
-                    }
-                    if !part.done {
-                        next_page = session.subquery(cluster);
-                    }
-                }
-                if let Some(page_query) = next_page {
+                let mut part = std::mem::replace(
+                    session.part_mut(cluster).expect("verified part exists"),
+                    PartState::new(cluster, Vec::new()),
+                );
+                let more = self.ingest_answer(&mut part, cluster, &sub, answer, &response);
+                *session.part_mut(cluster).expect("verified part exists") = part;
+                if more {
                     // Next page: back through the selector — the pinned
                     // batch keeps the snapshot consistent even when a
                     // different node serves it.
@@ -795,11 +1138,47 @@ impl ClientActor {
                             sent_at: now,
                         },
                     );
+                    if let Some(page_query) = session.subquery(cluster) {
+                        ctx.send(
+                            target,
+                            NetMsg::Read {
+                                req: page_req,
+                                query: page_query,
+                            },
+                        );
+                    }
+                }
+            }
+            Err(ReadRejection::PrefixDiverged) => {
+                // Honest divergence: the committed prefix changed
+                // between the old and new snapshots. Nobody lied —
+                // restart this partition's pagination from page one at
+                // its floor, with no blame and no demotion.
+                self.stats.prefix_divergences += 1;
+                session.outstanding.remove(&req);
+                let floor = session
+                    .parts
+                    .iter()
+                    .find(|p| p.cluster == cluster)
+                    .map(|p| p.floor)
+                    .unwrap_or(Epoch::NONE);
+                session.restart_part(cluster, floor, false);
+                let retry_req = self.req_id();
+                let target = self.read_target(cluster, now);
+                session.outstanding.insert(
+                    retry_req,
+                    SubPending {
+                        cluster,
+                        target,
+                        sent_at: now,
+                    },
+                );
+                if let Some(retry) = session.subquery(cluster) {
                     ctx.send(
                         target,
                         NetMsg::Read {
-                            req: page_req,
-                            query: page_query,
+                            req: retry_req,
+                            query: retry,
                         },
                     );
                 }
@@ -816,19 +1195,78 @@ impl ClientActor {
                     self.edge_selector
                         .record_rejection(cluster, pending.target, now);
                 }
+                // Gossip the catch: signed evidence with the offending
+                // proof attached, pushed to a healthy edge so the whole
+                // fleet demotes the liar without paying its own
+                // rejected round trip. (Only cryptographic rejections
+                // qualify — `witness` drops the rest.)
+                if let (Some(agent), NodeId::Edge(subject)) = (&mut self.directory, pending.target)
+                {
+                    if agent.witness(subject, cluster, &sub, &response, &rejection, now) {
+                        self.stats.directory_evidence_sent += 1;
+                        // Piggyback this client's sampled latency
+                        // observations so receivers can prime their
+                        // rankings with the fleet's EWMA means.
+                        let mut known: Vec<(ClusterId, NodeId)> = self
+                            .config
+                            .edges
+                            .iter()
+                            .flat_map(|(c, es)| es.iter().map(|e| (*c, *e)))
+                            .collect();
+                        known.sort_unstable();
+                        for (c, target) in &known {
+                            let (Some(edge), Some(health)) =
+                                (target.as_edge(), self.edge_selector.health(*c, *target))
+                            else {
+                                continue;
+                            };
+                            if let Some(ewma) = health.ewma_latency_us {
+                                agent.observe(
+                                    edge,
+                                    Some(ewma),
+                                    health.successes,
+                                    health.failures,
+                                    health.total_rejections,
+                                    vec![],
+                                    now,
+                                );
+                            }
+                        }
+                        let digest = Box::new(agent.digest());
+                        // Push to a *healthy* edge: the selector's best
+                        // pick (the offender was just demoted above),
+                        // scanning clusters in order for determinism.
+                        let mut clusters: Vec<ClusterId> =
+                            self.config.edges.keys().copied().collect();
+                        clusters.sort_unstable();
+                        let peer = clusters.into_iter().find_map(|c| {
+                            self.edge_selector
+                                .pick(c, now)
+                                .filter(|t| t.as_edge().is_some_and(|e| e != subject))
+                        });
+                        if let Some(peer) = peer {
+                            ctx.send(peer, NetMsg::DirectoryGossip { digest });
+                        }
+                    }
+                }
                 session.outstanding.remove(&req);
                 // Exception: a pinned page continuation whose batch
                 // aged past the freshness window can never verify
                 // again — *no* server can make the pinned batch
                 // fresher, so re-asking with the same token would loop
                 // until the op gives up (and keep blaming honest
-                // servers). Restart this partition's pagination from
-                // page one at its current floor; a fresh batch re-pins
-                // the snapshot.
+                // servers). Restart this partition's pagination at its
+                // current floor — resuming from the already-verified
+                // prefix where eligible; a fresh batch re-pins the
+                // snapshot.
                 let sub = if rejection == ReadRejection::StaleTimestamp && sub.page.is_some() {
-                    let part = session.part_mut(cluster).expect("pending part exists");
-                    let floor = part.floor;
-                    part.restart_at_floor(floor);
+                    let floor = session
+                        .parts
+                        .iter()
+                        .find(|p| p.cluster == cluster)
+                        .map(|p| p.floor)
+                        .unwrap_or(Epoch::NONE);
+                    session.restart_part(cluster, floor, true);
                     session.subquery(cluster).expect("restarted part")
                 } else {
                     sub
@@ -851,6 +1289,31 @@ impl ClientActor {
                     },
                 );
             }
+        }
+    }
+
+    /// A unified read response arrived: dispatch to the gather or
+    /// per-partition handler, then stitch when every partition is done.
+    fn on_read_result(&mut self, req: u64, result: ReadPayload, ctx: &mut Context<'_, NetMsg>) {
+        let Some(mut inflight) = self.inflight.take() else {
+            return;
+        };
+        let Phase::Query(mut session) = inflight.phase else {
+            self.inflight = Some(inflight);
+            return;
+        };
+        let Some(pending) = session.outstanding.get(&req).copied() else {
+            // Late duplicate from a previous round/page — ignore.
+            inflight.phase = Phase::Query(session);
+            self.inflight = Some(inflight);
+            return;
+        };
+        let response = result;
+        charge_verification(ctx, &response);
+        if session.single_contact.is_some() {
+            self.on_gather_result(&mut session, req, pending, response, ctx);
+        } else {
+            self.on_part_result(&mut session, req, pending, response, ctx);
         }
         let done = session.all_done();
         inflight.phase = Phase::Query(session);
@@ -887,10 +1350,11 @@ impl ClientActor {
             }
             session.round += 1;
             for (cluster, min_epoch) in actionable {
-                {
-                    let part = session.part_mut(cluster).expect("actionable part exists");
-                    part.restart_at_floor(min_epoch);
-                }
+                // Scan parts with verified rows resume from the
+                // already-verified prefix: the floor only pins a
+                // *newer* batch, so the held rows are re-proven at the
+                // new snapshot instead of refetched from page one.
+                session.restart_part(cluster, min_epoch, true);
                 let req = self.req_id();
                 let target = self.read_target(cluster, now);
                 session.outstanding.insert(
@@ -1018,13 +1482,22 @@ impl ClientActor {
 }
 
 const TIMER_BASE: u64 = 1_000_000;
+/// Deferred start (`ClientConfig::start_delay`).
+const TIMER_BOOT: u64 = 999_998;
+/// Bound on waiting for the startup directory pull.
+const TIMER_SEED: u64 = 999_999;
 
 impl Actor<NetMsg> for ClientActor {
     fn on_start(&mut self, ctx: &mut Context<'_, NetMsg>) {
-        self.start_next_op(ctx);
+        if self.config.start_delay > SimDuration(0) {
+            ctx.set_timer(self.config.start_delay, TIMER_BOOT);
+        } else {
+            self.boot(ctx);
+        }
     }
 
-    fn on_message(&mut self, _from: NodeId, msg: NetMsg, ctx: &mut Context<'_, NetMsg>) {
+    fn on_message(&mut self, from: NodeId, msg: NetMsg, ctx: &mut Context<'_, NetMsg>) {
+        let _ = from;
         match msg {
             NetMsg::OccReadResp {
                 req,
@@ -1060,11 +1533,37 @@ impl Actor<NetMsg> for ClientActor {
             NetMsg::ReadResult { req, result } => {
                 self.on_read_result(req, result, ctx);
             }
+            NetMsg::DirectoryGossip { digest } => {
+                let now = ctx.now();
+                if let Some(agent) = &mut self.directory {
+                    agent.ingest(from, &digest, &self.keys, now);
+                    self.stats.directory_seeded += 1;
+                    self.seed_selector(now);
+                }
+                if self.waiting_seed {
+                    self.waiting_seed = false;
+                    self.start_next_op(ctx);
+                }
+            }
             _ => {}
         }
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, NetMsg>) {
+        if token == TIMER_BOOT {
+            self.boot(ctx);
+            return;
+        }
+        if token == TIMER_SEED {
+            // The pull target never answered; start cold rather than
+            // wedge (the directory is an optimisation, not a
+            // dependency).
+            if self.waiting_seed {
+                self.waiting_seed = false;
+                self.start_next_op(ctx);
+            }
+            return;
+        }
         // Retry timer for the op it was armed for.
         let Some(inflight) = &mut self.inflight else {
             return;
@@ -1127,6 +1626,51 @@ impl Actor<NetMsg> for ClientActor {
                 ));
             }
             Phase::Query(session) => {
+                if session.single_contact.take().is_some() {
+                    // The single edge contact never answered: abandon
+                    // the gather (blaming the contact) and fan the
+                    // partitions out to real replicas — the same
+                    // fallback a rejected gather takes.
+                    self.stats.gather_fallbacks += 1;
+                    let abandoned: Vec<(u64, SubPending)> = session.outstanding.drain().collect();
+                    for (_, p) in abandoned {
+                        if matches!(p.target, NodeId::Edge(_)) {
+                            self.edge_selector.record_failure(p.cluster, p.target, now);
+                        }
+                    }
+                    let clusters: Vec<ClusterId> = session
+                        .parts
+                        .iter()
+                        .filter(|p| !p.done)
+                        .map(|p| p.cluster)
+                        .collect();
+                    let n = self.topo.replicas_per_cluster() as u32;
+                    for cluster in clusters {
+                        self.next_req += 1;
+                        let req = self.next_req;
+                        let target = NodeId::Replica(ReplicaId::new(
+                            cluster,
+                            (inflight.attempts % n) as u16,
+                        ));
+                        session.outstanding.insert(
+                            req,
+                            SubPending {
+                                cluster,
+                                target,
+                                sent_at: now,
+                            },
+                        );
+                        if let Some(sub) = session.subquery(cluster) {
+                            sends.push((target, NetMsg::Read { req, query: sub }));
+                        }
+                    }
+                    let token = inflight.op_index as u64 + TIMER_BASE;
+                    for (target, msg) in sends {
+                        ctx.send(target, msg);
+                    }
+                    ctx.set_timer(self.config.retry_after, token);
+                    return;
+                }
                 let resend: Vec<(u64, ClusterId)> = session
                     .outstanding
                     .iter()

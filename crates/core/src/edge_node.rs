@@ -1,12 +1,31 @@
 //! The edge read node: an *untrusted* cache actor that scales the
 //! read-only path without joining consensus.
 //!
-//! An [`EdgeReadNode`] fronts one partition. It holds no partition
-//! state, no Merkle tree, and no signing keys — only
-//! [`transedge_edge::ReplayCache`] fragments of certified responses it
-//! has forwarded before. A request it can cover is answered locally
-//! (zero upstream hops); anything else is forwarded to a replica of
-//! the home cluster and the certified answer absorbed on the way back.
+//! An [`EdgeReadNode`] fronts one partition but caches certified
+//! responses of *any* partition it has couriered (see scatter-gather
+//! below). It holds no partition state, no Merkle tree, and no
+//! consensus role — only [`transedge_edge::ReplayCache`] fragments of
+//! certified responses it has forwarded before. A request it can cover
+//! is answered locally (zero upstream hops); anything else is forwarded
+//! to a replica of the home cluster (or a sibling edge) and the
+//! certified answer absorbed on the way back.
+//!
+//! Two subsystems ride on top of the replay path:
+//!
+//! * **Edge-tier scatter-gather** — a cross-partition [`ReadQuery`]
+//!   arriving at one edge is split into per-partition sub-queries,
+//!   served from the edge's own per-cluster caches where possible and
+//!   forwarded to sibling edges (picked by directory coverage hints) or
+//!   remote replicas otherwise, then returned as one stitched
+//!   `ReadResponse::Gather` — the client contacts *one* edge for a
+//!   multi-partition query, and still verifies every part against its
+//!   own partition's certified root.
+//! * **Gossiped health/coverage directory** — each edge runs a
+//!   [`DirectoryAgent`], refreshes a signed self-observation with its
+//!   cache coverage every gossip round, and pushes its digest to a
+//!   rotating peer (anti-entropy). Client-witnessed rejection evidence
+//!   rides the same channel, so one client's verified rejection demotes
+//!   a byzantine edge fleet-wide in `O(log n)` rounds.
 //!
 //! Because every response is proof-carrying, clients need not trust
 //! this node at all: the byzantine variants below ([`EdgeBehavior`])
@@ -16,13 +35,21 @@
 
 use std::collections::HashMap;
 
-use transedge_common::{ClusterTopology, EdgeId, NodeId, ReplicaId, SimDuration, SimTime};
-use transedge_crypto::Digest;
-use transedge_edge::{Assembly, QueryShape, ReadQuery, ReplayCache};
+use transedge_common::{
+    ClusterId, ClusterTopology, EdgeId, Epoch, NodeId, ReplicaId, SimDuration, SimTime,
+};
+use transedge_crypto::{Digest, KeyStore, Keypair};
+use transedge_directory::{CoverageSummary, DirectoryAgent};
+use transedge_edge::{
+    Assembly, GatherPart, QueryShape, ReadQuery, ReadVerifier, ReplayCache, VerifyParams,
+};
 use transedge_simnet::{Actor, Context};
 
 use crate::batch::CommittedHeader;
 use crate::messages::{NetMsg, ReadPayload, RotBundle, RotScanBundle};
+
+/// Gossip timer token (the edge actor's only timer).
+const TOKEN_GOSSIP: u64 = 1;
 
 /// How the edge node treats the responses it serves.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -46,6 +73,62 @@ pub enum EdgeBehavior {
     /// only `ReadVerifier::verify_scan`'s row-count-versus-proof check
     /// catches it.
     OmitKey,
+}
+
+/// The edge directory/forwarding configuration of a deployment.
+#[derive(Clone, Debug)]
+pub struct DirectoryPlan {
+    /// Run the gossip directory at all.
+    pub enabled: bool,
+    /// Anti-entropy push period (each edge pushes its digest to one
+    /// rotating peer per round).
+    pub gossip_interval: SimDuration,
+    /// Serve cross-partition queries through one edge contact
+    /// (edge-tier scatter-gather) instead of dropping them.
+    pub forwarding: bool,
+}
+
+impl DirectoryPlan {
+    /// No directory, no forwarding (the pre-directory deployment
+    /// shape; cross-partition queries fan out from the client).
+    pub fn disabled() -> Self {
+        DirectoryPlan {
+            enabled: false,
+            gossip_interval: SimDuration::from_millis(50),
+            forwarding: false,
+        }
+    }
+
+    /// Gossip + edge-tier forwarding at the given push period.
+    pub fn gossip(interval: SimDuration) -> Self {
+        DirectoryPlan {
+            enabled: true,
+            gossip_interval: interval,
+            forwarding: true,
+        }
+    }
+}
+
+/// Everything an [`EdgeReadNode`] needs beyond its identity.
+#[derive(Clone, Debug)]
+pub struct EdgeNodeParams {
+    pub behavior: EdgeBehavior,
+    /// Per-cluster replay-cache capacity in fragments.
+    pub cache_capacity: usize,
+    /// Certified headers retained per cluster cache.
+    pub max_cached_batches: usize,
+    /// Cached bundles older than this are not replayed; the request is
+    /// forwarded upstream instead, refreshing the cache.
+    pub replay_staleness: SimDuration,
+    /// Deployment tree depth (bucket arithmetic for prefix filtering).
+    pub tree_depth: u32,
+    /// Deployment freshness window (evidence re-verification).
+    pub freshness_window: SimDuration,
+    /// Gossip directory + edge-tier forwarding.
+    pub directory: DirectoryPlan,
+    /// Every edge in the deployment (gossip peers and forwarding
+    /// bootstrap; the directory's coverage hints refine the choice).
+    pub peers: Vec<EdgeId>,
 }
 
 /// Serving counters for the harnesses.
@@ -80,6 +163,19 @@ pub struct EdgeNodeStats {
     pub scans_forwarded: u64,
     /// Responses deliberately corrupted (byzantine modes).
     pub tampered: u64,
+    /// Cross-partition queries taken as the single contact
+    /// (edge-tier scatter-gather).
+    pub gather_requests: u64,
+    /// Gathers fully stitched and returned to the client.
+    pub gather_completed: u64,
+    /// Gather sub-queries for partitions this edge does not front.
+    pub foreign_subs: u64,
+    /// Foreign sub-query misses forwarded to a sibling edge (picked by
+    /// directory coverage hints).
+    pub foreign_forward_sibling: u64,
+    /// Foreign sub-query misses forwarded to the home cluster's
+    /// replicas (no usable sibling).
+    pub foreign_forward_replica: u64,
 }
 
 impl EdgeNodeStats {
@@ -90,6 +186,16 @@ impl EdgeNodeStats {
             0.0
         } else {
             self.keys_from_cache as f64 / self.keys_requested as f64
+        }
+    }
+
+    /// Fraction of foreign gather sub-queries kept inside the edge tier
+    /// (served locally or by a sibling edge rather than a replica).
+    pub fn forwarded_hit_rate(&self) -> f64 {
+        if self.foreign_subs == 0 {
+            0.0
+        } else {
+            1.0 - self.foreign_forward_replica as f64 / self.foreign_subs as f64
         }
     }
 }
@@ -104,23 +210,49 @@ struct PendingRequest {
     partial: Option<RotBundle>,
 }
 
+/// One in-flight edge-tier scatter-gather: the client contact and the
+/// per-partition slots awaiting answers.
+struct GatherState {
+    client: NodeId,
+    client_req: u64,
+    parts: Vec<(ClusterId, Option<ReadPayload>)>,
+}
+
+/// sub-request id → which gather and partition it answers.
+#[derive(Clone, Copy)]
+struct GatherSub {
+    gather: u64,
+    cluster: ClusterId,
+}
+
 /// The actor.
 pub struct EdgeReadNode {
     pub me: EdgeId,
     topo: ClusterTopology,
+    keys: KeyStore,
     behavior: EdgeBehavior,
-    cache: ReplayCache<CommittedHeader>,
-    /// Cached bundles older than this are not replayed; the request is
-    /// forwarded upstream instead, refreshing the cache. Keeps a
-    /// hot-key edge from serving responses that age past the clients'
-    /// freshness window (which would be rejected on every read while
-    /// the cache never refreshes).
+    /// One replay cache per partition: the home cluster's fills from
+    /// normal traffic, foreign clusters' from couriered gather parts —
+    /// which is what makes a warm single-contact query one LAN hop.
+    caches: HashMap<ClusterId, ReplayCache<CommittedHeader>>,
+    cache_capacity: usize,
+    max_cached_batches: usize,
     replay_staleness: SimDuration,
+    tree_depth: u32,
+    directory_plan: DirectoryPlan,
+    peers: Vec<EdgeId>,
+    directory: Option<DirectoryAgent<CommittedHeader>>,
     /// upstream req id → the client request it answers.
     pending: HashMap<u64, PendingRequest>,
+    /// sub-request id → the gather it belongs to.
+    gather_subs: HashMap<u64, GatherSub>,
+    gathers: HashMap<u64, GatherState>,
     next_req: u64,
-    /// Round-robin over home-cluster replicas for upstream fetches.
+    next_gather: u64,
+    /// Round-robin over replicas for upstream fetches.
     upstream_rr: u64,
+    /// Round-robin over peers for gossip pushes.
+    gossip_rr: u64,
     pub stats: EdgeNodeStats,
 }
 
@@ -128,20 +260,39 @@ impl EdgeReadNode {
     pub fn new(
         me: EdgeId,
         topo: ClusterTopology,
-        behavior: EdgeBehavior,
-        cache_capacity: usize,
-        max_cached_batches: usize,
-        replay_staleness: SimDuration,
+        keys: KeyStore,
+        keypair: Keypair,
+        params: EdgeNodeParams,
     ) -> Self {
+        let verifier = ReadVerifier::new(VerifyParams {
+            tree_depth: params.tree_depth,
+            freshness_window: params.freshness_window,
+            quorum: topo.certificate_quorum(),
+        });
+        let directory = params
+            .directory
+            .enabled
+            .then(|| DirectoryAgent::new(NodeId::Edge(me), keypair, verifier));
         EdgeReadNode {
             me,
             topo,
-            behavior,
-            cache: ReplayCache::new(cache_capacity, max_cached_batches),
-            replay_staleness,
+            keys,
+            behavior: params.behavior,
+            caches: HashMap::new(),
+            cache_capacity: params.cache_capacity,
+            max_cached_batches: params.max_cached_batches,
+            replay_staleness: params.replay_staleness,
+            tree_depth: params.tree_depth,
+            directory_plan: params.directory,
+            peers: params.peers,
+            directory,
             pending: HashMap::new(),
+            gather_subs: HashMap::new(),
+            gathers: HashMap::new(),
             next_req: 0,
+            next_gather: 0,
             upstream_rr: 0,
+            gossip_rr: me.index as u64,
             stats: EdgeNodeStats::default(),
         }
     }
@@ -150,18 +301,54 @@ impl EdgeReadNode {
         self.behavior
     }
 
-    /// Replay-cache counters (admitted / replayed / passes).
-    pub fn cache_stats(&self) -> transedge_edge::replay::ReplayStats {
-        self.cache.stats
+    /// The gossip directory participant, when the plan enables one.
+    pub fn directory(&self) -> Option<&DirectoryAgent<CommittedHeader>> {
+        self.directory.as_ref()
     }
 
-    fn upstream(&mut self) -> NodeId {
+    fn cache_for(&mut self, cluster: ClusterId) -> &mut ReplayCache<CommittedHeader> {
+        let (capacity, batches) = (self.cache_capacity, self.max_cached_batches);
+        self.caches
+            .entry(cluster)
+            .or_insert_with(|| ReplayCache::new(capacity, batches))
+    }
+
+    /// Replay-cache counters of the home partition (admitted / replayed
+    /// / passes).
+    pub fn cache_stats(&self) -> transedge_edge::replay::ReplayStats {
+        self.caches
+            .get(&self.me.cluster)
+            .map(|c| c.stats)
+            .unwrap_or_default()
+    }
+
+    fn upstream_replica(&mut self, cluster: ClusterId) -> NodeId {
         let n = self.topo.replicas_per_cluster() as u64;
         self.upstream_rr += 1;
-        NodeId::Replica(ReplicaId::new(
-            self.me.cluster,
-            (self.upstream_rr % n) as u16,
-        ))
+        NodeId::Replica(ReplicaId::new(cluster, (self.upstream_rr % n) as u16))
+    }
+
+    /// A healthy sibling edge fronting `cluster`, by directory hints
+    /// (freshest advertised coverage first), falling back to the
+    /// bootstrap peer list. `None` without a directory or when every
+    /// candidate is evidenced-byzantine or locally struck.
+    fn sibling_for(&self, cluster: ClusterId) -> Option<NodeId> {
+        let agent = self.directory.as_ref()?;
+        if !self.directory_plan.forwarding {
+            return None;
+        }
+        if let Some(edge) = agent.best_edge_for(cluster, &[self.me]) {
+            return Some(NodeId::Edge(edge));
+        }
+        self.peers
+            .iter()
+            .find(|e| {
+                e.cluster == cluster
+                    && **e != self.me
+                    && !agent.knows_byzantine(**e)
+                    && !agent.struck(NodeId::Edge(**e))
+            })
+            .map(|e| NodeId::Edge(*e))
     }
 
     /// Apply this node's byzantine behaviour to an outgoing bundle.
@@ -290,11 +477,15 @@ impl EdgeReadNode {
         upstream_req
     }
 
-    /// Forward a query upstream verbatim, remembering who asked.
+    /// Forward a query verbatim towards its home partition, remembering
+    /// who asked: the home cluster's replicas for our own partition, a
+    /// coverage-ranked sibling edge (falling back to replicas) for
+    /// foreign partitions reached through a gather.
     fn forward_upstream(
         &mut self,
         from: NodeId,
         req: u64,
+        cluster: ClusterId,
         query: ReadQuery,
         ctx: &mut Context<'_, NetMsg>,
     ) {
@@ -303,7 +494,20 @@ impl EdgeReadNode {
             client_req: req,
             partial: None,
         });
-        let upstream = self.upstream();
+        let upstream = if cluster == self.me.cluster {
+            self.upstream_replica(cluster)
+        } else {
+            match self.sibling_for(cluster) {
+                Some(sibling) => {
+                    self.stats.foreign_forward_sibling += 1;
+                    sibling
+                }
+                None => {
+                    self.stats.foreign_forward_replica += 1;
+                    self.upstream_replica(cluster)
+                }
+            }
+        };
         ctx.send(
             upstream,
             NetMsg::Read {
@@ -311,6 +515,182 @@ impl EdgeReadNode {
                 query,
             },
         );
+    }
+
+    /// The home partition of a single-partition query.
+    fn home_cluster(&self, query: &ReadQuery) -> ClusterId {
+        match &query.shape {
+            QueryShape::Point { keys } => keys
+                .first()
+                .map(|k| self.topo.partition_of(k))
+                .unwrap_or(self.me.cluster),
+            QueryShape::Scan { clusters, .. } => {
+                clusters.first().copied().unwrap_or(self.me.cluster)
+            }
+        }
+    }
+
+    /// Every partition a query touches, sorted and deduplicated.
+    fn plan_clusters(&self, query: &ReadQuery) -> Vec<ClusterId> {
+        let mut clusters: Vec<ClusterId> = match &query.shape {
+            QueryShape::Point { keys } => keys.iter().map(|k| self.topo.partition_of(k)).collect(),
+            QueryShape::Scan { clusters, .. } => clusters.clone(),
+        };
+        clusters.sort_unstable();
+        clusters.dedup();
+        clusters
+    }
+
+    /// The query restricted to one partition (mirrors the client
+    /// session's sub-query planning).
+    fn subquery_for(&self, query: &ReadQuery, cluster: ClusterId) -> ReadQuery {
+        let shape = match &query.shape {
+            QueryShape::Point { keys } => QueryShape::Point {
+                keys: keys
+                    .iter()
+                    .filter(|k| self.topo.partition_of(k) == cluster)
+                    .cloned()
+                    .collect(),
+            },
+            QueryShape::Scan { range, window, .. } => QueryShape::Scan {
+                clusters: vec![cluster],
+                range: *range,
+                window: *window,
+            },
+        };
+        ReadQuery {
+            consistency: query.consistency,
+            shape,
+            page: query.page,
+            prefix: query.prefix,
+        }
+    }
+
+    /// Edge-tier scatter-gather: split a cross-partition query into
+    /// per-partition sub-queries and loop each through this node's own
+    /// serving path (self-addressed sends), which answers from the
+    /// per-cluster caches or forwards to siblings/replicas. The parts
+    /// are stitched into one `ReadResponse::Gather` when all arrive;
+    /// a lost part is covered by the client's retry fallback.
+    fn on_gather_query(
+        &mut self,
+        from: NodeId,
+        req: u64,
+        query: ReadQuery,
+        clusters: Vec<ClusterId>,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        self.stats.gather_requests += 1;
+        const MAX_GATHERS: usize = 1024;
+        if self.gathers.len() >= MAX_GATHERS {
+            let mut ids: Vec<u64> = self.gathers.keys().copied().collect();
+            ids.sort_unstable();
+            for id in &ids[..MAX_GATHERS / 2] {
+                self.gathers.remove(id);
+            }
+            let gathers = &self.gathers;
+            self.gather_subs
+                .retain(|_, sub| gathers.contains_key(&sub.gather));
+        }
+        self.next_gather += 1;
+        let gather = self.next_gather;
+        let mut parts = Vec::with_capacity(clusters.len());
+        let mut subs = Vec::with_capacity(clusters.len());
+        for cluster in clusters {
+            parts.push((cluster, None));
+            if cluster != self.me.cluster {
+                self.stats.foreign_subs += 1;
+            }
+            self.next_req += 1;
+            let sub_req = self.next_req;
+            self.gather_subs
+                .insert(sub_req, GatherSub { gather, cluster });
+            subs.push((sub_req, self.subquery_for(&query, cluster)));
+        }
+        self.gathers.insert(
+            gather,
+            GatherState {
+                client: from,
+                client_req: req,
+                parts,
+            },
+        );
+        for (sub_req, sub) in subs {
+            ctx.send(
+                NodeId::Edge(self.me),
+                NetMsg::Read {
+                    req: sub_req,
+                    query: sub,
+                },
+            );
+        }
+    }
+
+    /// A gather sub-answer arrived (from our own serving path, a
+    /// sibling edge, or a replica): absorb foreign certified material
+    /// into the per-cluster caches, slot the part, and stitch when the
+    /// gather is complete.
+    fn on_gather_part(
+        &mut self,
+        sub: GatherSub,
+        result: ReadPayload,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        // No absorption here: every sub-answer either came *from* this
+        // node's own caches (nothing new) or arrived through
+        // `on_upstream_result`, which already admitted it — including
+        // couriered foreign parts, the coverage this edge gains from
+        // serving gathers.
+        let Some(state) = self.gathers.get_mut(&sub.gather) else {
+            return; // trimmed or duplicate
+        };
+        if let Some(slot) = state
+            .parts
+            .iter_mut()
+            .find(|(c, p)| *c == sub.cluster && p.is_none())
+        {
+            slot.1 = Some(result);
+        }
+        if state.parts.iter().any(|(_, p)| p.is_none()) {
+            return;
+        }
+        let state = self.gathers.remove(&sub.gather).expect("checked above");
+        let parts: Vec<GatherPart<CommittedHeader>> = state
+            .parts
+            .into_iter()
+            .map(|(cluster, payload)| GatherPart {
+                cluster,
+                body: payload.expect("all parts present"),
+            })
+            .collect();
+        self.stats.gather_completed += 1;
+        ctx.send(
+            state.client,
+            NetMsg::ReadResult {
+                req: state.client_req,
+                result: ReadPayload::Gather { parts },
+            },
+        );
+    }
+
+    /// Absorb certified material into the cache of whichever partition
+    /// it belongs to.
+    fn absorb(&mut self, result: &ReadPayload) {
+        match result {
+            ReadPayload::Point { sections } => {
+                for section in sections {
+                    let cluster = section.commitment.header.cluster;
+                    self.cache_for(cluster).admit(section);
+                }
+            }
+            ReadPayload::Scan { bundle } => {
+                let cluster = bundle.commitment.header.cluster;
+                self.cache_for(cluster).admit_scan(bundle);
+            }
+            // A nested gather can only come from a byzantine sibling;
+            // nothing in it is attributable to one partition's cache.
+            ReadPayload::Gather { .. } => {}
+        }
     }
 
     /// Serve a point query from cache, partially assemble (cached
@@ -327,6 +707,7 @@ impl EdgeReadNode {
             return;
         };
         let keys = keys.clone();
+        let cluster = self.home_cluster(&query);
         self.stats.requests += 1;
         self.stats.keys_requested += keys.len() as u64;
         if query.pinned_batch().is_some() {
@@ -334,7 +715,7 @@ impl EdgeReadNode {
             // clients do not pin point reads today): pass through —
             // the replica either holds the batch or parks.
             self.stats.forwarded += 1;
-            self.forward_upstream(from, req, query, ctx);
+            self.forward_upstream(from, req, cluster, query, ctx);
             return;
         }
         let min_epoch = query.min_lce();
@@ -343,7 +724,10 @@ impl EdgeReadNode {
                 .as_micros()
                 .saturating_sub(self.replay_staleness.as_micros()),
         );
-        match self.cache.assemble(&keys, min_epoch, freshness_floor) {
+        match self
+            .cache_for(cluster)
+            .assemble(&keys, min_epoch, freshness_floor)
+        {
             Assembly::Full(bundle) => {
                 self.stats.served_from_cache += 1;
                 self.stats.keys_from_cache += bundle.reads.len() as u64;
@@ -364,7 +748,7 @@ impl EdgeReadNode {
                     client_req: req,
                     partial: Some(cached),
                 });
-                let upstream = self.upstream();
+                let upstream = self.upstream_replica(cluster);
                 ctx.send(
                     upstream,
                     NetMsg::RotFetchAt {
@@ -378,7 +762,7 @@ impl EdgeReadNode {
             }
             Assembly::Miss => {
                 self.stats.forwarded += 1;
-                self.forward_upstream(from, req, query, ctx);
+                self.forward_upstream(from, req, cluster, query, ctx);
             }
         }
     }
@@ -395,6 +779,7 @@ impl EdgeReadNode {
         ctx: &mut Context<'_, NetMsg>,
     ) {
         self.stats.scan_requests += 1;
+        let cluster = self.home_cluster(&query);
         let Some(window) = query.scan_window() else {
             // Malformed page token: the replica would reject it too;
             // dropping it here saves the upstream hop.
@@ -405,40 +790,53 @@ impl EdgeReadNode {
                 .as_micros()
                 .saturating_sub(self.replay_staleness.as_micros()),
         );
+        let min_lce = query.min_lce();
+        let cache = self.cache_for(cluster);
         let replayed = match query.pinned_batch() {
             // A pinned page may only be served at exactly its batch —
             // the client rejects anything else as a snapshot-pin
             // mismatch, so a newer cached window is no substitute.
-            Some(batch) => self.cache.replay_scan_at(&window, batch),
-            None => self
-                .cache
-                .replay_scan(&window, query.min_lce(), freshness_floor),
+            Some(batch) => cache.replay_scan_at(&window, batch),
+            None => cache.replay_scan(&window, min_lce, freshness_floor),
         };
-        if let Some(bundle) = replayed {
+        if let Some(mut bundle) = replayed {
+            if let Some(through) = query.fresh_rows_from() {
+                // Prefix-resume: strip the rows of the held prefix —
+                // the proof alone carries them over (see the verifier's
+                // `verify_query_resuming`). Rows outside the query's
+                // range (a covering wider window) must stay: the client
+                // never held them.
+                let depth = self.tree_depth;
+                let range_first = match &query.shape {
+                    QueryShape::Scan { range, .. } => range.first,
+                    QueryShape::Point { .. } => 0,
+                };
+                bundle.scan.rows.retain(|(key, _)| {
+                    let bucket = transedge_crypto::ScanRange::bucket_of(key, depth);
+                    bucket > through || bucket < range_first
+                });
+            }
             self.stats.scans_from_cache += 1;
             self.respond_scan(from, req, bundle, ctx);
             return;
         }
         self.stats.scans_forwarded += 1;
-        self.forward_upstream(from, req, query, ctx);
+        self.forward_upstream(from, req, cluster, query, ctx);
     }
 
     fn on_upstream_result(&mut self, req: u64, result: ReadPayload, ctx: &mut Context<'_, NetMsg>) {
         // Absorb the certified fragments/windows regardless of who
         // asked; a byzantine edge still caches honestly and lies on the
         // way out.
+        self.absorb(&result);
         match result {
             ReadPayload::Scan { bundle } => {
-                self.cache.admit_scan(&bundle);
                 let Some(pending) = self.pending.remove(&req) else {
                     return; // duplicate or late upstream answer
                 };
                 self.respond_scan(pending.client, pending.client_req, *bundle, ctx);
             }
             ReadPayload::Point { sections } => {
-                for section in &sections {
-                    self.cache.admit(section);
-                }
                 let Some(pending) = self.pending.remove(&req) else {
                     return; // duplicate or late upstream answer
                 };
@@ -480,20 +878,112 @@ impl EdgeReadNode {
                     None => self.respond(pending.client, pending.client_req, bundle, ctx),
                 }
             }
+            ReadPayload::Gather { parts } => {
+                // Only a byzantine sibling sends a nested gather;
+                // forward it unmodified — the client's per-part shape
+                // check rejects it and blames this path's contact.
+                let Some(pending) = self.pending.remove(&req) else {
+                    return;
+                };
+                ctx.send(
+                    pending.client,
+                    NetMsg::ReadResult {
+                        req: pending.client_req,
+                        result: ReadPayload::Gather { parts },
+                    },
+                );
+            }
         }
+    }
+
+    /// One anti-entropy round: refresh the signed self-observation with
+    /// current cache coverage and push the digest to one rotating peer.
+    fn gossip_round(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        let coverage: Vec<CoverageSummary> = {
+            let mut summaries: Vec<CoverageSummary> = self
+                .caches
+                .iter()
+                .map(|(cluster, cache)| CoverageSummary {
+                    cluster: *cluster,
+                    newest_batch: cache.latest_batch().map(Epoch::from).unwrap_or(Epoch::NONE),
+                    fragments: cache.fragment_count() as u64,
+                    scan_windows: cache.scan_window_count() as u64,
+                })
+                .collect();
+            summaries.sort_by_key(|s| s.cluster);
+            summaries
+        };
+        let Some(agent) = &mut self.directory else {
+            return;
+        };
+        agent.observe(self.me, None, 0, 0, 0, coverage, ctx.now());
+        let candidates: Vec<EdgeId> = self
+            .peers
+            .iter()
+            .filter(|e| **e != self.me)
+            .copied()
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        self.gossip_rr += 1;
+        let peer = candidates[(self.gossip_rr % candidates.len() as u64) as usize];
+        let digest = Box::new(agent.digest());
+        ctx.send(NodeId::Edge(peer), NetMsg::DirectoryGossip { digest });
     }
 }
 
 impl Actor<NetMsg> for EdgeReadNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        if self.directory_plan.enabled {
+            ctx.set_timer(self.directory_plan.gossip_interval, TOKEN_GOSSIP);
+        }
+    }
+
     fn on_message(&mut self, from: NodeId, msg: NetMsg, ctx: &mut Context<'_, NetMsg>) {
         match msg {
-            NetMsg::Read { req, query } => match &query.shape {
-                QueryShape::Point { .. } => self.on_point_query(from, req, query, ctx),
-                QueryShape::Scan { .. } => self.on_scan_query(from, req, query, ctx),
+            NetMsg::Read { req, query } => {
+                let clusters = self.plan_clusters(&query);
+                if clusters.len() > 1 && self.directory_plan.forwarding {
+                    self.on_gather_query(from, req, query, clusters, ctx);
+                    return;
+                }
+                match &query.shape {
+                    QueryShape::Point { .. } => self.on_point_query(from, req, query, ctx),
+                    QueryShape::Scan { .. } => self.on_scan_query(from, req, query, ctx),
+                }
+            }
+            NetMsg::ReadResult { req, result } => match self.gather_subs.remove(&req) {
+                Some(sub) => self.on_gather_part(sub, result, ctx),
+                None => self.on_upstream_result(req, result, ctx),
             },
-            NetMsg::ReadResult { req, result } => self.on_upstream_result(req, result, ctx),
+            NetMsg::DirectoryGossip { digest } => {
+                if let Some(agent) = &mut self.directory {
+                    // `ingest` verifies signatures, re-runs the
+                    // verifier on evidence, and strikes `from` locally
+                    // for anything forged or fabricated.
+                    agent.ingest(from, &digest, &self.keys, ctx.now());
+                }
+            }
+            NetMsg::DirectoryPull => {
+                if let Some(agent) = &self.directory {
+                    ctx.send(
+                        from,
+                        NetMsg::DirectoryGossip {
+                            digest: Box::new(agent.digest()),
+                        },
+                    );
+                }
+            }
             // Edge nodes take part in nothing else.
             _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, NetMsg>) {
+        if token == TOKEN_GOSSIP {
+            self.gossip_round(ctx);
+            ctx.set_timer(self.directory_plan.gossip_interval, TOKEN_GOSSIP);
         }
     }
 }

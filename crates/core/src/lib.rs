@@ -20,9 +20,14 @@
 //!   read-only serving through the `transedge-edge` pipeline;
 //! * [`edge_node`] — the untrusted edge read cache actor (and its
 //!   byzantine test variants) scaling the ROT path without consensus;
+//!   with per-cluster replay caches, edge-tier scatter-gather (one
+//!   contact serves a cross-partition query, forwarding sub-queries to
+//!   siblings), and a `transedge-directory` gossip agent exchanging
+//!   signed health/coverage digests and re-verified rejection
+//!   evidence;
 //! * [`edge_select`] — adaptive client→edge routing: EWMA latency
 //!   ranking with failure/byzantine-rejection demotion and replica
-//!   fallback;
+//!   fallback, seeded warm from gossiped directory hints;
 //! * [`client`] — the client library/actor: OCC read-write
 //!   transactions, and the unified proof-carrying read protocol — a
 //!   `ReadSession` plans any `ReadQuery` (point sets, paginated scans,

@@ -73,6 +73,11 @@ pub fn abort_vote_statement(cluster: ClusterId, txn: TxnId) -> Vec<u8> {
 /// query (`ReadVerifier::verify_query`).
 pub type ReadPayload = ReadResponse<CommittedHeader>;
 
+/// The gossip payload of the edge health/coverage directory, anchored
+/// at this crate's certified batch headers (rejection evidence embeds
+/// the offending proof-carrying response).
+pub type DirectoryDigest = transedge_directory::GossipDigest<CommittedHeader>;
+
 /// All TransEdge network traffic.
 #[derive(Clone, Debug)]
 pub enum NetMsg {
@@ -131,6 +136,19 @@ pub enum NetMsg {
         min_epoch: Epoch,
     },
 
+    // ---- edge health/coverage directory ------------------------------
+    /// One anti-entropy push of the gossiped edge directory: signed
+    /// health observations plus verified byzantine-rejection evidence
+    /// (offending proof attached). Edges push to a rotating peer each
+    /// round; clients push after witnessing a rejection. Everything
+    /// inside is an untrusted *hint* — receivers verify signatures and
+    /// re-run the verifier on evidence before merging, and wrong hints
+    /// cost latency, never correctness.
+    DirectoryGossip { digest: Box<DirectoryDigest> },
+    /// Ask an edge node for its current directory digest (clients seed
+    /// their `EdgeSelector` warm at startup with the reply).
+    DirectoryPull,
+
     // ---- intra-cluster ----------------------------------------------
     /// Consensus traffic.
     Bft(Box<BftMsg<Batch>>),
@@ -187,8 +205,11 @@ impl NetMsg {
             NetMsg::ReadResult { result, .. } => match result {
                 ReadResponse::Point { .. } => "read-result-point",
                 ReadResponse::Scan { .. } => "read-result-scan",
+                ReadResponse::Gather { .. } => "read-result-gather",
             },
             NetMsg::RotFetchAt { .. } => "rot-fetch-at",
+            NetMsg::DirectoryGossip { .. } => "directory-gossip",
+            NetMsg::DirectoryPull => "directory-pull",
             NetMsg::Bft(m) => m.kind(),
             NetMsg::SegmentSigs { .. } => "segment-sigs",
             NetMsg::SigResend { .. } => "sig-resend",
@@ -369,6 +390,17 @@ fn scan_bundle_size(bundle: &RotScanBundle) -> usize {
         + bundle.scan.encoded_len()
 }
 
+fn read_payload_size(result: &ReadPayload) -> usize {
+    match result {
+        ReadPayload::Point { sections } => sections.iter().map(rot_bundle_size).sum::<usize>(),
+        ReadPayload::Scan { bundle } => scan_bundle_size(bundle),
+        ReadPayload::Gather { parts } => parts
+            .iter()
+            .map(|p| 2 + read_payload_size(&p.body))
+            .sum::<usize>(),
+    }
+}
+
 impl SimMessage for NetMsg {
     fn size_bytes(&self) -> usize {
         match self {
@@ -382,12 +414,7 @@ impl SimMessage for NetMsg {
             // bounds, page window), policy, and page token — the old
             // per-shape variants used flat constants for scans.
             NetMsg::Read { query, .. } => 8 + query.wire_size(),
-            NetMsg::ReadResult { result, .. } => match result {
-                ReadPayload::Point { sections } => {
-                    8 + sections.iter().map(rot_bundle_size).sum::<usize>()
-                }
-                ReadPayload::Scan { bundle } => 8 + scan_bundle_size(bundle),
-            },
+            NetMsg::ReadResult { result, .. } => 8 + read_payload_size(result),
             NetMsg::RotFetchAt { keys, all_keys, .. } => {
                 36 + keys
                     .iter()
@@ -395,6 +422,8 @@ impl SimMessage for NetMsg {
                     .map(|k| k.len() + 4)
                     .sum::<usize>()
             }
+            NetMsg::DirectoryGossip { digest } => 8 + digest.wire_size(),
+            NetMsg::DirectoryPull => 8,
             NetMsg::Bft(m) => bft_size(m),
             NetMsg::SegmentSigs {
                 prepared_sigs,

@@ -1009,6 +1009,7 @@ impl TransEdgeNode {
         req: u64,
         range: &transedge_crypto::ScanRange,
         at_batch: BatchNum,
+        fresh_rows_from: Option<u64>,
         ctx: &mut Context<'_, NetMsg>,
     ) {
         let Some((batch, cert)) = self.engine.log().get(at_batch) else {
@@ -1017,10 +1018,23 @@ impl TransEdgeNode {
         let commitment = CommittedHeader::of(batch);
         let cert = cert.clone();
         let misses_before = self.read_pipeline.scan_stats().misses;
-        let scan = self.read_pipeline.serve_scan(&self.exec, range, at_batch);
+        let mut scan = self.read_pipeline.serve_scan(&self.exec, range, at_batch);
         let misses = self.read_pipeline.scan_stats().misses - misses_before;
         // A cold scan proof hashes every leaf of the window.
         ctx.charge(|c| SimDuration(c.merkle_prove.0 * misses * range.width()));
+        if let Some(through) = fresh_rows_from {
+            // Prefix-resume: the client holds verified rows for buckets
+            // `[range.first, through]` already — ship the completeness
+            // proof of the whole window but only the fresh tail's rows.
+            // (The proof still commits to the prefix, so the client can
+            // carry its held rows over or detect divergence.)
+            let depth = self.config.tree_depth;
+            let first = range.first;
+            scan.rows.retain(|(key, _)| {
+                let bucket = transedge_crypto::ScanRange::bucket_of(key, depth);
+                bucket > through || bucket < first
+            });
+        }
         ctx.send(
             to,
             NetMsg::scan_proof(
@@ -1093,7 +1107,8 @@ impl TransEdgeNode {
                 match self.resolve_snapshot(&query) {
                     Some(batch) => {
                         self.stats.rot_scans_served += 1;
-                        self.respond_scan(from, req, &window, batch, ctx);
+                        let fresh_from = query.fresh_rows_from();
+                        self.respond_scan(from, req, &window, batch, fresh_from, ctx);
                     }
                     None => self.pending_reads.push((from, req, query)),
                 }
@@ -1269,8 +1284,13 @@ impl Actor<NetMsg> for TransEdgeNode {
                 prepared,
             } => self.on_commit_outcome(txn, coordinator, outcome, prepared, ctx),
             // Responses are client-bound; a replica receiving one is a
-            // routing bug in the sender — drop.
-            NetMsg::OccReadResp { .. } | NetMsg::TxnResult { .. } | NetMsg::ReadResult { .. } => {}
+            // routing bug in the sender — drop. Directory gossip is an
+            // edge/client affair; replicas are not in the fleet.
+            NetMsg::OccReadResp { .. }
+            | NetMsg::TxnResult { .. }
+            | NetMsg::ReadResult { .. }
+            | NetMsg::DirectoryGossip { .. }
+            | NetMsg::DirectoryPull => {}
         }
     }
 

@@ -3,15 +3,17 @@
 //! scripted clients.
 
 use transedge_common::{
-    BatchNum, ClientId, ClusterId, ClusterTopology, EdgeId, Key, NodeId, ReplicaId, SimTime, Value,
+    BatchNum, ClientId, ClusterId, ClusterTopology, EdgeId, Key, NodeId, ReplicaId, SimDuration,
+    SimTime, Value,
 };
 use transedge_consensus::messages::accept_statement;
 use transedge_consensus::{BftValue, Certificate};
-use transedge_crypto::KeyStore;
+use transedge_crypto::hmac::derive_seed;
+use transedge_crypto::{KeyStore, Keypair};
 use transedge_simnet::{CostModel, FaultPlan, LatencyModel, Simulation};
 
 use crate::client::{ClientActor, ClientConfig, ClientOp};
-use crate::edge_node::{EdgeBehavior, EdgeReadNode};
+use crate::edge_node::{DirectoryPlan, EdgeBehavior, EdgeNodeParams, EdgeReadNode};
 use crate::messages::NetMsg;
 use crate::metrics::TxnSample;
 use crate::node::{NodeConfig, TransEdgeNode};
@@ -34,6 +36,11 @@ pub struct EdgePlan {
     pub route_clients: bool,
     /// Byzantine behaviour overrides for specific edge nodes.
     pub byzantine: Vec<(EdgeId, EdgeBehavior)>,
+    /// Gossiped health/coverage directory + edge-tier scatter-gather
+    /// forwarding. Disabled by default (the pre-directory deployment
+    /// shape); `with_directory` turns both on and makes clients pull a
+    /// digest at startup.
+    pub directory: DirectoryPlan,
 }
 
 impl EdgePlan {
@@ -46,6 +53,7 @@ impl EdgePlan {
             replay_staleness: transedge_common::SimDuration::from_secs(10),
             route_clients: true,
             byzantine: Vec::new(),
+            directory: DirectoryPlan::disabled(),
         }
     }
 
@@ -60,6 +68,14 @@ impl EdgePlan {
     /// Mark one edge node byzantine.
     pub fn with_byzantine(mut self, edge: EdgeId, behavior: EdgeBehavior) -> Self {
         self.byzantine.push((edge, behavior));
+        self
+    }
+
+    /// Run the gossip directory (anti-entropy push every `interval`)
+    /// with edge-tier scatter-gather forwarding, and have clients take
+    /// part (startup pull + rejection-evidence push).
+    pub fn with_directory(mut self, interval: SimDuration) -> Self {
+        self.directory = DirectoryPlan::gossip(interval);
         self
     }
 
@@ -148,17 +164,63 @@ pub struct Deployment {
     pub data: Vec<(Key, Value)>,
 }
 
+/// One client of a deployment: its script plus optional per-client
+/// config overrides (the base `DeploymentConfig::client` applies
+/// otherwise) — what lets a harness stagger start times or flip
+/// single-contact mode for one client only.
+#[derive(Clone)]
+pub struct ClientPlan {
+    pub ops: Vec<ClientOp>,
+    pub config: Option<ClientConfig>,
+}
+
+impl ClientPlan {
+    pub fn ops(ops: Vec<ClientOp>) -> Self {
+        ClientPlan { ops, config: None }
+    }
+}
+
 impl Deployment {
     /// Build a deployment with one scripted client per entry of
     /// `client_ops`. Clients are homed near cluster 0 unless the
     /// latency model in `config` says otherwise.
-    pub fn build(mut config: DeploymentConfig, client_ops: Vec<Vec<ClientOp>>) -> Deployment {
+    pub fn build(config: DeploymentConfig, client_ops: Vec<Vec<ClientOp>>) -> Deployment {
+        Self::build_custom(
+            config,
+            client_ops.into_iter().map(ClientPlan::ops).collect(),
+        )
+    }
+
+    /// [`Deployment::build`] with per-client config overrides.
+    pub fn build_custom(mut config: DeploymentConfig, clients: Vec<ClientPlan>) -> Deployment {
         // Client verification parameters must match node parameters.
         config.client.tree_depth = config.node.tree_depth;
         config.client.freshness_window = config.node.freshness_window;
         let mut seed = [0u8; 32];
         seed[..8].copy_from_slice(&config.seed.to_le_bytes());
-        let (keys, secrets) = KeyStore::for_topology(&config.topo, &seed);
+        let (mut keys, secrets) = KeyStore::for_topology(&config.topo, &seed);
+        // Every edge node and client gets an identity keypair too (the
+        // paper's "each edge node has a unique public/private key",
+        // §2): the gossip directory's observations and rejection
+        // evidence are signed, so forged or relayed-and-altered gossip
+        // fails verification at every honest receiver.
+        let mut edge_secrets: Vec<(EdgeId, Keypair)> = Vec::new();
+        for cluster in config.topo.clusters() {
+            for index in 0..config.edge.per_cluster {
+                let id = EdgeId::new(cluster, index as u16);
+                let label = format!("edge/{}/{}", cluster.0, index);
+                let kp = Keypair::from_seed(derive_seed(&seed, &label));
+                keys.register(NodeId::Edge(id), kp.public());
+                edge_secrets.push((id, kp));
+            }
+        }
+        let client_secrets: Vec<Keypair> = (0..clients.len())
+            .map(|i| {
+                let kp = Keypair::from_seed(derive_seed(&seed, &format!("client/{i}")));
+                keys.register(NodeId::Client(ClientId(i as u32)), kp.public());
+                kp
+            })
+            .collect();
         let data = generate_data(config.n_keys, config.value_size);
         let mut sim: Simulation<NetMsg> = Simulation::new(
             config.latency.clone(),
@@ -219,28 +281,34 @@ impl Deployment {
             }
         }
         // Edge read tier (untrusted caches fronting each partition).
-        let mut edge_ids = Vec::new();
-        for cluster in config.topo.clusters() {
-            for index in 0..config.edge.per_cluster {
-                let id = EdgeId::new(cluster, index as u16);
-                edge_ids.push(id);
-                let node = EdgeReadNode::new(
-                    id,
-                    config.topo.clone(),
-                    config.edge.behavior_of(id),
-                    config.edge.cache_capacity,
-                    config.edge.max_cached_batches,
-                    config.edge.replay_staleness,
-                );
-                sim.add_actor(NodeId::Edge(id), Box::new(node));
-            }
+        let edge_ids: Vec<EdgeId> = edge_secrets.iter().map(|(id, _)| *id).collect();
+        for (id, keypair) in edge_secrets {
+            let node = EdgeReadNode::new(
+                id,
+                config.topo.clone(),
+                keys.clone(),
+                keypair,
+                EdgeNodeParams {
+                    behavior: config.edge.behavior_of(id),
+                    cache_capacity: config.edge.cache_capacity,
+                    max_cached_batches: config.edge.max_cached_batches,
+                    replay_staleness: config.edge.replay_staleness,
+                    tree_depth: config.node.tree_depth,
+                    freshness_window: config.node.freshness_window,
+                    directory: config.edge.directory.clone(),
+                    peers: edge_ids.clone(),
+                },
+            );
+            sim.add_actor(NodeId::Edge(id), Box::new(node));
         }
         // Clients.
         let mut client_ids = Vec::new();
-        for (i, ops) in client_ops.into_iter().enumerate() {
+        for (i, plan) in clients.into_iter().enumerate() {
             let id = ClientId(i as u32);
             client_ids.push(id);
-            let mut client_config = config.client.clone();
+            let mut client_config = plan.config.unwrap_or_else(|| config.client.clone());
+            client_config.tree_depth = config.node.tree_depth;
+            client_config.freshness_window = config.node.freshness_window;
             if config.edge.per_cluster > 0 && config.edge.route_clients {
                 // Every client knows every edge of each partition; its
                 // adaptive selector (seeded by client id) spreads load
@@ -252,9 +320,20 @@ impl Deployment {
                         .collect();
                     client_config.edges.insert(cluster, edges);
                 }
+                // A directory-enabled edge tier makes clients take
+                // part: startup pull + evidence push.
+                if config.edge.directory.enabled {
+                    client_config.directory = true;
+                }
             }
-            let client =
-                ClientActor::new(id, config.topo.clone(), keys.clone(), client_config, ops);
+            let client = ClientActor::new(
+                id,
+                config.topo.clone(),
+                keys.clone(),
+                client_secrets[i].clone(),
+                client_config,
+                plan.ops,
+            );
             sim.add_actor(NodeId::Client(id), Box::new(client));
         }
         Deployment {

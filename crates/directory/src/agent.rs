@@ -1,0 +1,303 @@
+//! The per-node directory participant: signing, ingest verification,
+//! local strikes, and the routing queries built on the CRDT state.
+//!
+//! Every edge node (and every directory-enabled client) embeds one
+//! [`DirectoryAgent`]. Edges refresh a signed self-observation with
+//! their cache coverage each gossip round and push their full digest to
+//! one rotating peer (anti-entropy push — a new record reaches the
+//! whole fleet in `O(log n)` expected rounds); clients push signed
+//! observations and rejection evidence after verification failures and
+//! pull a digest at startup to seed their `EdgeSelector` warm.
+//!
+//! Ingest is where trust is enforced: observation signatures are
+//! checked against the deployment's key directory, evidence is re-run
+//! through the read verifier ([`SignedEvidence::verify`]), and a sender
+//! shipping anything invalid is **struck** locally — its hints are
+//! ignored from then on. Strikes are deliberately local (they cannot be
+//! proven to third parties), which keeps the gossip layer itself
+//! byzantine-tolerant without a reputation meta-protocol.
+
+use std::collections::HashMap;
+
+use transedge_common::{ClusterId, EdgeId, NodeId, SimTime};
+use transedge_crypto::{KeyStore, Keypair};
+use transedge_edge::{BatchCommitment, ReadQuery, ReadRejection, ReadResponse, ReadVerifier};
+
+use crate::digest::{CoverageSummary, ObservationBody, SignedObservation, UNSAMPLED_LATENCY};
+use crate::evidence::{is_cryptographic, EvidenceBody, SignedEvidence};
+use crate::state::{DirectoryState, EdgeHint};
+
+/// One gossip payload: a full-state digest. At fleet scales the state
+/// is small (one observation per (observer, subject) pair, one evidence
+/// record per byzantine edge), so full-state push keeps the protocol
+/// trivially idempotent; delta encoding is an optimisation the CRDT
+/// merge makes safe to add later.
+#[derive(Clone, Debug)]
+pub struct GossipDigest<H> {
+    pub observations: Vec<SignedObservation>,
+    pub evidence: Vec<SignedEvidence<H>>,
+}
+
+impl<H: BatchCommitment + Clone> GossipDigest<H> {
+    /// Wire-size estimate for the simulator's bandwidth model.
+    pub fn wire_size(&self) -> usize {
+        8 + self
+            .observations
+            .iter()
+            .map(|o| 72 + o.body.wire_size())
+            .sum::<usize>()
+            + self.evidence.iter().map(|e| e.wire_size()).sum::<usize>()
+    }
+}
+
+/// What one [`DirectoryAgent::ingest`] call did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    pub observations_accepted: u64,
+    pub observations_rejected: u64,
+    pub evidence_accepted: u64,
+    pub evidence_rejected: u64,
+}
+
+impl IngestReport {
+    /// Anything invalid in the payload (the sender gets struck)?
+    pub fn rejected(&self) -> u64 {
+        self.observations_rejected + self.evidence_rejected
+    }
+}
+
+/// Lifetime counters for harnesses and benches.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DirectoryStats {
+    pub gossip_ingested: u64,
+    pub observations_accepted: u64,
+    pub observations_rejected: u64,
+    pub evidence_accepted: u64,
+    pub evidence_rejected: u64,
+    pub senders_struck: u64,
+}
+
+/// The per-node directory participant. See module docs.
+pub struct DirectoryAgent<H> {
+    me: NodeId,
+    keypair: Keypair,
+    verifier: ReadVerifier,
+    state: DirectoryState<H>,
+    /// Own per-subject observation sequence numbers.
+    seqs: HashMap<EdgeId, u64>,
+    /// Local (unprovable, ungossiped) strikes against gossip senders
+    /// that shipped invalid material.
+    strikes: HashMap<NodeId, u64>,
+    /// When *this* agent first learned of verified evidence per edge —
+    /// the propagation clock the benches read.
+    learned_at: HashMap<EdgeId, SimTime>,
+    pub stats: DirectoryStats,
+}
+
+impl<H: BatchCommitment + Clone> DirectoryAgent<H> {
+    pub fn new(me: NodeId, keypair: Keypair, verifier: ReadVerifier) -> Self {
+        DirectoryAgent {
+            me,
+            keypair,
+            verifier,
+            state: DirectoryState::new(),
+            seqs: HashMap::new(),
+            strikes: HashMap::new(),
+            learned_at: HashMap::new(),
+            stats: DirectoryStats::default(),
+        }
+    }
+
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    pub fn state(&self) -> &DirectoryState<H> {
+        &self.state
+    }
+
+    /// Record (and sign) this node's current view of `subject`.
+    /// Self-observations (an edge describing itself) may carry
+    /// coverage; anything else must pass `coverage: vec![]` or be
+    /// dropped by every honest receiver.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe(
+        &mut self,
+        subject: EdgeId,
+        ewma_latency_us: Option<f64>,
+        successes: u64,
+        failures: u64,
+        rejections: u64,
+        coverage: Vec<CoverageSummary>,
+        now: SimTime,
+    ) {
+        let seq = self.seqs.entry(subject).or_insert(0);
+        *seq += 1;
+        let body = ObservationBody {
+            subject,
+            seq: *seq,
+            ewma_latency_us: ewma_latency_us
+                .map(|l| l.max(0.0) as u64)
+                .unwrap_or(UNSAMPLED_LATENCY),
+            successes,
+            failures,
+            rejections,
+            coverage,
+            observed_at: now,
+        };
+        let signed = SignedObservation::sign(self.me, body, &self.keypair);
+        self.state.admit_observation(signed);
+    }
+
+    /// Turn a verification failure into signed, attached-proof evidence
+    /// and admit it locally. Returns `false` (and records nothing) for
+    /// non-cryptographic rejections — those are circumstance, not
+    /// proof, and gossiping them would only hand receivers something to
+    /// strike us for.
+    pub fn witness(
+        &mut self,
+        subject: EdgeId,
+        cluster: ClusterId,
+        query: &ReadQuery,
+        response: &ReadResponse<H>,
+        rejection: &ReadRejection,
+        now: SimTime,
+    ) -> bool {
+        if !is_cryptographic(rejection) {
+            return false;
+        }
+        // Prefix-resume rejections are not relayable: re-verification
+        // needs the witness's held rows, which receivers don't have —
+        // the record would be dropped (and us struck) at every hop.
+        // The witness still demotes the edge locally.
+        if query.prefix.is_some() {
+            return false;
+        }
+        let body = EvidenceBody {
+            subject,
+            cluster,
+            query: query.clone(),
+            response: response.clone(),
+            observed_at: now,
+        };
+        let signed = SignedEvidence::sign(self.me, body, &self.keypair);
+        if self.state.admit_evidence(signed) {
+            self.learned_at.entry(subject).or_insert(now);
+        }
+        true
+    }
+
+    /// Verify and merge a gossip payload from `from`. Invalid items are
+    /// dropped and the sender is struck (its hints are ignored from now
+    /// on); valid items join the CRDT state.
+    pub fn ingest(
+        &mut self,
+        from: NodeId,
+        digest: &GossipDigest<H>,
+        keys: &KeyStore,
+        now: SimTime,
+    ) -> IngestReport {
+        self.stats.gossip_ingested += 1;
+        let mut report = IngestReport::default();
+        for obs in &digest.observations {
+            if obs.verify(keys) {
+                self.state.admit_observation(obs.clone());
+                report.observations_accepted += 1;
+            } else {
+                report.observations_rejected += 1;
+            }
+        }
+        for ev in &digest.evidence {
+            if ev.verify(keys, &self.verifier).is_some() {
+                let subject = ev.body.subject;
+                if self.state.admit_evidence(ev.clone()) {
+                    self.learned_at.entry(subject).or_insert(now);
+                }
+                report.evidence_accepted += 1;
+            } else {
+                report.evidence_rejected += 1;
+            }
+        }
+        self.stats.observations_accepted += report.observations_accepted;
+        self.stats.observations_rejected += report.observations_rejected;
+        self.stats.evidence_accepted += report.evidence_accepted;
+        self.stats.evidence_rejected += report.evidence_rejected;
+        if report.rejected() > 0 {
+            self.strike(from);
+        }
+        report
+    }
+
+    /// The full-state gossip payload.
+    pub fn digest(&self) -> GossipDigest<H> {
+        GossipDigest {
+            observations: self.state.observations().cloned().collect(),
+            evidence: self.state.evidence().cloned().collect(),
+        }
+    }
+
+    /// Strike a gossip sender: its hints are ignored locally from now
+    /// on. Deliberately unprovable and ungossiped.
+    pub fn strike(&mut self, node: NodeId) {
+        if node == self.me {
+            return;
+        }
+        *self.strikes.entry(node).or_insert(0) += 1;
+        self.stats.senders_struck += 1;
+    }
+
+    pub fn struck(&self, node: NodeId) -> bool {
+        self.strikes.contains_key(&node)
+    }
+
+    /// Verified rejection evidence against `edge` is known here.
+    pub fn knows_byzantine(&self, edge: EdgeId) -> bool {
+        self.state.evidence_for(edge).is_some()
+    }
+
+    /// When this agent first learned of evidence against `edge`.
+    pub fn learned_at(&self, edge: EdgeId) -> Option<SimTime> {
+        self.learned_at.get(&edge).copied()
+    }
+
+    /// Aggregated hints, with locally-struck edges marked byzantine too
+    /// (we cannot prove their gossip forgeries to others, but we need
+    /// not route through them ourselves).
+    pub fn hints(&self) -> Vec<EdgeHint> {
+        let mut hints = self.state.hints();
+        for hint in &mut hints {
+            if self.struck(NodeId::Edge(hint.edge)) {
+                hint.byzantine = true;
+            }
+        }
+        hints
+    }
+
+    /// Best forwarding target fronting `cluster`, by directory hints:
+    /// not evidenced-byzantine, not struck, not excluded; freshest
+    /// advertised coverage wins, then lowest latency, then the lowest
+    /// id for determinism. `None` when nothing qualifies (callers fall
+    /// back to the cluster's replicas).
+    pub fn best_edge_for(&self, cluster: ClusterId, exclude: &[EdgeId]) -> Option<EdgeId> {
+        let mut best: Option<(&EdgeHint, i64, f64)> = None;
+        let hints = self.hints();
+        for hint in &hints {
+            if hint.cluster != cluster || hint.byzantine || exclude.contains(&hint.edge) {
+                continue;
+            }
+            let freshness = hint.coverage.map(|c| c.newest_batch.0).unwrap_or(i64::MIN);
+            let latency = hint.latency_us.unwrap_or(0.0);
+            let better = match &best {
+                None => true,
+                Some((b, bf, bl)) => {
+                    (freshness, -latency, std::cmp::Reverse(hint.edge))
+                        > (*bf, -*bl, std::cmp::Reverse(b.edge))
+                }
+            };
+            if better {
+                best = Some((hint, freshness, latency));
+            }
+        }
+        best.map(|(h, _, _)| h.edge)
+    }
+}

@@ -1,0 +1,345 @@
+//! Byzantine gossip hardening: the directory must not be a demotion
+//! oracle for liars. An edge (or any participant) advertising a forged
+//! observation — a signature it does not hold — or a *fabricated*
+//! rejection-evidence record — honest proof-carrying material dressed
+//! up as a byzantine catch — is ignored (signature/evidence check
+//! fails at every honest receiver) and itself struck locally, dropping
+//! out of the receiver's routing hints.
+
+use std::collections::HashMap;
+
+use transedge_common::{
+    BatchNum, ClientId, ClusterId, ClusterTopology, EdgeId, Epoch, Key, NodeId, SimDuration,
+    SimTime, Value,
+};
+use transedge_consensus::messages::accept_statement;
+use transedge_consensus::Certificate;
+use transedge_crypto::hmac::derive_seed;
+use transedge_crypto::merkle::value_digest;
+use transedge_crypto::{Digest, KeyStore, Keypair, Sha256, VersionedMerkleTree};
+use transedge_directory::{
+    is_cryptographic, DirectoryAgent, EvidenceBody, GossipDigest, ObservationBody, SignedEvidence,
+    SignedObservation,
+};
+use transedge_edge::{
+    BatchCommitment, ProofBundle, ProvenRead, ReadQuery, ReadResponse, ReadVerifier, VerifyParams,
+};
+use transedge_storage::VersionedStore;
+
+const DEPTH: u32 = 8;
+
+#[derive(Clone, Debug)]
+struct TestHeader {
+    cluster: ClusterId,
+    num: BatchNum,
+    merkle_root: Digest,
+    lce: Epoch,
+    timestamp: SimTime,
+}
+
+impl BatchCommitment for TestHeader {
+    fn cluster(&self) -> ClusterId {
+        self.cluster
+    }
+    fn batch(&self) -> BatchNum {
+        self.num
+    }
+    fn merkle_root(&self) -> &Digest {
+        &self.merkle_root
+    }
+    fn lce(&self) -> Epoch {
+        self.lce
+    }
+    fn timestamp(&self) -> SimTime {
+        self.timestamp
+    }
+    fn certified_digest(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"test/hardening-header");
+        h.update(&self.cluster.0.to_le_bytes());
+        h.update(&self.num.0.to_le_bytes());
+        h.update(self.merkle_root.as_bytes());
+        h.update(&self.lce.0.to_le_bytes());
+        h.update(&self.timestamp.0.to_le_bytes());
+        h.finalize()
+    }
+}
+
+/// A one-cluster world that can mint certified point bundles, plus
+/// registered identity keys for edges and one client.
+struct World {
+    keys: KeyStore,
+    header: TestHeader,
+    cert: Certificate,
+    store: VersionedStore,
+    tree: VersionedMerkleTree,
+    edge_keys: HashMap<EdgeId, Keypair>,
+    client_key: Keypair,
+}
+
+impl World {
+    fn new() -> Self {
+        let topo = ClusterTopology::new(1, 1).unwrap();
+        let (mut keys, secrets) = KeyStore::for_topology(&topo, &[5u8; 32]);
+        let mut store = VersionedStore::new();
+        let mut tree = VersionedMerkleTree::with_depth(DEPTH);
+        let num = BatchNum(0);
+        let mut updates = Vec::new();
+        for i in 0u32..8 {
+            let key = Key::from_u32(i);
+            let value = Value::from(format!("v{i}").as_str());
+            store.write(key.clone(), value.clone(), num);
+            updates.push((key, value_digest(&value)));
+        }
+        let root = tree.apply_batch(num.0, updates.iter().map(|(k, d)| (k, *d)));
+        let header = TestHeader {
+            cluster: ClusterId(0),
+            num,
+            merkle_root: root,
+            lce: Epoch::NONE,
+            timestamp: SimTime(1_000),
+        };
+        let digest = header.certified_digest();
+        let stmt = accept_statement(ClusterId(0), num, &digest);
+        let sigs: Vec<_> = topo
+            .replicas_of(ClusterId(0))
+            .take(topo.certificate_quorum())
+            .map(|r| (NodeId::Replica(r), secrets[&r].sign(&stmt)))
+            .collect();
+        let cert = Certificate {
+            cluster: ClusterId(0),
+            slot: num,
+            digest,
+            sigs,
+        };
+        let mut edge_keys = HashMap::new();
+        for index in 0u16..3 {
+            let id = EdgeId::new(ClusterId(0), index);
+            let kp = Keypair::from_seed(derive_seed(&[5u8; 32], &format!("edge/{index}")));
+            keys.register(NodeId::Edge(id), kp.public());
+            edge_keys.insert(id, kp);
+        }
+        let client_key = Keypair::from_seed(derive_seed(&[5u8; 32], "client/0"));
+        keys.register(NodeId::Client(ClientId(0)), client_key.public());
+        World {
+            keys,
+            header,
+            cert,
+            store,
+            tree,
+            edge_keys,
+            client_key,
+        }
+    }
+
+    fn verifier(&self) -> ReadVerifier {
+        ReadVerifier::new(VerifyParams {
+            tree_depth: DEPTH,
+            freshness_window: SimDuration::from_secs(30),
+            quorum: 2,
+        })
+    }
+
+    fn bundle(&self, keys: &[Key]) -> ProofBundle<TestHeader> {
+        ProofBundle {
+            commitment: self.header.clone(),
+            cert: self.cert.clone(),
+            reads: keys
+                .iter()
+                .map(|k| ProvenRead {
+                    key: k.clone(),
+                    value: self
+                        .store
+                        .read_at(k, self.header.num)
+                        .map(|v| v.value.clone()),
+                    proof: self.tree.prove_at(k, self.header.num.0),
+                })
+                .collect(),
+        }
+    }
+
+    fn agent(&self, edge: EdgeId) -> DirectoryAgent<TestHeader> {
+        DirectoryAgent::new(
+            NodeId::Edge(edge),
+            self.edge_keys[&edge].clone(),
+            self.verifier(),
+        )
+    }
+}
+
+fn edge(i: u16) -> EdgeId {
+    EdgeId::new(ClusterId(0), i)
+}
+
+const NOW: SimTime = SimTime(2_000);
+
+/// The honest flow this hardening protects: a client that caught a
+/// *real* forgery gossips evidence with the offending proof attached,
+/// and receivers verify, admit, and demote fleet-wide.
+#[test]
+fn genuine_evidence_is_admitted_and_demotes() {
+    let world = World::new();
+    let query_keys = vec![Key::from_u32(0), Key::from_u32(1)];
+    let query = ReadQuery::point(query_keys.clone());
+    // The byzantine edge tampered with a value (keeping the honest
+    // proof) — the classic TamperValue forgery.
+    let mut bundle = world.bundle(&query_keys);
+    bundle.reads[0].value = Some(Value::from("forged-by-edge"));
+    let response: ReadResponse<TestHeader> = ReadResponse::Point {
+        sections: vec![bundle],
+    };
+    let rejection = world
+        .verifier()
+        .verify_query(&world.keys, ClusterId(0), &query, &response, NOW)
+        .expect_err("tampered bundle must fail verification");
+    assert!(is_cryptographic(&rejection), "got {rejection:?}");
+
+    // The witnessing client signs the evidence…
+    let mut witness = DirectoryAgent::<TestHeader>::new(
+        NodeId::Client(ClientId(0)),
+        world.client_key.clone(),
+        world.verifier(),
+    );
+    assert!(witness.witness(edge(1), ClusterId(0), &query, &response, &rejection, NOW));
+    assert!(witness.knows_byzantine(edge(1)));
+
+    // …and every honest receiver re-verifies and admits it.
+    let mut receiver = world.agent(edge(0));
+    let report = receiver.ingest(
+        NodeId::Client(ClientId(0)),
+        &witness.digest(),
+        &world.keys,
+        NOW,
+    );
+    assert_eq!(report.evidence_accepted, 1);
+    assert_eq!(report.rejected(), 0);
+    assert!(receiver.knows_byzantine(edge(1)));
+    assert!(!receiver.struck(NodeId::Client(ClientId(0))));
+    // The demoted edge drops out of forwarding candidates.
+    assert_ne!(
+        receiver.best_edge_for(ClusterId(0), &[edge(0)]),
+        Some(edge(1))
+    );
+}
+
+/// Fabricated evidence: an honest, fully-verifying response attached
+/// as "proof" of byzantine behaviour. The receiver re-runs the
+/// verifier, sees the response verify, drops the record, and strikes
+/// the sender — who then disappears from the receiver's hints.
+#[test]
+fn fabricated_evidence_is_rejected_and_sender_demoted() {
+    let world = World::new();
+    let query_keys = vec![Key::from_u32(2)];
+    let query = ReadQuery::point(query_keys.clone());
+    let honest: ReadResponse<TestHeader> = ReadResponse::Point {
+        sections: vec![world.bundle(&query_keys)],
+    };
+    // Edge 2 frames edge 1 with honest material, signing the claim
+    // with its own (registered) key — the signature is fine; the
+    // *evidence check* is what fails.
+    let fabricated = SignedEvidence::sign(
+        NodeId::Edge(edge(2)),
+        EvidenceBody {
+            subject: edge(1),
+            cluster: ClusterId(0),
+            query,
+            response: honest,
+            observed_at: NOW,
+        },
+        &world.edge_keys[&edge(2)],
+    );
+    assert!(
+        fabricated.verify(&world.keys, &world.verifier()).is_none(),
+        "honest material must not pass the evidence check"
+    );
+
+    let mut receiver = world.agent(edge(0));
+    let digest = GossipDigest {
+        observations: vec![],
+        evidence: vec![fabricated],
+    };
+    let report = receiver.ingest(NodeId::Edge(edge(2)), &digest, &world.keys, NOW);
+    assert_eq!(report.evidence_accepted, 0);
+    assert_eq!(report.evidence_rejected, 1);
+    // The framed edge keeps its standing; the fabricator loses its.
+    assert!(!receiver.knows_byzantine(edge(1)));
+    assert!(receiver.struck(NodeId::Edge(edge(2))));
+    let hints = receiver.hints();
+    assert!(hints
+        .iter()
+        .find(|h| h.edge == edge(2))
+        .is_none_or(|h| h.byzantine));
+}
+
+/// Forged coverage: an edge advertising an observation attributed to a
+/// key it does not hold (impersonating another edge to inflate its
+/// coverage, or to poison a rival's health record). The signature
+/// check fails and the sender is struck.
+#[test]
+fn forged_observation_is_rejected_and_sender_demoted() {
+    let world = World::new();
+    // Edge 2 forges a self-observation *as edge 1* claiming huge
+    // coverage — signed with edge 2's key, attributed to edge 1.
+    let body = ObservationBody {
+        subject: edge(1),
+        seq: 9,
+        ewma_latency_us: 1,
+        successes: 1_000,
+        failures: 0,
+        rejections: 0,
+        coverage: vec![transedge_directory::CoverageSummary {
+            cluster: ClusterId(0),
+            newest_batch: Epoch(99),
+            fragments: 1_000_000,
+            scan_windows: 1_000,
+        }],
+        observed_at: NOW,
+    };
+    let forged = SignedObservation {
+        observer: NodeId::Edge(edge(1)),
+        body: body.clone(),
+        sig: world.edge_keys[&edge(2)].sign(&body.statement()),
+    };
+    assert!(!forged.verify(&world.keys));
+
+    let mut receiver = world.agent(edge(0));
+    let digest = GossipDigest::<TestHeader> {
+        observations: vec![forged],
+        evidence: vec![],
+    };
+    let report = receiver.ingest(NodeId::Edge(edge(2)), &digest, &world.keys, NOW);
+    assert_eq!(report.observations_accepted, 0);
+    assert_eq!(report.observations_rejected, 1);
+    assert!(receiver.struck(NodeId::Edge(edge(2))));
+    // The forged coverage never entered the state: edge 1 has no
+    // coverage hint and no demotion.
+    let hints = receiver.hints();
+    assert!(!hints
+        .iter()
+        .any(|h| h.edge == edge(1) && h.coverage.is_some()));
+    assert!(!receiver.knows_byzantine(edge(1)));
+}
+
+/// Honest relaying still works: a *validly signed* third-party
+/// observation survives the hop through another node's digest.
+#[test]
+fn relayed_honest_observations_are_admitted() {
+    let world = World::new();
+    let mut origin = world.agent(edge(1));
+    origin.observe(edge(1), Some(1_500.0), 10, 1, 0, vec![], NOW);
+    let mut relay = world.agent(edge(2));
+    let r1 = relay.ingest(NodeId::Edge(edge(1)), &origin.digest(), &world.keys, NOW);
+    assert_eq!(r1.observations_accepted, 1);
+    // Relay hands the same (still origin-signed) observation onward.
+    let mut receiver = world.agent(edge(0));
+    let r2 = receiver.ingest(NodeId::Edge(edge(2)), &relay.digest(), &world.keys, NOW);
+    assert!(r2.observations_accepted >= 1);
+    assert_eq!(r2.rejected(), 0);
+    let hints = receiver.hints();
+    let hint = hints
+        .iter()
+        .find(|h| h.edge == edge(1))
+        .expect("hint for edge 1");
+    assert_eq!(hint.latency_us, Some(1_500.0));
+    assert!(!hint.byzantine);
+}

@@ -61,7 +61,10 @@ pub mod verifier;
 
 pub use cache::{CacheStats, LruCache};
 pub use pipeline::{read_snapshot, scan_snapshot, ReadPipeline, SnapshotSource};
-pub use query::{PageToken, QueryAnswer, QueryShape, ReadQuery, ReadResponse, SnapshotPolicy};
+pub use query::{
+    GatherPart, PageToken, PrefixResume, QueryAnswer, QueryShape, ReadQuery, ReadResponse,
+    SnapshotPolicy,
+};
 pub use replay::{Assembly, ReplayCache};
 pub use response::{BatchCommitment, ProofBundle, ProvenRead, ScanBundle, ScanProof};
 pub use verifier::{ReadRejection, ReadVerifier, VerifyParams};

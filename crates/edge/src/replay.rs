@@ -136,6 +136,21 @@ impl<H: BatchCommitment + Clone> ReplayCache<H> {
     /// cached wider window at the same batch are skipped; a new wider
     /// window displaces the narrower ones it covers.
     pub fn admit_scan(&mut self, bundle: &ScanBundle<H>) {
+        // Only complete windows are replayable: a prefix-resume answer
+        // carries the proof of the whole window but rows for its fresh
+        // tail only — caching it would make every later replay fail the
+        // client's rows-versus-entries count check. The proof commits
+        // to its row count, so the mismatch is detectable locally.
+        let proven_rows: usize = bundle
+            .scan
+            .proof
+            .occupied
+            .iter()
+            .map(|(_, entries)| entries.len())
+            .sum();
+        if bundle.scan.rows.len() != proven_rows {
+            return;
+        }
         let batch = bundle.commitment.batch();
         self.commitments
             .insert(batch.0, (bundle.commitment.clone(), bundle.cert.clone()));

@@ -111,6 +111,13 @@ pub enum ReadRejection {
     /// (moved backwards to or before the first window, or past the
     /// end) — a tampered or replayed token.
     PageOutOfRange { resume: u64, range: ScanRange },
+    /// A prefix-resume response proved (against the new snapshot's
+    /// certified root) that the held prefix **changed** between the old
+    /// and new batches. **Not a byzantine signal** — committed data
+    /// legitimately moved under the scan; the caller restarts the
+    /// partition's pagination from page one and must not demote the
+    /// server. The only `ReadRejection` that names honest behaviour.
+    PrefixDiverged,
 }
 
 /// The verifier. Stateless; cheap to copy into clients.
@@ -263,6 +270,49 @@ impl ReadVerifier {
         min_lce: Epoch,
         now: SimTime,
     ) -> Result<Vec<(Key, Value)>, ReadRejection> {
+        let entries =
+            self.verify_scan_chain(keys, expected_cluster, bundle, requested, min_lce, now)?;
+        // 7. Rows ↔ entries, exactly. The entry list is the complete
+        // committed content of the window (step 6), so matching it
+        // one-to-one in order rules out omission, injection, and
+        // duplication in a single pass.
+        let rows = &bundle.scan.rows;
+        if rows.len() != entries.len() {
+            return Err(ReadRejection::IncompleteScan {
+                proven: entries.len(),
+                returned: rows.len(),
+            });
+        }
+        let mut verified = Vec::with_capacity(rows.len());
+        for ((key, value), entry) in rows.iter().zip(&entries) {
+            if sha256(key.as_bytes()) != entry.key_hash || value_digest(value) != entry.value_hash {
+                return Err(ReadRejection::ScanRowMismatch(key.clone()));
+            }
+            if requested.contains_bucket(ScanRange::bucket_of_hash(
+                &entry.key_hash,
+                self.params.tree_depth,
+            )) {
+                verified.push((key.clone(), value.clone()));
+            }
+        }
+        Ok(verified)
+    }
+
+    /// Steps 1–6 of the scan chain (partition → certificate →
+    /// freshness → LCE floor → coverage → completeness proof), shared
+    /// by [`ReadVerifier::verify_scan`] and the prefix-resume path. On
+    /// success returns the **complete** committed entry list of the
+    /// *proven* window (which may be wider than `requested`), in tree
+    /// order; only then is matching rows against it meaningful.
+    fn verify_scan_chain<H: BatchCommitment>(
+        &self,
+        keys: &KeyStore,
+        expected_cluster: ClusterId,
+        bundle: &ScanBundle<H>,
+        requested: &ScanRange,
+        min_lce: Epoch,
+        now: SimTime,
+    ) -> Result<Vec<transedge_crypto::merkle::BucketEntry>, ReadRejection> {
         let commitment = &bundle.commitment;
         // 1. Right partition.
         if commitment.cluster() != expected_cluster {
@@ -302,38 +352,15 @@ impl ReadVerifier {
             });
         }
         // 6. Completeness proof against the certified root.
-        let Ok(entries) = verify_range_proof(
+        match verify_range_proof(
             commitment.merkle_root(),
             self.params.tree_depth,
             &proven_range,
             &bundle.scan.proof,
-        ) else {
-            return Err(ReadRejection::BadRangeProof);
-        };
-        // 7. Rows ↔ entries, exactly. The entry list is the complete
-        // committed content of the window (step 6), so matching it
-        // one-to-one in order rules out omission, injection, and
-        // duplication in a single pass.
-        let rows = &bundle.scan.rows;
-        if rows.len() != entries.len() {
-            return Err(ReadRejection::IncompleteScan {
-                proven: entries.len(),
-                returned: rows.len(),
-            });
+        ) {
+            Ok(entries) => Ok(entries),
+            Err(_) => Err(ReadRejection::BadRangeProof),
         }
-        let mut verified = Vec::with_capacity(rows.len());
-        for ((key, value), entry) in rows.iter().zip(&entries) {
-            if sha256(key.as_bytes()) != entry.key_hash || value_digest(value) != entry.value_hash {
-                return Err(ReadRejection::ScanRowMismatch(key.clone()));
-            }
-            if requested.contains_bucket(ScanRange::bucket_of_hash(
-                &entry.key_hash,
-                self.params.tree_depth,
-            )) {
-                verified.push((key.clone(), value.clone()));
-            }
-        }
-        Ok(verified)
     }
 
     /// Verify a partially-assembled response: a sequence of sections
@@ -442,7 +469,47 @@ impl ReadVerifier {
         response: &ReadResponse<H>,
         now: SimTime,
     ) -> Result<QueryAnswer, ReadRejection> {
+        self.verify_query_resuming(keys, expected_cluster, query, response, &[], now)
+    }
+
+    /// [`ReadVerifier::verify_query`] for callers holding a verified
+    /// prefix: when the query carries a [`crate::PrefixResume`],
+    /// `held_prefix` must be the rows (in tree order) the caller
+    /// verified for buckets `[range.first, through]` at the *old*
+    /// snapshot. The response's completeness proof covers the whole
+    /// prefix-plus-page window at the new snapshot, but carries rows
+    /// only past the prefix; the held rows are matched against the
+    /// prefix's proof entries instead. Matching carries the prefix over
+    /// to the new snapshot; divergence (the data changed between
+    /// batches — honest behaviour) is
+    /// [`ReadRejection::PrefixDiverged`]; anything else is the usual
+    /// byzantine evidence. On success returns only the *fresh* rows —
+    /// the caller already holds the prefix.
+    pub fn verify_query_resuming<H: BatchCommitment>(
+        &self,
+        keys: &KeyStore,
+        expected_cluster: ClusterId,
+        query: &ReadQuery,
+        response: &ReadResponse<H>,
+        held_prefix: &[(Key, Value)],
+        now: SimTime,
+    ) -> Result<QueryAnswer, ReadRejection> {
         let min_lce = query.min_lce();
+        if let (QueryShape::Scan { range, .. }, ReadResponse::Scan { bundle }, Some(through)) =
+            (&query.shape, response, query.fresh_rows_from())
+        {
+            return self.verify_prefix_resume(
+                keys,
+                expected_cluster,
+                query,
+                bundle.as_ref(),
+                *range,
+                through,
+                held_prefix,
+                min_lce,
+                now,
+            );
+        }
         match (&query.shape, response) {
             (QueryShape::Point { keys: expected }, ReadResponse::Point { sections }) => {
                 let values = self.verify_assembled(
@@ -509,5 +576,123 @@ impl ReadVerifier {
             }
             _ => Err(ReadRejection::ShapeMismatch),
         }
+    }
+
+    /// The prefix-resume scan check (see
+    /// [`ReadVerifier::verify_query_resuming`]): one proof over the
+    /// whole prefix-plus-page window at the new snapshot; held rows
+    /// match the prefix's entries, returned rows match the rest.
+    #[allow(clippy::too_many_arguments)]
+    fn verify_prefix_resume<H: BatchCommitment>(
+        &self,
+        keys: &KeyStore,
+        expected_cluster: ClusterId,
+        query: &ReadQuery,
+        bundle: &ScanBundle<H>,
+        range: ScanRange,
+        through: u64,
+        held_prefix: &[(Key, Value)],
+        min_lce: Epoch,
+        now: SimTime,
+    ) -> Result<QueryAnswer, ReadRejection> {
+        // A prefix bound outside the range is a malformed (or tampered)
+        // resume marker, like a bad page token.
+        if through < range.first || through > range.last {
+            return Err(ReadRejection::PageOutOfRange {
+                resume: through,
+                range,
+            });
+        }
+        let window = query.scan_window().ok_or(ReadRejection::PageOutOfRange {
+            resume: through,
+            range,
+        })?;
+        if let Some(pinned) = query.pinned_batch() {
+            let got = bundle.batch();
+            if got != pinned {
+                return Err(ReadRejection::SnapshotPinMismatch { pinned, got });
+            }
+        }
+        let entries =
+            self.verify_scan_chain(keys, expected_cluster, bundle, &window, min_lce, now)?;
+        // Walk the complete committed entry list of the proven window in
+        // tree order, consuming from two cursors: entries inside the
+        // held prefix `[range.first, through]` must match the held rows
+        // (a mismatch or count difference proves the data changed —
+        // divergence, not byzantine); everything else (the fresh page,
+        // and any covering-window overhang outside the range) must come
+        // from the response's rows, exactly as in the full scan check.
+        let depth = self.params.tree_depth;
+        let proven = entries.len();
+        let rows = &bundle.scan.rows;
+        // Count check first, like the full-scan path: the proof
+        // commits to exactly the fresh-region row count, so omission
+        // and row-stuffing are length errors before they are content
+        // errors.
+        let expected_rows = entries
+            .iter()
+            .filter(|e| {
+                let bucket = ScanRange::bucket_of_hash(&e.key_hash, depth);
+                bucket < range.first || bucket > through
+            })
+            .count();
+        if rows.len() != expected_rows {
+            return Err(ReadRejection::IncompleteScan {
+                proven,
+                returned: rows.len(),
+            });
+        }
+        let mut held = held_prefix.iter();
+        let mut rows_idx = 0usize;
+        let mut fresh = Vec::new();
+        for entry in &entries {
+            let bucket = ScanRange::bucket_of_hash(&entry.key_hash, depth);
+            if bucket >= range.first && bucket <= through {
+                let Some((key, value)) = held.next() else {
+                    return Err(ReadRejection::PrefixDiverged);
+                };
+                if sha256(key.as_bytes()) != entry.key_hash
+                    || value_digest(value) != entry.value_hash
+                {
+                    return Err(ReadRejection::PrefixDiverged);
+                }
+            } else {
+                let Some((key, value)) = rows.get(rows_idx) else {
+                    return Err(ReadRejection::IncompleteScan {
+                        proven,
+                        returned: rows.len(),
+                    });
+                };
+                rows_idx += 1;
+                if sha256(key.as_bytes()) != entry.key_hash
+                    || value_digest(value) != entry.value_hash
+                {
+                    return Err(ReadRejection::ScanRowMismatch(key.clone()));
+                }
+                if range.contains_bucket(bucket) && bucket <= window.last {
+                    fresh.push((key.clone(), value.clone()));
+                }
+            }
+        }
+        if held.next().is_some() {
+            // The new snapshot has fewer prefix rows than we hold.
+            return Err(ReadRejection::PrefixDiverged);
+        }
+        if rows_idx != rows.len() {
+            // Injected rows beyond the proven entries.
+            return Err(ReadRejection::IncompleteScan {
+                proven,
+                returned: rows.len(),
+            });
+        }
+        let next = if window.last < range.last {
+            Some(PageToken {
+                batch: bundle.batch(),
+                resume: window.last + 1,
+            })
+        } else {
+            None
+        };
+        Ok(QueryAnswer::Rows { rows: fresh, next })
     }
 }

@@ -30,6 +30,33 @@ mod tests {
     }
 
     #[test]
+    fn scatter_points_emit_unified_cross_partition_queries() {
+        use transedge_core::{QueryShape, ReadQuery};
+        let t = topo();
+        let spec = WorkloadSpec::scatter_points(t.clone(), 4, 2);
+        for op in spec.generate(48, 11) {
+            let ClientOp::Query {
+                query: ReadQuery { shape, .. },
+            } = op
+            else {
+                panic!("scatter points must be unified queries, got {op:?}");
+            };
+            let QueryShape::Point { keys } = shape else {
+                panic!("point shape expected");
+            };
+            assert!(!keys.is_empty() && keys.len() <= 4);
+            let mut clusters: Vec<_> = keys.iter().map(|k| t.partition_of(k)).collect();
+            clusters.sort_unstable();
+            clusters.dedup();
+            assert_eq!(clusters.len(), 2, "each query spans two partitions");
+        }
+        // The knob off keeps the classic sugar.
+        for op in WorkloadSpec::read_only(t, 4, 2).generate(16, 11) {
+            assert!(matches!(op, ClientOp::ReadOnly { .. }));
+        }
+    }
+
+    #[test]
     fn generates_requested_count() {
         let spec = WorkloadSpec::paper_default(topo());
         let ops = spec.generate(100, 7);

@@ -77,6 +77,12 @@ pub struct WorkloadSpec {
     /// Merkle tree depth of the deployment the script will run against
     /// (scan windows must stay inside its `2^depth` leaf space).
     pub tree_depth: u32,
+    /// Emit read-only transactions as unified [`ReadQuery`] point
+    /// queries (`ClientOp::Query`) instead of the `ReadOnly` sugar —
+    /// what single-contact (edge-tier scatter-gather) experiments
+    /// drive. Identical semantics; the typed form is what the
+    /// directory/forwarding benches measure.
+    pub unified_points: bool,
 }
 
 impl WorkloadSpec {
@@ -105,6 +111,18 @@ impl WorkloadSpec {
             scan_clusters: 1,
             scan_pages: 1,
             tree_depth: transedge_core::node::DEFAULT_TREE_DEPTH,
+            unified_points: false,
+        }
+    }
+
+    /// 100% cross-partition point queries through the unified query
+    /// API: `keys` keys spread over `clusters` partitions per query,
+    /// emitted as `ClientOp::Query` — the workload the edge-tier
+    /// scatter-gather (single-contact) experiments run.
+    pub fn scatter_points(topo: ClusterTopology, keys: usize, clusters: usize) -> Self {
+        WorkloadSpec {
+            unified_points: true,
+            ..Self::read_only(topo, keys, clusters)
         }
     }
 
@@ -296,7 +314,13 @@ impl WorkloadSpec {
                 keys.push(key);
             }
         }
-        ClientOp::ReadOnly { keys }
+        if self.unified_points {
+            ClientOp::Query {
+                query: ReadQuery::point(keys),
+            }
+        } else {
+            ClientOp::ReadOnly { keys }
+        }
     }
 
     /// A verified scan: an aligned range of `scan_pages` consecutive

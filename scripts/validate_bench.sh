@@ -22,7 +22,7 @@ fi
 # schema_version pins the shape below; bump both together.
 jq -e '
   .figure == "fig04_rot_latency"
-  and .schema_version == 3
+  and .schema_version == 4
   and (.clusters | length == 5)
   and ([.clusters[]
         | select(.twopc_ms > 0 and .transedge_ms > 0
@@ -49,6 +49,16 @@ jq -e '
   and (.scatter.verified >= 2 * .scatter.queries)
   and (.scatter.rejected == 0)
   and (.scatter.mean_rows > 0)
+  and (.directory.edges > 0)
+  and (.directory.informed == .directory.edges)
+  and (.directory.propagation_rounds >= 0)
+  and (.directory.evidence_sent >= 1)
+  and (.directory.gather_queries > 0)
+  and (.directory.gather_completed >= 1)
+  and (.directory.foreign_subs >= 1)
+  and (.directory.forwarded_hit_rate >= 0 and .directory.forwarded_hit_rate <= 1)
+  and (.directory.single_contact_ms > 0)
+  and (.directory.fanout_ms > 0)
 ' "$BENCH_JSON" >/dev/null
 
-echo "ok: $BENCH_JSON matches bench schema v3"
+echo "ok: $BENCH_JSON matches bench schema v4"

@@ -9,6 +9,7 @@ pub use transedge_common as common;
 pub use transedge_consensus as consensus;
 pub use transedge_core as core;
 pub use transedge_crypto as crypto;
+pub use transedge_directory as directory;
 pub use transedge_edge as edge;
 pub use transedge_simnet as simnet;
 pub use transedge_storage as storage;

@@ -642,6 +642,7 @@ fn unified_query_scenario(
             window: 32,
         },
         page: None,
+        prefix: None,
     };
     // Writers: cross-partition transactions commit 2PC groups, raising
     // each partition's LCE to a real epoch so the MinEpoch floor
@@ -791,5 +792,240 @@ fn unified_query_with_byzantine_edge_in_fanout_recovers() {
     assert!(!result.rows[0].1.is_empty());
     for s in &reader.samples {
         assert!(s.committed, "unified queries never abort");
+    }
+}
+
+// ---------------------------------------------------------------------
+// The gossiped edge directory + edge-tier scatter-gather (the
+// `transedge-directory` subsystem's acceptance scenarios).
+// ---------------------------------------------------------------------
+
+/// Fleet-wide demotion through gossip: client A catches a byzantine
+/// edge the hard way (one rejected round trip) and pushes signed
+/// evidence with the offending proof attached; the edge fleet gossips
+/// it; client B, starting later, pulls a directory digest at boot and
+/// demotes the liar **before ever contacting it** — zero rejected
+/// round trips, zero forgeries seen.
+#[test]
+fn gossiped_rejection_demotes_edge_for_other_clients_before_contact() {
+    use transedge::common::SimDuration;
+    use transedge::core::setup::ClientPlan;
+
+    let mut config = DeploymentConfig::for_testing();
+    // Realistic latencies: unsampled edges score an optimistic prior
+    // *below* measured latency, so client A explores both candidates
+    // and is guaranteed to trip over the liar.
+    config.latency = transedge::simnet::LatencyModel::paper_default();
+    config.client.record_results = true;
+    let byz = EdgeId::new(ClusterId(0), 0);
+    config.edge = EdgePlan::honest(2)
+        .with_byzantine(byz, EdgeBehavior::TamperValue)
+        .with_directory(SimDuration::from_millis(20));
+    let topo = config.topo.clone();
+    let k0 = keys_on(&topo, ClusterId(0), 2);
+    let ops: Vec<ClientOp> = (0..10)
+        .map(|_| ClientOp::ReadOnly { keys: k0.clone() })
+        .collect();
+    // Client B starts well after A finished and gossip had many
+    // rounds to spread A's evidence across the fleet.
+    let mut late = config.client.clone();
+    late.start_delay = SimDuration::from_millis(500);
+    let mut dep = Deployment::build_custom(
+        config,
+        vec![
+            ClientPlan::ops(ops.clone()),
+            ClientPlan {
+                ops,
+                config: Some(late),
+            },
+        ],
+    );
+    dep.run_until_done(SimTime(600_000_000));
+
+    // A caught the forgery first-hand and gossiped the evidence.
+    let a = dep.client(dep.client_ids[0]);
+    assert!(
+        a.stats.verification_failures >= 1,
+        "client A must catch the forgery first-hand"
+    );
+    assert!(
+        a.stats.directory_evidence_sent >= 1,
+        "client A must push signed evidence into the gossip layer"
+    );
+    // The whole edge fleet learned it (evidence re-verified at every
+    // hop, not taken on faith).
+    for edge in &dep.edge_ids {
+        let agent = dep.edge_node(*edge).directory().expect("directory enabled");
+        assert!(
+            agent.knows_byzantine(byz),
+            "{edge}: evidence must reach every edge via gossip"
+        );
+    }
+    // B was seeded at boot and shunned the liar without ever paying
+    // for the lesson: demoted with zero first-hand traffic.
+    let b = dep.client(dep.client_ids[1]);
+    assert!(b.stats.directory_seeded >= 1, "B must ingest a digest");
+    assert_eq!(
+        b.stats.verification_failures, 0,
+        "B must never receive (and pay for) a forgery"
+    );
+    let health = b
+        .edge_selector
+        .health(ClusterId(0), transedge::common::NodeId::Edge(byz))
+        .expect("byzantine edge is a registered target");
+    assert!(
+        health.demotions >= 1,
+        "B must demote the liar on the gossip hint alone"
+    );
+    assert_eq!(
+        health.successes + health.failures + health.total_rejections,
+        0,
+        "the demotion must land before B ever contacts the edge"
+    );
+    // Correctness never depended on any of it.
+    let expected = dep.data.clone();
+    for id in &dep.client_ids {
+        let client = dep.client(*id);
+        assert_eq!(client.stats.gave_up, 0);
+        assert_eq!(client.rot_results.len(), 10);
+        for rot in &client.rot_results {
+            for (key, value) in &rot.values {
+                let want = expected.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+                assert_eq!(value.as_ref(), want);
+            }
+        }
+    }
+}
+
+/// Edge-tier scatter-gather, honest half: a two-partition `ReadQuery`
+/// is served through a **single edge contact** — the edge splits it,
+/// forwards the foreign sub-query across the edge tier, and returns
+/// one stitched response whose parts the client verifies against each
+/// partition's own certified root.
+#[test]
+fn two_partition_query_served_through_single_edge_contact() {
+    use transedge::common::SimDuration;
+    use transedge::core::ReadQuery;
+
+    let mut config = DeploymentConfig::for_testing();
+    config.latency = transedge::simnet::LatencyModel::paper_default();
+    config.client.record_results = true;
+    config.client.single_contact = true;
+    config.edge = EdgePlan::honest(1).with_directory(SimDuration::from_millis(20));
+    let topo = config.topo.clone();
+    let k0 = keys_on(&topo, ClusterId(0), 2);
+    let k1 = keys_on(&topo, ClusterId(1), 1);
+    let keys = vec![k0[0].clone(), k0[1].clone(), k1[0].clone()];
+    let ops: Vec<ClientOp> = (0..8)
+        .map(|_| ClientOp::Query {
+            query: ReadQuery::point(keys.clone()),
+        })
+        .collect();
+    let mut dep = Deployment::build(config, vec![ops]);
+    dep.run_until_done(SimTime(600_000_000));
+
+    let client = dep.client(dep.client_ids[0]);
+    assert_eq!(client.stats.verification_failures, 0);
+    assert_eq!(client.stats.gave_up, 0);
+    assert!(
+        client.stats.gathers_sent >= 8,
+        "every cross-partition query goes to one contact (got {})",
+        client.stats.gathers_sent
+    );
+    assert!(
+        client.stats.gathers_accepted >= 8,
+        "every stitched response verifies end to end (got {})",
+        client.stats.gathers_accepted
+    );
+    assert_eq!(client.stats.gather_fallbacks, 0);
+    // The contact edge did the tier-side work: split, forwarded the
+    // foreign part, stitched.
+    let gather_requests: u64 = dep
+        .edge_ids
+        .iter()
+        .map(|e| dep.edge_node(*e).stats.gather_requests)
+        .sum();
+    let gather_completed: u64 = dep
+        .edge_ids
+        .iter()
+        .map(|e| dep.edge_node(*e).stats.gather_completed)
+        .sum();
+    let foreign_subs: u64 = dep
+        .edge_ids
+        .iter()
+        .map(|e| dep.edge_node(*e).stats.foreign_subs)
+        .sum();
+    assert!(gather_requests >= 8, "got {gather_requests}");
+    assert!(gather_completed >= 8, "got {gather_completed}");
+    assert!(foreign_subs >= 8, "each gather carries a foreign part");
+    // Results are complete, correct, and span both partitions.
+    assert_eq!(client.query_results.len(), 8);
+    let expected = dep.data.clone();
+    for q in &client.query_results {
+        assert_eq!(q.snapshot.len(), 2, "both partitions answered");
+        assert_eq!(q.values.len(), keys.len());
+        for (key, value) in &q.values {
+            let want = expected.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+            assert_eq!(value.as_ref(), want);
+        }
+    }
+}
+
+/// Edge-tier scatter-gather, byzantine half: the foreign partition's
+/// part of the stitched response is tampered by the byzantine sibling
+/// that served it. The client's per-part verification catches it,
+/// rejects the whole gather, falls back to the per-partition fan-out,
+/// and completes with correct values — the forwarding tier is an
+/// untrusted courier, never a trust boundary.
+#[test]
+fn tampered_forwarded_section_is_rejected_at_the_client() {
+    use transedge::common::SimDuration;
+    use transedge::core::ReadQuery;
+
+    let mut config = DeploymentConfig::for_testing();
+    config.latency = transedge::simnet::LatencyModel::paper_default();
+    config.client.record_results = true;
+    config.client.single_contact = true;
+    let byz = EdgeId::new(ClusterId(1), 0);
+    config.edge = EdgePlan::honest(1)
+        .with_byzantine(byz, EdgeBehavior::TamperValue)
+        .with_directory(SimDuration::from_millis(20));
+    let topo = config.topo.clone();
+    let k0 = keys_on(&topo, ClusterId(0), 2);
+    let k1 = keys_on(&topo, ClusterId(1), 1);
+    let keys = vec![k0[0].clone(), k0[1].clone(), k1[0].clone()];
+    let ops: Vec<ClientOp> = (0..6)
+        .map(|_| ClientOp::Query {
+            query: ReadQuery::point(keys.clone()),
+        })
+        .collect();
+    let mut dep = Deployment::build(config, vec![ops]);
+    dep.run_until_done(SimTime(600_000_000));
+
+    let client = dep.client(dep.client_ids[0]);
+    // The tampered forwarded section was caught inside the gather…
+    assert!(
+        client.stats.verification_failures >= 1,
+        "the tampered part must be rejected (failures {})",
+        client.stats.verification_failures
+    );
+    assert!(
+        client.stats.gather_fallbacks >= 1,
+        "a rejected gather must fall back to the fan-out"
+    );
+    assert!(dep.edge_node(byz).stats.tampered >= 1);
+    // …and every query still completed with correct values.
+    assert_eq!(client.stats.gave_up, 0);
+    assert_eq!(client.query_results.len(), 6);
+    let expected = dep.data.clone();
+    for q in &client.query_results {
+        assert_eq!(q.snapshot.len(), 2);
+        for (key, value) in &q.values {
+            let want = expected.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+            assert_eq!(value.as_ref(), want);
+        }
+    }
+    for s in &client.samples {
+        assert!(s.committed, "read-only queries never abort");
     }
 }
