@@ -15,7 +15,7 @@ use transedge_bench::support::*;
 use transedge_common::{ClusterId, EdgeId, Key, SimDuration, SimTime};
 use transedge_core::client::ClientOp;
 use transedge_core::edge_node::EdgeBehavior;
-use transedge_core::metrics::OpKind;
+use transedge_core::metrics::{summarize, OpKind};
 use transedge_core::setup::{Deployment, EdgePlan};
 use transedge_crypto::ScanRange;
 use transedge_workload::WorkloadSpec;
@@ -110,7 +110,10 @@ fn edge_partial_assembly(scale: Scale) -> PartialAssemblyResult {
         .filter(|k| topo.partition_of(k) == transedge_common::ClusterId(0))
         .take(12)
         .collect();
-    let window = 4usize;
+    // Below MULTI_MIN_KEYS: this experiment exercises the per-key
+    // fragment path (stitching), which only serves requests small
+    // enough to dodge the multiproof fast path.
+    let window = 3usize;
     let stride = 2usize;
     let rounds = scale.pick(40, 300);
     let script: Vec<ClientOp> = (0..rounds)
@@ -378,6 +381,10 @@ struct DirectoryResult {
     sibling_forwards: u64,
     replica_forwards: u64,
     forwarded_hit_rate: f64,
+    /// Duplicate certificate checks the one-pass gather verification
+    /// skipped (satellite fix: sections sharing a commitment are
+    /// charged one quorum check).
+    gather_cert_checks_shared: u64,
     single_contact_ms: f64,
     fanout_ms: f64,
 }
@@ -388,7 +395,7 @@ struct DirectoryResult {
 fn scatter_contact_run(
     scale: Scale,
     single_contact: bool,
-) -> (f64, u64, transedge_core::edge_node::EdgeNodeStats) {
+) -> (f64, u64, u64, transedge_core::edge_node::EdgeNodeStats) {
     let mut config = experiment_config(scale);
     config.client.record_results = true;
     config.client.single_contact = single_contact;
@@ -400,11 +407,13 @@ fn scatter_contact_run(
     let mut dep = Deployment::build(config, split_clients(ops, clients));
     dep.run_until_done(SimTime(3_600_000_000));
     let mut gathers_accepted = 0;
+    let mut cert_checks_shared = 0;
     let mut lats: Vec<f64> = Vec::new();
     for id in &dep.client_ids {
         let client = dep.client(*id);
         assert_eq!(client.stats.verification_failures, 0);
         gathers_accepted += client.stats.gathers_accepted;
+        cert_checks_shared += client.stats.cert_checks_shared;
         lats.extend(
             client
                 .samples
@@ -423,7 +432,7 @@ fn scatter_contact_run(
         edge_stats.foreign_forward_replica += s.foreign_forward_replica;
     }
     let mean = lats.iter().sum::<f64>() / lats.len().max(1) as f64;
-    (mean, gathers_accepted, edge_stats)
+    (mean, gathers_accepted, cert_checks_shared, edge_stats)
 }
 
 fn edge_directory_fleet(scale: Scale) -> DirectoryResult {
@@ -485,8 +494,9 @@ fn edge_directory_fleet(scale: Scale) -> DirectoryResult {
     };
 
     // Single-contact vs fan-out on the same scatter workload.
-    let (single_contact_ms, gathers_accepted, edge_stats) = scatter_contact_run(scale, true);
-    let (fanout_ms, _, _) = scatter_contact_run(scale, false);
+    let (single_contact_ms, gathers_accepted, cert_checks_shared, edge_stats) =
+        scatter_contact_run(scale, true);
+    let (fanout_ms, _, _, _) = scatter_contact_run(scale, false);
     assert!(
         gathers_accepted > 0,
         "single-contact path must be exercised"
@@ -502,8 +512,115 @@ fn edge_directory_fleet(scale: Scale) -> DirectoryResult {
         sibling_forwards: edge_stats.foreign_forward_sibling,
         replica_forwards: edge_stats.foreign_forward_replica,
         forwarded_hit_rate: edge_stats.forwarded_hit_rate(),
+        gather_cert_checks_shared: cert_checks_shared,
         single_contact_ms,
         fanout_ms,
+    }
+}
+
+/// Saturating open-loop throughput run: multiproof-served point
+/// reads replayed through the sharded edge caches.
+struct ThroughputResult {
+    ops: u64,
+    window_s: f64,
+    ops_per_sec: f64,
+    mean_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    multiproof_ratio: f64,
+    bytes_per_read: f64,
+    multis_accepted: u64,
+    rot_multi_served: u64,
+    multis_from_cache: u64,
+    cache_shards: u64,
+    cached_partitions: u64,
+}
+
+/// Throughput mode: a wide fleet of closed-loop clients (offered load
+/// scales with fleet width — the sim's open-loop saturation knob)
+/// issuing single-partition multi-key point reads. Every replica
+/// answer with >= `MULTI_MIN_KEYS` keys ships as one deduplicated
+/// Merkle multiproof; edges admit the shared wire image zero-copy into
+/// the sharded replay caches and replay covering bodies locally.
+fn edge_throughput(scale: Scale) -> ThroughputResult {
+    const KEYS_PER_OP: usize = 6; // >= node::MULTI_MIN_KEYS
+    let mut config = experiment_config(scale);
+    config.client.record_results = true;
+    config.edge = EdgePlan::honest(1);
+    let topo = config.topo.clone();
+    let spec = WorkloadSpec::throughput_points(topo.clone(), KEYS_PER_OP);
+    let clients = scale.pick(8, 32);
+    let ops_per_client = scale.pick(12, 50);
+    // Half the fleet draws fresh key sets; the other half mirrors them
+    // one op behind (popular key sets repeat just after their first
+    // answer landed), so the edge tier replays admitted multiproof
+    // bodies instead of forwarding everything upstream.
+    let fresh = spec.generate_fleet((clients / 2).max(1), ops_per_client, 91);
+    let mut scripts = fresh.clone();
+    for script in fresh {
+        let mut lagged = vec![script[0].clone()];
+        lagged.extend(script.into_iter().take(ops_per_client.saturating_sub(1)));
+        scripts.push(lagged);
+    }
+    let mut dep = Deployment::build(config, scripts);
+    dep.run_until_done(SimTime(3_600_000_000));
+
+    let mut multis_accepted = 0u64;
+    let mut read_bytes = 0u64;
+    for id in &dep.client_ids {
+        let client = dep.client(*id);
+        assert_eq!(
+            client.stats.verification_failures, 0,
+            "honest throughput run must verify everything"
+        );
+        multis_accepted += client.stats.multis_accepted;
+        read_bytes += client.stats.read_result_bytes;
+    }
+    let samples: Vec<_> = dep
+        .samples()
+        .into_iter()
+        .filter(|s| s.kind == OpKind::ReadOnly && s.committed)
+        .collect();
+    let ops = samples.len() as u64;
+    assert!(ops > 0, "throughput run produced no committed reads");
+    let first = samples.iter().map(|s| s.start).min().unwrap();
+    let last = samples.iter().map(|s| s.end).max().unwrap();
+    let window_s = last.saturating_since(first).as_secs_f64();
+    let summary = summarize(&samples, Some(OpKind::ReadOnly));
+
+    let mut rot_multi_served = 0u64;
+    for r in topo.all_replicas() {
+        rot_multi_served += dep.node(r).stats.rot_multi_served;
+    }
+    let mut multis_from_cache = 0u64;
+    let mut cache_shards = 0u64;
+    let mut cached_partitions = 0u64;
+    for e in &dep.edge_ids {
+        let node = dep.edge_node(*e);
+        multis_from_cache += node.stats.multis_from_cache;
+        let shards = node.cache_shards();
+        cache_shards = cache_shards.max(shards.shard_count() as u64);
+        cached_partitions += shards.partition_count() as u64;
+    }
+    assert!(
+        multis_accepted > 0,
+        "multiproof path must carry the throughput workload"
+    );
+
+    ThroughputResult {
+        ops,
+        window_s,
+        ops_per_sec: ops as f64 / window_s.max(1e-9),
+        mean_ms: summary.mean_latency_ms,
+        p95_ms: summary.p95_latency_ms,
+        p99_ms: summary.p99_latency_ms,
+        multiproof_ratio: multis_accepted as f64 / ops.max(1) as f64,
+        bytes_per_read: read_bytes as f64 / ops.max(1) as f64,
+        multis_accepted,
+        rot_multi_served,
+        multis_from_cache,
+        cache_shards,
+        cached_partitions,
     }
 }
 
@@ -639,6 +756,20 @@ fn main() {
         fmt_ms(directory.fanout_ms),
     ]);
 
+    // Throughput mode: saturating open-loop fleet over multiproofs.
+    println!();
+    println!("  throughput (open-loop fleet, 6-key multiproof reads):");
+    let tp = edge_throughput(scale);
+    header(&["ops", "ops/sec", "p95", "p99", "multi%", "B/read"]);
+    row(&[
+        tp.ops.to_string(),
+        format!("{:.0}", tp.ops_per_sec),
+        fmt_ms(tp.p95_ms),
+        fmt_ms(tp.p99_ms),
+        fmt_pct(tp.multiproof_ratio * 100.0),
+        format!("{:.0}", tp.bytes_per_read),
+    ]);
+
     paper_reference(&[
         "2PC/BFT:   ~12 ms at 1 cluster, 69–82 ms at 2–5 clusters",
         "TransEdge: ~1–8 ms across 1–5 clusters",
@@ -654,8 +785,10 @@ fn main() {
     // apart. 2 = added the `scan` block; 3 = added the `pagination`
     // and `scatter` blocks of the unified ReadQuery protocol; 4 =
     // added the `directory` block (gossiped demotion propagation,
-    // edge-tier forwarding, single-contact vs fan-out).
-    json.push_str("  \"schema_version\": 4,\n");
+    // edge-tier forwarding, single-contact vs fan-out); 5 = added the
+    // `throughput` block (multiproof ops/sec mode) and the directory
+    // block's `gather_cert_checks_shared` one-pass-verification delta.
+    json.push_str("  \"schema_version\": 5,\n");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -731,7 +864,7 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"directory\": {{\"edges\": {}, \"informed\": {}, \"propagation_rounds\": {:.0}, \"evidence_sent\": {}, \"gather_queries\": {}, \"gather_completed\": {}, \"foreign_subs\": {}, \"sibling_forwards\": {}, \"replica_forwards\": {}, \"forwarded_hit_rate\": {:.4}, \"single_contact_ms\": {:.4}, \"fanout_ms\": {:.4}}}",
+        "  \"directory\": {{\"edges\": {}, \"informed\": {}, \"propagation_rounds\": {:.0}, \"evidence_sent\": {}, \"gather_queries\": {}, \"gather_completed\": {}, \"foreign_subs\": {}, \"sibling_forwards\": {}, \"replica_forwards\": {}, \"forwarded_hit_rate\": {:.4}, \"gather_cert_checks_shared\": {}, \"single_contact_ms\": {:.4}, \"fanout_ms\": {:.4}}},",
         directory.edges,
         directory.informed,
         directory.propagation_rounds,
@@ -742,8 +875,26 @@ fn main() {
         directory.sibling_forwards,
         directory.replica_forwards,
         directory.forwarded_hit_rate,
+        directory.gather_cert_checks_shared,
         directory.single_contact_ms,
         directory.fanout_ms
+    );
+    let _ = writeln!(
+        json,
+        "  \"throughput\": {{\"ops\": {}, \"window_s\": {:.4}, \"ops_per_sec\": {:.2}, \"mean_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"multiproof_ratio\": {:.4}, \"bytes_per_read\": {:.2}, \"multis_accepted\": {}, \"rot_multi_served\": {}, \"multis_from_cache\": {}, \"cache_shards\": {}, \"cached_partitions\": {}}}",
+        tp.ops,
+        tp.window_s,
+        tp.ops_per_sec,
+        tp.mean_ms,
+        tp.p95_ms,
+        tp.p99_ms,
+        tp.multiproof_ratio,
+        tp.bytes_per_read,
+        tp.multis_accepted,
+        tp.rot_multi_served,
+        tp.multis_from_cache,
+        tp.cache_shards,
+        tp.cached_partitions
     );
     json.push_str("}\n");
     // Anchor at the workspace root regardless of bench CWD.

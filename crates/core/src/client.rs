@@ -22,11 +22,11 @@ use transedge_common::{
     SimTime, TxnId, Value,
 };
 use transedge_crypto::range::MAX_RANGE_BUCKETS;
-use transedge_crypto::{KeyStore, Keypair, ScanRange};
+use transedge_crypto::{Digest, KeyStore, Keypair, ScanRange};
 use transedge_directory::DirectoryAgent;
 use transedge_edge::{
-    PageToken, PrefixResume, QueryAnswer, QueryShape, ReadQuery, ReadRejection, ReadResponse,
-    ReadVerifier, SnapshotPolicy, VerifyParams,
+    BatchCommitment as _, PageToken, PrefixResume, QueryAnswer, QueryShape, ReadQuery,
+    ReadRejection, ReadResponse, ReadVerifier, SnapshotPolicy, VerifyParams,
 };
 use transedge_simnet::{Actor, Context};
 
@@ -347,39 +347,87 @@ impl ReadSession {
     }
 }
 
-/// Charge the simulated CPU of verifying one response: one certificate
-/// check plus one proof/leaf hash per read or window bucket. A scan's
-/// claimed window is *attacker-controlled* and unvalidated here, so its
-/// width is computed saturating and capped at the protocol maximum —
-/// the verifier rejects anything wider before hashing.
-fn charge_verification(ctx: &mut Context<'_, NetMsg>, response: &ReadPayload) {
+/// Tally one response's verification work in a single pass: every
+/// *distinct* certificate (keyed by its certified batch digest) costs
+/// one quorum signature check; every read or window bucket costs one
+/// leaf hash. Stitched sections and gather parts carrying a
+/// content-identical commitment — the partial-assembly and courier
+/// paths — share a single certificate check, mirroring
+/// `verify_assembled`'s one-certificate-per-response rule. `saved`
+/// counts the duplicate checks the sharing skipped. A scan's claimed
+/// window is *attacker-controlled* and unvalidated here, so its width
+/// is computed saturating and capped at the protocol maximum — the
+/// verifier rejects anything wider before hashing.
+fn tally_verification(
+    response: &ReadPayload,
+    certs: &mut Vec<Digest>,
+    sig_checks: &mut u64,
+    leaf_hashes: &mut u64,
+    saved: &mut u64,
+) {
+    let mut note_cert = |certs: &mut Vec<Digest>, digest: Digest, sigs: usize| {
+        if certs.contains(&digest) {
+            *saved += sigs as u64;
+        } else {
+            certs.push(digest);
+            *sig_checks += sigs as u64;
+        }
+    };
     match response {
         ReadResponse::Point { sections } => {
-            ctx.charge(|c| {
-                let sigs = sections.first().map(|b| b.cert.sigs.len()).unwrap_or(0) as u64;
-                let reads: u64 = sections.iter().map(|b| b.reads.len() as u64).sum();
-                SimDuration(c.ed25519_verify.0 * sigs + c.merkle_verify.0 * reads)
-            });
+            for section in sections {
+                note_cert(
+                    certs,
+                    section.commitment.certified_digest(),
+                    section.cert.sigs.len(),
+                );
+                *leaf_hashes += section.reads.len() as u64;
+            }
         }
         ReadResponse::Scan { bundle } => {
-            ctx.charge(|c| {
-                let claimed = &bundle.scan.range;
-                let width = claimed
-                    .last
-                    .saturating_sub(claimed.first)
-                    .saturating_add(1)
-                    .min(MAX_RANGE_BUCKETS);
-                SimDuration(
-                    c.ed25519_verify.0 * bundle.cert.sigs.len() as u64 + c.merkle_verify.0 * width,
-                )
-            });
+            note_cert(
+                certs,
+                bundle.commitment.certified_digest(),
+                bundle.cert.sigs.len(),
+            );
+            let claimed = &bundle.scan.range;
+            *leaf_hashes += claimed
+                .last
+                .saturating_sub(claimed.first)
+                .saturating_add(1)
+                .min(MAX_RANGE_BUCKETS);
+        }
+        ReadResponse::Multi { bundle } => {
+            note_cert(
+                certs,
+                bundle.commitment.certified_digest(),
+                bundle.cert.sigs.len(),
+            );
+            *leaf_hashes += bundle.body.keys.len() as u64;
         }
         ReadResponse::Gather { parts } => {
             for part in parts {
-                charge_verification(ctx, &part.body);
+                tally_verification(&part.body, certs, sig_checks, leaf_hashes, saved);
             }
         }
     }
+}
+
+/// Charge the simulated CPU of verifying one response (one pass over
+/// all stitched sections — see [`tally_verification`]), returning how
+/// many duplicate certificate checks the commitment sharing skipped.
+fn charge_verification(ctx: &mut Context<'_, NetMsg>, response: &ReadPayload) -> u64 {
+    let mut certs = Vec::new();
+    let (mut sig_checks, mut leaf_hashes, mut saved) = (0u64, 0u64, 0u64);
+    tally_verification(
+        response,
+        &mut certs,
+        &mut sig_checks,
+        &mut leaf_hashes,
+        &mut saved,
+    );
+    ctx.charge(|c| SimDuration(c.ed25519_verify.0 * sig_checks + c.merkle_verify.0 * leaf_hashes));
+    saved
 }
 
 #[allow(clippy::enum_variant_names)]
@@ -417,6 +465,9 @@ pub struct ClientStats {
     pub gave_up: u64,
     /// Assembled (multi-section) responses accepted from edge nodes.
     pub assembled_accepted: u64,
+    /// Batched multiproof responses verified and accepted (one
+    /// deduplicated proof covering every requested key).
+    pub multis_accepted: u64,
     /// Verified scan responses (pages) accepted.
     pub scans_accepted: u64,
     /// Accepted scans whose proven window was wider than the request —
@@ -437,6 +488,13 @@ pub struct ClientStats {
     /// Single-contact responses rejected or abandoned, falling back to
     /// the classic per-partition fan-out.
     pub gather_fallbacks: u64,
+    /// Duplicate certificate checks skipped by the one-pass
+    /// verification charge: stitched sections and gather parts sharing
+    /// a content-identical commitment are charged one quorum check.
+    pub cert_checks_shared: u64,
+    /// Total wire bytes of every read response this client received
+    /// (structural sizes — the throughput bench's bytes-per-read).
+    pub read_result_bytes: u64,
     /// Directory digests ingested (startup seed + gossip).
     pub directory_seeded: u64,
     /// Signed rejection-evidence records pushed into the gossip layer.
@@ -912,6 +970,15 @@ impl ClientActor {
                         cd: header.cd.clone(),
                         lce: header.lce,
                     });
+                } else if let ReadResponse::Multi { bundle } = response {
+                    self.stats.multis_accepted += 1;
+                    let header = &bundle.commitment.header;
+                    part.view = Some(RotView {
+                        cluster,
+                        batch: header.num,
+                        cd: header.cd.clone(),
+                        lce: header.lce,
+                    });
                 }
                 part.values = values;
                 part.done = true;
@@ -1309,7 +1376,8 @@ impl ClientActor {
             return;
         };
         let response = result;
-        charge_verification(ctx, &response);
+        self.stats.read_result_bytes += crate::messages::read_payload_size(&response) as u64;
+        self.stats.cert_checks_shared += charge_verification(ctx, &response);
         if session.single_contact.is_some() {
             self.on_gather_result(&mut session, req, pending, response, ctx);
         } else {

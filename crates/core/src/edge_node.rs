@@ -41,12 +41,13 @@ use transedge_common::{
 use transedge_crypto::{Digest, KeyStore, Keypair};
 use transedge_directory::{CoverageSummary, DirectoryAgent};
 use transedge_edge::{
-    Assembly, GatherPart, QueryShape, ReadQuery, ReadVerifier, ReplayCache, VerifyParams,
+    Assembly, GatherPart, QueryShape, ReadQuery, ReadVerifier, ReplayCache, ShardedReplayCache,
+    VerifyParams, DEFAULT_SHARD_COUNT,
 };
 use transedge_simnet::{Actor, Context};
 
 use crate::batch::CommittedHeader;
-use crate::messages::{NetMsg, ReadPayload, RotBundle, RotScanBundle};
+use crate::messages::{NetMsg, ReadPayload, RotBundle, RotMultiBundle, RotScanBundle};
 
 /// Gossip timer token (the edge actor's only timer).
 const TOKEN_GOSSIP: u64 = 1;
@@ -73,6 +74,11 @@ pub enum EdgeBehavior {
     /// only `ReadVerifier::verify_scan`'s row-count-versus-proof check
     /// catches it.
     OmitKey,
+    /// Drop one key (and its value slot) from a replayed multiproof
+    /// body while keeping the proof: the proof no longer matches the
+    /// advertised key set, and the client rejects it as a bad
+    /// multiproof or a missing requested key.
+    OmitFromMulti,
 }
 
 /// The edge directory/forwarding configuration of a deployment.
@@ -161,6 +167,9 @@ pub struct EdgeNodeStats {
     pub scans_from_cache: u64,
     /// Scans forwarded upstream to a replica.
     pub scans_forwarded: u64,
+    /// Batched requests answered by replaying one cached multiproof
+    /// body (a shared-wire refcount bump, no per-key assembly).
+    pub multis_from_cache: u64,
     /// Responses deliberately corrupted (byzantine modes).
     pub tampered: u64,
     /// Cross-partition queries taken as the single contact
@@ -231,12 +240,11 @@ pub struct EdgeReadNode {
     topo: ClusterTopology,
     keys: KeyStore,
     behavior: EdgeBehavior,
-    /// One replay cache per partition: the home cluster's fills from
-    /// normal traffic, foreign clusters' from couriered gather parts —
-    /// which is what makes a warm single-contact query one LAN hop.
-    caches: HashMap<ClusterId, ReplayCache<CommittedHeader>>,
-    cache_capacity: usize,
-    max_cached_batches: usize,
+    /// One replay cache per partition, spread over cluster-hash shards
+    /// ([`ShardedReplayCache`]): the home cluster's fills from normal
+    /// traffic, foreign clusters' from couriered gather parts — which
+    /// is what makes a warm single-contact query one LAN hop.
+    caches: ShardedReplayCache<CommittedHeader>,
     replay_staleness: SimDuration,
     tree_depth: u32,
     directory_plan: DirectoryPlan,
@@ -278,9 +286,11 @@ impl EdgeReadNode {
             topo,
             keys,
             behavior: params.behavior,
-            caches: HashMap::new(),
-            cache_capacity: params.cache_capacity,
-            max_cached_batches: params.max_cached_batches,
+            caches: ShardedReplayCache::new(
+                DEFAULT_SHARD_COUNT,
+                params.cache_capacity,
+                params.max_cached_batches,
+            ),
             replay_staleness: params.replay_staleness,
             tree_depth: params.tree_depth,
             directory_plan: params.directory,
@@ -307,19 +317,21 @@ impl EdgeReadNode {
     }
 
     fn cache_for(&mut self, cluster: ClusterId) -> &mut ReplayCache<CommittedHeader> {
-        let (capacity, batches) = (self.cache_capacity, self.max_cached_batches);
-        self.caches
-            .entry(cluster)
-            .or_insert_with(|| ReplayCache::new(capacity, batches))
+        self.caches.cache_for(cluster)
     }
 
     /// Replay-cache counters of the home partition (admitted / replayed
     /// / passes).
     pub fn cache_stats(&self) -> transedge_edge::replay::ReplayStats {
         self.caches
-            .get(&self.me.cluster)
+            .get(self.me.cluster)
             .map(|c| c.stats)
             .unwrap_or_default()
+    }
+
+    /// The sharded replay-cache layout (shard spread diagnostics).
+    pub fn cache_shards(&self) -> &ShardedReplayCache<CommittedHeader> {
+        &self.caches
     }
 
     fn upstream_replica(&mut self, cluster: ClusterId) -> NodeId {
@@ -380,8 +392,63 @@ impl EdgeReadNode {
                     self.stats.tampered += 1;
                 }
             }
+            // Targets multiproof replays only; point bundles pass clean.
+            EdgeBehavior::OmitFromMulti => {}
         }
         bundle
+    }
+
+    /// Apply this node's byzantine behaviour to an outgoing multiproof
+    /// bundle. Tampering rebuilds the body (the wire image is shared
+    /// and immutable), exactly as a lying edge would re-encode.
+    fn corrupt_multi(&mut self, bundle: RotMultiBundle) -> RotMultiBundle {
+        use transedge_edge::MultiProofBody;
+        let RotMultiBundle {
+            commitment,
+            cert,
+            body,
+        } = bundle;
+        let (mut commitment, mut keys, mut values, mut proof) = (
+            commitment,
+            body.keys.clone(),
+            body.values.clone(),
+            body.proof.clone(),
+        );
+        match self.behavior {
+            EdgeBehavior::Honest => {}
+            EdgeBehavior::TamperValue => {
+                if let Some(value) = values.iter_mut().find(|v| v.is_some()) {
+                    *value = Some(transedge_common::Value::from("forged-by-edge"));
+                    self.stats.tampered += 1;
+                }
+            }
+            EdgeBehavior::ForgeProof => {
+                match proof.siblings.first_mut() {
+                    Some(sibling) => sibling.0[0] ^= 0xFF,
+                    None => proof.buckets.clear(),
+                }
+                self.stats.tampered += 1;
+            }
+            EdgeBehavior::StaleRoot => {
+                commitment.header.merkle_root = Digest([0xDE; 32]);
+                self.stats.tampered += 1;
+            }
+            EdgeBehavior::OmitKey | EdgeBehavior::OmitFromMulti => {
+                // Drop one proven key and its value slot but keep the
+                // proof: the body's advertised set no longer matches
+                // the multiproof (or no longer covers the request).
+                if !keys.is_empty() {
+                    keys.remove(0);
+                    values.remove(0);
+                    self.stats.tampered += 1;
+                }
+            }
+        }
+        RotMultiBundle {
+            commitment,
+            cert,
+            body: MultiProofBody::new(keys, values, proof),
+        }
     }
 
     /// Apply this node's byzantine behaviour to an outgoing scan.
@@ -420,6 +487,8 @@ impl EdgeReadNode {
                     self.stats.tampered += 1;
                 }
             }
+            // Targets multiproof replays only; scans pass clean.
+            EdgeBehavior::OmitFromMulti => {}
         }
         bundle
     }
@@ -438,6 +507,17 @@ impl EdgeReadNode {
     fn respond(&mut self, to: NodeId, req: u64, bundle: RotBundle, ctx: &mut Context<'_, NetMsg>) {
         let bundle = self.corrupt(bundle);
         ctx.send(to, NetMsg::rot_response(req, bundle));
+    }
+
+    fn respond_multi(
+        &mut self,
+        to: NodeId,
+        req: u64,
+        bundle: RotMultiBundle,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        let bundle = self.corrupt_multi(bundle);
+        ctx.send(to, NetMsg::rot_multi(req, bundle));
     }
 
     /// Send an assembled (multi-section) response. Byzantine behaviour
@@ -687,6 +767,10 @@ impl EdgeReadNode {
                 let cluster = bundle.commitment.header.cluster;
                 self.cache_for(cluster).admit_scan(bundle);
             }
+            ReadPayload::Multi { bundle } => {
+                let cluster = bundle.commitment.header.cluster;
+                self.cache_for(cluster).admit_multi(bundle);
+            }
             // A nested gather can only come from a byzantine sibling;
             // nothing in it is attributable to one partition's cache.
             ReadPayload::Gather { .. } => {}
@@ -724,6 +808,21 @@ impl EdgeReadNode {
                 .as_micros()
                 .saturating_sub(self.replay_staleness.as_micros()),
         );
+        // Batched reads first: a cached multiproof body covering every
+        // requested key answers the whole request with one shared-wire
+        // replay — a refcount bump, no per-key fragment walk.
+        if keys.len() >= 2 {
+            if let Some(bundle) =
+                self.cache_for(cluster)
+                    .replay_multi(&keys, min_epoch, freshness_floor)
+            {
+                self.stats.served_from_cache += 1;
+                self.stats.multis_from_cache += 1;
+                self.stats.keys_from_cache += keys.len() as u64;
+                self.respond_multi(from, req, bundle, ctx);
+                return;
+            }
+        }
         match self
             .cache_for(cluster)
             .assemble(&keys, min_epoch, freshness_floor)
@@ -836,6 +935,15 @@ impl EdgeReadNode {
                 };
                 self.respond_scan(pending.client, pending.client_req, *bundle, ctx);
             }
+            ReadPayload::Multi { bundle } => {
+                let Some(pending) = self.pending.remove(&req) else {
+                    return; // duplicate or late upstream answer
+                };
+                // A replica's multiproof answers the full request even
+                // when a partial assembly was reserved — the cached
+                // fragments stay cached, the bundle goes out as-is.
+                self.respond_multi(pending.client, pending.client_req, *bundle, ctx);
+            }
             ReadPayload::Point { sections } => {
                 let Some(pending) = self.pending.remove(&req) else {
                     return; // duplicate or late upstream answer
@@ -904,7 +1012,7 @@ impl EdgeReadNode {
                 .caches
                 .iter()
                 .map(|(cluster, cache)| CoverageSummary {
-                    cluster: *cluster,
+                    cluster,
                     newest_batch: cache.latest_batch().map(Epoch::from).unwrap_or(Epoch::NONE),
                     fragments: cache.fragment_count() as u64,
                     scan_windows: cache.scan_window_count() as u64,

@@ -604,6 +604,10 @@ impl transedge_edge::SnapshotSource for Executor {
     ) -> transedge_crypto::RangeProof {
         self.tree.prove_range(range, batch.0)
     }
+
+    fn prove_multi(&self, keys: &[Key], batch: BatchNum) -> transedge_crypto::MultiProof {
+        self.tree.prove_multi(keys, batch.0)
+    }
 }
 
 #[cfg(test)]

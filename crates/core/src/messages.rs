@@ -5,7 +5,8 @@ use transedge_common::{BatchNum, ClusterId, Epoch, Key, SimTime, TxnId, Value};
 use transedge_consensus::{BftMsg, Certificate};
 use transedge_crypto::{ScanRange, Signature};
 use transedge_edge::{
-    ProofBundle, ProvenRead, QueryShape, ReadQuery, ReadResponse, ScanBundle, SnapshotPolicy,
+    MultiProofBundle, ProofBundle, ProvenRead, QueryShape, ReadQuery, ReadResponse, ScanBundle,
+    SnapshotPolicy,
 };
 use transedge_simnet::SimMessage;
 
@@ -24,6 +25,11 @@ pub type RotBundle = ProofBundle<CommittedHeader>;
 /// A complete proof-carrying range-scan response: certified header,
 /// consensus certificate, and the completeness-proven window.
 pub type RotScanBundle = ScanBundle<CommittedHeader>;
+
+/// A complete multiproof response: certified header, consensus
+/// certificate, and one deduplicated Merkle multiproof covering every
+/// requested key (throughput mode's batched point-read shape).
+pub type RotMultiBundle = MultiProofBundle<CommittedHeader>;
 
 /// A participant's 2PC vote returned to the coordinator (§3.3.3).
 #[derive(Clone, Debug)]
@@ -205,6 +211,7 @@ impl NetMsg {
             NetMsg::ReadResult { result, .. } => match result {
                 ReadResponse::Point { .. } => "read-result-point",
                 ReadResponse::Scan { .. } => "read-result-scan",
+                ReadResponse::Multi { .. } => "read-result-multi",
                 ReadResponse::Gather { .. } => "read-result-gather",
             },
             NetMsg::RotFetchAt { .. } => "rot-fetch-at",
@@ -279,6 +286,16 @@ impl NetMsg {
         NetMsg::ReadResult {
             req,
             result: ReadPayload::Scan {
+                bundle: Box::new(bundle),
+            },
+        }
+    }
+
+    /// Batched point-read response carried by one multiproof.
+    pub fn rot_multi(req: u64, bundle: RotMultiBundle) -> NetMsg {
+        NetMsg::ReadResult {
+            req,
+            result: ReadPayload::Multi {
                 bundle: Box::new(bundle),
             },
         }
@@ -390,10 +407,21 @@ fn scan_bundle_size(bundle: &RotScanBundle) -> usize {
         + bundle.scan.encoded_len()
 }
 
-fn read_payload_size(result: &ReadPayload) -> usize {
+/// Structural wire size of a proof-carrying read payload (the
+/// bandwidth model's estimate; exact for multiproof bodies).
+pub fn read_payload_size(result: &ReadPayload) -> usize {
     match result {
         ReadPayload::Point { sections } => sections.iter().map(rot_bundle_size).sum::<usize>(),
         ReadPayload::Scan { bundle } => scan_bundle_size(bundle),
+        // The body's structural size equals its shared wire image
+        // byte-for-byte (asserted in the edge crate), so this is exact
+        // for the proof-carrying part.
+        ReadPayload::Multi { bundle } => {
+            header_size(&bundle.commitment.header)
+                + 32
+                + cert_size(&bundle.cert)
+                + bundle.body.encoded_len()
+        }
         ReadPayload::Gather { parts } => parts
             .iter()
             .map(|p| 2 + read_payload_size(&p.body))

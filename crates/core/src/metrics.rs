@@ -111,6 +111,7 @@ pub struct Summary {
     pub aborted: usize,
     pub mean_latency_ms: f64,
     pub p50_latency_ms: f64,
+    pub p95_latency_ms: f64,
     pub p99_latency_ms: f64,
     pub round2_fraction: f64,
     pub mean_round1_ms: f64,
@@ -158,6 +159,7 @@ pub fn summarize(samples: &[TxnSample], kind: Option<OpKind>) -> Summary {
         aborted: filtered.len() - committed,
         mean_latency_ms: latencies.iter().sum::<f64>() / latencies.len() as f64,
         p50_latency_ms: percentile(&latencies, 0.50),
+        p95_latency_ms: percentile(&latencies, 0.95),
         p99_latency_ms: percentile(&latencies, 0.99),
         round2_fraction: round2.len() as f64 / filtered.len() as f64,
         mean_round1_ms: if round1.is_empty() {

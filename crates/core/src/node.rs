@@ -33,6 +33,13 @@ const TOKEN_PROGRESS: u64 = 2;
 /// every scan as out-of-range, which surfaces only as client give-ups).
 pub const DEFAULT_TREE_DEPTH: u32 = 16;
 
+/// Point requests with at least this many keys are answered by one
+/// coalesced Merkle multiproof instead of independent per-key proofs.
+/// Four is the wire-size crossover: the crypto tests prove a
+/// multiproof strictly smaller than `n` independent proofs for
+/// `n >= 4`, while tiny requests can lose the bet to bucket overlap.
+pub const MULTI_MIN_KEYS: usize = 4;
+
 /// Per-node protocol configuration.
 #[derive(Clone, Debug)]
 pub struct NodeConfig {
@@ -99,6 +106,9 @@ pub struct NodeStats {
     pub txns_rejected: u64,
     pub rot_served: u64,
     pub rot_fetches_served: u64,
+    /// Point requests answered with one coalesced multiproof bundle
+    /// (throughput mode: `keys.len() >= MULTI_MIN_KEYS`).
+    pub rot_multi_served: u64,
     /// Edge partial-assembly fills served pinned at the requested
     /// batch.
     pub rot_pinned_served: u64,
@@ -933,6 +943,7 @@ impl TransEdgeNode {
         req: u64,
         keys: &[Key],
         at_batch: BatchNum,
+        allow_multi: bool,
         ctx: &mut Context<'_, NetMsg>,
     ) {
         let Some((batch, cert)) = self.engine.log().get(at_batch) else {
@@ -940,6 +951,30 @@ impl TransEdgeNode {
         };
         let commitment = CommittedHeader::of(batch);
         let cert = cert.clone();
+        // Batched requests ship one coalesced multiproof: the shared
+        // sibling set is strictly smaller on the wire than independent
+        // per-key proofs from `MULTI_MIN_KEYS` up, and the body replays
+        // from edge caches as a refcount bump.
+        if allow_multi && keys.len() >= MULTI_MIN_KEYS {
+            let misses_before = self.read_pipeline.multi_stats().misses;
+            let body = self.read_pipeline.serve_multi(&self.exec, keys, at_batch);
+            let misses = self.read_pipeline.multi_stats().misses - misses_before;
+            // A cold multiproof hashes one path per proven key.
+            ctx.charge(|c| SimDuration(c.merkle_prove.0 * misses * body.keys.len() as u64));
+            self.stats.rot_multi_served += 1;
+            ctx.send(
+                to,
+                NetMsg::rot_multi(
+                    req,
+                    transedge_edge::MultiProofBundle {
+                        commitment,
+                        cert,
+                        body,
+                    },
+                ),
+            );
+            return;
+        }
         // Proof assembly goes through the edge pipeline; only cache
         // misses pay the Merkle-path hashing cost.
         let misses_before = self.read_pipeline.stats().misses;
@@ -981,7 +1016,7 @@ impl TransEdgeNode {
         let applied = self.exec.applied_batches();
         if applied > at_batch.0 {
             self.stats.rot_pinned_served += 1;
-            self.respond_rot(from, req, &keys, at_batch, ctx);
+            self.respond_rot(from, req, &keys, at_batch, false, ctx);
         } else {
             // Cannot serve the pin: answer the whole request under the
             // unified policy rules instead (parking if even that is
@@ -1087,7 +1122,7 @@ impl TransEdgeNode {
                             SnapshotPolicy::MinEpoch(_) => self.stats.rot_fetches_served += 1,
                             SnapshotPolicy::AtBatch(_) => self.stats.rot_pinned_served += 1,
                         }
-                        self.respond_rot(from, req, &keys, batch, ctx);
+                        self.respond_rot(from, req, &keys, batch, true, ctx);
                     }
                     None => self.pending_reads.push((from, req, query)),
                 }

@@ -39,7 +39,7 @@ pub mod sha2;
 pub use digest::Digest;
 pub use ed25519::{Keypair, PublicKey, Signature};
 pub use keys::KeyStore;
-pub use merkle::{MerkleProof, MerkleTree};
+pub use merkle::{verify_multi_proof, MerkleProof, MerkleTree, MultiBucket, MultiProof};
 pub use merkle_versioned::VersionedMerkleTree;
 pub use range::{verify_range_proof, RangeProof, ScanRange};
 pub use sha2::{sha256, sha512, Sha256, Sha512};

@@ -103,6 +103,84 @@ impl Decode for MerkleProof {
     }
 }
 
+/// One distinct bucket carried by a [`MultiProof`].
+///
+/// The index is carried for the prover's frontier layout but is never
+/// trusted alone: the verifier recomputes the needed bucket set from
+/// the keys themselves and requires an exact match.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MultiBucket {
+    /// Bucket index in the leaf space.
+    pub index: u64,
+    /// Entire contents of the bucket (sorted by key hash).
+    pub entries: Vec<BucketEntry>,
+}
+
+impl Encode for MultiBucket {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.index);
+        w.put_seq(&self.entries);
+    }
+}
+
+impl Decode for MultiBucket {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(MultiBucket {
+            index: r.get_u64()?,
+            entries: r.get_seq()?,
+        })
+    }
+}
+
+/// A batched (non-)inclusion proof for a *set* of keys against one
+/// root: every distinct bucket the keys hash into, plus one
+/// deduplicated sibling set. Where N per-key [`MerkleProof`]s repeat
+/// the shared upper-path digests N times, a multiproof carries each
+/// digest once — the paths fold jointly, pairing frontier nodes that
+/// are siblings of each other instead of shipping both.
+///
+/// Sibling order is deterministic: bottom-up by level, left-to-right
+/// within a level, one digest per frontier node whose sibling is not
+/// itself on the frontier. Prover and verifier replay the same walk,
+/// so any dropped, spliced, or reordered sibling lands in the wrong
+/// fold position and breaks the recomputed root.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MultiProof {
+    /// Distinct buckets covering the proven keys, ascending by index.
+    pub buckets: Vec<MultiBucket>,
+    /// Shared sibling digests in fold order.
+    pub siblings: Vec<Digest>,
+}
+
+impl MultiProof {
+    /// Size in bytes when wire-encoded — used by the simulator's
+    /// message-size-aware latency model.
+    pub fn encoded_len(&self) -> usize {
+        8 + self
+            .buckets
+            .iter()
+            .map(|b| 12 + b.entries.len() * 64)
+            .sum::<usize>()
+            + self.siblings.len() * 32
+    }
+}
+
+impl Encode for MultiProof {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_seq(&self.buckets);
+        w.put_seq(&self.siblings);
+    }
+}
+
+impl Decode for MultiProof {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(MultiProof {
+            buckets: r.get_seq()?,
+            siblings: r.get_seq()?,
+        })
+    }
+}
+
 /// The tree itself (the prover side, held by replicas).
 #[derive(Clone)]
 pub struct MerkleTree {
@@ -388,6 +466,130 @@ pub fn verify_proof(root: &Digest, depth: u32, key: &Key, proof: &MerkleProof) -
     })
 }
 
+/// Client-side verification of a [`MultiProof`] against a trusted
+/// `root`: one joint fold recomputes the root once for the whole key
+/// set. Returns one [`Verified`] per key, in the order given.
+///
+/// The needed bucket set is recomputed from the keys — the prover's
+/// carried indices are checked against it, never trusted. The proof
+/// may cover *more* keys than asked (a cached superset replay): the
+/// caller passes the full proven key set here and filters afterwards.
+pub fn verify_multi_proof(
+    root: &Digest,
+    depth: u32,
+    keys: &[Key],
+    proof: &MultiProof,
+) -> Result<Vec<Verified>> {
+    if keys.is_empty() {
+        return Err(TransEdgeError::Verification(
+            "multiproof over an empty key set".into(),
+        ));
+    }
+    // Recompute every key's bucket index from the key itself.
+    let key_hashes: Vec<Digest> = keys.iter().map(|k| sha256(k.as_bytes())).collect();
+    let key_buckets: Vec<u64> = key_hashes
+        .iter()
+        .map(|h| {
+            let prefix = u64::from_be_bytes(h.0[..8].try_into().unwrap());
+            prefix >> (64 - depth)
+        })
+        .collect();
+    let mut needed = key_buckets.clone();
+    needed.sort_unstable();
+    needed.dedup();
+    // The carried bucket set must equal the recomputed one exactly —
+    // no bucket missing (omission) and none smuggled in (splice).
+    if proof.buckets.len() != needed.len()
+        || proof
+            .buckets
+            .iter()
+            .zip(&needed)
+            .any(|(b, want)| b.index != *want)
+    {
+        return Err(TransEdgeError::Verification(
+            "multiproof bucket set does not match the key set".into(),
+        ));
+    }
+    for b in &proof.buckets {
+        // Strictly sorted — otherwise a malicious prover could hide an
+        // entry from the binary search.
+        for pair in b.entries.windows(2) {
+            if pair[0].key_hash >= pair[1].key_hash {
+                return Err(TransEdgeError::Verification(
+                    "multiproof bucket not strictly sorted".into(),
+                ));
+            }
+        }
+        // Every entry must actually belong to its bucket.
+        for e in &b.entries {
+            let p = u64::from_be_bytes(e.key_hash.0[..8].try_into().unwrap());
+            if p >> (64 - depth) != b.index {
+                return Err(TransEdgeError::Verification(
+                    "multiproof entry outside its bucket".into(),
+                ));
+            }
+        }
+    }
+    // Joint fold: pair frontier nodes that are each other's sibling;
+    // consume a shipped sibling for every unpaired node.
+    let mut frontier: Vec<(u64, Digest)> = proof
+        .buckets
+        .iter()
+        .map(|b| (b.index, hash_leaf(&b.entries)))
+        .collect();
+    let mut sibs = proof.siblings.iter();
+    for _ in 0..depth {
+        let mut next: Vec<(u64, Digest)> = Vec::with_capacity(frontier.len());
+        let mut i = 0;
+        while i < frontier.len() {
+            let (idx, digest) = frontier[i];
+            if idx & 1 == 0 && frontier.get(i + 1).is_some_and(|(j, _)| *j == idx + 1) {
+                next.push((idx >> 1, hash_node(&digest, &frontier[i + 1].1)));
+                i += 2;
+            } else {
+                let Some(sib) = sibs.next() else {
+                    return Err(TransEdgeError::Verification(
+                        "multiproof has too few siblings".into(),
+                    ));
+                };
+                let parent = if idx & 1 == 0 {
+                    hash_node(&digest, sib)
+                } else {
+                    hash_node(sib, &digest)
+                };
+                next.push((idx >> 1, parent));
+                i += 1;
+            }
+        }
+        frontier = next;
+    }
+    if sibs.next().is_some() {
+        return Err(TransEdgeError::Verification(
+            "multiproof has unconsumed siblings".into(),
+        ));
+    }
+    if frontier.len() != 1 || frontier[0].1 != *root {
+        return Err(TransEdgeError::Verification(
+            "multiproof root mismatch".into(),
+        ));
+    }
+    // Resolve every key against its (now authenticated) bucket.
+    let mut out = Vec::with_capacity(keys.len());
+    for (kh, bidx) in key_hashes.iter().zip(&key_buckets) {
+        let pos = needed.binary_search(bidx).expect("bucket set checked");
+        let bucket = &proof.buckets[pos].entries;
+        let found = bucket
+            .binary_search_by(|e| e.key_hash.cmp(kh))
+            .ok()
+            .map(|p| bucket[p].value_hash);
+        out.push(match found {
+            Some(vh) => Verified::Present(vh),
+            None => Verified::Absent,
+        });
+    }
+    Ok(out)
+}
+
 pub(crate) fn hash_leaf(entries: &[BucketEntry]) -> Digest {
     let mut h = Sha256::new();
     h.update(&[TAG_LEAF]);
@@ -620,5 +822,54 @@ mod tests {
             t.insert(&key(i), vh("v"));
         }
         roundtrip(&t.prove(&key(3)));
+    }
+
+    #[test]
+    fn multi_proof_wire_roundtrip_and_len() {
+        use crate::VersionedMerkleTree;
+        use transedge_common::wire::roundtrip;
+        let mut vt = VersionedMerkleTree::with_depth(6);
+        let keys: Vec<Key> = (0..12).map(key).collect();
+        vt.apply_batch(0, keys.iter().map(|k| (k, vh("v"))));
+        let p = vt.prove_multi(&keys[..5], 0);
+        roundtrip(&p);
+        let actual = p.encode_to_vec().len();
+        let estimate = p.encoded_len();
+        assert!(
+            (actual as i64 - estimate as i64).abs() <= 16,
+            "estimate {estimate} vs actual {actual}"
+        );
+    }
+
+    #[test]
+    fn multi_proof_rejects_empty_and_unsorted() {
+        use crate::VersionedMerkleTree;
+        let mut vt = VersionedMerkleTree::with_depth(4);
+        // Depth 4 → 16 buckets: plenty of collisions among 24 keys.
+        let keys: Vec<Key> = (0..24).map(key).collect();
+        vt.apply_batch(0, keys.iter().map(|k| (k, vh("v"))));
+        let root = vt.root_at(0);
+        let asked = &keys[..6];
+        let good = vt.prove_multi(asked, 0);
+        assert!(verify_multi_proof(&root, 4, asked, &good).is_ok());
+        assert!(verify_multi_proof(&root, 4, &[], &good).is_err());
+        // Unsorting a multi-entry bucket must be caught even when the
+        // fold would otherwise be order-insensitive to the search.
+        if let Some(b) = good
+            .buckets
+            .iter()
+            .position(|b| b.entries.len() > 1)
+            .map(|i| {
+                let mut p = good.clone();
+                p.buckets[i].entries.reverse();
+                p
+            })
+        {
+            assert!(verify_multi_proof(&root, 4, asked, &b).is_err());
+        }
+        // Extra sibling appended: unconsumed → rejected.
+        let mut extra = good.clone();
+        extra.siblings.push(Digest([1; 32]));
+        assert!(verify_multi_proof(&root, 4, asked, &extra).is_err());
     }
 }

@@ -25,7 +25,7 @@ use std::collections::HashMap;
 use transedge_common::Key;
 
 use crate::digest::Digest;
-use crate::merkle::{hash_leaf, hash_node, BucketEntry, MerkleProof};
+use crate::merkle::{hash_leaf, hash_node, BucketEntry, MerkleProof, MultiBucket, MultiProof};
 use crate::range::{RangeProof, ScanRange};
 use crate::sha2::sha256;
 
@@ -241,6 +241,52 @@ impl VersionedMerkleTree {
         MerkleProof { bucket, siblings }
     }
 
+    /// Batched (non-)inclusion proof for a *set* of keys against the
+    /// root at `version`: one [`MultiProof`] with each distinct bucket
+    /// once and a deduplicated sibling set. The walk mirrors
+    /// [`crate::merkle::verify_multi_proof`]: frontier nodes that are
+    /// each other's sibling pair up instead of shipping both digests,
+    /// so overlapping upper paths are carried once instead of once per
+    /// key.
+    pub fn prove_multi(&self, keys: &[Key], version: u64) -> MultiProof {
+        let mut indices: Vec<u64> = keys
+            .iter()
+            .map(|k| self.bucket_index(&sha256(k.as_bytes())))
+            .collect();
+        indices.sort_unstable();
+        indices.dedup();
+        let buckets = indices
+            .iter()
+            .map(|&idx| MultiBucket {
+                index: idx,
+                entries: self
+                    .buckets
+                    .get(&idx)
+                    .and_then(|v| lookup_at(v, version))
+                    .cloned()
+                    .unwrap_or_default(),
+            })
+            .collect();
+        let mut siblings = Vec::new();
+        let mut frontier = indices;
+        for level in 0..self.depth as usize {
+            let mut next = Vec::with_capacity(frontier.len());
+            let mut i = 0;
+            while i < frontier.len() {
+                let idx = frontier[i];
+                if idx & 1 == 0 && frontier.get(i + 1) == Some(&(idx + 1)) {
+                    i += 2;
+                } else {
+                    siblings.push(self.node_at(level, idx ^ 1, version));
+                    i += 1;
+                }
+                next.push(idx >> 1);
+            }
+            frontier = next;
+        }
+        MultiProof { buckets, siblings }
+    }
+
     /// Completeness proof for a contiguous bucket window against the
     /// root at `version`: every non-empty bucket in the window plus the
     /// boundary siblings that fold the window back to the root. The
@@ -438,6 +484,106 @@ mod tests {
         let mut vt = VersionedMerkleTree::with_depth(8);
         vt.apply_batch(5, [(&k(1), vh("a"))]);
         vt.apply_batch(5, [(&k(2), vh("b"))]);
+    }
+
+    #[test]
+    fn multi_proof_matches_per_key_proofs() {
+        use crate::merkle::verify_multi_proof;
+        let mut vt = VersionedMerkleTree::with_depth(8);
+        vt.apply_batch(
+            0,
+            (0..40)
+                .map(|i| (k(i), vh(&format!("v{i}"))))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|(k, d)| (k, *d)),
+        );
+        let root = vt.root_at(0);
+        // A mix of present keys (some colliding buckets at depth 8)
+        // and an absent one.
+        let keys: Vec<Key> = [1u32, 7, 13, 22, 39, 999].iter().map(|i| k(*i)).collect();
+        let multi = vt.prove_multi(&keys, 0);
+        let got = verify_multi_proof(&root, 8, &keys, &multi).unwrap();
+        for (key, verdict) in keys.iter().zip(&got) {
+            let single = verify_proof(&root, 8, key, &vt.prove_at(key, 0)).unwrap();
+            assert_eq!(*verdict, single, "key {key:?}");
+        }
+        assert_eq!(got[5], Verified::Absent);
+    }
+
+    #[test]
+    fn multi_proof_is_smaller_than_independent_proofs() {
+        // The acceptance bar: at N >= 4 keys the deduplicated sibling
+        // set must be strictly smaller on the wire than N per-key
+        // proofs, at the deployment's real depth.
+        let mut vt = VersionedMerkleTree::with_depth(16);
+        let all: Vec<Key> = (0..64).map(k).collect();
+        vt.apply_batch(0, all.iter().map(|key| (key, vh("v"))));
+        for n in [4usize, 8, 16, 32] {
+            let keys = &all[..n];
+            let multi = vt.prove_multi(keys, 0);
+            let independent: usize = keys
+                .iter()
+                .map(|key| vt.prove_at(key, 0).encoded_len())
+                .sum();
+            assert!(
+                multi.encoded_len() < independent,
+                "n={n}: multi {} >= independent {independent}",
+                multi.encoded_len()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_proof_rejects_tampering() {
+        use crate::merkle::verify_multi_proof;
+        let mut vt = VersionedMerkleTree::with_depth(8);
+        let all: Vec<Key> = (0..30).map(k).collect();
+        vt.apply_batch(0, all.iter().map(|key| (key, vh("a"))));
+        vt.apply_batch(1, [(&k(3), vh("b"))]);
+        let root = vt.root_at(1);
+        let keys: Vec<Key> = [2u32, 3, 11, 17].iter().map(|i| k(*i)).collect();
+        let good = vt.prove_multi(&keys, 1);
+        assert_eq!(
+            good.buckets.len(),
+            4,
+            "keys chosen to occupy distinct buckets"
+        );
+        assert!(verify_multi_proof(&root, 8, &keys, &good).is_ok());
+        // Dropping any sibling breaks it.
+        for i in 0..good.siblings.len() {
+            let mut p = good.clone();
+            p.siblings.remove(i);
+            assert!(verify_multi_proof(&root, 8, &keys, &p).is_err(), "sib {i}");
+        }
+        // Substituting any sibling breaks it.
+        for i in 0..good.siblings.len() {
+            let mut p = good.clone();
+            p.siblings[i] = Digest([0xAB; 32]);
+            assert!(verify_multi_proof(&root, 8, &keys, &p).is_err(), "sib {i}");
+        }
+        // Dropping any bucket entry (omitting a key) breaks it.
+        for b in 0..good.buckets.len() {
+            for e in 0..good.buckets[b].entries.len() {
+                let mut p = good.clone();
+                p.buckets[b].entries.remove(e);
+                assert!(verify_multi_proof(&root, 8, &keys, &p).is_err());
+            }
+        }
+        // Dropping a whole bucket breaks it.
+        for b in 0..good.buckets.len() {
+            let mut p = good.clone();
+            p.buckets.remove(b);
+            assert!(verify_multi_proof(&root, 8, &keys, &p).is_err());
+        }
+        // Splicing in a stale value (cross-batch) breaks it: the proof
+        // at version 0 shows the old value but cannot fold to root 1.
+        let stale = vt.prove_multi(&keys, 0);
+        assert!(verify_multi_proof(&root, 8, &keys, &stale).is_err());
+        // A superset proof serves a subset of its own keys only via the
+        // full key set; verifying against a *different* key set fails.
+        let other: Vec<Key> = [2u32, 3, 11].iter().map(|i| k(*i)).collect();
+        assert!(verify_multi_proof(&root, 8, &other, &good).is_err());
     }
 
     #[test]

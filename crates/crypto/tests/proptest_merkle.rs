@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 use transedge_common::{Key, Value};
 use transedge_crypto::merkle::{value_digest, verify_proof, Verified};
-use transedge_crypto::{Digest, MerkleTree, VersionedMerkleTree};
+use transedge_crypto::{verify_multi_proof, Digest, MerkleTree, VersionedMerkleTree};
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -119,6 +119,59 @@ proptest! {
             vt.rollback(last as u64);
             prop_assert_eq!(vt.latest_version(), Some(last as u64 - 1));
             prop_assert_eq!(vt.root_at(last as u64), roots[last - 1]);
+        }
+    }
+
+    /// Multiproofs agree with per-key proofs on any key set, and no
+    /// single-element mutation survives: dropping or substituting any
+    /// sibling, dropping any bucket entry, or splicing the proof onto
+    /// another version's root all break verification.
+    #[test]
+    fn multi_proof_sound_and_unmalleable(
+        entries in proptest::collection::hash_map(any::<u16>(), any::<u8>(), 4..40),
+        asked in proptest::collection::vec(any::<u16>(), 1..10),
+        corrupt_at in any::<u64>(),
+    ) {
+        // Shallow tree → dense buckets → collision paths exercised.
+        let mut vt = VersionedMerkleTree::with_depth(5);
+        let items: Vec<(Key, Digest)> = entries
+            .iter()
+            .map(|(k, v)| (Key::from_u32(*k as u32 % 512), vh(*v)))
+            .collect();
+        vt.apply_batch(0, items.iter().map(|(k, d)| (k, *d)));
+        // A second version so cross-version splices have a target.
+        vt.apply_batch(1, [(&Key::from_u32(0), vh(0xEE))]);
+        let root = vt.root_at(1);
+        let keys: Vec<Key> = asked.iter().map(|k| Key::from_u32(*k as u32 % 600)).collect();
+        let proof = vt.prove_multi(&keys, 1);
+        let got = verify_multi_proof(&root, 5, &keys, &proof).unwrap();
+        for (key, verdict) in keys.iter().zip(&got) {
+            let single = verify_proof(&root, 5, key, &vt.prove_at(key, 1)).unwrap();
+            prop_assert_eq!(*verdict, single);
+        }
+        // Drop / substitute one sibling (position chosen by the fuzzed
+        // index).
+        if !proof.siblings.is_empty() {
+            let i = (corrupt_at as usize) % proof.siblings.len();
+            let mut dropped = proof.clone();
+            dropped.siblings.remove(i);
+            prop_assert!(verify_multi_proof(&root, 5, &keys, &dropped).is_err());
+            let mut swapped = proof.clone();
+            swapped.siblings[i] = Digest([0x5C; 32]);
+            prop_assert!(verify_multi_proof(&root, 5, &keys, &swapped).is_err());
+        }
+        // Drop one leaf entry from a non-empty bucket.
+        if let Some(b) = proof.buckets.iter().position(|b| !b.entries.is_empty()) {
+            let mut omitted = proof.clone();
+            let e = (corrupt_at as usize) % omitted.buckets[b].entries.len();
+            omitted.buckets[b].entries.remove(e);
+            prop_assert!(verify_multi_proof(&root, 5, &keys, &omitted).is_err());
+        }
+        // Cross-version splice: version 0's proof against version 1's
+        // root only verifies when the two roots coincide.
+        let stale = vt.prove_multi(&keys, 0);
+        if vt.root_at(0) != root {
+            prop_assert!(verify_multi_proof(&root, 5, &keys, &stale).is_err());
         }
     }
 }

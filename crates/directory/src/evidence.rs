@@ -45,6 +45,8 @@ pub fn is_cryptographic(rejection: &ReadRejection) -> bool {
             | ReadRejection::BadRangeProof
             | ReadRejection::IncompleteScan { .. }
             | ReadRejection::ScanRowMismatch(_)
+            | ReadRejection::BadMultiProof
+            | ReadRejection::MultiProofKeyMissing(_)
     )
 }
 
@@ -126,6 +128,21 @@ pub fn response_fingerprint<H: BatchCommitment>(response: &ReadResponse<H>) -> D
         ReadResponse::Scan { bundle } => {
             h.update(b"scan");
             hash_scan(&mut h, bundle);
+        }
+        ReadResponse::Multi { bundle } => {
+            // The body's wire image covers keys, values, and the
+            // multiproof byte-for-byte; pinning it plus the certificate
+            // fixes everything a verifier could object to.
+            h.update(b"multi");
+            h.update(&bundle.commitment.certified_digest().0);
+            h.update(&bundle.cert.digest.0);
+            for (node, sig) in &bundle.cert.sigs {
+                let mut w = WireWriter::with_capacity(8);
+                node.encode(&mut w);
+                h.update(&w.into_bytes());
+                h.update(&sig.0);
+            }
+            h.update(bundle.body.wire_bytes());
         }
         ReadResponse::Gather { parts } => {
             h.update(b"gather");
@@ -299,6 +316,9 @@ impl<H: BatchCommitment + Clone> SignedEvidence<H> {
                     .sum(),
                 ReadResponse::Scan { bundle } => {
                     110 + bundle.cert.sigs.len() * 101 + bundle.scan.encoded_len()
+                }
+                ReadResponse::Multi { bundle } => {
+                    110 + bundle.cert.sigs.len() * 101 + bundle.body.encoded_len()
                 }
                 ReadResponse::Gather { parts } => parts
                     .iter()

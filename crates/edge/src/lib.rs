@@ -45,6 +45,17 @@
 //! verifier can check **completeness** — an untrusted node cannot omit
 //! a row inside a scanned window undetected.
 //!
+//! Throughput mode adds a third proof shape: [`MultiProofBody`] /
+//! [`MultiProofBundle`] batch many point reads behind **one**
+//! deduplicated Merkle multiproof, encoded exactly once into a shared
+//! byte buffer — caching, replaying, or subset-serving a body is a
+//! refcount bump, not a re-serialisation. The serving pipeline
+//! coalesces concurrent reads pinned to the same batch into one body
+//! ([`ReadPipeline::serve_multi`]), and
+//! [`replay::ShardedReplayCache`] spreads an edge's per-partition
+//! replay caches over cluster-hash shards so the hot read path stops
+//! funnelling through one structure.
+//!
 //! The crate deliberately does not know about network messages or the
 //! batch format: commitments enter through the [`BatchCommitment`]
 //! trait, which `transedge-core` implements for its certified batch
@@ -60,11 +71,16 @@ pub mod response;
 pub mod verifier;
 
 pub use cache::{CacheStats, LruCache};
-pub use pipeline::{read_snapshot, scan_snapshot, ReadPipeline, SnapshotSource};
+pub use pipeline::{
+    multi_snapshot, read_snapshot, scan_snapshot, ReadPipeline, SnapshotSource, MAX_COALESCED_KEYS,
+};
 pub use query::{
     GatherPart, PageToken, PrefixResume, QueryAnswer, QueryShape, ReadQuery, ReadResponse,
     SnapshotPolicy,
 };
-pub use replay::{Assembly, ReplayCache};
-pub use response::{BatchCommitment, ProofBundle, ProvenRead, ScanBundle, ScanProof};
+pub use replay::{Assembly, ReplayCache, ReplayStats, ShardedReplayCache, DEFAULT_SHARD_COUNT};
+pub use response::{
+    BatchCommitment, MultiProofBody, MultiProofBundle, ProofBundle, ProvenRead, ScanBundle,
+    ScanProof,
+};
 pub use verifier::{ReadRejection, ReadVerifier, VerifyParams};

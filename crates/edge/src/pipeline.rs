@@ -2,10 +2,10 @@
 //! cached assembly of proof-carrying reads.
 
 use transedge_common::{BatchNum, Key, Value};
-use transedge_crypto::{MerkleProof, RangeProof, ScanRange};
+use transedge_crypto::{MerkleProof, MultiProof, RangeProof, ScanRange};
 
 use crate::cache::{CacheStats, LruCache};
-use crate::response::{ProvenRead, ScanProof};
+use crate::response::{MultiProofBody, ProvenRead, ScanProof};
 
 /// A provider of snapshot values and proofs — in a replica this is the
 /// executor's `VersionedStore` + `VersionedMerkleTree` pair. The trait
@@ -26,6 +26,11 @@ pub trait SnapshotSource {
 
     /// Completeness proof for the window against the root at `batch`.
     fn prove_range(&self, range: &ScanRange, batch: BatchNum) -> RangeProof;
+
+    /// One Merkle multiproof covering every key in `keys` (sorted,
+    /// unique) against the root at `batch` — a single deduplicated
+    /// sibling set instead of `keys.len()` independent proofs.
+    fn prove_multi(&self, keys: &[Key], batch: BatchNum) -> MultiProof;
 }
 
 /// Assemble proof-carrying reads for `keys` at `batch`, straight from
@@ -66,6 +71,24 @@ pub fn scan_snapshot<S: SnapshotSource + ?Sized>(
     }
 }
 
+/// Build a [`MultiProofBody`] for `keys` at `batch`, straight from the
+/// source: the keys are sorted and deduplicated, their values read at
+/// the cut, and **one** multiproof generated for the whole set. Like
+/// [`read_snapshot`], the single implementation the cached pipeline
+/// funnels through.
+pub fn multi_snapshot<S: SnapshotSource + ?Sized>(
+    src: &S,
+    keys: &[Key],
+    batch: BatchNum,
+) -> MultiProofBody {
+    let mut sorted: Vec<Key> = keys.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    let values = sorted.iter().map(|k| src.value_at(k, batch)).collect();
+    let proof = src.prove_multi(&sorted, batch);
+    MultiProofBody::new(sorted, values, proof)
+}
+
 /// The serving pipeline a replica (or any node with a
 /// [`SnapshotSource`]) runs its read-only traffic through. Proof
 /// generation is the expensive part of serving a ROT (`O(depth)`
@@ -81,6 +104,13 @@ pub struct ReadPipeline {
     /// and scans are immutable per batch just like point reads, so the
     /// same no-invalidation memoisation applies.
     scans: LruCache<(ScanRange, BatchNum), ScanProof>,
+    /// `batch → MultiProofBody`: the **coalescer**. Concurrent point
+    /// reads pinned to the same batch merge into one growing superset
+    /// body — a later request whose keys are covered is a pure
+    /// refcount-bump replay; a request adding keys re-proves the union
+    /// once and every subsequent reader shares it. One body per batch
+    /// (the union), LRU over batches.
+    multis: LruCache<BatchNum, MultiProofBody>,
 }
 
 /// Default per-node cache capacity (entries, not bytes): generous for
@@ -90,6 +120,15 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 64 * 1024;
 /// Default scan-proof cache capacity. Scan entries are much larger than
 /// point entries (whole windows), so the cap is correspondingly lower.
 pub const DEFAULT_SCAN_CACHE_CAPACITY: usize = 512;
+
+/// Default multiproof-coalescer capacity (batches, one union body
+/// each).
+pub const DEFAULT_MULTI_CACHE_CAPACITY: usize = 256;
+
+/// Largest key set one coalesced multiproof body may cover. Past this,
+/// a request is served as its own body instead of growing the union —
+/// unbounded unions would make every replay carry the whole hot set.
+pub const MAX_COALESCED_KEYS: usize = 64;
 
 impl Default for ReadPipeline {
     fn default() -> Self {
@@ -102,6 +141,7 @@ impl ReadPipeline {
         ReadPipeline {
             cache: LruCache::new(cache_capacity),
             scans: LruCache::new(DEFAULT_SCAN_CACHE_CAPACITY.min(cache_capacity.max(1))),
+            multis: LruCache::new(DEFAULT_MULTI_CACHE_CAPACITY.min(cache_capacity.max(1))),
         }
     }
 
@@ -141,9 +181,50 @@ impl ReadPipeline {
         scan
     }
 
+    /// Serve `keys` at `batch` as one multiproof body, coalescing with
+    /// concurrent reads at the same batch:
+    ///
+    /// * the batch's cached union body covers the request → replay it
+    ///   (a clone of the body is a refcount bump on its shared wire
+    ///   buffer — no proof work, no re-encoding);
+    /// * otherwise, if the union of cached and requested keys stays
+    ///   within [`MAX_COALESCED_KEYS`], prove the union once, cache it,
+    ///   and serve it — the superset answers both this request and
+    ///   every retroactively-coalesced neighbour;
+    /// * past the cap, prove exactly the requested set and leave the
+    ///   cached union alone.
+    pub fn serve_multi<S: SnapshotSource + ?Sized>(
+        &mut self,
+        src: &S,
+        keys: &[Key],
+        batch: BatchNum,
+    ) -> MultiProofBody {
+        if self.multis.peek(&batch).is_some_and(|b| b.covers(keys)) {
+            return self.multis.get(&batch).expect("just peeked").clone();
+        }
+        // A body that doesn't cover the request is a miss, not a hit.
+        self.multis.stats.misses += 1;
+        let union: Vec<Key> = match self.multis.peek(&batch) {
+            Some(body) if body.keys.len() + keys.len() <= MAX_COALESCED_KEYS => {
+                body.keys.iter().chain(keys.iter()).cloned().collect()
+            }
+            _ => keys.to_vec(),
+        };
+        let body = multi_snapshot(src, &union, batch);
+        if body.keys.len() <= MAX_COALESCED_KEYS {
+            self.multis.insert(batch, body.clone());
+        }
+        body
+    }
+
     /// Cache effectiveness counters.
     pub fn stats(&self) -> CacheStats {
         self.cache.stats
+    }
+
+    /// Multiproof-coalescer counters (a hit is a covered replay).
+    pub fn multi_stats(&self) -> CacheStats {
+        self.multis.stats
     }
 
     /// Scan-proof cache counters.
@@ -216,6 +297,11 @@ mod tests {
         fn prove_range(&self, range: &ScanRange, batch: BatchNum) -> RangeProof {
             self.proofs_generated.fetch_add(1, Ordering::Relaxed);
             self.tree.prove_range(range, batch.0)
+        }
+
+        fn prove_multi(&self, keys: &[Key], batch: BatchNum) -> MultiProof {
+            self.proofs_generated.fetch_add(1, Ordering::Relaxed);
+            self.tree.prove_multi(keys, batch.0)
         }
     }
 
@@ -308,6 +394,52 @@ mod tests {
             .iter()
             .any(|(k, v)| k == &Key::from_u32(2) && v == &Value::from("b")));
         assert_eq!(pipeline.scan_stats().misses, 2);
+    }
+
+    #[test]
+    fn serve_multi_coalesces_concurrent_reads_per_batch() {
+        let src = TestSource::with_batches(&[&[(1, "a"), (2, "b"), (3, "c"), (4, "d")]]);
+        let mut pipeline = ReadPipeline::new(1024);
+        // First reader proves {1, 2}: one multiproof, one proof call.
+        let a = pipeline.serve_multi(&src, &[Key::from_u32(1), Key::from_u32(2)], BatchNum(0));
+        assert_eq!(src.proofs_generated.load(Ordering::Relaxed), 1);
+        assert_eq!(a.keys.len(), 2);
+        // Second reader adds {3}: union {1,2,3} proven once.
+        let b = pipeline.serve_multi(&src, &[Key::from_u32(3)], BatchNum(0));
+        assert_eq!(src.proofs_generated.load(Ordering::Relaxed), 2);
+        assert_eq!(b.keys.len(), 3);
+        // Third reader asks a covered subset: zero-copy replay — the
+        // same wire allocation, no proof work.
+        let c = pipeline.serve_multi(&src, &[Key::from_u32(2), Key::from_u32(3)], BatchNum(0));
+        assert_eq!(src.proofs_generated.load(Ordering::Relaxed), 2);
+        assert_eq!(c.wire_bytes().as_ptr(), b.wire_bytes().as_ptr());
+        assert_eq!(pipeline.multi_stats().hits, 1);
+        assert_eq!(pipeline.multi_stats().misses, 2);
+        // The body verifies and covers exactly the union.
+        let verdicts =
+            transedge_crypto::verify_multi_proof(&src.tree.root_at(0), 8, &c.keys, &c.proof)
+                .unwrap();
+        assert_eq!(verdicts.len(), 3);
+        assert_eq!(c.encoded_len(), c.wire_bytes().len());
+    }
+
+    #[test]
+    fn serve_multi_caps_the_union() {
+        let entries: Vec<(u32, &str)> = (0..200u32).map(|i| (i, "v")).collect();
+        let src = TestSource::with_batches(&[&entries]);
+        let mut pipeline = ReadPipeline::new(1024);
+        let small: Vec<Key> = (0..4).map(Key::from_u32).collect();
+        pipeline.serve_multi(&src, &small, BatchNum(0));
+        // A huge request must not displace the cached union with an
+        // unbounded body.
+        let huge: Vec<Key> = (0..(MAX_COALESCED_KEYS as u32 + 8))
+            .map(Key::from_u32)
+            .collect();
+        let body = pipeline.serve_multi(&src, &huge, BatchNum(0));
+        assert_eq!(body.keys.len(), huge.len());
+        // The cached body is still the small union.
+        let again = pipeline.serve_multi(&src, &small, BatchNum(0));
+        assert_eq!(again.keys.len(), 4);
     }
 
     #[test]

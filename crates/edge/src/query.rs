@@ -29,7 +29,7 @@ use transedge_common::{BatchNum, ClusterId, Epoch, Key, Value};
 use transedge_crypto::range::MAX_RANGE_BUCKETS;
 use transedge_crypto::ScanRange;
 
-use crate::response::{BatchCommitment, ProofBundle, ScanBundle};
+use crate::response::{BatchCommitment, MultiProofBundle, ProofBundle, ScanBundle};
 
 /// Which snapshot a [`ReadQuery`] must be served at.
 ///
@@ -370,6 +370,7 @@ impl ReadQuery {
 /// fn describe<H>(r: &ReadResponse<H>) -> &'static str {
 ///     match r {
 ///         ReadResponse::Point { .. } => "point sections",
+///         ReadResponse::Multi { .. } => "one multiproof for all keys",
 ///         ReadResponse::Scan { .. } => "scan window",
 ///         ReadResponse::Gather { .. } => "stitched per-partition parts",
 ///     }
@@ -381,6 +382,12 @@ pub enum ReadResponse<H> {
     /// edge's partial assembly (each verified against its own certified
     /// root, all pinned to one batch).
     Point { sections: Vec<ProofBundle<H>> },
+    /// A batched point read proven by one Merkle multiproof: every
+    /// requested key (possibly a subset of the proven set — an edge
+    /// replaying a cached superset) authenticated by one deduplicated
+    /// sibling set and one certificate check. Boxed like scans: the
+    /// body dwarfs the enum's other point payloads.
+    Multi { bundle: Box<MultiProofBundle<H>> },
     /// One proof-carrying scan window (possibly wider than requested —
     /// a replayed covering window; the verifier filters). Boxed: scan
     /// bundles dwarf the other payloads.
@@ -410,6 +417,7 @@ impl<H: BatchCommitment> ReadResponse<H> {
     pub fn batch(&self) -> Option<BatchNum> {
         match self {
             ReadResponse::Point { sections } => sections.first().map(|s| s.batch()),
+            ReadResponse::Multi { bundle } => Some(bundle.batch()),
             ReadResponse::Scan { bundle } => Some(bundle.batch()),
             ReadResponse::Gather { parts } => parts.first().and_then(|p| p.body.batch()),
         }

@@ -10,14 +10,17 @@
 //! This is WedgeChain's lazy-trust pattern applied to TransEdge's ROT
 //! protocol.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
-use transedge_common::{BatchNum, Epoch, Key, SimTime};
+use transedge_common::{BatchNum, ClusterId, Epoch, Key, SimTime};
 use transedge_consensus::Certificate;
 use transedge_crypto::ScanRange;
 
 use crate::cache::{CacheStats, LruCache};
-use crate::response::{BatchCommitment, ProofBundle, ProvenRead, ScanBundle, ScanProof};
+use crate::response::{
+    BatchCommitment, MultiProofBody, MultiProofBundle, ProofBundle, ProvenRead, ScanBundle,
+    ScanProof,
+};
 
 /// Counters for the replay path.
 #[derive(Clone, Copy, Debug, Default)]
@@ -43,6 +46,36 @@ pub struct ReplayStats {
     pub scans_covered_by_wider: u64,
     /// Scan requests with no usable cached window.
     pub scan_passes: u64,
+    /// Multiproof bodies absorbed from upstream.
+    pub multis_admitted: u64,
+    /// Multiproof requests answered from cache (a body covering the
+    /// requested keys replayed as-is — a refcount bump on its shared
+    /// wire buffer).
+    pub multis_replayed: u64,
+    /// Multi replays answered by a cached *superset* body (the client
+    /// verifies the proven set and picks out its keys).
+    pub multis_covered_by_superset: u64,
+    /// Multiproof requests with no usable cached body.
+    pub multi_passes: u64,
+}
+
+impl ReplayStats {
+    /// Sum `other` into `self` (shard aggregation).
+    pub fn absorb(&mut self, other: &ReplayStats) {
+        self.admitted += other.admitted;
+        self.replayed += other.replayed;
+        self.passes += other.passes;
+        self.partial += other.partial;
+        self.fragments_replayed += other.fragments_replayed;
+        self.scans_admitted += other.scans_admitted;
+        self.scans_replayed += other.scans_replayed;
+        self.scans_covered_by_wider += other.scans_covered_by_wider;
+        self.scan_passes += other.scan_passes;
+        self.multis_admitted += other.multis_admitted;
+        self.multis_replayed += other.multis_replayed;
+        self.multis_covered_by_superset += other.multis_covered_by_superset;
+        self.multi_passes += other.multi_passes;
+    }
 }
 
 /// What the cache can do for a request, given the LCE and freshness
@@ -70,6 +103,10 @@ pub enum Assembly<H> {
 /// a linear scan of a short list beats an index here).
 const MAX_SCANS_PER_BATCH: usize = 32;
 
+/// Cached multiproof bodies per batch — the coalescer upstream keeps
+/// bodies few and wide, so a short list suffices here too.
+const MAX_MULTIS_PER_BATCH: usize = 16;
+
 /// The cache an edge replay node runs on.
 #[derive(Clone, Debug)]
 pub struct ReplayCache<H> {
@@ -82,6 +119,12 @@ pub struct ReplayCache<H> {
     /// client verifies the proven window and filters to its own range),
     /// so wide windows absorbed once keep serving narrower scans.
     scans: BTreeMap<u64, Vec<(ScanRange, ScanProof)>>,
+    /// Per-batch multiproof bodies: batch → cached bodies, oldest
+    /// first. A body serves any request whose keys it covers, so a wide
+    /// coalesced body absorbed once keeps serving narrower reads — the
+    /// multiproof analogue of covering scan windows. Bodies share their
+    /// wire encoding, so replaying one is a refcount bump.
+    multis: BTreeMap<u64, Vec<MultiProofBody>>,
     max_batches: usize,
     pub stats: ReplayStats,
 }
@@ -92,6 +135,7 @@ impl<H: BatchCommitment + Clone> ReplayCache<H> {
             commitments: BTreeMap::new(),
             reads: LruCache::new(read_capacity),
             scans: BTreeMap::new(),
+            multis: BTreeMap::new(),
             max_batches: max_batches.max(1),
             stats: ReplayStats::default(),
         }
@@ -128,6 +172,7 @@ impl<H: BatchCommitment + Clone> ReplayCache<H> {
             let commitments = &self.commitments;
             self.reads.retain(|(_, b), _| commitments.contains_key(b));
             self.scans.retain(|b, _| commitments.contains_key(b));
+            self.multis.retain(|b, _| commitments.contains_key(b));
         }
     }
 
@@ -236,6 +281,93 @@ impl<H: BatchCommitment + Clone> ReplayCache<H> {
             cert,
             scan,
         })
+    }
+
+    /// Absorb an upstream multiproof response: remember the certified
+    /// header and the body. Bodies whose key set is already covered by
+    /// a cached body at the same batch are skipped; a new wider body
+    /// displaces the subsets it covers — mirroring the covering-window
+    /// rules of [`ReplayCache::admit_scan`]. Admission clones the body,
+    /// which shares (not copies) its wire encoding.
+    pub fn admit_multi(&mut self, bundle: &MultiProofBundle<H>) {
+        let batch = bundle.commitment.batch();
+        self.commitments
+            .insert(batch.0, (bundle.commitment.clone(), bundle.cert.clone()));
+        let bodies = self.multis.entry(batch.0).or_default();
+        if !bodies.iter().any(|b| b.covers(&bundle.body.keys)) {
+            bodies.retain(|b| !bundle.body.covers(&b.keys));
+            if bodies.len() >= MAX_MULTIS_PER_BATCH {
+                bodies.remove(0);
+            }
+            bodies.push(bundle.body.clone());
+        }
+        self.evict_to_cap();
+        self.stats.multis_admitted += 1;
+    }
+
+    /// Try to answer a batched read for `keys` from cache: the newest
+    /// admitted batch passing the LCE and timestamp floors holding a
+    /// body that **covers** every requested key. The replayed bundle
+    /// carries the cached (possibly superset) body — the client
+    /// verifies the proven set and picks out its keys, so superset
+    /// reuse costs bandwidth, never correctness. Replaying shares the
+    /// body's wire buffer; no proof or encoding work happens here.
+    pub fn replay_multi(
+        &mut self,
+        keys: &[Key],
+        min_lce: Epoch,
+        min_timestamp: SimTime,
+    ) -> Option<MultiProofBundle<H>> {
+        for batch in self.passing_batches(min_lce, min_timestamp) {
+            let Some(bundle) = self.multi_at(batch, keys) else {
+                continue;
+            };
+            return Some(bundle);
+        }
+        self.stats.multi_passes += 1;
+        None
+    }
+
+    /// [`ReplayCache::replay_multi`] **pinned at exactly `batch`** (an
+    /// [`crate::SnapshotPolicy::AtBatch`] query): no other batch is an
+    /// acceptable substitute.
+    pub fn replay_multi_at(
+        &mut self,
+        keys: &[Key],
+        batch: BatchNum,
+    ) -> Option<MultiProofBundle<H>> {
+        let bundle = self.multi_at(batch.0, keys);
+        if bundle.is_none() {
+            self.stats.multi_passes += 1;
+        }
+        bundle
+    }
+
+    /// The tightest cached body at `batch` covering `keys`, as a full
+    /// bundle; bumps the replay counters on success.
+    fn multi_at(&mut self, batch: u64, keys: &[Key]) -> Option<MultiProofBundle<H>> {
+        let body = self
+            .multis
+            .get(&batch)?
+            .iter()
+            .filter(|b| b.covers(keys))
+            .min_by_key(|b| b.keys.len())?
+            .clone();
+        self.stats.multis_replayed += 1;
+        if body.keys.len() != keys.len() {
+            self.stats.multis_covered_by_superset += 1;
+        }
+        let (commitment, cert) = self.commitments[&batch].clone();
+        Some(MultiProofBundle {
+            commitment,
+            cert,
+            body,
+        })
+    }
+
+    /// Cached multiproof bodies across live batches (diagnostics).
+    pub fn multi_body_count(&self) -> usize {
+        self.multis.values().map(|b| b.len()).sum()
     }
 
     /// Cached scan windows across live batches (diagnostics).
@@ -392,5 +524,160 @@ impl<H: BatchCommitment + Clone> ReplayCache<H> {
     /// commitments are retained).
     pub fn fragment_count(&self) -> usize {
         self.reads.len()
+    }
+}
+
+/// Shards an edge's per-partition replay caches by cluster hash.
+///
+/// An edge node fronting many partitions used to keep one flat
+/// partition → cache map; every request touched the same structure. In
+/// a real deployment that map is a lock, and the read path a contended
+/// hot path — so the caches are split into [`ShardedReplayCache::shard_count`]
+/// independent shards, a partition's cache living in the shard its
+/// cluster id hashes to. Requests for different shards never touch the
+/// same state; within a shard, partitions still get fully separate
+/// [`ReplayCache`]s (batch numbers are per-partition — sharing one
+/// cache across partitions would collide their batch spaces).
+#[derive(Clone, Debug)]
+pub struct ShardedReplayCache<H> {
+    shards: Vec<HashMap<ClusterId, ReplayCache<H>>>,
+    read_capacity: usize,
+    max_batches: usize,
+}
+
+/// Default shard count: a power of two comfortably above the simulated
+/// partition counts, so partitions spread evenly.
+pub const DEFAULT_SHARD_COUNT: usize = 8;
+
+impl<H: BatchCommitment + Clone> ShardedReplayCache<H> {
+    /// `shards` independent shards; each partition's cache is created
+    /// on first touch with `read_capacity` fragments over
+    /// `max_batches` batches.
+    pub fn new(shards: usize, read_capacity: usize, max_batches: usize) -> Self {
+        ShardedReplayCache {
+            shards: (0..shards.max(1)).map(|_| HashMap::new()).collect(),
+            read_capacity,
+            max_batches,
+        }
+    }
+
+    /// Which shard `cluster` lives in (Fibonacci hashing of the id —
+    /// consecutive cluster ids land in different shards).
+    pub fn shard_of(&self, cluster: ClusterId) -> usize {
+        let h = (cluster.as_usize() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize % self.shards.len()
+    }
+
+    /// The partition's cache, created on first touch.
+    pub fn cache_for(&mut self, cluster: ClusterId) -> &mut ReplayCache<H> {
+        let shard = self.shard_of(cluster);
+        let (capacity, batches) = (self.read_capacity, self.max_batches);
+        self.shards[shard]
+            .entry(cluster)
+            .or_insert_with(|| ReplayCache::new(capacity, batches))
+    }
+
+    /// The partition's cache, if it has ever been touched.
+    pub fn get(&self, cluster: ClusterId) -> Option<&ReplayCache<H>> {
+        self.shards[self.shard_of(cluster)].get(&cluster)
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Partitions with a live cache.
+    pub fn partition_count(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Partition caches per shard (diagnostics: how even the spread is).
+    pub fn shard_loads(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.len()).collect()
+    }
+
+    /// Every live partition cache, in unspecified order (coverage
+    /// summaries sort on their own).
+    pub fn iter(&self) -> impl Iterator<Item = (ClusterId, &ReplayCache<H>)> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.iter().map(|(c, cache)| (*c, cache)))
+    }
+
+    /// Replay counters aggregated across every shard.
+    pub fn stats(&self) -> ReplayStats {
+        let mut total = ReplayStats::default();
+        for shard in &self.shards {
+            for cache in shard.values() {
+                total.absorb(&cache.stats);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Header;
+
+    impl BatchCommitment for Header {
+        fn cluster(&self) -> ClusterId {
+            ClusterId(0)
+        }
+        fn batch(&self) -> BatchNum {
+            BatchNum(0)
+        }
+        fn merkle_root(&self) -> &transedge_crypto::Digest {
+            unreachable!("sharding tests never verify")
+        }
+        fn lce(&self) -> Epoch {
+            Epoch::NONE
+        }
+        fn timestamp(&self) -> SimTime {
+            SimTime::ZERO
+        }
+        fn certified_digest(&self) -> transedge_crypto::Digest {
+            unreachable!("sharding tests never verify")
+        }
+    }
+
+    #[test]
+    fn shards_spread_partitions_and_isolate_caches() {
+        let mut sharded: ShardedReplayCache<Header> = ShardedReplayCache::new(8, 64, 4);
+        for c in 0..16u16 {
+            sharded.cache_for(ClusterId(c));
+        }
+        assert_eq!(sharded.partition_count(), 16);
+        // Fibonacci hashing spreads 16 consecutive ids over all 8
+        // shards, none empty and none hoarding.
+        let loads = sharded.shard_loads();
+        assert_eq!(loads.iter().sum::<usize>(), 16);
+        assert!(loads.iter().all(|&l| l > 0), "no empty shard: {loads:?}");
+        assert!(loads.iter().all(|&l| l <= 4), "no hot shard: {loads:?}");
+        // Same cluster → same shard and the same cache on every touch.
+        assert_eq!(
+            sharded.shard_of(ClusterId(3)),
+            sharded.shard_of(ClusterId(3))
+        );
+        sharded.cache_for(ClusterId(3)).stats.passes += 1;
+        assert_eq!(sharded.get(ClusterId(3)).unwrap().stats.passes, 1);
+        assert_eq!(sharded.get(ClusterId(4)).unwrap().stats.passes, 0);
+        assert_eq!(sharded.stats().passes, 1);
+    }
+
+    #[test]
+    fn sharded_stats_aggregate_all_partitions() {
+        let mut sharded: ShardedReplayCache<Header> = ShardedReplayCache::new(4, 64, 4);
+        for c in 0..6u16 {
+            let cache = sharded.cache_for(ClusterId(c));
+            cache.stats.replayed += u64::from(c);
+            cache.stats.multis_replayed += 1;
+        }
+        let total = sharded.stats();
+        assert_eq!(total.replayed, (0..6).sum::<u64>());
+        assert_eq!(total.multis_replayed, 6);
     }
 }

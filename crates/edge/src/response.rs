@@ -1,9 +1,10 @@
 //! Proof-carrying response types: what an untrusted node hands a
 //! client, and the commitment interface the verifier checks it against.
 
-use transedge_common::{BatchNum, ClusterId, Epoch, Key, SimTime, Value};
+use bytes::Bytes;
+use transedge_common::{BatchNum, ClusterId, Encode, Epoch, Key, SimTime, Value, WireWriter};
 use transedge_consensus::Certificate;
-use transedge_crypto::{Digest, MerkleProof, RangeProof, ScanRange};
+use transedge_crypto::{Digest, MerkleProof, MultiProof, RangeProof, ScanRange};
 
 /// One key's proof-carrying answer in a snapshot read: the value (or
 /// `None` for a proven-absent key) and its Merkle (non-)inclusion proof
@@ -56,6 +57,97 @@ impl<H: BatchCommitment> ProofBundle<H> {
     /// The bundle's answer for `key`, if present.
     pub fn read_for(&self, key: &Key) -> Option<&ProvenRead> {
         self.reads.iter().find(|r| &r.key == key)
+    }
+}
+
+/// A batch of point reads proven by **one** Merkle multiproof: the
+/// proven key set (sorted, deduplicated), one value slot per key
+/// (`None` = proven absent), and the deduplicated sibling set that
+/// authenticates all of them against the snapshot root at once.
+///
+/// The body is encoded exactly once, at construction, into a shared
+/// [`Bytes`] buffer. Cloning the body — to cache it, replay it, or
+/// serve a subset request from a cached superset — is a refcount bump
+/// on that buffer, not a re-serialisation: the zero-copy hot path the
+/// edge tier's throughput mode rides.
+#[derive(Clone, Debug)]
+pub struct MultiProofBody {
+    /// The proven keys, ascending and unique.
+    pub keys: Vec<Key>,
+    /// `values[i]` answers `keys[i]`; `None` is a proven absence.
+    pub values: Vec<Option<Value>>,
+    /// One multiproof covering every key in `keys`.
+    pub proof: MultiProof,
+    /// The canonical wire encoding, shared by all clones.
+    wire: Bytes,
+}
+
+impl MultiProofBody {
+    /// Build a body and encode it once. `keys` must be sorted and
+    /// deduplicated, with one value slot per key.
+    pub fn new(keys: Vec<Key>, values: Vec<Option<Value>>, proof: MultiProof) -> Self {
+        assert_eq!(keys.len(), values.len(), "one value slot per key");
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys sorted, unique");
+        let mut w = WireWriter::with_capacity(64);
+        w.put_seq(&keys);
+        w.put_seq(&values);
+        proof.encode(&mut w);
+        let wire = Bytes::from(w.into_bytes());
+        MultiProofBody {
+            keys,
+            values,
+            proof,
+            wire,
+        }
+    }
+
+    /// The shared wire image. Cloning the returned handle (or the whole
+    /// body) shares the allocation — replaying a cached body costs a
+    /// refcount bump.
+    pub fn wire_bytes(&self) -> &Bytes {
+        &self.wire
+    }
+
+    /// Exact wire size, computed structurally (equals
+    /// `wire_bytes().len()`).
+    pub fn encoded_len(&self) -> usize {
+        let keys = 4 + self.keys.iter().map(|k| 4 + k.len()).sum::<usize>();
+        let values = 4 + self
+            .values
+            .iter()
+            .map(|v| 1 + v.as_ref().map_or(0, |v| 4 + v.len()))
+            .sum::<usize>();
+        keys + values + self.proof.encoded_len()
+    }
+
+    /// Does this body prove every key in `asked`? (Superset replay:
+    /// a cached body can answer any subset of its proven keys.)
+    pub fn covers(&self, asked: &[Key]) -> bool {
+        asked.iter().all(|k| self.keys.binary_search(k).is_ok())
+    }
+
+    /// The proven value slot for `key`, if this body covers it.
+    pub fn value_for(&self, key: &Key) -> Option<&Option<Value>> {
+        self.keys.binary_search(key).ok().map(|i| &self.values[i])
+    }
+}
+
+/// A complete multiproof response for one partition: the certified
+/// commitment, its consensus certificate, and a [`MultiProofBody`]
+/// proving every requested key in one pass. The batched analogue of
+/// [`ProofBundle`] — one certificate check plus one joint root
+/// recomputation verifies the whole key set.
+#[derive(Clone, Debug)]
+pub struct MultiProofBundle<H> {
+    pub commitment: H,
+    pub cert: Certificate,
+    pub body: MultiProofBody,
+}
+
+impl<H: BatchCommitment> MultiProofBundle<H> {
+    /// Batch this bundle snapshots.
+    pub fn batch(&self) -> BatchNum {
+        self.commitment.batch()
     }
 }
 

@@ -26,10 +26,10 @@ use std::collections::HashMap;
 use transedge_common::{BatchNum, ClusterId, Epoch, Key, SimDuration, SimTime, Value};
 use transedge_consensus::Certificate;
 use transedge_crypto::merkle::{value_digest, verify_proof, Verified};
-use transedge_crypto::{sha256, verify_range_proof, KeyStore, ScanRange};
+use transedge_crypto::{sha256, verify_multi_proof, verify_range_proof, KeyStore, ScanRange};
 
 use crate::query::{PageToken, QueryAnswer, QueryShape, ReadQuery, ReadResponse};
-use crate::response::{BatchCommitment, ProofBundle, ProvenRead, ScanBundle};
+use crate::response::{BatchCommitment, MultiProofBundle, ProofBundle, ProvenRead, ScanBundle};
 
 /// Verification parameters; must match the deployment's node
 /// configuration.
@@ -118,6 +118,18 @@ pub enum ReadRejection {
     /// partition's pagination from page one and must not demote the
     /// server. The only `ReadRejection` that names honest behaviour.
     PrefixDiverged,
+    /// A requested key is not in a multiproof response's proven key
+    /// set — the multiproof analogue of [`ReadRejection::MissingKey`]:
+    /// a server cannot silently drop one key of a batched read, because
+    /// the proven set is checked against the request before anything
+    /// else.
+    MultiProofKeyMissing(Key),
+    /// A multiproof body is malformed or its joint proof does not
+    /// verify against the certified root: unsorted/duplicated proven
+    /// keys, a value slot count that disagrees with the key count, a
+    /// dropped or substituted sibling, a spliced bucket — every
+    /// single-element mutation of the body lands here.
+    BadMultiProof,
 }
 
 /// The verifier. Stateless; cheap to copy into clients.
@@ -147,6 +159,26 @@ impl ReadVerifier {
         min_lce: Epoch,
         now: SimTime,
     ) -> Result<Vec<(Key, Option<Value>)>, ReadRejection> {
+        // 1–4. Commitment chained to a certificate, fresh, above floor.
+        self.check_commitment(keys, expected_cluster, commitment, cert, min_lce, now)?;
+        // 5. Every requested key answered with a verifying proof.
+        self.verify_reads(commitment, expected_keys, reads)
+    }
+
+    /// Steps 1–4 of every proof chain: the commitment names the
+    /// expected partition, its recomputed digest is covered by an `f+1`
+    /// certificate, its timestamp is inside the freshness window (both
+    /// skew directions), and its LCE reaches the dependency floor.
+    /// Shared by the point, multiproof, and scan chains.
+    fn check_commitment<H: BatchCommitment>(
+        &self,
+        keys: &KeyStore,
+        expected_cluster: ClusterId,
+        commitment: &H,
+        cert: &Certificate,
+        min_lce: Epoch,
+        now: SimTime,
+    ) -> Result<(), ReadRejection> {
         // 1. Right partition.
         if commitment.cluster() != expected_cluster {
             return Err(ReadRejection::WrongCluster {
@@ -176,8 +208,83 @@ impl ReadVerifier {
                 lce: commitment.lce(),
             });
         }
-        // 5. Every requested key answered with a verifying proof.
-        self.verify_reads(commitment, expected_keys, reads)
+        Ok(())
+    }
+
+    /// Verify a batched multiproof response end to end: the commitment
+    /// chain (steps 1–4 of [`ReadVerifier::verify`]), then
+    ///
+    /// 5. every requested key is in the proven key set (a cached
+    ///    superset is fine; a dropped key is
+    ///    [`ReadRejection::MultiProofKeyMissing`]);
+    /// 6. the body is well-formed (sorted unique keys, one value slot
+    ///    per key) and its **one** multiproof verifies against the
+    ///    certified root, authenticating every proven key in a single
+    ///    root recomputation;
+    /// 7. every carried value — requested or not — hashes to its proven
+    ///    digest (`Some` ↔ proven present, `None` ↔ proven absent), so
+    ///    a tampered slot anywhere in a replayed superset is caught.
+    ///
+    /// On success returns the verified `(key, value)` pairs in
+    /// `expected_keys` order.
+    pub fn verify_multi<H: BatchCommitment>(
+        &self,
+        keys: &KeyStore,
+        expected_cluster: ClusterId,
+        bundle: &MultiProofBundle<H>,
+        expected_keys: &[Key],
+        min_lce: Epoch,
+        now: SimTime,
+    ) -> Result<Vec<(Key, Option<Value>)>, ReadRejection> {
+        self.check_commitment(
+            keys,
+            expected_cluster,
+            &bundle.commitment,
+            &bundle.cert,
+            min_lce,
+            now,
+        )?;
+        let body = &bundle.body;
+        // 5. Proven set covers the request. Checked before the proof:
+        // a dropped requested key must be reported as the omission it
+        // is, not as a generic malformed proof.
+        if !body.keys.windows(2).all(|w| w[0] < w[1]) {
+            return Err(ReadRejection::BadMultiProof);
+        }
+        for key in expected_keys {
+            if body.keys.binary_search(key).is_err() {
+                return Err(ReadRejection::MultiProofKeyMissing(key.clone()));
+            }
+        }
+        // 6. One joint proof for the whole proven set.
+        if body.values.len() != body.keys.len() {
+            return Err(ReadRejection::BadMultiProof);
+        }
+        let verdicts = verify_multi_proof(
+            bundle.commitment.merkle_root(),
+            self.params.tree_depth,
+            &body.keys,
+            &body.proof,
+        )
+        .map_err(|_| ReadRejection::BadMultiProof)?;
+        // 7. Every value slot agrees with its proven verdict.
+        for ((key, value), verdict) in body.keys.iter().zip(&body.values).zip(&verdicts) {
+            match (verdict, value) {
+                (Verified::Present(digest), Some(v)) if value_digest(v) == *digest => {}
+                (Verified::Present(_), _) => return Err(ReadRejection::ValueMismatch(key.clone())),
+                (Verified::Absent, None) => {}
+                (Verified::Absent, Some(_)) => {
+                    return Err(ReadRejection::PhantomValue(key.clone()))
+                }
+            }
+        }
+        Ok(expected_keys
+            .iter()
+            .map(|key| {
+                let i = body.keys.binary_search(key).expect("checked in step 5");
+                (key.clone(), body.values[i].clone())
+            })
+            .collect())
     }
 
     /// Step 5 of the chain on its own: every key in `expected_keys`
@@ -314,35 +421,15 @@ impl ReadVerifier {
         now: SimTime,
     ) -> Result<Vec<transedge_crypto::merkle::BucketEntry>, ReadRejection> {
         let commitment = &bundle.commitment;
-        // 1. Right partition.
-        if commitment.cluster() != expected_cluster {
-            return Err(ReadRejection::WrongCluster {
-                expected: expected_cluster,
-                got: commitment.cluster(),
-            });
-        }
-        // 2. Certificate chains the commitment to f+1 replicas.
-        let digest = commitment.certified_digest();
-        if bundle.cert.cluster != expected_cluster
-            || bundle.cert.slot != commitment.batch()
-            || bundle.cert.digest != digest
-            || bundle.cert.verify(keys, self.params.quorum).is_err()
-        {
-            return Err(ReadRejection::BadCertificate);
-        }
-        // 3. Freshness, in either direction of clock skew.
-        let ts = commitment.timestamp();
-        let skew = now.saturating_since(ts).max(ts.saturating_since(now));
-        if skew > self.params.freshness_window {
-            return Err(ReadRejection::StaleTimestamp);
-        }
-        // 4. Dependency floor.
-        if commitment.lce() < min_lce {
-            return Err(ReadRejection::StaleSnapshot {
-                required: min_lce,
-                lce: commitment.lce(),
-            });
-        }
+        // 1–4. Commitment chained to a certificate, fresh, above floor.
+        self.check_commitment(
+            keys,
+            expected_cluster,
+            commitment,
+            &bundle.cert,
+            min_lce,
+            now,
+        )?;
         // 5. Coverage: the proven window must contain the request.
         let proven_range = bundle.scan.range;
         if !proven_range.covers(requested) {
@@ -523,6 +610,23 @@ impl ReadVerifier {
                 if let Some(pinned) = query.pinned_batch() {
                     // Non-empty: verify_assembled rejects empty assemblies.
                     let got = sections[0].batch();
+                    if got != pinned {
+                        return Err(ReadRejection::SnapshotPinMismatch { pinned, got });
+                    }
+                }
+                Ok(QueryAnswer::Values(values))
+            }
+            (QueryShape::Point { keys: expected }, ReadResponse::Multi { bundle }) => {
+                let values = self.verify_multi(
+                    keys,
+                    expected_cluster,
+                    bundle.as_ref(),
+                    expected,
+                    min_lce,
+                    now,
+                )?;
+                if let Some(pinned) = query.pinned_batch() {
+                    let got = bundle.batch();
                     if got != pinned {
                         return Err(ReadRejection::SnapshotPinMismatch { pinned, got });
                     }

@@ -100,6 +100,10 @@ impl SnapshotSource for Partition {
     fn prove_range(&self, range: &ScanRange, batch: BatchNum) -> RangeProof {
         self.tree.prove_range(range, batch.0)
     }
+
+    fn prove_multi(&self, keys: &[Key], batch: BatchNum) -> transedge_crypto::MultiProof {
+        self.tree.prove_multi(keys, batch.0)
+    }
 }
 
 impl Partition {

@@ -126,6 +126,37 @@ impl WorkloadSpec {
         }
     }
 
+    /// Throughput mode: 100% *single-partition* unified point queries
+    /// of `keys` keys each. With `keys` at or above the serving tier's
+    /// multiproof threshold every request is answered by one coalesced
+    /// Merkle multiproof, which is what the ops/sec benches measure.
+    pub fn throughput_points(topo: ClusterTopology, keys: usize) -> Self {
+        Self::scatter_points(topo, keys, 1)
+    }
+
+    /// Saturating open-loop scripts: `clients` parallel actors, each
+    /// holding `ops_per_client` back-to-back operations drawn from this
+    /// spec under a distinct derived seed. The simulator's actors are
+    /// closed-loop (one op in flight each), so offered load is set by
+    /// fleet width, not timers — a wide enough fleet keeps the serving
+    /// tier saturated regardless of individual latencies, which is the
+    /// open-loop approximation the throughput bench drives.
+    pub fn generate_fleet(
+        &self,
+        clients: usize,
+        ops_per_client: usize,
+        seed: u64,
+    ) -> Vec<Vec<ClientOp>> {
+        (0..clients)
+            .map(|c| {
+                self.generate(
+                    ops_per_client,
+                    seed ^ ((c as u64 + 1).wrapping_mul(0x9E37_79B9)),
+                )
+            })
+            .collect()
+    }
+
     /// 100% verified range scans of `scan_buckets`-wide windows, spread
     /// over all partitions.
     pub fn scans(topo: ClusterTopology, scan_buckets: u64) -> Self {

@@ -22,7 +22,7 @@ fi
 # schema_version pins the shape below; bump both together.
 jq -e '
   .figure == "fig04_rot_latency"
-  and .schema_version == 4
+  and .schema_version == 5
   and (.clusters | length == 5)
   and ([.clusters[]
         | select(.twopc_ms > 0 and .transedge_ms > 0
@@ -59,6 +59,17 @@ jq -e '
   and (.directory.forwarded_hit_rate >= 0 and .directory.forwarded_hit_rate <= 1)
   and (.directory.single_contact_ms > 0)
   and (.directory.fanout_ms > 0)
+  and (.directory.gather_cert_checks_shared >= 0)
+  and (.throughput.ops > 0)
+  and (.throughput.ops_per_sec | type == "number" and isnormal and . > 0)
+  and (.throughput.window_s > 0)
+  and (.throughput.p95_ms > 0)
+  and (.throughput.p99_ms >= .throughput.p95_ms)
+  and (.throughput.multiproof_ratio > 0 and .throughput.multiproof_ratio <= 1)
+  and (.throughput.bytes_per_read > 0)
+  and (.throughput.multis_accepted >= 1)
+  and (.throughput.rot_multi_served >= 1)
+  and (.throughput.cache_shards >= 1)
 ' "$BENCH_JSON" >/dev/null
 
-echo "ok: $BENCH_JSON matches bench schema v4"
+echo "ok: $BENCH_JSON matches bench schema v5"

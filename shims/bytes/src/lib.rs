@@ -3,36 +3,102 @@
 //! The build environment has no network access to crates.io, so this
 //! shim provides the one thing the workspace needs from `bytes`: a
 //! cheaply cloneable, immutable byte buffer whose clones share a single
-//! allocation. Only the API surface actually used by the workspace is
-//! implemented.
+//! allocation. Views (`slice`, `split_to`) carry an offset into the
+//! shared allocation instead of copying, so handing a sub-range to a
+//! consumer is a refcount bump. Only the API surface actually used by
+//! the workspace is implemented.
 
 use std::borrow::Borrow;
 use std::fmt;
-use std::ops::Deref;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, RangeBounds};
 use std::sync::Arc;
 
 /// An immutable, reference-counted byte buffer. `clone` is O(1) and
-/// shares the underlying allocation.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct Bytes(Arc<[u8]>);
+/// shares the underlying allocation; `slice`/`split_to` produce views
+/// into the same allocation without copying.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes(Arc::from(&[] as &[u8]))
+        Bytes {
+            data: Arc::from(&[] as &[u8]),
+            start: 0,
+            end: 0,
+        }
     }
 
     /// Copy `data` into a fresh shared buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Arc::from(data))
+        Bytes {
+            start: 0,
+            end: data.len(),
+            data: Arc::from(data),
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.end - self.start
     }
 
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.start == self.end
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// A view of `range` within this buffer, sharing the allocation.
+    /// Panics if the range is out of bounds (mirrors `bytes::Bytes`).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        use std::ops::Bound;
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            begin <= end && end <= len,
+            "slice {begin}..{end} out of bounds for length {len}"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    /// Split off and return the first `at` bytes; `self` advances to
+    /// the remainder. Both halves keep sharing the one allocation.
+    /// Panics if `at > len` (mirrors `bytes::Bytes`).
+    pub fn split_to(&mut self, at: usize) -> Self {
+        assert!(at <= self.len(), "split_to {at} out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
     }
 }
 
@@ -40,26 +106,55 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
+    }
+}
+
+// Comparisons and hashing are by *content* (the visible window), not
+// by allocation identity — two views over different allocations with
+// equal bytes are equal.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for b in self.0.iter() {
+        for b in self.as_slice() {
             write!(f, "{b:02x}")?;
         }
         write!(f, "\"")
@@ -68,7 +163,11 @@ impl fmt::Debug for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::from(v.into_boxed_slice()))
+        Bytes {
+            start: 0,
+            end: v.len(),
+            data: Arc::from(v.into_boxed_slice()),
+        }
     }
 }
 
@@ -86,7 +185,11 @@ impl From<&str> for Bytes {
 
 impl From<Box<[u8]>> for Bytes {
     fn from(v: Box<[u8]>) -> Self {
-        Bytes(Arc::from(v))
+        Bytes {
+            start: 0,
+            end: v.len(),
+            data: Arc::from(v),
+        }
     }
 }
 
@@ -118,5 +221,64 @@ mod tests {
     fn equality_is_by_content() {
         assert_eq!(Bytes::copy_from_slice(b"ab"), Bytes::from(vec![b'a', b'b']));
         assert!(Bytes::copy_from_slice(b"a") < Bytes::copy_from_slice(b"b"));
+        // A view and a fresh copy with the same bytes are equal.
+        let whole = Bytes::copy_from_slice(b"xabcx");
+        assert_eq!(whole.slice(1..4), Bytes::copy_from_slice(b"abc"));
+    }
+
+    #[test]
+    fn slice_aliases_the_parent_allocation() {
+        let a = Bytes::copy_from_slice(b"hello world");
+        let view = a.slice(6..);
+        assert_eq!(&*view, b"world");
+        // Zero-copy: the view points into the parent's allocation.
+        assert_eq!(view.as_ptr(), unsafe { a.as_ptr().add(6) });
+        assert_eq!(a.slice(..5).as_ptr(), a.as_ptr());
+        // Slicing a slice composes offsets.
+        let inner = a.slice(6..).slice(1..3);
+        assert_eq!(&*inner, b"or");
+        assert_eq!(inner.as_ptr(), unsafe { a.as_ptr().add(7) });
+        // Full-range and empty slices behave.
+        assert_eq!(a.slice(..), a);
+        assert!(a.slice(3..3).is_empty());
+    }
+
+    #[test]
+    fn split_to_shares_and_advances() {
+        let mut a = Bytes::copy_from_slice(b"headtail");
+        let base = a.as_ptr();
+        let head = a.split_to(4);
+        assert_eq!(&*head, b"head");
+        assert_eq!(&*a, b"tail");
+        assert_eq!(head.as_ptr(), base);
+        assert_eq!(a.as_ptr(), unsafe { base.add(4) });
+    }
+
+    #[test]
+    fn refcount_tracks_views_not_copies() {
+        let a = Bytes::copy_from_slice(b"shared");
+        assert_eq!(Arc::strong_count(&a.data), 1);
+        let view = a.slice(1..3);
+        let clone = a.clone();
+        assert_eq!(Arc::strong_count(&a.data), 3);
+        // An independent copy does not join the allocation.
+        let copy = Bytes::copy_from_slice(&a);
+        assert_eq!(Arc::strong_count(&a.data), 3);
+        assert_eq!(copy, a);
+        drop(view);
+        drop(clone);
+        assert_eq!(Arc::strong_count(&a.data), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::copy_from_slice(b"ab").slice(1..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn split_to_out_of_bounds_panics() {
+        Bytes::copy_from_slice(b"ab").split_to(3);
     }
 }

@@ -395,6 +395,72 @@ fn byzantine_edge_is_demoted_and_traffic_fails_over() {
     assert!(dep.samples().iter().all(|s| s.committed));
 }
 
+/// Throughput mode under attack: requests wide enough for the Merkle
+/// multiproof fast path (>= `MULTI_MIN_KEYS` keys) flow through an
+/// edge that drops one proven key from every multiproof body it
+/// relays. The client's `verify_multi` rejects each omission with
+/// `MultiProofKeyMissing` — cryptographic evidence — the edge is
+/// demoted, traffic fails over, and every read still completes with
+/// correct values.
+#[test]
+fn multiproof_omitting_edge_is_rejected_and_demoted() {
+    let mut config = DeploymentConfig::for_testing();
+    config.client.record_results = true;
+    let byz = EdgeId::new(ClusterId(0), 0);
+    let honest = EdgeId::new(ClusterId(0), 1);
+    config.edge = EdgePlan::honest(2).with_byzantine(byz, EdgeBehavior::OmitFromMulti);
+    let topo = config.topo.clone();
+    let k0 = keys_on(
+        &topo,
+        ClusterId(0),
+        transedge::core::node::MULTI_MIN_KEYS + 1,
+    );
+    let ops = 20usize;
+    let script: Vec<ClientOp> = (0..ops)
+        .map(|_| ClientOp::ReadOnly { keys: k0.clone() })
+        .collect();
+    let mut dep = Deployment::build(config, vec![script]);
+    dep.run_until_done(SimTime(600_000_000));
+
+    let client = dep.client(dep.client_ids[0]);
+    // The multiproof path carried the workload, and the omissions were
+    // seen and rejected.
+    assert!(
+        client.stats.multis_accepted >= 1,
+        "multiproof answers must carry this workload"
+    );
+    assert!(client.stats.verification_failures >= 1);
+    let health = client
+        .edge_selector
+        .health(ClusterId(0), transedge::common::NodeId::Edge(byz))
+        .expect("byzantine edge is a registered target");
+    assert!(
+        health.demotions >= 1,
+        "the omitting edge must be demoted (rejections {})",
+        health.total_rejections
+    );
+    // Traffic failed over to the honest edge.
+    let byz_node = dep.edge_node(byz);
+    let honest_node = dep.edge_node(honest);
+    assert!(
+        honest_node.stats.requests > byz_node.stats.requests,
+        "the honest edge must take over (honest {}, byzantine {})",
+        honest_node.stats.requests,
+        byz_node.stats.requests
+    );
+    // Correctness never degraded.
+    assert_eq!(client.stats.gave_up, 0);
+    assert_eq!(client.rot_results.len(), ops);
+    let expected = dep.data.clone();
+    for rot in &client.rot_results {
+        for (key, value) in &rot.values {
+            let want = expected.iter().find(|(x, _)| x == key).map(|(_, v)| v);
+            assert_eq!(value.as_ref(), want);
+        }
+    }
+    assert!(dep.samples().iter().all(|s| s.committed));
+}
+
 /// Commit-freedom: serving read-only transactions generates no
 /// consensus traffic — batch production is driven by writes only.
 #[test]
