@@ -184,6 +184,7 @@ impl AugustusClient {
             end: ctx.now(),
             committed,
             rot_round2: false,
+            rot_warm: false,
             round1_latency: None,
         });
         self.start_next_op(ctx);

@@ -12,11 +12,11 @@
 use std::fmt::Write as _;
 
 use transedge_bench::support::*;
-use transedge_common::{ClusterId, EdgeId, Key, SimDuration, SimTime};
+use transedge_common::{ClusterId, EdgeId, Key, SimDuration, SimTime, Value};
 use transedge_core::client::ClientOp;
 use transedge_core::edge_node::EdgeBehavior;
 use transedge_core::metrics::{summarize, OpKind};
-use transedge_core::setup::{Deployment, EdgePlan};
+use transedge_core::setup::{ClientPlan, Deployment, EdgePlan};
 use transedge_crypto::ScanRange;
 use transedge_workload::WorkloadSpec;
 
@@ -279,7 +279,7 @@ fn edge_paginated_scans(scale: Scale) -> PaginationResult {
         .filter(|s| s.kind == OpKind::RangeScan)
         .map(|s| s.latency().as_micros() as f64 / 1_000.0)
         .collect();
-    let m = client.query_metrics.paginated;
+    let m = client.metrics().paginated();
     let edge = dep.edge_node(EdgeId::new(ClusterId(0), 0));
     PaginationResult {
         queries,
@@ -352,7 +352,7 @@ fn edge_scatter_gather(scale: Scale) -> ScatterResult {
         .filter(|s| s.kind == OpKind::RangeScan)
         .map(|s| s.latency().as_micros() as f64 / 1_000.0)
         .collect();
-    let m = client.query_metrics.scatter;
+    let m = client.metrics().scatter();
     ScatterResult {
         queries,
         partitions: clusters.len() as u64,
@@ -413,7 +413,7 @@ fn scatter_contact_run(
         let client = dep.client(*id);
         assert_eq!(client.stats.verification_failures, 0);
         gathers_accepted += client.stats.gathers_accepted;
-        cert_checks_shared += client.stats.cert_checks_shared;
+        cert_checks_shared += client.metrics().cert_checks_shared();
         lats.extend(
             client
                 .samples
@@ -573,8 +573,8 @@ fn edge_throughput(scale: Scale) -> ThroughputResult {
             client.stats.verification_failures, 0,
             "honest throughput run must verify everything"
         );
-        multis_accepted += client.stats.multis_accepted;
-        read_bytes += client.stats.read_result_bytes;
+        multis_accepted += client.metrics().multis_accepted();
+        read_bytes += client.metrics().read_result_bytes();
     }
     let samples: Vec<_> = dep
         .samples()
@@ -621,6 +621,150 @@ fn edge_throughput(scale: Scale) -> ThroughputResult {
         multis_from_cache,
         cache_shards,
         cached_partitions,
+    }
+}
+
+/// One certified-delta-stream run (PR 7): writers keep cross-partition
+/// commits flowing while a reader repeatedly snapshots two warm keys
+/// plus one hot, push-invalidated key — the stale-cache-vs-fresh-CD
+/// tension that forces round-2 `MinEpoch` fetches on unsubscribed
+/// clients. With `subscribe` the reader requests verified feed
+/// attachments and upgrades its snapshot views to a consistent cut of
+/// the feed heads instead.
+struct PushRun {
+    rots: u64,
+    warm: u64,
+    round2: u64,
+    freshness_upgrades: u64,
+    round2_skipped: u64,
+    deltas_received: u64,
+    freshness_attached: u64,
+    window_s: f64,
+    mean_ms: f64,
+}
+
+fn push_run(scale: Scale, subscribe: bool, feed: SimDuration) -> PushRun {
+    let mut config = experiment_config(scale);
+    config.client.record_results = true;
+    config.edge = EdgePlan::honest(1).with_feed(feed);
+    let topo = config.topo.clone();
+    let pick_keys = |cluster: ClusterId| -> Vec<Key> {
+        (0u32..config.n_keys.min(10_000))
+            .map(Key::from_u32)
+            .filter(|k| topo.partition_of(k) == cluster)
+            .take(8)
+            .collect()
+    };
+    let k0 = pick_keys(ClusterId(0));
+    let k1 = pick_keys(ClusterId(1));
+    let writes = scale.pick(15, 60);
+    let mut plans: Vec<ClientPlan> = (0..3usize)
+        .map(|c| {
+            ClientPlan::ops(
+                (0..writes)
+                    .map(|i| ClientOp::ReadWrite {
+                        reads: vec![],
+                        writes: vec![
+                            (k0[2 + (c + i) % 6].clone(), Value::from("w0")),
+                            (k1[2 + (c + i) % 6].clone(), Value::from("w1")),
+                        ],
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let reads = scale.pick(24, 96);
+    let mut reader_cfg = config.client.clone();
+    reader_cfg.subscribe = subscribe;
+    plans.push(ClientPlan {
+        ops: (0..reads)
+            .map(|_| ClientOp::ReadOnly {
+                keys: vec![k0[0].clone(), k0[1].clone(), k1[2].clone()],
+            })
+            .collect(),
+        config: Some(reader_cfg),
+    });
+    let mut dep = Deployment::build_custom(config, plans);
+    dep.run_until_done(sim_limit());
+
+    let all = dep.samples();
+    let window_s = match (
+        all.iter().map(|s| s.start).min(),
+        all.iter().map(|s| s.end).max(),
+    ) {
+        (Some(a), Some(b)) => b.saturating_since(a).as_secs_f64(),
+        _ => 0.0,
+    };
+    let mut deltas_received = 0u64;
+    let mut freshness_attached = 0u64;
+    for e in &dep.edge_ids {
+        let stats = &dep.edge_node(*e).stats;
+        deltas_received += stats.feed_deltas_received;
+        freshness_attached += stats.freshness_attached;
+        assert_eq!(stats.bad_deltas_dropped, 0, "honest feed run");
+    }
+    let reader = dep.client(*dep.client_ids.last().unwrap());
+    assert_eq!(reader.stats.verification_failures, 0);
+    let rots: Vec<_> = reader
+        .samples
+        .iter()
+        .filter(|s| s.kind == OpKind::ReadOnly && s.committed)
+        .collect();
+    let lats: Vec<f64> = rots
+        .iter()
+        .map(|s| s.latency().as_micros() as f64 / 1_000.0)
+        .collect();
+    PushRun {
+        rots: rots.len() as u64,
+        warm: rots.iter().filter(|s| s.rot_warm).count() as u64,
+        round2: rots.iter().filter(|s| s.rot_round2).count() as u64,
+        freshness_upgrades: reader.metrics().freshness_upgrades(),
+        round2_skipped: reader.metrics().round2_skipped_by_feed(),
+        deltas_received,
+        freshness_attached,
+        window_s,
+        mean_ms: lats.iter().sum::<f64>() / lats.len().max(1) as f64,
+    }
+}
+
+/// The push block: subscribed run vs unsubscribed control on the same
+/// workload and feed cadence.
+struct PushResult {
+    feed_interval_ms: f64,
+    deltas_received: u64,
+    deltas_per_sec: f64,
+    freshness_attached: u64,
+    freshness_upgrades: u64,
+    round2_skipped: u64,
+    warm_reads: u64,
+    warm_ratio: f64,
+    round2_subscribed: u64,
+    round2_control: u64,
+    round2_eliminated: u64,
+    subscribed_ms: f64,
+    control_ms: f64,
+}
+
+fn edge_push_feed(scale: Scale) -> PushResult {
+    let feed = SimDuration::from_millis(50);
+    let sub = push_run(scale, true, feed);
+    let ctrl = push_run(scale, false, feed);
+    assert!(sub.freshness_upgrades > 0, "subscription must be exercised");
+    assert_eq!(ctrl.freshness_upgrades, 0, "control must not subscribe");
+    PushResult {
+        feed_interval_ms: feed.as_micros() as f64 / 1_000.0,
+        deltas_received: sub.deltas_received,
+        deltas_per_sec: sub.deltas_received as f64 / sub.window_s.max(1e-9),
+        freshness_attached: sub.freshness_attached,
+        freshness_upgrades: sub.freshness_upgrades,
+        round2_skipped: sub.round2_skipped,
+        warm_reads: sub.warm,
+        warm_ratio: sub.warm as f64 / sub.rots.max(1) as f64,
+        round2_subscribed: sub.round2,
+        round2_control: ctrl.round2,
+        round2_eliminated: ctrl.round2.saturating_sub(sub.round2),
+        subscribed_ms: sub.mean_ms,
+        control_ms: ctrl.mean_ms,
     }
 }
 
@@ -770,6 +914,20 @@ fn main() {
         format!("{:.0}", tp.bytes_per_read),
     ]);
 
+    // Certified delta streams: push invalidation + subscription tier.
+    println!();
+    println!("  certified delta stream (subscribed vs unsubscribed control):");
+    let push = edge_push_feed(scale);
+    header(&["deltas/s", "warm", "r2 sub", "r2 ctrl", "sub", "ctrl"]);
+    row(&[
+        format!("{:.1}", push.deltas_per_sec),
+        fmt_pct(push.warm_ratio * 100.0),
+        push.round2_subscribed.to_string(),
+        push.round2_control.to_string(),
+        fmt_ms(push.subscribed_ms),
+        fmt_ms(push.control_ms),
+    ]);
+
     paper_reference(&[
         "2PC/BFT:   ~12 ms at 1 cluster, 69–82 ms at 2–5 clusters",
         "TransEdge: ~1–8 ms across 1–5 clusters",
@@ -787,8 +945,10 @@ fn main() {
     // added the `directory` block (gossiped demotion propagation,
     // edge-tier forwarding, single-contact vs fan-out); 5 = added the
     // `throughput` block (multiproof ops/sec mode) and the directory
-    // block's `gather_cert_checks_shared` one-pass-verification delta.
-    json.push_str("  \"schema_version\": 5,\n");
+    // block's `gather_cert_checks_shared` one-pass-verification delta;
+    // 6 = added the `push` block (certified delta stream: deltas/sec,
+    // staleness window, round-2 fetches eliminated by subscription).
+    json.push_str("  \"schema_version\": 6,\n");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -881,7 +1041,7 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"throughput\": {{\"ops\": {}, \"window_s\": {:.4}, \"ops_per_sec\": {:.2}, \"mean_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"multiproof_ratio\": {:.4}, \"bytes_per_read\": {:.2}, \"multis_accepted\": {}, \"rot_multi_served\": {}, \"multis_from_cache\": {}, \"cache_shards\": {}, \"cached_partitions\": {}}}",
+        "  \"throughput\": {{\"ops\": {}, \"window_s\": {:.4}, \"ops_per_sec\": {:.2}, \"mean_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"multiproof_ratio\": {:.4}, \"bytes_per_read\": {:.2}, \"multis_accepted\": {}, \"rot_multi_served\": {}, \"multis_from_cache\": {}, \"cache_shards\": {}, \"cached_partitions\": {}}},",
         tp.ops,
         tp.window_s,
         tp.ops_per_sec,
@@ -895,6 +1055,26 @@ fn main() {
         tp.multis_from_cache,
         tp.cache_shards,
         tp.cached_partitions
+    );
+    // `staleness_window_ms` is the subscription tier's freshness bound:
+    // a warm subscriber's view trails the commit log by at most one
+    // feed interval plus the push's one-way latency.
+    let _ = writeln!(
+        json,
+        "  \"push\": {{\"staleness_window_ms\": {:.2}, \"deltas_received\": {}, \"deltas_per_sec\": {:.2}, \"freshness_attached\": {}, \"freshness_upgrades\": {}, \"round2_skipped_by_feed\": {}, \"warm_reads\": {}, \"warm_ratio\": {:.4}, \"round2_subscribed\": {}, \"round2_control\": {}, \"round2_eliminated\": {}, \"subscribed_ms\": {:.4}, \"control_ms\": {:.4}}}",
+        push.feed_interval_ms,
+        push.deltas_received,
+        push.deltas_per_sec,
+        push.freshness_attached,
+        push.freshness_upgrades,
+        push.round2_skipped,
+        push.warm_reads,
+        push.warm_ratio,
+        push.round2_subscribed,
+        push.round2_control,
+        push.round2_eliminated,
+        push.subscribed_ms,
+        push.control_ms
     );
     json.push_str("}\n");
     // Anchor at the workspace root regardless of bench CWD.

@@ -163,6 +163,14 @@ pub struct BatchHeader {
     pub lce: Epoch,
     /// Root of the partition's Merkle tree after applying this batch.
     pub merkle_root: Digest,
+    /// [`transedge_edge::changed_keys_digest`] of the batch's changed
+    /// key set (local writes plus drained-commit writes on this
+    /// partition, sorted and deduplicated). Living in the header, it is
+    /// folded into the certified batch digest — so the `f+1`
+    /// certificate covers *what changed*, and a certified delta's key
+    /// list becomes unforgeable. Leaders compute it at seal time;
+    /// followers recompute and reject a mismatch.
+    pub delta_digest: Digest,
     /// Leader-stamped wall-clock (§4.4.2 freshness); replicas reject
     /// stamps outside the configured window.
     pub timestamp: SimTime,
@@ -175,6 +183,7 @@ impl Encode for BatchHeader {
         self.cd.encode(w);
         self.lce.encode(w);
         self.merkle_root.encode(w);
+        self.delta_digest.encode(w);
         self.timestamp.encode(w);
     }
 }
@@ -187,6 +196,7 @@ impl Decode for BatchHeader {
             cd: CdVector::decode(r)?,
             lce: Epoch::decode(r)?,
             merkle_root: Digest::decode(r)?,
+            delta_digest: Digest::decode(r)?,
             timestamp: SimTime::decode(r)?,
         })
     }
@@ -314,6 +324,10 @@ impl transedge_edge::BatchCommitment for CommittedHeader {
 
     fn certified_digest(&self) -> Digest {
         Batch::digest_from_parts(&self.header, &self.body_digest)
+    }
+
+    fn delta_digest(&self) -> Digest {
+        self.header.delta_digest
     }
 }
 
@@ -476,6 +490,7 @@ mod tests {
             cd,
             lce: Epoch::NONE,
             merkle_root: Digest::ZERO,
+            delta_digest: transedge_edge::changed_keys_digest(&[]),
             timestamp: SimTime::ZERO,
         }
     }

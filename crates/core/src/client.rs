@@ -34,7 +34,7 @@ use crate::batch::{CommittedHeader, ReadOp, Transaction, WriteOp};
 use crate::deps::{verify_dependencies, RotView};
 use crate::edge_select::{EdgeSelector, EdgeSelectorConfig};
 use crate::messages::{NetMsg, ReadPayload};
-use crate::metrics::{OpKind, QueryClass, ReadQueryMetrics, TxnSample};
+use crate::metrics::{ClientMetrics, OpKind, QueryClass, TxnSample};
 
 /// One scripted client operation.
 #[derive(Clone, Debug)]
@@ -104,6 +104,15 @@ pub struct ClientConfig {
     /// Delay before the first operation (and the directory pull) —
     /// lets harnesses stagger clients so gossip has rounds to spread.
     pub start_delay: SimDuration,
+    /// Subscription mode: ask serving edges to attach their verified
+    /// delta-feed tail to point responses as a freshness certificate.
+    /// A verified attachment upgrades the partition's snapshot view to
+    /// the feed head, so the cross-partition dependency check passes
+    /// without the round-2 MinEpoch re-fetch — warm reads of a
+    /// subscribed client stay one round even under heavy writes.
+    /// Nothing is trusted: the feed verifies under replica certificates
+    /// like every other response part.
+    pub subscribe: bool,
 }
 
 impl Default for ClientConfig {
@@ -120,6 +129,7 @@ impl Default for ClientConfig {
             directory: false,
             single_contact: false,
             start_delay: SimDuration(0),
+            subscribe: false,
         }
     }
 }
@@ -216,6 +226,18 @@ struct PartState {
     /// Snapshot view of the partition (set by the first verified
     /// response; input to the dependency check).
     view: Option<RotView>,
+    /// The served snapshot's view *before* a verified feed attachment
+    /// upgraded `view` to the feed head — what the dependency check
+    /// would have seen without the subscription; `None` when no
+    /// upgrade happened.
+    base_view: Option<RotView>,
+    /// The full menu of certified snapshot views a verified feed
+    /// attachment buys: the served view followed by each delta's
+    /// header view, ascending to the head. The feed proves the served
+    /// values unchanged through every prefix of the chain, so each
+    /// entry is an equally certified snapshot of the same values —
+    /// the dependency check may pick any of them.
+    feed_cuts: Vec<RotView>,
     values: Vec<(Key, Option<Value>)>,
     rows: Vec<(Key, Value)>,
     done: bool,
@@ -232,6 +254,8 @@ impl PartState {
             verified_through: None,
             resume_prefix: None,
             view: None,
+            base_view: None,
+            feed_cuts: Vec::new(),
             values: Vec::new(),
             rows: Vec::new(),
             done: false,
@@ -250,6 +274,8 @@ impl PartState {
         self.token = None;
         self.pages = 0;
         self.view = None;
+        self.base_view = None;
+        self.feed_cuts.clear();
         self.done = false;
         match self.verified_through {
             Some(through) if keep_prefix && !self.rows.is_empty() => {
@@ -320,6 +346,7 @@ impl ReadSession {
                 .is_none()
                 .then(|| part.resume_prefix.map(|through| PrefixResume { through }))
                 .flatten(),
+            fresh: self.query.fresh,
         })
     }
 
@@ -344,6 +371,71 @@ impl ReadSession {
 
     fn views(&self) -> Vec<RotView> {
         self.parts.iter().filter_map(|p| p.view.clone()).collect()
+    }
+
+    /// The views the dependency check would run on without any feed
+    /// upgrades (each part's served-snapshot view) — what measures how
+    /// many round-2 re-fetches the subscription actually eliminated.
+    fn base_views(&self) -> Vec<RotView> {
+        self.parts
+            .iter()
+            .filter_map(|p| p.base_view.clone().or_else(|| p.view.clone()))
+            .collect()
+    }
+
+    /// Pick, per partition, the highest view along its verified feed
+    /// chain such that the chosen views are mutually
+    /// dependency-consistent. Two feed heads attached by different
+    /// edges are never perfectly synchronised: adopting both blindly
+    /// can *manufacture* a dependency violation (one head's CD names
+    /// an epoch the other head's LCE hasn't certified yet) that the
+    /// stale served snapshots did not have. Every prefix of a
+    /// verified chain is an equally certified snapshot of the same
+    /// values, so the client is free to choose the cut — and since a
+    /// violation `vi.cd[j] > vj.lce` can only ever be repaired by
+    /// lowering `vi` (a head cannot be raised), greedily lowering
+    /// violators converges on the unique maximal consistent cut.
+    /// Parts without a feed menu keep their single view; violations
+    /// they force that no lowering can fix are left for round 2.
+    fn settle_feed_cut(&mut self) {
+        if self.parts.iter().all(|p| p.feed_cuts.len() <= 1) {
+            return;
+        }
+        let mut idx: Vec<usize> = self
+            .parts
+            .iter()
+            .map(|p| p.feed_cuts.len().saturating_sub(1))
+            .collect();
+        loop {
+            let views: Vec<Option<&RotView>> = self
+                .parts
+                .iter()
+                .zip(&idx)
+                .map(|(p, &i)| p.feed_cuts.get(i).or(p.view.as_ref()))
+                .collect();
+            let mut lowered = None;
+            'search: for (i, vi) in views.iter().enumerate() {
+                let Some(vi) = vi else { continue };
+                if idx[i] == 0 || self.parts[i].feed_cuts.is_empty() {
+                    continue;
+                }
+                for vj in views.iter().flatten() {
+                    if vi.cluster != vj.cluster && vi.cd.get(vj.cluster) > vj.lce {
+                        lowered = Some(i);
+                        break 'search;
+                    }
+                }
+            }
+            match lowered {
+                Some(i) => idx[i] -= 1,
+                None => break,
+            }
+        }
+        for (part, i) in self.parts.iter_mut().zip(idx) {
+            if !part.feed_cuts.is_empty() {
+                part.view = part.feed_cuts.get(i).cloned();
+            }
+        }
     }
 }
 
@@ -373,8 +465,21 @@ fn tally_verification(
             *sig_checks += sigs as u64;
         }
     };
+    // A freshness feed costs one certificate check per delta (each
+    // batch has its own certificate) plus one hash over its changed
+    // list — charged like any other proof material.
+    if let Some(feed) = response.fresh_feed() {
+        for delta in feed {
+            note_cert(
+                certs,
+                delta.commitment.certified_digest(),
+                delta.cert.sigs.len(),
+            );
+            *leaf_hashes += 1;
+        }
+    }
     match response {
-        ReadResponse::Point { sections } => {
+        ReadResponse::Point { sections, .. } => {
             for section in sections {
                 note_cert(
                     certs,
@@ -397,7 +502,7 @@ fn tally_verification(
                 .saturating_add(1)
                 .min(MAX_RANGE_BUCKETS);
         }
-        ReadResponse::Multi { bundle } => {
+        ReadResponse::Multi { bundle, .. } => {
             note_cert(
                 certs,
                 bundle.commitment.certified_digest(),
@@ -465,9 +570,6 @@ pub struct ClientStats {
     pub gave_up: u64,
     /// Assembled (multi-section) responses accepted from edge nodes.
     pub assembled_accepted: u64,
-    /// Batched multiproof responses verified and accepted (one
-    /// deduplicated proof covering every requested key).
-    pub multis_accepted: u64,
     /// Verified scan responses (pages) accepted.
     pub scans_accepted: u64,
     /// Accepted scans whose proven window was wider than the request —
@@ -488,13 +590,6 @@ pub struct ClientStats {
     /// Single-contact responses rejected or abandoned, falling back to
     /// the classic per-partition fan-out.
     pub gather_fallbacks: u64,
-    /// Duplicate certificate checks skipped by the one-pass
-    /// verification charge: stitched sections and gather parts sharing
-    /// a content-identical commitment are charged one quorum check.
-    pub cert_checks_shared: u64,
-    /// Total wire bytes of every read response this client received
-    /// (structural sizes — the throughput bench's bytes-per-read).
-    pub read_result_bytes: u64,
     /// Directory digests ingested (startup seed + gossip).
     pub directory_seeded: u64,
     /// Signed rejection-evidence records pushed into the gossip layer.
@@ -531,9 +626,11 @@ pub struct ClientActor {
     pub query_results: Vec<QueryOutcome>,
     pub txn_outcomes: Vec<TxnOutcome>,
     pub stats: ClientStats,
-    /// Per-shape serving/verification counters of the unified read
-    /// protocol.
-    pub query_metrics: ReadQueryMetrics,
+    /// The consolidated read-protocol metrics snapshot (per-shape
+    /// counters + cross-cutting totals). Read through
+    /// [`ClientActor::metrics`] — the accessor API is the stable
+    /// surface.
+    metrics: ClientMetrics,
 }
 
 impl ClientActor {
@@ -585,8 +682,13 @@ impl ClientActor {
             query_results: Vec::new(),
             txn_outcomes: Vec::new(),
             stats: ClientStats::default(),
-            query_metrics: ReadQueryMetrics::default(),
+            metrics: ClientMetrics::default(),
         }
+    }
+
+    /// The consolidated read-protocol metrics snapshot.
+    pub fn metrics(&self) -> &ClientMetrics {
+        &self.metrics
     }
 
     /// All scripted operations finished?
@@ -822,10 +924,15 @@ impl ClientActor {
     fn start_query(
         &mut self,
         op_index: usize,
-        query: ReadQuery,
+        mut query: ReadQuery,
         origin: QueryOrigin,
         ctx: &mut Context<'_, NetMsg>,
     ) {
+        // Subscription mode: every point query asks its serving edge
+        // for the verified feed tail (freshness certificate).
+        if self.config.subscribe && matches!(query.shape, QueryShape::Point { .. }) {
+            query.fresh = true;
+        }
         let parts: Vec<PartState> = match &query.shape {
             QueryShape::Point { keys } => {
                 let mut by_cluster: HashMap<ClusterId, Vec<Key>> = HashMap::new();
@@ -879,6 +986,7 @@ impl ClientActor {
                 end: ctx.now(),
                 committed: true,
                 rot_round2: false,
+                rot_warm: false,
                 round1_latency: Some(SimDuration(0)),
             });
             self.start_next_op(ctx);
@@ -959,7 +1067,7 @@ impl ClientActor {
     ) -> bool {
         match answer {
             QueryAnswer::Values(values) => {
-                if let ReadResponse::Point { sections } = response {
+                if let ReadResponse::Point { sections, .. } = response {
                     if sections.len() > 1 {
                         self.stats.assembled_accepted += 1;
                     }
@@ -970,8 +1078,8 @@ impl ClientActor {
                         cd: header.cd.clone(),
                         lce: header.lce,
                     });
-                } else if let ReadResponse::Multi { bundle } = response {
-                    self.stats.multis_accepted += 1;
+                } else if let ReadResponse::Multi { bundle, .. } = response {
+                    self.metrics.multis_accepted += 1;
                     let header = &bundle.commitment.header;
                     part.view = Some(RotView {
                         cluster,
@@ -979,6 +1087,34 @@ impl ClientActor {
                         cd: header.cd.clone(),
                         lce: header.lce,
                     });
+                }
+                // A verified feed attachment proves the served values
+                // unchanged through the feed head, so every prefix of
+                // the chain is an equally certified snapshot view of
+                // the same values: record the whole menu (served view
+                // first, ascending to the head) and tentatively adopt
+                // the head. `settle_feed_cut` later picks the maximal
+                // *mutually consistent* cut across partitions, so the
+                // round-2 MinEpoch re-fetch disappears. (The verifier
+                // already checked the chain; an empty feed proves the
+                // served batch *is* the head.)
+                if let Some(feed) = response.fresh_feed() {
+                    part.base_view = part.view.clone();
+                    if let Some(served) = part.view.clone() {
+                        part.feed_cuts = std::iter::once(served)
+                            .chain(feed.iter().map(|d| {
+                                let header = &d.commitment.header;
+                                RotView {
+                                    cluster,
+                                    batch: header.num,
+                                    cd: header.cd.clone(),
+                                    lce: header.lce,
+                                }
+                            }))
+                            .collect();
+                        part.view = part.feed_cuts.last().cloned();
+                    }
+                    self.metrics.freshness_upgrades += 1;
                 }
                 part.values = values;
                 part.done = true;
@@ -1039,7 +1175,7 @@ impl ClientActor {
         let contact = pending.target;
         let contact_cluster = pending.cluster;
         let clusters: Vec<ClusterId> = session.parts.iter().map(|p| p.cluster).collect();
-        self.query_metrics.served(session.class);
+        self.metrics.shapes.served(session.class);
         // Verify every part first; apply only if all hold.
         let verifier = self.read_verifier();
         let mut verified: Vec<(ClusterId, ReadQuery, QueryAnswer)> = Vec::new();
@@ -1067,7 +1203,7 @@ impl ClientActor {
         if !ok {
             self.stats.verification_failures += 1;
             self.stats.gather_fallbacks += 1;
-            self.query_metrics.rejected(session.class);
+            self.metrics.shapes.rejected(session.class);
             if matches!(contact, NodeId::Edge(_)) {
                 self.edge_selector
                     .record_rejection(contact_cluster, contact, now);
@@ -1090,7 +1226,7 @@ impl ClientActor {
             }
             return;
         }
-        self.query_metrics.verified(session.class);
+        self.metrics.shapes.verified(session.class);
         self.stats.gathers_accepted += 1;
         if matches!(contact, NodeId::Edge(_)) {
             self.edge_selector.record_success(
@@ -1160,7 +1296,7 @@ impl ClientActor {
         let Some(sub) = session.subquery(cluster) else {
             return;
         };
-        self.query_metrics.served(session.class);
+        self.metrics.shapes.served(session.class);
         let held: Vec<(Key, Value)> = if sub.prefix.is_some() {
             session
                 .parts
@@ -1176,7 +1312,7 @@ impl ClientActor {
             .verify_query_resuming(&self.keys, cluster, &sub, &response, &held, now);
         match verified {
             Ok(answer) => {
-                self.query_metrics.verified(session.class);
+                self.metrics.shapes.verified(session.class);
                 if matches!(pending.target, NodeId::Edge(_)) {
                     self.edge_selector.record_success(
                         cluster,
@@ -1257,7 +1393,7 @@ impl ClientActor {
                 // normally unchanged — pagination resumes exactly where
                 // the lie was caught.
                 self.stats.verification_failures += 1;
-                self.query_metrics.rejected(session.class);
+                self.metrics.shapes.rejected(session.class);
                 if matches!(pending.target, NodeId::Edge(_)) {
                     self.edge_selector
                         .record_rejection(cluster, pending.target, now);
@@ -1376,8 +1512,8 @@ impl ClientActor {
             return;
         };
         let response = result;
-        self.stats.read_result_bytes += crate::messages::read_payload_size(&response) as u64;
-        self.stats.cert_checks_shared += charge_verification(ctx, &response);
+        self.metrics.read_result_bytes += crate::messages::read_payload_size(&response) as u64;
+        self.metrics.cert_checks_shared += charge_verification(ctx, &response);
         if session.single_contact.is_some() {
             self.on_gather_result(&mut session, req, pending, response, ctx);
         } else {
@@ -1401,6 +1537,7 @@ impl ClientActor {
             return;
         };
         let now = ctx.now();
+        session.settle_feed_cut();
         let unsatisfied = verify_dependencies(&session.views());
         let actionable: Vec<(ClusterId, Epoch)> = unsatisfied
             .into_iter()
@@ -1440,14 +1577,34 @@ impl ClientActor {
             self.inflight = Some(inflight);
             return;
         }
-        // Done: sample, record, advance.
+        // Done: sample, record, advance. When feed attachments upgraded
+        // any view, re-run the dependency check on the *un-upgraded*
+        // views to count the round-2 re-fetches the subscription
+        // actually eliminated (not merely could have).
+        if session.parts.iter().any(|p| p.base_view.is_some()) {
+            let would_have = verify_dependencies(&session.base_views());
+            if would_have
+                .iter()
+                .any(|(c, _)| session.parts.iter().any(|p| p.cluster == *c))
+            {
+                self.metrics.round2_skipped_by_feed += 1;
+            }
+        }
         let needed_round2 = session.round > 1;
+        // Warm iff every partition's final answer was a cached replay
+        // carrying a verified feed attachment (its certified view menu
+        // is recorded in `feed_cuts`). A cold forward or a round-2
+        // re-fetch clears the part's menu, so mixed reads don't count.
+        let all_warm = matches!(session.query.shape, QueryShape::Point { .. })
+            && !session.parts.is_empty()
+            && session.parts.iter().all(|p| !p.feed_cuts.is_empty());
         self.samples.push(TxnSample {
             kind: inflight.kind,
             start: inflight.start,
             end: now,
             committed: true,
             rot_round2: needed_round2,
+            rot_warm: all_warm,
             round1_latency: if matches!(session.query.shape, QueryShape::Point { .. }) {
                 Some(
                     session
@@ -1535,6 +1692,7 @@ impl ClientActor {
             end: ctx.now(),
             committed,
             rot_round2: false,
+            rot_warm: false,
             round1_latency: None,
         });
         if self.config.record_results {
@@ -1649,6 +1807,7 @@ impl Actor<NetMsg> for ClientActor {
                 end: ctx.now(),
                 committed: false,
                 rot_round2: false,
+                rot_warm: false,
                 round1_latency: None,
             };
             self.samples.push(sample);

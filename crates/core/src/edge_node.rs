@@ -22,10 +22,19 @@
 //!   own partition's certified root.
 //! * **Gossiped health/coverage directory** — each edge runs a
 //!   [`DirectoryAgent`], refreshes a signed self-observation with its
-//!   cache coverage every gossip round, and pushes its digest to a
-//!   rotating peer (anti-entropy). Client-witnessed rejection evidence
-//!   rides the same channel, so one client's verified rejection demotes
-//!   a byzantine edge fleet-wide in `O(log n)` rounds.
+//!   cache coverage every gossip round, and pushes a *delta* (records
+//!   the peer is not known to have, plus a state summary the peer
+//!   answers with our missing records) to a rotating peer — push-pull
+//!   anti-entropy over diffs instead of full-state digests.
+//!   Client-witnessed rejection evidence rides the same channel, so
+//!   one client's verified rejection demotes a byzantine edge
+//!   fleet-wide in `O(log n)` rounds.
+//! * **Certified commit-feed subscription** — the edge subscribes to
+//!   one home-cluster replica's per-batch [`RotDelta`] feed, verifies
+//!   each pushed delta under its replica certificate, push-invalidates
+//!   superseded cache fragments, and attaches the verified feed tail
+//!   to warm replays as a freshness certificate — letting subscribed
+//!   clients skip the round-2 `MinEpoch` fetch entirely.
 //!
 //! Because every response is proof-carrying, clients need not trust
 //! this node at all: the byzantine variants below ([`EdgeBehavior`])
@@ -36,21 +45,24 @@
 use std::collections::HashMap;
 
 use transedge_common::{
-    ClusterId, ClusterTopology, EdgeId, Epoch, NodeId, ReplicaId, SimDuration, SimTime,
+    BatchNum, ClusterId, ClusterTopology, EdgeId, Epoch, Key, NodeId, ReplicaId, SimDuration,
+    SimTime,
 };
 use transedge_crypto::{Digest, KeyStore, Keypair};
 use transedge_directory::{CoverageSummary, DirectoryAgent};
 use transedge_edge::{
     Assembly, GatherPart, QueryShape, ReadQuery, ReadVerifier, ReplayCache, ShardedReplayCache,
-    VerifyParams, DEFAULT_SHARD_COUNT,
+    VerifyParams,
 };
 use transedge_simnet::{Actor, Context};
 
 use crate::batch::CommittedHeader;
-use crate::messages::{NetMsg, ReadPayload, RotBundle, RotMultiBundle, RotScanBundle};
+use crate::messages::{NetMsg, ReadPayload, RotBundle, RotDelta, RotMultiBundle, RotScanBundle};
 
-/// Gossip timer token (the edge actor's only timer).
+/// Gossip timer token.
 const TOKEN_GOSSIP: u64 = 1;
+/// Commit-feed lease-renewal timer token.
+const TOKEN_FEED: u64 = 2;
 
 /// How the edge node treats the responses it serves.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -79,6 +91,12 @@ pub enum EdgeBehavior {
     /// advertised key set, and the client rejects it as a bad
     /// multiproof or a missing requested key.
     OmitFromMulti,
+    /// Inject a bogus key into an attached freshness feed's changed
+    /// list: the changed-key digest no longer matches the delta digest
+    /// the replica certificate covers, so the client rejects the
+    /// response as `BadDelta` — cryptographic evidence the directory
+    /// gossips fleet-wide, exactly like a forged proof.
+    TamperDelta,
 }
 
 /// The edge directory/forwarding configuration of a deployment.
@@ -86,8 +104,8 @@ pub enum EdgeBehavior {
 pub struct DirectoryPlan {
     /// Run the gossip directory at all.
     pub enabled: bool,
-    /// Anti-entropy push period (each edge pushes its digest to one
-    /// rotating peer per round).
+    /// Anti-entropy period (each edge pushes a delta — missing records
+    /// plus a state summary — to one rotating peer per round).
     pub gossip_interval: SimDuration,
     /// Serve cross-partition queries through one edge contact
     /// (edge-tier scatter-gather) instead of dropping them.
@@ -115,6 +133,36 @@ impl DirectoryPlan {
     }
 }
 
+/// The certified commit-feed subscription of a deployment's edges.
+#[derive(Clone, Debug)]
+pub struct FeedPlan {
+    /// Subscribe to the home cluster's certified commit feed at all.
+    pub enabled: bool,
+    /// Lease-renewal period: `FeedSubscribe` is re-sent with the
+    /// current feed head, and the replica replays any retained suffix
+    /// the edge missed (crash, partition, dropped push).
+    pub resubscribe_interval: SimDuration,
+}
+
+impl FeedPlan {
+    /// No subscription — every freshness question goes upstream (the
+    /// pre-feed deployment shape).
+    pub fn disabled() -> Self {
+        FeedPlan {
+            enabled: false,
+            resubscribe_interval: SimDuration::from_millis(100),
+        }
+    }
+
+    /// Subscribe, renewing the lease at the given period.
+    pub fn subscribed(interval: SimDuration) -> Self {
+        FeedPlan {
+            enabled: true,
+            resubscribe_interval: interval,
+        }
+    }
+}
+
 /// Everything an [`EdgeReadNode`] needs beyond its identity.
 #[derive(Clone, Debug)]
 pub struct EdgeNodeParams {
@@ -123,6 +171,9 @@ pub struct EdgeNodeParams {
     pub cache_capacity: usize,
     /// Certified headers retained per cluster cache.
     pub max_cached_batches: usize,
+    /// Cluster-hash shards the per-partition replay caches spread over
+    /// (plumbed from [`crate::setup::EdgePlan`]).
+    pub cache_shards: usize,
     /// Cached bundles older than this are not replayed; the request is
     /// forwarded upstream instead, refreshing the cache.
     pub replay_staleness: SimDuration,
@@ -132,6 +183,8 @@ pub struct EdgeNodeParams {
     pub freshness_window: SimDuration,
     /// Gossip directory + edge-tier forwarding.
     pub directory: DirectoryPlan,
+    /// Certified commit-feed subscription.
+    pub feed: FeedPlan,
     /// Every edge in the deployment (gossip peers and forwarding
     /// bootstrap; the directory's coverage hints refine the choice).
     pub peers: Vec<EdgeId>,
@@ -185,6 +238,15 @@ pub struct EdgeNodeStats {
     /// Foreign sub-query misses forwarded to the home cluster's
     /// replicas (no usable sibling).
     pub foreign_forward_replica: u64,
+    /// Certified commit-feed deltas received from the subscribed
+    /// replica.
+    pub feed_deltas_received: u64,
+    /// Feed deltas that failed `verify_delta` and were dropped (a
+    /// replica push is a claim like any other — nothing is applied
+    /// until it recomputes under its certificate).
+    pub bad_deltas_dropped: u64,
+    /// Responses sent with a feed freshness attachment.
+    pub freshness_attached: u64,
 }
 
 impl EdgeNodeStats {
@@ -248,6 +310,10 @@ pub struct EdgeReadNode {
     replay_staleness: SimDuration,
     tree_depth: u32,
     directory_plan: DirectoryPlan,
+    feed_plan: FeedPlan,
+    /// The same trusted checker clients run — feed deltas pass
+    /// `verify_delta` before touching any cache.
+    verifier: ReadVerifier,
     peers: Vec<EdgeId>,
     directory: Option<DirectoryAgent<CommittedHeader>>,
     /// upstream req id → the client request it answers.
@@ -287,13 +353,15 @@ impl EdgeReadNode {
             keys,
             behavior: params.behavior,
             caches: ShardedReplayCache::new(
-                DEFAULT_SHARD_COUNT,
+                params.cache_shards,
                 params.cache_capacity,
                 params.max_cached_batches,
             ),
             replay_staleness: params.replay_staleness,
             tree_depth: params.tree_depth,
             directory_plan: params.directory,
+            feed_plan: params.feed,
+            verifier,
             peers: params.peers,
             directory,
             pending: HashMap::new(),
@@ -392,8 +460,8 @@ impl EdgeReadNode {
                     self.stats.tampered += 1;
                 }
             }
-            // Targets multiproof replays only; point bundles pass clean.
-            EdgeBehavior::OmitFromMulti => {}
+            // Target other replay shapes; point bundles pass clean.
+            EdgeBehavior::OmitFromMulti | EdgeBehavior::TamperDelta => {}
         }
         bundle
     }
@@ -415,7 +483,7 @@ impl EdgeReadNode {
             body.proof.clone(),
         );
         match self.behavior {
-            EdgeBehavior::Honest => {}
+            EdgeBehavior::Honest | EdgeBehavior::TamperDelta => {}
             EdgeBehavior::TamperValue => {
                 if let Some(value) = values.iter_mut().find(|v| v.is_some()) {
                     *value = Some(transedge_common::Value::from("forged-by-edge"));
@@ -487,10 +555,26 @@ impl EdgeReadNode {
                     self.stats.tampered += 1;
                 }
             }
-            // Targets multiproof replays only; scans pass clean.
-            EdgeBehavior::OmitFromMulti => {}
+            // Target other replay shapes; scans pass clean.
+            EdgeBehavior::OmitFromMulti | EdgeBehavior::TamperDelta => {}
         }
         bundle
+    }
+
+    /// Apply [`EdgeBehavior::TamperDelta`] to an outgoing freshness
+    /// attachment: inject a bogus key into the last delta's changed
+    /// list. The changed-key digest no longer matches the certified
+    /// delta digest, so the client rejects the response as `BadDelta`.
+    fn corrupt_fresh(&mut self, fresh: Option<Vec<RotDelta>>) -> Option<Vec<RotDelta>> {
+        if self.behavior != EdgeBehavior::TamperDelta {
+            return fresh;
+        }
+        let mut feed = fresh?;
+        if let Some(last) = feed.last_mut() {
+            last.changed.push(Key::from_u32(u32::MAX));
+            self.stats.tampered += 1;
+        }
+        Some(feed)
     }
 
     fn respond_scan(
@@ -501,12 +585,40 @@ impl EdgeReadNode {
         ctx: &mut Context<'_, NetMsg>,
     ) {
         let bundle = self.corrupt_scan(bundle);
-        ctx.send(to, NetMsg::scan_proof(req, bundle));
+        ctx.send(
+            to,
+            NetMsg::ReadResult {
+                req,
+                result: ReadPayload::Scan {
+                    bundle: Box::new(bundle),
+                },
+            },
+        );
     }
 
-    fn respond(&mut self, to: NodeId, req: u64, bundle: RotBundle, ctx: &mut Context<'_, NetMsg>) {
+    fn respond(
+        &mut self,
+        to: NodeId,
+        req: u64,
+        bundle: RotBundle,
+        fresh: Option<Vec<RotDelta>>,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
         let bundle = self.corrupt(bundle);
-        ctx.send(to, NetMsg::rot_response(req, bundle));
+        let fresh = self.corrupt_fresh(fresh);
+        if fresh.is_some() {
+            self.stats.freshness_attached += 1;
+        }
+        ctx.send(
+            to,
+            NetMsg::ReadResult {
+                req,
+                result: ReadPayload::Point {
+                    sections: vec![bundle],
+                    fresh,
+                },
+            },
+        );
     }
 
     fn respond_multi(
@@ -514,10 +626,24 @@ impl EdgeReadNode {
         to: NodeId,
         req: u64,
         bundle: RotMultiBundle,
+        fresh: Option<Vec<RotDelta>>,
         ctx: &mut Context<'_, NetMsg>,
     ) {
         let bundle = self.corrupt_multi(bundle);
-        ctx.send(to, NetMsg::rot_multi(req, bundle));
+        let fresh = self.corrupt_fresh(fresh);
+        if fresh.is_some() {
+            self.stats.freshness_attached += 1;
+        }
+        ctx.send(
+            to,
+            NetMsg::ReadResult {
+                req,
+                result: ReadPayload::Multi {
+                    bundle: Box::new(bundle),
+                    fresh,
+                },
+            },
+        );
     }
 
     /// Send an assembled (multi-section) response. Byzantine behaviour
@@ -534,7 +660,16 @@ impl EdgeReadNode {
             let corrupted = self.corrupt(first.clone());
             *first = corrupted;
         }
-        ctx.send(to, NetMsg::rot_assembled(req, sections));
+        ctx.send(
+            to,
+            NetMsg::ReadResult {
+                req,
+                result: ReadPayload::Point {
+                    sections,
+                    fresh: None,
+                },
+            },
+        );
     }
 
     /// Register an upstream request, bounding the pending map: upstream
@@ -643,6 +778,7 @@ impl EdgeReadNode {
             shape,
             page: query.page,
             prefix: query.prefix,
+            fresh: query.fresh,
         }
     }
 
@@ -757,7 +893,7 @@ impl EdgeReadNode {
     /// it belongs to.
     fn absorb(&mut self, result: &ReadPayload) {
         match result {
-            ReadPayload::Point { sections } => {
+            ReadPayload::Point { sections, .. } => {
                 for section in sections {
                     let cluster = section.commitment.header.cluster;
                     self.cache_for(cluster).admit(section);
@@ -767,7 +903,7 @@ impl EdgeReadNode {
                 let cluster = bundle.commitment.header.cluster;
                 self.cache_for(cluster).admit_scan(bundle);
             }
-            ReadPayload::Multi { bundle } => {
+            ReadPayload::Multi { bundle, .. } => {
                 let cluster = bundle.commitment.header.cluster;
                 self.cache_for(cluster).admit_multi(bundle);
             }
@@ -819,7 +955,17 @@ impl EdgeReadNode {
                 self.stats.served_from_cache += 1;
                 self.stats.multis_from_cache += 1;
                 self.stats.keys_from_cache += keys.len() as u64;
-                self.respond_multi(from, req, bundle, ctx);
+                // A subscriber asked for a freshness upgrade: attach
+                // the feed tail proving the replayed snapshot current
+                // (or refuse, letting the client fall back to round 2).
+                let fresh = query
+                    .fresh
+                    .then(|| {
+                        self.cache_for(cluster)
+                            .freshness_since(bundle.batch(), &keys)
+                    })
+                    .flatten();
+                self.respond_multi(from, req, bundle, fresh, ctx);
                 return;
             }
         }
@@ -830,7 +976,14 @@ impl EdgeReadNode {
             Assembly::Full(bundle) => {
                 self.stats.served_from_cache += 1;
                 self.stats.keys_from_cache += bundle.reads.len() as u64;
-                self.respond(from, req, bundle, ctx);
+                let fresh = query
+                    .fresh
+                    .then(|| {
+                        self.cache_for(cluster)
+                            .freshness_since(bundle.batch(), &keys)
+                    })
+                    .flatten();
+                self.respond(from, req, bundle, fresh, ctx);
             }
             Assembly::Partial { cached, missing } => {
                 // Fetch only the misses, pinned at the anchor batch, so
@@ -935,16 +1088,16 @@ impl EdgeReadNode {
                 };
                 self.respond_scan(pending.client, pending.client_req, *bundle, ctx);
             }
-            ReadPayload::Multi { bundle } => {
+            ReadPayload::Multi { bundle, .. } => {
                 let Some(pending) = self.pending.remove(&req) else {
                     return; // duplicate or late upstream answer
                 };
                 // A replica's multiproof answers the full request even
                 // when a partial assembly was reserved — the cached
                 // fragments stay cached, the bundle goes out as-is.
-                self.respond_multi(pending.client, pending.client_req, *bundle, ctx);
+                self.respond_multi(pending.client, pending.client_req, *bundle, None, ctx);
             }
-            ReadPayload::Point { sections } => {
+            ReadPayload::Point { sections, .. } => {
                 let Some(pending) = self.pending.remove(&req) else {
                     return; // duplicate or late upstream answer
                 };
@@ -981,9 +1134,9 @@ impl EdgeReadNode {
                         // batch — forward that as a plain (still
                         // verified) response.
                         self.stats.assembly_fallbacks += 1;
-                        self.respond(pending.client, pending.client_req, bundle, ctx);
+                        self.respond(pending.client, pending.client_req, bundle, None, ctx);
                     }
-                    None => self.respond(pending.client, pending.client_req, bundle, ctx),
+                    None => self.respond(pending.client, pending.client_req, bundle, None, ctx),
                 }
             }
             ReadPayload::Gather { parts } => {
@@ -1036,8 +1189,55 @@ impl EdgeReadNode {
         }
         self.gossip_rr += 1;
         let peer = candidates[(self.gossip_rr % candidates.len() as u64) as usize];
-        let digest = Box::new(agent.digest());
-        ctx.send(NodeId::Edge(peer), NetMsg::DirectoryGossip { digest });
+        // Push-pull delta anti-entropy: send only records the peer is
+        // not known to have, plus a state summary the peer answers with
+        // its own missing records. Even an empty delta carries the
+        // summary, so the pull half still runs.
+        let delta = Box::new(agent.delta_for(NodeId::Edge(peer)));
+        ctx.send(NodeId::Edge(peer), NetMsg::DirectoryDeltaGossip { delta });
+    }
+
+    /// (Re-)subscribe to the home cluster's certified commit feed,
+    /// asking for a replay of everything after the current feed head.
+    /// Sent on start and on every lease renewal, so a crash, partition,
+    /// or dropped push costs at most one renewal period of staleness.
+    fn subscribe_feed(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        let from_batch = self
+            .caches
+            .get(self.me.cluster)
+            .and_then(|c| c.feed_head())
+            .unwrap_or(BatchNum(0));
+        // Pin one replica per edge (spread by edge index) so renewal
+        // replays come from a log that saw our earlier subscription.
+        let n = self.topo.replicas_per_cluster() as u64;
+        let replica = ReplicaId::new(self.me.cluster, (self.me.index as u64 % n) as u16);
+        ctx.send(
+            NodeId::Replica(replica),
+            NetMsg::FeedSubscribe { from_batch },
+        );
+    }
+
+    /// A pushed commit delta from the subscribed replica. The push is a
+    /// *claim*: nothing touches the replay cache until the changed-key
+    /// digest recomputes under the replica certificate (`verify_delta`)
+    /// — the verifier boundary does not move for subscribers.
+    fn on_feed_delta(&mut self, delta: RotDelta, ctx: &mut Context<'_, NetMsg>) {
+        self.stats.feed_deltas_received += 1;
+        ctx.charge(|c| {
+            SimDuration(
+                c.ed25519_verify.0 * delta.cert.sigs.len() as u64
+                    + c.sha256_cost(32 * delta.changed.len().max(1)).0,
+            )
+        });
+        if self
+            .verifier
+            .verify_delta(&self.keys, self.me.cluster, &delta)
+            .is_err()
+        {
+            self.stats.bad_deltas_dropped += 1;
+            return;
+        }
+        self.cache_for(self.me.cluster).apply_delta(delta);
     }
 }
 
@@ -1045,6 +1245,10 @@ impl Actor<NetMsg> for EdgeReadNode {
     fn on_start(&mut self, ctx: &mut Context<'_, NetMsg>) {
         if self.directory_plan.enabled {
             ctx.set_timer(self.directory_plan.gossip_interval, TOKEN_GOSSIP);
+        }
+        if self.feed_plan.enabled {
+            self.subscribe_feed(ctx);
+            ctx.set_timer(self.feed_plan.resubscribe_interval, TOKEN_FEED);
         }
     }
 
@@ -1073,6 +1277,26 @@ impl Actor<NetMsg> for EdgeReadNode {
                     agent.ingest(from, &digest, &self.keys, ctx.now());
                 }
             }
+            NetMsg::DirectoryDeltaGossip { delta } => {
+                if let Some(agent) = &mut self.directory {
+                    // Same verification as a full digest — every record
+                    // in the delta is signature-checked and evidence
+                    // re-verified before admission. The reply (computed
+                    // post-merge against the sender's summary) carries
+                    // only what the sender is missing; an empty reply
+                    // is suppressed, which terminates the exchange.
+                    let (_report, reply) = agent.ingest_delta(from, &delta, &self.keys, ctx.now());
+                    if let Some(reply) = reply {
+                        ctx.send(
+                            from,
+                            NetMsg::DirectoryDeltaGossip {
+                                delta: Box::new(reply),
+                            },
+                        );
+                    }
+                }
+            }
+            NetMsg::FeedDelta { delta } => self.on_feed_delta(*delta, ctx),
             NetMsg::DirectoryPull => {
                 if let Some(agent) = &self.directory {
                     ctx.send(
@@ -1092,6 +1316,9 @@ impl Actor<NetMsg> for EdgeReadNode {
         if token == TOKEN_GOSSIP {
             self.gossip_round(ctx);
             ctx.set_timer(self.directory_plan.gossip_interval, TOKEN_GOSSIP);
+        } else if token == TOKEN_FEED {
+            self.subscribe_feed(ctx);
+            ctx.set_timer(self.feed_plan.resubscribe_interval, TOKEN_FEED);
         }
     }
 }

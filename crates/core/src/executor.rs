@@ -44,7 +44,41 @@ pub enum RejectReason {
     BadDrain(String),
     BadCd,
     BadLce,
+    /// The header's delta digest does not recompute from the batch's
+    /// changed key set — a leader lying about *what changed* would
+    /// poison every certified delta downstream, so followers check it
+    /// like the root.
+    BadDelta,
     BadRoot,
+}
+
+/// The batch's changed key set: local writes plus drained-*Committed*
+/// writes restricted to `cluster`, sorted and deduplicated — exactly
+/// the updates [`Executor::seal_batch`]'s root speculation applies, in
+/// the canonical form [`transedge_edge::changed_keys_digest`] hashes.
+/// Leaders, followers, and the publish path all derive the changed set
+/// through this one function so they can never disagree.
+pub fn changed_keys(
+    topo: &ClusterTopology,
+    cluster: ClusterId,
+    local: &[Transaction],
+    drained: &[(Transaction, CommitRecord)],
+) -> Vec<Key> {
+    let mut keys: Vec<Key> = local
+        .iter()
+        .flat_map(|t| t.writes_on(topo, cluster))
+        .map(|w| w.key.clone())
+        .chain(
+            drained
+                .iter()
+                .filter(|(_, r)| r.outcome == Outcome::Committed)
+                .flat_map(|(t, _)| t.writes_on(topo, cluster))
+                .map(|w| w.key.clone()),
+        )
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys
 }
 
 /// The replica state machine.
@@ -156,6 +190,11 @@ impl Executor {
             self.store.write(k.clone(), v.clone(), BatchNum(0));
             updates.push((k, value_digest(v)));
         }
+        // Genesis "changes" every preloaded key: its delta digest
+        // covers them like any later batch's covers its writes.
+        let mut changed: Vec<Key> = updates.iter().map(|(k, _)| (*k).clone()).collect();
+        changed.sort_unstable();
+        changed.dedup();
         let root = self.tree.apply_batch(0, updates);
         let mut cd = CdVector::new(self.topo.n_clusters());
         cd.set(self.cluster, Epoch(0));
@@ -165,6 +204,7 @@ impl Executor {
             cd: cd.clone(),
             lce: Epoch::NONE,
             merkle_root: root,
+            delta_digest: transedge_edge::changed_keys_digest(&changed),
             timestamp,
         };
         self.cd_history.push(cd);
@@ -214,6 +254,7 @@ impl Executor {
         let cd = derive_cd_vector(&self.prev_cd(), self.cluster, num, &committed);
         // Merkle: local writes + writes of committed (not aborted)
         // drained transactions, restricted to this partition.
+        let changed = changed_keys(&self.topo, self.cluster, &local, &drained);
         let root = self.speculate_root(num, &local, &drained);
         let header = BatchHeader {
             cluster: self.cluster,
@@ -221,6 +262,7 @@ impl Executor {
             cd,
             lce,
             merkle_root: root,
+            delta_digest: transedge_edge::changed_keys_digest(&changed),
             timestamp: now,
         };
         let batch = Batch {
@@ -416,6 +458,12 @@ impl Executor {
         let expected_cd = derive_cd_vector(&self.prev_cd(), self.cluster, slot, &batch.committed);
         if batch.header.cd != expected_cd {
             return Err(RejectReason::BadCd);
+        }
+        // Delta digest over the changed key set: certified alongside
+        // the root, so a certificate is a vouch for *what changed* too.
+        let changed = changed_keys(&self.topo, self.cluster, &batch.local, &drained);
+        if batch.header.delta_digest != transedge_edge::changed_keys_digest(&changed) {
+            return Err(RejectReason::BadDelta);
         }
         // Merkle root, speculatively applied.
         let root = self.speculate_root(slot, &batch.local, &drained);

@@ -3,10 +3,10 @@
 
 use transedge_common::{BatchNum, ClusterId, Epoch, Key, SimTime, TxnId, Value};
 use transedge_consensus::{BftMsg, Certificate};
-use transedge_crypto::{ScanRange, Signature};
+use transedge_crypto::Signature;
 use transedge_edge::{
-    MultiProofBundle, ProofBundle, ProvenRead, QueryShape, ReadQuery, ReadResponse, ScanBundle,
-    SnapshotPolicy,
+    CertifiedDelta, MultiProofBundle, ProofBundle, ProvenRead, QueryShape, ReadQuery, ReadResponse,
+    ScanBundle,
 };
 use transedge_simnet::SimMessage;
 
@@ -30,6 +30,11 @@ pub type RotScanBundle = ScanBundle<CommittedHeader>;
 /// certificate, and one deduplicated Merkle multiproof covering every
 /// requested key (throughput mode's batched point-read shape).
 pub type RotMultiBundle = MultiProofBundle<CommittedHeader>;
+
+/// One certified commit-feed entry: a batch's certified header plus the
+/// sorted changed-key set whose digest the header (and therefore the
+/// `f+1` certificate) covers. What replicas push to feed subscribers.
+pub type RotDelta = CertifiedDelta<CommittedHeader>;
 
 /// A participant's 2PC vote returned to the coordinator (§3.3.3).
 #[derive(Clone, Debug)]
@@ -79,10 +84,18 @@ pub fn abort_vote_statement(cluster: ClusterId, txn: TxnId) -> Vec<u8> {
 /// query (`ReadVerifier::verify_query`).
 pub type ReadPayload = ReadResponse<CommittedHeader>;
 
-/// The gossip payload of the edge health/coverage directory, anchored
-/// at this crate's certified batch headers (rejection evidence embeds
-/// the offending proof-carrying response).
+/// The full-state gossip payload of the edge health/coverage directory,
+/// anchored at this crate's certified batch headers (rejection evidence
+/// embeds the offending proof-carrying response). Since the anti-entropy
+/// rounds moved to deltas, this is the bootstrap payload answering
+/// [`NetMsg::DirectoryPull`].
 pub type DirectoryDigest = transedge_directory::GossipDigest<CommittedHeader>;
+
+/// One push-pull anti-entropy leg of the edge directory: the records
+/// the sender believes the receiver lacks, plus the sender's state
+/// summary so the receiver can answer with exactly what the sender
+/// lacks.
+pub type DirectoryDelta = transedge_directory::GossipDelta<CommittedHeader>;
 
 /// All TransEdge network traffic.
 #[derive(Clone, Debug)]
@@ -117,15 +130,12 @@ pub enum NetMsg {
     /// proof-carrying read shape — round-1 point reads
     /// (`SnapshotPolicy::Latest`), round-2 dependency fetches
     /// (`SnapshotPolicy::MinEpoch`), verified range scans, paginated
-    /// scan continuations (`ReadQuery::page`), and scatter-gather
-    /// sub-queries. The legacy per-shape constructors
-    /// ([`NetMsg::rot_request`], [`NetMsg::rot_fetch`],
-    /// [`NetMsg::rot_scan`]) build this variant.
+    /// scan continuations (`ReadQuery::page`), scatter-gather
+    /// sub-queries, and feed-freshness-upgraded subscriber reads
+    /// (`ReadQuery::fresh`). Built through the [`ReadQuery`]
+    /// constructors; the old per-shape `NetMsg` constructors are gone.
     Read { req: u64, query: ReadQuery },
     /// The unified proof-carrying answer to a [`NetMsg::Read`] query.
-    /// The legacy per-shape constructors ([`NetMsg::rot_response`],
-    /// [`NetMsg::rot_assembled`], [`NetMsg::scan_proof`]) build this
-    /// variant.
     ReadResult { req: u64, result: ReadPayload },
     /// An edge node's upstream fill for a partial assembly: serve
     /// `keys` pinned at `at_batch` so the fragments can join the edge's
@@ -142,15 +152,35 @@ pub enum NetMsg {
         min_epoch: Epoch,
     },
 
+    // ---- certified commit feed (replica → edge push) ------------------
+    /// Subscribe the sender to a replica's certified commit feed from
+    /// `from_batch` (exclusive) onward. Re-sent periodically as a lease
+    /// renewal; the replica replays any feed-log suffix the subscriber
+    /// is missing on (re)subscription.
+    FeedSubscribe { from_batch: BatchNum },
+    /// One certified commit-feed entry pushed to a subscriber. The
+    /// payload is a *claim* until the receiver recomputes the changed-
+    /// key digest under the embedded `f+1` certificate
+    /// (`ReadVerifier::verify_delta`) — a tampered delta is dropped and
+    /// counts against the sender.
+    FeedDelta { delta: Box<RotDelta> },
+
     // ---- edge health/coverage directory ------------------------------
-    /// One anti-entropy push of the gossiped edge directory: signed
+    /// One full-state push of the gossiped edge directory: signed
     /// health observations plus verified byzantine-rejection evidence
-    /// (offending proof attached). Edges push to a rotating peer each
-    /// round; clients push after witnessing a rejection. Everything
-    /// inside is an untrusted *hint* — receivers verify signatures and
-    /// re-run the verifier on evidence before merging, and wrong hints
-    /// cost latency, never correctness.
+    /// (offending proof attached). Clients push after witnessing a
+    /// rejection, and edges answer [`NetMsg::DirectoryPull`] with one.
+    /// Everything inside is an untrusted *hint* — receivers verify
+    /// signatures and re-run the verifier on evidence before merging,
+    /// and wrong hints cost latency, never correctness.
     DirectoryGossip { digest: Box<DirectoryDigest> },
+    /// One push-pull anti-entropy leg between edge directory agents:
+    /// only the records the sender believes the receiver lacks, plus
+    /// the sender's state summary. The receiver merges (with the same
+    /// verification as a full digest), then answers with the records
+    /// *it* holds that beat the summary — at most one reply, since the
+    /// reply's summary is computed post-merge.
+    DirectoryDeltaGossip { delta: Box<DirectoryDelta> },
     /// Ask an edge node for its current directory digest (clients seed
     /// their `EdgeSelector` warm at startup with the reply).
     DirectoryPull,
@@ -215,7 +245,10 @@ impl NetMsg {
                 ReadResponse::Gather { .. } => "read-result-gather",
             },
             NetMsg::RotFetchAt { .. } => "rot-fetch-at",
+            NetMsg::FeedSubscribe { .. } => "feed-subscribe",
+            NetMsg::FeedDelta { .. } => "feed-delta",
             NetMsg::DirectoryGossip { .. } => "directory-gossip",
+            NetMsg::DirectoryDeltaGossip { .. } => "directory-delta-gossip",
             NetMsg::DirectoryPull => "directory-pull",
             NetMsg::Bft(m) => m.kind(),
             NetMsg::SegmentSigs { .. } => "segment-sigs",
@@ -223,81 +256,6 @@ impl NetMsg {
             NetMsg::CoordinatorPrepare { .. } => "coordinator-prepare",
             NetMsg::Prepared { .. } => "prepared",
             NetMsg::CommitOutcome { .. } => "commit-outcome",
-        }
-    }
-
-    // ---- compatibility constructors over the unified pair -------------
-    //
-    // The pre-unification wire protocol had one variant per read
-    // shape; these constructors keep that vocabulary while producing
-    // the unified [`NetMsg::Read`] / [`NetMsg::ReadResult`] messages.
-    // The response constructors are the serving-side idiom (replicas
-    // and edge nodes build every answer through them); the request
-    // constructors remain for harnesses and tests that speak the old
-    // per-shape names.
-
-    /// Round-1 read-only request: `keys` at the latest snapshot.
-    pub fn rot_request(req: u64, keys: Vec<Key>) -> NetMsg {
-        NetMsg::Read {
-            req,
-            query: ReadQuery::point(keys),
-        }
-    }
-
-    /// Round-2 request: serve the earliest state whose LCE ≥
-    /// `min_epoch` (Algorithm 2's second round).
-    pub fn rot_fetch(req: u64, keys: Vec<Key>, min_epoch: Epoch) -> NetMsg {
-        NetMsg::Read {
-            req,
-            query: ReadQuery::point(keys).with_policy(SnapshotPolicy::MinEpoch(min_epoch)),
-        }
-    }
-
-    /// Verified range-scan request over one partition's tree order at
-    /// the latest snapshot. The receiving node *is* the partition, so
-    /// the embedded cluster list is empty.
-    pub fn rot_scan(req: u64, range: ScanRange) -> NetMsg {
-        NetMsg::Read {
-            req,
-            query: ReadQuery::scatter_scan(vec![], range, range.width()),
-        }
-    }
-
-    /// Plain single-section read-only response.
-    pub fn rot_response(req: u64, bundle: RotBundle) -> NetMsg {
-        NetMsg::ReadResult {
-            req,
-            result: ReadPayload::Point {
-                sections: vec![bundle],
-            },
-        }
-    }
-
-    /// Partially-assembled (multi-section) read-only response.
-    pub fn rot_assembled(req: u64, sections: Vec<RotBundle>) -> NetMsg {
-        NetMsg::ReadResult {
-            req,
-            result: ReadPayload::Point { sections },
-        }
-    }
-
-    /// Proof-carrying range-scan response.
-    pub fn scan_proof(req: u64, bundle: RotScanBundle) -> NetMsg {
-        NetMsg::ReadResult {
-            req,
-            result: ReadPayload::Scan {
-                bundle: Box::new(bundle),
-            },
-        }
-    }
-
-    /// Batched point-read response carried by one multiproof.
-    pub fn rot_multi(req: u64, bundle: RotMultiBundle) -> NetMsg {
-        NetMsg::ReadResult {
-            req,
-            result: ReadPayload::Multi {
-                bundle: Box::new(bundle),
-            },
         }
     }
 }
@@ -331,7 +289,26 @@ fn signed_commit_size(c: &SignedCommit) -> usize {
 }
 
 fn header_size(h: &BatchHeader) -> usize {
-    2 + 8 + 4 + h.cd.len() * 8 + 8 + 32 + 8
+    // cluster + num + cd len + cd + lce + merkle root + delta digest +
+    // timestamp.
+    2 + 8 + 4 + h.cd.len() * 8 + 8 + 32 + 32 + 8
+}
+
+/// Wire size of one certified commit-feed entry: certified header +
+/// body digest + certificate + the sorted changed-key list.
+fn rot_delta_size(d: &RotDelta) -> usize {
+    header_size(&d.commitment.header)
+        + 32
+        + cert_size(&d.cert)
+        + 4
+        + d.changed.iter().map(|k| k.len() + 4).sum::<usize>()
+}
+
+fn feed_size(fresh: &Option<Vec<RotDelta>>) -> usize {
+    match fresh {
+        None => 1,
+        Some(deltas) => 5 + deltas.iter().map(rot_delta_size).sum::<usize>(),
+    }
 }
 
 fn batch_size(b: &Batch) -> usize {
@@ -411,16 +388,19 @@ fn scan_bundle_size(bundle: &RotScanBundle) -> usize {
 /// bandwidth model's estimate; exact for multiproof bodies).
 pub fn read_payload_size(result: &ReadPayload) -> usize {
     match result {
-        ReadPayload::Point { sections } => sections.iter().map(rot_bundle_size).sum::<usize>(),
+        ReadPayload::Point { sections, fresh } => {
+            sections.iter().map(rot_bundle_size).sum::<usize>() + feed_size(fresh)
+        }
         ReadPayload::Scan { bundle } => scan_bundle_size(bundle),
         // The body's structural size equals its shared wire image
         // byte-for-byte (asserted in the edge crate), so this is exact
         // for the proof-carrying part.
-        ReadPayload::Multi { bundle } => {
+        ReadPayload::Multi { bundle, fresh } => {
             header_size(&bundle.commitment.header)
                 + 32
                 + cert_size(&bundle.cert)
                 + bundle.body.encoded_len()
+                + feed_size(fresh)
         }
         ReadPayload::Gather { parts } => parts
             .iter()
@@ -450,7 +430,10 @@ impl SimMessage for NetMsg {
                     .map(|k| k.len() + 4)
                     .sum::<usize>()
             }
+            NetMsg::FeedSubscribe { .. } => 16,
+            NetMsg::FeedDelta { delta } => 8 + rot_delta_size(delta),
             NetMsg::DirectoryGossip { digest } => 8 + digest.wire_size(),
+            NetMsg::DirectoryDeltaGossip { delta } => 8 + delta.wire_size(),
             NetMsg::DirectoryPull => 8,
             NetMsg::Bft(m) => bft_size(m),
             NetMsg::SegmentSigs {
@@ -517,6 +500,7 @@ mod tests {
             cd: CdVector::new(5),
             lce: Epoch::NONE,
             merkle_root: Digest::ZERO,
+            delta_digest: Digest::ZERO,
             timestamp: SimTime::ZERO,
         };
         let b = Batch {
@@ -539,21 +523,35 @@ mod tests {
 
     #[test]
     fn message_sizes_scale_with_payload() {
-        let small = NetMsg::rot_request(1, vec![Key::from_u32(1)]);
-        let large = NetMsg::rot_request(1, (0..100).map(Key::from_u32).collect());
+        use transedge_edge::SnapshotPolicy;
+        let point = |keys| NetMsg::Read {
+            req: 1,
+            query: ReadQuery::point(keys),
+        };
+        let small = point(vec![Key::from_u32(1)]);
+        let large = point((0..100).map(Key::from_u32).collect());
         assert!(large.size_bytes() > small.size_bytes());
         // A round-2 fetch carries its epoch floor on the wire.
-        let fetch = NetMsg::rot_fetch(1, vec![Key::from_u32(1)], Epoch(3));
+        let fetch = NetMsg::Read {
+            req: 1,
+            query: ReadQuery::point(vec![Key::from_u32(1)])
+                .with_policy(SnapshotPolicy::MinEpoch(Epoch(3))),
+        };
         assert!(fetch.size_bytes() > small.size_bytes());
         assert_eq!(fetch.kind(), "read-point");
     }
 
     #[test]
     fn scan_query_size_accounts_for_range_and_page() {
+        use transedge_crypto::ScanRange;
         use transedge_edge::PageToken;
         // The scan request is not a flat constant: it carries the
         // encoded range bounds (16 bytes) on top of the envelope…
-        let scan = NetMsg::rot_scan(1, ScanRange::new(0, 63));
+        let range = ScanRange::new(0, 63);
+        let scan = NetMsg::Read {
+            req: 1,
+            query: ReadQuery::scatter_scan(vec![], range, range.width()),
+        };
         assert!(scan.size_bytes() >= 8 + 16);
         // …and a paginated continuation carries its token too.
         let paged = NetMsg::Read {

@@ -25,6 +25,12 @@ pub struct TxnSample {
     pub committed: bool,
     /// For read-only transactions: did it need the second round?
     pub rot_round2: bool,
+    /// For read-only transactions of a subscribed client: was every
+    /// partition served from a warm edge replay carrying a verified
+    /// feed attachment? Warm reads are the ones the subscription tier
+    /// promises to keep round-2-free; a cold forward (no attachment)
+    /// re-enters the ordinary two-round protocol.
+    pub rot_warm: bool,
     /// Latency of round 1 alone (read-only transactions).
     pub round1_latency: Option<SimDuration>,
 }
@@ -100,6 +106,76 @@ impl ReadQueryMetrics {
     /// A response was rejected by the verifier.
     pub fn rejected(&mut self, class: QueryClass) {
         self.apply(class, |c| c.rejected += 1);
+    }
+}
+
+/// One consolidated, typed snapshot of a client's read-protocol
+/// metrics: the per-shape served/verified/rejected counters plus the
+/// cross-cutting totals that used to live as ad-hoc `ClientStats`
+/// fields (`cert_checks_shared`, `read_result_bytes`,
+/// `multis_accepted`). Harnesses read it through
+/// `ClientActor::metrics()` and the accessors below — the fields are
+/// crate-private so the accessor API is the stable surface.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientMetrics {
+    pub(crate) shapes: ReadQueryMetrics,
+    pub(crate) cert_checks_shared: u64,
+    pub(crate) read_result_bytes: u64,
+    pub(crate) multis_accepted: u64,
+    pub(crate) freshness_upgrades: u64,
+    pub(crate) round2_skipped_by_feed: u64,
+}
+
+impl ClientMetrics {
+    /// Counters for single-partition point sub-queries.
+    pub fn point(&self) -> ShapeCounters {
+        self.shapes.point
+    }
+
+    /// Counters for scan-shaped sub-queries.
+    pub fn scan(&self) -> ShapeCounters {
+        self.shapes.scan
+    }
+
+    /// Counters for multi-page scans.
+    pub fn paginated(&self) -> ShapeCounters {
+        self.shapes.paginated
+    }
+
+    /// Counters for queries fanning out to several partitions.
+    pub fn scatter(&self) -> ShapeCounters {
+        self.shapes.scatter
+    }
+
+    /// Duplicate certificate checks skipped by the one-pass
+    /// verification charge (stitched sections and gather parts sharing
+    /// a content-identical commitment are charged one quorum check).
+    pub fn cert_checks_shared(&self) -> u64 {
+        self.cert_checks_shared
+    }
+
+    /// Total wire bytes of every read response this client received
+    /// (structural sizes — the throughput bench's bytes-per-read).
+    pub fn read_result_bytes(&self) -> u64 {
+        self.read_result_bytes
+    }
+
+    /// Batched multiproof responses verified and accepted.
+    pub fn multis_accepted(&self) -> u64 {
+        self.multis_accepted
+    }
+
+    /// Responses whose attached delta-feed tail verified, upgrading the
+    /// partition view to the feed head (subscription mode).
+    pub fn freshness_upgrades(&self) -> u64 {
+        self.freshness_upgrades
+    }
+
+    /// Queries whose round-2 MinEpoch re-fetch was eliminated because a
+    /// verified feed attachment already satisfied the dependency floor
+    /// the un-upgraded snapshot would have missed.
+    pub fn round2_skipped_by_feed(&self) -> u64 {
+        self.round2_skipped_by_feed
     }
 }
 
@@ -212,6 +288,7 @@ mod tests {
             end: SimTime(end_ms * 1000),
             committed,
             rot_round2: false,
+            rot_warm: false,
             round1_latency: None,
         }
     }

@@ -5,7 +5,7 @@
 //! its cluster's view additionally builds batches, aggregates signature
 //! shares, and drives 2PC with other clusters' leaders (paper §3).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use transedge_common::{
     BatchNum, ClusterId, ClusterTopology, Epoch, Key, NodeId, ReplicaId, SimDuration, TxnId,
@@ -18,8 +18,8 @@ use transedge_edge::{QueryShape, ReadPipeline, ReadQuery, SnapshotPolicy};
 
 use crate::batch::{Batch, CommittedHeader, PreparedTxn, Transaction};
 use crate::conflict::{admit, Footprint};
-use crate::executor::Executor;
-use crate::messages::{abort_vote_statement, NetMsg, PrepareVote};
+use crate::executor::{changed_keys, Executor};
+use crate::messages::{abort_vote_statement, NetMsg, PrepareVote, ReadPayload, RotDelta};
 use crate::records::{prepared_statement, CommitEvidence, CommitRecord, Outcome, SignedPrepared};
 
 /// Timer tokens.
@@ -39,6 +39,14 @@ pub const DEFAULT_TREE_DEPTH: u32 = 16;
 /// multiproof strictly smaller than `n` independent proofs for
 /// `n >= 4`, while tiny requests can lose the bet to bucket overlap.
 pub const MULTI_MIN_KEYS: usize = 4;
+
+/// How many certified commit-feed entries a replica retains for
+/// catching up (re)subscribers. A subscriber further behind than this
+/// gets only the retained suffix; its next queries repair the gap
+/// through the ordinary pull path (the replay cache resets its feed run
+/// on any gap, so a truncated catch-up costs freshness upgrades, never
+/// correctness).
+pub const FEED_LOG_CAP: usize = 128;
 
 /// Per-node protocol configuration.
 #[derive(Clone, Debug)]
@@ -114,6 +122,11 @@ pub struct NodeStats {
     pub rot_pinned_served: u64,
     /// Verified range scans served (with completeness proofs).
     pub rot_scans_served: u64,
+    /// Certified commit-feed deltas pushed to subscribers (one count
+    /// per published batch, regardless of fan-out).
+    pub deltas_published: u64,
+    /// Feed-log suffix entries replayed to catching-up subscribers.
+    pub deltas_replayed: u64,
     /// Scan requests dropped for an invalid range (out of the leaf
     /// space or wider than the protocol cap) — client-side bug or a
     /// malformed forward; never served, never parked.
@@ -158,6 +171,11 @@ pub struct TransEdgeNode {
     /// The edge read subsystem's serving pipeline: proof assembly with
     /// a per-`(key, batch)` cache.
     pub read_pipeline: ReadPipeline,
+    // ---- certified commit feed ----
+    /// Subscribers to this replica's certified commit feed.
+    feed_subscribers: HashSet<NodeId>,
+    /// Retained feed suffix for catching up (re)subscribers.
+    feed_log: VecDeque<RotDelta>,
     // ---- progress tracking ----
     last_progress_check: u64,
     forwarded_since_check: bool,
@@ -209,6 +227,8 @@ impl TransEdgeNode {
             sigs: SigAggregation::default(),
             pending_reads: Vec::new(),
             read_pipeline: ReadPipeline::default(),
+            feed_subscribers: HashSet::new(),
+            feed_log: VecDeque::new(),
             last_progress_check: 0,
             forwarded_since_check: false,
             stats: NodeStats::default(),
@@ -447,8 +467,71 @@ impl TransEdgeNode {
             // More work queued? Keep the pipeline moving.
             self.maybe_seal(ctx, false);
         }
+        // --- certified commit feed: publish this batch's delta ---
+        self.publish_delta(slot, &batch, &outcome.drained, ctx);
         // --- parked reads that this batch may satisfy ---
         self.serve_parked_reads(ctx);
+    }
+
+    /// Build the batch's [`RotDelta`] — its certified header plus the
+    /// sorted changed-key set the header's `delta_digest` commits to —
+    /// log it, and push it to every feed subscriber. The delta carries
+    /// the *same* `f+1` certificate as any proof-carrying read, so
+    /// subscribers verify it with `ReadVerifier::verify_delta` before
+    /// trusting a word of it.
+    fn publish_delta(
+        &mut self,
+        slot: BatchNum,
+        batch: &Batch,
+        drained: &[(Transaction, crate::records::CommitRecord)],
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        let Some((_, cert)) = self.engine.log().get(slot) else {
+            return;
+        };
+        let delta = RotDelta {
+            commitment: CommittedHeader::of(batch),
+            cert: cert.clone(),
+            changed: changed_keys(&self.topo, self.me.cluster, &batch.local, drained),
+        };
+        if !self.feed_subscribers.is_empty() {
+            self.stats.deltas_published += 1;
+            for sub in self.feed_subscribers.iter().copied().collect::<Vec<_>>() {
+                ctx.send(
+                    sub,
+                    NetMsg::FeedDelta {
+                        delta: Box::new(delta.clone()),
+                    },
+                );
+            }
+        }
+        self.feed_log.push_back(delta);
+        while self.feed_log.len() > FEED_LOG_CAP {
+            self.feed_log.pop_front();
+        }
+    }
+
+    /// (Re)subscribe `from` to the certified commit feed, replaying any
+    /// retained suffix past `from_batch` so a briefly-partitioned
+    /// subscriber rejoins without a gap.
+    fn on_feed_subscribe(
+        &mut self,
+        from: NodeId,
+        from_batch: BatchNum,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        self.feed_subscribers.insert(from);
+        for delta in &self.feed_log {
+            if delta.batch() > from_batch {
+                self.stats.deltas_replayed += 1;
+                ctx.send(
+                    from,
+                    NetMsg::FeedDelta {
+                        delta: Box::new(delta.clone()),
+                    },
+                );
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -964,14 +1047,17 @@ impl TransEdgeNode {
             self.stats.rot_multi_served += 1;
             ctx.send(
                 to,
-                NetMsg::rot_multi(
+                NetMsg::ReadResult {
                     req,
-                    transedge_edge::MultiProofBundle {
-                        commitment,
-                        cert,
-                        body,
+                    result: ReadPayload::Multi {
+                        bundle: Box::new(transedge_edge::MultiProofBundle {
+                            commitment,
+                            cert,
+                            body,
+                        }),
+                        fresh: None,
                     },
-                ),
+                },
             );
             return;
         }
@@ -983,14 +1069,17 @@ impl TransEdgeNode {
         ctx.charge(|c| SimDuration(c.merkle_prove.0 * misses));
         ctx.send(
             to,
-            NetMsg::rot_response(
+            NetMsg::ReadResult {
                 req,
-                transedge_edge::ProofBundle {
-                    commitment,
-                    cert,
-                    reads,
+                result: ReadPayload::Point {
+                    sections: vec![transedge_edge::ProofBundle {
+                        commitment,
+                        cert,
+                        reads,
+                    }],
+                    fresh: None,
                 },
-            ),
+            },
         );
     }
 
@@ -1072,14 +1161,16 @@ impl TransEdgeNode {
         }
         ctx.send(
             to,
-            NetMsg::scan_proof(
+            NetMsg::ReadResult {
                 req,
-                transedge_edge::ScanBundle {
-                    commitment,
-                    cert,
-                    scan,
+                result: ReadPayload::Scan {
+                    bundle: Box::new(transedge_edge::ScanBundle {
+                        commitment,
+                        cert,
+                        scan,
+                    }),
                 },
-            ),
+            },
         );
     }
 
@@ -1280,6 +1371,7 @@ impl Actor<NetMsg> for TransEdgeNode {
                 at_batch,
                 min_epoch,
             } => self.on_rot_fetch_at(from, req, keys, all_keys, at_batch, min_epoch, ctx),
+            NetMsg::FeedSubscribe { from_batch } => self.on_feed_subscribe(from, from_batch, ctx),
             NetMsg::Bft(msg) => {
                 let Some(replica) = from.as_replica() else {
                     return; // consensus traffic must come from replicas
@@ -1320,11 +1412,14 @@ impl Actor<NetMsg> for TransEdgeNode {
             } => self.on_commit_outcome(txn, coordinator, outcome, prepared, ctx),
             // Responses are client-bound; a replica receiving one is a
             // routing bug in the sender — drop. Directory gossip is an
-            // edge/client affair; replicas are not in the fleet.
+            // edge/client affair; replicas are not in the fleet, and a
+            // replica *publishes* feed deltas, it never consumes them.
             NetMsg::OccReadResp { .. }
             | NetMsg::TxnResult { .. }
             | NetMsg::ReadResult { .. }
+            | NetMsg::FeedDelta { .. }
             | NetMsg::DirectoryGossip { .. }
+            | NetMsg::DirectoryDeltaGossip { .. }
             | NetMsg::DirectoryPull => {}
         }
     }

@@ -13,7 +13,7 @@ use transedge_crypto::{KeyStore, Keypair};
 use transedge_simnet::{CostModel, FaultPlan, LatencyModel, Simulation};
 
 use crate::client::{ClientActor, ClientConfig, ClientOp};
-use crate::edge_node::{DirectoryPlan, EdgeBehavior, EdgeNodeParams, EdgeReadNode};
+use crate::edge_node::{DirectoryPlan, EdgeBehavior, EdgeNodeParams, EdgeReadNode, FeedPlan};
 use crate::messages::NetMsg;
 use crate::metrics::TxnSample;
 use crate::node::{NodeConfig, TransEdgeNode};
@@ -27,6 +27,10 @@ pub struct EdgePlan {
     pub cache_capacity: usize,
     /// Certified headers each edge node retains.
     pub max_cached_batches: usize,
+    /// Cluster-hash shards each edge's per-partition replay caches
+    /// spread over (lock-striping knob; see
+    /// [`transedge_edge::ShardedReplayCache`]).
+    pub cache_shards: usize,
     /// Edge nodes refuse to replay bundles older than this, forwarding
     /// upstream instead (must sit well inside the clients' freshness
     /// window so honest replays are never rejected as stale).
@@ -41,6 +45,10 @@ pub struct EdgePlan {
     /// shape); `with_directory` turns both on and makes clients pull a
     /// digest at startup.
     pub directory: DirectoryPlan,
+    /// Certified commit-feed subscription (push invalidation +
+    /// freshness attachments). Disabled by default; `with_feed` turns
+    /// it on.
+    pub feed: FeedPlan,
 }
 
 impl EdgePlan {
@@ -50,10 +58,12 @@ impl EdgePlan {
             per_cluster: 0,
             cache_capacity: transedge_edge::pipeline::DEFAULT_CACHE_CAPACITY,
             max_cached_batches: 64,
+            cache_shards: transedge_edge::DEFAULT_SHARD_COUNT,
             replay_staleness: transedge_common::SimDuration::from_secs(10),
             route_clients: true,
             byzantine: Vec::new(),
             directory: DirectoryPlan::disabled(),
+            feed: FeedPlan::disabled(),
         }
     }
 
@@ -76,6 +86,20 @@ impl EdgePlan {
     /// part (startup pull + rejection-evidence push).
     pub fn with_directory(mut self, interval: SimDuration) -> Self {
         self.directory = DirectoryPlan::gossip(interval);
+        self
+    }
+
+    /// Subscribe every edge to its home cluster's certified commit
+    /// feed (push invalidation + freshness attachments), renewing the
+    /// lease at `interval`.
+    pub fn with_feed(mut self, interval: SimDuration) -> Self {
+        self.feed = FeedPlan::subscribed(interval);
+        self
+    }
+
+    /// Override the replay-cache shard count.
+    pub fn with_cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards;
         self
     }
 
@@ -292,10 +316,12 @@ impl Deployment {
                     behavior: config.edge.behavior_of(id),
                     cache_capacity: config.edge.cache_capacity,
                     max_cached_batches: config.edge.max_cached_batches,
+                    cache_shards: config.edge.cache_shards,
                     replay_staleness: config.edge.replay_staleness,
                     tree_depth: config.node.tree_depth,
                     freshness_window: config.node.freshness_window,
                     directory: config.edge.directory.clone(),
+                    feed: config.edge.feed.clone(),
                     peers: edge_ids.clone(),
                 },
             );

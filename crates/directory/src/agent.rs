@@ -3,11 +3,14 @@
 //!
 //! Every edge node (and every directory-enabled client) embeds one
 //! [`DirectoryAgent`]. Edges refresh a signed self-observation with
-//! their cache coverage each gossip round and push their full digest to
-//! one rotating peer (anti-entropy push — a new record reaches the
-//! whole fleet in `O(log n)` expected rounds); clients push signed
-//! observations and rejection evidence after verification failures and
-//! pull a digest at startup to seed their `EdgeSelector` warm.
+//! their cache coverage each gossip round and push a [`GossipDelta`] —
+//! records the peer's last summary says it lacks — to one rotating peer
+//! (push-pull anti-entropy: the receiver answers with the records *it*
+//! holds that beat the sender's summary, so a new record still reaches
+//! the whole fleet in `O(log n)` expected rounds while steady-state
+//! rounds carry summaries, not state); clients push signed observations
+//! and rejection evidence after verification failures and pull a full
+//! digest at startup to seed their `EdgeSelector` warm.
 //!
 //! Ingest is where trust is enforced: observation signatures are
 //! checked against the deployment's key directory, evidence is re-run
@@ -25,13 +28,13 @@ use transedge_edge::{BatchCommitment, ReadQuery, ReadRejection, ReadResponse, Re
 
 use crate::digest::{CoverageSummary, ObservationBody, SignedObservation, UNSAMPLED_LATENCY};
 use crate::evidence::{is_cryptographic, EvidenceBody, SignedEvidence};
-use crate::state::{DirectoryState, EdgeHint};
+use crate::state::{DirectoryState, EdgeHint, StateSummary};
 
-/// One gossip payload: a full-state digest. At fleet scales the state
-/// is small (one observation per (observer, subject) pair, one evidence
-/// record per byzantine edge), so full-state push keeps the protocol
-/// trivially idempotent; delta encoding is an optimisation the CRDT
-/// merge makes safe to add later.
+/// One gossip payload: a full-state digest. The CRDT merge keeps this
+/// trivially idempotent; the wire protocol has since moved to
+/// [`GossipDelta`] push-pull anti-entropy, but the full digest remains
+/// the bootstrap payload (pulling a warm state at startup) and the
+/// reference semantics the merge-law tests exercise.
 #[derive(Clone, Debug)]
 pub struct GossipDigest<H> {
     pub observations: Vec<SignedObservation>,
@@ -47,6 +50,38 @@ impl<H: BatchCommitment + Clone> GossipDigest<H> {
             .map(|o| 72 + o.body.wire_size())
             .sum::<usize>()
             + self.evidence.iter().map(|e| e.wire_size()).sum::<usize>()
+    }
+}
+
+/// One push-pull anti-entropy exchange leg: the records the sender
+/// believes the receiver lacks, plus the sender's own [`StateSummary`]
+/// so the receiver can answer with exactly the records the *sender*
+/// lacks. Replies are only sent when non-empty, so an exchange
+/// terminates after at most two legs: the reply's summary is computed
+/// **post-merge**, so a counter-reply would necessarily be empty.
+#[derive(Clone, Debug)]
+pub struct GossipDelta<H> {
+    /// The sender's post-merge state summary.
+    pub summary: StateSummary,
+    pub observations: Vec<SignedObservation>,
+    pub evidence: Vec<SignedEvidence<H>>,
+}
+
+impl<H: BatchCommitment + Clone> GossipDelta<H> {
+    /// Wire-size estimate for the simulator's bandwidth model.
+    pub fn wire_size(&self) -> usize {
+        8 + self.summary.wire_size()
+            + self
+                .observations
+                .iter()
+                .map(|o| 72 + o.body.wire_size())
+                .sum::<usize>()
+            + self.evidence.iter().map(|e| e.wire_size()).sum::<usize>()
+    }
+
+    /// Carries no records (summaries alone are not worth a reply).
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty() && self.evidence.is_empty()
     }
 }
 
@@ -75,6 +110,13 @@ pub struct DirectoryStats {
     pub evidence_accepted: u64,
     pub evidence_rejected: u64,
     pub senders_struck: u64,
+    /// Delta (push-pull) payloads ingested.
+    pub deltas_ingested: u64,
+    /// Ingested deltas that warranted a non-empty pull reply.
+    pub delta_replies_sent: u64,
+    /// Records shipped in outgoing deltas (vs. what a full digest
+    /// would have carried — the bandwidth win the benches report).
+    pub delta_records_sent: u64,
 }
 
 /// The per-node directory participant. See module docs.
@@ -91,6 +133,11 @@ pub struct DirectoryAgent<H> {
     /// When *this* agent first learned of verified evidence per edge —
     /// the propagation clock the benches read.
     learned_at: HashMap<EdgeId, SimTime>,
+    /// Last summary each peer shipped us — what we believe they hold,
+    /// used to size the next delta we push them. Purely an
+    /// optimisation: a stale entry costs redundant records (the merge
+    /// drops them), never missed ones.
+    peer_known: HashMap<NodeId, StateSummary>,
     pub stats: DirectoryStats,
 }
 
@@ -104,6 +151,7 @@ impl<H: BatchCommitment + Clone> DirectoryAgent<H> {
             seqs: HashMap::new(),
             strikes: HashMap::new(),
             learned_at: HashMap::new(),
+            peer_known: HashMap::new(),
             stats: DirectoryStats::default(),
         }
     }
@@ -198,8 +246,58 @@ impl<H: BatchCommitment + Clone> DirectoryAgent<H> {
         now: SimTime,
     ) -> IngestReport {
         self.stats.gossip_ingested += 1;
+        let report = self.verify_and_admit(&digest.observations, &digest.evidence, keys, now);
+        if report.rejected() > 0 {
+            self.strike(from);
+        }
+        report
+    }
+
+    /// Verify and merge one anti-entropy **delta** leg from `from`.
+    /// Verification is identical to [`DirectoryAgent::ingest`] — a
+    /// delta is just a smaller payload, not a weaker one. The sender's
+    /// summary is remembered (to size the next delta we push them), and
+    /// the pull half of the exchange is returned: the records *we* hold
+    /// that beat the sender's summary, computed **after** the merge so
+    /// a counter-reply would be empty and the exchange terminates.
+    /// `None` means nothing to send back.
+    pub fn ingest_delta(
+        &mut self,
+        from: NodeId,
+        delta: &GossipDelta<H>,
+        keys: &KeyStore,
+        now: SimTime,
+    ) -> (IngestReport, Option<GossipDelta<H>>) {
+        self.stats.gossip_ingested += 1;
+        self.stats.deltas_ingested += 1;
+        let report = self.verify_and_admit(&delta.observations, &delta.evidence, keys, now);
+        if report.rejected() > 0 {
+            self.strike(from);
+        }
+        self.peer_known.insert(from, delta.summary.clone());
+        let (observations, evidence) = self.state.records_beating(&delta.summary);
+        if observations.is_empty() && evidence.is_empty() {
+            return (report, None);
+        }
+        self.stats.delta_replies_sent += 1;
+        self.stats.delta_records_sent += (observations.len() + evidence.len()) as u64;
+        let reply = GossipDelta {
+            summary: self.state.summary(),
+            observations,
+            evidence,
+        };
+        (report, Some(reply))
+    }
+
+    fn verify_and_admit(
+        &mut self,
+        observations: &[SignedObservation],
+        evidence: &[SignedEvidence<H>],
+        keys: &KeyStore,
+        now: SimTime,
+    ) -> IngestReport {
         let mut report = IngestReport::default();
-        for obs in &digest.observations {
+        for obs in observations {
             if obs.verify(keys) {
                 self.state.admit_observation(obs.clone());
                 report.observations_accepted += 1;
@@ -207,7 +305,7 @@ impl<H: BatchCommitment + Clone> DirectoryAgent<H> {
                 report.observations_rejected += 1;
             }
         }
-        for ev in &digest.evidence {
+        for ev in evidence {
             if ev.verify(keys, &self.verifier).is_some() {
                 let subject = ev.body.subject;
                 if self.state.admit_evidence(ev.clone()) {
@@ -222,17 +320,34 @@ impl<H: BatchCommitment + Clone> DirectoryAgent<H> {
         self.stats.observations_rejected += report.observations_rejected;
         self.stats.evidence_accepted += report.evidence_accepted;
         self.stats.evidence_rejected += report.evidence_rejected;
-        if report.rejected() > 0 {
-            self.strike(from);
-        }
         report
     }
 
-    /// The full-state gossip payload.
+    /// The full-state gossip payload (bootstrap pulls and tests).
     pub fn digest(&self) -> GossipDigest<H> {
         GossipDigest {
             observations: self.state.observations().cloned().collect(),
             evidence: self.state.evidence().cloned().collect(),
+        }
+    }
+
+    /// The push leg of a delta exchange toward `peer`: every record
+    /// that beats the last summary `peer` shipped us (everything, for a
+    /// peer we have never heard from), plus our own summary so the peer
+    /// can pull what we lack.
+    pub fn delta_for(&mut self, peer: NodeId) -> GossipDelta<H> {
+        let (observations, evidence) = match self.peer_known.get(&peer) {
+            Some(known) => self.state.records_beating(known),
+            None => (
+                self.state.observations().cloned().collect(),
+                self.state.evidence().cloned().collect(),
+            ),
+        };
+        self.stats.delta_records_sent += (observations.len() + evidence.len()) as u64;
+        GossipDelta {
+            summary: self.state.summary(),
+            observations,
+            evidence,
         }
     }
 

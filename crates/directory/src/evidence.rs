@@ -23,8 +23,8 @@
 use transedge_common::{ClusterId, EdgeId, Encode as _, Key, NodeId, SimTime, Value, WireWriter};
 use transedge_crypto::{sha256, Digest, KeyStore, Keypair, Sha256, Signature};
 use transedge_edge::{
-    BatchCommitment, ProofBundle, QueryShape, ReadQuery, ReadRejection, ReadResponse, ReadVerifier,
-    ScanBundle, SnapshotPolicy,
+    BatchCommitment, CertifiedDelta, ProofBundle, QueryShape, ReadQuery, ReadRejection,
+    ReadResponse, ReadVerifier, ScanBundle, SnapshotPolicy,
 };
 
 /// Is this rejection class *cryptographic* — does producing it require
@@ -47,6 +47,8 @@ pub fn is_cryptographic(rejection: &ReadRejection) -> bool {
             | ReadRejection::ScanRowMismatch(_)
             | ReadRejection::BadMultiProof
             | ReadRejection::MultiProofKeyMissing(_)
+            | ReadRejection::BadDelta
+            | ReadRejection::FeedSpliced { .. }
     )
 }
 
@@ -111,25 +113,50 @@ fn hash_scan<H: BatchCommitment>(h: &mut Sha256, bundle: &ScanBundle<H>) {
     }
 }
 
+/// Hash a freshness feed: each delta's certified digest, certificate,
+/// and — crucially — the *carried* changed-key list. The certificate
+/// pins the true delta digest, but the carried list is the relay's
+/// claim; hashing it means a tampered list (the lie the evidence
+/// convicts) cannot be swapped out from under the witness's signature.
+fn hash_feed<H: BatchCommitment>(h: &mut Sha256, feed: &[CertifiedDelta<H>]) {
+    h.update(b"fresh");
+    h.update(&(feed.len() as u32).to_le_bytes());
+    for delta in feed {
+        h.update(&delta.commitment.certified_digest().0);
+        h.update(&delta.cert.digest.0);
+        for (node, sig) in &delta.cert.sigs {
+            let mut w = WireWriter::with_capacity(8);
+            node.encode(&mut w);
+            h.update(&w.into_bytes());
+            h.update(&sig.0);
+        }
+        hash_keys(h, &delta.changed);
+    }
+}
+
 /// Collision-resistant digest of a response's proof-relevant content.
 /// Any tamper a verifier could object to — values, proofs, roots,
-/// certificates, rows, window bounds — changes it, so the witness's
-/// signature over the fingerprint pins the evidence to *this* response:
-/// a relay cannot swap in a different payload under the signature.
+/// certificates, rows, window bounds, freshness feeds — changes it, so
+/// the witness's signature over the fingerprint pins the evidence to
+/// *this* response: a relay cannot swap in a different payload under
+/// the signature.
 pub fn response_fingerprint<H: BatchCommitment>(response: &ReadResponse<H>) -> Digest {
     let mut h = Sha256::new();
     match response {
-        ReadResponse::Point { sections } => {
+        ReadResponse::Point { sections, fresh } => {
             h.update(b"point");
             for section in sections {
                 hash_bundle(&mut h, section);
+            }
+            if let Some(feed) = fresh {
+                hash_feed(&mut h, feed);
             }
         }
         ReadResponse::Scan { bundle } => {
             h.update(b"scan");
             hash_scan(&mut h, bundle);
         }
-        ReadResponse::Multi { bundle } => {
+        ReadResponse::Multi { bundle, fresh } => {
             // The body's wire image covers keys, values, and the
             // multiproof byte-for-byte; pinning it plus the certificate
             // fixes everything a verifier could object to.
@@ -143,6 +170,9 @@ pub fn response_fingerprint<H: BatchCommitment>(response: &ReadResponse<H>) -> D
                 h.update(&sig.0);
             }
             h.update(bundle.body.wire_bytes());
+            if let Some(feed) = fresh {
+                hash_feed(&mut h, feed);
+            }
         }
         ReadResponse::Gather { parts } => {
             h.update(b"gather");
@@ -205,6 +235,9 @@ pub fn query_fingerprint(query: &ReadQuery) -> Digest {
     if let Some(prefix) = &query.prefix {
         h.update(b"prefix");
         h.update(&prefix.through.to_le_bytes());
+    }
+    if query.fresh {
+        h.update(b"fresh");
     }
     h.finalize()
 }
@@ -298,27 +331,43 @@ impl<H: BatchCommitment + Clone> SignedEvidence<H> {
 
     /// Wire-size estimate for the simulator's bandwidth model.
     pub fn wire_size(&self) -> usize {
+        fn feed_size<H>(feed: &Option<Vec<CertifiedDelta<H>>>) -> usize {
+            feed.as_ref().map_or(1, |deltas| {
+                1 + deltas
+                    .iter()
+                    .map(|d| {
+                        110 + d.cert.sigs.len() * 101
+                            + d.changed.iter().map(|k| 4 + k.len()).sum::<usize>()
+                    })
+                    .sum::<usize>()
+            })
+        }
         fn response_size<H>(r: &ReadResponse<H>) -> usize {
             match r {
-                ReadResponse::Point { sections } => sections
-                    .iter()
-                    .map(|s| {
-                        110 + s.cert.sigs.len() * 101
-                            + s.reads
-                                .iter()
-                                .map(|v| {
-                                    v.key.len()
-                                        + v.value.as_ref().map(|x| x.len()).unwrap_or(0)
-                                        + v.proof.encoded_len()
-                                })
-                                .sum::<usize>()
-                    })
-                    .sum(),
+                ReadResponse::Point { sections, fresh } => {
+                    sections
+                        .iter()
+                        .map(|s| {
+                            110 + s.cert.sigs.len() * 101
+                                + s.reads
+                                    .iter()
+                                    .map(|v| {
+                                        v.key.len()
+                                            + v.value.as_ref().map(|x| x.len()).unwrap_or(0)
+                                            + v.proof.encoded_len()
+                                    })
+                                    .sum::<usize>()
+                        })
+                        .sum::<usize>()
+                        + feed_size(fresh)
+                }
                 ReadResponse::Scan { bundle } => {
                     110 + bundle.cert.sigs.len() * 101 + bundle.scan.encoded_len()
                 }
-                ReadResponse::Multi { bundle } => {
-                    110 + bundle.cert.sigs.len() * 101 + bundle.body.encoded_len()
+                ReadResponse::Multi { bundle, fresh } => {
+                    110 + bundle.cert.sigs.len() * 101
+                        + bundle.body.encoded_len()
+                        + feed_size(fresh)
                 }
                 ReadResponse::Gather { parts } => parts
                     .iter()

@@ -61,7 +61,7 @@ pub mod digest;
 pub mod evidence;
 pub mod state;
 
-pub use agent::{DirectoryAgent, DirectoryStats, GossipDigest, IngestReport};
+pub use agent::{DirectoryAgent, DirectoryStats, GossipDelta, GossipDigest, IngestReport};
 pub use digest::{CoverageSummary, ObservationBody, SignedObservation, UNSAMPLED_LATENCY};
 pub use evidence::{is_cryptographic, EvidenceBody, SignedEvidence};
-pub use state::{DirectoryState, EdgeHint};
+pub use state::{DirectoryState, EdgeHint, StateSummary};

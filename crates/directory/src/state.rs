@@ -22,10 +22,35 @@
 use std::collections::HashMap;
 
 use transedge_common::{ClusterId, EdgeId, NodeId};
+use transedge_crypto::Digest;
 use transedge_edge::BatchCommitment;
 
 use crate::digest::{CoverageSummary, SignedObservation, UNSAMPLED_LATENCY};
 use crate::evidence::SignedEvidence;
+
+/// A record-free description of what a state already holds: the
+/// `(seq, rank)` version of each held observation and the rank of each
+/// held evidence record. Peers ship summaries ahead of records so an
+/// anti-entropy exchange carries only records that **beat** the other
+/// side's summary — a delta, not the full state. A summary is pure
+/// bookkeeping: it claims nothing verifiable, so a lying summary can
+/// only cost its sender records it pretended to already hold.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StateSummary {
+    /// `(observer, subject)` → held observation's `(seq, rank)`.
+    pub observations: HashMap<(NodeId, EdgeId), (u64, Digest)>,
+    /// subject → held evidence record's rank.
+    pub evidence: HashMap<EdgeId, (u64, Digest)>,
+}
+
+impl StateSummary {
+    /// Wire-size estimate for the simulator's bandwidth model: per
+    /// observation entry a 16-byte key + 8-byte seq + 32-byte rank, per
+    /// evidence entry an 8-byte key + 40-byte rank, plus two counts.
+    pub fn wire_size(&self) -> usize {
+        16 + self.observations.len() * 56 + self.evidence.len() * 48
+    }
+}
 
 /// One edge's aggregated standing, as derived from the directory — the
 /// hint record routing layers consume.
@@ -115,6 +140,51 @@ impl<H: BatchCommitment + Clone> DirectoryState<H> {
             }
         }
         changed
+    }
+
+    /// Summarise the held records — versions and ranks only, no bodies.
+    pub fn summary(&self) -> StateSummary {
+        StateSummary {
+            observations: self
+                .observations
+                .iter()
+                .map(|(k, o)| (*k, (o.body.seq, o.rank())))
+                .collect(),
+            evidence: self.evidence.iter().map(|(k, e)| (*k, e.rank())).collect(),
+        }
+    }
+
+    /// The records this state holds that would **win** the CRDT join
+    /// against a peer holding `summary` — exactly what an anti-entropy
+    /// delta must carry, and nothing else. Sorted for deterministic
+    /// payloads.
+    pub fn records_beating(
+        &self,
+        summary: &StateSummary,
+    ) -> (Vec<SignedObservation>, Vec<SignedEvidence<H>>) {
+        let mut obs: Vec<SignedObservation> = self
+            .observations
+            .iter()
+            .filter(|(k, o)| match summary.observations.get(k) {
+                Some(theirs) => (o.body.seq, o.rank()) > *theirs,
+                None => true,
+            })
+            .map(|(_, o)| o.clone())
+            .collect();
+        obs.sort_by_key(|o| (o.observer, o.body.subject));
+        let mut ev: Vec<SignedEvidence<H>> = self
+            .evidence
+            .iter()
+            .filter(|(k, e)| match summary.evidence.get(k) {
+                // Evidence joins by *smallest* rank, so ours beats
+                // theirs when it sorts strictly below.
+                Some(theirs) => e.rank() < *theirs,
+                None => true,
+            })
+            .map(|(_, e)| e.clone())
+            .collect();
+        ev.sort_by_key(|e| e.body.subject);
+        (obs, ev)
     }
 
     pub fn observations(&self) -> impl Iterator<Item = &SignedObservation> {

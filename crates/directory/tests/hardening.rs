@@ -187,6 +187,7 @@ fn genuine_evidence_is_admitted_and_demotes() {
     bundle.reads[0].value = Some(Value::from("forged-by-edge"));
     let response: ReadResponse<TestHeader> = ReadResponse::Point {
         sections: vec![bundle],
+        fresh: None,
     };
     let rejection = world
         .verifier()
@@ -233,6 +234,7 @@ fn fabricated_evidence_is_rejected_and_sender_demoted() {
     let query = ReadQuery::point(query_keys.clone());
     let honest: ReadResponse<TestHeader> = ReadResponse::Point {
         sections: vec![world.bundle(&query_keys)],
+        fresh: None,
     };
     // Edge 2 frames edge 1 with honest material, signing the claim
     // with its own (registered) key — the signature is fine; the
@@ -318,6 +320,66 @@ fn forged_observation_is_rejected_and_sender_demoted() {
         .iter()
         .any(|h| h.edge == edge(1) && h.coverage.is_some()));
     assert!(!receiver.knows_byzantine(edge(1)));
+}
+
+/// Push–pull delta anti-entropy: two agents with divergent states
+/// converge in a single push + reply (two legs), exchanging only the
+/// records the other side's summary proves it is missing — and once
+/// converged, the next delta carries *no* records at all (the peer's
+/// summary is remembered), so steady-state gossip costs summaries,
+/// not state.
+#[test]
+fn delta_exchange_converges_in_two_legs_then_goes_quiet() {
+    let world = World::new();
+    let mut a = world.agent(edge(0));
+    let mut b = world.agent(edge(1));
+    // Divergent histories: each side holds observations the other
+    // lacks, and A additionally holds verified byzantine evidence.
+    a.observe(edge(0), Some(900.0), 20, 1, 0, vec![], NOW);
+    a.observe(edge(2), Some(2_000.0), 5, 0, 1, vec![], NOW);
+    b.observe(edge(1), Some(1_100.0), 30, 2, 0, vec![], NOW);
+    let query_keys = vec![Key::from_u32(0)];
+    let query = ReadQuery::point(query_keys.clone());
+    let mut bundle = world.bundle(&query_keys);
+    bundle.reads[0].value = Some(Value::from("forged-by-edge"));
+    let response: ReadResponse<TestHeader> = ReadResponse::Point {
+        sections: vec![bundle],
+        fresh: None,
+    };
+    let rejection = world
+        .verifier()
+        .verify_query(&world.keys, ClusterId(0), &query, &response, NOW)
+        .expect_err("tampered bundle must fail verification");
+    assert!(a.witness(edge(2), ClusterId(0), &query, &response, &rejection, NOW));
+
+    // Leg 1: A pushes its delta (no summary known for B yet → full
+    // state); B merges and replies with exactly what A is missing.
+    let push = a.delta_for(NodeId::Edge(edge(1)));
+    assert!(!push.is_empty());
+    let (report, reply) = b.ingest_delta(NodeId::Edge(edge(0)), &push, &world.keys, NOW);
+    assert_eq!(report.rejected(), 0);
+    assert!(b.knows_byzantine(edge(2)), "evidence must ride the delta");
+    let reply = reply.expect("B holds records A lacks — it must reply");
+    assert_eq!(reply.observations.len(), 1, "only the missing record");
+
+    // Leg 2: A merges the reply. Both fingerprints now agree.
+    let (report, counter) = a.ingest_delta(NodeId::Edge(edge(1)), &reply, &world.keys, NOW);
+    assert_eq!(report.rejected(), 0);
+    assert!(
+        counter.is_none(),
+        "A owes nothing back — convergence in two legs"
+    );
+    assert_eq!(a.state().fingerprint(), b.state().fingerprint());
+
+    // Steady state: the next push carries a summary but zero records,
+    // and provokes no reply.
+    let quiet = a.delta_for(NodeId::Edge(edge(1)));
+    assert!(
+        quiet.is_empty(),
+        "a remembered peer summary must suppress redundant records"
+    );
+    let (_, reply) = b.ingest_delta(NodeId::Edge(edge(0)), &quiet, &world.keys, NOW);
+    assert!(reply.is_none(), "nothing beats an identical state");
 }
 
 /// Honest relaying still works: a *validly signed* third-party

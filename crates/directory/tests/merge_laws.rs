@@ -76,7 +76,10 @@ fn evidence(witness: u8, subject: u8, observed_at: u64, sig: u8) -> Record {
             subject: EdgeId::new(ClusterId((subject % 3) as u16), (subject / 3) as u16),
             cluster: ClusterId((subject % 3) as u16),
             query: ReadQuery::point(vec![]),
-            response: ReadResponse::Point { sections: vec![] },
+            response: ReadResponse::Point {
+                sections: vec![],
+                fresh: None,
+            },
             observed_at: SimTime(observed_at),
         },
         sig: Signature([sig; 64]),

@@ -78,9 +78,11 @@ pub use query::{
     GatherPart, PageToken, PrefixResume, QueryAnswer, QueryShape, ReadQuery, ReadResponse,
     SnapshotPolicy,
 };
-pub use replay::{Assembly, ReplayCache, ReplayStats, ShardedReplayCache, DEFAULT_SHARD_COUNT};
+pub use replay::{
+    Assembly, ReplayCache, ReplayStats, ShardedReplayCache, DEFAULT_SHARD_COUNT, MAX_FEED_DELTAS,
+};
 pub use response::{
-    BatchCommitment, MultiProofBody, MultiProofBundle, ProofBundle, ProvenRead, ScanBundle,
-    ScanProof,
+    changed_keys_digest, BatchCommitment, CertifiedDelta, MultiProofBody, MultiProofBundle,
+    ProofBundle, ProvenRead, ScanBundle, ScanProof,
 };
 pub use verifier::{ReadRejection, ReadVerifier, VerifyParams};

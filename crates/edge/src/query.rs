@@ -29,7 +29,7 @@ use transedge_common::{BatchNum, ClusterId, Epoch, Key, Value};
 use transedge_crypto::range::MAX_RANGE_BUCKETS;
 use transedge_crypto::ScanRange;
 
-use crate::response::{BatchCommitment, MultiProofBundle, ProofBundle, ScanBundle};
+use crate::response::{BatchCommitment, CertifiedDelta, MultiProofBundle, ProofBundle, ScanBundle};
 
 /// Which snapshot a [`ReadQuery`] must be served at.
 ///
@@ -205,6 +205,12 @@ pub struct ReadQuery {
     /// with `page` (a prefix query *establishes* the new pin; pages
     /// continue from its token). Ignored for point shapes.
     pub prefix: Option<PrefixResume>,
+    /// Subscription mode: ask the serving edge to attach its verified
+    /// delta-feed tail as a freshness certificate
+    /// ([`ReadResponse::Point`]/[`ReadResponse::Multi`]'s `fresh`
+    /// field), proving the served values unchanged through the feed
+    /// head. Ignored for scan shapes.
+    pub fresh: bool,
 }
 
 impl ReadQuery {
@@ -216,6 +222,7 @@ impl ReadQuery {
             shape: QueryShape::Point { keys },
             page: None,
             prefix: None,
+            fresh: false,
         }
     }
 
@@ -238,6 +245,7 @@ impl ReadQuery {
             },
             page: None,
             prefix: None,
+            fresh: false,
         }
     }
 
@@ -259,6 +267,13 @@ impl ReadQuery {
     pub fn with_prefix(mut self, through: u64) -> Self {
         self.page = None;
         self.prefix = Some(PrefixResume { through });
+        self
+    }
+
+    /// Ask the serving edge to attach its delta-feed tail as a
+    /// freshness certificate (builder style; subscription mode).
+    pub fn with_feed_freshness(mut self) -> Self {
+        self.fresh = true;
         self
     }
 
@@ -350,11 +365,12 @@ impl ReadQuery {
         };
         let page = if self.page.is_some() { 17 } else { 1 };
         let prefix = if self.prefix.is_some() { 9 } else { 1 };
+        let fresh = 1;
         let shape = match &self.shape {
             QueryShape::Point { keys } => 4 + keys.iter().map(|k| k.len() + 4).sum::<usize>(),
             QueryShape::Scan { clusters, .. } => 4 + clusters.len() * 2 + 16 + 8,
         };
-        policy + page + prefix + shape
+        policy + page + prefix + fresh + shape
     }
 }
 
@@ -380,14 +396,26 @@ impl ReadQuery {
 pub enum ReadResponse<H> {
     /// Point-read sections: one for a plain response, several for an
     /// edge's partial assembly (each verified against its own certified
-    /// root, all pinned to one batch).
-    Point { sections: Vec<ProofBundle<H>> },
+    /// root, all pinned to one batch). `fresh`, when present, is the
+    /// serving edge's delta-feed tail from the served batch to its feed
+    /// head — a freshness certificate proving the served values current
+    /// through the head (`Some(vec![])` claims the served batch *is*
+    /// the head). Verified end to end like everything else; an
+    /// invalid or key-touching feed is cryptographic evidence.
+    Point {
+        sections: Vec<ProofBundle<H>>,
+        fresh: Option<Vec<CertifiedDelta<H>>>,
+    },
     /// A batched point read proven by one Merkle multiproof: every
     /// requested key (possibly a subset of the proven set — an edge
     /// replaying a cached superset) authenticated by one deduplicated
     /// sibling set and one certificate check. Boxed like scans: the
-    /// body dwarfs the enum's other point payloads.
-    Multi { bundle: Box<MultiProofBundle<H>> },
+    /// body dwarfs the enum's other point payloads. `fresh` as in
+    /// [`ReadResponse::Point`].
+    Multi {
+        bundle: Box<MultiProofBundle<H>>,
+        fresh: Option<Vec<CertifiedDelta<H>>>,
+    },
     /// One proof-carrying scan window (possibly wider than requested —
     /// a replayed covering window; the verifier filters). Boxed: scan
     /// bundles dwarf the other payloads.
@@ -416,10 +444,20 @@ impl<H: BatchCommitment> ReadResponse<H> {
     /// batch spaces; their first part's claim is reported.)
     pub fn batch(&self) -> Option<BatchNum> {
         match self {
-            ReadResponse::Point { sections } => sections.first().map(|s| s.batch()),
-            ReadResponse::Multi { bundle } => Some(bundle.batch()),
+            ReadResponse::Point { sections, .. } => sections.first().map(|s| s.batch()),
+            ReadResponse::Multi { bundle, .. } => Some(bundle.batch()),
             ReadResponse::Scan { bundle } => Some(bundle.batch()),
             ReadResponse::Gather { parts } => parts.first().and_then(|p| p.body.batch()),
+        }
+    }
+
+    /// The freshness feed attached to this response, if any.
+    pub fn fresh_feed(&self) -> Option<&[CertifiedDelta<H>]> {
+        match self {
+            ReadResponse::Point { fresh, .. } | ReadResponse::Multi { fresh, .. } => {
+                fresh.as_deref()
+            }
+            _ => None,
         }
     }
 }

@@ -10,7 +10,7 @@
 //! This is WedgeChain's lazy-trust pattern applied to TransEdge's ROT
 //! protocol.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use transedge_common::{BatchNum, ClusterId, Epoch, Key, SimTime};
 use transedge_consensus::Certificate;
@@ -18,8 +18,8 @@ use transedge_crypto::ScanRange;
 
 use crate::cache::{CacheStats, LruCache};
 use crate::response::{
-    BatchCommitment, MultiProofBody, MultiProofBundle, ProofBundle, ProvenRead, ScanBundle,
-    ScanProof,
+    BatchCommitment, CertifiedDelta, MultiProofBody, MultiProofBundle, ProofBundle, ProvenRead,
+    ScanBundle, ScanProof,
 };
 
 /// Counters for the replay path.
@@ -57,6 +57,20 @@ pub struct ReplayStats {
     pub multis_covered_by_superset: u64,
     /// Multiproof requests with no usable cached body.
     pub multi_passes: u64,
+    /// Certified deltas applied to the feed window (already verified by
+    /// the caller).
+    pub deltas_applied: u64,
+    /// Feed windows reset because a delta arrived past a gap (the
+    /// contiguity the freshness certificate needs was broken).
+    pub feed_resets: u64,
+    /// Cached read fragments dropped by push invalidation: a delta
+    /// proved their key changed after the batch they snapshot.
+    pub fragments_invalidated: u64,
+    /// Freshness feeds attached to served responses.
+    pub freshness_attached: u64,
+    /// Freshness requests refused: the feed could not chain from the
+    /// served batch, or a queried key changed inside the window.
+    pub freshness_refused: u64,
 }
 
 impl ReplayStats {
@@ -75,6 +89,11 @@ impl ReplayStats {
         self.multis_replayed += other.multis_replayed;
         self.multis_covered_by_superset += other.multis_covered_by_superset;
         self.multi_passes += other.multi_passes;
+        self.deltas_applied += other.deltas_applied;
+        self.feed_resets += other.feed_resets;
+        self.fragments_invalidated += other.fragments_invalidated;
+        self.freshness_attached += other.freshness_attached;
+        self.freshness_refused += other.freshness_refused;
     }
 }
 
@@ -107,6 +126,11 @@ const MAX_SCANS_PER_BATCH: usize = 32;
 /// bodies few and wide, so a short list suffices here too.
 const MAX_MULTIS_PER_BATCH: usize = 16;
 
+/// Deltas retained in the feed window. The window only has to span the
+/// gap between an edge's oldest *servable* snapshot and the feed head,
+/// so a small multiple of `max_batches` suffices.
+pub const MAX_FEED_DELTAS: usize = 64;
+
 /// The cache an edge replay node runs on.
 #[derive(Clone, Debug)]
 pub struct ReplayCache<H> {
@@ -125,6 +149,12 @@ pub struct ReplayCache<H> {
     /// multiproof analogue of covering scan windows. Bodies share their
     /// wire encoding, so replaying one is a refcount bump.
     multis: BTreeMap<u64, Vec<MultiProofBody>>,
+    /// The certified-delta feed window: a *contiguous* run of verified
+    /// deltas ending at the feed head, oldest first. Contiguity is the
+    /// invariant everything rests on — a freshness certificate is a
+    /// gap-free chain, so a delta arriving past a gap resets the
+    /// window rather than splicing it.
+    feed: VecDeque<CertifiedDelta<H>>,
     max_batches: usize,
     pub stats: ReplayStats,
 }
@@ -136,6 +166,7 @@ impl<H: BatchCommitment + Clone> ReplayCache<H> {
             reads: LruCache::new(read_capacity),
             scans: BTreeMap::new(),
             multis: BTreeMap::new(),
+            feed: VecDeque::new(),
             max_batches: max_batches.max(1),
             stats: ReplayStats::default(),
         }
@@ -378,6 +409,89 @@ impl<H: BatchCommitment + Clone> ReplayCache<H> {
     /// Newest admitted batch, if any.
     pub fn latest_batch(&self) -> Option<BatchNum> {
         self.commitments.keys().next_back().map(|b| BatchNum(*b))
+    }
+
+    /// Apply a certified delta the caller has **already verified**
+    /// (edge nodes run [`crate::ReadVerifier::verify_delta`] before
+    /// anything reaches the cache — nothing pushed is trusted until it
+    /// recomputes under a replica certificate):
+    ///
+    /// * head + 1 → extend the window and *push-invalidate*: cached
+    ///   read fragments for the changed keys at older batches are now
+    ///   provably superseded, so they are dropped instead of aging out;
+    /// * at or before the head → duplicate delivery, ignored;
+    /// * past a gap → the window restarts at the delta (a freshness
+    ///   certificate must be gap-free, so the old run is useless).
+    pub fn apply_delta(&mut self, delta: CertifiedDelta<H>) {
+        let batch = delta.batch();
+        if let Some(head) = self.feed_head() {
+            if batch.0 <= head.0 {
+                return;
+            }
+            if batch.0 > head.0 + 1 {
+                self.feed.clear();
+                self.stats.feed_resets += 1;
+            }
+        }
+        let changed = &delta.changed;
+        let before = self.reads.len();
+        self.reads
+            .retain(|(key, b), _| *b >= batch.0 || changed.binary_search(key).is_err());
+        self.stats.fragments_invalidated += (before - self.reads.len()) as u64;
+        self.feed.push_back(delta);
+        while self.feed.len() > MAX_FEED_DELTAS {
+            self.feed.pop_front();
+        }
+        self.stats.deltas_applied += 1;
+    }
+
+    /// The newest batch the feed window reaches, if any.
+    pub fn feed_head(&self) -> Option<BatchNum> {
+        self.feed.back().map(|d| d.batch())
+    }
+
+    /// Deltas currently held in the feed window (diagnostics).
+    pub fn feed_len(&self) -> usize {
+        self.feed.len()
+    }
+
+    /// The freshness certificate for a response served at `from`: the
+    /// feed tail `(from, head]`, provided the window chains from the
+    /// served batch without a gap and **no queried key changed inside
+    /// it** — otherwise the served values are not the head values and
+    /// attaching the feed would be the exact lie
+    /// [`crate::ReadRejection::BadDelta`] exists to catch. `Some(vec![])`
+    /// means the served batch *is* the head.
+    pub fn freshness_since(
+        &mut self,
+        from: BatchNum,
+        keys: &[Key],
+    ) -> Option<Vec<CertifiedDelta<H>>> {
+        let head = self.feed_head();
+        if head == Some(from) {
+            self.stats.freshness_attached += 1;
+            return Some(Vec::new());
+        }
+        let Some(first) = self.feed.front().map(|d| d.batch()) else {
+            self.stats.freshness_refused += 1;
+            return None;
+        };
+        if from.0 + 1 < first.0 || head.is_none_or(|h| h.0 <= from.0) {
+            self.stats.freshness_refused += 1;
+            return None;
+        }
+        let tail: Vec<CertifiedDelta<H>> = self
+            .feed
+            .iter()
+            .filter(|d| d.batch().0 > from.0)
+            .cloned()
+            .collect();
+        if tail.iter().any(|d| d.touches(keys)) {
+            self.stats.freshness_refused += 1;
+            return None;
+        }
+        self.stats.freshness_attached += 1;
+        Some(tail)
     }
 
     /// Try to answer `keys` wholly from cache: the newest admitted

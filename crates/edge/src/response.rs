@@ -4,7 +4,25 @@
 use bytes::Bytes;
 use transedge_common::{BatchNum, ClusterId, Encode, Epoch, Key, SimTime, Value, WireWriter};
 use transedge_consensus::Certificate;
-use transedge_crypto::{Digest, MerkleProof, MultiProof, RangeProof, ScanRange};
+use transedge_crypto::{Digest, MerkleProof, MultiProof, RangeProof, ScanRange, Sha256};
+
+/// Domain-separated digest over a batch's changed key set (sorted,
+/// deduplicated). This is the digest a [`BatchCommitment`] certifies as
+/// its [`BatchCommitment::delta_digest`]: because it is folded into the
+/// certified batch digest by the replicas *at consensus time*, a
+/// certified delta's changed-key list is ground truth — an edge
+/// relaying one cannot add, drop, or reorder a key without breaking the
+/// recomputation against the `f+1` certificate.
+pub fn changed_keys_digest(keys: &[Key]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"transedge/delta");
+    h.update(&(keys.len() as u64).to_le_bytes());
+    for key in keys {
+        h.update(&(key.len() as u32).to_le_bytes());
+        h.update(key.as_bytes());
+    }
+    h.finalize()
+}
 
 /// One key's proof-carrying answer in a snapshot read: the value (or
 /// `None` for a proven-absent key) and its Merkle (non-)inclusion proof
@@ -34,6 +52,46 @@ pub trait BatchCommitment {
     fn timestamp(&self) -> SimTime;
     /// The digest the cluster's `f+1` accept signatures certify.
     fn certified_digest(&self) -> Digest;
+    /// [`changed_keys_digest`] of the batch's changed key set, as
+    /// certified by consensus. Defaults to the empty change set so
+    /// commitments predating the delta feed (and trivial test
+    /// commitments) verify against no-change deltas.
+    fn delta_digest(&self) -> Digest {
+        changed_keys_digest(&[])
+    }
+}
+
+/// One batch's entry in the certified commit feed: the certified
+/// commitment (which folds the [`changed_keys_digest`] of the batch's
+/// changed key set into the digest consensus signs), its `f+1`
+/// certificate, and the changed key set itself.
+///
+/// The delta is a *claim* by whoever relays it; the certificate is the
+/// ground truth. [`crate::ReadVerifier::verify_delta`] recomputes the
+/// changed-set digest and checks the commitment chain, so a subscriber
+/// trusts a delta exactly as much as it trusts a proof-carrying read:
+/// not at all until it verifies.
+#[derive(Clone, Debug)]
+pub struct CertifiedDelta<H> {
+    /// The certified batch header the delta belongs to.
+    pub commitment: H,
+    /// `f+1` consensus certificate over the commitment's digest.
+    pub cert: Certificate,
+    /// The batch's changed keys, ascending and unique. Must hash to
+    /// `commitment.delta_digest()`.
+    pub changed: Vec<Key>,
+}
+
+impl<H: BatchCommitment> CertifiedDelta<H> {
+    /// Batch this delta describes.
+    pub fn batch(&self) -> BatchNum {
+        self.commitment.batch()
+    }
+
+    /// Does the delta's changed set touch any of `keys`?
+    pub fn touches(&self, keys: &[Key]) -> bool {
+        keys.iter().any(|k| self.changed.binary_search(k).is_ok())
+    }
 }
 
 /// A complete proof-carrying response for one partition: the

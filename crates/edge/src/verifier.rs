@@ -29,7 +29,10 @@ use transedge_crypto::merkle::{value_digest, verify_proof, Verified};
 use transedge_crypto::{sha256, verify_multi_proof, verify_range_proof, KeyStore, ScanRange};
 
 use crate::query::{PageToken, QueryAnswer, QueryShape, ReadQuery, ReadResponse};
-use crate::response::{BatchCommitment, MultiProofBundle, ProofBundle, ProvenRead, ScanBundle};
+use crate::response::{
+    changed_keys_digest, BatchCommitment, CertifiedDelta, MultiProofBundle, ProofBundle,
+    ProvenRead, ScanBundle,
+};
 
 /// Verification parameters; must match the deployment's node
 /// configuration.
@@ -130,6 +133,18 @@ pub enum ReadRejection {
     /// dropped or substituted sibling, a spliced bucket — every
     /// single-element mutation of the body lands here.
     BadMultiProof,
+    /// A certified delta's changed key set does not hash to the
+    /// commitment's certified delta digest (a key added, dropped, or
+    /// reordered), or a freshness feed's deltas touch a queried key —
+    /// contradicting the response's claim that the served values are
+    /// current through the feed head. Either way, a provable lie about
+    /// what changed.
+    BadDelta,
+    /// A freshness feed is not a contiguous batch chain from the served
+    /// snapshot: a gap hides the deltas of the skipped batches (where a
+    /// queried key may have changed), a backward or repeated batch is a
+    /// replayed delta.
+    FeedSpliced { expected: BatchNum, got: BatchNum },
 }
 
 /// The verifier. Stateless; cheap to copy into clients.
@@ -207,6 +222,106 @@ impl ReadVerifier {
                 required: min_lce,
                 lce: commitment.lce(),
             });
+        }
+        Ok(())
+    }
+
+    /// Verify one [`CertifiedDelta`]: the commitment names the expected
+    /// partition, the `f+1` certificate covers its recomputed digest,
+    /// and the carried changed-key set is canonical (sorted, unique)
+    /// and hashes to the commitment's certified
+    /// [`BatchCommitment::delta_digest`]. Deliberately *no* freshness
+    /// check — a delta is a historical fact, and time-dependent checks
+    /// belong to the feed head (see [`ReadVerifier::verify_feed`]) so
+    /// they can never mask a cryptographic rejection.
+    pub fn verify_delta<H: BatchCommitment>(
+        &self,
+        keys: &KeyStore,
+        expected_cluster: ClusterId,
+        delta: &CertifiedDelta<H>,
+    ) -> Result<(), ReadRejection> {
+        if delta.commitment.cluster() != expected_cluster {
+            return Err(ReadRejection::WrongCluster {
+                expected: expected_cluster,
+                got: delta.commitment.cluster(),
+            });
+        }
+        let digest = delta.commitment.certified_digest();
+        if delta.cert.cluster != expected_cluster
+            || delta.cert.slot != delta.commitment.batch()
+            || delta.cert.digest != digest
+            || delta.cert.verify(keys, self.params.quorum).is_err()
+        {
+            return Err(ReadRejection::BadCertificate);
+        }
+        // The changed set must be canonical and recompute to the digest
+        // consensus signed: a relaying edge cannot add, drop, or
+        // reorder one key without landing here.
+        if !delta.changed.windows(2).all(|w| w[0] < w[1])
+            || changed_keys_digest(&delta.changed) != delta.commitment.delta_digest()
+        {
+            return Err(ReadRejection::BadDelta);
+        }
+        Ok(())
+    }
+
+    /// Verify a freshness feed attached to a point/multi response: a
+    /// contiguous chain of certified deltas from the served batch to
+    /// the claimed feed head, none of which touches a queried key. A
+    /// verified feed proves the served values are the values at the
+    /// head — the subscription-tier claim that lets a warm client skip
+    /// the round-2 `MinEpoch` fetch. Checks, in order (cryptographic
+    /// before time-dependent, so staleness can never mask a lie):
+    ///
+    /// 1. contiguity: `feed[0]` is `served + 1` and each delta advances
+    ///    by exactly one batch ([`ReadRejection::FeedSpliced`] — a gap
+    ///    hides changes, a repeat is a replay);
+    /// 2. each delta verifies per [`ReadVerifier::verify_delta`]
+    ///    (certificate chain + changed-set digest);
+    /// 3. no delta's changed set touches `queried`
+    ///    ([`ReadRejection::BadDelta`] — the feed itself certifies the
+    ///    served values are *not* current, contradicting the claim);
+    /// 4. the head's timestamp (the served commitment's own, for an
+    ///    empty feed) is inside the freshness window
+    ///    ([`ReadRejection::StaleTimestamp`] — checked by the caller,
+    ///    which holds the served commitment).
+    ///
+    /// Returns the head batch the caller may upgrade its view to.
+    pub fn verify_feed<H: BatchCommitment>(
+        &self,
+        keys: &KeyStore,
+        expected_cluster: ClusterId,
+        served: BatchNum,
+        queried: &[Key],
+        feed: &[CertifiedDelta<H>],
+    ) -> Result<BatchNum, ReadRejection> {
+        let mut expected = BatchNum(served.0 + 1);
+        for delta in feed {
+            let got = delta.batch();
+            if got != expected {
+                return Err(ReadRejection::FeedSpliced { expected, got });
+            }
+            self.verify_delta(keys, expected_cluster, delta)?;
+            if delta.touches(queried) {
+                return Err(ReadRejection::BadDelta);
+            }
+            expected = BatchNum(got.0 + 1);
+        }
+        Ok(feed.last().map_or(served, |d| d.batch()))
+    }
+
+    /// Step 4 of the feed chain: the freshness-window check against the
+    /// verified head's timestamp (see [`ReadVerifier::verify_feed`]).
+    fn check_feed_head_freshness(
+        &self,
+        head_ts: SimTime,
+        now: SimTime,
+    ) -> Result<(), ReadRejection> {
+        let skew = now
+            .saturating_since(head_ts)
+            .max(head_ts.saturating_since(now));
+        if skew > self.params.freshness_window {
+            return Err(ReadRejection::StaleTimestamp);
         }
         Ok(())
     }
@@ -598,14 +713,30 @@ impl ReadVerifier {
             );
         }
         match (&query.shape, response) {
-            (QueryShape::Point { keys: expected }, ReadResponse::Point { sections }) => {
+            (QueryShape::Point { keys: expected }, ReadResponse::Point { sections, fresh }) => {
+                let mut check_now = now;
+                if let Some(feed) = fresh {
+                    let Some(first) = sections.first() else {
+                        return Err(ReadRejection::EmptyAssembly);
+                    };
+                    self.verify_feed(keys, expected_cluster, first.batch(), expected, feed)?;
+                    let head_ts = feed
+                        .last()
+                        .map_or(first.commitment.timestamp(), |d| d.commitment.timestamp());
+                    self.check_feed_head_freshness(head_ts, now)?;
+                    // The verified feed proves the served values current
+                    // through a fresh head, so the served batch's own age
+                    // is no longer a staleness signal: anchor the base
+                    // chain's clock at it.
+                    check_now = first.commitment.timestamp();
+                }
                 let values = self.verify_assembled(
                     keys,
                     expected_cluster,
                     sections,
                     expected,
                     min_lce,
-                    now,
+                    check_now,
                 )?;
                 if let Some(pinned) = query.pinned_batch() {
                     // Non-empty: verify_assembled rejects empty assemblies.
@@ -616,14 +747,23 @@ impl ReadVerifier {
                 }
                 Ok(QueryAnswer::Values(values))
             }
-            (QueryShape::Point { keys: expected }, ReadResponse::Multi { bundle }) => {
+            (QueryShape::Point { keys: expected }, ReadResponse::Multi { bundle, fresh }) => {
+                let mut check_now = now;
+                if let Some(feed) = fresh {
+                    self.verify_feed(keys, expected_cluster, bundle.batch(), expected, feed)?;
+                    let head_ts = feed
+                        .last()
+                        .map_or(bundle.commitment.timestamp(), |d| d.commitment.timestamp());
+                    self.check_feed_head_freshness(head_ts, now)?;
+                    check_now = bundle.commitment.timestamp();
+                }
                 let values = self.verify_multi(
                     keys,
                     expected_cluster,
                     bundle.as_ref(),
                     expected,
                     min_lce,
-                    now,
+                    check_now,
                 )?;
                 if let Some(pinned) = query.pinned_batch() {
                     let got = bundle.batch();

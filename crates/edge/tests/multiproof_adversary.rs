@@ -369,6 +369,7 @@ fn verify_query_dispatches_multi_responses() {
 
     let response = ReadResponse::Multi {
         bundle: Box::new(honest.clone()),
+        fresh: None,
     };
     match verifier
         .verify_query(&p.keys, ClusterId(0), &query, &response, SimTime(2_500))
@@ -389,6 +390,7 @@ fn verify_query_dispatches_multi_responses() {
     vals.remove(0);
     let forged = ReadResponse::Multi {
         bundle: Box::new(rebuild(&honest, keys, vals, honest.body.proof.clone())),
+        fresh: None,
     };
     assert_eq!(
         verifier
@@ -407,6 +409,7 @@ fn verify_query_dispatches_multi_responses() {
             honest.body.values.clone(),
             proof,
         )),
+        fresh: None,
     };
     assert_eq!(
         verifier

@@ -104,6 +104,7 @@ fn main() {
         cd: transedge::core::batch::CdVector::new(topo.n_clusters()),
         lce: transedge::common::Epoch::NONE,
         merkle_root: fake_root,
+        delta_digest: transedge::crypto::sha256(b"forged delta digest"),
         timestamp: SimTime::ZERO,
     };
     let fake_digest = Batch::digest_from_parts(&fake_header, &fake_digest_body());

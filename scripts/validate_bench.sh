@@ -22,7 +22,7 @@ fi
 # schema_version pins the shape below; bump both together.
 jq -e '
   .figure == "fig04_rot_latency"
-  and .schema_version == 5
+  and .schema_version == 6
   and (.clusters | length == 5)
   and ([.clusters[]
         | select(.twopc_ms > 0 and .transedge_ms > 0
@@ -70,6 +70,19 @@ jq -e '
   and (.throughput.multis_accepted >= 1)
   and (.throughput.rot_multi_served >= 1)
   and (.throughput.cache_shards >= 1)
+  and (.push.staleness_window_ms > 0)
+  and (.push.deltas_received >= 1)
+  and (.push.deltas_per_sec > 0)
+  and (.push.freshness_attached >= 1)
+  and (.push.freshness_upgrades >= 1)
+  and (.push.round2_skipped_by_feed >= 1)
+  and (.push.warm_reads >= 1)
+  and (.push.warm_ratio > 0 and .push.warm_ratio <= 1)
+  and (.push.round2_control >= 1)
+  and (.push.round2_eliminated >= 1)
+  and (.push.round2_subscribed < .push.round2_control)
+  and (.push.subscribed_ms > 0)
+  and (.push.control_ms > 0)
 ' "$BENCH_JSON" >/dev/null
 
-echo "ok: $BENCH_JSON matches bench schema v5"
+echo "ok: $BENCH_JSON matches bench schema v6"

@@ -426,7 +426,7 @@ fn multiproof_omitting_edge_is_rejected_and_demoted() {
     // The multiproof path carried the workload, and the omissions were
     // seen and rejected.
     assert!(
-        client.stats.multis_accepted >= 1,
+        client.metrics().multis_accepted() >= 1,
         "multiproof answers must carry this workload"
     );
     assert!(client.stats.verification_failures >= 1);
@@ -709,6 +709,7 @@ fn unified_query_scenario(
         },
         page: None,
         prefix: None,
+        fresh: false,
     };
     // Writers: cross-partition transactions commit 2PC groups, raising
     // each partition's LCE to a real epoch so the MinEpoch floor
@@ -791,11 +792,11 @@ fn unified_paginated_scatter_query_under_min_epoch() {
     );
     // Per-shape metrics flowed from the dispatch point: the query is a
     // paginated scatter scan, so all three classes counted it.
-    let m = reader.query_metrics;
-    assert!(m.scan.verified >= 4);
-    assert_eq!(m.scan.verified, m.paginated.verified);
-    assert_eq!(m.scan.verified, m.scatter.verified);
-    assert_eq!(m.point.served, 0);
+    let m = reader.metrics();
+    assert!(m.scan().verified >= 4);
+    assert_eq!(m.scan().verified, m.paginated().verified);
+    assert_eq!(m.scan().verified, m.scatter().verified);
+    assert_eq!(m.point().served, 0);
     // It was actually served through the edge tier.
     let edge_scans: u64 = dep
         .edge_ids
@@ -827,7 +828,7 @@ fn unified_query_with_byzantine_edge_in_fanout_recovers() {
         "the omitted row must be caught (failures {})",
         reader.stats.verification_failures
     );
-    assert!(reader.query_metrics.scatter.rejected >= 1);
+    assert!(reader.metrics().scatter().rejected >= 1);
     assert!(dep.edge_node(byz).stats.tampered >= 1);
     // …the lying edge demoted on cryptographic evidence…
     let health = reader
