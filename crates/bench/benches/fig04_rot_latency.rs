@@ -16,8 +16,10 @@ use transedge_common::{ClusterId, EdgeId, Key, SimDuration, SimTime, Value};
 use transedge_core::client::ClientOp;
 use transedge_core::edge_node::EdgeBehavior;
 use transedge_core::metrics::{summarize, OpKind};
-use transedge_core::setup::{ClientPlan, Deployment, EdgePlan};
+use transedge_core::setup::{ClientPlan, Deployment};
+use transedge_core::{ClientProfile, EdgeConfig};
 use transedge_crypto::ScanRange;
+use transedge_edge::{SnapshotStore, DEFAULT_SPILL_THRESHOLD};
 use transedge_workload::WorkloadSpec;
 
 /// The deployment's tree depth — scan windows live in its `2^depth`
@@ -44,7 +46,7 @@ struct EdgeCacheResult {
 
 fn edge_cache_cold_vs_warm(scale: Scale) -> EdgeCacheResult {
     let mut config = experiment_config(scale);
-    config.edge = EdgePlan::honest(1);
+    config.edge = EdgeConfig::honest(1);
     config.client.record_results = true;
     let topo = config.topo.clone();
     let keys: Vec<_> = (0u32..config.n_keys.min(10_000))
@@ -102,7 +104,7 @@ struct PartialAssemblyResult {
 
 fn edge_partial_assembly(scale: Scale) -> PartialAssemblyResult {
     let mut config = experiment_config(scale);
-    config.edge = EdgePlan::honest(1);
+    config.edge = EdgeConfig::honest(1);
     config.client.record_results = true;
     let topo = config.topo.clone();
     let keys: Vec<_> = (0u32..config.n_keys.min(10_000))
@@ -159,7 +161,7 @@ struct ScanExperimentResult {
 
 fn edge_scan_workload(scale: Scale) -> ScanExperimentResult {
     let mut config = experiment_config(scale);
-    config.edge = EdgePlan::honest(1);
+    config.edge = EdgeConfig::honest(1);
     config.client.record_results = true;
     let topo = config.topo.clone();
     // An aligned 512-bucket window of cluster 0's tree order that is
@@ -242,7 +244,7 @@ struct PaginationResult {
 
 fn edge_paginated_scans(scale: Scale) -> PaginationResult {
     let mut config = experiment_config(scale);
-    config.edge = EdgePlan::honest(1);
+    config.edge = EdgeConfig::honest(1);
     config.client.record_results = true;
     let topo = config.topo.clone();
     let key = (0u32..config.n_keys)
@@ -313,7 +315,7 @@ struct ScatterResult {
 
 fn edge_scatter_gather(scale: Scale) -> ScatterResult {
     let mut config = experiment_config(scale);
-    config.edge = EdgePlan::honest(1);
+    config.edge = EdgeConfig::honest(1);
     config.client.record_results = true;
     let topo = config.topo.clone();
     let key = (0u32..config.n_keys)
@@ -399,7 +401,11 @@ fn scatter_contact_run(
     let mut config = experiment_config(scale);
     config.client.record_results = true;
     config.client.single_contact = single_contact;
-    config.edge = EdgePlan::honest(1).with_directory(SimDuration::from_millis(20));
+    config.edge = EdgeConfig::builder()
+        .per_cluster(1)
+        .gossip_directory(SimDuration::from_millis(20))
+        .build()
+        .expect("edge config");
     let topo = config.topo.clone();
     let spec = WorkloadSpec::scatter_points(topo, 4, 2);
     let clients = scale.pick(4, 12);
@@ -443,9 +449,12 @@ fn edge_directory_fleet(scale: Scale) -> DirectoryResult {
     let mut config = experiment_config(scale);
     config.client.record_results = true;
     let byz = EdgeId::new(ClusterId(0), 0);
-    config.edge = EdgePlan::honest(3)
-        .with_byzantine(byz, EdgeBehavior::TamperValue)
-        .with_directory(gossip);
+    config.edge = EdgeConfig::builder()
+        .per_cluster(3)
+        .byzantine(byz, EdgeBehavior::TamperValue)
+        .gossip_directory(gossip)
+        .build()
+        .expect("edge config");
     let topo = config.topo.clone();
     let keys: Vec<Key> = (0u32..config.n_keys)
         .map(Key::from_u32)
@@ -546,7 +555,7 @@ fn edge_throughput(scale: Scale) -> ThroughputResult {
     const KEYS_PER_OP: usize = 6; // >= node::MULTI_MIN_KEYS
     let mut config = experiment_config(scale);
     config.client.record_results = true;
-    config.edge = EdgePlan::honest(1);
+    config.edge = EdgeConfig::honest(1);
     let topo = config.topo.clone();
     let spec = WorkloadSpec::throughput_points(topo.clone(), KEYS_PER_OP);
     let clients = scale.pick(8, 32);
@@ -646,7 +655,11 @@ struct PushRun {
 fn push_run(scale: Scale, subscribe: bool, feed: SimDuration) -> PushRun {
     let mut config = experiment_config(scale);
     config.client.record_results = true;
-    config.edge = EdgePlan::honest(1).with_feed(feed);
+    config.edge = EdgeConfig::builder()
+        .per_cluster(1)
+        .commit_feed(feed)
+        .build()
+        .expect("edge config");
     let topo = config.topo.clone();
     let pick_keys = |cluster: ClusterId| -> Vec<Key> {
         (0u32..config.n_keys.min(10_000))
@@ -674,16 +687,18 @@ fn push_run(scale: Scale, subscribe: bool, feed: SimDuration) -> PushRun {
         })
         .collect();
     let reads = scale.pick(24, 96);
-    let mut reader_cfg = config.client.clone();
-    reader_cfg.subscribe = subscribe;
-    plans.push(ClientPlan {
-        ops: (0..reads)
+    let mut reader_profile = ClientProfile::new();
+    if subscribe {
+        reader_profile = reader_profile.subscriber();
+    }
+    plans.push(ClientPlan::with_profile(
+        (0..reads)
             .map(|_| ClientOp::ReadOnly {
                 keys: vec![k0[0].clone(), k0[1].clone(), k1[2].clone()],
             })
             .collect(),
-        config: Some(reader_cfg),
-    });
+        reader_profile,
+    ));
     let mut dep = Deployment::build_custom(config, plans);
     dep.run_until_done(sim_limit());
 
@@ -766,6 +781,137 @@ fn edge_push_feed(scale: Scale) -> PushResult {
         subscribed_ms: sub.mean_ms,
         control_ms: ctrl.mean_ms,
     }
+}
+
+/// One crash/restart run: warm cluster 0's edge, crash it at
+/// [`RESTART_CRASH_AT`], restart it either with its disk (hydrated
+/// through the verifier) or wiped (cold control), then probe with the
+/// same key set from a second client.
+struct RestartRun {
+    objects_spilled: u64,
+    hydrate_admitted: u64,
+    hydrate_rejected: u64,
+    /// Upstream work after the restart: forwards + partial-assembly
+    /// key fetches + scan forwards (the restarted actor's counters
+    /// start at zero, so these are post-restart only).
+    replica_fetches: u64,
+    /// Sim time from the restart until the edge is warm for the probe
+    /// set — the completion of the first probe read that needed no
+    /// upstream fetch. A hydrated edge is warm at its first probe
+    /// read; a cold edge only after its first read was absorbed.
+    restart_to_warm_ms: f64,
+    /// Mean probe latency once warm.
+    warm_probe_ms: f64,
+}
+
+const RESTART_CRASH_AT: SimTime = SimTime(2_000_000);
+
+fn restart_run(scale: Scale, hydrated: bool) -> RestartRun {
+    let mut config = experiment_config(scale);
+    config.edge = EdgeConfig::builder()
+        .per_cluster(1)
+        .persistent()
+        .build()
+        .expect("edge config");
+    config.client.record_results = true;
+    let topo = config.topo.clone();
+    let keys: Vec<_> = (0u32..config.n_keys.min(10_000))
+        .map(Key::from_u32)
+        .filter(|k| topo.partition_of(k) == ClusterId(0))
+        .take(4)
+        .collect();
+    let rounds = scale.pick(12, 60);
+    let script = |n: usize| -> Vec<ClientOp> {
+        (0..n)
+            .map(|_| ClientOp::ReadOnly { keys: keys.clone() })
+            .collect()
+    };
+    // The probe starts 1 ms after the restart, so its first read
+    // lands on the rehydrating (or cold) edge.
+    let probe_delay = SimDuration(RESTART_CRASH_AT.0 + 1_000);
+    let mut dep = Deployment::build_custom(
+        config,
+        vec![
+            ClientPlan::ops(script(rounds)),
+            ClientPlan::with_profile(
+                script(rounds),
+                ClientProfile::new().start_delay(probe_delay),
+            ),
+        ],
+    );
+    dep.run_until(RESTART_CRASH_AT);
+    let e0 = EdgeId::new(ClusterId(0), 0);
+    let store = dep.crash_edge(e0);
+    let objects_spilled = store.len() as u64;
+    assert!(objects_spilled > 0, "warm-up must spill snapshot objects");
+    if hydrated {
+        dep.restart_edge(e0, store);
+    } else {
+        dep.restart_edge(e0, SnapshotStore::new(DEFAULT_SPILL_THRESHOLD));
+    }
+    dep.run_until_done(SimTime(3_600_000_000));
+
+    let stats = dep.edge_node(e0).stats;
+    let replica_fetches = stats.forwarded + stats.keys_fetched_upstream + stats.scans_forwarded;
+    let probe = dep.client(dep.client_ids[1]);
+    assert_eq!(probe.stats.verification_failures, 0);
+    assert_eq!(probe.stats.gave_up, 0);
+    let samples: Vec<_> = probe
+        .samples
+        .iter()
+        .filter(|s| s.kind == OpKind::ReadOnly)
+        .collect();
+    assert!(samples.len() >= 2);
+    let warm_idx = if replica_fetches == 0 { 0 } else { 1 };
+    let restart_to_warm_ms = samples[warm_idx]
+        .end
+        .saturating_since(RESTART_CRASH_AT)
+        .as_micros() as f64
+        / 1_000.0;
+    let warm_tail = &samples[warm_idx.max(1)..];
+    let warm_probe_ms = warm_tail
+        .iter()
+        .map(|s| s.latency().as_micros() as f64 / 1_000.0)
+        .sum::<f64>()
+        / warm_tail.len().max(1) as f64;
+    RestartRun {
+        objects_spilled,
+        hydrate_admitted: stats.hydrate_admitted,
+        hydrate_rejected: stats.hydrate_rejected,
+        replica_fetches,
+        restart_to_warm_ms,
+        warm_probe_ms,
+    }
+}
+
+struct RestartResult {
+    hydrated: RestartRun,
+    cold: RestartRun,
+}
+
+fn edge_restart(scale: Scale) -> RestartResult {
+    let hydrated = restart_run(scale, true);
+    let cold = restart_run(scale, false);
+    assert!(
+        hydrated.hydrate_admitted > 0,
+        "hydration must re-admit the spilled objects"
+    );
+    assert_eq!(hydrated.hydrate_rejected, 0, "honest disk, no rejections");
+    assert_eq!(
+        hydrated.replica_fetches, 0,
+        "a hydrated restart serves the probe set with zero replica fetches"
+    );
+    assert!(
+        cold.replica_fetches > 0,
+        "the cold control must pay upstream fetches"
+    );
+    assert!(
+        hydrated.restart_to_warm_ms < cold.restart_to_warm_ms,
+        "hydrated restart must reach warm strictly faster ({} vs {} ms)",
+        hydrated.restart_to_warm_ms,
+        cold.restart_to_warm_ms
+    );
+    RestartResult { hydrated, cold }
 }
 
 fn main() {
@@ -928,6 +1074,27 @@ fn main() {
         fmt_ms(push.control_ms),
     ]);
 
+    // Verified warm restarts: hydrate from disk vs cold control.
+    println!();
+    println!("  verified warm restart (crash mid-workload, re-admit disk state):");
+    let restart = edge_restart(scale);
+    header(&[
+        "objects",
+        "admitted",
+        "warm hyd",
+        "warm cold",
+        "fetch hyd",
+        "fetch cold",
+    ]);
+    row(&[
+        restart.hydrated.objects_spilled.to_string(),
+        restart.hydrated.hydrate_admitted.to_string(),
+        fmt_ms(restart.hydrated.restart_to_warm_ms),
+        fmt_ms(restart.cold.restart_to_warm_ms),
+        restart.hydrated.replica_fetches.to_string(),
+        restart.cold.replica_fetches.to_string(),
+    ]);
+
     paper_reference(&[
         "2PC/BFT:   ~12 ms at 1 cluster, 69–82 ms at 2–5 clusters",
         "TransEdge: ~1–8 ms across 1–5 clusters",
@@ -947,8 +1114,10 @@ fn main() {
     // `throughput` block (multiproof ops/sec mode) and the directory
     // block's `gather_cert_checks_shared` one-pass-verification delta;
     // 6 = added the `push` block (certified delta stream: deltas/sec,
-    // staleness window, round-2 fetches eliminated by subscription).
-    json.push_str("  \"schema_version\": 6,\n");
+    // staleness window, round-2 fetches eliminated by subscription);
+    // 7 = added the `restart` block (verified warm restart: hydration
+    // from the content-addressed snapshot store vs cold control).
+    json.push_str("  \"schema_version\": 7,\n");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -1061,7 +1230,7 @@ fn main() {
     // feed interval plus the push's one-way latency.
     let _ = writeln!(
         json,
-        "  \"push\": {{\"staleness_window_ms\": {:.2}, \"deltas_received\": {}, \"deltas_per_sec\": {:.2}, \"freshness_attached\": {}, \"freshness_upgrades\": {}, \"round2_skipped_by_feed\": {}, \"warm_reads\": {}, \"warm_ratio\": {:.4}, \"round2_subscribed\": {}, \"round2_control\": {}, \"round2_eliminated\": {}, \"subscribed_ms\": {:.4}, \"control_ms\": {:.4}}}",
+        "  \"push\": {{\"staleness_window_ms\": {:.2}, \"deltas_received\": {}, \"deltas_per_sec\": {:.2}, \"freshness_attached\": {}, \"freshness_upgrades\": {}, \"round2_skipped_by_feed\": {}, \"warm_reads\": {}, \"warm_ratio\": {:.4}, \"round2_subscribed\": {}, \"round2_control\": {}, \"round2_eliminated\": {}, \"subscribed_ms\": {:.4}, \"control_ms\": {:.4}}},",
         push.feed_interval_ms,
         push.deltas_received,
         push.deltas_per_sec,
@@ -1075,6 +1244,23 @@ fn main() {
         push.round2_eliminated,
         push.subscribed_ms,
         push.control_ms
+    );
+    // `restart_to_warm_ms` is measured from the restart instant to the
+    // completion of the first probe read needing no upstream fetch —
+    // hydration's verification cost (ed25519 + sha over every stored
+    // object) is inside the hydrated number, so the contrast is fair.
+    let _ = writeln!(
+        json,
+        "  \"restart\": {{\"objects_spilled\": {}, \"hydrate_admitted\": {}, \"hydrate_rejected\": {}, \"restart_to_warm_ms_hydrated\": {:.4}, \"restart_to_warm_ms_cold\": {:.4}, \"replica_fetches_hydrated\": {}, \"replica_fetches_cold\": {}, \"warm_probe_ms_hydrated\": {:.4}, \"warm_probe_ms_cold\": {:.4}}}",
+        restart.hydrated.objects_spilled,
+        restart.hydrated.hydrate_admitted,
+        restart.hydrated.hydrate_rejected,
+        restart.hydrated.restart_to_warm_ms,
+        restart.cold.restart_to_warm_ms,
+        restart.hydrated.replica_fetches,
+        restart.cold.replica_fetches,
+        restart.hydrated.warm_probe_ms,
+        restart.cold.warm_probe_ms
     );
     json.push_str("}\n");
     // Anchor at the workspace root regardless of bench CWD.

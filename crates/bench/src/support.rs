@@ -6,7 +6,8 @@ use transedge_baselines::build_two_pc_bft;
 use transedge_common::{SimDuration, SimTime};
 use transedge_core::client::ClientOp;
 use transedge_core::metrics::{summarize, OpKind, Summary, TxnSample};
-use transedge_core::setup::{Deployment, DeploymentConfig, EdgePlan};
+use transedge_core::setup::{Deployment, DeploymentConfig};
+use transedge_core::EdgeConfig;
 
 /// Which system executes a workload.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -111,7 +112,7 @@ pub fn run_system(
         System::TransEdge | System::TransEdgeWithEdges => {
             let mut config = config;
             if system == System::TransEdgeWithEdges && config.edge.per_cluster == 0 {
-                config.edge = EdgePlan::honest(1);
+                config.edge = EdgeConfig::honest(1);
             }
             let mut dep = Deployment::build(config, client_ops);
             dep.run_until_done(sim_limit());

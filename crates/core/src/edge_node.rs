@@ -51,13 +51,16 @@ use transedge_common::{
 use transedge_crypto::{Digest, KeyStore, Keypair};
 use transedge_directory::{CoverageSummary, DirectoryAgent};
 use transedge_edge::{
-    Assembly, GatherPart, QueryShape, ReadQuery, ReadVerifier, ReplayCache, ShardedReplayCache,
+    is_stale_only, readmit, verify_object, Assembly, GatherPart, PersistPlan, QueryShape,
+    ReadQuery, ReadVerifier, ReplayCache, ShardedReplayCache, SnapshotObject, SnapshotStore,
     VerifyParams,
 };
 use transedge_simnet::{Actor, Context};
 
 use crate::batch::CommittedHeader;
-use crate::messages::{NetMsg, ReadPayload, RotBundle, RotDelta, RotMultiBundle, RotScanBundle};
+use crate::messages::{
+    NetMsg, ReadPayload, RotBundle, RotDelta, RotMultiBundle, RotScanBundle, RotSnapshot,
+};
 
 /// Gossip timer token.
 const TOKEN_GOSSIP: u64 = 1;
@@ -185,6 +188,9 @@ pub struct EdgeNodeParams {
     pub directory: DirectoryPlan,
     /// Certified commit-feed subscription.
     pub feed: FeedPlan,
+    /// Durable snapshot store: spill-on-admission, verified hydration
+    /// on restart, sibling state-transfer when cold.
+    pub persistence: PersistPlan,
     /// Every edge in the deployment (gossip peers and forwarding
     /// bootstrap; the directory's coverage hints refine the choice).
     pub peers: Vec<EdgeId>,
@@ -247,6 +253,25 @@ pub struct EdgeNodeStats {
     pub bad_deltas_dropped: u64,
     /// Responses sent with a feed freshness attachment.
     pub freshness_attached: u64,
+    /// Durable objects re-admitted through the verifier at restart and
+    /// returned to the replay caches.
+    pub hydrate_admitted: u64,
+    /// Durable objects dropped at hydration: digest mismatch or a
+    /// failed proof chain — the disk lied, and the verifier gate held.
+    pub hydrate_rejected: u64,
+    /// Durable objects dropped at hydration only because they aged past
+    /// the freshness window during the outage (honest history, not
+    /// tampering — counted apart so tests can tell the two apart).
+    pub hydrate_stale: u64,
+    /// Verified state-transfer requests sent to a warm sibling after a
+    /// cold or corrupt restart.
+    pub sibling_transfers: u64,
+    /// Sibling-transfer objects that passed the verifier and were
+    /// admitted (and re-spilled locally).
+    pub sibling_objects_admitted: u64,
+    /// Sibling-transfer objects the verifier refused — a sibling is an
+    /// untrusted edge like any other.
+    pub sibling_objects_rejected: u64,
 }
 
 impl EdgeNodeStats {
@@ -311,6 +336,12 @@ pub struct EdgeReadNode {
     tree_depth: u32,
     directory_plan: DirectoryPlan,
     feed_plan: FeedPlan,
+    persistence: PersistPlan,
+    /// The durable half of the node. In the simulation this value is
+    /// what "survives the crash": [`crate::setup::Deployment`] extracts
+    /// it before tearing the actor down and hands it back to the
+    /// replacement, playing the role of the disk.
+    store: SnapshotStore<CommittedHeader>,
     /// The same trusted checker clients run — feed deltas pass
     /// `verify_delta` before touching any cache.
     verifier: ReadVerifier,
@@ -361,6 +392,8 @@ impl EdgeReadNode {
             tree_depth: params.tree_depth,
             directory_plan: params.directory,
             feed_plan: params.feed,
+            store: SnapshotStore::new(params.persistence.spill_threshold),
+            persistence: params.persistence,
             verifier,
             peers: params.peers,
             directory,
@@ -400,6 +433,35 @@ impl EdgeReadNode {
     /// The sharded replay-cache layout (shard spread diagnostics).
     pub fn cache_shards(&self) -> &ShardedReplayCache<CommittedHeader> {
         &self.caches
+    }
+
+    /// The durable snapshot store (spill/dedup/prune counters, fault
+    /// injection in tests).
+    pub fn store(&self) -> &SnapshotStore<CommittedHeader> {
+        &self.store
+    }
+
+    /// Mutable store access — fault injection (`tamper_with`,
+    /// `splice`) models on-disk corruption between crash and restart.
+    pub fn store_mut(&mut self) -> &mut SnapshotStore<CommittedHeader> {
+        &mut self.store
+    }
+
+    /// Detach the durable store, leaving an empty one behind. The
+    /// deployment calls this on crash: the actor dies, the "disk"
+    /// survives and is handed to the restarted replacement via
+    /// [`EdgeReadNode::restore_store`].
+    pub fn take_store(&mut self) -> SnapshotStore<CommittedHeader> {
+        std::mem::replace(
+            &mut self.store,
+            SnapshotStore::new(self.persistence.spill_threshold),
+        )
+    }
+
+    /// Attach a store that survived a crash. Must run before the actor
+    /// starts — `on_start` is where hydration re-admits its contents.
+    pub fn restore_store(&mut self, store: SnapshotStore<CommittedHeader>) {
+        self.store = store;
     }
 
     fn upstream_replica(&mut self, cluster: ClusterId) -> NodeId {
@@ -890,26 +952,197 @@ impl EdgeReadNode {
     }
 
     /// Absorb certified material into the cache of whichever partition
-    /// it belongs to.
+    /// it belongs to, spilling each admitted object to the durable
+    /// store when the persistence plane is on (content addressing makes
+    /// a repeat spill a free dedup, so this path stays hot-loop cheap).
     fn absorb(&mut self, result: &ReadPayload) {
         match result {
             ReadPayload::Point { sections, .. } => {
                 for section in sections {
                     let cluster = section.commitment.header.cluster;
                     self.cache_for(cluster).admit(section);
+                    if self.persistence.enabled {
+                        self.store.spill(SnapshotObject::Point(section.clone()));
+                    }
                 }
             }
             ReadPayload::Scan { bundle } => {
                 let cluster = bundle.commitment.header.cluster;
                 self.cache_for(cluster).admit_scan(bundle);
+                if self.persistence.enabled {
+                    self.store.spill(SnapshotObject::Scan((**bundle).clone()));
+                }
             }
             ReadPayload::Multi { bundle, .. } => {
                 let cluster = bundle.commitment.header.cluster;
                 self.cache_for(cluster).admit_multi(bundle);
+                if self.persistence.enabled {
+                    self.store.spill(SnapshotObject::Multi((**bundle).clone()));
+                }
             }
             // A nested gather can only come from a byzantine sibling;
             // nothing in it is attributable to one partition's cache.
             ReadPayload::Gather { .. } => {}
+        }
+    }
+
+    /// Re-admit one verified object into its partition's replay cache.
+    /// Free of `self` borrows on purpose: callers hold `self.store`
+    /// immutably while admitting.
+    fn admit_object(caches: &mut ShardedReplayCache<CommittedHeader>, object: &RotSnapshot) {
+        match object {
+            SnapshotObject::Point(bundle) => {
+                caches
+                    .cache_for(bundle.commitment.header.cluster)
+                    .admit(bundle);
+            }
+            SnapshotObject::Scan(bundle) => {
+                caches
+                    .cache_for(bundle.commitment.header.cluster)
+                    .admit_scan(bundle);
+            }
+            SnapshotObject::Multi(bundle) => {
+                caches
+                    .cache_for(bundle.commitment.header.cluster)
+                    .admit_multi(bundle);
+            }
+        }
+    }
+
+    /// The simulated cost of re-verifying one snapshot object:
+    /// certificate signatures plus one hash pass over the body — the
+    /// same work the client-side verifier models for a network
+    /// response. Hydration pays it per object, which is what makes
+    /// `restart_to_warm_ms` a real number rather than zero.
+    fn verify_charge(&self, object: &RotSnapshot, ctx: &mut Context<'_, NetMsg>) {
+        let sigs = match object {
+            SnapshotObject::Point(b) => b.cert.sigs.len(),
+            SnapshotObject::Scan(b) => b.cert.sigs.len(),
+            SnapshotObject::Multi(b) => b.cert.sigs.len(),
+        };
+        let body = transedge_edge::persist::object_size(object);
+        ctx.charge(|c| {
+            SimDuration(c.ed25519_verify.0 * sigs as u64 + c.sha256_cost(body.max(1)).0)
+        });
+    }
+
+    /// Warm restart: walk the durable HEAD records and re-admit every
+    /// reachable object through the client-grade verifier. Disk is
+    /// untrusted input — a digest mismatch or failed proof chain purges
+    /// the object (never served, never re-offered); mere staleness
+    /// (the outage outlived the freshness window) purges it too but is
+    /// counted as honest aging.
+    fn hydrate(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        for (cluster, digest) in self.store.hydration_set() {
+            let Some(object) = self.store.get(&digest) else {
+                continue;
+            };
+            self.verify_charge(object, ctx);
+            match readmit(&self.verifier, &self.keys, &digest, object, ctx.now()) {
+                Ok(()) => {
+                    Self::admit_object(&mut self.caches, object);
+                    self.stats.hydrate_admitted += 1;
+                }
+                Err(reject) => {
+                    if is_stale_only(&reject) {
+                        self.stats.hydrate_stale += 1;
+                    } else {
+                        self.stats.hydrate_rejected += 1;
+                    }
+                    self.store.purge(cluster, &digest);
+                }
+            }
+        }
+    }
+
+    /// A warm sibling edge fronting our own partition, for a cold
+    /// bootstrap: directory coverage ranking first, bootstrap peer
+    /// list second (at start the directory is usually still empty).
+    fn transfer_source(&self) -> Option<NodeId> {
+        if let Some(sibling) = self.sibling_for(self.me.cluster) {
+            return Some(sibling);
+        }
+        self.peers
+            .iter()
+            .find(|e| e.cluster == self.me.cluster && **e != self.me)
+            .map(|e| NodeId::Edge(*e))
+    }
+
+    /// Cold-start bootstrap: if hydration produced no servable coverage
+    /// for the home partition, ask one coverage-ranked sibling for its
+    /// live object set instead of faulting every first read upstream —
+    /// the replicas see one transfer, not a thundering herd.
+    fn request_sibling_transfer(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        let warm = self
+            .caches
+            .get(self.me.cluster)
+            .is_some_and(|c| c.latest_batch().is_some());
+        if warm {
+            return;
+        }
+        let Some(sibling) = self.transfer_source() else {
+            return;
+        };
+        self.next_req += 1;
+        self.stats.sibling_transfers += 1;
+        ctx.send(
+            sibling,
+            NetMsg::StateTransfer {
+                req: self.next_req,
+                cluster: self.me.cluster,
+            },
+        );
+    }
+
+    /// A cold peer asked for our live objects: answer from the durable
+    /// store (certified material only — the receiver re-verifies every
+    /// object anyway, so a byzantine responder gains nothing).
+    fn on_state_transfer(
+        &mut self,
+        from: NodeId,
+        req: u64,
+        cluster: ClusterId,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        let objects = self.store.objects_for(cluster);
+        if objects.is_empty() {
+            return; // nothing to offer; the peer's reads fall back upstream
+        }
+        ctx.send(
+            from,
+            NetMsg::StateTransferResp {
+                req,
+                cluster,
+                objects,
+            },
+        );
+    }
+
+    /// A sibling's transfer answer: every object is re-verified through
+    /// the client-grade chain before touching a cache — a sibling is an
+    /// untrusted edge like any other — then admitted and re-spilled to
+    /// our own durable store.
+    fn on_state_transfer_resp(
+        &mut self,
+        cluster: ClusterId,
+        objects: Vec<RotSnapshot>,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        for object in objects {
+            if object.cluster() != cluster {
+                self.stats.sibling_objects_rejected += 1;
+                continue;
+            }
+            self.verify_charge(&object, ctx);
+            if verify_object(&self.verifier, &self.keys, &object, ctx.now()).is_err() {
+                self.stats.sibling_objects_rejected += 1;
+                continue;
+            }
+            Self::admit_object(&mut self.caches, &object);
+            self.stats.sibling_objects_admitted += 1;
+            if self.persistence.enabled {
+                self.store.spill(object);
+            }
         }
     }
 
@@ -1243,6 +1476,18 @@ impl EdgeReadNode {
 
 impl Actor<NetMsg> for EdgeReadNode {
     fn on_start(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        // Persistence first: a restarted edge re-admits its own disk
+        // through the verifier before anything else runs, and asks a
+        // sibling for verified state if the disk yielded nothing —
+        // so the first client request already finds a warm cache.
+        if self.persistence.enabled {
+            if self.persistence.hydrate_on_start {
+                self.hydrate(ctx);
+            }
+            if self.persistence.sibling_transfer {
+                self.request_sibling_transfer(ctx);
+            }
+        }
         if self.directory_plan.enabled {
             ctx.set_timer(self.directory_plan.gossip_interval, TOKEN_GOSSIP);
         }
@@ -1297,6 +1542,12 @@ impl Actor<NetMsg> for EdgeReadNode {
                 }
             }
             NetMsg::FeedDelta { delta } => self.on_feed_delta(*delta, ctx),
+            NetMsg::StateTransfer { req, cluster } => {
+                self.on_state_transfer(from, req, cluster, ctx)
+            }
+            NetMsg::StateTransferResp {
+                cluster, objects, ..
+            } => self.on_state_transfer_resp(cluster, objects, ctx),
             NetMsg::DirectoryPull => {
                 if let Some(agent) = &self.directory {
                     ctx.send(

@@ -41,6 +41,7 @@
 
 pub mod batch;
 pub mod client;
+pub mod config;
 pub mod conflict;
 pub mod deps;
 pub mod edge_node;
@@ -55,6 +56,7 @@ pub mod setup;
 
 pub use batch::{Batch, BatchHeader, CdVector, CommittedHeader, ReadOp, Transaction, WriteOp};
 pub use client::{ClientActor, ClientOp, QueryOutcome, RotResult, ScanResult, TxnOutcome};
+pub use config::{CacheConfig, ClientProfile, ConfigError, EdgeConfig, EdgeConfigBuilder};
 pub use edge_node::{EdgeBehavior, EdgeReadNode};
 pub use messages::{NetMsg, ReadPayload};
 pub use metrics::{QueryClass, ReadQueryMetrics, ShapeCounters};

@@ -5,8 +5,8 @@ use transedge_common::{BatchNum, ClusterId, Epoch, Key, SimTime, TxnId, Value};
 use transedge_consensus::{BftMsg, Certificate};
 use transedge_crypto::Signature;
 use transedge_edge::{
-    CertifiedDelta, MultiProofBundle, ProofBundle, ProvenRead, QueryShape, ReadQuery, ReadResponse,
-    ScanBundle,
+    persist::object_size, CertifiedDelta, MultiProofBundle, ProofBundle, ProvenRead, QueryShape,
+    ReadQuery, ReadResponse, ScanBundle, SnapshotObject,
 };
 use transedge_simnet::SimMessage;
 
@@ -35,6 +35,12 @@ pub type RotMultiBundle = MultiProofBundle<CommittedHeader>;
 /// sorted changed-key set whose digest the header (and therefore the
 /// `f+1` certificate) covers. What replicas push to feed subscribers.
 pub type RotDelta = CertifiedDelta<CommittedHeader>;
+
+/// One durable snapshot object on the wire: a proof-carrying response
+/// body, offered by a warm edge to a cold sibling during restart
+/// state-transfer. The receiver treats it exactly like a response from
+/// an untrusted node — verified end to end before admission.
+pub type RotSnapshot = SnapshotObject<CommittedHeader>;
 
 /// A participant's 2PC vote returned to the coordinator (§3.3.3).
 #[derive(Clone, Debug)]
@@ -185,6 +191,21 @@ pub enum NetMsg {
     /// their `EdgeSelector` warm at startup with the reply).
     DirectoryPull,
 
+    // ---- edge restart state-transfer (edge ↔ edge) --------------------
+    /// A cold (or corrupted-disk) edge asking a coverage-ranked sibling
+    /// for its durable snapshot objects of `cluster`, instead of
+    /// faulting every post-restart read upstream to the replicas.
+    StateTransfer { req: u64, cluster: ClusterId },
+    /// The sibling's offer: its live snapshot objects for the cluster.
+    /// Untrusted like any edge payload — the requester re-verifies
+    /// every object through the client-grade verifier before admitting
+    /// it to cache or disk.
+    StateTransferResp {
+        req: u64,
+        cluster: ClusterId,
+        objects: Vec<RotSnapshot>,
+    },
+
     // ---- intra-cluster ----------------------------------------------
     /// Consensus traffic.
     Bft(Box<BftMsg<Batch>>),
@@ -250,6 +271,8 @@ impl NetMsg {
             NetMsg::DirectoryGossip { .. } => "directory-gossip",
             NetMsg::DirectoryDeltaGossip { .. } => "directory-delta-gossip",
             NetMsg::DirectoryPull => "directory-pull",
+            NetMsg::StateTransfer { .. } => "state-transfer",
+            NetMsg::StateTransferResp { .. } => "state-transfer-resp",
             NetMsg::Bft(m) => m.kind(),
             NetMsg::SegmentSigs { .. } => "segment-sigs",
             NetMsg::SigResend { .. } => "sig-resend",
@@ -435,6 +458,10 @@ impl SimMessage for NetMsg {
             NetMsg::DirectoryGossip { digest } => 8 + digest.wire_size(),
             NetMsg::DirectoryDeltaGossip { delta } => 8 + delta.wire_size(),
             NetMsg::DirectoryPull => 8,
+            NetMsg::StateTransfer { .. } => 16,
+            NetMsg::StateTransferResp { objects, .. } => {
+                16 + objects.iter().map(object_size).sum::<usize>()
+            }
             NetMsg::Bft(m) => bft_size(m),
             NetMsg::SegmentSigs {
                 prepared_sigs,

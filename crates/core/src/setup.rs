@@ -12,58 +12,46 @@ use transedge_crypto::hmac::derive_seed;
 use transedge_crypto::{KeyStore, Keypair};
 use transedge_simnet::{CostModel, FaultPlan, LatencyModel, Simulation};
 
+use crate::batch::CommittedHeader;
 use crate::client::{ClientActor, ClientConfig, ClientOp};
-use crate::edge_node::{DirectoryPlan, EdgeBehavior, EdgeNodeParams, EdgeReadNode, FeedPlan};
+use crate::config::{ClientProfile, EdgeConfig};
+use crate::edge_node::{EdgeBehavior, EdgeNodeParams, EdgeReadNode};
 use crate::messages::NetMsg;
 use crate::metrics::TxnSample;
 use crate::node::{NodeConfig, TransEdgeNode};
+use transedge_edge::SnapshotStore;
 
-/// How many edge read nodes a deployment runs, and how they behave.
+/// Deprecated precursor of [`EdgeConfig`]: the old setter-chain edge
+/// plan, kept for one release as a migration shim. Build one with the
+/// old calls and convert with `.into()`; new code should use
+/// [`EdgeConfig::builder`] directly.
 #[derive(Clone, Debug)]
 pub struct EdgePlan {
-    /// Edge read nodes fronting each partition (0 = no edge tier).
     pub per_cluster: usize,
-    /// Per-node replay-cache capacity in fragments.
     pub cache_capacity: usize,
-    /// Certified headers each edge node retains.
     pub max_cached_batches: usize,
-    /// Cluster-hash shards each edge's per-partition replay caches
-    /// spread over (lock-striping knob; see
-    /// [`transedge_edge::ShardedReplayCache`]).
     pub cache_shards: usize,
-    /// Edge nodes refuse to replay bundles older than this, forwarding
-    /// upstream instead (must sit well inside the clients' freshness
-    /// window so honest replays are never rejected as stale).
     pub replay_staleness: transedge_common::SimDuration,
-    /// Route clients' read-only rounds through the edge tier (clients
-    /// still fall back to replicas on verification failures/retries).
     pub route_clients: bool,
-    /// Byzantine behaviour overrides for specific edge nodes.
     pub byzantine: Vec<(EdgeId, EdgeBehavior)>,
-    /// Gossiped health/coverage directory + edge-tier scatter-gather
-    /// forwarding. Disabled by default (the pre-directory deployment
-    /// shape); `with_directory` turns both on and makes clients pull a
-    /// digest at startup.
-    pub directory: DirectoryPlan,
-    /// Certified commit-feed subscription (push invalidation +
-    /// freshness attachments). Disabled by default; `with_feed` turns
-    /// it on.
-    pub feed: FeedPlan,
+    pub directory: crate::edge_node::DirectoryPlan,
+    pub feed: crate::edge_node::FeedPlan,
 }
 
 impl EdgePlan {
     /// No edge tier (the classic deployment shape).
     pub fn none() -> Self {
+        let defaults = EdgeConfig::none();
         EdgePlan {
             per_cluster: 0,
-            cache_capacity: transedge_edge::pipeline::DEFAULT_CACHE_CAPACITY,
-            max_cached_batches: 64,
-            cache_shards: transedge_edge::DEFAULT_SHARD_COUNT,
-            replay_staleness: transedge_common::SimDuration::from_secs(10),
+            cache_capacity: defaults.cache.capacity,
+            max_cached_batches: defaults.cache.max_batches,
+            cache_shards: defaults.cache.shards,
+            replay_staleness: defaults.replay_staleness,
             route_clients: true,
             byzantine: Vec::new(),
-            directory: DirectoryPlan::disabled(),
-            feed: FeedPlan::disabled(),
+            directory: defaults.directory,
+            feed: defaults.feed,
         }
     }
 
@@ -76,39 +64,50 @@ impl EdgePlan {
     }
 
     /// Mark one edge node byzantine.
+    #[deprecated(note = "use EdgeConfig::builder().byzantine(..)")]
     pub fn with_byzantine(mut self, edge: EdgeId, behavior: EdgeBehavior) -> Self {
         self.byzantine.push((edge, behavior));
         self
     }
 
-    /// Run the gossip directory (anti-entropy push every `interval`)
-    /// with edge-tier scatter-gather forwarding, and have clients take
-    /// part (startup pull + rejection-evidence push).
+    /// Run the gossip directory with edge-tier forwarding.
+    #[deprecated(note = "use EdgeConfig::builder().gossip_directory(..)")]
     pub fn with_directory(mut self, interval: SimDuration) -> Self {
-        self.directory = DirectoryPlan::gossip(interval);
+        self.directory = crate::edge_node::DirectoryPlan::gossip(interval);
         self
     }
 
-    /// Subscribe every edge to its home cluster's certified commit
-    /// feed (push invalidation + freshness attachments), renewing the
-    /// lease at `interval`.
+    /// Subscribe every edge to its home cluster's commit feed.
+    #[deprecated(note = "use EdgeConfig::builder().commit_feed(..)")]
     pub fn with_feed(mut self, interval: SimDuration) -> Self {
-        self.feed = FeedPlan::subscribed(interval);
+        self.feed = crate::edge_node::FeedPlan::subscribed(interval);
         self
     }
 
     /// Override the replay-cache shard count.
+    #[deprecated(note = "use EdgeConfig::builder().cache_shards(..)")]
     pub fn with_cache_shards(mut self, shards: usize) -> Self {
         self.cache_shards = shards;
         self
     }
+}
 
-    fn behavior_of(&self, edge: EdgeId) -> EdgeBehavior {
-        self.byzantine
-            .iter()
-            .find(|(e, _)| *e == edge)
-            .map(|(_, b)| *b)
-            .unwrap_or(EdgeBehavior::Honest)
+impl From<EdgePlan> for EdgeConfig {
+    fn from(plan: EdgePlan) -> Self {
+        EdgeConfig {
+            per_cluster: plan.per_cluster,
+            cache: crate::config::CacheConfig {
+                capacity: plan.cache_capacity,
+                max_batches: plan.max_cached_batches,
+                shards: plan.cache_shards,
+            },
+            replay_staleness: plan.replay_staleness,
+            route_clients: plan.route_clients,
+            byzantine: plan.byzantine,
+            directory: plan.directory,
+            feed: plan.feed,
+            persistence: transedge_edge::PersistPlan::disabled(),
+        }
     }
 }
 
@@ -126,8 +125,8 @@ pub struct DeploymentConfig {
     pub n_keys: u32,
     /// Value size in bytes (paper: 256).
     pub value_size: usize,
-    /// Edge read tier.
-    pub edge: EdgePlan,
+    /// Edge read tier (typed, validated; see [`EdgeConfig::builder`]).
+    pub edge: EdgeConfig,
 }
 
 impl Default for DeploymentConfig {
@@ -142,7 +141,7 @@ impl Default for DeploymentConfig {
             seed: 42,
             n_keys: 10_000,
             value_size: 256,
-            edge: EdgePlan::none(),
+            edge: EdgeConfig::none(),
         }
     }
 }
@@ -163,6 +162,41 @@ impl DeploymentConfig {
             n_keys: 256,
             ..Default::default()
         }
+    }
+}
+
+/// The 32-byte root seed every deployment keypair derives from.
+fn root_seed(seed: u64) -> [u8; 32] {
+    let mut bytes = [0u8; 32];
+    bytes[..8].copy_from_slice(&seed.to_le_bytes());
+    bytes
+}
+
+/// An edge node's deterministic identity keypair. Derivation is a pure
+/// function of the deployment seed, so a *restarted* edge recovers the
+/// same identity its gossip peers and the key store already know.
+fn edge_keypair(seed: &[u8; 32], id: EdgeId) -> Keypair {
+    Keypair::from_seed(derive_seed(
+        seed,
+        &format!("edge/{}/{}", id.cluster.0, id.index),
+    ))
+}
+
+/// The actor parameters of one edge node, as the deployment config
+/// describes them (shared by first build and crash-restart rebuild).
+fn edge_node_params(config: &DeploymentConfig, id: EdgeId, peers: Vec<EdgeId>) -> EdgeNodeParams {
+    EdgeNodeParams {
+        behavior: config.edge.behavior_of(id),
+        cache_capacity: config.edge.cache.capacity,
+        max_cached_batches: config.edge.cache.max_batches,
+        cache_shards: config.edge.cache.shards,
+        replay_staleness: config.edge.replay_staleness,
+        tree_depth: config.node.tree_depth,
+        freshness_window: config.node.freshness_window,
+        directory: config.edge.directory.clone(),
+        feed: config.edge.feed.clone(),
+        persistence: config.edge.persistence,
+        peers,
     }
 }
 
@@ -195,12 +229,30 @@ pub struct Deployment {
 #[derive(Clone)]
 pub struct ClientPlan {
     pub ops: Vec<ClientOp>,
+    /// Full per-client config override (replaces the deployment base).
     pub config: Option<ClientConfig>,
+    /// Typed behaviour profile, layered over the base (or over
+    /// `config` when both are set) — the usual way to flip one client
+    /// into subscriber/single-contact/staggered-start mode.
+    pub profile: Option<ClientProfile>,
 }
 
 impl ClientPlan {
     pub fn ops(ops: Vec<ClientOp>) -> Self {
-        ClientPlan { ops, config: None }
+        ClientPlan {
+            ops,
+            config: None,
+            profile: None,
+        }
+    }
+
+    /// A script with a typed behaviour profile.
+    pub fn with_profile(ops: Vec<ClientOp>, profile: ClientProfile) -> Self {
+        ClientPlan {
+            ops,
+            config: None,
+            profile: Some(profile),
+        }
     }
 }
 
@@ -220,8 +272,7 @@ impl Deployment {
         // Client verification parameters must match node parameters.
         config.client.tree_depth = config.node.tree_depth;
         config.client.freshness_window = config.node.freshness_window;
-        let mut seed = [0u8; 32];
-        seed[..8].copy_from_slice(&config.seed.to_le_bytes());
+        let seed = root_seed(config.seed);
         let (mut keys, secrets) = KeyStore::for_topology(&config.topo, &seed);
         // Every edge node and client gets an identity keypair too (the
         // paper's "each edge node has a unique public/private key",
@@ -232,8 +283,7 @@ impl Deployment {
         for cluster in config.topo.clusters() {
             for index in 0..config.edge.per_cluster {
                 let id = EdgeId::new(cluster, index as u16);
-                let label = format!("edge/{}/{}", cluster.0, index);
-                let kp = Keypair::from_seed(derive_seed(&seed, &label));
+                let kp = edge_keypair(&seed, id);
                 keys.register(NodeId::Edge(id), kp.public());
                 edge_secrets.push((id, kp));
             }
@@ -312,18 +362,7 @@ impl Deployment {
                 config.topo.clone(),
                 keys.clone(),
                 keypair,
-                EdgeNodeParams {
-                    behavior: config.edge.behavior_of(id),
-                    cache_capacity: config.edge.cache_capacity,
-                    max_cached_batches: config.edge.max_cached_batches,
-                    cache_shards: config.edge.cache_shards,
-                    replay_staleness: config.edge.replay_staleness,
-                    tree_depth: config.node.tree_depth,
-                    freshness_window: config.node.freshness_window,
-                    directory: config.edge.directory.clone(),
-                    feed: config.edge.feed.clone(),
-                    peers: edge_ids.clone(),
-                },
+                edge_node_params(&config, id, edge_ids.clone()),
             );
             sim.add_actor(NodeId::Edge(id), Box::new(node));
         }
@@ -333,6 +372,9 @@ impl Deployment {
             let id = ClientId(i as u32);
             client_ids.push(id);
             let mut client_config = plan.config.unwrap_or_else(|| config.client.clone());
+            if let Some(profile) = &plan.profile {
+                client_config = profile.apply(&client_config);
+            }
             client_config.tree_depth = config.node.tree_depth;
             client_config.freshness_window = config.node.freshness_window;
             if config.edge.per_cluster > 0 && config.edge.route_clients {
@@ -438,6 +480,51 @@ impl Deployment {
         self.sim
             .actor_as::<EdgeReadNode>(NodeId::Edge(edge))
             .expect("edge actor")
+    }
+
+    /// Mutable access to an edge read node actor (fault injection:
+    /// tests corrupt the durable store between crash and restart).
+    pub fn edge_node_mut(&mut self, edge: EdgeId) -> &mut EdgeReadNode {
+        self.sim
+            .actor_as_mut::<EdgeReadNode>(NodeId::Edge(edge))
+            .expect("edge actor")
+    }
+
+    /// Run the simulation up to (and including) `limit` — the
+    /// scripting primitive crash/restart harnesses interleave with
+    /// [`Deployment::crash_edge`] / [`Deployment::restart_edge`].
+    pub fn run_until(&mut self, limit: SimTime) {
+        self.sim.run_until(limit);
+    }
+
+    /// Simulated crash of one edge node: the actor — replay caches,
+    /// pending maps, directory state, every in-flight message to it —
+    /// is destroyed. Only the durable [`SnapshotStore`] survives,
+    /// returned to the caller, which plays the role of the disk until
+    /// [`Deployment::restart_edge`] hands it to the replacement.
+    pub fn crash_edge(&mut self, edge: EdgeId) -> SnapshotStore<CommittedHeader> {
+        let store = self.edge_node_mut(edge).take_store();
+        self.sim.remove_actor(NodeId::Edge(edge));
+        store
+    }
+
+    /// Restart a crashed edge with the disk state that survived. The
+    /// replacement re-derives its deterministic identity keypair (its
+    /// peers and the key store already know it), and its `on_start`
+    /// re-admits the store through the verifier — trusting nothing
+    /// written before the crash — then falls back to a verified
+    /// sibling state-transfer if the disk yielded nothing servable.
+    pub fn restart_edge(&mut self, edge: EdgeId, store: SnapshotStore<CommittedHeader>) {
+        let seed = root_seed(self.config.seed);
+        let mut node = EdgeReadNode::new(
+            edge,
+            self.topo.clone(),
+            self.keys.clone(),
+            edge_keypair(&seed, edge),
+            edge_node_params(&self.config, edge, self.edge_ids.clone()),
+        );
+        node.restore_store(store);
+        self.sim.add_actor(NodeId::Edge(edge), Box::new(node));
     }
 
     /// All transaction samples across clients.

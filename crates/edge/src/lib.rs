@@ -64,6 +64,7 @@
 //! independently of the transaction-processing stack.
 
 pub mod cache;
+pub mod persist;
 pub mod pipeline;
 pub mod query;
 pub mod replay;
@@ -71,6 +72,10 @@ pub mod response;
 pub mod verifier;
 
 pub use cache::{CacheStats, LruCache};
+pub use persist::{
+    is_stale_only, readmit, verify_object, HeadRecord, HydrateReject, PersistPlan, PersistStats,
+    SnapshotObject, SnapshotStore, DEFAULT_SPILL_THRESHOLD,
+};
 pub use pipeline::{
     multi_snapshot, read_snapshot, scan_snapshot, ReadPipeline, SnapshotSource, MAX_COALESCED_KEYS,
 };

@@ -71,6 +71,13 @@ pub struct ReplayStats {
     /// Freshness requests refused: the feed could not chain from the
     /// served batch, or a queried key changed inside the window.
     pub freshness_refused: u64,
+    /// Cached entries (fragments, scan windows, multiproof bodies)
+    /// dropped because their batch aged past `max_batches` — *capacity*
+    /// eviction, as opposed to `fragments_invalidated` (a delta proved
+    /// the entry superseded). The persistence plane's spill accounting
+    /// rides on this split: an evicted entry is still durable on disk,
+    /// an invalidated one is provably dead everywhere.
+    pub evicted_entries: u64,
 }
 
 impl ReplayStats {
@@ -94,6 +101,7 @@ impl ReplayStats {
         self.fragments_invalidated += other.fragments_invalidated;
         self.freshness_attached += other.freshness_attached;
         self.freshness_refused += other.freshness_refused;
+        self.evicted_entries += other.evicted_entries;
     }
 }
 
@@ -200,10 +208,13 @@ impl<H: BatchCommitment + Clone> ReplayCache<H> {
             evicted_any = true;
         }
         if evicted_any {
+            let before = self.reads.len() + self.scan_window_count() + self.multi_body_count();
             let commitments = &self.commitments;
             self.reads.retain(|(_, b), _| commitments.contains_key(b));
             self.scans.retain(|b, _| commitments.contains_key(b));
             self.multis.retain(|b, _| commitments.contains_key(b));
+            let after = self.reads.len() + self.scan_window_count() + self.multi_body_count();
+            self.stats.evicted_entries += (before - after) as u64;
         }
     }
 

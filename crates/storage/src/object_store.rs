@@ -1,0 +1,192 @@
+//! Append-only, content-addressed object archive — the durable backing
+//! of the edge persistence plane.
+//!
+//! Objects are keyed by a digest of their own content (the caller
+//! computes it; this module never inspects the payload), so the archive
+//! is naturally deduplicating and *self-checking*: a reader that
+//! recomputes an object's digest and compares it against the key it was
+//! stored under detects any on-disk corruption of the payload. Writes
+//! never mutate an existing object — like [`crate::BatchArchive`], the
+//! object space only grows (until explicitly pruned by the owner's
+//! retention policy), which is what makes crash-consistency trivial:
+//! there is no partially-overwritten state to recover, only objects
+//! that either exist in full or do not.
+//!
+//! The archive deliberately stores **untrusted** bytes. Nothing read
+//! back from it may be served until it has been re-admitted through the
+//! client-grade verifier — the trust model is identical to receiving
+//! the object from an untrusted network peer.
+
+use std::collections::HashMap;
+
+use transedge_crypto::Digest;
+
+/// Counters for the archive (the owner's persistence stats absorb
+/// these).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ObjectArchiveStats {
+    /// Objects appended (first write of a digest).
+    pub written: u64,
+    /// Writes dropped because the digest was already present
+    /// (content-addressing makes re-persisting a replayed object free).
+    pub deduped: u64,
+    /// Objects removed by the owner's retention policy.
+    pub pruned: u64,
+}
+
+/// An append-only map from content digest to object, remembering
+/// insertion order so retention can prune oldest-first.
+#[derive(Clone, Debug)]
+pub struct ObjectArchive<V> {
+    objects: HashMap<Digest, V>,
+    /// Digests in first-write order (oldest first). Kept alongside the
+    /// map so pruning and iteration are deterministic.
+    order: Vec<Digest>,
+    pub stats: ObjectArchiveStats,
+}
+
+impl<V> Default for ObjectArchive<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> ObjectArchive<V> {
+    pub fn new() -> Self {
+        ObjectArchive {
+            objects: HashMap::new(),
+            order: Vec::new(),
+            stats: ObjectArchiveStats::default(),
+        }
+    }
+
+    /// Append `object` under `digest`. Returns `true` if this was a
+    /// first write; `false` if the digest already existed (the object
+    /// is left untouched — content addressing means same digest, same
+    /// content).
+    pub fn put(&mut self, digest: Digest, object: V) -> bool {
+        if self.objects.contains_key(&digest) {
+            self.stats.deduped += 1;
+            return false;
+        }
+        self.objects.insert(digest, object);
+        self.order.push(digest);
+        self.stats.written += 1;
+        true
+    }
+
+    pub fn get(&self, digest: &Digest) -> Option<&V> {
+        self.objects.get(digest)
+    }
+
+    /// Mutable access to a stored object — a *fault-injection* hook:
+    /// real storage never rewrites an object in place, but the
+    /// simulator uses this to model on-disk corruption (bit flips under
+    /// an unchanged index entry) and assert the verifier gate catches
+    /// it.
+    pub fn get_mut(&mut self, digest: &Digest) -> Option<&mut V> {
+        self.objects.get_mut(digest)
+    }
+
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.objects.contains_key(digest)
+    }
+
+    /// Remove `digest` (retention pruning, or dropping an object that
+    /// failed re-admission).
+    pub fn remove(&mut self, digest: &Digest) -> Option<V> {
+        let removed = self.objects.remove(digest);
+        if removed.is_some() {
+            self.order.retain(|d| d != digest);
+            self.stats.pruned += 1;
+        }
+        removed
+    }
+
+    /// Swap the payloads stored under two existing digests — the
+    /// *splice* fault-injection hook: both objects remain individually
+    /// intact, but each now lives under the other's index entry, which
+    /// is exactly what a corrupted or malicious directory block looks
+    /// like. Returns `false` (and does nothing) unless both digests
+    /// exist.
+    pub fn splice(&mut self, a: &Digest, b: &Digest) -> bool {
+        if a == b || !self.objects.contains_key(a) || !self.objects.contains_key(b) {
+            return false;
+        }
+        let va = self.objects.remove(a).expect("checked");
+        let vb = self.objects.remove(b).expect("checked");
+        self.objects.insert(*a, vb);
+        self.objects.insert(*b, va);
+        true
+    }
+
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Stored objects in first-write order (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = (&Digest, &V)> {
+        self.order
+            .iter()
+            .filter_map(|d| self.objects.get(d).map(|v| (d, v)))
+    }
+
+    /// Digests in first-write order.
+    pub fn digests(&self) -> impl Iterator<Item = &Digest> {
+        self.order.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(byte: u8) -> Digest {
+        Digest([byte; 32])
+    }
+
+    #[test]
+    fn put_is_append_only_and_deduplicating() {
+        let mut arch: ObjectArchive<&'static str> = ObjectArchive::new();
+        assert!(arch.put(d(1), "one"));
+        assert!(arch.put(d(2), "two"));
+        // Re-writing an existing digest is a no-op: same digest, same
+        // content — the original is never overwritten.
+        assert!(!arch.put(d(1), "impostor"));
+        assert_eq!(arch.get(&d(1)), Some(&"one"));
+        assert_eq!(arch.len(), 2);
+        assert_eq!(arch.stats.written, 2);
+        assert_eq!(arch.stats.deduped, 1);
+        let order: Vec<_> = arch.iter().map(|(_, v)| *v).collect();
+        assert_eq!(order, vec!["one", "two"]);
+    }
+
+    #[test]
+    fn remove_prunes_and_keeps_order() {
+        let mut arch: ObjectArchive<u32> = ObjectArchive::new();
+        for i in 0..4u8 {
+            arch.put(d(i), u32::from(i));
+        }
+        assert_eq!(arch.remove(&d(1)), Some(1));
+        assert_eq!(arch.remove(&d(1)), None);
+        assert_eq!(arch.stats.pruned, 1);
+        let order: Vec<_> = arch.iter().map(|(_, v)| *v).collect();
+        assert_eq!(order, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn splice_swaps_payloads_under_unchanged_digests() {
+        let mut arch: ObjectArchive<&'static str> = ObjectArchive::new();
+        arch.put(d(1), "one");
+        arch.put(d(2), "two");
+        assert!(arch.splice(&d(1), &d(2)));
+        assert_eq!(arch.get(&d(1)), Some(&"two"));
+        assert_eq!(arch.get(&d(2)), Some(&"one"));
+        assert!(!arch.splice(&d(1), &d(9)), "both digests must exist");
+        assert!(!arch.splice(&d(1), &d(1)), "self-splice is meaningless");
+    }
+}

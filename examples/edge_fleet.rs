@@ -22,8 +22,9 @@
 use transedge::common::{ClusterId, ClusterTopology, EdgeId, Key, NodeId, SimDuration, SimTime};
 use transedge::core::client::ClientOp;
 use transedge::core::edge_node::EdgeBehavior;
-use transedge::core::setup::{ClientPlan, Deployment, DeploymentConfig, EdgePlan};
+use transedge::core::setup::{ClientPlan, Deployment, DeploymentConfig};
 use transedge::core::ReadQuery;
+use transedge::core::{ClientProfile, EdgeConfig};
 use transedge::simnet::LatencyModel;
 
 fn keys_on(topo: &ClusterTopology, cluster: ClusterId, count: usize) -> Vec<Key> {
@@ -40,9 +41,12 @@ fn main() {
     config.client.record_results = true;
     config.client.single_contact = true;
     let byz = EdgeId::new(ClusterId(0), 0);
-    config.edge = EdgePlan::honest(2)
-        .with_byzantine(byz, EdgeBehavior::TamperValue)
-        .with_directory(SimDuration::from_millis(20));
+    config.edge = EdgeConfig::builder()
+        .per_cluster(2)
+        .byzantine(byz, EdgeBehavior::TamperValue)
+        .gossip_directory(SimDuration::from_millis(20))
+        .build()
+        .expect("edge config");
     let topo = config.topo.clone();
     let k0 = keys_on(&topo, ClusterId(0), 2);
     let k1 = keys_on(&topo, ClusterId(1), 1);
@@ -61,16 +65,12 @@ fn main() {
             query: ReadQuery::point(cross.clone()),
         })
         .collect();
-    let mut late = config.client.clone();
-    late.start_delay = SimDuration::from_millis(500);
+    let late = ClientProfile::new().start_delay(SimDuration::from_millis(500));
     let mut dep = Deployment::build_custom(
         config,
         vec![
             ClientPlan::ops(a_ops),
-            ClientPlan {
-                ops: b_ops,
-                config: Some(late),
-            },
+            ClientPlan::with_profile(b_ops, late),
         ],
     );
     dep.run_until_done(SimTime(600_000_000));

@@ -22,7 +22,7 @@ fi
 # schema_version pins the shape below; bump both together.
 jq -e '
   .figure == "fig04_rot_latency"
-  and .schema_version == 6
+  and .schema_version == 7
   and (.clusters | length == 5)
   and ([.clusters[]
         | select(.twopc_ms > 0 and .transedge_ms > 0
@@ -83,6 +83,13 @@ jq -e '
   and (.push.round2_subscribed < .push.round2_control)
   and (.push.subscribed_ms > 0)
   and (.push.control_ms > 0)
+  and (.restart.objects_spilled >= 1)
+  and (.restart.hydrate_admitted >= 1)
+  and (.restart.hydrate_rejected == 0)
+  and (.restart.replica_fetches_hydrated == 0)
+  and (.restart.replica_fetches_cold >= 1)
+  and (.restart.restart_to_warm_ms_hydrated > 0)
+  and (.restart.restart_to_warm_ms_cold > .restart.restart_to_warm_ms_hydrated)
 ' "$BENCH_JSON" >/dev/null
 
-echo "ok: $BENCH_JSON matches bench schema v6"
+echo "ok: $BENCH_JSON matches bench schema v7"

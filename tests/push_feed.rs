@@ -11,7 +11,8 @@ use transedge::common::{ClusterId, ClusterTopology, EdgeId, Key, SimDuration, Si
 use transedge::core::client::ClientOp;
 use transedge::core::edge_node::EdgeBehavior;
 use transedge::core::metrics::OpKind;
-use transedge::core::setup::{ClientPlan, Deployment, DeploymentConfig, EdgePlan};
+use transedge::core::setup::{ClientPlan, Deployment, DeploymentConfig};
+use transedge::core::{ClientProfile, EdgeConfig};
 
 fn keys_on(topo: &ClusterTopology, cluster: ClusterId, count: usize) -> Vec<Key> {
     (0u32..10_000)
@@ -65,17 +66,19 @@ fn subscribed_client_skips_round_two_on_warm_edges() {
     let mut config = DeploymentConfig::for_testing();
     config.latency = transedge::simnet::LatencyModel::paper_default();
     config.client.record_results = true;
-    config.edge = EdgePlan::honest(1).with_feed(SimDuration::from_millis(50));
+    config.edge = EdgeConfig::builder()
+        .per_cluster(1)
+        .commit_feed(SimDuration::from_millis(50))
+        .build()
+        .expect("edge config");
     let topo = config.topo.clone();
     let (reader_ops, writers, warm_keys) = write_heavy_scripts(&topo);
 
-    let mut sub = config.client.clone();
-    sub.subscribe = true;
     let mut plans: Vec<ClientPlan> = writers.iter().cloned().map(ClientPlan::ops).collect();
-    plans.push(ClientPlan {
-        ops: reader_ops.clone(),
-        config: Some(sub),
-    });
+    plans.push(ClientPlan::with_profile(
+        reader_ops.clone(),
+        ClientProfile::new().subscriber(),
+    ));
     let mut dep = Deployment::build_custom(config, plans);
     dep.run_until_done(SimTime(600_000_000));
 
@@ -153,7 +156,11 @@ fn unsubscribed_control_still_pays_round_two() {
     let mut config = DeploymentConfig::for_testing();
     config.latency = transedge::simnet::LatencyModel::paper_default();
     config.client.record_results = true;
-    config.edge = EdgePlan::honest(1).with_feed(SimDuration::from_millis(50));
+    config.edge = EdgeConfig::builder()
+        .per_cluster(1)
+        .commit_feed(SimDuration::from_millis(50))
+        .build()
+        .expect("edge config");
     let topo = config.topo.clone();
     let (reader_ops, writers, _) = write_heavy_scripts(&topo);
     let mut plans: Vec<ClientPlan> = writers.iter().cloned().map(ClientPlan::ops).collect();
@@ -186,10 +193,13 @@ fn tampered_feed_delta_is_rejected_and_demotes_fleet_wide() {
     config.latency = transedge::simnet::LatencyModel::paper_default();
     config.client.record_results = true;
     let byz = EdgeId::new(ClusterId(0), 0);
-    config.edge = EdgePlan::honest(2)
-        .with_byzantine(byz, EdgeBehavior::TamperDelta)
-        .with_feed(SimDuration::from_millis(50))
-        .with_directory(SimDuration::from_millis(20));
+    config.edge = EdgeConfig::builder()
+        .per_cluster(2)
+        .byzantine(byz, EdgeBehavior::TamperDelta)
+        .commit_feed(SimDuration::from_millis(50))
+        .gossip_directory(SimDuration::from_millis(20))
+        .build()
+        .expect("edge config");
     config.client.subscribe = true;
     let topo = config.topo.clone();
     let k0 = keys_on(&topo, ClusterId(0), 8);
@@ -210,17 +220,13 @@ fn tampered_feed_delta_is_rejected_and_demotes_fleet_wide() {
         .collect();
     // Client B starts after A's evidence had many gossip rounds to
     // spread across the fleet.
-    let mut late = config.client.clone();
-    late.start_delay = SimDuration::from_millis(500);
+    let late = ClientProfile::new().start_delay(SimDuration::from_millis(500));
     let mut dep = Deployment::build_custom(
         config,
         vec![
             ClientPlan::ops(writer),
             ClientPlan::ops(reader.clone()),
-            ClientPlan {
-                ops: reader,
-                config: Some(late),
-            },
+            ClientPlan::with_profile(reader, late),
         ],
     );
     dep.run_until_done(SimTime(600_000_000));

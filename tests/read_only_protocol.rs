@@ -7,7 +7,8 @@ use transedge::common::{ClusterId, ClusterTopology, EdgeId, Key, SimTime, Value}
 use transedge::core::client::ClientOp;
 use transedge::core::edge_node::EdgeBehavior;
 use transedge::core::metrics::OpKind;
-use transedge::core::setup::{Deployment, DeploymentConfig, EdgePlan};
+use transedge::core::setup::{Deployment, DeploymentConfig};
+use transedge::core::{ClientProfile, EdgeConfig};
 
 fn keys_on(topo: &ClusterTopology, cluster: ClusterId, count: usize) -> Vec<Key> {
     (0u32..10_000)
@@ -137,7 +138,7 @@ fn honest_edge_serves_verified_cached_and_uncached_reads() {
     let mut config = DeploymentConfig::for_testing();
     config.latency = transedge::simnet::LatencyModel::paper_default();
     config.client.record_results = true;
-    config.edge = EdgePlan::honest(1);
+    config.edge = EdgeConfig::honest(1);
     let topo = config.topo.clone();
     let k0 = keys_on(&topo, ClusterId(0), 2);
     let k1 = keys_on(&topo, ClusterId(1), 2);
@@ -214,7 +215,11 @@ fn byzantine_edge_is_detected_and_evaded() {
         // `byzantine_edge_is_demoted_and_traffic_fails_over`.
         config.client.selector.rejection_threshold = u32::MAX;
         // Cluster 0's edge lies; cluster 1's is honest.
-        config.edge = EdgePlan::honest(1).with_byzantine(EdgeId::new(ClusterId(0), 0), behavior);
+        config.edge = EdgeConfig::builder()
+            .per_cluster(1)
+            .byzantine(EdgeId::new(ClusterId(0), 0), behavior)
+            .build()
+            .expect("edge config");
         let topo = config.topo.clone();
         let k0 = keys_on(&topo, ClusterId(0), 2);
         let k1 = keys_on(&topo, ClusterId(1), 2);
@@ -274,7 +279,7 @@ fn partial_assembly_serves_partially_cached_requests() {
     let mut config = DeploymentConfig::for_testing();
     config.latency = transedge::simnet::LatencyModel::paper_default();
     config.client.record_results = true;
-    config.edge = EdgePlan::honest(1);
+    config.edge = EdgeConfig::honest(1);
     let topo = config.topo.clone();
     let k = keys_on(&topo, ClusterId(0), 3);
     let two = vec![k[0].clone(), k[1].clone()];
@@ -344,7 +349,11 @@ fn byzantine_edge_is_demoted_and_traffic_fails_over() {
     // Two edges front cluster 0: index 0 lies, index 1 is honest.
     let byz = EdgeId::new(ClusterId(0), 0);
     let honest = EdgeId::new(ClusterId(0), 1);
-    config.edge = EdgePlan::honest(2).with_byzantine(byz, EdgeBehavior::TamperValue);
+    config.edge = EdgeConfig::builder()
+        .per_cluster(2)
+        .byzantine(byz, EdgeBehavior::TamperValue)
+        .build()
+        .expect("edge config");
     let topo = config.topo.clone();
     let k0 = keys_on(&topo, ClusterId(0), 2);
     let ops = 20usize;
@@ -408,7 +417,11 @@ fn multiproof_omitting_edge_is_rejected_and_demoted() {
     config.client.record_results = true;
     let byz = EdgeId::new(ClusterId(0), 0);
     let honest = EdgeId::new(ClusterId(0), 1);
-    config.edge = EdgePlan::honest(2).with_byzantine(byz, EdgeBehavior::OmitFromMulti);
+    config.edge = EdgeConfig::builder()
+        .per_cluster(2)
+        .byzantine(byz, EdgeBehavior::OmitFromMulti)
+        .build()
+        .expect("edge config");
     let topo = config.topo.clone();
     let k0 = keys_on(
         &topo,
@@ -537,7 +550,7 @@ fn verified_scans_replay_from_edge_cache_with_covering_reuse() {
     let mut config = DeploymentConfig::for_testing();
     config.latency = transedge::simnet::LatencyModel::paper_default();
     config.client.record_results = true;
-    config.edge = EdgePlan::honest(1);
+    config.edge = EdgeConfig::honest(1);
     let topo = config.topo.clone();
     let wide = window_on(&topo, ClusterId(0));
     // A strict sub-window of `wide` (may cover fewer — or zero — keys;
@@ -605,7 +618,11 @@ fn scan_omitting_edge_is_rejected_and_demoted() {
     config.client.record_results = true;
     let byz = EdgeId::new(ClusterId(0), 0);
     let honest = EdgeId::new(ClusterId(0), 1);
-    config.edge = EdgePlan::honest(2).with_byzantine(byz, EdgeBehavior::OmitKey);
+    config.edge = EdgeConfig::builder()
+        .per_cluster(2)
+        .byzantine(byz, EdgeBehavior::OmitKey)
+        .build()
+        .expect("edge config");
     let topo = config.topo.clone();
     let range = window_on(&topo, ClusterId(0));
     let ops = 20usize;
@@ -749,7 +766,7 @@ fn unified_query_scenario(
 #[test]
 fn unified_paginated_scatter_query_under_min_epoch() {
     let mut config = DeploymentConfig::for_testing();
-    config.edge = EdgePlan::honest(1);
+    config.edge = EdgeConfig::honest(1);
     let (scripts, query, _) = unified_query_scenario(&mut config);
     let topo = config.topo.clone();
     let mut dep = Deployment::build(config, scripts);
@@ -815,7 +832,11 @@ fn unified_paginated_scatter_query_under_min_epoch() {
 fn unified_query_with_byzantine_edge_in_fanout_recovers() {
     let mut config = DeploymentConfig::for_testing();
     let byz = EdgeId::new(ClusterId(0), 0);
-    config.edge = EdgePlan::honest(1).with_byzantine(byz, EdgeBehavior::OmitKey);
+    config.edge = EdgeConfig::builder()
+        .per_cluster(1)
+        .byzantine(byz, EdgeBehavior::OmitKey)
+        .build()
+        .expect("edge config");
     let (scripts, query, _) = unified_query_scenario(&mut config);
     let topo = config.topo.clone();
     let mut dep = Deployment::build(config, scripts);
@@ -885,9 +906,12 @@ fn gossiped_rejection_demotes_edge_for_other_clients_before_contact() {
     config.latency = transedge::simnet::LatencyModel::paper_default();
     config.client.record_results = true;
     let byz = EdgeId::new(ClusterId(0), 0);
-    config.edge = EdgePlan::honest(2)
-        .with_byzantine(byz, EdgeBehavior::TamperValue)
-        .with_directory(SimDuration::from_millis(20));
+    config.edge = EdgeConfig::builder()
+        .per_cluster(2)
+        .byzantine(byz, EdgeBehavior::TamperValue)
+        .gossip_directory(SimDuration::from_millis(20))
+        .build()
+        .expect("edge config");
     let topo = config.topo.clone();
     let k0 = keys_on(&topo, ClusterId(0), 2);
     let ops: Vec<ClientOp> = (0..10)
@@ -895,16 +919,12 @@ fn gossiped_rejection_demotes_edge_for_other_clients_before_contact() {
         .collect();
     // Client B starts well after A finished and gossip had many
     // rounds to spread A's evidence across the fleet.
-    let mut late = config.client.clone();
-    late.start_delay = SimDuration::from_millis(500);
+    let late = ClientProfile::new().start_delay(SimDuration::from_millis(500));
     let mut dep = Deployment::build_custom(
         config,
         vec![
             ClientPlan::ops(ops.clone()),
-            ClientPlan {
-                ops,
-                config: Some(late),
-            },
+            ClientPlan::with_profile(ops, late),
         ],
     );
     dep.run_until_done(SimTime(600_000_000));
@@ -978,7 +998,11 @@ fn two_partition_query_served_through_single_edge_contact() {
     config.latency = transedge::simnet::LatencyModel::paper_default();
     config.client.record_results = true;
     config.client.single_contact = true;
-    config.edge = EdgePlan::honest(1).with_directory(SimDuration::from_millis(20));
+    config.edge = EdgeConfig::builder()
+        .per_cluster(1)
+        .gossip_directory(SimDuration::from_millis(20))
+        .build()
+        .expect("edge config");
     let topo = config.topo.clone();
     let k0 = keys_on(&topo, ClusterId(0), 2);
     let k1 = keys_on(&topo, ClusterId(1), 1);
@@ -1054,9 +1078,12 @@ fn tampered_forwarded_section_is_rejected_at_the_client() {
     config.client.record_results = true;
     config.client.single_contact = true;
     let byz = EdgeId::new(ClusterId(1), 0);
-    config.edge = EdgePlan::honest(1)
-        .with_byzantine(byz, EdgeBehavior::TamperValue)
-        .with_directory(SimDuration::from_millis(20));
+    config.edge = EdgeConfig::builder()
+        .per_cluster(1)
+        .byzantine(byz, EdgeBehavior::TamperValue)
+        .gossip_directory(SimDuration::from_millis(20))
+        .build()
+        .expect("edge config");
     let topo = config.topo.clone();
     let k0 = keys_on(&topo, ClusterId(0), 2);
     let k1 = keys_on(&topo, ClusterId(1), 1);
