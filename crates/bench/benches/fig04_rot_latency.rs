@@ -20,6 +20,7 @@ use transedge_core::setup::{ClientPlan, Deployment};
 use transedge_core::{ClientProfile, EdgeConfig};
 use transedge_crypto::ScanRange;
 use transedge_edge::{SnapshotStore, DEFAULT_SPILL_THRESHOLD};
+use transedge_scenario::campaign::{self, CampaignScale};
 use transedge_workload::WorkloadSpec;
 
 /// The deployment's tree depth — scan windows live in its `2^depth`
@@ -1095,6 +1096,42 @@ fn main() {
         restart.cold.replica_fetches.to_string(),
     ]);
 
+    // Scenario campaigns: declarative chaos timelines under the
+    // invariant monitor (a campaign that returns ran with zero
+    // violations — wrong-value, snapshot-atomicity, framing and
+    // convergence checks all held through the chaos).
+    println!();
+    println!("  scenario campaigns (chaos timelines under invariant monitoring):");
+    let campaign_scale = if scale.full {
+        CampaignScale::full()
+    } else {
+        CampaignScale::quick()
+    };
+    let campaigns = [
+        campaign::churn(&campaign_scale),
+        campaign::partition_heal(&campaign_scale),
+        campaign::flash_crowd(&campaign_scale),
+        campaign::coalition(&campaign_scale),
+    ];
+    header(&[
+        "campaign",
+        "avail",
+        "p95",
+        "rejected",
+        "rounds",
+        "convicted",
+    ]);
+    for c in &campaigns {
+        row(&[
+            c.name.to_string(),
+            fmt_pct(c.availability_pct),
+            fmt_ms(c.p95_ms),
+            c.rejected_reads.to_string(),
+            format!("{:.0}", c.demotion_rounds),
+            c.convicted.to_string(),
+        ]);
+    }
+
     paper_reference(&[
         "2PC/BFT:   ~12 ms at 1 cluster, 69–82 ms at 2–5 clusters",
         "TransEdge: ~1–8 ms across 1–5 clusters",
@@ -1116,8 +1153,11 @@ fn main() {
     // 6 = added the `push` block (certified delta stream: deltas/sec,
     // staleness window, round-2 fetches eliminated by subscription);
     // 7 = added the `restart` block (verified warm restart: hydration
-    // from the content-addressed snapshot store vs cold control).
-    json.push_str("  \"schema_version\": 7,\n");
+    // from the content-addressed snapshot store vs cold control);
+    // 8 = added the `scenarios` block (chaos campaign trajectories:
+    // availability, p95, rejected reads, demotion-convergence rounds
+    // per campaign, all under zero invariant violations).
+    json.push_str("  \"schema_version\": 8,\n");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -1251,7 +1291,7 @@ fn main() {
     // object) is inside the hydrated number, so the contrast is fair.
     let _ = writeln!(
         json,
-        "  \"restart\": {{\"objects_spilled\": {}, \"hydrate_admitted\": {}, \"hydrate_rejected\": {}, \"restart_to_warm_ms_hydrated\": {:.4}, \"restart_to_warm_ms_cold\": {:.4}, \"replica_fetches_hydrated\": {}, \"replica_fetches_cold\": {}, \"warm_probe_ms_hydrated\": {:.4}, \"warm_probe_ms_cold\": {:.4}}}",
+        "  \"restart\": {{\"objects_spilled\": {}, \"hydrate_admitted\": {}, \"hydrate_rejected\": {}, \"restart_to_warm_ms_hydrated\": {:.4}, \"restart_to_warm_ms_cold\": {:.4}, \"replica_fetches_hydrated\": {}, \"replica_fetches_cold\": {}, \"warm_probe_ms_hydrated\": {:.4}, \"warm_probe_ms_cold\": {:.4}}},",
         restart.hydrated.objects_spilled,
         restart.hydrated.hydrate_admitted,
         restart.hydrated.hydrate_rejected,
@@ -1262,6 +1302,26 @@ fn main() {
         restart.hydrated.warm_probe_ms,
         restart.cold.warm_probe_ms
     );
+    // Every campaign already ran under the invariant monitor; a key
+    // appearing here at all means zero violations.
+    json.push_str("  \"scenarios\": {");
+    for (i, c) in campaigns.iter().enumerate() {
+        let key = c.name.replace('-', "_");
+        let _ = write!(
+            json,
+            "\"{}\": {{\"availability_pct\": {:.4}, \"p95_ms\": {:.4}, \"rejected_reads\": {}, \"demotion_rounds\": {:.0}, \"convicted\": {}, \"total_ops\": {}, \"invariant_checks\": {}}}",
+            key,
+            c.availability_pct,
+            c.p95_ms,
+            c.rejected_reads,
+            c.demotion_rounds,
+            c.convicted,
+            c.total_ops,
+            c.invariant_checks
+        );
+        json.push_str(if i + 1 < campaigns.len() { ", " } else { "" });
+    }
+    json.push_str("}\n");
     json.push_str("}\n");
     // Anchor at the workspace root regardless of bench CWD.
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_rot.json");

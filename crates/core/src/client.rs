@@ -696,6 +696,23 @@ impl ClientActor {
         self.inflight.is_none() && self.next_op >= self.ops.len()
     }
 
+    /// Replace the not-yet-issued tail of this client's script with
+    /// `ops` — the flash-crowd re-targeting hook: a scenario harness
+    /// swaps the remaining workload (e.g. a shifted zipf hot set)
+    /// mid-run. The in-flight operation and everything already issued
+    /// are untouched. Must be applied while the client is still active:
+    /// a finished client has nothing scheduled to pick the new tail up.
+    pub fn retarget_pending_ops(&mut self, ops: Vec<ClientOp>) {
+        self.ops.truncate(self.next_op);
+        self.ops.extend(ops);
+    }
+
+    /// Operations not yet issued (diagnostics for re-targeting
+    /// harnesses).
+    pub fn pending_ops(&self) -> usize {
+        self.ops.len().saturating_sub(self.next_op)
+    }
+
     /// The directory participant, when enabled.
     pub fn directory(&self) -> Option<&DirectoryAgent<CommittedHeader>> {
         self.directory.as_ref()

@@ -100,6 +100,27 @@ pub enum EdgeBehavior {
     /// response as `BadDelta` — cryptographic evidence the directory
     /// gossips fleet-wide, exactly like a forged proof.
     TamperDelta,
+    /// Coalition mode: lie *consistently* with every other coalition
+    /// member. The forged state root is a pure function of the batch
+    /// number ([`coalition_root`]), so K colluding edges serve
+    /// bit-identical forgeries — a client comparing their answers by
+    /// vote would see perfect agreement and learn nothing. Only the
+    /// proof chain convicts: the consensus certificate covers the
+    /// *committed* digest, the recomputed digest over the forged root
+    /// differs, and the rejection is signable evidence against each
+    /// member individually.
+    Coalition,
+}
+
+/// The coalition's agreed forged state root for one batch: a pure
+/// function of the batch number, no covert channel needed. Every
+/// [`EdgeBehavior::Coalition`] member substitutes this root, so K
+/// colluding edges answer bit-for-bit identically — and each is still
+/// convicted by the certificate-versus-recomputed-digest check.
+pub fn coalition_root(num: BatchNum) -> Digest {
+    let mut d = [0xC0u8; 32];
+    d[..8].copy_from_slice(&num.0.to_le_bytes());
+    Digest(d)
 }
 
 /// The edge directory/forwarding configuration of a deployment.
@@ -175,7 +196,7 @@ pub struct EdgeNodeParams {
     /// Certified headers retained per cluster cache.
     pub max_cached_batches: usize,
     /// Cluster-hash shards the per-partition replay caches spread over
-    /// (plumbed from [`crate::setup::EdgePlan`]).
+    /// (plumbed from [`crate::config::CacheConfig::shards`]).
     pub cache_shards: usize,
     /// Cached bundles older than this are not replayed; the request is
     /// forwarded upstream instead, refreshing the cache.
@@ -412,6 +433,13 @@ impl EdgeReadNode {
         self.behavior
     }
 
+    /// Switch this edge's behaviour at runtime — the scenario layer's
+    /// `CoalitionActivate` hook (a previously honest edge turning
+    /// coat mid-run, coordinated with its co-conspirators).
+    pub fn set_behavior(&mut self, behavior: EdgeBehavior) {
+        self.behavior = behavior;
+    }
+
     /// The gossip directory participant, when the plan enables one.
     pub fn directory(&self) -> Option<&DirectoryAgent<CommittedHeader>> {
         self.directory.as_ref()
@@ -497,6 +525,10 @@ impl EdgeReadNode {
     fn corrupt(&mut self, mut bundle: RotBundle) -> RotBundle {
         match self.behavior {
             EdgeBehavior::Honest => {}
+            EdgeBehavior::Coalition => {
+                bundle.commitment.header.merkle_root = coalition_root(bundle.commitment.header.num);
+                self.stats.tampered += 1;
+            }
             EdgeBehavior::TamperValue => {
                 if let Some(read) = bundle.reads.iter_mut().find(|r| r.value.is_some()) {
                     read.value = Some(transedge_common::Value::from("forged-by-edge"));
@@ -546,6 +578,10 @@ impl EdgeReadNode {
         );
         match self.behavior {
             EdgeBehavior::Honest | EdgeBehavior::TamperDelta => {}
+            EdgeBehavior::Coalition => {
+                commitment.header.merkle_root = coalition_root(commitment.header.num);
+                self.stats.tampered += 1;
+            }
             EdgeBehavior::TamperValue => {
                 if let Some(value) = values.iter_mut().find(|v| v.is_some()) {
                     *value = Some(transedge_common::Value::from("forged-by-edge"));
@@ -585,6 +621,10 @@ impl EdgeReadNode {
     fn corrupt_scan(&mut self, mut bundle: RotScanBundle) -> RotScanBundle {
         match self.behavior {
             EdgeBehavior::Honest => {}
+            EdgeBehavior::Coalition => {
+                bundle.commitment.header.merkle_root = coalition_root(bundle.commitment.header.num);
+                self.stats.tampered += 1;
+            }
             EdgeBehavior::TamperValue => {
                 if let Some((_, value)) = bundle.scan.rows.first_mut() {
                     *value = transedge_common::Value::from("forged-by-edge");
@@ -628,12 +668,17 @@ impl EdgeReadNode {
     /// list. The changed-key digest no longer matches the certified
     /// delta digest, so the client rejects the response as `BadDelta`.
     fn corrupt_fresh(&mut self, fresh: Option<Vec<RotDelta>>) -> Option<Vec<RotDelta>> {
-        if self.behavior != EdgeBehavior::TamperDelta {
-            return fresh;
-        }
+        // Coalition members forge the *same* bogus delta key as each
+        // other (a shared constant), for the same reason their forged
+        // roots match: agreement must not look like honesty.
+        let bogus = match self.behavior {
+            EdgeBehavior::TamperDelta => Key::from_u32(u32::MAX),
+            EdgeBehavior::Coalition => Key::from_u32(u32::MAX - 1),
+            _ => return fresh,
+        };
         let mut feed = fresh?;
         if let Some(last) = feed.last_mut() {
-            last.changed.push(Key::from_u32(u32::MAX));
+            last.changed.push(bogus);
             self.stats.tampered += 1;
         }
         Some(feed)

@@ -61,7 +61,7 @@ pub use edge_node::{EdgeBehavior, EdgeReadNode};
 pub use messages::{NetMsg, ReadPayload};
 pub use metrics::{QueryClass, ReadQueryMetrics, ShapeCounters};
 pub use node::{NodeConfig, TransEdgeNode};
-pub use setup::{Deployment, DeploymentConfig, EdgePlan};
+pub use setup::{Deployment, DeploymentConfig};
 // The unified read-query protocol types, re-exported from the edge
 // subsystem so client code can name a query without a direct
 // `transedge-edge` dependency.

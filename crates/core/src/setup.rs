@@ -10,7 +10,7 @@ use transedge_consensus::messages::accept_statement;
 use transedge_consensus::{BftValue, Certificate};
 use transedge_crypto::hmac::derive_seed;
 use transedge_crypto::{KeyStore, Keypair};
-use transedge_simnet::{CostModel, FaultPlan, LatencyModel, Simulation};
+use transedge_simnet::{CostModel, FaultPlan, LatencyModel, PartitionHandle, Simulation};
 
 use crate::batch::CommittedHeader;
 use crate::client::{ClientActor, ClientConfig, ClientOp};
@@ -20,96 +20,6 @@ use crate::messages::NetMsg;
 use crate::metrics::TxnSample;
 use crate::node::{NodeConfig, TransEdgeNode};
 use transedge_edge::SnapshotStore;
-
-/// Deprecated precursor of [`EdgeConfig`]: the old setter-chain edge
-/// plan, kept for one release as a migration shim. Build one with the
-/// old calls and convert with `.into()`; new code should use
-/// [`EdgeConfig::builder`] directly.
-#[derive(Clone, Debug)]
-pub struct EdgePlan {
-    pub per_cluster: usize,
-    pub cache_capacity: usize,
-    pub max_cached_batches: usize,
-    pub cache_shards: usize,
-    pub replay_staleness: transedge_common::SimDuration,
-    pub route_clients: bool,
-    pub byzantine: Vec<(EdgeId, EdgeBehavior)>,
-    pub directory: crate::edge_node::DirectoryPlan,
-    pub feed: crate::edge_node::FeedPlan,
-}
-
-impl EdgePlan {
-    /// No edge tier (the classic deployment shape).
-    pub fn none() -> Self {
-        let defaults = EdgeConfig::none();
-        EdgePlan {
-            per_cluster: 0,
-            cache_capacity: defaults.cache.capacity,
-            max_cached_batches: defaults.cache.max_batches,
-            cache_shards: defaults.cache.shards,
-            replay_staleness: defaults.replay_staleness,
-            route_clients: true,
-            byzantine: Vec::new(),
-            directory: defaults.directory,
-            feed: defaults.feed,
-        }
-    }
-
-    /// `n` honest edge nodes per cluster, clients routed through them.
-    pub fn honest(n: usize) -> Self {
-        EdgePlan {
-            per_cluster: n,
-            ..EdgePlan::none()
-        }
-    }
-
-    /// Mark one edge node byzantine.
-    #[deprecated(note = "use EdgeConfig::builder().byzantine(..)")]
-    pub fn with_byzantine(mut self, edge: EdgeId, behavior: EdgeBehavior) -> Self {
-        self.byzantine.push((edge, behavior));
-        self
-    }
-
-    /// Run the gossip directory with edge-tier forwarding.
-    #[deprecated(note = "use EdgeConfig::builder().gossip_directory(..)")]
-    pub fn with_directory(mut self, interval: SimDuration) -> Self {
-        self.directory = crate::edge_node::DirectoryPlan::gossip(interval);
-        self
-    }
-
-    /// Subscribe every edge to its home cluster's commit feed.
-    #[deprecated(note = "use EdgeConfig::builder().commit_feed(..)")]
-    pub fn with_feed(mut self, interval: SimDuration) -> Self {
-        self.feed = crate::edge_node::FeedPlan::subscribed(interval);
-        self
-    }
-
-    /// Override the replay-cache shard count.
-    #[deprecated(note = "use EdgeConfig::builder().cache_shards(..)")]
-    pub fn with_cache_shards(mut self, shards: usize) -> Self {
-        self.cache_shards = shards;
-        self
-    }
-}
-
-impl From<EdgePlan> for EdgeConfig {
-    fn from(plan: EdgePlan) -> Self {
-        EdgeConfig {
-            per_cluster: plan.per_cluster,
-            cache: crate::config::CacheConfig {
-                capacity: plan.cache_capacity,
-                max_batches: plan.max_cached_batches,
-                shards: plan.cache_shards,
-            },
-            replay_staleness: plan.replay_staleness,
-            route_clients: plan.route_clients,
-            byzantine: plan.byzantine,
-            directory: plan.directory,
-            feed: plan.feed,
-            persistence: transedge_edge::PersistPlan::disabled(),
-        }
-    }
-}
 
 /// Everything needed to build a deployment.
 #[derive(Clone)]
@@ -538,5 +448,63 @@ impl Deployment {
     /// Current leader replica of a cluster (as seen by replica 0).
     pub fn leader_of(&self, cluster: ClusterId) -> ReplicaId {
         self.node(ReplicaId::new(cluster, 0)).cluster_leader()
+    }
+
+    // ---- runtime scenario hooks -------------------------------------
+    // The declarative scenario layer (`transedge-scenario`) steers a
+    // running deployment through these: faults that start and heal on
+    // cue, edges that turn coat, certification cadences that skew, and
+    // client scripts re-targeted mid-workload.
+
+    /// Cut all links between `a` and `b` from the current sim time
+    /// until [`Deployment::heal_partition`].
+    pub fn impose_partition(
+        &mut self,
+        a: impl IntoIterator<Item = NodeId>,
+        b: impl IntoIterator<Item = NodeId>,
+    ) -> PartitionHandle {
+        self.sim.impose_partition(a, b)
+    }
+
+    /// Heal a previously imposed partition (idempotent).
+    pub fn heal_partition(&mut self, handle: PartitionHandle) {
+        self.sim.heal_partition(handle);
+    }
+
+    /// Change the uniform message-drop probability from now on.
+    pub fn set_drop_prob(&mut self, p: f64) {
+        self.sim.set_drop_prob(p);
+    }
+
+    /// Fail-stop a replica at the current sim time (it stays
+    /// registered but deaf — the [`FaultPlan`] crash mode).
+    pub fn crash_replica(&mut self, replica: ReplicaId) {
+        self.sim.crash_node(NodeId::Replica(replica));
+    }
+
+    /// Flip one edge's behaviour at runtime (scenario coalitions:
+    /// previously honest edges activating coordinated byzantine modes).
+    pub fn set_edge_behavior(&mut self, edge: EdgeId, behavior: EdgeBehavior) {
+        self.edge_node_mut(edge).set_behavior(behavior);
+    }
+
+    /// Skew one cluster's batch certification cadence: every replica of
+    /// `cluster` re-arms its batch timer with `interval` from its next
+    /// firing on (the batch timer re-reads the config each round).
+    pub fn set_batch_interval(&mut self, cluster: ClusterId, interval: SimDuration) {
+        let replicas: Vec<ReplicaId> = self.topo.replicas_of(cluster).collect();
+        for r in replicas {
+            if let Some(node) = self.sim.actor_as_mut::<TransEdgeNode>(NodeId::Replica(r)) {
+                node.config.batch_interval = interval;
+            }
+        }
+    }
+
+    /// Replace the not-yet-issued tail of one client's script (see
+    /// [`ClientActor::retarget_pending_ops`]).
+    pub fn retarget_client_ops(&mut self, id: ClientId, ops: Vec<ClientOp>) {
+        if let Some(client) = self.sim.actor_as_mut::<ClientActor>(NodeId::Client(id)) {
+            client.retarget_pending_ops(ops);
+        }
     }
 }

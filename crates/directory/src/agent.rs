@@ -375,6 +375,15 @@ impl<H: BatchCommitment + Clone> DirectoryAgent<H> {
         self.learned_at.get(&edge).copied()
     }
 
+    /// Every edge this agent holds verified rejection evidence against
+    /// (sorted — what scenario invariant monitors diff across the
+    /// fleet to observe demotion convergence).
+    pub fn convicted_edges(&self) -> Vec<EdgeId> {
+        let mut edges: Vec<EdgeId> = self.state.evidence().map(|e| e.body.subject).collect();
+        edges.sort();
+        edges
+    }
+
     /// Aggregated hints, with locally-struck edges marked byzantine too
     /// (we cannot prove their gossip forgeries to others, but we need
     /// not route through them ourselves).

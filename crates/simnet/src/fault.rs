@@ -31,16 +31,38 @@ pub struct Partition {
     pub until: Option<SimTime>,
 }
 
+/// Handle to a partition imposed at runtime, used to heal it later.
+/// Indexes into [`FaultPlan::partitions`]; healed handles stay valid
+/// (healing is idempotent).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartitionHandle(usize);
+
+/// A probability sanitized into `[0, 1]`; NaN and other non-finite
+/// inputs collapse to 0 (no drops) rather than poisoning `gen_bool`.
+fn clamp_prob(p: f64) -> f64 {
+    if p.is_finite() {
+        p.clamp(0.0, 1.0)
+    } else {
+        0.0
+    }
+}
+
 impl FaultPlan {
     pub fn none() -> Self {
         Self::default()
     }
 
-    /// Uniform message-drop probability.
+    /// Uniform message-drop probability. Out-of-range and non-finite
+    /// inputs are clamped into `[0, 1]` (NaN → 0) so a bad probability
+    /// can never panic `gen_bool` mid-run or silently drop everything.
     pub fn with_drop_prob(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p));
-        self.drop_prob = p;
+        self.set_drop_prob(p);
         self
+    }
+
+    /// Runtime form of [`FaultPlan::with_drop_prob`], same clamping.
+    pub fn set_drop_prob(&mut self, p: f64) {
+        self.drop_prob = clamp_prob(p);
     }
 
     /// Crash `node` at `at` (it stops processing and emitting).
@@ -66,6 +88,40 @@ impl FaultPlan {
         self
     }
 
+    /// Impose a new partition at runtime, cutting `a` ↔ `b` from
+    /// `from` until healed. Returns a handle for
+    /// [`FaultPlan::heal_partition`].
+    pub fn impose_partition(
+        &mut self,
+        a: impl IntoIterator<Item = NodeId>,
+        b: impl IntoIterator<Item = NodeId>,
+        from: SimTime,
+    ) -> PartitionHandle {
+        self.partitions.push(Partition {
+            group_a: a.into_iter().collect(),
+            group_b: b.into_iter().collect(),
+            from,
+            until: None,
+        });
+        PartitionHandle(self.partitions.len() - 1)
+    }
+
+    /// Heal a partition at `now`: messages crossing it from `now` on
+    /// are delivered again. Healing an already-healed partition earlier
+    /// is a no-op (the first heal wins).
+    pub fn heal_partition(&mut self, handle: PartitionHandle, now: SimTime) {
+        if let Some(p) = self.partitions.get_mut(handle.0) {
+            if p.until.is_none_or(|u| u > now) {
+                p.until = Some(now);
+            }
+        }
+    }
+
+    /// Crash `node` at runtime (equivalent to a `with_crash` at `now`).
+    pub fn crash_node(&mut self, node: NodeId, now: SimTime) {
+        self.crashes.push((node, now));
+    }
+
     /// Is `node` crashed at `now`?
     pub fn is_crashed(&self, node: NodeId, now: SimTime) -> bool {
         self.crashes.iter().any(|(n, at)| *n == node && now >= *at)
@@ -86,7 +142,11 @@ impl FaultPlan {
                 }
             }
         }
-        self.drop_prob > 0.0 && rng.gen_bool(self.drop_prob)
+        // `drop_prob` is a public field, so re-clamp at the use site:
+        // an out-of-range value written directly must not panic
+        // `gen_bool` (the old silent-misbehaviour mode of this check).
+        let p = clamp_prob(self.drop_prob);
+        p > 0.0 && rng.gen_bool(p)
     }
 }
 
@@ -130,6 +190,47 @@ mod tests {
         assert!(plan.should_drop(rep(0, 0), rep(1, 0), SimTime(15), &mut rng));
         assert!(plan.should_drop(rep(1, 0), rep(0, 0), SimTime(15), &mut rng));
         assert!(!plan.should_drop(rep(0, 0), rep(1, 0), SimTime(25), &mut rng));
+    }
+
+    #[test]
+    fn drop_prob_clamps_out_of_range_inputs() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        // Above 1: everything drops, nothing panics.
+        let plan = FaultPlan::none().with_drop_prob(1.5);
+        assert_eq!(plan.drop_prob, 1.0);
+        assert!(plan.should_drop(rep(0, 0), rep(0, 1), SimTime(0), &mut rng));
+        // Below 0 and NaN: no drops.
+        assert_eq!(FaultPlan::none().with_drop_prob(-0.3).drop_prob, 0.0);
+        assert_eq!(FaultPlan::none().with_drop_prob(f64::NAN).drop_prob, 0.0);
+        // Writing the public field directly cannot panic `should_drop`.
+        let mut plan = FaultPlan::none();
+        plan.drop_prob = f64::INFINITY;
+        assert!(!plan.should_drop(rep(0, 0), rep(0, 1), SimTime(0), &mut rng));
+        plan.drop_prob = 7.0;
+        assert!(plan.should_drop(rep(0, 0), rep(0, 1), SimTime(0), &mut rng));
+    }
+
+    #[test]
+    fn runtime_partition_imposed_and_healed() {
+        let mut plan = FaultPlan::none();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let h = plan.impose_partition([rep(0, 0)], [rep(1, 0)], SimTime(10));
+        assert!(!plan.should_drop(rep(0, 0), rep(1, 0), SimTime(5), &mut rng));
+        assert!(plan.should_drop(rep(0, 0), rep(1, 0), SimTime(15), &mut rng));
+        plan.heal_partition(h, SimTime(20));
+        assert!(plan.should_drop(rep(1, 0), rep(0, 0), SimTime(19), &mut rng));
+        assert!(!plan.should_drop(rep(0, 0), rep(1, 0), SimTime(20), &mut rng));
+        // A later heal cannot un-heal: the first heal wins.
+        plan.heal_partition(h, SimTime(50));
+        assert!(!plan.should_drop(rep(0, 0), rep(1, 0), SimTime(30), &mut rng));
+    }
+
+    #[test]
+    fn runtime_crash_node() {
+        let mut plan = FaultPlan::none();
+        plan.crash_node(rep(0, 2), SimTime(40));
+        assert!(!plan.is_crashed(rep(0, 2), SimTime(39)));
+        assert!(plan.is_crashed(rep(0, 2), SimTime(40)));
     }
 
     #[test]

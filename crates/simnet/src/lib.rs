@@ -35,7 +35,7 @@ pub mod topology;
 
 pub use actor::{Actor, Context, SimMessage, TimerId};
 pub use cost::CostModel;
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, PartitionHandle};
 pub use sim::Simulation;
 pub use stats::NetStats;
 pub use topology::LatencyModel;

@@ -10,7 +10,7 @@ use transedge_common::{NodeId, SimDuration, SimTime};
 
 use crate::actor::{Actor, Context, Effect, SimMessage, TimerId};
 use crate::cost::CostModel;
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, PartitionHandle};
 use crate::stats::NetStats;
 use crate::topology::LatencyModel;
 
@@ -138,6 +138,52 @@ impl<M: SimMessage + 'static> Simulation<M> {
     /// Network statistics so far.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// The active fault plan (inspection).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    // ---- runtime fault control --------------------------------------
+    // Construction-time [`FaultPlan`]s schedule everything up front;
+    // these mutators let a harness (the scenario layer) steer faults
+    // *while the clock runs*: partitions that start and heal on cue,
+    // drop rates that change mid-workload, crashes decided on the fly.
+    // Messages already in flight when a partition is imposed were
+    // routed at their departure time and still deliver — only traffic
+    // departing inside the window is cut, like a real link going dark.
+
+    /// Cut all links between `a` and `b` from the current sim time
+    /// until [`Simulation::heal_partition`].
+    pub fn impose_partition(
+        &mut self,
+        a: impl IntoIterator<Item = NodeId>,
+        b: impl IntoIterator<Item = NodeId>,
+    ) -> PartitionHandle {
+        let now = self.now;
+        self.faults.impose_partition(a, b, now)
+    }
+
+    /// Heal a partition (construction-time or imposed) at the current
+    /// sim time. Idempotent; the first heal wins.
+    pub fn heal_partition(&mut self, handle: PartitionHandle) {
+        let now = self.now;
+        self.faults.heal_partition(handle, now);
+    }
+
+    /// Change the uniform message-drop probability from now on
+    /// (clamped into `[0, 1]`, NaN → 0).
+    pub fn set_drop_prob(&mut self, p: f64) {
+        self.faults.set_drop_prob(p);
+    }
+
+    /// Crash `node` at the current sim time: it stays registered but
+    /// processes and emits nothing from now on (the [`FaultPlan`]
+    /// crash mode, as opposed to [`Simulation::remove_actor`]).
+    pub fn crash_node(&mut self, node: NodeId) {
+        let now = self.now;
+        self.faults.crash_node(node, now);
     }
 
     /// Inject a message from outside the simulation (e.g. a test acting
@@ -616,5 +662,122 @@ mod tests {
         let mut sim: Simulation<TestMsg> = Simulation::for_testing(1);
         sim.inject(rep(0, 1), NodeId::Client(ClientId(99)), TestMsg(1));
         sim.run_until_idle(SimTime(1_000));
+    }
+
+    /// Re-arms a timer forever — the canonical never-quiescing actor.
+    struct Metronome;
+    impl Actor<TestMsg> for Metronome {
+        fn on_start(&mut self, ctx: &mut Context<'_, TestMsg>) {
+            ctx.set_timer(SimDuration::from_millis(1), 0);
+        }
+        fn on_message(&mut self, _f: NodeId, _m: TestMsg, _c: &mut Context<'_, TestMsg>) {}
+        fn on_timer(&mut self, _token: u64, ctx: &mut Context<'_, TestMsg>) {
+            ctx.set_timer(SimDuration::from_millis(1), 0);
+        }
+    }
+
+    #[test]
+    fn removed_actor_with_queued_timer_is_dropped_harmlessly() {
+        // A timer is pending when the actor is torn down: the firing
+        // surfaces against an unknown target and is dropped; a fresh
+        // actor under the same id starts with its own timers only.
+        let mut sim: Simulation<TestMsg> = Simulation::for_testing(11);
+        let a = rep(0, 0);
+        sim.add_actor(
+            a,
+            Box::new(TimerActor {
+                fired: vec![],
+                cancel_me: None,
+            }),
+        );
+        // Run the on_start (arms timers at 5ms and 10ms) but stop
+        // before either fires, then remove with both still queued.
+        sim.run_until(SimTime(1_000));
+        assert!(sim.pending_events() >= 2, "timers must still be queued");
+        let removed = sim.remove_actor(a).expect("actor was registered");
+        let any: &dyn Any = removed.as_ref();
+        assert!(any.downcast_ref::<TimerActor>().unwrap().fired.is_empty());
+        // The orphaned timers surface against an unknown target and are
+        // dropped harmlessly; the queue drains.
+        sim.run_until_idle(SimTime(1_000_000));
+        assert_eq!(sim.pending_events(), 0);
+        // A fresh actor under the same id starts clean: its own timers
+        // only (now = 10ms, the last orphaned firing).
+        sim.add_actor(
+            a,
+            Box::new(TimerActor {
+                fired: vec![],
+                cancel_me: None,
+            }),
+        );
+        sim.run_until_idle(SimTime(1_000_000));
+        let t = sim.actor_as::<TimerActor>(a).unwrap();
+        assert_eq!(t.fired, vec![(SimTime(15_000), 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not quiesce")]
+    fn run_until_idle_panics_at_limit() {
+        let mut sim: Simulation<TestMsg> = Simulation::for_testing(12);
+        sim.add_actor(rep(0, 0), Box::new(Metronome));
+        sim.run_until_idle(SimTime(50_000));
+    }
+
+    #[test]
+    fn partition_and_crash_interact_on_same_node() {
+        // Node A is both inside an imposed partition and later crashed:
+        // the partition cuts A↔B while active, the crash silences A for
+        // good, and healing the partition must not resurrect it.
+        let mut sim: Simulation<TestMsg> = Simulation::for_testing(13);
+        let a = rep(0, 0);
+        let b = rep(0, 1);
+        sim.add_actor(
+            a,
+            Box::new(Echo {
+                received: vec![],
+                work: SimDuration::ZERO,
+            }),
+        );
+        sim.run_until(SimTime(1_000));
+        let h = sim.impose_partition([a], [b]);
+        sim.inject(b, a, TestMsg(100)); // cut by the partition
+        sim.run_until(SimTime(2_000));
+        sim.crash_node(a);
+        sim.heal_partition(h);
+        sim.inject(b, a, TestMsg(200)); // healed link, but A is crashed
+        sim.run_until_idle(SimTime(1_000_000));
+        assert!(
+            sim.actor_as::<Echo>(a).unwrap().received.is_empty(),
+            "neither the partitioned nor the post-crash message lands"
+        );
+        assert_eq!(
+            sim.stats().messages_dropped,
+            2,
+            "one partition drop, one crash drop"
+        );
+        // A FaultPlan crash silences without deregistering: queued
+        // events for a crashed node are skipped at pop, not dispatched.
+        assert!(sim.faults().is_crashed(a, sim.now()));
+    }
+
+    #[test]
+    fn dynamic_drop_prob_switches_mid_run() {
+        let mut sim: Simulation<TestMsg> = Simulation::for_testing(14);
+        let a = rep(0, 0);
+        sim.add_actor(
+            a,
+            Box::new(Echo {
+                received: vec![],
+                work: SimDuration::ZERO,
+            }),
+        );
+        sim.set_drop_prob(1.0);
+        sim.inject(rep(0, 1), a, TestMsg(5));
+        sim.run_until_idle(SimTime(1_000_000));
+        assert!(sim.actor_as::<Echo>(a).unwrap().received.is_empty());
+        sim.set_drop_prob(0.0);
+        sim.inject(rep(0, 1), a, TestMsg(6));
+        sim.run_until_idle(SimTime(10_000_000));
+        assert_eq!(sim.actor_as::<Echo>(a).unwrap().received.len(), 1);
     }
 }

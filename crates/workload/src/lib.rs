@@ -15,7 +15,7 @@
 pub mod spec;
 pub mod zipf;
 
-pub use spec::{Mix, WorkloadSpec};
+pub use spec::{KeyDistribution, Mix, WorkloadSpec};
 pub use zipf::Zipfian;
 
 #[cfg(test)]
@@ -54,6 +54,37 @@ mod tests {
         for op in WorkloadSpec::read_only(t, 4, 2).generate(16, 11) {
             assert!(matches!(op, ClientOp::ReadOnly { .. }));
         }
+    }
+
+    #[test]
+    fn hot_offset_moves_the_zipfian_hot_set() {
+        use crate::spec::KeyDistribution;
+        use std::collections::HashMap;
+        use transedge_common::Key;
+
+        let spec = WorkloadSpec {
+            distribution: KeyDistribution::Zipfian { theta: 0.99 },
+            ..WorkloadSpec::read_only(topo(), 5, 5)
+        };
+        let shifted = spec.clone().with_hot_offset(1_000);
+        assert_eq!(spec.hot_offset, 0);
+        assert_eq!(shifted.hot_offset, 1_000);
+
+        let top_key = |s: &WorkloadSpec| -> Key {
+            let mut counts: HashMap<Key, usize> = HashMap::new();
+            for op in s.generate(400, 17) {
+                let ClientOp::ReadOnly { keys } = op else {
+                    panic!()
+                };
+                for k in keys {
+                    *counts.entry(k).or_default() += 1;
+                }
+            }
+            counts.into_iter().max_by_key(|(_, n)| *n).unwrap().0
+        };
+        // Same seed, same mass distribution — but the crowd lands on a
+        // different hot key once the offset rotates the rank mapping.
+        assert_ne!(top_key(&spec), top_key(&shifted));
     }
 
     #[test]

@@ -83,6 +83,13 @@ pub struct WorkloadSpec {
     /// drive. Identical semantics; the typed form is what the
     /// directory/forwarding benches measure.
     pub unified_points: bool,
+    /// Rotation applied to the zipfian rank → key mapping within each
+    /// cluster pool. Two specs differing only in `hot_offset` skew the
+    /// same total mass onto *different* keys — a flash crowd moving to
+    /// a new hot set mid-run (the scenario layer's `HotKeyShift`
+    /// regenerates client tails with a shifted offset). Ignored under
+    /// [`KeyDistribution::Uniform`].
+    pub hot_offset: u64,
 }
 
 impl WorkloadSpec {
@@ -112,6 +119,16 @@ impl WorkloadSpec {
             scan_pages: 1,
             tree_depth: transedge_core::node::DEFAULT_TREE_DEPTH,
             unified_points: false,
+            hot_offset: 0,
+        }
+    }
+
+    /// The same spec with its zipfian hot set rotated by `offset`
+    /// ranks — the flash-crowd knob (see [`WorkloadSpec::hot_offset`]).
+    pub fn with_hot_offset(self, offset: u64) -> Self {
+        WorkloadSpec {
+            hot_offset: offset,
+            ..self
         }
     }
 
@@ -336,7 +353,7 @@ impl WorkloadSpec {
                 // Zipfian: skew *which* key within the cluster pool.
                 Some(z) => {
                     let pool = &by_cluster[cluster.as_usize()];
-                    let rank = (z.sample(rng) as usize) % pool.len();
+                    let rank = (z.sample(rng) as usize + self.hot_offset as usize) % pool.len();
                     Key::from_u32(pool[rank])
                 }
                 None => self.pick_in_cluster(rng, by_cluster, cluster, &keys),

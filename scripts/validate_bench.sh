@@ -22,7 +22,7 @@ fi
 # schema_version pins the shape below; bump both together.
 jq -e '
   .figure == "fig04_rot_latency"
-  and .schema_version == 7
+  and .schema_version == 8
   and (.clusters | length == 5)
   and ([.clusters[]
         | select(.twopc_ms > 0 and .transedge_ms > 0
@@ -90,6 +90,18 @@ jq -e '
   and (.restart.replica_fetches_cold >= 1)
   and (.restart.restart_to_warm_ms_hydrated > 0)
   and (.restart.restart_to_warm_ms_cold > .restart.restart_to_warm_ms_hydrated)
+  and ([.scenarios.churn, .scenarios.partition_heal,
+        .scenarios.flash_crowd, .scenarios.coalition]
+       | all(.availability_pct | type == "number" and isnormal and . > 0)
+       and all(.p95_ms | type == "number" and isnormal and . > 0)
+       and all(.rejected_reads >= 0)
+       and all(.demotion_rounds >= 0)
+       and all(.invariant_checks >= 1)
+       and all(.total_ops > 0))
+  and (.scenarios.coalition.rejected_reads >= 1)
+  and (.scenarios.coalition.convicted >= 1)
+  and (.scenarios.churn.rejected_reads == 0)
+  and (.scenarios.flash_crowd.rejected_reads == 0)
 ' "$BENCH_JSON" >/dev/null
 
-echo "ok: $BENCH_JSON matches bench schema v7"
+echo "ok: $BENCH_JSON matches bench schema v8"
