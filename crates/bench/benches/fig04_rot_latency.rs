@@ -9,8 +9,7 @@
 //! Emits `BENCH_rot.json` so later changes can track the read-path
 //! trajectory (latencies, speedups, and edge cache hit rates).
 
-use std::fmt::Write as _;
-
+use transedge_bench::json::JsonObject;
 use transedge_bench::support::*;
 use transedge_common::{ClusterId, EdgeId, Key, SimDuration, SimTime, Value};
 use transedge_core::client::ClientOp;
@@ -20,6 +19,7 @@ use transedge_core::setup::{ClientPlan, Deployment};
 use transedge_core::{ClientProfile, EdgeConfig};
 use transedge_crypto::ScanRange;
 use transedge_edge::{SnapshotStore, DEFAULT_SPILL_THRESHOLD};
+use transedge_obs::{breakdown_at_percentile, PhaseBreakdown};
 use transedge_scenario::campaign::{self, CampaignScale};
 use transedge_workload::WorkloadSpec;
 
@@ -390,15 +390,30 @@ struct DirectoryResult {
     gather_cert_checks_shared: u64,
     single_contact_ms: f64,
     fanout_ms: f64,
+    /// Causal-trace decomposition of the same two runs: the p50/p95
+    /// operation's end-to-end latency split into its phase components
+    /// (`obs` block of `BENCH_rot.json`).
+    single_contact_p50: PhaseBreakdown,
+    single_contact_p95: PhaseBreakdown,
+    fanout_p50: PhaseBreakdown,
+    fanout_p95: PhaseBreakdown,
+}
+
+/// What one scatter workload run measures: mean ROT latency, gather
+/// counters, aggregated edge stats, and the flight recorder's p50/p95
+/// per-phase decomposition.
+struct ContactRun {
+    mean_ms: f64,
+    gathers_accepted: u64,
+    cert_checks_shared: u64,
+    edge: transedge_core::edge_node::EdgeNodeStats,
+    p50: PhaseBreakdown,
+    p95: PhaseBreakdown,
 }
 
 /// One scatter workload run: 2-partition unified point queries, with
-/// or without the single-contact path. Returns (mean ROT latency ms,
-/// gathers accepted, aggregated edge stats).
-fn scatter_contact_run(
-    scale: Scale,
-    single_contact: bool,
-) -> (f64, u64, u64, transedge_core::edge_node::EdgeNodeStats) {
+/// or without the single-contact path.
+fn scatter_contact_run(scale: Scale, single_contact: bool) -> ContactRun {
     let mut config = experiment_config(scale);
     config.client.record_results = true;
     config.client.single_contact = single_contact;
@@ -439,7 +454,21 @@ fn scatter_contact_run(
         edge_stats.foreign_forward_replica += s.foreign_forward_replica;
     }
     let mean = lats.iter().sum::<f64>() / lats.len().max(1) as f64;
-    (mean, gathers_accepted, cert_checks_shared, edge_stats)
+    // Per-phase decomposition of the run's p50/p95 operations, read
+    // off the flight recorder. Each breakdown decomposes *one actual
+    // trace*, so its components sum exactly to that operation's
+    // end-to-end latency.
+    let traces = dep.completed_traces();
+    let p50 = breakdown_at_percentile(&traces, 0.50).unwrap_or_default();
+    let p95 = breakdown_at_percentile(&traces, 0.95).unwrap_or_default();
+    ContactRun {
+        mean_ms: mean,
+        gathers_accepted,
+        cert_checks_shared,
+        edge: edge_stats,
+        p50,
+        p95,
+    }
 }
 
 fn edge_directory_fleet(scale: Scale) -> DirectoryResult {
@@ -504,11 +533,10 @@ fn edge_directory_fleet(scale: Scale) -> DirectoryResult {
     };
 
     // Single-contact vs fan-out on the same scatter workload.
-    let (single_contact_ms, gathers_accepted, cert_checks_shared, edge_stats) =
-        scatter_contact_run(scale, true);
-    let (fanout_ms, _, _, _) = scatter_contact_run(scale, false);
+    let single = scatter_contact_run(scale, true);
+    let fanout = scatter_contact_run(scale, false);
     assert!(
-        gathers_accepted > 0,
+        single.gathers_accepted > 0,
         "single-contact path must be exercised"
     );
     DirectoryResult {
@@ -516,15 +544,19 @@ fn edge_directory_fleet(scale: Scale) -> DirectoryResult {
         informed: informed(&dep),
         propagation_rounds,
         evidence_sent,
-        gather_queries: edge_stats.gather_requests,
-        gather_completed: edge_stats.gather_completed,
-        foreign_subs: edge_stats.foreign_subs,
-        sibling_forwards: edge_stats.foreign_forward_sibling,
-        replica_forwards: edge_stats.foreign_forward_replica,
-        forwarded_hit_rate: edge_stats.forwarded_hit_rate(),
-        gather_cert_checks_shared: cert_checks_shared,
-        single_contact_ms,
-        fanout_ms,
+        gather_queries: single.edge.gather_requests,
+        gather_completed: single.edge.gather_completed,
+        foreign_subs: single.edge.foreign_subs,
+        sibling_forwards: single.edge.foreign_forward_sibling,
+        replica_forwards: single.edge.foreign_forward_replica,
+        forwarded_hit_rate: single.edge.forwarded_hit_rate(),
+        gather_cert_checks_shared: single.cert_checks_shared,
+        single_contact_ms: single.mean_ms,
+        fanout_ms: fanout.mean_ms,
+        single_contact_p50: single.p50,
+        single_contact_p95: single.p95,
+        fanout_p50: fanout.p50,
+        fanout_p95: fanout.p95,
     }
 }
 
@@ -1047,6 +1079,25 @@ fn main() {
         fmt_ms(directory.fanout_ms),
     ]);
 
+    // Causal-trace decomposition of the p95 read on each contact path.
+    println!();
+    println!("  p95 phase decomposition (µs, from the causal-trace flight recorder):");
+    header(&["path", "e2e", "queue", "wire", "serve", "verify", "round2"]);
+    for (path, b) in [
+        ("1-contact", &directory.single_contact_p95),
+        ("fan-out", &directory.fanout_p95),
+    ] {
+        row(&[
+            path.to_string(),
+            b.e2e_us.to_string(),
+            b.queue_us.to_string(),
+            b.wire_us.to_string(),
+            b.serve_us.to_string(),
+            b.verify_us.to_string(),
+            b.round2_us.to_string(),
+        ]);
+    }
+
     // Throughput mode: saturating open-loop fleet over multiproofs.
     println!();
     println!("  throughput (open-loop fleet, 6-key multiproof reads):");
@@ -1139,192 +1190,245 @@ fn main() {
         "scans:     extension query type (no paper counterpart)",
     ]);
 
-    // Machine-readable summary for trajectory tracking across PRs.
-    let mut json = String::new();
-    json.push_str("{\n  \"figure\": \"fig04_rot_latency\",\n");
-    // Bump when a metrics block is added/renamed so `scripts/
-    // validate_bench.sh` (and any trajectory tooling) can tell schemas
-    // apart. 2 = added the `scan` block; 3 = added the `pagination`
-    // and `scatter` blocks of the unified ReadQuery protocol; 4 =
-    // added the `directory` block (gossiped demotion propagation,
-    // edge-tier forwarding, single-contact vs fan-out); 5 = added the
-    // `throughput` block (multiproof ops/sec mode) and the directory
-    // block's `gather_cert_checks_shared` one-pass-verification delta;
-    // 6 = added the `push` block (certified delta stream: deltas/sec,
-    // staleness window, round-2 fetches eliminated by subscription);
-    // 7 = added the `restart` block (verified warm restart: hydration
-    // from the content-addressed snapshot store vs cold control);
-    // 8 = added the `scenarios` block (chaos campaign trajectories:
-    // availability, p95, rejected reads, demotion-convergence rounds
-    // per campaign, all under zero invariant violations).
-    json.push_str("  \"schema_version\": 8,\n");
-    let _ = writeln!(
-        json,
-        "  \"mode\": \"{}\",",
-        if scale.full { "full" } else { "quick" }
+    // Machine-readable summary for trajectory tracking across PRs,
+    // assembled through the typed writer in `transedge_bench::json`
+    // (insertion-ordered keys, escaped strings, non-finite floats
+    // surfaced as `null` for the schema gate to catch).
+    //
+    // Bump `schema_version` when a metrics block is added/renamed so
+    // `scripts/validate_bench.sh` (and any trajectory tooling) can
+    // tell schemas apart. 2 = added the `scan` block; 3 = added the
+    // `pagination` and `scatter` blocks of the unified ReadQuery
+    // protocol; 4 = added the `directory` block (gossiped demotion
+    // propagation, edge-tier forwarding, single-contact vs fan-out);
+    // 5 = added the `throughput` block (multiproof ops/sec mode) and
+    // the directory block's `gather_cert_checks_shared`
+    // one-pass-verification delta; 6 = added the `push` block
+    // (certified delta stream: deltas/sec, staleness window, round-2
+    // fetches eliminated by subscription); 7 = added the `restart`
+    // block (verified warm restart: hydration from the
+    // content-addressed snapshot store vs cold control); 8 = added the
+    // `scenarios` block (chaos campaign trajectories under zero
+    // invariant violations); 9 = added the `obs` block (causal-trace
+    // per-phase p50/p95 decomposition of the single-contact and
+    // fan-out scatter runs, components summing to end-to-end).
+    let mut doc = JsonObject::new()
+        .field("figure", "fig04_rot_latency")
+        .field("schema_version", 9u64)
+        .field("mode", if scale.full { "full" } else { "quick" });
+    doc.set(
+        "clusters",
+        rows.iter()
+            .map(|r| {
+                JsonObject::new()
+                    .field("clusters", r.clusters)
+                    .field("twopc_ms", r.twopc_ms)
+                    .field("transedge_ms", r.transedge_ms)
+                    .field("transedge_edge_ms", r.edge_ms)
+                    .field("speedup", r.twopc_ms / r.transedge_ms.max(1e-9))
+            })
+            .collect::<Vec<_>>(),
     );
-    json.push_str("  \"clusters\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"clusters\": {}, \"twopc_ms\": {:.4}, \"transedge_ms\": {:.4}, \"transedge_edge_ms\": {:.4}, \"speedup\": {:.2}}}",
-            r.clusters,
-            r.twopc_ms,
-            r.transedge_ms,
-            r.edge_ms,
-            r.twopc_ms / r.transedge_ms.max(1e-9),
-        );
-        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ],\n");
-    let _ = writeln!(
-        json,
-        "  \"edge_cache\": {{\"cold_ms\": {:.4}, \"warm_ms\": {:.4}, \"hit_rate\": {:.4}, \"replayed\": {}, \"forwarded\": {}}},",
-        cache.cold_ms, cache.warm_ms, cache.hit_rate, cache.served_from_cache, cache.forwarded
+    doc.set(
+        "edge_cache",
+        JsonObject::new()
+            .field("cold_ms", cache.cold_ms)
+            .field("warm_ms", cache.warm_ms)
+            .field("hit_rate", cache.hit_rate)
+            .field("replayed", cache.served_from_cache)
+            .field("forwarded", cache.forwarded),
     );
-    let _ = writeln!(
-        json,
-        "  \"partial_assembly\": {{\"requests\": {}, \"partial\": {}, \"full_replays\": {}, \"forwarded\": {}, \"fragment_hit_rate\": {:.4}, \"upstream_keys\": {}, \"assembled_accepted\": {}}},",
-        pa.requests,
-        pa.partial,
-        pa.full_replays,
-        pa.forwarded,
-        pa.fragment_hit_rate,
-        pa.upstream_keys,
-        pa.assembled_accepted
+    doc.set(
+        "partial_assembly",
+        JsonObject::new()
+            .field("requests", pa.requests)
+            .field("partial", pa.partial)
+            .field("full_replays", pa.full_replays)
+            .field("forwarded", pa.forwarded)
+            .field("fragment_hit_rate", pa.fragment_hit_rate)
+            .field("upstream_keys", pa.upstream_keys)
+            .field("assembled_accepted", pa.assembled_accepted),
     );
-    let _ = writeln!(
-        json,
-        "  \"scan\": {{\"requests\": {}, \"from_cache\": {}, \"forwarded\": {}, \"covered_by_wider\": {}, \"mean_rows\": {:.2}, \"cold_ms\": {:.4}, \"warm_ms\": {:.4}, \"hit_rate\": {:.4}}},",
-        scan.requests,
-        scan.from_cache,
-        scan.forwarded,
-        scan.covered_by_wider,
-        scan.mean_rows,
-        scan.cold_ms,
-        scan.warm_ms,
-        scan.hit_rate
+    doc.set(
+        "scan",
+        JsonObject::new()
+            .field("requests", scan.requests)
+            .field("from_cache", scan.from_cache)
+            .field("forwarded", scan.forwarded)
+            .field("covered_by_wider", scan.covered_by_wider)
+            .field("mean_rows", scan.mean_rows)
+            .field("cold_ms", scan.cold_ms)
+            .field("warm_ms", scan.warm_ms)
+            .field("hit_rate", scan.hit_rate),
     );
-    let _ = writeln!(
-        json,
-        "  \"pagination\": {{\"queries\": {}, \"pages\": {}, \"mean_pages\": {:.2}, \"rows\": {}, \"served\": {}, \"verified\": {}, \"rejected\": {}, \"from_cache\": {}, \"forwarded\": {}, \"cold_ms\": {:.4}, \"warm_ms\": {:.4}}},",
-        pagination.queries,
-        pagination.pages,
-        pagination.mean_pages,
-        pagination.rows,
-        pagination.served,
-        pagination.verified,
-        pagination.rejected,
-        pagination.from_cache,
-        pagination.forwarded,
-        pagination.cold_ms,
-        pagination.warm_ms
+    doc.set(
+        "pagination",
+        JsonObject::new()
+            .field("queries", pagination.queries)
+            .field("pages", pagination.pages)
+            .field("mean_pages", pagination.mean_pages)
+            .field("rows", pagination.rows)
+            .field("served", pagination.served)
+            .field("verified", pagination.verified)
+            .field("rejected", pagination.rejected)
+            .field("from_cache", pagination.from_cache)
+            .field("forwarded", pagination.forwarded)
+            .field("cold_ms", pagination.cold_ms)
+            .field("warm_ms", pagination.warm_ms),
     );
-    let _ = writeln!(
-        json,
-        "  \"scatter\": {{\"queries\": {}, \"partitions\": {}, \"served\": {}, \"verified\": {}, \"rejected\": {}, \"mean_rows\": {:.2}, \"mean_ms\": {:.4}}},",
-        scatter.queries,
-        scatter.partitions,
-        scatter.served,
-        scatter.verified,
-        scatter.rejected,
-        scatter.mean_rows,
-        scatter.mean_ms
+    doc.set(
+        "scatter",
+        JsonObject::new()
+            .field("queries", scatter.queries)
+            .field("partitions", scatter.partitions)
+            .field("served", scatter.served)
+            .field("verified", scatter.verified)
+            .field("rejected", scatter.rejected)
+            .field("mean_rows", scatter.mean_rows)
+            .field("mean_ms", scatter.mean_ms),
     );
-    let _ = writeln!(
-        json,
-        "  \"directory\": {{\"edges\": {}, \"informed\": {}, \"propagation_rounds\": {:.0}, \"evidence_sent\": {}, \"gather_queries\": {}, \"gather_completed\": {}, \"foreign_subs\": {}, \"sibling_forwards\": {}, \"replica_forwards\": {}, \"forwarded_hit_rate\": {:.4}, \"gather_cert_checks_shared\": {}, \"single_contact_ms\": {:.4}, \"fanout_ms\": {:.4}}},",
-        directory.edges,
-        directory.informed,
-        directory.propagation_rounds,
-        directory.evidence_sent,
-        directory.gather_queries,
-        directory.gather_completed,
-        directory.foreign_subs,
-        directory.sibling_forwards,
-        directory.replica_forwards,
-        directory.forwarded_hit_rate,
-        directory.gather_cert_checks_shared,
-        directory.single_contact_ms,
-        directory.fanout_ms
+    doc.set(
+        "directory",
+        JsonObject::new()
+            .field("edges", directory.edges)
+            .field("informed", directory.informed)
+            .field("propagation_rounds", directory.propagation_rounds)
+            .field("evidence_sent", directory.evidence_sent)
+            .field("gather_queries", directory.gather_queries)
+            .field("gather_completed", directory.gather_completed)
+            .field("foreign_subs", directory.foreign_subs)
+            .field("sibling_forwards", directory.sibling_forwards)
+            .field("replica_forwards", directory.replica_forwards)
+            .field("forwarded_hit_rate", directory.forwarded_hit_rate)
+            .field(
+                "gather_cert_checks_shared",
+                directory.gather_cert_checks_shared,
+            )
+            .field("single_contact_ms", directory.single_contact_ms)
+            .field("fanout_ms", directory.fanout_ms),
     );
-    let _ = writeln!(
-        json,
-        "  \"throughput\": {{\"ops\": {}, \"window_s\": {:.4}, \"ops_per_sec\": {:.2}, \"mean_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"multiproof_ratio\": {:.4}, \"bytes_per_read\": {:.2}, \"multis_accepted\": {}, \"rot_multi_served\": {}, \"multis_from_cache\": {}, \"cache_shards\": {}, \"cached_partitions\": {}}},",
-        tp.ops,
-        tp.window_s,
-        tp.ops_per_sec,
-        tp.mean_ms,
-        tp.p95_ms,
-        tp.p99_ms,
-        tp.multiproof_ratio,
-        tp.bytes_per_read,
-        tp.multis_accepted,
-        tp.rot_multi_served,
-        tp.multis_from_cache,
-        tp.cache_shards,
-        tp.cached_partitions
+    // Per-phase decomposition of the actual p50/p95 operations of the
+    // two scatter runs, read off the causal-trace flight recorder.
+    // Components sum exactly to each operation's end-to-end latency
+    // (wire is the residual), which `validate_bench.sh` gates at ±5%.
+    doc.set(
+        "obs",
+        JsonObject::new()
+            .field(
+                "single_contact",
+                JsonObject::new()
+                    .field("p50", breakdown_json(&directory.single_contact_p50))
+                    .field("p95", breakdown_json(&directory.single_contact_p95)),
+            )
+            .field(
+                "fanout",
+                JsonObject::new()
+                    .field("p50", breakdown_json(&directory.fanout_p50))
+                    .field("p95", breakdown_json(&directory.fanout_p95)),
+            ),
+    );
+    doc.set(
+        "throughput",
+        JsonObject::new()
+            .field("ops", tp.ops)
+            .field("window_s", tp.window_s)
+            .field("ops_per_sec", tp.ops_per_sec)
+            .field("mean_ms", tp.mean_ms)
+            .field("p95_ms", tp.p95_ms)
+            .field("p99_ms", tp.p99_ms)
+            .field("multiproof_ratio", tp.multiproof_ratio)
+            .field("bytes_per_read", tp.bytes_per_read)
+            .field("multis_accepted", tp.multis_accepted)
+            .field("rot_multi_served", tp.rot_multi_served)
+            .field("multis_from_cache", tp.multis_from_cache)
+            .field("cache_shards", tp.cache_shards)
+            .field("cached_partitions", tp.cached_partitions),
     );
     // `staleness_window_ms` is the subscription tier's freshness bound:
     // a warm subscriber's view trails the commit log by at most one
     // feed interval plus the push's one-way latency.
-    let _ = writeln!(
-        json,
-        "  \"push\": {{\"staleness_window_ms\": {:.2}, \"deltas_received\": {}, \"deltas_per_sec\": {:.2}, \"freshness_attached\": {}, \"freshness_upgrades\": {}, \"round2_skipped_by_feed\": {}, \"warm_reads\": {}, \"warm_ratio\": {:.4}, \"round2_subscribed\": {}, \"round2_control\": {}, \"round2_eliminated\": {}, \"subscribed_ms\": {:.4}, \"control_ms\": {:.4}}},",
-        push.feed_interval_ms,
-        push.deltas_received,
-        push.deltas_per_sec,
-        push.freshness_attached,
-        push.freshness_upgrades,
-        push.round2_skipped,
-        push.warm_reads,
-        push.warm_ratio,
-        push.round2_subscribed,
-        push.round2_control,
-        push.round2_eliminated,
-        push.subscribed_ms,
-        push.control_ms
+    doc.set(
+        "push",
+        JsonObject::new()
+            .field("staleness_window_ms", push.feed_interval_ms)
+            .field("deltas_received", push.deltas_received)
+            .field("deltas_per_sec", push.deltas_per_sec)
+            .field("freshness_attached", push.freshness_attached)
+            .field("freshness_upgrades", push.freshness_upgrades)
+            .field("round2_skipped_by_feed", push.round2_skipped)
+            .field("warm_reads", push.warm_reads)
+            .field("warm_ratio", push.warm_ratio)
+            .field("round2_subscribed", push.round2_subscribed)
+            .field("round2_control", push.round2_control)
+            .field("round2_eliminated", push.round2_eliminated)
+            .field("subscribed_ms", push.subscribed_ms)
+            .field("control_ms", push.control_ms),
     );
     // `restart_to_warm_ms` is measured from the restart instant to the
     // completion of the first probe read needing no upstream fetch —
     // hydration's verification cost (ed25519 + sha over every stored
     // object) is inside the hydrated number, so the contrast is fair.
-    let _ = writeln!(
-        json,
-        "  \"restart\": {{\"objects_spilled\": {}, \"hydrate_admitted\": {}, \"hydrate_rejected\": {}, \"restart_to_warm_ms_hydrated\": {:.4}, \"restart_to_warm_ms_cold\": {:.4}, \"replica_fetches_hydrated\": {}, \"replica_fetches_cold\": {}, \"warm_probe_ms_hydrated\": {:.4}, \"warm_probe_ms_cold\": {:.4}}},",
-        restart.hydrated.objects_spilled,
-        restart.hydrated.hydrate_admitted,
-        restart.hydrated.hydrate_rejected,
-        restart.hydrated.restart_to_warm_ms,
-        restart.cold.restart_to_warm_ms,
-        restart.hydrated.replica_fetches,
-        restart.cold.replica_fetches,
-        restart.hydrated.warm_probe_ms,
-        restart.cold.warm_probe_ms
+    doc.set(
+        "restart",
+        JsonObject::new()
+            .field("objects_spilled", restart.hydrated.objects_spilled)
+            .field("hydrate_admitted", restart.hydrated.hydrate_admitted)
+            .field("hydrate_rejected", restart.hydrated.hydrate_rejected)
+            .field(
+                "restart_to_warm_ms_hydrated",
+                restart.hydrated.restart_to_warm_ms,
+            )
+            .field("restart_to_warm_ms_cold", restart.cold.restart_to_warm_ms)
+            .field("replica_fetches_hydrated", restart.hydrated.replica_fetches)
+            .field("replica_fetches_cold", restart.cold.replica_fetches)
+            .field("warm_probe_ms_hydrated", restart.hydrated.warm_probe_ms)
+            .field("warm_probe_ms_cold", restart.cold.warm_probe_ms),
     );
     // Every campaign already ran under the invariant monitor; a key
     // appearing here at all means zero violations.
-    json.push_str("  \"scenarios\": {");
-    for (i, c) in campaigns.iter().enumerate() {
-        let key = c.name.replace('-', "_");
-        let _ = write!(
-            json,
-            "\"{}\": {{\"availability_pct\": {:.4}, \"p95_ms\": {:.4}, \"rejected_reads\": {}, \"demotion_rounds\": {:.0}, \"convicted\": {}, \"total_ops\": {}, \"invariant_checks\": {}}}",
-            key,
-            c.availability_pct,
-            c.p95_ms,
-            c.rejected_reads,
-            c.demotion_rounds,
-            c.convicted,
-            c.total_ops,
-            c.invariant_checks
+    let mut scenarios = JsonObject::new();
+    for c in &campaigns {
+        scenarios.set(
+            &c.name.replace('-', "_"),
+            JsonObject::new()
+                .field("availability_pct", c.availability_pct)
+                .field("p95_ms", c.p95_ms)
+                .field("rejected_reads", c.rejected_reads)
+                .field("demotion_rounds", c.demotion_rounds)
+                .field("convicted", c.convicted)
+                .field("total_ops", c.total_ops)
+                .field("invariant_checks", c.invariant_checks),
         );
-        json.push_str(if i + 1 < campaigns.len() { ", " } else { "" });
     }
-    json.push_str("}\n");
-    json.push_str("}\n");
+    doc.set("scenarios", scenarios);
     // Anchor at the workspace root regardless of bench CWD.
-    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_rot.json");
-    std::fs::write(&out, &json).expect("write BENCH_rot.json");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = root.join("BENCH_rot.json");
+    std::fs::write(&out, doc.to_pretty()).expect("write BENCH_rot.json");
     println!("\n  wrote {}", out.display());
+    // One campaign's flight recorder as Chrome trace format, for
+    // chrome://tracing / Perfetto; CI uploads it as an artifact. The
+    // coalition campaign is the interesting dump: it contains the
+    // rejected lying reads next to their replica retries.
+    let coalition_trace = campaigns
+        .iter()
+        .find(|c| c.name == "coalition")
+        .map(|c| c.chrome_trace.as_str())
+        .unwrap_or("{\"traceEvents\":[]}");
+    let trace_out = root.join("TRACE_scenario.json");
+    std::fs::write(&trace_out, coalition_trace).expect("write TRACE_scenario.json");
+    println!("  wrote {}", trace_out.display());
+}
+
+/// One [`PhaseBreakdown`] as its `obs`-block JSON object.
+fn breakdown_json(b: &PhaseBreakdown) -> JsonObject {
+    JsonObject::new()
+        .field("e2e_us", b.e2e_us)
+        .field("queue_us", b.queue_us)
+        .field("wire_us", b.wire_us)
+        .field("serve_us", b.serve_us)
+        .field("verify_us", b.verify_us)
+        .field("round2_us", b.round2_us)
+        .field("gossip_us", b.gossip_us)
+        .field("components_sum_us", b.components_sum_us())
 }

@@ -1,0 +1,272 @@
+//! A minimal typed JSON writer for the bench emitters.
+//!
+//! `BENCH_rot.json` and its siblings used to be assembled from
+//! `format!` strings, which made every schema bump a brace-counting
+//! exercise and let a stray `,` produce unparseable output. This
+//! module builds the document as a value tree and serialises it in one
+//! pass: keys keep insertion order (deterministic output byte for
+//! byte), strings are escaped, and non-finite floats — which would
+//! silently emit invalid JSON as `NaN`/`inf` — become `null` so the
+//! schema gate in `scripts/validate_bench.sh` flags them.
+//!
+//! Deliberately not a parser and not serde: the benches only ever
+//! *write* JSON, the container has no serde, and twenty lines of
+//! escaping beat a dependency.
+
+use std::fmt::Write as _;
+
+/// One JSON value. Floats are serialised with four decimal places
+/// (the precision every bench block already used); integers exactly.
+#[derive(Clone, Debug)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Uint(u64),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Array(Vec<JsonValue>),
+    Object(JsonObject),
+}
+
+/// An insertion-ordered JSON object under construction.
+#[derive(Clone, Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl JsonObject {
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Builder-style append (replaces an existing key in place so a
+    /// block can be assembled incrementally without duplicate keys).
+    pub fn field(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// In-place append/replace.
+    pub fn set(&mut self, key: &str, value: impl Into<JsonValue>) {
+        let value = value.into();
+        if let Some(slot) = self.fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.fields.push((key.to_string(), value));
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Serialise the whole tree, pretty-printed with two-space
+    /// indentation and a trailing newline (the layout the trajectory
+    /// tooling diffs).
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        write_object(&mut out, self, 0);
+        out.push('\n');
+        out
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Uint(v)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::Uint(u64::from(v))
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Uint(v as u64)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Float(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+impl From<JsonObject> for JsonValue {
+    fn from(v: JsonObject) -> Self {
+        JsonValue::Object(v)
+    }
+}
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(v: Vec<JsonValue>) -> Self {
+        JsonValue::Array(v)
+    }
+}
+impl From<Vec<JsonObject>> for JsonValue {
+    fn from(v: Vec<JsonObject>) -> Self {
+        JsonValue::Array(v.into_iter().map(JsonValue::Object).collect())
+    }
+}
+
+fn write_value(out: &mut String, value: &JsonValue, indent: usize) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Uint(n) => {
+            let _ = write!(out, "{n}");
+        }
+        JsonValue::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        JsonValue::Float(f) => {
+            if f.is_finite() {
+                let _ = write!(out, "{f:.4}");
+            } else {
+                // NaN/inf have no JSON spelling; null makes the
+                // validator fail loudly instead of jq failing to parse.
+                out.push_str("null");
+            }
+        }
+        JsonValue::Str(s) => write_string(out, s),
+        JsonValue::Array(items) => write_array(out, items, indent),
+        JsonValue::Object(obj) => write_object(out, obj, indent),
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_array(out: &mut String, items: &[JsonValue], indent: usize) {
+    if items.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push_str("[\n");
+    for (i, item) in items.iter().enumerate() {
+        pad(out, indent + 1);
+        write_value(out, item, indent + 1);
+        out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+    }
+    pad(out, indent);
+    out.push(']');
+}
+
+fn write_object(out: &mut String, obj: &JsonObject, indent: usize) {
+    if obj.fields.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push_str("{\n");
+    for (i, (key, value)) in obj.fields.iter().enumerate() {
+        pad(out, indent + 1);
+        write_string(out, key);
+        out.push_str(": ");
+        write_value(out, value, indent + 1);
+        out.push_str(if i + 1 < obj.fields.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    pad(out, indent);
+    out.push('}');
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_nesting() {
+        let doc = JsonObject::new()
+            .field("figure", "fig04")
+            .field("version", 9u64)
+            .field("ratio", 0.25f64)
+            .field("ok", true)
+            .field(
+                "inner",
+                JsonObject::new()
+                    .field("mean_ms", 1.5f64)
+                    .field("n", 3usize),
+            )
+            .field("rows", vec![JsonValue::Uint(1), JsonValue::Uint(2)]);
+        let s = doc.to_pretty();
+        assert_eq!(
+            s,
+            "{\n  \"figure\": \"fig04\",\n  \"version\": 9,\n  \"ratio\": 0.2500,\n  \"ok\": true,\n  \"inner\": {\n    \"mean_ms\": 1.5000,\n    \"n\": 3\n  },\n  \"rows\": [\n    1,\n    2\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let doc = JsonObject::new().field("s", "a\"b\\c\nd\u{1}");
+        assert_eq!(
+            doc.to_pretty(),
+            "{\n  \"s\": \"a\\\"b\\\\c\\nd\\u0001\"\n}\n"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let doc = JsonObject::new()
+            .field("nan", f64::NAN)
+            .field("inf", f64::INFINITY);
+        assert_eq!(doc.to_pretty(), "{\n  \"nan\": null,\n  \"inf\": null\n}\n");
+    }
+
+    #[test]
+    fn set_replaces_in_place() {
+        let mut doc = JsonObject::new().field("a", 1u64).field("b", 2u64);
+        doc.set("a", 9u64);
+        assert_eq!(doc.to_pretty(), "{\n  \"a\": 9,\n  \"b\": 2\n}\n");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let doc = JsonObject::new()
+            .field("obj", JsonObject::new())
+            .field("arr", Vec::<JsonValue>::new());
+        assert_eq!(doc.to_pretty(), "{\n  \"obj\": {},\n  \"arr\": []\n}\n");
+    }
+}

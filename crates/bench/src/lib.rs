@@ -15,4 +15,5 @@
 //! suite finishes in minutes. Set `REPRO_FULL=1` for paper-scale
 //! parameters (more keys, more clients, all sweep points).
 
+pub mod json;
 pub mod support;

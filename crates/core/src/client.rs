@@ -28,6 +28,7 @@ use transedge_edge::{
     BatchCommitment as _, PageToken, PrefixResume, QueryAnswer, QueryShape, ReadQuery,
     ReadRejection, ReadResponse, ReadVerifier, SnapshotPolicy, VerifyParams,
 };
+use transedge_obs::{SpanPhase, TraceContext, TraceId};
 use transedge_simnet::{Actor, Context};
 
 use crate::batch::{CommittedHeader, ReadOp, Transaction, WriteOp};
@@ -347,6 +348,7 @@ impl ReadSession {
                 .then(|| part.resume_prefix.map(|through| PrefixResume { through }))
                 .flatten(),
             fresh: self.query.fresh,
+            trace: self.query.trace,
         })
     }
 
@@ -594,6 +596,37 @@ pub struct ClientStats {
     pub directory_seeded: u64,
     /// Signed rejection-evidence records pushed into the gossip layer.
     pub directory_evidence_sent: u64,
+}
+
+impl transedge_obs::RegisterMetrics for ClientStats {
+    fn register_metrics(&self, scope: &str, reg: &mut transedge_obs::MetricRegistry) {
+        reg.counter(
+            scope,
+            "client.verification_failures",
+            self.verification_failures,
+        );
+        reg.counter(scope, "client.third_round_needed", self.third_round_needed);
+        reg.counter(scope, "client.retries", self.retries);
+        reg.counter(scope, "client.gave_up", self.gave_up);
+        reg.counter(scope, "client.assembled_accepted", self.assembled_accepted);
+        reg.counter(scope, "client.scans_accepted", self.scans_accepted);
+        reg.counter(
+            scope,
+            "client.scans_covered_by_wider",
+            self.scans_covered_by_wider,
+        );
+        reg.counter(scope, "client.prefix_resumes", self.prefix_resumes);
+        reg.counter(scope, "client.prefix_divergences", self.prefix_divergences);
+        reg.counter(scope, "client.gathers_sent", self.gathers_sent);
+        reg.counter(scope, "client.gathers_accepted", self.gathers_accepted);
+        reg.counter(scope, "client.gather_fallbacks", self.gather_fallbacks);
+        reg.counter(scope, "client.directory_seeded", self.directory_seeded);
+        reg.counter(
+            scope,
+            "client.directory_evidence_sent",
+            self.directory_evidence_sent,
+        );
+    }
 }
 
 /// The client actor.
@@ -985,6 +1018,20 @@ impl ClientActor {
             paginated: query.is_paginated(),
             scatter: parts.len() > 1,
         };
+        // Mint the causal trace for this operation. The context rides
+        // every request hop; the whole tree is observational only.
+        let trace_id = TraceId::for_op(self.id.0, op_index as u32);
+        let minted_at = ctx.now();
+        let root = ctx.trace().begin(
+            trace_id,
+            NodeId::Client(self.id),
+            minted_at,
+            if class.scan { "scan" } else { "rot" },
+        );
+        query.trace = Some(TraceContext {
+            trace: trace_id,
+            span: root,
+        });
         let mut session = ReadSession {
             query,
             origin,
@@ -997,6 +1044,8 @@ impl ClientActor {
         };
         // An empty plan (no keys / no clusters) completes immediately.
         if session.parts.is_empty() {
+            let now = ctx.now();
+            ctx.trace().complete(trace_id, now);
             self.samples.push(TxnSample {
                 kind,
                 start: ctx.now(),
@@ -1221,6 +1270,15 @@ impl ClientActor {
             self.stats.verification_failures += 1;
             self.stats.gather_fallbacks += 1;
             self.metrics.shapes.rejected(session.class);
+            if let Some(tc) = session.query.trace {
+                let me = NodeId::Client(self.id);
+                ctx.trace()
+                    .marker(tc, SpanPhase::Verify, me, now, "rejected");
+                if matches!(contact, NodeId::Edge(_)) {
+                    ctx.trace()
+                        .marker(tc, SpanPhase::Gossip, me, now, "demoted");
+                }
+            }
             if matches!(contact, NodeId::Edge(_)) {
                 self.edge_selector
                     .record_rejection(contact_cluster, contact, now);
@@ -1411,6 +1469,15 @@ impl ClientActor {
                 // the lie was caught.
                 self.stats.verification_failures += 1;
                 self.metrics.shapes.rejected(session.class);
+                if let Some(tc) = session.query.trace {
+                    let me = NodeId::Client(self.id);
+                    ctx.trace()
+                        .marker(tc, SpanPhase::Verify, me, now, "rejected");
+                    if matches!(pending.target, NodeId::Edge(_)) {
+                        ctx.trace()
+                            .marker(tc, SpanPhase::Gossip, me, now, "demoted");
+                    }
+                }
                 if matches!(pending.target, NodeId::Edge(_)) {
                     self.edge_selector
                         .record_rejection(cluster, pending.target, now);
@@ -1501,6 +1568,10 @@ impl ClientActor {
                         sent_at: now,
                     },
                 );
+                if let Some(tc) = session.query.trace {
+                    ctx.trace()
+                        .marker(tc, SpanPhase::Queue, NodeId::Client(self.id), now, "retry");
+                }
                 ctx.send(
                     target,
                     NetMsg::Read {
@@ -1529,12 +1600,22 @@ impl ClientActor {
             return;
         };
         let response = result;
+        // Responses travel untraced (their transit is the trace's
+        // residual wire time), so the client's verification work is
+        // recorded here, bracketing the verify charge below.
+        let verify_from = ctx.now();
         self.metrics.read_result_bytes += crate::messages::read_payload_size(&response) as u64;
         self.metrics.cert_checks_shared += charge_verification(ctx, &response);
         if session.single_contact.is_some() {
             self.on_gather_result(&mut session, req, pending, response, ctx);
         } else {
             self.on_part_result(&mut session, req, pending, response, ctx);
+        }
+        if let Some(tc) = session.query.trace {
+            let me = NodeId::Client(self.id);
+            let until = ctx.now();
+            ctx.trace()
+                .span(tc, SpanPhase::Verify, me, verify_from, until, "verify");
         }
         let done = session.all_done();
         inflight.phase = Phase::Query(session);
@@ -1606,6 +1687,23 @@ impl ClientActor {
             {
                 self.metrics.round2_skipped_by_feed += 1;
             }
+        }
+        // Close out the causal trace: the round-2 tail (everything
+        // after round 1 settled) gets its own phase span, then the
+        // root is stamped and the trace freezes into the flight
+        // recorder once the simulator records this handler's span.
+        if let Some(tc) = session.query.trace {
+            if let Some(r1) = session.round1_done_at {
+                ctx.trace().span(
+                    tc,
+                    SpanPhase::Round2,
+                    NodeId::Client(self.id),
+                    r1,
+                    now,
+                    "round-2",
+                );
+            }
+            ctx.trace().defer_complete(tc.trace, now);
         }
         let needed_round2 = session.round > 1;
         // Warm iff every partition's final answer was a cached replay
@@ -1818,6 +1916,14 @@ impl Actor<NetMsg> for ClientActor {
         if inflight.attempts > self.config.max_retries {
             // Give up: record as aborted.
             self.stats.gave_up += 1;
+            if let Phase::Query(session) = &inflight.phase {
+                if let Some(tc) = session.query.trace {
+                    let now = ctx.now();
+                    let me = NodeId::Client(self.id);
+                    ctx.trace().marker(tc, SpanPhase::Queue, me, now, "gave-up");
+                    ctx.trace().defer_complete(tc.trace, now);
+                }
+            }
             let sample = TxnSample {
                 kind: inflight.kind,
                 start: inflight.start,
@@ -1834,6 +1940,12 @@ impl Actor<NetMsg> for ClientActor {
         }
         self.stats.retries += 1;
         let now = ctx.now();
+        if let Phase::Query(session) = &inflight.phase {
+            if let Some(tc) = session.query.trace {
+                ctx.trace()
+                    .marker(tc, SpanPhase::Queue, NodeId::Client(self.id), now, "retry");
+            }
+        }
         // Re-send whatever is outstanding.
         let mut sends: Vec<(NodeId, NetMsg)> = Vec::new();
         match &mut inflight.phase {

@@ -55,6 +55,7 @@ use transedge_edge::{
     ReadQuery, ReadVerifier, ReplayCache, ShardedReplayCache, SnapshotObject, SnapshotStore,
     VerifyParams,
 };
+use transedge_obs::SpanPhase;
 use transedge_simnet::{Actor, Context};
 
 use crate::batch::CommittedHeader;
@@ -293,6 +294,62 @@ pub struct EdgeNodeStats {
     /// Sibling-transfer objects the verifier refused — a sibling is an
     /// untrusted edge like any other.
     pub sibling_objects_rejected: u64,
+}
+
+impl transedge_obs::RegisterMetrics for EdgeNodeStats {
+    fn register_metrics(&self, scope: &str, reg: &mut transedge_obs::MetricRegistry) {
+        reg.counter(scope, "edge.requests", self.requests);
+        reg.counter(scope, "edge.served_from_cache", self.served_from_cache);
+        reg.counter(scope, "edge.forwarded", self.forwarded);
+        reg.counter(scope, "edge.partial_assembled", self.partial_assembled);
+        reg.counter(scope, "edge.assembly_fallbacks", self.assembly_fallbacks);
+        reg.counter(scope, "edge.keys_requested", self.keys_requested);
+        reg.counter(scope, "edge.keys_from_cache", self.keys_from_cache);
+        reg.counter(
+            scope,
+            "edge.keys_fetched_upstream",
+            self.keys_fetched_upstream,
+        );
+        reg.counter(scope, "edge.scan_requests", self.scan_requests);
+        reg.counter(scope, "edge.scans_from_cache", self.scans_from_cache);
+        reg.counter(scope, "edge.scans_forwarded", self.scans_forwarded);
+        reg.counter(scope, "edge.multis_from_cache", self.multis_from_cache);
+        reg.counter(scope, "edge.tampered", self.tampered);
+        reg.counter(scope, "edge.gather_requests", self.gather_requests);
+        reg.counter(scope, "edge.gather_completed", self.gather_completed);
+        reg.counter(scope, "edge.foreign_subs", self.foreign_subs);
+        reg.counter(
+            scope,
+            "edge.foreign_forward_sibling",
+            self.foreign_forward_sibling,
+        );
+        reg.counter(
+            scope,
+            "edge.foreign_forward_replica",
+            self.foreign_forward_replica,
+        );
+        reg.counter(
+            scope,
+            "edge.feed_deltas_received",
+            self.feed_deltas_received,
+        );
+        reg.counter(scope, "edge.bad_deltas_dropped", self.bad_deltas_dropped);
+        reg.counter(scope, "edge.freshness_attached", self.freshness_attached);
+        reg.counter(scope, "edge.hydrate_admitted", self.hydrate_admitted);
+        reg.counter(scope, "edge.hydrate_rejected", self.hydrate_rejected);
+        reg.counter(scope, "edge.hydrate_stale", self.hydrate_stale);
+        reg.counter(scope, "edge.sibling_transfers", self.sibling_transfers);
+        reg.counter(
+            scope,
+            "edge.sibling_objects_admitted",
+            self.sibling_objects_admitted,
+        );
+        reg.counter(
+            scope,
+            "edge.sibling_objects_rejected",
+            self.sibling_objects_rejected,
+        );
+    }
 }
 
 impl EdgeNodeStats {
@@ -808,9 +865,17 @@ impl EdgeReadNode {
         from: NodeId,
         req: u64,
         cluster: ClusterId,
-        query: ReadQuery,
+        mut query: ReadQuery,
         ctx: &mut Context<'_, NetMsg>,
     ) {
+        // Re-parent the causal trace under this hop's serve span and
+        // leave a zero-length marker so the tree shows the miss.
+        if let Some(tc) = ctx.trace_here().or(query.trace) {
+            query.trace = Some(tc);
+            let me = NodeId::Edge(self.me);
+            let now = ctx.now();
+            ctx.trace().marker(tc, SpanPhase::Serve, me, now, "forward");
+        }
         let upstream_req = self.track_pending(PendingRequest {
             client: from,
             client_req: req,
@@ -886,6 +951,7 @@ impl EdgeReadNode {
             page: query.page,
             prefix: query.prefix,
             fresh: query.fresh,
+            trace: query.trace,
         }
     }
 
@@ -917,6 +983,12 @@ impl EdgeReadNode {
         }
         self.next_gather += 1;
         let gather = self.next_gather;
+        // Sub-queries hang off this gather's serve span, not the
+        // client root, so the trace tree mirrors the forwarding fan.
+        let mut query = query;
+        if query.trace.is_some() {
+            query.trace = ctx.trace_here().or(query.trace);
+        }
         let mut parts = Vec::with_capacity(clusters.len());
         let mut subs = Vec::with_capacity(clusters.len());
         for cluster in clusters {
@@ -1287,6 +1359,9 @@ impl EdgeReadNode {
                         all_keys: keys,
                         at_batch,
                         min_epoch,
+                        // Continue the client's trace through the fill,
+                        // parented under this edge's serving span.
+                        trace: ctx.trace_here().or(query.trace),
                     },
                 );
             }

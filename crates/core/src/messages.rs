@@ -8,6 +8,7 @@ use transedge_edge::{
     persist::object_size, CertifiedDelta, MultiProofBundle, ProofBundle, ProvenRead, QueryShape,
     ReadQuery, ReadResponse, ScanBundle, SnapshotObject,
 };
+use transedge_obs::TraceContext;
 use transedge_simnet::SimMessage;
 
 use crate::batch::{Batch, BatchHeader, CommittedHeader, Transaction};
@@ -156,6 +157,9 @@ pub enum NetMsg {
         all_keys: Vec<Key>,
         at_batch: BatchNum,
         min_epoch: Epoch,
+        /// Causal-trace propagation from the edge's serving span (the
+        /// client-minted trace continues through the upstream fill).
+        trace: Option<TraceContext>,
     },
 
     // ---- certified commit feed (replica → edge push) ------------------
@@ -446,12 +450,18 @@ impl SimMessage for NetMsg {
             // per-shape variants used flat constants for scans.
             NetMsg::Read { query, .. } => 8 + query.wire_size(),
             NetMsg::ReadResult { result, .. } => 8 + read_payload_size(result),
-            NetMsg::RotFetchAt { keys, all_keys, .. } => {
-                36 + keys
-                    .iter()
-                    .chain(all_keys.iter())
-                    .map(|k| k.len() + 4)
-                    .sum::<usize>()
+            NetMsg::RotFetchAt {
+                keys,
+                all_keys,
+                trace,
+                ..
+            } => {
+                36 + if trace.is_some() { 16 } else { 0 }
+                    + keys
+                        .iter()
+                        .chain(all_keys.iter())
+                        .map(|k| k.len() + 4)
+                        .sum::<usize>()
             }
             NetMsg::FeedSubscribe { .. } => 16,
             NetMsg::FeedDelta { delta } => 8 + rot_delta_size(delta),
@@ -480,6 +490,21 @@ impl SimMessage for NetMsg {
                 16 + prepared.iter().map(signed_prepared_size).sum::<usize>()
             }
         }
+    }
+
+    /// Request-direction messages carry the client's causal trace; the
+    /// simulator records wire/queue/serve spans against it. Responses
+    /// stay untraced (their transit is the trace's residual wire time).
+    fn trace_context(&self) -> Option<transedge_obs::TraceContext> {
+        match self {
+            NetMsg::Read { query, .. } => query.trace,
+            NetMsg::RotFetchAt { trace, .. } => *trace,
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        NetMsg::kind(self)
     }
 }
 

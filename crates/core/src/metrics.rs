@@ -4,6 +4,7 @@
 //! harnesses aggregate them into the numbers the paper's figures plot.
 
 use transedge_common::{SimDuration, SimTime};
+use transedge_obs::percentile;
 
 /// What kind of operation a sample describes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -124,6 +125,30 @@ pub struct ClientMetrics {
     pub(crate) multis_accepted: u64,
     pub(crate) freshness_upgrades: u64,
     pub(crate) round2_skipped_by_feed: u64,
+}
+
+impl transedge_obs::RegisterMetrics for ClientMetrics {
+    fn register_metrics(&self, scope: &str, reg: &mut transedge_obs::MetricRegistry) {
+        for (class, c) in [
+            ("point", self.shapes.point),
+            ("scan", self.shapes.scan),
+            ("paginated", self.shapes.paginated),
+            ("scatter", self.shapes.scatter),
+        ] {
+            reg.counter(scope, &format!("query.{class}.served"), c.served);
+            reg.counter(scope, &format!("query.{class}.verified"), c.verified);
+            reg.counter(scope, &format!("query.{class}.rejected"), c.rejected);
+        }
+        reg.counter(scope, "query.cert_checks_shared", self.cert_checks_shared);
+        reg.counter(scope, "query.read_result_bytes", self.read_result_bytes);
+        reg.counter(scope, "query.multis_accepted", self.multis_accepted);
+        reg.counter(scope, "query.freshness_upgrades", self.freshness_upgrades);
+        reg.counter(
+            scope,
+            "query.round2_skipped_by_feed",
+            self.round2_skipped_by_feed,
+        );
+    }
 }
 
 impl ClientMetrics {
@@ -267,14 +292,6 @@ pub fn abort_percent(samples: &[TxnSample], kind: Option<OpKind>) -> f64 {
     } else {
         100.0 * s.aborted as f64 / s.count as f64
     }
-}
-
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 #[cfg(test)]

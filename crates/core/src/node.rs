@@ -134,6 +134,23 @@ pub struct NodeStats {
     pub view_changes: u64,
 }
 
+impl transedge_obs::RegisterMetrics for NodeStats {
+    fn register_metrics(&self, scope: &str, reg: &mut transedge_obs::MetricRegistry) {
+        reg.counter(scope, "node.batches_proposed", self.batches_proposed);
+        reg.counter(scope, "node.txns_admitted", self.txns_admitted);
+        reg.counter(scope, "node.txns_rejected", self.txns_rejected);
+        reg.counter(scope, "node.rot_served", self.rot_served);
+        reg.counter(scope, "node.rot_fetches_served", self.rot_fetches_served);
+        reg.counter(scope, "node.rot_multi_served", self.rot_multi_served);
+        reg.counter(scope, "node.rot_pinned_served", self.rot_pinned_served);
+        reg.counter(scope, "node.rot_scans_served", self.rot_scans_served);
+        reg.counter(scope, "node.deltas_published", self.deltas_published);
+        reg.counter(scope, "node.deltas_replayed", self.deltas_replayed);
+        reg.counter(scope, "node.rot_scans_rejected", self.rot_scans_rejected);
+        reg.counter(scope, "node.view_changes", self.view_changes);
+    }
+}
+
 /// The replica actor.
 pub struct TransEdgeNode {
     pub me: ReplicaId,
@@ -1370,6 +1387,9 @@ impl Actor<NetMsg> for TransEdgeNode {
                 all_keys,
                 at_batch,
                 min_epoch,
+                // Span recording happens centrally in the simulator;
+                // the replica's serving logic never branches on it.
+                trace: _,
             } => self.on_rot_fetch_at(from, req, keys, all_keys, at_batch, min_epoch, ctx),
             NetMsg::FeedSubscribe { from_batch } => self.on_feed_subscribe(from, from_batch, ctx),
             NetMsg::Bft(msg) => {

@@ -10,6 +10,7 @@ use transedge_consensus::messages::accept_statement;
 use transedge_consensus::{BftValue, Certificate};
 use transedge_crypto::hmac::derive_seed;
 use transedge_crypto::{KeyStore, Keypair};
+use transedge_obs::{chrome_trace_json, CompletedTrace, MetricRegistry};
 use transedge_simnet::{CostModel, FaultPlan, LatencyModel, PartitionHandle, Simulation};
 
 use crate::batch::CommittedHeader;
@@ -448,6 +449,63 @@ impl Deployment {
     /// Current leader replica of a cluster (as seen by replica 0).
     pub fn leader_of(&self, cluster: ClusterId) -> ReplicaId {
         self.node(ReplicaId::new(cluster, 0)).cluster_leader()
+    }
+
+    // ---- observability plane ----------------------------------------
+
+    /// Completed causal traces in the flight recorder (oldest first).
+    pub fn completed_traces(&self) -> Vec<&CompletedTrace> {
+        self.sim.trace_log().completed().collect()
+    }
+
+    /// The flight recorder serialised as Chrome trace format JSON —
+    /// loadable in `chrome://tracing` / Perfetto.
+    pub fn export_trace(&self) -> String {
+        chrome_trace_json(self.sim.trace_log().completed())
+    }
+
+    /// Snapshot every node's counters into one unified registry:
+    /// per-node scopes (`client-N`, `edge-C-I`, `replica-C-I`) plus the
+    /// network plane under `net`. Fleet-wide rollups come from the
+    /// registry's `fleet_*` views.
+    pub fn metrics(&self) -> MetricRegistry {
+        let mut reg = MetricRegistry::new();
+        reg.register("net", self.sim.stats());
+        for id in &self.client_ids {
+            let client = self.client(*id);
+            let scope = format!("client-{}", id.0);
+            reg.register(&scope, &client.stats);
+            reg.register(&scope, client.metrics());
+            if let Some(agent) = client.directory() {
+                reg.register(&scope, &agent.stats);
+            }
+        }
+        for edge in &self.edge_ids {
+            // Crashed actors are simply absent from the registry.
+            let Some(node) = self.sim.actor_as::<EdgeReadNode>(NodeId::Edge(*edge)) else {
+                continue;
+            };
+            let scope = format!("edge-{}-{}", edge.cluster.0, edge.index);
+            reg.register(&scope, &node.stats);
+            reg.register(&scope, &node.cache_stats());
+            reg.register(&scope, &node.store().stats);
+            reg.register(&scope, &node.store().archive_stats());
+            if let Some(agent) = node.directory() {
+                reg.register(&scope, &agent.stats);
+            }
+        }
+        for cluster in self.topo.clusters() {
+            for r in 0..self.topo.replicas_per_cluster() {
+                let replica = ReplicaId::new(cluster, r as u16);
+                let id = NodeId::Replica(replica);
+                let Some(node) = self.sim.actor_as::<TransEdgeNode>(id) else {
+                    continue;
+                };
+                let scope = format!("replica-{}-{}", cluster.0, r);
+                reg.register(&scope, &node.stats);
+            }
+        }
+        reg
     }
 
     // ---- runtime scenario hooks -------------------------------------

@@ -119,6 +119,36 @@ pub struct DirectoryStats {
     pub delta_records_sent: u64,
 }
 
+impl transedge_obs::RegisterMetrics for DirectoryStats {
+    fn register_metrics(&self, scope: &str, reg: &mut transedge_obs::MetricRegistry) {
+        reg.counter(scope, "directory.gossip_ingested", self.gossip_ingested);
+        reg.counter(
+            scope,
+            "directory.observations_accepted",
+            self.observations_accepted,
+        );
+        reg.counter(
+            scope,
+            "directory.observations_rejected",
+            self.observations_rejected,
+        );
+        reg.counter(scope, "directory.evidence_accepted", self.evidence_accepted);
+        reg.counter(scope, "directory.evidence_rejected", self.evidence_rejected);
+        reg.counter(scope, "directory.senders_struck", self.senders_struck);
+        reg.counter(scope, "directory.deltas_ingested", self.deltas_ingested);
+        reg.counter(
+            scope,
+            "directory.delta_replies_sent",
+            self.delta_replies_sent,
+        );
+        reg.counter(
+            scope,
+            "directory.delta_records_sent",
+            self.delta_records_sent,
+        );
+    }
+}
+
 /// The per-node directory participant. See module docs.
 pub struct DirectoryAgent<H> {
     me: NodeId,

@@ -17,6 +17,15 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+impl transedge_obs::RegisterMetrics for CacheStats {
+    fn register_metrics(&self, scope: &str, reg: &mut transedge_obs::MetricRegistry) {
+        reg.counter(scope, "cache.hits", self.hits);
+        reg.counter(scope, "cache.misses", self.misses);
+        reg.counter(scope, "cache.insertions", self.insertions);
+        reg.counter(scope, "cache.evictions", self.evictions);
+    }
+}
+
 impl CacheStats {
     /// Hit fraction in [0, 1]; 0 when nothing was looked up.
     pub fn hit_rate(&self) -> f64 {

@@ -210,6 +210,14 @@ pub struct PersistStats {
     pub pruned: u64,
 }
 
+impl transedge_obs::RegisterMetrics for PersistStats {
+    fn register_metrics(&self, scope: &str, reg: &mut transedge_obs::MetricRegistry) {
+        reg.counter(scope, "persist.spilled", self.spilled);
+        reg.counter(scope, "persist.deduped", self.deduped);
+        reg.counter(scope, "persist.pruned", self.pruned);
+    }
+}
+
 /// The durable state of one edge node. In the simulator this is a
 /// plain value that survives the actor's teardown (the deployment
 /// holds it across crash/restart, playing the role of the disk); the
@@ -231,6 +239,11 @@ impl<H: BatchCommitment + Clone> SnapshotStore<H> {
             spill_threshold: spill_threshold.max(1),
             stats: PersistStats::default(),
         }
+    }
+
+    /// Counters of the underlying content-addressed archive.
+    pub fn archive_stats(&self) -> transedge_storage::ObjectArchiveStats {
+        self.objects.stats
     }
 
     /// Spill one admitted object: append it (content-addressed, so a

@@ -28,6 +28,7 @@
 use transedge_common::{BatchNum, ClusterId, Epoch, Key, Value};
 use transedge_crypto::range::MAX_RANGE_BUCKETS;
 use transedge_crypto::ScanRange;
+use transedge_obs::TraceContext;
 
 use crate::response::{BatchCommitment, CertifiedDelta, MultiProofBundle, ProofBundle, ScanBundle};
 
@@ -211,6 +212,10 @@ pub struct ReadQuery {
     /// field), proving the served values unchanged through the feed
     /// head. Ignored for scan shapes.
     pub fresh: bool,
+    /// Causal-trace propagation context: the client operation this
+    /// query serves and the span that caused this hop. Purely
+    /// observational — servers never branch on it.
+    pub trace: Option<TraceContext>,
 }
 
 impl ReadQuery {
@@ -223,6 +228,7 @@ impl ReadQuery {
             page: None,
             prefix: None,
             fresh: false,
+            trace: None,
         }
     }
 
@@ -246,6 +252,7 @@ impl ReadQuery {
             page: None,
             prefix: None,
             fresh: false,
+            trace: None,
         }
     }
 
@@ -274,6 +281,12 @@ impl ReadQuery {
     /// freshness certificate (builder style; subscription mode).
     pub fn with_feed_freshness(mut self) -> Self {
         self.fresh = true;
+        self
+    }
+
+    /// Attach a causal-trace propagation context (builder style).
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -366,11 +379,13 @@ impl ReadQuery {
         let page = if self.page.is_some() { 17 } else { 1 };
         let prefix = if self.prefix.is_some() { 9 } else { 1 };
         let fresh = 1;
+        // Trace context rides along as two u64 ids when present.
+        let trace = if self.trace.is_some() { 17 } else { 1 };
         let shape = match &self.shape {
             QueryShape::Point { keys } => 4 + keys.iter().map(|k| k.len() + 4).sum::<usize>(),
             QueryShape::Scan { clusters, .. } => 4 + clusters.len() * 2 + 16 + 8,
         };
-        policy + page + prefix + fresh + shape
+        policy + page + prefix + fresh + trace + shape
     }
 }
 

@@ -80,6 +80,42 @@ pub struct ReplayStats {
     pub evicted_entries: u64,
 }
 
+impl transedge_obs::RegisterMetrics for ReplayStats {
+    fn register_metrics(&self, scope: &str, reg: &mut transedge_obs::MetricRegistry) {
+        reg.counter(scope, "replay.admitted", self.admitted);
+        reg.counter(scope, "replay.replayed", self.replayed);
+        reg.counter(scope, "replay.passes", self.passes);
+        reg.counter(scope, "replay.partial", self.partial);
+        reg.counter(scope, "replay.fragments_replayed", self.fragments_replayed);
+        reg.counter(scope, "replay.scans_admitted", self.scans_admitted);
+        reg.counter(scope, "replay.scans_replayed", self.scans_replayed);
+        reg.counter(
+            scope,
+            "replay.scans_covered_by_wider",
+            self.scans_covered_by_wider,
+        );
+        reg.counter(scope, "replay.scan_passes", self.scan_passes);
+        reg.counter(scope, "replay.multis_admitted", self.multis_admitted);
+        reg.counter(scope, "replay.multis_replayed", self.multis_replayed);
+        reg.counter(
+            scope,
+            "replay.multis_covered_by_superset",
+            self.multis_covered_by_superset,
+        );
+        reg.counter(scope, "replay.multi_passes", self.multi_passes);
+        reg.counter(scope, "replay.deltas_applied", self.deltas_applied);
+        reg.counter(scope, "replay.feed_resets", self.feed_resets);
+        reg.counter(
+            scope,
+            "replay.fragments_invalidated",
+            self.fragments_invalidated,
+        );
+        reg.counter(scope, "replay.freshness_attached", self.freshness_attached);
+        reg.counter(scope, "replay.freshness_refused", self.freshness_refused);
+        reg.counter(scope, "replay.evicted_entries", self.evicted_entries);
+    }
+}
+
 impl ReplayStats {
     /// Sum `other` into `self` (shard aggregation).
     pub fn absorb(&mut self, other: &ReplayStats) {

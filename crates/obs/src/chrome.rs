@@ -1,0 +1,133 @@
+//! Chrome-trace-format exporter: render completed traces as a JSON
+//! document loadable in `chrome://tracing` / Perfetto.
+//!
+//! Each span becomes one complete event (`"ph": "X"`): `ts`/`dur` in
+//! microseconds straight from `SimTime`, `pid` the trace's client
+//! index (one "process" per client), `tid` a deterministic ordinal of
+//! the node the time was spent on. Thread-name metadata events label
+//! every `tid` with the node's display name.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use transedge_common::NodeId;
+
+use crate::trace::CompletedTrace;
+
+/// Append `s` to `out` JSON-escaped (without surrounding quotes).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render `traces` as one Chrome-trace JSON document.
+pub fn chrome_trace_json<'a>(traces: impl IntoIterator<Item = &'a CompletedTrace>) -> String {
+    let traces: Vec<&CompletedTrace> = traces.into_iter().collect();
+    // Deterministic tid assignment: every node that appears, sorted.
+    let mut tids: BTreeMap<NodeId, u64> = BTreeMap::new();
+    for t in &traces {
+        for s in &t.spans {
+            let next = tids.len() as u64;
+            tids.entry(s.node).or_insert(next);
+        }
+    }
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for (node, tid) in &tids {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":");
+        let _ = write!(out, "{tid}");
+        out.push_str(",\"args\":{\"name\":\"");
+        escape_into(&mut out, &node.to_string());
+        out.push_str("\"}}");
+    }
+    for t in &traces {
+        for s in &t.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":\"");
+            escape_into(&mut out, s.label);
+            out.push_str("\",\"cat\":\"");
+            out.push_str(s.phase.tag());
+            out.push_str("\",\"ph\":\"X\",\"ts\":");
+            let _ = write!(out, "{}", s.start.0);
+            out.push_str(",\"dur\":");
+            let _ = write!(out, "{}", s.end.saturating_since(s.start).as_micros());
+            out.push_str(",\"pid\":");
+            let _ = write!(out, "{}", t.trace.client());
+            out.push_str(",\"tid\":");
+            let _ = write!(out, "{}", tids[&s.node]);
+            out.push_str(",\"args\":{\"trace\":\"");
+            escape_into(&mut out, &t.trace.to_string());
+            out.push_str("\",\"span\":");
+            let _ = write!(out, "{}", s.id.0);
+            if let Some(parent) = s.parent {
+                out.push_str(",\"parent\":");
+                let _ = write!(out, "{}", parent.0);
+            }
+            out.push_str("}}");
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanPhase, TraceContext, TraceId, TraceLog};
+    use transedge_common::{ClientId, ClusterId, ReplicaId, SimTime};
+
+    #[test]
+    fn exports_complete_events_with_stable_tids() {
+        let mut log = TraceLog::new();
+        let t = TraceId::for_op(3, 1);
+        let client = NodeId::Client(ClientId(3));
+        let server = NodeId::Replica(ReplicaId::new(ClusterId(0), 0));
+        let root = log.begin(t, client, SimTime(0), "rot");
+        let tc = TraceContext {
+            trace: t,
+            span: root,
+        };
+        log.span(
+            tc,
+            SpanPhase::Wire,
+            server,
+            SimTime(0),
+            SimTime(250),
+            "read-point",
+        );
+        log.complete(t, SimTime(1000));
+        let json = chrome_trace_json(log.completed());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"cat\":\"wire\""));
+        assert!(json.contains("\"dur\":250"));
+        assert!(json.contains("\"pid\":3"));
+        assert!(json.contains("\"trace\":\"trace:3/1\""));
+    }
+
+    #[test]
+    fn empty_input_is_valid_json() {
+        let json = chrome_trace_json(std::iter::empty());
+        assert_eq!(json, "{\"traceEvents\":[]}");
+    }
+}

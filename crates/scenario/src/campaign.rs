@@ -78,6 +78,9 @@ pub struct CampaignOutcome {
     /// Invariant sweeps that ran.
     pub invariant_checks: u64,
     pub total_ops: usize,
+    /// The flight recorder at campaign end, serialised as Chrome trace
+    /// format JSON (CI uploads one campaign's dump as an artifact).
+    pub chrome_trace: String,
 }
 
 fn base_config(scale: &CampaignScale, edge: EdgeConfig, seed: u64) -> DeploymentConfig {
@@ -158,6 +161,7 @@ fn run_campaign(
         convicted: report.convicted.len(),
         invariant_checks: monitor.checks_run(),
         total_ops,
+        chrome_trace: dep.export_trace(),
     }
 }
 

@@ -59,11 +59,27 @@ impl ScenarioRunner {
         for (at, event) in schedule {
             dep.run_until(at);
             self.apply(dep, monitor, &event);
-            monitor.check(dep)?;
+            Self::checked(dep, monitor)?;
         }
         dep.run_until_done(limit);
-        monitor.check(dep)?;
+        Self::checked(dep, monitor)?;
         Ok(applied)
+    }
+
+    /// One monitor sweep; on a violation, dump the flight recorder
+    /// (every recently completed causal trace, Chrome trace format) to
+    /// stderr before aborting the campaign, so the offending read's
+    /// full span tree survives the post-mortem.
+    fn checked(dep: &Deployment, monitor: &mut InvariantMonitor) -> Result<(), InvariantViolation> {
+        if let Err(violation) = monitor.check(dep) {
+            eprintln!(
+                "invariant violation: {violation:?}\nflight recorder ({} traces):\n{}",
+                dep.completed_traces().len(),
+                dep.export_trace()
+            );
+            return Err(violation);
+        }
+        Ok(())
     }
 
     fn apply(

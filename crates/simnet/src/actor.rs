@@ -2,6 +2,7 @@
 
 use rand::rngs::SmallRng;
 use transedge_common::{NodeId, SimDuration, SimTime};
+use transedge_obs::{TraceContext, TraceLog};
 
 use crate::cost::CostModel;
 
@@ -10,6 +11,20 @@ use crate::cost::CostModel;
 pub trait SimMessage {
     /// Approximate wire size in bytes.
     fn size_bytes(&self) -> usize;
+
+    /// The causal-trace context this message propagates, if any.
+    /// Request-direction protocol messages carry one; everything else
+    /// (responses, gossip, consensus internals) defaults to `None` and
+    /// stays untraced.
+    fn trace_context(&self) -> Option<TraceContext> {
+        None
+    }
+
+    /// Stable per-variant tag for per-kind network accounting and wire
+    /// span labels.
+    fn kind(&self) -> &'static str {
+        "msg"
+    }
 }
 
 /// Handle to a pending timer, usable for cancellation.
@@ -63,6 +78,11 @@ pub struct Context<'a, M> {
     pub(crate) cost: &'a CostModel,
     pub(crate) effects: Vec<Effect<M>>,
     pub(crate) timer_seq: &'a mut u64,
+    pub(crate) trace: &'a mut TraceLog,
+    /// The span context of the delivery being handled (trace id +
+    /// this hop's pre-allocated serve span), when the delivered
+    /// message carried one.
+    pub(crate) cur_span: Option<TraceContext>,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -134,5 +154,19 @@ impl<'a, M> Context<'a, M> {
     /// Deterministic per-simulation RNG.
     pub fn rng(&mut self) -> &mut SmallRng {
         self.rng
+    }
+
+    /// The simulation's trace log, for minting traces, marker spans,
+    /// and (deferred) completion. Recording never perturbs scheduling.
+    pub fn trace(&mut self) -> &mut TraceLog {
+        self.trace
+    }
+
+    /// The context of the span covering *this* handler invocation, if
+    /// the delivered message carried a trace: re-parent under this to
+    /// attribute downstream hops (forwards, sub-queries) to the work
+    /// that caused them.
+    pub fn trace_here(&self) -> Option<TraceContext> {
+        self.cur_span
     }
 }

@@ -37,5 +37,5 @@ pub use actor::{Actor, Context, SimMessage, TimerId};
 pub use cost::CostModel;
 pub use fault::{FaultPlan, PartitionHandle};
 pub use sim::Simulation;
-pub use stats::NetStats;
+pub use stats::{KindStats, NetStats};
 pub use topology::LatencyModel;

@@ -7,6 +7,7 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use transedge_common::{NodeId, SimDuration, SimTime};
+use transedge_obs::{Span, SpanPhase, TraceLog};
 
 use crate::actor::{Actor, Context, Effect, SimMessage, TimerId};
 use crate::cost::CostModel;
@@ -63,6 +64,7 @@ pub struct Simulation<M: SimMessage> {
     cancelled: HashSet<TimerId>,
     timer_seq: u64,
     stats: NetStats,
+    trace: TraceLog,
 }
 
 impl<M: SimMessage + 'static> Simulation<M> {
@@ -80,6 +82,7 @@ impl<M: SimMessage + 'static> Simulation<M> {
             cancelled: HashSet::new(),
             timer_seq: 0,
             stats: NetStats::default(),
+            trace: TraceLog::new(),
         }
     }
 
@@ -140,6 +143,17 @@ impl<M: SimMessage + 'static> Simulation<M> {
         &self.stats
     }
 
+    /// The causal trace log (open traces + flight recorder).
+    pub fn trace_log(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Mutable trace log (harness-side configuration, e.g. recorder
+    /// capacity, or completing traces from outside a handler).
+    pub fn trace_log_mut(&mut self) -> &mut TraceLog {
+        &mut self.trace
+    }
+
     /// The active fault plan (inspection).
     pub fn faults(&self) -> &FaultPlan {
         &self.faults
@@ -194,12 +208,22 @@ impl<M: SimMessage + 'static> Simulation<M> {
 
     fn route(&mut self, from: NodeId, to: NodeId, msg: M, departure: SimTime) {
         let size = msg.size_bytes();
-        self.stats.record_send(size);
+        self.stats.record_send(msg.kind(), size);
         if self.faults.should_drop(from, to, departure, &mut self.rng) {
             self.stats.record_drop();
             return;
         }
         let lat = self.latency.sample(from, to, size, &mut self.rng);
+        if let Some(tc) = msg.trace_context() {
+            self.trace.span(
+                tc,
+                SpanPhase::Wire,
+                to,
+                departure,
+                departure + lat,
+                msg.kind(),
+            );
+        }
         let seq = self.next_seq();
         self.push(Event {
             time: departure + lat,
@@ -230,6 +254,29 @@ impl<M: SimMessage + 'static> Simulation<M> {
         let Some(mut actor) = self.actors.remove(&to) else {
             return;
         };
+        // Pre-allocate the span covering this handler so the actor can
+        // re-parent downstream work under it; the span itself is
+        // recorded after the handler, once its CPU extent is known.
+        let (handler_span, span_label) = match &kind {
+            EventKind::Deliver { msg, .. } => match msg.trace_context() {
+                Some(tc) => {
+                    let id = self.trace.alloc();
+                    (
+                        Some(transedge_obs::TraceContext {
+                            trace: tc.trace,
+                            span: id,
+                        }),
+                        msg.kind(),
+                    )
+                }
+                None => (None, ""),
+            },
+            _ => (None, ""),
+        };
+        let parent = match &kind {
+            EventKind::Deliver { msg, .. } => msg.trace_context().map(|tc| tc.span),
+            _ => None,
+        };
         let mut ctx = Context {
             self_id: to,
             now: time,
@@ -238,6 +285,8 @@ impl<M: SimMessage + 'static> Simulation<M> {
             cost: &self.cost,
             effects: Vec::new(),
             timer_seq: &mut self.timer_seq,
+            trace: &mut self.trace,
+            cur_span: handler_span,
         };
         match kind {
             EventKind::Start => actor.on_start(&mut ctx),
@@ -251,6 +300,28 @@ impl<M: SimMessage + 'static> Simulation<M> {
         let consumed = ctx.consumed;
         let effects = std::mem::take(&mut ctx.effects);
         drop(ctx);
+        if let Some(hs) = handler_span {
+            // Handler CPU: serve time at servers/edges, verification
+            // time once the response chain reaches a client.
+            let phase = if matches!(to, NodeId::Client(_)) {
+                SpanPhase::Verify
+            } else {
+                SpanPhase::Serve
+            };
+            self.trace.record(Span {
+                trace: hs.trace,
+                id: hs.span,
+                parent,
+                phase,
+                node: to,
+                start: time,
+                end: time + consumed,
+                label: span_label,
+            });
+        }
+        // Apply completions the handler deferred, now that its own
+        // span is in the log.
+        self.trace.flush_completions();
         self.actors.insert(to, actor);
         self.busy_until.insert(to, time + consumed);
         for effect in effects {
@@ -307,6 +378,15 @@ impl<M: SimMessage + 'static> Simulation<M> {
             .copied()
             .unwrap_or(SimTime::ZERO);
         if busy > ev.time {
+            // Traced deliveries account the wait behind the busy actor
+            // as a queue segment; repeated deferrals add contiguous
+            // segments.
+            if let EventKind::Deliver { msg, .. } = &ev.kind {
+                if let Some(tc) = msg.trace_context() {
+                    self.trace
+                        .span(tc, SpanPhase::Queue, ev.to, ev.time, busy, msg.kind());
+                }
+            }
             let seq = self.next_seq();
             self.push(Event {
                 time: busy,
@@ -758,6 +838,77 @@ mod tests {
         // A FaultPlan crash silences without deregistering: queued
         // events for a crashed node are skipped at pop, not dispatched.
         assert!(sim.faults().is_crashed(a, sim.now()));
+    }
+
+    #[test]
+    fn traced_deliveries_record_wire_queue_and_serve_spans() {
+        use transedge_obs::{SpanPhase, TraceContext, TraceId};
+
+        #[derive(Debug)]
+        struct Traced(TraceContext);
+        impl SimMessage for Traced {
+            fn size_bytes(&self) -> usize {
+                16
+            }
+            fn trace_context(&self) -> Option<TraceContext> {
+                Some(self.0)
+            }
+            fn kind(&self) -> &'static str {
+                "traced"
+            }
+        }
+        struct Sink {
+            work: SimDuration,
+        }
+        impl Actor<Traced> for Sink {
+            fn on_message(&mut self, _f: NodeId, _m: Traced, ctx: &mut Context<'_, Traced>) {
+                assert!(ctx.trace_here().is_some(), "handler sees its span context");
+                ctx.consume(self.work);
+            }
+        }
+
+        let mut latency = LatencyModel::instant();
+        latency.client_local = SimDuration::from_millis(2);
+        let mut sim: Simulation<Traced> =
+            Simulation::new(latency, CostModel::zero(), FaultPlan::none(), 8);
+        let server = rep(0, 0);
+        let client = NodeId::Client(ClientId(0));
+        sim.add_actor(
+            server,
+            Box::new(Sink {
+                work: SimDuration::from_millis(5),
+            }),
+        );
+        let t = TraceId::for_op(0, 0);
+        let root = sim.trace_log_mut().begin(t, client, SimTime::ZERO, "op");
+        let tc = TraceContext {
+            trace: t,
+            span: root,
+        };
+        // Two traced messages land together: the second queues behind
+        // the 5ms handler of the first.
+        sim.inject(client, server, Traced(tc));
+        sim.inject(client, server, Traced(tc));
+        sim.run_until_idle(SimTime(60_000));
+        let now = sim.now();
+        sim.trace_log_mut().complete(t, now);
+        let done = sim.trace_log().last_completed().expect("completed trace");
+        assert!(done.is_connected());
+        let wires: Vec<_> = done.spans_of(SpanPhase::Wire).collect();
+        assert_eq!(wires.len(), 2);
+        assert!(wires
+            .iter()
+            .all(|s| s.duration() == SimDuration::from_millis(2)));
+        let serves: Vec<_> = done.spans_of(SpanPhase::Serve).collect();
+        assert_eq!(serves.len(), 2);
+        assert!(serves
+            .iter()
+            .all(|s| s.duration() == SimDuration::from_millis(5)));
+        let queues: Vec<_> = done.spans_of(SpanPhase::Queue).collect();
+        assert_eq!(queues.len(), 1, "second delivery queued once");
+        assert_eq!(queues[0].duration(), SimDuration::from_millis(5));
+        assert_eq!(sim.stats().kind("traced").messages, 2);
+        assert_eq!(sim.stats().kind("traced").bytes, 32);
     }
 
     #[test]

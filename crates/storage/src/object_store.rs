@@ -34,6 +34,14 @@ pub struct ObjectArchiveStats {
     pub pruned: u64,
 }
 
+impl transedge_obs::RegisterMetrics for ObjectArchiveStats {
+    fn register_metrics(&self, scope: &str, reg: &mut transedge_obs::MetricRegistry) {
+        reg.counter(scope, "archive.written", self.written);
+        reg.counter(scope, "archive.deduped", self.deduped);
+        reg.counter(scope, "archive.pruned", self.pruned);
+    }
+}
+
 /// An append-only map from content digest to object, remembering
 /// insertion order so retention can prune oldest-first.
 #[derive(Clone, Debug)]

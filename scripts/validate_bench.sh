@@ -22,7 +22,7 @@ fi
 # schema_version pins the shape below; bump both together.
 jq -e '
   .figure == "fig04_rot_latency"
-  and .schema_version == 8
+  and .schema_version == 9
   and (.clusters | length == 5)
   and ([.clusters[]
         | select(.twopc_ms > 0 and .transedge_ms > 0
@@ -60,6 +60,15 @@ jq -e '
   and (.directory.single_contact_ms > 0)
   and (.directory.fanout_ms > 0)
   and (.directory.gather_cert_checks_shared >= 0)
+  and ([.obs.single_contact.p50, .obs.single_contact.p95,
+        .obs.fanout.p50, .obs.fanout.p95]
+       | all(
+           (.e2e_us | type == "number" and . > 0)
+           and ([.queue_us, .wire_us, .serve_us, .verify_us,
+                 .round2_us, .gossip_us]
+                | all(type == "number" and . >= 0))
+           and (.components_sum_us >= 0.95 * .e2e_us)
+           and (.components_sum_us <= 1.05 * .e2e_us)))
   and (.throughput.ops > 0)
   and (.throughput.ops_per_sec | type == "number" and isnormal and . > 0)
   and (.throughput.window_s > 0)
@@ -104,4 +113,4 @@ jq -e '
   and (.scenarios.flash_crowd.rejected_reads == 0)
 ' "$BENCH_JSON" >/dev/null
 
-echo "ok: $BENCH_JSON matches bench schema v8"
+echo "ok: $BENCH_JSON matches bench schema v9"

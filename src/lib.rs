@@ -11,6 +11,7 @@ pub use transedge_core as core;
 pub use transedge_crypto as crypto;
 pub use transedge_directory as directory;
 pub use transedge_edge as edge;
+pub use transedge_obs as obs;
 pub use transedge_scenario as scenario;
 pub use transedge_simnet as simnet;
 pub use transedge_storage as storage;

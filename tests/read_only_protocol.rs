@@ -727,6 +727,7 @@ fn unified_query_scenario(
         page: None,
         prefix: None,
         fresh: false,
+        trace: None,
     };
     // Writers: cross-partition transactions commit 2PC groups, raising
     // each partition's LCE to a real epoch so the MinEpoch floor
